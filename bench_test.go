@@ -1,0 +1,631 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §5 and EXPERIMENTS.md), plus ablation benches
+// for the design choices called out in DESIGN.md §6 and microbenchmarks of
+// the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+package dio_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/apps/fluentbit"
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/comparators"
+	"github.com/dsrhaslab/dio-go/internal/core"
+	"github.com/dsrhaslab/dio-go/internal/ebpf"
+	"github.com/dsrhaslab/dio-go/internal/experiments"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// BenchmarkTable1SyscallCoverage traces one round trip of every supported
+// syscall (Table I): 42 syscalls intercepted, enriched, and indexed.
+func BenchmarkTable1SyscallCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+		if err := k.MkdirAll("/t"); err != nil {
+			b.Fatal(err)
+		}
+		backend := store.New()
+		tracer, err := core.NewTracer(core.Config{
+			SessionName: "table1", Backend: backend, FlushInterval: time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tracer.Start(k); err != nil {
+			b.Fatal(err)
+		}
+		task := k.NewProcess("cov").NewTask("cov")
+		issueAllSyscalls(b, k, task)
+		stats, err := tracer.Stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			seen, _ := backend.Search("dio-events", store.SearchRequest{
+				Query: store.MatchAll(),
+				Size:  1,
+				Aggs:  map[string]store.Agg{"s": {Terms: &store.TermsAgg{Field: store.FieldSyscall}}},
+			})
+			if got := len(seen.Aggs["s"].Buckets); got != kernel.NumSyscalls {
+				b.Fatalf("distinct traced syscalls = %d, want %d", got, kernel.NumSyscalls)
+			}
+			b.ReportMetric(float64(stats.Shipped), "events/op")
+		}
+	}
+}
+
+// issueAllSyscalls exercises each of the 42 supported syscalls once.
+func issueAllSyscalls(b *testing.B, k *kernel.Kernel, task *kernel.Task) {
+	b.Helper()
+	must := func(ret int64, err error) {
+		if err != nil {
+			b.Fatalf("syscall failed: %v", err)
+		}
+	}
+	fd, err := task.Open("/t/f1", kernel.ORdwr|kernel.OCreat, 0o644)
+	must(0, err)
+	_, err = task.Write(fd, []byte("0123456789abcdef"))
+	must(0, err)
+	_, err = task.Pwrite64(fd, []byte("xx"), 2)
+	must(0, err)
+	_, err = task.Writev(fd, [][]byte{[]byte("a"), []byte("b")})
+	must(0, err)
+	_, err = task.Lseek(fd, 0, kernel.SeekSet)
+	must(0, err)
+	buf := make([]byte, 4)
+	_, err = task.Read(fd, buf)
+	must(0, err)
+	_, err = task.Pread64(fd, buf, 1)
+	must(0, err)
+	_, err = task.Readv(fd, [][]byte{buf[:2], buf[2:]})
+	must(0, err)
+	must(0, task.Fsync(fd))
+	must(0, task.Fdatasync(fd))
+	must(0, task.Readahead(fd, 0, 8))
+	must(0, task.Ftruncate(fd, 8))
+	_, err = task.Fstat(fd)
+	must(0, err)
+	_, err = task.Fstatfs(fd)
+	must(0, err)
+	must(0, task.Fsetxattr(fd, "user.a", []byte("1")))
+	_, err = task.Fgetxattr(fd, "user.a")
+	must(0, err)
+	_, err = task.Flistxattr(fd)
+	must(0, err)
+	must(0, task.Fremovexattr(fd, "user.a"))
+	must(0, task.Close(fd))
+
+	fd2, err := task.Openat(kernel.AtFDCWD, "/t/f2", kernel.OWronly|kernel.OCreat, 0o644)
+	must(0, err)
+	must(0, task.Close(fd2))
+	fd3, err := task.Creat("/t/f3", 0o644)
+	must(0, err)
+	must(0, task.Close(fd3))
+
+	must(0, task.Truncate("/t/f1", 4))
+	_, err = task.Stat("/t/f1")
+	must(0, err)
+	k.Symlink("/t/f1", "/t/l1")
+	_, err = task.Lstat("/t/l1")
+	must(0, err)
+
+	must(0, task.Setxattr("/t/f1", "user.b", []byte("2")))
+	_, err = task.Getxattr("/t/f1", "user.b")
+	must(0, err)
+	_, err = task.Listxattr("/t/f1")
+	must(0, err)
+	must(0, task.Removexattr("/t/f1", "user.b"))
+	must(0, task.Lsetxattr("/t/l1", "user.c", []byte("3")))
+	_, err = task.Lgetxattr("/t/l1", "user.c")
+	must(0, err)
+	_, err = task.Llistxattr("/t/l1")
+	must(0, err)
+	must(0, task.Lremovexattr("/t/l1", "user.c"))
+
+	must(0, task.Rename("/t/f2", "/t/f2r"))
+	must(0, task.Renameat(kernel.AtFDCWD, "/t/f2r", kernel.AtFDCWD, "/t/f2s"))
+	must(0, task.Renameat2(kernel.AtFDCWD, "/t/f2s", kernel.AtFDCWD, "/t/f2t", 0))
+	must(0, task.Unlink("/t/f2t"))
+	must(0, task.Unlinkat(kernel.AtFDCWD, "/t/f3", false))
+
+	must(0, task.Mkdir("/t/d1", 0o755))
+	must(0, task.Mkdirat(kernel.AtFDCWD, "/t/d2", 0o755))
+	must(0, task.Rmdir("/t/d1"))
+	must(0, task.Mknod("/t/n1", kernel.ModeFIFO, 0))
+	must(0, task.Mknodat(kernel.AtFDCWD, "/t/n2", kernel.ModeCharDev, 0))
+}
+
+// BenchmarkFig2aFluentBitBuggy regenerates the Fig. 2a table and reports
+// the lost bytes.
+func BenchmarkFig2aFluentBitBuggy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(fluentbit.VersionBuggy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Scenario.DataLost() {
+			b.Fatal("no data loss in buggy scenario")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Scenario.LostBytes), "lost-bytes")
+			b.ReportMetric(float64(len(res.Table.Rows)), "table-rows")
+		}
+	}
+}
+
+// BenchmarkFig2bFluentBitFixed regenerates the Fig. 2b table.
+func BenchmarkFig2bFluentBitFixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(fluentbit.VersionFixed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Scenario.DataLost() {
+			b.Fatal("data loss in fixed scenario")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Scenario.LostBytes), "lost-bytes")
+		}
+	}
+}
+
+// BenchmarkFig3TailLatency runs the traced RocksDB workload and reports the
+// p99 contrast between compaction-heavy and quiet windows (Fig. 3).
+func BenchmarkFig3TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRocksDB(experiments.RocksDBConfig{
+			Duration: 1200 * time.Millisecond,
+			Trace:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			busy, quiet, busyN, quietN := res.ContentionCorrelation(5, 2)
+			b.ReportMetric(res.Bench.Summary.P99/1e6, "p99-ms")
+			if busyN > 0 && quietN > 0 {
+				b.ReportMetric(busy/1e6, "busy-p99-ms")
+				b.ReportMetric(quiet/1e6, "quiet-p99-ms")
+			}
+			b.ReportMetric(res.Bench.Throughput(), "ops/s")
+		}
+	}
+}
+
+// BenchmarkFig4SyscallTimeline runs the same workload and reports the
+// thread-timeline dimensions (Fig. 4).
+func BenchmarkFig4SyscallTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRocksDB(experiments.RocksDBConfig{
+			Duration: 1200 * time.Millisecond,
+			Trace:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Timeline == nil {
+			b.Fatal("no timeline")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Timeline.Series)), "thread-series")
+			b.ReportMetric(float64(len(res.Timeline.BucketStartNS)), "windows")
+			b.ReportMetric(float64(res.Tracer.Captured), "events")
+		}
+	}
+}
+
+// BenchmarkTable2Overhead reproduces the tracer-overhead table and reports
+// the measured slowdowns (paper: 1.04 / 1.37 / 1.71).
+func BenchmarkTable2Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Overhead, row.Mode.String()+"-x")
+			}
+		}
+	}
+}
+
+// BenchmarkDropsRingBuffer sweeps ring capacity against event loss (§III-D).
+func BenchmarkDropsRingBuffer(b *testing.B) {
+	for _, ringBytes := range []int{32 << 10, 256 << 10, 4 << 20} {
+		b.Run(fmt.Sprintf("ring=%dKiB", ringBytes>>10), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunDrops(experiments.DropsConfig{
+					RingBytesSweep: []int{ringBytes},
+					Writes:         10_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Points[0].DropFraction*100, "drop-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPathResolution compares DIO and Sysdig path coverage (§III-D).
+func BenchmarkPathResolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPathResolution(experiments.PathsConfig{Ops: 3_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.DIOUnresolved*100, "dio-unresolved-%")
+			b.ReportMetric(res.SysdigUnresolved*100, "sysdig-unresolved-%")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// benchTracedWorkload runs the synthetic workload under a tracer config and
+// returns events shipped.
+func benchTracedWorkload(b *testing.B, cfg core.Config, cycles int) core.Stats {
+	b.Helper()
+	k := kernel.New(kernel.Config{
+		Clock: clock.NewReal(0),
+		Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+	})
+	tracer, err := core.NewTracer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tracer.Start(k); err != nil {
+		b.Fatal(err)
+	}
+	task := k.NewProcess("w").NewTask("w")
+	if err := comparators.RunWorkload(k, task, comparators.WorkloadConfig{}, cycles); err != nil {
+		b.Fatal(err)
+	}
+	stats, err := tracer.Stop()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stats
+}
+
+// BenchmarkAblationFilterPushdown compares tracing everything against
+// kernel-side filtering down to a narrow syscall set: the filtered
+// configuration moves strictly less data to user space.
+func BenchmarkAblationFilterPushdown(b *testing.B) {
+	cases := []struct {
+		name   string
+		filter ebpf.Filter
+	}{
+		{"all-syscalls", ebpf.Filter{}},
+		{"writes-only", ebpf.Filter{Syscalls: []kernel.Syscall{kernel.SysWrite}}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var shipped uint64
+			for i := 0; i < b.N; i++ {
+				stats := benchTracedWorkload(b, core.Config{
+					Backend:       store.New(),
+					Filter:        c.filter,
+					FlushInterval: time.Millisecond,
+				}, 100)
+				shipped = stats.Shipped
+			}
+			b.ReportMetric(float64(shipped), "events-shipped")
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize sweeps the bulk-indexing batch size (§II-B:
+// events are grouped into buckets to cut per-request overhead).
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, batch := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchTracedWorkload(b, core.Config{
+					Backend:       store.New(),
+					BatchSize:     batch,
+					FlushInterval: time.Millisecond,
+				}, 100)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEnrichment compares DIO-style full records against
+// Sysdig-style minimal records at the ring-buffer level: enrichment costs
+// bytes, which costs capacity.
+func BenchmarkAblationEnrichment(b *testing.B) {
+	full := ebpf.Record{
+		NR: 1, PID: 1, TID: 1, Comm: "proc", TaskComm: "thread",
+		Path: "/very/long/path/to/some/file.sst", Dev: 7340032, Ino: 42, BirthNS: 1,
+	}
+	full.SetHaveFile()
+	full.SetHaveOffset()
+	minimal := ebpf.Record{NR: 1, PID: 1, TID: 1, Comm: "proc"}
+	b.Run("full-record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf := full.Marshal()
+			if _, err := ebpf.Unmarshal(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(full.Size()), "bytes/event")
+	})
+	b.Run("minimal-record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf := minimal.Marshal()
+			if _, err := ebpf.Unmarshal(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(minimal.Size()), "bytes/event")
+	})
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkRingBufferWrite measures the kernel-side publication cost.
+func BenchmarkRingBufferWrite(b *testing.B) {
+	rb := ebpf.NewRingBuffer(1 << 30)
+	rec := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.Write(rec)
+		if i%1024 == 1023 {
+			rb.ReadBatch(2048)
+		}
+	}
+}
+
+// BenchmarkSyscallUntraced measures the kernel syscall fast path with no
+// tracer attached (hook dispatch must be skipped entirely).
+func BenchmarkSyscallUntraced(b *testing.B) {
+	k := kernel.New(kernel.Config{
+		Clock: clock.NewVirtual(0),
+		Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+	})
+	task := k.NewProcess("w").NewTask("w")
+	fd, err := task.Open("/f", kernel.ORdwr|kernel.OCreat, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task.Write(fd, make([]byte, 4096))
+	buf := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Pread64(fd, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyscallTraced measures the same syscall with the DIO program
+// attached (interception + enrichment + ring publication).
+func BenchmarkSyscallTraced(b *testing.B) {
+	k := kernel.New(kernel.Config{
+		Clock: clock.NewVirtual(0),
+		Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+	})
+	prog := ebpf.NewProgram(ebpf.ProgramConfig{RingBytes: 1 << 30})
+	prog.Attach(k)
+	defer prog.Detach()
+	task := k.NewProcess("w").NewTask("w")
+	fd, err := task.Open("/f", kernel.ORdwr|kernel.OCreat, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task.Write(fd, make([]byte, 4096))
+	buf := make([]byte, 512)
+	rings := prog.Rings().Rings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Pread64(fd, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			for _, r := range rings {
+				r.ReadBatch(4096)
+			}
+		}
+	}
+}
+
+// BenchmarkStoreBulkIndex measures backend ingestion throughput.
+func BenchmarkStoreBulkIndex(b *testing.B) {
+	docs := make([]store.Document, 512)
+	for i := range docs {
+		docs[i] = store.Document{
+			store.FieldSession:   "s",
+			store.FieldSyscall:   "write",
+			store.FieldProcName:  "app",
+			store.FieldTimeEnter: int64(i),
+			store.FieldRetVal:    int64(4096),
+		}
+	}
+	b.ResetTimer()
+	st := store.New()
+	for i := 0; i < b.N; i++ {
+		if err := st.Bulk("bench", docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(docs)), "docs/op")
+}
+
+// BenchmarkStoreQuery measures a filtered, aggregated search over 50k docs.
+func BenchmarkStoreQuery(b *testing.B) {
+	st := store.New()
+	ix := st.IndexOrCreate("bench")
+	for i := 0; i < 50_000; i++ {
+		ix.Add(store.Document{
+			store.FieldSession:    "s",
+			store.FieldSyscall:    []string{"read", "write", "close"}[i%3],
+			store.FieldThreadName: fmt.Sprintf("t%d", i%8),
+			store.FieldTimeEnter:  int64(i) * 1000,
+			store.FieldDuration:   int64(i % 997),
+		})
+	}
+	req := store.SearchRequest{
+		Query: store.Term(store.FieldSyscall, "write"),
+		Size:  1,
+		Aggs: map[string]store.Agg{
+			"timeline": {
+				DateHistogram: &store.DateHistogramAgg{Field: store.FieldTimeEnter, IntervalNS: 1_000_000},
+				Aggs:          map[string]store.Agg{"t": {Terms: &store.TermsAgg{Field: store.FieldThreadName}}},
+			},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Search("bench", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorrelation measures the file-path correlation algorithm.
+func BenchmarkCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := store.New()
+		ix := st.IndexOrCreate("bench")
+		for f := 0; f < 100; f++ {
+			tag := fmt.Sprintf("1 %d 5", f)
+			ix.Add(store.Document{
+				store.FieldSession: "s", store.FieldSyscall: "openat",
+				store.FieldFileTag: tag, store.FieldKernelPath: fmt.Sprintf("/f/%d", f),
+			})
+			for e := 0; e < 100; e++ {
+				ix.Add(store.Document{
+					store.FieldSession: "s", store.FieldSyscall: "write",
+					store.FieldFileTag: tag,
+				})
+			}
+		}
+		b.StartTimer()
+		res := store.CorrelateFilePaths(ix, "s")
+		if res.EventsUpdated == 0 {
+			b.Fatal("correlation updated nothing")
+		}
+	}
+}
+
+// BenchmarkAblationPairing compares kernel-space entry/exit aggregation
+// (DIO's design, one record per syscall) against unpaired emission (two
+// records per syscall, pairing deferred to user space).
+func BenchmarkAblationPairing(b *testing.B) {
+	run := func(b *testing.B, unpaired bool) {
+		for i := 0; i < b.N; i++ {
+			k := kernel.New(kernel.Config{
+				Clock: clock.NewVirtual(0),
+				Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+			})
+			prog := ebpf.NewProgram(ebpf.ProgramConfig{
+				RingBytes:    1 << 30,
+				EmitUnpaired: unpaired,
+			})
+			prog.Attach(k)
+			task := k.NewProcess("w").NewTask("w")
+			if err := comparators.RunWorkload(k, task, comparators.WorkloadConfig{}, 50); err != nil {
+				b.Fatal(err)
+			}
+			prog.Detach()
+			if i == 0 {
+				b.ReportMetric(float64(prog.Rings().Writes()), "ring-records")
+			}
+		}
+	}
+	b.Run("kernel-paired", func(b *testing.B) { run(b, false) })
+	b.Run("unpaired", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationBlockingRing contrasts DIO's non-blocking ring (drops
+// under pressure, no application slowdown) with a blocking back-pressure
+// ring (no loss, producer stalls) — the §I design trade-off quantified.
+func BenchmarkAblationBlockingRing(b *testing.B) {
+	run := func(b *testing.B, blocking bool) {
+		for i := 0; i < b.N; i++ {
+			ring := ebpf.NewRingBuffer(64 << 10)
+			ring.SetBlocking(blocking)
+			rec := make([]byte, 128)
+			done := make(chan struct{})
+			// Consumer drains slowly.
+			go func() {
+				defer close(done)
+				for {
+					batch := ring.ReadBatch(64)
+					if batch == nil {
+						select {
+						case <-ring.Notify():
+							continue
+						case <-time.After(50 * time.Millisecond):
+							return
+						}
+					}
+				}
+			}()
+			for j := 0; j < 50_000; j++ {
+				ring.Write(rec)
+			}
+			ring.Close()
+			<-done
+			if i == 0 {
+				b.ReportMetric(float64(ring.Drops()), "drops")
+				b.ReportMetric(float64(ring.Blocks()), "producer-stalls")
+			}
+		}
+	}
+	b.Run("non-blocking", func(b *testing.B) { run(b, false) })
+	b.Run("blocking", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationPageCache contrasts cold reads (every page from the
+// device) with warm reads served by the kernel's opt-in page cache.
+func BenchmarkAblationPageCache(b *testing.B) {
+	mk := func(cacheBytes int64) (*kernel.Kernel, *kernel.Task, int) {
+		k := kernel.New(kernel.Config{
+			Clock: clock.NewVirtual(0),
+			Disk: kernel.DiskConfig{
+				BytesPerSecond: 400 << 20,
+				PerOpLatency:   20 * time.Microsecond,
+				PageCacheBytes: cacheBytes,
+			},
+		})
+		task := k.NewProcess("w").NewTask("w")
+		fd, err := task.Open("/f", kernel.ORdwr|kernel.OCreat, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		task.Write(fd, make([]byte, 1<<20))
+		return k, task, fd
+	}
+	b.Run("no-cache", func(b *testing.B) {
+		k, task, fd := mk(0)
+		buf := make([]byte, 4096)
+		start := k.Clock().NowNS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Pread64(fd, buf, int64(i%256)*4096)
+		}
+		b.ReportMetric(float64(k.Clock().NowNS()-start)/float64(b.N), "sim-ns/read")
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		k, task, fd := mk(8 << 20)
+		buf := make([]byte, 4096)
+		start := k.Clock().NowNS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			task.Pread64(fd, buf, int64(i%256)*4096)
+		}
+		b.ReportMetric(float64(k.Clock().NowNS()-start)/float64(b.N), "sim-ns/read")
+	})
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFileConfigValid(t *testing.T) {
+	path := writeConfig(t, `{
+		"session": "s1",
+		"index": "idx",
+		"syscalls": ["openat", "read", "write"],
+		"paths": ["/var/log"],
+		"ring_bytes": 65536,
+		"num_cpu": 2,
+		"batch_size": 128,
+		"flush_interval_millis": 5,
+		"auto_correlate": true,
+		"workload": "synthetic"
+	}`)
+	fc, err := LoadFileConfig(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if fc.Session != "s1" || fc.Index != "idx" || len(fc.Syscalls) != 3 {
+		t.Fatalf("config = %+v", fc)
+	}
+	cfg, inproc, err := fc.TracerConfig()
+	if err != nil {
+		t.Fatalf("tracer config: %v", err)
+	}
+	if inproc == nil {
+		t.Fatal("expected in-process store when backend_url empty")
+	}
+	if len(cfg.Filter.Syscalls) != 3 || cfg.Filter.Syscalls[0] != kernel.SysOpenat {
+		t.Fatalf("filter = %+v", cfg.Filter)
+	}
+	if cfg.RingBytes != 65536 || cfg.NumCPU != 2 || cfg.BatchSize != 128 {
+		t.Fatalf("sizes = %+v", cfg)
+	}
+	if cfg.FlushInterval.Milliseconds() != 5 {
+		t.Fatalf("flush interval = %v", cfg.FlushInterval)
+	}
+	if len(cfg.Filter.PathPrefixes) != 1 || cfg.Filter.PathPrefixes[0] != "/var/log" {
+		t.Fatalf("paths = %v", cfg.Filter.PathPrefixes)
+	}
+}
+
+func TestLoadFileConfigRejectsUnknownSyscall(t *testing.T) {
+	path := writeConfig(t, `{"syscalls": ["clone"]}`)
+	if _, err := LoadFileConfig(path); err == nil {
+		t.Fatal("config with unsupported syscall accepted")
+	}
+}
+
+func TestLoadFileConfigRejectsBadJSON(t *testing.T) {
+	path := writeConfig(t, `{not json`)
+	if _, err := LoadFileConfig(path); err == nil {
+		t.Fatal("malformed config accepted")
+	}
+}
+
+func TestLoadFileConfigMissingFile(t *testing.T) {
+	if _, err := LoadFileConfig("/nonexistent/trace.json"); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestTracerConfigRemoteBackend(t *testing.T) {
+	fc := FileConfig{BackendURL: "http://127.0.0.1:9200"}
+	cfg, inproc, err := fc.TracerConfig()
+	if err != nil {
+		t.Fatalf("tracer config: %v", err)
+	}
+	if inproc != nil {
+		t.Fatal("in-process store created despite backend URL")
+	}
+	if cfg.Backend == nil {
+		t.Fatal("no backend client configured")
+	}
+}
+
+func TestRunWorkloadsEndToEnd(t *testing.T) {
+	for _, wl := range []string{"fluentbit-buggy", "fluentbit-fixed", "synthetic"} {
+		fc := FileConfig{Session: "t-" + wl, Workload: wl, AutoCorrelate: true}
+		if err := run(fc, false); err != nil {
+			t.Fatalf("run %s: %v", wl, err)
+		}
+	}
+	if err := run(FileConfig{Workload: "nope"}, false); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

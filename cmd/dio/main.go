@@ -1,0 +1,163 @@
+// Command dio traces a bundled workload on the simulated kernel and ships
+// the events to the analysis backend — the tracer component of the paper
+// (§II-B and §II-F). Workloads: the Fluent Bit data-loss scenario (buggy
+// and fixed), a synthetic data-intensive stream, and the RocksDB-style
+// key-value store under YCSB-A.
+//
+// Usage:
+//
+//	dio -workload fluentbit-buggy
+//	dio -workload synthetic -syscalls openat,write,close -backend http://localhost:9200
+//	dio -config trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/apps/dbbench"
+	"github.com/dsrhaslab/dio-go/internal/apps/fluentbit"
+	"github.com/dsrhaslab/dio-go/internal/apps/lsmkv"
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/comparators"
+	"github.com/dsrhaslab/dio-go/internal/core"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/viz"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON configuration file (overrides other flags)")
+		workload   = flag.String("workload", "fluentbit-buggy", "workload: fluentbit-buggy|fluentbit-fixed|synthetic|rocksdb")
+		session    = flag.String("session", "", "session name (auto-generated when empty)")
+		index      = flag.String("index", "dio-events", "backend index")
+		backend    = flag.String("backend", "", "backend URL (empty = in-process store)")
+		syscalls   = flag.String("syscalls", "", "comma-separated syscall subset (empty = all 42)")
+		paths      = flag.String("paths", "", "comma-separated path prefixes to trace")
+		correlate  = flag.Bool("correlate", true, "run file-path correlation on stop")
+		table      = flag.Bool("table", true, "print the access-pattern table (in-process backend only)")
+	)
+	flag.Parse()
+
+	fc := FileConfig{
+		Session:       *session,
+		Index:         *index,
+		BackendURL:    *backend,
+		AutoCorrelate: *correlate,
+		Workload:      *workload,
+	}
+	if *syscalls != "" {
+		fc.Syscalls = strings.Split(*syscalls, ",")
+	}
+	if *paths != "" {
+		fc.Paths = strings.Split(*paths, ",")
+	}
+	if *configPath != "" {
+		loaded, err := LoadFileConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dio:", err)
+			os.Exit(1)
+		}
+		fc = loaded
+	}
+	if err := run(fc, *table); err != nil {
+		fmt.Fprintln(os.Stderr, "dio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fc FileConfig, printTable bool) error {
+	cfg, inproc, err := fc.TracerConfig()
+	if err != nil {
+		return err
+	}
+	k := kernel.New(kernel.Config{
+		Clock: clock.NewVirtualTicking(kernel.BaseTimestampNS, 200*time.Microsecond),
+	})
+	if fc.Workload == "rocksdb" {
+		// The KVS workload needs real concurrency; use a real-time clock.
+		k = kernel.New(kernel.Config{Clock: clock.NewReal(0)})
+	}
+
+	tracer, err := core.NewTracer(cfg)
+	if err != nil {
+		return err
+	}
+	if err := tracer.Start(k); err != nil {
+		return err
+	}
+	fmt.Printf("dio: session %q tracing workload %q\n", tracer.Session(), fc.Workload)
+
+	if err := runWorkload(k, fc.Workload); err != nil {
+		tracer.Stop()
+		return fmt.Errorf("workload: %w", err)
+	}
+
+	stats, err := tracer.Stop()
+	if err != nil {
+		return fmt.Errorf("stop tracer: %w", err)
+	}
+	fmt.Printf("captured=%d filtered=%d dropped=%d shipped=%d\n",
+		stats.Captured, stats.Filtered, stats.Dropped, stats.Shipped)
+	if cfg.AutoCorrelate {
+		fmt.Printf("correlation: %d tags resolved, %d events updated, %d unresolved\n",
+			stats.Correlation.TagsResolved, stats.Correlation.EventsUpdated,
+			stats.Correlation.EventsUnresolved)
+	}
+
+	if printTable && inproc != nil {
+		tbl, verr := viz.AccessPatternTable(inproc, tracer.Index(), tracer.Session())
+		if verr != nil {
+			return verr
+		}
+		if len(tbl.Rows) > 40 {
+			tbl.Rows = tbl.Rows[:40]
+			tbl.Title += " (first 40 rows)"
+		}
+		return tbl.Render(os.Stdout)
+	}
+	return nil
+}
+
+func runWorkload(k *kernel.Kernel, name string) error {
+	switch name {
+	case "fluentbit-buggy":
+		res, err := fluentbit.RunScenario(k, "/var/log", fluentbit.VersionBuggy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fluent-bit %s: lost %d bytes\n", res.Version, res.LostBytes)
+		return nil
+	case "fluentbit-fixed":
+		res, err := fluentbit.RunScenario(k, "/var/log", fluentbit.VersionFixed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fluent-bit %s: lost %d bytes\n", res.Version, res.LostBytes)
+		return nil
+	case "synthetic":
+		task := k.NewProcess("synthetic").NewTask("synthetic")
+		return comparators.RunWorkload(k, task, comparators.WorkloadConfig{}, 50)
+	case "rocksdb":
+		db, err := lsmkv.Open(k, lsmkv.Config{Dir: "/db"})
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		cfg := dbbench.Config{Duration: time.Second, PreloadKeys: 2000, KeyCount: 2000}
+		if err := dbbench.Preload(db, cfg); err != nil {
+			return err
+		}
+		res, err := dbbench.Run(k, db, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("db_bench: %d ops, p99 %.2fms\n", res.Ops, res.Summary.P99/1e6)
+		return nil
+	default:
+		return fmt.Errorf("unknown workload %q", name)
+	}
+}

@@ -1,0 +1,39 @@
+// Command diod runs DIO's analysis backend as a standalone HTTP server —
+// the role Elasticsearch plays in the paper's deployment (§II-F): tracers
+// on other machines ship events to it with the bulk API, and visualizers
+// query it.
+//
+// Usage:
+//
+//	diod -addr :9200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":9200", "listen address")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string) error {
+	st := store.New()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           store.NewServer(st),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("diod: analysis backend listening on %s\n", addr)
+	fmt.Println("endpoints: POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices")
+	return srv.ListenAndServe()
+}

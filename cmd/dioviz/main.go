@@ -1,0 +1,110 @@
+// Command dioviz queries a DIO analysis backend (a diod server) and renders
+// the predefined dashboards — the visualizer component of the paper
+// (§II-D): tabular access patterns, per-syscall histograms, and per-thread
+// syscall timelines.
+//
+// Usage:
+//
+//	dioviz -backend http://localhost:9200 -index dio-events -session s1 -view table
+//	dioviz -backend http://localhost:9200 -index dio-events -session s1 -view timeline -interval 100ms
+//	dioviz -backend http://localhost:9200 -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/analysis"
+	"github.com/dsrhaslab/dio-go/internal/diagnose"
+	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/viz"
+)
+
+func main() {
+	var (
+		backend  = flag.String("backend", "http://127.0.0.1:9200", "backend URL")
+		index    = flag.String("index", "dio-events", "index to query")
+		session  = flag.String("session", "", "session name")
+		view     = flag.String("view", "table", "view: table|histogram|timeline|heatmap|html|diagnose|compare")
+		interval = flag.Duration("interval", 100*time.Millisecond, "timeline bucket width")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text")
+		list     = flag.Bool("list", false, "list indices and exit")
+		session2 = flag.String("session2", "", "second session for -view compare")
+	)
+	flag.Parse()
+	if err := run(*backend, *index, *session, *session2, *view, *interval, *csv, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "dioviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(backendURL, index, session, session2, view string, interval time.Duration, csv, list bool) error {
+	client := store.NewClient(backendURL)
+	if list {
+		names, err := client.Indices()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if session == "" {
+		return fmt.Errorf("-session is required (use -list to discover indices)")
+	}
+	switch view {
+	case "table":
+		t, err := viz.AccessPatternTable(client, index, session)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return t.RenderCSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	case "histogram":
+		h, err := viz.SyscallHistogram(client, index, session)
+		if err != nil {
+			return err
+		}
+		return h.Render(os.Stdout)
+	case "timeline":
+		ts, err := viz.SyscallTimeline(client, index, session, interval.Nanoseconds())
+		if err != nil {
+			return err
+		}
+		if csv {
+			return ts.RenderCSV(os.Stdout)
+		}
+		return ts.Render(os.Stdout)
+	case "heatmap":
+		ts, err := viz.SyscallTimeline(client, index, session, interval.Nanoseconds())
+		if err != nil {
+			return err
+		}
+		return viz.HeatmapFromTimeSeries(ts).Render(os.Stdout)
+	case "html":
+		return viz.HTMLDashboard(os.Stdout, client, index, session, interval.Nanoseconds())
+	case "diagnose":
+		rep, err := diagnose.Run(client, index, session, diagnose.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		return nil
+	case "compare":
+		if session2 == "" {
+			return fmt.Errorf("-view compare requires -session2")
+		}
+		deltas, err := analysis.CompareSessions(client, index, session, session2)
+		if err != nil {
+			return err
+		}
+		return analysis.RenderComparison(deltas, session, session2).Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown view %q", view)
+	}
+}

@@ -1,0 +1,90 @@
+package dio_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	dio "github.com/dsrhaslab/dio-go"
+)
+
+// TestPublicAPIEndToEnd exercises the library exactly as the package
+// documentation advertises: simulated kernel, traced workload, backend
+// queries, correlation, and visualization — all through the public facade.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	k := dio.NewVirtualKernel()
+	if err := k.MkdirAll("/tmp"); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	backend := dio.NewStore()
+	tracer, err := dio.NewTracer(dio.TracerConfig{
+		SessionName:   "api-demo",
+		Backend:       backend,
+		AutoCorrelate: true,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("new tracer: %v", err)
+	}
+	if err := tracer.Start(k); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+
+	task := k.NewProcess("app").NewTask("app")
+	fd, err := task.Openat(dio.AtFDCWD, "/tmp/file", dio.OWronly|dio.OCreat, 0o644)
+	if err != nil {
+		t.Fatalf("openat: %v", err)
+	}
+	task.Write(fd, []byte("hello"))
+	task.Close(fd)
+
+	stats, err := tracer.Stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if stats.Shipped != 3 {
+		t.Fatalf("shipped = %d", stats.Shipped)
+	}
+
+	table, err := dio.AccessPatternTable(backend, tracer.Index(), tracer.Session())
+	if err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	out := table.String()
+	for _, want := range []string{"openat", "write", "close", "app"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	hist, err := dio.SyscallHistogram(backend, tracer.Index(), tracer.Session())
+	if err != nil || len(hist.Labels) != 3 {
+		t.Fatalf("histogram = (%v, %v)", hist, err)
+	}
+	ts, err := dio.SyscallTimeline(backend, tracer.Index(), tracer.Session(), int64(time.Millisecond))
+	if err != nil || len(ts.Series) == 0 {
+		t.Fatalf("timeline = (%v, %v)", ts, err)
+	}
+}
+
+func TestAllSyscallsExposed(t *testing.T) {
+	if got := len(dio.AllSyscalls()); got != dio.NumSyscalls || dio.NumSyscalls != 42 {
+		t.Fatalf("AllSyscalls = %d", got)
+	}
+	if s, ok := dio.SyscallByName("openat"); !ok || s.String() != "openat" {
+		t.Fatalf("SyscallByName = (%v, %v)", s, ok)
+	}
+}
+
+func TestRemoteBackendFacade(t *testing.T) {
+	st := dio.NewStore()
+	// The server facade compiles into an http.Handler; spot-check wiring
+	// through the client against a live listener elsewhere (store tests);
+	// here just ensure construction works.
+	if srv := dio.NewServer(st); srv == nil {
+		t.Fatal("nil server")
+	}
+	if c := dio.NewClient("http://127.0.0.1:1"); c == nil {
+		t.Fatal("nil client")
+	}
+}

@@ -1,0 +1,126 @@
+// RocksDB tail-latency contention (paper §III-C, Figures 3 and 4): find the
+// root cause of client latency spikes without instrumenting the store.
+//
+// The example opens an LSM key-value store (1 flush thread, 7 compaction
+// threads) on a shared simulated disk, runs 8 closed-loop YCSB-A client
+// threads against it, and traces the database process with DIO capturing
+// only open/read/write/close. It then prints:
+//
+//   - the Fig. 3 view: p99 client latency per 100ms window, and
+//   - the Fig. 4 view: syscalls per window aggregated by thread name,
+//
+// and correlates the two: windows where many rocksdb:lowX threads issue
+// I/O are the windows where client p99 spikes — the SILK phenomenon.
+//
+// Run with:
+//
+//	go run ./examples/rocksdb-contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	dio "github.com/dsrhaslab/dio-go"
+	"github.com/dsrhaslab/dio-go/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A modest shared disk: foreground requests are small, compaction
+	// streams are large — the contention mechanism of the paper.
+	k := dio.NewKernel(dio.KernelConfig{
+		Disk: dio.DiskConfig{
+			BytesPerSecond: 50 << 20,
+			PerOpLatency:   20 * time.Microsecond,
+		},
+	})
+
+	db, err := workloads.OpenLSM(k, workloads.LSMConfig{
+		Dir:               "/db",
+		MemtableBytes:     96 << 10,
+		L0CompactTrigger:  4,
+		LevelBaseBytes:    256 << 10,
+		TargetFileBytes:   128 << 10,
+		CompactionThreads: 7,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	benchCfg := workloads.DBBenchConfig{
+		Clients:     8,
+		Duration:    2 * time.Second,
+		KeyCount:    5000,
+		ValueBytes:  512,
+		PreloadKeys: 5000,
+	}
+	if err := workloads.DBBenchPreload(db, benchCfg); err != nil {
+		return err
+	}
+
+	backend := dio.NewStore()
+	var syscalls []dio.Syscall
+	for _, name := range []string{"open", "openat", "read", "pread64", "write", "pwrite64", "close"} {
+		s, _ := dio.SyscallByName(name)
+		syscalls = append(syscalls, s)
+	}
+	tracer, err := dio.NewTracer(dio.TracerConfig{
+		SessionName: "rocksdb-contention",
+		Backend:     backend,
+		Filter: dio.Filter{
+			Syscalls: syscalls,
+			PIDs:     []int{db.Process().PID()},
+		},
+		NumCPU:        4,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := tracer.Start(k); err != nil {
+		return err
+	}
+
+	fmt.Println("running db_bench (8 clients, YCSB-A) under DIO tracing...")
+	res, err := workloads.RunDBBench(k, db, benchCfg)
+	if err != nil {
+		return err
+	}
+	stats, err := tracer.Stop()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%d ops in %v (%.0f ops/s); overall p99 %.2fms\n",
+		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Summary.P99/1e6)
+	fmt.Printf("background work: %d flushes, %d compactions (%d at L0)\n",
+		res.DBStats.Flushes, res.DBStats.Compactions, res.DBStats.L0Compactions)
+	fmt.Printf("tracer: %d events captured, %d dropped (%.2f%%)\n\n",
+		stats.Captured, stats.Dropped, stats.DropFraction()*100)
+
+	// Fig. 3: p99 latency per window.
+	fmt.Println("Fig. 3 — 99th percentile client latency per 100ms window:")
+	for _, p := range res.Recorder.Series() {
+		bar := strings.Repeat("#", int(p.P99/1e6))
+		fmt.Printf("  t=%5dms p99=%7.2fms %s\n", (p.StartNS-res.StartNS)/1e6, p.P99/1e6, bar)
+	}
+
+	// Fig. 4: syscalls over time by thread name.
+	timeline, err := dio.SyscallTimeline(backend, tracer.Index(), tracer.Session(),
+		int64(100*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFig. 4 — syscalls per window by thread (sparklines):")
+	return timeline.Render(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module github.com/dsrhaslab/dio-go
+
+go 1.22

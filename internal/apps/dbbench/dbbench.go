@@ -1,0 +1,267 @@
+// Package dbbench reimplements the slice of RocksDB's db_bench used by the
+// paper's §III-C evaluation: N client threads issue a closed-loop mixture
+// of reads and updates (YCSB workload A is a 50/50 mix) against the LSM
+// store, while the benchmark records per-operation latency into windowed
+// percentiles — the series behind Fig. 3.
+package dbbench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/apps/lsmkv"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/metrics"
+)
+
+// Mix shapes the operation mixture of a run, db_bench-style.
+type Mix struct {
+	// Name labels the mixture in reports.
+	Name string
+	// ReadFraction is the share of point reads.
+	ReadFraction float64
+	// ScanFraction is the share of range scans.
+	ScanFraction float64
+	// ScanLength bounds each scan's key range (number of sequential keys).
+	ScanLength int
+	// SequentialKeys makes writers use an ascending key sequence (fillseq)
+	// instead of uniform-random keys.
+	SequentialKeys bool
+	// Zipfian skews key popularity (YCSB's default request distribution);
+	// false selects uniform keys.
+	Zipfian bool
+}
+
+// Standard mixtures, mirroring db_bench's workload presets and the YCSB
+// mixes the paper references.
+var (
+	// MixYCSBA is the paper's workload: 50% reads, 50% updates.
+	MixYCSBA = Mix{Name: "ycsb-a", ReadFraction: 0.5}
+	// MixYCSBB is read-heavy: 95% reads, 5% updates.
+	MixYCSBB = Mix{Name: "ycsb-b", ReadFraction: 0.95}
+	// MixYCSBE is scan-heavy: 95% short scans, 5% inserts.
+	MixYCSBE = Mix{Name: "ycsb-e", ScanFraction: 0.95, ScanLength: 50}
+	// MixFillSeq is a pure sequential load phase.
+	MixFillSeq = Mix{Name: "fillseq", SequentialKeys: true}
+	// MixReadRandom is a pure uniform point-read workload.
+	MixReadRandom = Mix{Name: "readrandom", ReadFraction: 1.0}
+)
+
+// Config parametrizes a benchmark run.
+type Config struct {
+	// Mix selects the operation mixture; the zero value selects YCSB-A
+	// unless ReadFraction is set (kept for backward compatibility).
+	Mix Mix
+	// Clients is the number of closed-loop client threads (paper: 8).
+	Clients int
+	// OpsPerClient bounds the run by operation count; 0 means use Duration.
+	OpsPerClient int
+	// Duration bounds the run by wall time when OpsPerClient is 0.
+	Duration time.Duration
+	// KeyCount is the key-space size.
+	KeyCount int
+	// ValueBytes is the value size for updates.
+	ValueBytes int
+	// ReadFraction is the share of reads (YCSB-A: 0.5).
+	ReadFraction float64
+	// PreloadKeys loads this many keys before the timed phase.
+	PreloadKeys int
+	// WindowNS is the latency-series window width (default 100ms).
+	WindowNS int64
+	// Seed makes the key sequence reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.KeyCount <= 0 {
+		c.KeyCount = 10_000
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 512
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = MixYCSBA
+		if c.ReadFraction > 0 {
+			c.Mix.ReadFraction = c.ReadFraction
+			c.Mix.Name = "custom"
+		}
+	}
+	if c.Mix.ScanFraction > 0 && c.Mix.ScanLength <= 0 {
+		c.Mix.ScanLength = 50
+	}
+	if c.WindowNS <= 0 {
+		c.WindowNS = int64(100 * time.Millisecond)
+	}
+	if c.OpsPerClient <= 0 && c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	// MixName labels the operation mixture that ran.
+	MixName string
+	// StartNS is the kernel timestamp at which the timed phase began; the
+	// latency recorder's windows use the same absolute axis as traced
+	// events, so the two views join directly (Fig. 3 vs Fig. 4).
+	StartNS  int64
+	Ops      uint64
+	Reads    uint64
+	Writes   uint64
+	Scans    uint64
+	Misses   uint64
+	Elapsed  time.Duration
+	Recorder *metrics.WindowedRecorder
+	Summary  metrics.Summary
+	DBStats  lsmkv.Stats
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Key formats the i-th key the way db_bench does.
+func Key(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// Preload fills the store with cfg.PreloadKeys sequential keys (untimed).
+func Preload(db *lsmkv.DB, cfg Config) error {
+	cfg = cfg.withDefaults()
+	task := db.NewClientTask("db_bench")
+	val := make([]byte, cfg.ValueBytes)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.PreloadKeys; i++ {
+		rng.Read(val)
+		if err := db.Put(task, Key(i%cfg.KeyCount), val); err != nil {
+			return fmt.Errorf("preload put %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the timed benchmark phase against db on kernel k.
+func Run(k *kernel.Kernel, db *lsmkv.DB, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if db == nil {
+		return Result{}, errors.New("dbbench: nil db")
+	}
+	rec := metrics.NewWindowedRecorder(cfg.WindowNS)
+	clk := k.Clock()
+
+	var (
+		ops, reads, writes, scans, misses atomic.Uint64
+		wg                                sync.WaitGroup
+		errMu                             sync.Mutex
+		firstErr                          error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	startNS := clk.NowNS()
+	deadlineNS := int64(0)
+	if cfg.OpsPerClient <= 0 {
+		deadlineNS = startNS + cfg.Duration.Nanoseconds()
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			task := db.NewClientTask("db_bench")
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			var zipf *rand.Zipf
+			if cfg.Mix.Zipfian {
+				zipf = rand.NewZipf(rng, 1.1, 8, uint64(cfg.KeyCount-1))
+			}
+			val := make([]byte, cfg.ValueBytes)
+			for i := 0; ; i++ {
+				if cfg.OpsPerClient > 0 {
+					if i >= cfg.OpsPerClient {
+						return
+					}
+				} else if clk.NowNS() >= deadlineNS {
+					return
+				}
+				keyIdx := rng.Intn(cfg.KeyCount)
+				switch {
+				case cfg.Mix.SequentialKeys:
+					keyIdx = (c*cfg.KeyCount/cfg.Clients + i) % cfg.KeyCount
+				case zipf != nil:
+					keyIdx = int(zipf.Uint64())
+				}
+				key := Key(keyIdx)
+				t0 := clk.NowNS()
+				r := rng.Float64()
+				switch {
+				case r < cfg.Mix.ReadFraction:
+					_, ok, err := db.Get(task, key)
+					if err != nil {
+						setErr(err)
+						return
+					}
+					if !ok {
+						misses.Add(1)
+					}
+					reads.Add(1)
+				case r < cfg.Mix.ReadFraction+cfg.Mix.ScanFraction:
+					end := Key(keyIdx + cfg.Mix.ScanLength)
+					it, err := db.Scan(task, key, end)
+					if err != nil {
+						setErr(err)
+						return
+					}
+					if it.Len() == 0 {
+						misses.Add(1)
+					}
+					scans.Add(1)
+				default:
+					rng.Read(val)
+					if err := db.Put(task, key, val); err != nil {
+						setErr(err)
+						return
+					}
+					writes.Add(1)
+				}
+				t1 := clk.NowNS()
+				rec.Record(t0, float64(t1-t0))
+				ops.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Duration(clk.NowNS() - startNS)
+
+	res := Result{
+		MixName:  cfg.Mix.Name,
+		StartNS:  startNS,
+		Ops:      ops.Load(),
+		Reads:    reads.Load(),
+		Writes:   writes.Load(),
+		Scans:    scans.Load(),
+		Misses:   misses.Load(),
+		Elapsed:  elapsed,
+		Recorder: rec,
+		Summary:  metrics.Summarize(rec.AllValues()),
+		DBStats:  db.Stats(),
+	}
+	return res, firstErr
+}

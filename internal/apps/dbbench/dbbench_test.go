@@ -1,0 +1,239 @@
+package dbbench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/apps/lsmkv"
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+func benchKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	return kernel.New(kernel.Config{
+		Clock: clock.NewReal(0),
+		Disk:  kernel.DiskConfig{BytesPerSecond: 4 << 30, PerOpLatency: 2 * time.Microsecond},
+	})
+}
+
+func TestKeyFormat(t *testing.T) {
+	if got := Key(7); got != "user000000000007" {
+		t.Fatalf("Key(7) = %q", got)
+	}
+	if len(Key(0)) != len(Key(999_999)) {
+		t.Fatal("keys are not fixed width")
+	}
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	k := benchKernel(t)
+	db, err := lsmkv.Open(k, lsmkv.Config{Dir: "/db", MemtableBytes: 64 << 10, CompactionThreads: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+
+	cfg := Config{
+		Clients:      4,
+		OpsPerClient: 500,
+		KeyCount:     2_000,
+		ValueBytes:   128,
+		PreloadKeys:  2_000,
+	}
+	if err := Preload(db, cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := Run(k, db, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("ops = %d, want 2000", res.Ops)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("mix = %d reads / %d writes", res.Reads, res.Writes)
+	}
+	// 50/50 mix within generous tolerance.
+	frac := float64(res.Reads) / float64(res.Ops)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("read fraction = %v", frac)
+	}
+	// Preloaded key space: no misses expected.
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d", res.Misses)
+	}
+	if res.Summary.Count != int(res.Ops) {
+		t.Fatalf("latency samples = %d", res.Summary.Count)
+	}
+	if res.Summary.P99 <= 0 {
+		t.Fatalf("p99 = %v", res.Summary.P99)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not positive")
+	}
+}
+
+func TestRunDurationBound(t *testing.T) {
+	k := benchKernel(t)
+	db, err := lsmkv.Open(k, lsmkv.Config{Dir: "/db", CompactionThreads: 1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	cfg := Config{
+		Clients:     2,
+		Duration:    100 * time.Millisecond,
+		KeyCount:    500,
+		ValueBytes:  64,
+		PreloadKeys: 500,
+	}
+	if err := Preload(db, cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := Run(k, db, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Elapsed < 100*time.Millisecond || res.Elapsed > 5*time.Second {
+		t.Fatalf("elapsed = %v", res.Elapsed)
+	}
+	// The recorder produced at least one window.
+	if len(res.Recorder.Series()) == 0 {
+		t.Fatal("no latency windows")
+	}
+}
+
+func TestRunNilDB(t *testing.T) {
+	k := benchKernel(t)
+	if _, err := Run(k, nil, Config{}); err == nil {
+		t.Fatal("Run with nil db succeeded")
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	mix := func(seed int64) (uint64, uint64) {
+		k := benchKernel(t)
+		db, _ := lsmkv.Open(k, lsmkv.Config{Dir: "/db"})
+		defer db.Close()
+		cfg := Config{Clients: 1, OpsPerClient: 200, KeyCount: 100, PreloadKeys: 100, Seed: seed}
+		Preload(db, cfg)
+		res, err := Run(k, db, cfg)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res.Reads, res.Writes
+	}
+	r1, w1 := mix(7)
+	r2, w2 := mix(7)
+	if r1 != r2 || w1 != w2 {
+		t.Fatalf("same seed differs: %d/%d vs %d/%d", r1, w1, r2, w2)
+	}
+}
+
+func TestMixFillSeq(t *testing.T) {
+	k := benchKernel(t)
+	db, err := lsmkv.Open(k, lsmkv.Config{Dir: "/db", MemtableBytes: 32 << 10})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	cfg := Config{Mix: MixFillSeq, Clients: 2, OpsPerClient: 300, KeyCount: 600}
+	res, err := Run(k, db, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.MixName != "fillseq" {
+		t.Fatalf("mix = %q", res.MixName)
+	}
+	if res.Writes != 600 || res.Reads != 0 || res.Scans != 0 {
+		t.Fatalf("mix counts = %d/%d/%d", res.Reads, res.Writes, res.Scans)
+	}
+	// Every written key is readable.
+	task := db.NewClientTask("check")
+	for i := 0; i < 600; i += 50 {
+		if _, ok, err := db.Get(task, Key(i)); !ok || err != nil {
+			t.Fatalf("fillseq key %d missing (%v)", i, err)
+		}
+	}
+}
+
+func TestMixReadRandomAllReads(t *testing.T) {
+	k := benchKernel(t)
+	db, _ := lsmkv.Open(k, lsmkv.Config{Dir: "/db"})
+	defer db.Close()
+	cfg := Config{Mix: MixReadRandom, Clients: 2, OpsPerClient: 100, KeyCount: 100, PreloadKeys: 100}
+	if err := Preload(db, cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := Run(k, db, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Reads != 200 || res.Writes != 0 || res.Misses != 0 {
+		t.Fatalf("readrandom counts = %+v", res)
+	}
+}
+
+func TestMixYCSBEScans(t *testing.T) {
+	k := benchKernel(t)
+	db, _ := lsmkv.Open(k, lsmkv.Config{Dir: "/db", MemtableBytes: 32 << 10})
+	defer db.Close()
+	cfg := Config{Mix: MixYCSBE, Clients: 2, OpsPerClient: 100, KeyCount: 1000, PreloadKeys: 1000, ValueBytes: 64}
+	if err := Preload(db, cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := Run(k, db, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Scans == 0 {
+		t.Fatal("no scans in YCSB-E run")
+	}
+	frac := float64(res.Scans) / float64(res.Ops)
+	if frac < 0.85 {
+		t.Fatalf("scan fraction = %v, want ~0.95", frac)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("scan misses = %d", res.Misses)
+	}
+}
+
+func TestZipfianSkewsKeyPopularity(t *testing.T) {
+	k := benchKernel(t)
+	db, _ := lsmkv.Open(k, lsmkv.Config{Dir: "/db"})
+	defer db.Close()
+	mix := MixYCSBA
+	mix.Zipfian = true
+	cfg := Config{Mix: mix, Clients: 1, OpsPerClient: 2000, KeyCount: 1000, PreloadKeys: 1000, ValueBytes: 32}
+	if err := Preload(db, cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := Run(k, db, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Ops != 2000 || res.Misses != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// With zipf skew the hottest key must be requested far more often than
+	// uniform (2000/1000 = 2 expected); we can't observe keys directly, but
+	// determinism lets us just assert the run completed; the distribution
+	// property is checked below on the generator itself.
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.1, 8, 999)
+	counts := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		counts[zipf.Uint64()]++
+	}
+	if counts[0] < 100 { // uniform would give ~10
+		t.Fatalf("zipf head count = %d, want heavily skewed", counts[0])
+	}
+}

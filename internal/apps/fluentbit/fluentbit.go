@@ -1,0 +1,292 @@
+// Package fluentbit reimplements the slice of Fluent Bit exercised by the
+// paper's §III-B use case: the tail input plugin that follows a log file
+// and forwards newly appended content. Two behaviours are provided:
+//
+//   - VersionBuggy mirrors v1.4.0 (issues #1875/#4895): the plugin keeps a
+//     per-file offset database keyed by file name plus inode number and
+//     never deletes entries when files are removed. When the OS reuses the
+//     inode number for a recreated file of the same name, the plugin resumes
+//     reading at the stale offset — past EOF — and the new content is lost.
+//   - VersionFixed mirrors v2.0.5: stale database entries are invalidated
+//     (removed when the tracked file disappears, and offsets are validated
+//     against the current file size), so reads restart at offset 0.
+//
+// The forwarder performs all I/O through the simulated kernel, so DIO can
+// trace the exact erroneous and corrected access patterns of Fig. 2.
+package fluentbit
+
+import (
+	"fmt"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// Version selects the plugin behaviour.
+type Version int
+
+// Supported forwarder versions.
+const (
+	// VersionBuggy reproduces Fluent Bit v1.4.0 (data loss on inode reuse).
+	VersionBuggy Version = iota + 1
+	// VersionFixed reproduces Fluent Bit v2.0.5 (stale offsets invalidated).
+	VersionFixed
+)
+
+// String returns the Fluent Bit release the behaviour mirrors.
+func (v Version) String() string {
+	switch v {
+	case VersionBuggy:
+		return "v1.4.0"
+	case VersionFixed:
+		return "v2.0.5"
+	default:
+		return "unknown"
+	}
+}
+
+// dbKey identifies a tracked file the way Fluent Bit's database does: by
+// name plus inode number — the root cause of the bug, since the pair is not
+// unique across delete/recreate cycles.
+type dbKey struct {
+	name string
+	ino  uint64
+}
+
+// Forwarder is the tail input plugin: it follows one log file and forwards
+// new bytes to an in-memory sink.
+type Forwarder struct {
+	task    *kernel.Task
+	path    string
+	version Version
+
+	offsets map[dbKey]int64
+
+	fd      int
+	fdOpen  bool
+	curKey  dbKey
+	curIno  uint64
+	deliver []byte // all bytes forwarded so far
+	readBuf []byte
+}
+
+// NewForwarder creates a tail forwarder running on task, following path.
+func NewForwarder(task *kernel.Task, path string, version Version) *Forwarder {
+	return &Forwarder{
+		task:    task,
+		path:    path,
+		version: version,
+		offsets: make(map[dbKey]int64),
+		fd:      -1,
+		readBuf: make([]byte, 4096),
+	}
+}
+
+// Received returns a copy of all bytes the forwarder has delivered.
+func (f *Forwarder) Received() []byte {
+	out := make([]byte, len(f.deliver))
+	copy(out, f.deliver)
+	return out
+}
+
+// Poll performs one tail iteration: detect file churn, open the file if
+// needed, seek to the recorded offset, and read new content.
+func (f *Forwarder) Poll() error {
+	st, err := f.task.Stat(f.path)
+	if err == kernel.ENOENT {
+		// Tracked file disappeared: release the descriptor. The buggy
+		// version keeps the offsets database entry; the fixed version
+		// forgets the file entirely.
+		if f.fdOpen {
+			if cerr := f.task.Close(f.fd); cerr != nil {
+				return fmt.Errorf("close removed file: %w", cerr)
+			}
+			f.fdOpen = false
+			if f.version == VersionFixed {
+				delete(f.offsets, f.curKey)
+			}
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("stat %s: %w", f.path, err)
+	}
+
+	if f.fdOpen && st.Ino != f.curIno {
+		// Rotation to a different inode: reopen below.
+		if cerr := f.task.Close(f.fd); cerr != nil {
+			return fmt.Errorf("close rotated file: %w", cerr)
+		}
+		f.fdOpen = false
+		if f.version == VersionFixed {
+			delete(f.offsets, f.curKey)
+		}
+	}
+
+	if !f.fdOpen {
+		fd, oerr := f.task.Openat(kernel.AtFDCWD, f.path, kernel.ORdonly, 0)
+		if oerr != nil {
+			return fmt.Errorf("open %s: %w", f.path, oerr)
+		}
+		f.fd = fd
+		f.fdOpen = true
+		f.curIno = st.Ino
+		f.curKey = dbKey{name: f.path, ino: st.Ino}
+
+		off := f.offsets[f.curKey]
+		if f.version == VersionFixed && off > st.Size {
+			// v2.0.5: a recorded offset beyond EOF means the file was
+			// replaced; restart from the beginning.
+			off = 0
+			f.offsets[f.curKey] = 0
+		}
+		if off > 0 {
+			// Resume where the database says we stopped — for v1.4.0 this
+			// is the erroneous lseek past EOF of Fig. 2a step 5.
+			if _, serr := f.task.Lseek(f.fd, off, kernel.SeekSet); serr != nil {
+				return fmt.Errorf("seek %s: %w", f.path, serr)
+			}
+		}
+	}
+
+	// Read until EOF, forwarding every byte.
+	for {
+		n, rerr := f.task.Read(f.fd, f.readBuf)
+		if rerr != nil {
+			return fmt.Errorf("read %s: %w", f.path, rerr)
+		}
+		if n == 0 {
+			return nil
+		}
+		f.deliver = append(f.deliver, f.readBuf[:n]...)
+		f.offsets[f.curKey] += int64(n)
+	}
+}
+
+// Shutdown closes any open descriptor.
+func (f *Forwarder) Shutdown() error {
+	if !f.fdOpen {
+		return nil
+	}
+	f.fdOpen = false
+	return f.task.Close(f.fd)
+}
+
+// LogWriter is the client program ("app") that generates the log file churn
+// of issue #1875: write a file, remove it, and recreate it under the same
+// name (receiving the recycled inode number).
+type LogWriter struct {
+	task *kernel.Task
+	path string
+}
+
+// NewLogWriter creates a log writer on task for path.
+func NewLogWriter(task *kernel.Task, path string) *LogWriter {
+	return &LogWriter{task: task, path: path}
+}
+
+// WriteFile creates (or truncates) the log file and writes data.
+func (w *LogWriter) WriteFile(data []byte) error {
+	fd, err := w.task.Openat(kernel.AtFDCWD, w.path, kernel.OWronly|kernel.OCreat, 0o644)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", w.path, err)
+	}
+	if _, err := w.task.Write(fd, data); err != nil {
+		w.task.Close(fd)
+		return fmt.Errorf("write %s: %w", w.path, err)
+	}
+	if err := w.task.Close(fd); err != nil {
+		return fmt.Errorf("close %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Remove unlinks the log file.
+func (w *LogWriter) Remove() error {
+	if err := w.task.Unlink(w.path); err != nil {
+		return fmt.Errorf("unlink %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// ScenarioResult captures the outcome of one data-loss scenario run.
+type ScenarioResult struct {
+	Version Version
+	// FirstWrite and SecondWrite are the bytes the client wrote.
+	FirstWrite  []byte
+	SecondWrite []byte
+	// Received is everything the forwarder delivered.
+	Received []byte
+	// LostBytes is how many of the second write's bytes never arrived.
+	LostBytes int
+}
+
+// DataLost reports whether any log content was lost.
+func (r ScenarioResult) DataLost() bool { return r.LostBytes > 0 }
+
+// RunScenario executes the issue #1875 reproduction against a kernel:
+//
+//  1. app creates app.log and writes 26 bytes            (Fig. 2 step 1)
+//  2. fluent-bit reads the 26 bytes                      (step 2)
+//  3. app unlinks the file; fluent-bit closes it         (step 3)
+//  4. app recreates app.log (inode reused), writes 16 B  (step 4)
+//  5. fluent-bit reads the new file                      (step 5: offset 26
+//     and data loss for VersionBuggy; offset 0 for VersionFixed)
+//
+// The forwarder process is named after the version the paper traced:
+// "fluent-bit" for v1.4.0 and "flb-pipeline" for v2.0.5.
+func RunScenario(k *kernel.Kernel, dir string, version Version) (ScenarioResult, error) {
+	procName := "fluent-bit"
+	if version == VersionFixed {
+		procName = "flb-pipeline"
+	}
+	appTask := k.NewProcess("app").NewTask("app")
+	flbTask := k.NewProcess(procName).NewTask(procName)
+
+	if err := k.MkdirAll(dir); err != nil {
+		return ScenarioResult{}, fmt.Errorf("mkdir %s: %w", dir, err)
+	}
+	path := dir + "/app.log"
+	res := ScenarioResult{
+		Version:     version,
+		FirstWrite:  []byte("log entry one - 26 bytes.\n"),
+		SecondWrite: []byte("second file 16b\n"),
+	}
+	if len(res.FirstWrite) != 26 || len(res.SecondWrite) != 16 {
+		return res, fmt.Errorf("scenario fixture sizes wrong: %d/%d", len(res.FirstWrite), len(res.SecondWrite))
+	}
+
+	writer := NewLogWriter(appTask, path)
+	fwd := NewForwarder(flbTask, path, version)
+
+	// Step 1: app writes the first file.
+	if err := writer.WriteFile(res.FirstWrite); err != nil {
+		return res, err
+	}
+	// Step 2: fluent-bit picks up the content.
+	if err := fwd.Poll(); err != nil {
+		return res, err
+	}
+	// Step 3: app removes the file; fluent-bit notices on its next poll.
+	if err := writer.Remove(); err != nil {
+		return res, err
+	}
+	if err := fwd.Poll(); err != nil {
+		return res, err
+	}
+	// Step 4: app recreates the file; the kernel recycles the inode number.
+	if err := writer.WriteFile(res.SecondWrite); err != nil {
+		return res, err
+	}
+	// Step 5: fluent-bit reads the recreated file.
+	if err := fwd.Poll(); err != nil {
+		return res, err
+	}
+	if err := fwd.Shutdown(); err != nil {
+		return res, err
+	}
+
+	res.Received = fwd.Received()
+	expected := len(res.FirstWrite) + len(res.SecondWrite)
+	res.LostBytes = expected - len(res.Received)
+	return res, nil
+}

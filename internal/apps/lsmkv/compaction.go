@@ -1,0 +1,264 @@
+package lsmkv
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// compactionJob describes one unit of background merge work: inputs from
+// level plus the overlapping tables of level+1, merged and written into
+// level+1.
+type compactionJob struct {
+	level    int
+	inputs   []*SSTable // from job.level (for L0: every L0 table)
+	overlaps []*SSTable // from job.level+1
+}
+
+func (j *compactionJob) isL0() bool { return j.level == 0 }
+
+// targetBytes returns the size target of level n (n >= 1).
+func (db *DB) targetBytes(n int) int64 {
+	t := db.cfg.LevelBaseBytes
+	for i := 1; i < n; i++ {
+		t *= int64(db.cfg.LevelMultiplier)
+	}
+	return t
+}
+
+func levelBytes(tables []*SSTable) int64 {
+	var n int64
+	for _, t := range tables {
+		n += t.size
+	}
+	return n
+}
+
+func overlapping(tables []*SSTable, minKey, maxKey string) []*SSTable {
+	var out []*SSTable
+	for _, t := range tables {
+		if len(t.index) == 0 {
+			continue
+		}
+		if t.maxKey < minKey || t.minKey > maxKey {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// pickCompactionLocked selects the next compaction job, or nil when no
+// level needs work (or all needed inputs are already being compacted).
+// Callers hold db.mu. L0→L1 compactions are exclusive (every L0 table
+// overlaps every other); deeper compactions parallelize across disjoint
+// table sets, which is how several rocksdb:lowX threads end up doing I/O at
+// once in the paper's Fig. 4.
+func (db *DB) pickCompactionLocked() *compactionJob {
+	// L0: all tables merge together into L1.
+	if !db.l0Busy && len(db.levels[0]) >= db.cfg.L0CompactTrigger {
+		inputs := append([]*SSTable(nil), db.levels[0]...)
+		minK, maxK := keyRange(inputs)
+		ovl := overlapping(db.levels[1], minK, maxK)
+		if !anyCompacting(ovl) {
+			db.l0Busy = true
+			markCompacting(inputs, true)
+			markCompacting(ovl, true)
+			return &compactionJob{level: 0, inputs: inputs, overlaps: ovl}
+		}
+	}
+	// Deeper levels: one table at a time, by descending size pressure.
+	for n := 1; n < db.cfg.MaxLevels-1; n++ {
+		if levelBytes(db.levels[n]) <= db.targetBytes(n) {
+			continue
+		}
+		for _, t := range db.levels[n] {
+			if t.compacting || len(t.index) == 0 {
+				continue
+			}
+			ovl := overlapping(db.levels[n+1], t.minKey, t.maxKey)
+			if anyCompacting(ovl) {
+				continue
+			}
+			inputs := []*SSTable{t}
+			markCompacting(inputs, true)
+			markCompacting(ovl, true)
+			return &compactionJob{level: n, inputs: inputs, overlaps: ovl}
+		}
+	}
+	return nil
+}
+
+func keyRange(tables []*SSTable) (string, string) {
+	minK, maxK := "", ""
+	for i, t := range tables {
+		if len(t.index) == 0 {
+			continue
+		}
+		if i == 0 || t.minKey < minK || minK == "" {
+			minK = t.minKey
+		}
+		if t.maxKey > maxK {
+			maxK = t.maxKey
+		}
+	}
+	return minK, maxK
+}
+
+func anyCompacting(tables []*SSTable) bool {
+	for _, t := range tables {
+		if t.compacting {
+			return true
+		}
+	}
+	return false
+}
+
+func markCompacting(tables []*SSTable, v bool) {
+	for _, t := range tables {
+		t.compacting = v
+	}
+}
+
+// compactionLoop is one "rocksdb:lowN" thread.
+func (db *DB) compactionLoop(task *kernel.Task) {
+	defer db.wg.Done()
+	for {
+		db.mu.Lock()
+		job := db.pickCompactionLocked()
+		for job == nil && !db.closed {
+			db.cond.Wait()
+			job = db.pickCompactionLocked()
+		}
+		if job == nil {
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+
+		if err := db.runCompaction(task, job); err != nil {
+			// A failed compaction releases its claims and leaves the tables
+			// in place; the store degrades to higher read amplification
+			// rather than breaking.
+			db.mu.Lock()
+			markCompacting(job.inputs, false)
+			markCompacting(job.overlaps, false)
+			if job.isL0() {
+				db.l0Busy = false
+			}
+			db.cond.Broadcast()
+			db.mu.Unlock()
+		}
+	}
+}
+
+// runCompaction merges the job's inputs and installs the outputs.
+func (db *DB) runCompaction(task *kernel.Task, job *compactionJob) error {
+	// Merge precedence: level n data is newer than level n+1 data; within
+	// L0, later flushes (held first in the slice) are newer. Iterate from
+	// oldest to newest so newer values overwrite older ones.
+	merged := make(map[string][]byte)
+	loadInto := func(t *SSTable) error {
+		entries, err := t.loadAll(task)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			merged[e.Key] = e.Value
+		}
+		return nil
+	}
+	for _, t := range job.overlaps { // oldest data first
+		if err := loadInto(t); err != nil {
+			return err
+		}
+	}
+	for i := len(job.inputs) - 1; i >= 0; i-- { // L0: oldest flush first
+		if err := loadInto(job.inputs[i]); err != nil {
+			return err
+		}
+	}
+
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Split the merged run into output tables of ~TargetFileBytes.
+	var outputs []*SSTable
+	var cur []Entry
+	var curBytes int64
+	writeOut := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		num := atomic.AddUint64(&db.nextFile, 1)
+		path := fmt.Sprintf("%s/%06d.sst", db.cfg.Dir, num)
+		t, err := buildSSTable(task, path, num, cur)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, t)
+		cur = nil
+		curBytes = 0
+		return nil
+	}
+	for _, k := range keys {
+		v := merged[k]
+		cur = append(cur, Entry{Key: k, Value: v})
+		curBytes += int64(len(k)+len(v)) + 6
+		if curBytes >= db.cfg.TargetFileBytes {
+			if err := writeOut(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeOut(); err != nil {
+		return err
+	}
+
+	// Install: remove inputs and overlaps, add outputs to level+1.
+	db.mu.Lock()
+	db.levels[job.level] = removeTables(db.levels[job.level], job.inputs)
+	dst := job.level + 1
+	db.levels[dst] = removeTables(db.levels[dst], job.overlaps)
+	db.levels[dst] = append(db.levels[dst], outputs...)
+	sort.Slice(db.levels[dst], func(i, j int) bool {
+		return db.levels[dst][i].minKey < db.levels[dst][j].minKey
+	})
+	if job.isL0() {
+		db.l0Busy = false
+		db.l0comps.Add(1)
+	}
+	db.compactions.Add(1)
+	db.cond.Broadcast()
+	db.mu.Unlock()
+
+	// Persist the new layout, then retire the dead tables: unlink the
+	// paths; descriptors close when the last in-flight read finishes.
+	if merr := db.writeManifest(task); merr != nil {
+		db.manifestErrs.Add(1)
+	}
+	for _, t := range append(append([]*SSTable(nil), job.inputs...), job.overlaps...) {
+		t.drop(task)
+		task.Unlink(t.path)
+	}
+	return nil
+}
+
+func removeTables(tables []*SSTable, dead []*SSTable) []*SSTable {
+	deadSet := make(map[*SSTable]struct{}, len(dead))
+	for _, t := range dead {
+		deadSet[t] = struct{}{}
+	}
+	out := tables[:0]
+	for _, t := range tables {
+		if _, isDead := deadSet[t]; !isDead {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package lsmkv
+
+import (
+	"sort"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// Iterator walks key-value pairs in ascending key order over a consistent
+// snapshot of the store (memtable, immutable memtable, and all SSTables).
+// It powers range scans (YCSB workload E's primary operation).
+type Iterator struct {
+	entries []Entry
+	pos     int
+}
+
+// Scan returns an iterator over keys in [startKey, endKey) — endKey empty
+// means "to the end". The snapshot is taken under the store lock; table
+// contents are then read through task's syscalls outside the lock, with
+// references held so compactions cannot retire descriptors mid-scan.
+func (db *DB) Scan(task *kernel.Task, startKey, endKey string) (*Iterator, error) {
+	if task.Process() != db.proc {
+		return nil, ErrForeignTask
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Collect sources newest-first: memtable, immutable, L0 newest-first,
+	// then deeper levels.
+	type memSnapshot struct {
+		entries []Entry
+	}
+	var mems []memSnapshot
+	snapshotMem := func(m *memtable) {
+		if m == nil {
+			return
+		}
+		var es []Entry
+		for k, v := range m.data {
+			if k >= startKey && (endKey == "" || k < endKey) {
+				es = append(es, Entry{Key: k, Value: append([]byte(nil), v...)})
+			}
+		}
+		mems = append(mems, memSnapshot{entries: es})
+	}
+	snapshotMem(db.mem)
+	snapshotMem(db.imm)
+
+	var tables []*SSTable
+	for li, lvl := range db.levels {
+		lvlTables := lvl
+		if li > 0 {
+			// Deeper levels: restrict to range-overlapping tables, newest
+			// file numbers first within the level for precedence.
+			lvlTables = nil
+			for _, t := range lvl {
+				if len(t.index) == 0 {
+					continue
+				}
+				if endKey != "" && t.minKey >= endKey {
+					continue
+				}
+				if t.maxKey < startKey {
+					continue
+				}
+				lvlTables = append(lvlTables, t)
+			}
+			sort.Slice(lvlTables, func(i, j int) bool {
+				return lvlTables[i].fileNum > lvlTables[j].fileNum
+			})
+		}
+		for _, t := range lvlTables {
+			t.acquire()
+			tables = append(tables, t)
+		}
+	}
+	db.mu.Unlock()
+
+	// Merge newest-first: the first writer of a key wins.
+	merged := make(map[string][]byte)
+	for _, ms := range mems {
+		for _, e := range ms.entries {
+			if _, seen := merged[e.Key]; !seen {
+				merged[e.Key] = e.Value
+			}
+		}
+	}
+	var scanErr error
+	for _, t := range tables {
+		if scanErr == nil {
+			entries, err := t.loadAll(task)
+			if err != nil {
+				scanErr = err
+			} else {
+				for _, e := range entries {
+					if e.Key < startKey || (endKey != "" && e.Key >= endKey) {
+						continue
+					}
+					if _, seen := merged[e.Key]; !seen {
+						merged[e.Key] = e.Value
+					}
+				}
+			}
+		}
+		t.release(task)
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	it := &Iterator{entries: make([]Entry, 0, len(keys))}
+	for _, k := range keys {
+		it.entries = append(it.entries, Entry{Key: k, Value: merged[k]})
+	}
+	return it, nil
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.pos < len(it.entries) }
+
+// Key returns the current key.
+func (it *Iterator) Key() string { return it.entries[it.pos].Key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.entries[it.pos].Value }
+
+// Next advances the iterator.
+func (it *Iterator) Next() { it.pos++ }
+
+// Len returns the number of entries in the snapshot range.
+func (it *Iterator) Len() int { return len(it.entries) }

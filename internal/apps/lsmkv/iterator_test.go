@@ -1,0 +1,157 @@
+package lsmkv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestScanAcrossMemtableAndTables(t *testing.T) {
+	k := fastKernel(t)
+	db, err := Open(k, Config{Dir: "/db", MemtableBytes: 2 << 10, L0CompactTrigger: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	client := db.NewClientTask("db_bench")
+
+	const n = 200
+	val := bytes.Repeat([]byte("s"), 64)
+	for i := 0; i < n; i++ {
+		if err := db.Put(client, key(i), append(val, byte(i%256))); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	// Some data is in SSTables (flushes happened), some still in memtable.
+	it, err := db.Scan(client, key(50), key(150))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if it.Len() != 100 {
+		t.Fatalf("scan len = %d, want 100", it.Len())
+	}
+	i := 50
+	for ; it.Valid(); it.Next() {
+		if it.Key() != key(i) {
+			t.Fatalf("scan[%d] key = %q, want %q", i-50, it.Key(), key(i))
+		}
+		if it.Value()[len(it.Value())-1] != byte(i%256) {
+			t.Fatalf("scan %s stale value", it.Key())
+		}
+		i++
+	}
+	if i != 150 {
+		t.Fatalf("iterated to %d, want 150", i)
+	}
+}
+
+func TestScanSeesNewestVersion(t *testing.T) {
+	k := fastKernel(t)
+	db, err := Open(k, Config{Dir: "/db", MemtableBytes: 1 << 10, L0CompactTrigger: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	client := db.NewClientTask("db_bench")
+	// Write twice: first version lands in SSTables, second stays fresher.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 100; i++ {
+			if err := db.Put(client, key(i), []byte(fmt.Sprintf("v%d-%d", round, i))); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	it, err := db.Scan(client, key(0), "")
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if it.Len() != 100 {
+		t.Fatalf("len = %d", it.Len())
+	}
+	for i := 0; it.Valid(); it.Next() {
+		want := fmt.Sprintf("v1-%d", i)
+		if string(it.Value()) != want {
+			t.Fatalf("scan %s = %q, want %q", it.Key(), it.Value(), want)
+		}
+		i++
+	}
+}
+
+func TestScanOpenEndedAndEmpty(t *testing.T) {
+	k := fastKernel(t)
+	db, _ := Open(k, Config{Dir: "/db"})
+	defer db.Close()
+	client := db.NewClientTask("db_bench")
+	for i := 0; i < 10; i++ {
+		db.Put(client, key(i), []byte("x"))
+	}
+	it, err := db.Scan(client, "", "")
+	if err != nil || it.Len() != 10 {
+		t.Fatalf("full scan = (%d, %v)", it.Len(), err)
+	}
+	it, err = db.Scan(client, key(100), key(200))
+	if err != nil || it.Len() != 0 {
+		t.Fatalf("empty scan = (%d, %v)", it.Len(), err)
+	}
+	if it.Valid() {
+		t.Fatal("empty iterator Valid()")
+	}
+}
+
+func TestScanForeignTaskRejected(t *testing.T) {
+	k := fastKernel(t)
+	db, _ := Open(k, Config{Dir: "/db"})
+	defer db.Close()
+	alien := k.NewProcess("other").NewTask("other")
+	if _, err := db.Scan(alien, "", ""); err != ErrForeignTask {
+		t.Fatalf("scan from foreign task = %v", err)
+	}
+}
+
+func TestScanDuringCompactions(t *testing.T) {
+	k := fastKernel(t)
+	db, err := Open(k, Config{
+		Dir:               "/db",
+		MemtableBytes:     2 << 10,
+		L0CompactTrigger:  2,
+		LevelBaseBytes:    8 << 10,
+		TargetFileBytes:   4 << 10,
+		CompactionThreads: 3,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	client := db.NewClientTask("db_bench")
+	val := bytes.Repeat([]byte("c"), 100)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := db.NewClientTask("writer")
+		for i := 0; i < 1000; i++ {
+			db.Put(w, key(i%300), val)
+		}
+	}()
+	// Scans race with flushes and compactions; every scan must be
+	// consistent (sorted, no duplicates, correct value size).
+	for j := 0; j < 20; j++ {
+		it, err := db.Scan(client, key(0), key(300))
+		if err != nil {
+			t.Fatalf("scan %d: %v", j, err)
+		}
+		prev := ""
+		for ; it.Valid(); it.Next() {
+			if it.Key() <= prev {
+				t.Fatalf("scan %d out of order: %q after %q", j, it.Key(), prev)
+			}
+			if len(it.Value()) != len(val) {
+				t.Fatalf("scan %d value len = %d", j, len(it.Value()))
+			}
+			prev = it.Key()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+}

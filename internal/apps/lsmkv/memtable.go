@@ -1,0 +1,67 @@
+// Package lsmkv is a log-structured merge-tree key-value store modeled on
+// RocksDB, built for the paper's §III-C use case: client threads serve
+// Put/Get requests in the foreground while one flush thread
+// ("rocksdb:high0") and a pool of compaction threads ("rocksdb:low0"…)
+// perform background I/O through the shared simulated disk. Flushes move
+// memtables to L0; compactions merge tables down the level hierarchy;
+// writes stall when L0 grows beyond a limit. The interference of these
+// background I/O workflows with foreground requests produces the tail
+// latency spikes the paper diagnoses with DIO.
+package lsmkv
+
+import "sort"
+
+// memtable is the in-memory write buffer.
+type memtable struct {
+	data  map[string][]byte
+	bytes int
+	// walPath is the write-ahead log backing this memtable; deleted after
+	// the memtable is flushed to an SSTable.
+	walPath string
+	walFD   int
+}
+
+func newMemtable(walPath string, walFD int) *memtable {
+	return &memtable{
+		data:    make(map[string][]byte),
+		walPath: walPath,
+		walFD:   walFD,
+	}
+}
+
+// put inserts or replaces a key.
+func (m *memtable) put(key string, value []byte) {
+	if old, ok := m.data[key]; ok {
+		m.bytes -= len(key) + len(old)
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	m.data[key] = v
+	m.bytes += len(key) + len(v)
+}
+
+// get looks up a key.
+func (m *memtable) get(key string) ([]byte, bool) {
+	v, ok := m.data[key]
+	return v, ok
+}
+
+// sorted returns the entries in key order, ready for SSTable building.
+func (m *memtable) sorted() []Entry {
+	keys := make([]string, 0, len(m.data))
+	for k := range m.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		out[i] = Entry{Key: k, Value: m.data[k]}
+	}
+	return out
+}
+
+// Entry is one key-value pair in an SSTable.
+type Entry struct {
+	Key   string
+	Value []byte
+}

@@ -1,0 +1,236 @@
+package lsmkv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// indexEntry locates one value inside an SSTable file.
+type indexEntry struct {
+	key    string
+	valOff int64
+	valLen int32
+}
+
+// SSTable is one immutable sorted table on the simulated filesystem. The
+// key index is kept in memory (the moral equivalent of RocksDB's table
+// cache + index blocks); values are read with pread through a shared file
+// descriptor.
+type SSTable struct {
+	path    string
+	fileNum uint64
+	size    int64
+	index   []indexEntry
+	minKey  string
+	maxKey  string
+	// compacting marks the table as claimed by a running compaction job;
+	// guarded by the owning DB's mutex, not the table's.
+	compacting bool
+
+	mu      sync.Mutex
+	fd      int
+	fdOpen  bool
+	refs    int
+	dropped bool
+	owner   *kernel.Process // descriptor lives in the DB process fd table
+}
+
+const writeChunk = 32 << 10
+
+// buildSSTable writes sorted entries to path using task's syscalls and
+// returns the table. The write path is the I/O that flush and compaction
+// threads push through the shared disk: sequential writes plus a final
+// fsync.
+func buildSSTable(task *kernel.Task, path string, fileNum uint64, entries []Entry) (*SSTable, error) {
+	fd, err := task.Openat(kernel.AtFDCWD, path, kernel.OWronly|kernel.OCreat|kernel.OTrunc, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("create sstable %s: %w", path, err)
+	}
+	t := &SSTable{
+		path:    path,
+		fileNum: fileNum,
+		fd:      -1,
+		owner:   task.Process(),
+	}
+	var (
+		buf []byte
+		off int64
+	)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, werr := task.Write(fd, buf); werr != nil {
+			return fmt.Errorf("write sstable %s: %w", path, werr)
+		}
+		buf = buf[:0]
+		return nil
+	}
+	var hdr [6]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint16(hdr[0:], uint16(len(e.Key)))
+		binary.LittleEndian.PutUint32(hdr[2:], uint32(len(e.Value)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, e.Key...)
+		valOff := off + int64(len(buf))
+		buf = append(buf, e.Value...)
+		t.index = append(t.index, indexEntry{key: e.Key, valOff: valOff, valLen: int32(len(e.Value))})
+		if len(buf) >= writeChunk {
+			wrote := int64(len(buf))
+			if err := flush(); err != nil {
+				task.Close(fd)
+				return nil, err
+			}
+			off += wrote
+		}
+	}
+	wrote := int64(len(buf))
+	if err := flush(); err != nil {
+		task.Close(fd)
+		return nil, err
+	}
+	off += wrote
+	if err := task.Fsync(fd); err != nil {
+		task.Close(fd)
+		return nil, fmt.Errorf("fsync sstable %s: %w", path, err)
+	}
+	if err := task.Close(fd); err != nil {
+		return nil, fmt.Errorf("close sstable %s: %w", path, err)
+	}
+	t.size = off
+	if len(entries) > 0 {
+		t.minKey = entries[0].Key
+		t.maxKey = entries[len(entries)-1].Key
+	}
+	return t, nil
+}
+
+// mayContain reports whether key falls in the table's key range.
+func (t *SSTable) mayContain(key string) bool {
+	return len(t.index) > 0 && key >= t.minKey && key <= t.maxKey
+}
+
+// acquire takes a reference, preventing the descriptor from being closed
+// while a read is in flight.
+func (t *SSTable) acquire() {
+	t.mu.Lock()
+	t.refs++
+	t.mu.Unlock()
+}
+
+// release drops a reference; the last release after drop() closes the fd.
+func (t *SSTable) release(task *kernel.Task) {
+	t.mu.Lock()
+	t.refs--
+	closeNow := t.dropped && t.refs == 0 && t.fdOpen
+	fd := t.fd
+	if closeNow {
+		t.fdOpen = false
+	}
+	t.mu.Unlock()
+	if closeNow {
+		task.Close(fd)
+	}
+}
+
+// drop marks the table dead (superseded by compaction). The caller unlinks
+// the path; the descriptor closes when the last in-flight read releases.
+func (t *SSTable) drop(task *kernel.Task) {
+	t.mu.Lock()
+	t.dropped = true
+	closeNow := t.refs == 0 && t.fdOpen
+	fd := t.fd
+	if closeNow {
+		t.fdOpen = false
+	}
+	t.mu.Unlock()
+	if closeNow {
+		task.Close(fd)
+	}
+}
+
+// ensureOpen opens the table's descriptor on first use.
+func (t *SSTable) ensureOpen(task *kernel.Task) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fdOpen {
+		return nil
+	}
+	fd, err := task.Openat(kernel.AtFDCWD, t.path, kernel.ORdonly, 0)
+	if err != nil {
+		return fmt.Errorf("open sstable %s: %w", t.path, err)
+	}
+	t.fd = fd
+	t.fdOpen = true
+	return nil
+}
+
+// get reads the value for key, if present, using task's syscalls.
+func (t *SSTable) get(task *kernel.Task, key string) ([]byte, bool, error) {
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.index[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(t.index) || t.index[lo].key != key {
+		return nil, false, nil
+	}
+	if err := t.ensureOpen(task); err != nil {
+		return nil, false, err
+	}
+	ie := t.index[lo]
+	buf := make([]byte, ie.valLen)
+	n, err := task.Pread64(t.fd, buf, ie.valOff)
+	if err != nil {
+		return nil, false, fmt.Errorf("pread sstable %s: %w", t.path, err)
+	}
+	if n != int(ie.valLen) {
+		return nil, false, fmt.Errorf("pread sstable %s: short read %d/%d", t.path, n, ie.valLen)
+	}
+	return buf, true, nil
+}
+
+// loadAll reads every entry of the table (sequential scan), used by
+// compactions to merge inputs.
+func (t *SSTable) loadAll(task *kernel.Task) ([]Entry, error) {
+	if err := t.ensureOpen(task); err != nil {
+		return nil, err
+	}
+	// Sequential chunked reads of the whole file.
+	data := make([]byte, 0, t.size)
+	buf := make([]byte, 64<<10)
+	var off int64
+	for off < t.size {
+		n, err := task.Pread64(t.fd, buf, off)
+		if err != nil {
+			return nil, fmt.Errorf("scan sstable %s: %w", t.path, err)
+		}
+		if n == 0 {
+			break
+		}
+		data = append(data, buf[:n]...)
+		off += int64(n)
+	}
+	entries := make([]Entry, 0, len(t.index))
+	for pos := 0; pos+6 <= len(data); {
+		kl := int(binary.LittleEndian.Uint16(data[pos:]))
+		vl := int(binary.LittleEndian.Uint32(data[pos+2:]))
+		pos += 6
+		if pos+kl+vl > len(data) {
+			return nil, fmt.Errorf("scan sstable %s: corrupt entry at %d", t.path, pos)
+		}
+		key := string(data[pos : pos+kl])
+		val := make([]byte, vl)
+		copy(val, data[pos+kl:pos+kl+vl])
+		entries = append(entries, Entry{Key: key, Value: val})
+		pos += kl + vl
+	}
+	return entries, nil
+}

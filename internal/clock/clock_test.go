@@ -1,0 +1,73 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealMonotonic(t *testing.T) {
+	c := NewReal(1_000)
+	a := c.NowNS()
+	if a < 1_000 {
+		t.Fatalf("NowNS() = %d, want >= base 1000", a)
+	}
+	c.Sleep(time.Millisecond)
+	b := c.NowNS()
+	if b <= a {
+		t.Fatalf("clock did not advance: before=%d after=%d", a, b)
+	}
+}
+
+func TestRealBaseOffset(t *testing.T) {
+	base := int64(1_679_308_382_000_000_000)
+	c := NewReal(base)
+	if got := c.NowNS(); got < base {
+		t.Fatalf("NowNS() = %d, want >= %d", got, base)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(100)
+	if got := v.NowNS(); got != 100 {
+		t.Fatalf("NowNS() = %d, want 100", got)
+	}
+	v.Advance(50 * time.Nanosecond)
+	if got := v.NowNS(); got != 150 {
+		t.Fatalf("NowNS() = %d, want 150", got)
+	}
+	v.Sleep(25 * time.Nanosecond)
+	if got := v.NowNS(); got != 175 {
+		t.Fatalf("NowNS() = %d, want 175", got)
+	}
+}
+
+func TestVirtualSleepNegative(t *testing.T) {
+	v := NewVirtual(10)
+	v.Sleep(-time.Second)
+	if got := v.NowNS(); got != 10 {
+		t.Fatalf("negative sleep moved clock: %d", got)
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(0)
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				v.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.NowNS(); got != workers*perW {
+		t.Fatalf("NowNS() = %d, want %d", got, workers*perW)
+	}
+}

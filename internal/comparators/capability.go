@@ -1,0 +1,127 @@
+package comparators
+
+import "github.com/dsrhaslab/dio-go/internal/viz"
+
+// Integration styles of an analysis pipeline (Table III).
+const (
+	IntegrationNone    = ""
+	IntegrationOffline = "O"
+	IntegrationInline  = "I"
+)
+
+// Use-case support levels of Table III: a tool may trace the information a
+// use case needs (T), and may additionally provide the analysis to
+// diagnose it (TA).
+const (
+	UseCaseNone     = ""
+	UseCaseTrace    = "T"
+	UseCaseAnalysis = "TA"
+)
+
+// ToolCapability is one column of the paper's Table III, transposed into a
+// record per tool.
+type ToolCapability struct {
+	Tool          string
+	Technology    string // tracing technology
+	SyscallInfo   bool   // args, return value, timestamps, PID/TID
+	FOffset       bool   // file offset enrichment
+	FType         bool   // file type enrichment
+	ProcName      bool   // process name enrichment
+	Filters       bool   // filtering at the tracing phase
+	Integrated    string // "", "O" (offline), "I" (inline)
+	Customizable  bool   // user-defined analysis over all captured fields
+	PredefinedVis bool   // ships visualizations
+	UseCaseB      string // §III-B (data loss; needs offsets)
+	UseCaseC      string // §III-C (contention; needs names over time)
+}
+
+// Table3 returns the qualitative comparison of Table III. The encoding
+// follows the paper's related-work discussion: only DIO collects file
+// offsets; CaT, Tracee, and DIO pair entry/exit in kernel space; only DIO
+// and LongLine forward events inline; and only DIO both traces and analyzes
+// the two use cases.
+func Table3() []ToolCapability {
+	return []ToolCapability{
+		{
+			Tool: "strace", Technology: "ptrace",
+			SyscallInfo: true, Filters: true,
+			UseCaseB: UseCaseTrace, UseCaseC: UseCaseNone,
+		},
+		{
+			Tool: "Sysdig", Technology: "eBPF",
+			SyscallInfo: true, ProcName: true, Filters: true,
+			UseCaseB: UseCaseNone, UseCaseC: UseCaseTrace,
+		},
+		{
+			Tool: "Re-Animator", Technology: "LTTng",
+			SyscallInfo: true,
+			UseCaseB:    UseCaseNone, UseCaseC: UseCaseNone,
+		},
+		{
+			Tool: "Tracee", Technology: "eBPF",
+			SyscallInfo: true, ProcName: true, Filters: true,
+			UseCaseB: UseCaseNone, UseCaseC: UseCaseTrace,
+		},
+		{
+			Tool: "CaT", Technology: "eBPF",
+			SyscallInfo: true, ProcName: true, Filters: true,
+			Integrated: IntegrationOffline, UseCaseB: UseCaseNone, UseCaseC: UseCaseTrace,
+		},
+		{
+			Tool: "IOscope", Technology: "eBPF",
+			SyscallInfo: true,
+			UseCaseB:    UseCaseNone, UseCaseC: UseCaseNone,
+		},
+		{
+			Tool: "LongLine", Technology: "auditd",
+			SyscallInfo: true, ProcName: true,
+			Integrated: IntegrationInline, PredefinedVis: true,
+			UseCaseB: UseCaseNone, UseCaseC: UseCaseTrace,
+		},
+		{
+			Tool: "Daoud et al.", Technology: "LTTng",
+			SyscallInfo: true,
+			Integrated:  IntegrationOffline, Customizable: true, PredefinedVis: true,
+			UseCaseB: UseCaseNone, UseCaseC: UseCaseTrace,
+		},
+		{
+			Tool: "DIO", Technology: "eBPF",
+			SyscallInfo: true, FOffset: true, FType: true, ProcName: true, Filters: true,
+			Integrated: IntegrationInline, Customizable: true, PredefinedVis: true,
+			UseCaseB: UseCaseAnalysis, UseCaseC: UseCaseAnalysis,
+		},
+	}
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "-"
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// RenderTable3 renders the comparison matrix as a table.
+func RenderTable3() *viz.Table {
+	t := &viz.Table{
+		Title: "Table III: DIO versus other syscall tracing/analysis tools",
+		Columns: []string{
+			"tool", "tech", "syscall info", "f_offset", "f_type", "proc_name",
+			"filters", "pipeline", "customizable", "predef. vis", "use §III-B", "use §III-C",
+		},
+	}
+	for _, c := range Table3() {
+		t.Rows = append(t.Rows, []string{
+			c.Tool, c.Technology, yn(c.SyscallInfo), yn(c.FOffset), yn(c.FType),
+			yn(c.ProcName), yn(c.Filters), orDash(c.Integrated),
+			yn(c.Customizable), yn(c.PredefinedVis), orDash(c.UseCaseB), orDash(c.UseCaseC),
+		})
+	}
+	return t
+}

@@ -1,0 +1,253 @@
+package comparators
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+func TestModeStrings(t *testing.T) {
+	want := []string{"vanilla", "sysdig", "DIO", "strace"}
+	for i, m := range AllModes() {
+		if m.String() != want[i] {
+			t.Fatalf("mode[%d] = %q, want %q", i, m, want[i])
+		}
+	}
+	if Mode(0).String() != "unknown" {
+		t.Fatal("zero mode string")
+	}
+}
+
+func TestWorkloadSyscallCount(t *testing.T) {
+	clk := clock.NewVirtual(0)
+	k := kernel.New(kernel.Config{Clock: clk})
+	task := k.NewProcess("w").NewTask("w")
+	cfg := WorkloadConfig{}
+	const cycles = 10
+	if err := RunWorkload(k, task, cfg, cycles); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	want := uint64(cycles * cfg.SyscallsPerCycle())
+	if got := k.SyscallCount(); got != want {
+		t.Fatalf("syscalls = %d, want %d", got, want)
+	}
+}
+
+func TestStraceTracerCapturesAndCharges(t *testing.T) {
+	clk := clock.NewVirtual(0)
+	k := kernel.New(kernel.Config{
+		Clock: clk,
+		Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+	})
+	task := k.NewProcess("app").NewTask("app")
+	k.MkdirAll("/tmp")
+
+	tr := NewStraceTracer(clk, 10*time.Microsecond)
+	tr.Attach(k)
+
+	before := clk.NowNS()
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/a", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("abc"))
+	task.Close(fd)
+	charged := clk.NowNS() - before
+
+	tr.Detach()
+	if tr.Events() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Events())
+	}
+	// Three syscalls at 10µs each.
+	if charged != 30_000 {
+		t.Fatalf("charged = %dns, want 30000", charged)
+	}
+	lines := tr.Lines()
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[0], `openat(AT_FDCWD, "/tmp/a", O_WRONLY|O_CREAT, 0644) = 3`) {
+		t.Fatalf("line[0] = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "write(3, 3) = 3") {
+		t.Fatalf("line[1] = %q", lines[1])
+	}
+
+	// After detach nothing is charged or captured.
+	task.Stat("/tmp/a")
+	if tr.Events() != 3 {
+		t.Fatal("events captured after detach")
+	}
+}
+
+func TestSysdigResolvesOnlySessionOpenedFDs(t *testing.T) {
+	clk := clock.NewVirtual(0)
+	k := kernel.New(kernel.Config{Clock: clk})
+	k.MkdirAll("/tmp")
+	task := k.NewProcess("app").NewTask("app")
+
+	// Opened before the tracer attaches: unresolvable for sysdig.
+	preFD, _ := task.Openat(kernel.AtFDCWD, "/tmp/pre", kernel.OWronly|kernel.OCreat, 0o644)
+
+	tr := NewSysdigTracer(SysdigConfig{Clock: clk})
+	tr.Attach(k)
+
+	task.Write(preFD, []byte("x")) // unresolved
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/in", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("y")) // resolved
+	task.Close(fd)              // resolved
+	tr.Detach()
+	tr.Consume()
+
+	st := tr.Stats()
+	if st.Consumed != 4 {
+		t.Fatalf("consumed = %d, want 4", st.Consumed)
+	}
+	if st.Unresolved != 1 || st.Resolved != 3 {
+		t.Fatalf("resolved/unresolved = %d/%d, want 3/1", st.Resolved, st.Unresolved)
+	}
+	evs := tr.Events()
+	if evs[0].Path != "" {
+		t.Fatalf("pre-attach fd resolved to %q", evs[0].Path)
+	}
+	if evs[2].Path != "/tmp/in" {
+		t.Fatalf("in-session write path = %q", evs[2].Path)
+	}
+	if f := st.UnresolvedFraction(); f != 0.25 {
+		t.Fatalf("unresolved fraction = %v", f)
+	}
+}
+
+func TestSysdigDropsPoisonPathResolution(t *testing.T) {
+	clk := clock.NewVirtual(0)
+	k := kernel.New(kernel.Config{Clock: clk})
+	k.MkdirAll("/tmp")
+	task := k.NewProcess("app").NewTask("app")
+
+	// A ring that fits only a couple of records: the open event is consumed,
+	// then the buffer overflows during the write storm.
+	tr := NewSysdigTracer(SysdigConfig{Clock: clk, RingBytes: 400})
+	tr.Attach(k)
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/f", kernel.OWronly|kernel.OCreat, 0o644)
+	for i := 0; i < 50; i++ {
+		task.Write(fd, []byte("x"))
+	}
+	task.Close(fd)
+	tr.Detach()
+	tr.Consume()
+
+	st := tr.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops despite tiny ring")
+	}
+	if st.Consumed+st.Dropped != st.Captured {
+		t.Fatalf("consumed(%d)+dropped(%d) != captured(%d)", st.Consumed, st.Dropped, st.Captured)
+	}
+}
+
+func TestOverheadExperimentShape(t *testing.T) {
+	res, err := RunOverheadExperiment(OverheadConfig{Cycles: 200})
+	if err != nil {
+		t.Fatalf("experiment: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("rows = %d", len(res))
+	}
+	byMode := make(map[Mode]OverheadResult, 4)
+	for _, r := range res {
+		byMode[r.Mode] = r
+	}
+	v, s, d, st := byMode[ModeVanilla], byMode[ModeSysdig], byMode[ModeDIO], byMode[ModeStrace]
+
+	// All modes executed the same workload.
+	if v.Syscalls == 0 || v.Syscalls != s.Syscalls || v.Syscalls != d.Syscalls || v.Syscalls != st.Syscalls {
+		t.Fatalf("syscall counts differ: %d %d %d %d", v.Syscalls, s.Syscalls, d.Syscalls, st.Syscalls)
+	}
+	// Table II ordering: vanilla < sysdig < DIO < strace.
+	if !(v.ExecTime < s.ExecTime && s.ExecTime < d.ExecTime && d.ExecTime < st.ExecTime) {
+		t.Fatalf("ordering violated: %v %v %v %v", v.ExecTime, s.ExecTime, d.ExecTime, st.ExecTime)
+	}
+	// Ratios near the paper's 1.04 / 1.37 / 1.71.
+	within := func(got, want, tol float64) bool { return got > want-tol && got < want+tol }
+	if !within(s.Overhead, 1.04, 0.04) {
+		t.Errorf("sysdig overhead = %.3f, want ≈1.04", s.Overhead)
+	}
+	if !within(d.Overhead, 1.37, 0.12) {
+		t.Errorf("DIO overhead = %.3f, want ≈1.37", d.Overhead)
+	}
+	if !within(st.Overhead, 1.71, 0.22) {
+		t.Errorf("strace overhead = %.3f, want ≈1.71", st.Overhead)
+	}
+}
+
+func TestTable3Encoding(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 9 {
+		t.Fatalf("tools = %d, want 9", len(rows))
+	}
+	var dio *ToolCapability
+	offsetTools := 0
+	for i := range rows {
+		if rows[i].FOffset {
+			offsetTools++
+		}
+		if rows[i].Tool == "DIO" {
+			dio = &rows[i]
+		}
+	}
+	if offsetTools != 1 {
+		t.Fatalf("tools with f_offset = %d; the paper says only DIO collects offsets", offsetTools)
+	}
+	if dio == nil || dio.UseCaseB != UseCaseAnalysis || dio.UseCaseC != UseCaseAnalysis {
+		t.Fatalf("DIO row = %+v", dio)
+	}
+	if dio.Integrated != IntegrationInline || !dio.Customizable || !dio.PredefinedVis {
+		t.Fatalf("DIO pipeline caps = %+v", dio)
+	}
+	tbl := RenderTable3()
+	if len(tbl.Rows) != 9 || len(tbl.Columns) != 12 {
+		t.Fatalf("rendered table = %dx%d", len(tbl.Rows), len(tbl.Columns))
+	}
+	if !strings.Contains(tbl.String(), "DIO") {
+		t.Fatal("rendered table missing DIO")
+	}
+}
+
+func TestStraceFormatting(t *testing.T) {
+	clk := clock.NewVirtual(0)
+	k := kernel.New(kernel.Config{
+		Clock: clk,
+		Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+	})
+	k.MkdirAll("/tmp")
+	task := k.NewProcess("app").NewTask("app")
+
+	tr := NewStraceTracer(clk, 0)
+	tr.Attach(k)
+	defer tr.Detach()
+
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/fmt", kernel.ORdwr|kernel.OCreat|kernel.OTrunc, 0o600)
+	task.Lseek(fd, 10, kernel.SeekSet)
+	task.Pwrite64(fd, []byte("abcd"), 2)
+	task.Stat("/missing")
+	task.Rename("/tmp/fmt", "/tmp/fmt2")
+	task.Close(fd)
+
+	lines := tr.Lines()
+	want := []string{
+		`openat(AT_FDCWD, "/tmp/fmt", O_RDWR|O_CREAT|O_TRUNC, 0600) = 3`,
+		`lseek(3, 10, SEEK_SET) = 10`,
+		`pwrite64(3, 4, 2) = 4`,
+		`stat("/missing") = -1 ENOENT`,
+		`rename("/tmp/fmt", "/tmp/fmt2") = 0`,
+		`close(3) = 0`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %d: %v", len(lines), lines)
+	}
+	for i, w := range want {
+		if !strings.Contains(lines[i], w) {
+			t.Errorf("line[%d] = %q, want suffix %q", i, lines[i], w)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package core implements DIO's tracer (§II-B): it attaches eBPF-style
+// programs to the simulated kernel's syscall tracepoints, lets them filter
+// and enrich events in kernel space, and runs a user-space consumer that
+// asynchronously drains the per-CPU ring buffers, parses binary records
+// into JSON-ready events, and ships them in batches to the analysis
+// backend. Only syscall interception is synchronous; everything else is off
+// the application's critical path.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/ebpf"
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// Config configures one tracing session.
+type Config struct {
+	// SessionName labels this tracing execution; auto-generated when empty
+	// so multiple runs can share a backend (§II-F).
+	SessionName string
+	// Index is the backend index receiving events (default "dio-events").
+	Index string
+	// Filter narrows tracing by syscall type, PID/TID, and path (§II-B).
+	Filter ebpf.Filter
+	// NumCPU is the number of per-CPU ring buffers (default 1).
+	NumCPU int
+	// RingBytes is each ring's capacity in bytes (default ebpf.DefaultRingBytes).
+	RingBytes int
+	// BatchSize groups events into bulk requests (default 512).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch may wait (default 10ms),
+	// keeping the pipeline near-real-time.
+	FlushInterval time.Duration
+	// Backend receives the events. Required.
+	Backend store.Backend
+	// AutoCorrelate runs the file-path correlation algorithm on Stop.
+	AutoCorrelate bool
+	// PerEventCost optionally charges a synthetic kernel-side cost per
+	// traced event (used by the overhead experiments of Table II).
+	PerEventCost func()
+}
+
+// Stats summarizes a tracing session.
+type Stats struct {
+	Session string
+	// Captured is the number of events accepted by kernel-side filters.
+	Captured uint64
+	// Filtered is the number of events rejected in kernel space.
+	Filtered uint64
+	// Dropped is the number of events lost to full ring buffers (§III-D).
+	Dropped uint64
+	// Parsed is the number of records decoded by the user-space consumer.
+	Parsed uint64
+	// Shipped is the number of events successfully indexed at the backend.
+	Shipped uint64
+	// ShipErrors counts failed bulk requests.
+	ShipErrors uint64
+	// Correlation is the result of the final correlation pass, when
+	// AutoCorrelate is set.
+	Correlation store.CorrelationResult
+}
+
+// DropFraction returns the share of captured events that were lost.
+func (s Stats) DropFraction() float64 {
+	if s.Captured == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(s.Captured)
+}
+
+// Tracer is one DIO tracing session.
+type Tracer struct {
+	cfg  Config
+	prog *ebpf.Program
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	parsed     atomic.Uint64
+	shipped    atomic.Uint64
+	shipErrors atomic.Uint64
+	lastErr    atomic.Value // error
+}
+
+var (
+	// ErrNoBackend reports a Config without a Backend.
+	ErrNoBackend = errors.New("core: config requires a backend")
+	// ErrNotStarted reports Stop before Start.
+	ErrNotStarted = errors.New("core: tracer not started")
+	// ErrAlreadyStarted reports a second Start.
+	ErrAlreadyStarted = errors.New("core: tracer already started")
+)
+
+var sessionCounter atomic.Uint64
+
+// NewTracer validates cfg and creates a tracer.
+func NewTracer(cfg Config) (*Tracer, error) {
+	if cfg.Backend == nil {
+		return nil, ErrNoBackend
+	}
+	if cfg.SessionName == "" {
+		cfg.SessionName = fmt.Sprintf("dio-%d-%d", time.Now().UnixNano(), sessionCounter.Add(1))
+	}
+	if cfg.Index == "" {
+		cfg.Index = "dio-events"
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 10 * time.Millisecond
+	}
+	return &Tracer{cfg: cfg}, nil
+}
+
+// Session returns the session name labeling this execution.
+func (t *Tracer) Session() string { return t.cfg.SessionName }
+
+// Index returns the backend index receiving this session's events.
+func (t *Tracer) Index() string { return t.cfg.Index }
+
+// Start attaches the kernel-side program to k and starts the asynchronous
+// consumer.
+func (t *Tracer) Start(k *kernel.Kernel) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return ErrAlreadyStarted
+	}
+	t.started = true
+	t.prog = ebpf.NewProgram(ebpf.ProgramConfig{
+		Filter:       t.cfg.Filter,
+		NumCPU:       t.cfg.NumCPU,
+		RingBytes:    t.cfg.RingBytes,
+		PerEventCost: t.cfg.PerEventCost,
+	})
+	t.prog.Attach(k)
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go t.consume()
+	return nil
+}
+
+// Stop detaches the program, drains and ships remaining events, optionally
+// runs correlation, and returns the session statistics.
+func (t *Tracer) Stop() (Stats, error) {
+	t.mu.Lock()
+	if !t.started {
+		t.mu.Unlock()
+		return Stats{}, ErrNotStarted
+	}
+	if t.stopped {
+		t.mu.Unlock()
+		return t.statsLocked(), nil
+	}
+	t.stopped = true
+	t.mu.Unlock()
+
+	t.prog.Detach()
+	close(t.stop)
+	<-t.done
+
+	var res store.CorrelationResult
+	var err error
+	if t.cfg.AutoCorrelate {
+		res, err = t.cfg.Backend.Correlate(t.cfg.Index, t.cfg.SessionName)
+	}
+	if err == nil {
+		if e, ok := t.lastErr.Load().(error); ok {
+			err = e
+		}
+	}
+
+	st := t.stats()
+	st.Correlation = res
+	return st, err
+}
+
+// Stats returns a snapshot of the session statistics.
+func (t *Tracer) Stats() Stats { return t.stats() }
+
+func (t *Tracer) stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.statsLocked()
+}
+
+func (t *Tracer) statsLocked() Stats {
+	st := Stats{
+		Session:    t.cfg.SessionName,
+		Parsed:     t.parsed.Load(),
+		Shipped:    t.shipped.Load(),
+		ShipErrors: t.shipErrors.Load(),
+	}
+	if t.prog != nil {
+		st.Captured = t.prog.Captured()
+		st.Filtered = t.prog.Filtered()
+		st.Dropped = t.prog.Drops()
+	}
+	return st
+}
+
+// consume is the user-space drain loop: it fetches binary records from the
+// per-CPU rings, parses them into events, and ships batches to the backend.
+func (t *Tracer) consume() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.cfg.FlushInterval)
+	defer ticker.Stop()
+
+	batch := make([]store.Document, 0, t.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := t.cfg.Backend.Bulk(t.cfg.Index, batch); err != nil {
+			t.shipErrors.Add(1)
+			t.lastErr.Store(fmt.Errorf("bulk ship: %w", err))
+		} else {
+			t.shipped.Add(uint64(len(batch)))
+		}
+		batch = batch[:0]
+	}
+
+	drain := func() bool {
+		got := false
+		for _, ring := range t.prog.Rings().Rings() {
+			for {
+				raws := ring.ReadBatch(t.cfg.BatchSize)
+				if len(raws) == 0 {
+					break
+				}
+				got = true
+				for _, raw := range raws {
+					rec, err := ebpf.Unmarshal(raw)
+					if err != nil {
+						continue // corrupt record; nothing to recover
+					}
+					t.parsed.Add(1)
+					ev := t.recordToEvent(&rec)
+					batch = append(batch, store.EventToDoc(&ev))
+					if len(batch) >= t.cfg.BatchSize {
+						flush()
+					}
+				}
+			}
+		}
+		return got
+	}
+
+	for {
+		select {
+		case <-t.stop:
+			// Final drain: the program is detached, so the rings are quiescent.
+			drain()
+			flush()
+			return
+		case <-ticker.C:
+			drain()
+			flush()
+		}
+	}
+}
+
+// recordToEvent converts a kernel record into the enriched event model.
+func (t *Tracer) recordToEvent(r *ebpf.Record) event.Event {
+	nr := kernel.Syscall(r.NR)
+	ev := event.Event{
+		Session:     t.cfg.SessionName,
+		Syscall:     nr.String(),
+		Class:       nr.Class().String(),
+		RetVal:      r.Ret,
+		FD:          int(r.FD),
+		ArgPath:     r.Path,
+		ArgPath2:    r.Path2,
+		Count:       int(r.Count),
+		ArgOff:      r.ArgOff,
+		Whence:      int(r.Whence),
+		Flags:       int(r.Flags),
+		Mode:        r.Mode,
+		AttrName:    r.AttrName,
+		PID:         int(r.PID),
+		TID:         int(r.TID),
+		ProcName:    r.Comm,
+		ThreadName:  r.TaskComm,
+		TimeEnterNS: r.EnterNS,
+		TimeExitNS:  r.ExitNS,
+	}
+	if r.HaveFile() {
+		ev.FileTag = event.FileTag{Dev: r.Dev, Ino: r.Ino, BirthNS: r.BirthNS}
+	}
+	if r.HaveOffset() {
+		ev.HasOffset = true
+		ev.Offset = r.Offset
+	}
+	if r.Path != "" {
+		ev.KernelPath = r.Path
+	}
+	if r.HaveFile() && r.FType != 0 {
+		ev.FileType = kernel.FileType(r.FType).String()
+	}
+	return ev
+}

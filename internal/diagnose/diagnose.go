@@ -1,0 +1,344 @@
+// Package diagnose implements the paper's future-work direction (§V): a
+// collection of automated correlation algorithms that scan a traced
+// session for the inefficient or erroneous I/O behaviours the paper
+// diagnoses manually — stale-offset reads after inode reuse (the Fluent
+// Bit data-loss signature of §III-B), background I/O contention (the
+// RocksDB tail-latency signature of §III-C), and costly access patterns
+// (small or random I/O, §I).
+//
+// Each detector runs ordinary queries against the analysis backend, so the
+// rules work identically over an in-process store or a remote server.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dsrhaslab/dio-go/internal/analysis"
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities.
+const (
+	SeverityInfo Severity = iota + 1
+	SeverityWarning
+	SeverityCritical
+)
+
+// String returns the severity label.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// Finding is one detected I/O anomaly.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	// Summary is a one-line human-readable description.
+	Summary string
+	// FilePath names the affected file, when file-specific.
+	FilePath string
+	// Evidence lists the key events or windows backing the finding.
+	Evidence []string
+}
+
+// Report is the outcome of running all detectors over a session.
+type Report struct {
+	Session  string
+	Findings []Finding
+}
+
+// Critical reports whether any finding is critical.
+func (r Report) Critical() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityCritical {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Diagnosis of session %q: %d finding(s)\n", r.Session, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  [%s] %s: %s\n", f.Severity, f.Rule, f.Summary)
+		for _, e := range f.Evidence {
+			fmt.Fprintf(&b, "      - %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// Config tunes the detectors.
+type Config struct {
+	// SmallIOFraction flags a file when more than this share of its data
+	// syscalls move fewer than analysis.SmallIOThreshold bytes.
+	SmallIOFraction float64
+	// RandomFraction flags a file when its sequential fraction falls below
+	// 1 - RandomFraction.
+	RandomFraction float64
+	// MinDataOps is the minimum number of data syscalls before a file's
+	// pattern is judged at all.
+	MinDataOps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SmallIOFraction <= 0 {
+		c.SmallIOFraction = 0.5
+	}
+	if c.RandomFraction <= 0 {
+		c.RandomFraction = 0.5
+	}
+	if c.MinDataOps <= 0 {
+		c.MinDataOps = 8
+	}
+	return c
+}
+
+// Run executes every detector over one session.
+func Run(b store.Backend, index, session string, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{Session: session}
+
+	stale, err := DetectStaleOffsetReads(b, index, session)
+	if err != nil {
+		return rep, fmt.Errorf("stale-offset detector: %w", err)
+	}
+	rep.Findings = append(rep.Findings, stale...)
+
+	patterns, err := DetectCostlyPatterns(b, index, session, cfg)
+	if err != nil {
+		return rep, fmt.Errorf("pattern detector: %w", err)
+	}
+	rep.Findings = append(rep.Findings, patterns...)
+
+	failures, err := DetectFailingSyscalls(b, index, session)
+	if err != nil {
+		return rep, fmt.Errorf("failure detector: %w", err)
+	}
+	rep.Findings = append(rep.Findings, failures...)
+	return rep, nil
+}
+
+// DetectStaleOffsetReads finds the §III-B data-loss signature: on a fresh
+// file generation (a file tag never read before), the first read starts at
+// a non-zero offset and returns 0 bytes — the reader resumed beyond EOF,
+// so freshly written data can never be delivered. The Fluent Bit v1.4.0
+// bug produces exactly this pattern after inode reuse.
+func DetectStaleOffsetReads(b store.Backend, index, session string) ([]Finding, error) {
+	resp, err := b.Search(index, store.SearchRequest{
+		Query: store.Must(
+			store.Term(store.FieldSession, session),
+			store.Terms(store.FieldSyscall, "read", "pread64", "readv"),
+			store.Exists(store.FieldFileTag),
+		),
+		Sort: []store.SortField{{Field: store.FieldTimeEnter}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	firstReadSeen := make(map[event.FileTag]bool)
+	var findings []Finding
+	for _, d := range resp.Hits {
+		e := store.DocToEvent(d)
+		if firstReadSeen[e.FileTag] {
+			continue
+		}
+		firstReadSeen[e.FileTag] = true
+		if e.HasOffset && e.Offset > 0 && e.RetVal == 0 {
+			path := e.FilePath
+			if path == "" {
+				path = "(unresolved path, tag " + e.FileTag.String() + ")"
+			}
+			findings = append(findings, Finding{
+				Rule:     "stale-offset-read",
+				Severity: SeverityCritical,
+				Summary: fmt.Sprintf(
+					"first read of %s starts at offset %d and returns 0 bytes: the reader resumed past EOF (possible data loss after file recreation)",
+					path, e.Offset),
+				FilePath: path,
+				Evidence: []string{fmt.Sprintf(
+					"%s by %s at t=%d: ret=0 offset=%d tag=%s",
+					e.Syscall, e.ProcName, e.TimeEnterNS, e.Offset, e.FileTag)},
+			})
+		}
+	}
+	return findings, nil
+}
+
+// DetectCostlyPatterns flags files dominated by small or random I/O.
+func DetectCostlyPatterns(b store.Backend, index, session string, cfg Config) ([]Finding, error) {
+	cfg = cfg.withDefaults()
+	files, err := analysis.HotFiles(b, index, session, 0)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, fl := range files {
+		p, err := analysis.FileOffsetPattern(b, index, session, fl.FilePath)
+		if err != nil {
+			return nil, err
+		}
+		dataOps := p.Reads + p.Writes
+		if dataOps < cfg.MinDataOps {
+			continue
+		}
+		if frac := float64(p.SmallIOs) / float64(dataOps); frac >= cfg.SmallIOFraction {
+			findings = append(findings, Finding{
+				Rule:     "small-io",
+				Severity: SeverityWarning,
+				Summary: fmt.Sprintf("%.0f%% of %d data syscalls on %s move fewer than %d bytes",
+					frac*100, dataOps, fl.FilePath, analysis.SmallIOThreshold),
+				FilePath: fl.FilePath,
+			})
+		}
+		if p.SequentialFraction() <= 1-cfg.RandomFraction {
+			findings = append(findings, Finding{
+				Rule:     "random-io",
+				Severity: SeverityWarning,
+				Summary: fmt.Sprintf("accesses to %s are %.0f%% non-sequential (%d of %d data syscalls)",
+					fl.FilePath, (1-p.SequentialFraction())*100,
+					p.RandomReads+p.RandomWrites, dataOps),
+				FilePath: fl.FilePath,
+			})
+		}
+	}
+	return findings, nil
+}
+
+// DetectFailingSyscalls summarizes error-returning syscalls per type, an
+// immediate smell for erroneous I/O usage.
+func DetectFailingSyscalls(b store.Backend, index, session string) ([]Finding, error) {
+	lt := 0.0
+	resp, err := b.Search(index, store.SearchRequest{
+		Query: store.Must(
+			store.Term(store.FieldSession, session),
+			store.Query{Range: &store.RangeQuery{Field: store.FieldRetVal, LT: &lt}},
+		),
+		Size: 1,
+		Aggs: map[string]store.Agg{
+			"by_syscall": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	buckets := resp.Aggs["by_syscall"].Buckets
+	if len(buckets) == 0 {
+		return nil, nil
+	}
+	parts := make([]string, 0, len(buckets))
+	for _, bkt := range buckets {
+		parts = append(parts, fmt.Sprintf("%s×%d", bkt.Key, bkt.Count))
+	}
+	sort.Strings(parts)
+	return []Finding{{
+		Rule:     "failing-syscalls",
+		Severity: SeverityInfo,
+		Summary:  fmt.Sprintf("%d syscalls returned errors (%s)", resp.Total, strings.Join(parts, ", ")),
+	}}, nil
+}
+
+// ContentionWindow is one detected interval of background-I/O interference.
+type ContentionWindow struct {
+	StartNS           int64
+	BackgroundThreads int
+	ClientSyscalls    int
+}
+
+// DetectContention finds the §III-C signature in a traced session: time
+// windows where many background threads issue I/O while the client
+// thread's syscall rate drops below dropFraction of its median. Thread
+// roles are identified by name: clientThread exactly, background threads
+// by prefix.
+func DetectContention(b store.Backend, index, session, clientThread, backgroundPrefix string,
+	windowNS int64, minBackground int, dropFraction float64) ([]Finding, error) {
+	if dropFraction <= 0 {
+		dropFraction = 0.5
+	}
+	resp, err := b.Search(index, store.SearchRequest{
+		Query: store.Term(store.FieldSession, session),
+		Size:  1,
+		Aggs: map[string]store.Agg{
+			"timeline": {
+				DateHistogram: &store.DateHistogramAgg{Field: store.FieldTimeEnter, IntervalNS: windowNS},
+				Aggs: map[string]store.Agg{
+					"by_thread": {Terms: &store.TermsAgg{Field: store.FieldThreadName}},
+				},
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	type window struct {
+		startNS    int64
+		client     int
+		background int
+	}
+	var windows []window
+	var clientCounts []float64
+	for _, bkt := range resp.Aggs["timeline"].Buckets {
+		w := window{startNS: int64(bkt.KeyNum)}
+		for _, sub := range bkt.Sub["by_thread"].Buckets {
+			switch {
+			case sub.Key == clientThread:
+				w.client = sub.Count
+			case strings.HasPrefix(sub.Key, backgroundPrefix):
+				w.background++
+			}
+		}
+		windows = append(windows, w)
+		clientCounts = append(clientCounts, float64(w.client))
+	}
+	if len(windows) < 4 {
+		return nil, nil // not enough signal
+	}
+	sorted := append([]float64(nil), clientCounts...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+
+	var hits []ContentionWindow
+	for _, w := range windows {
+		if w.background >= minBackground && float64(w.client) < median*dropFraction {
+			hits = append(hits, ContentionWindow{
+				StartNS:           w.startNS,
+				BackgroundThreads: w.background,
+				ClientSyscalls:    w.client,
+			})
+		}
+	}
+	if len(hits) == 0 {
+		return nil, nil
+	}
+	evidence := make([]string, 0, len(hits))
+	for _, h := range hits {
+		evidence = append(evidence, fmt.Sprintf(
+			"window t=%d: %d %s* threads active, %s syscalls down to %d (median %.0f)",
+			h.StartNS, h.BackgroundThreads, backgroundPrefix, clientThread, h.ClientSyscalls, median))
+	}
+	return []Finding{{
+		Rule:     "background-io-contention",
+		Severity: SeverityWarning,
+		Summary: fmt.Sprintf(
+			"%d window(s) where >=%d background threads issue I/O while %s throughput drops below %.0f%% of median",
+			len(hits), minBackground, clientThread, dropFraction*100),
+		Evidence: evidence,
+	}}, nil
+}

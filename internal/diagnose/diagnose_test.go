@@ -1,0 +1,222 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/apps/fluentbit"
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/core"
+	"github.com/dsrhaslab/dio-go/internal/ebpf"
+	"github.com/dsrhaslab/dio-go/internal/experiments"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// traceFluentBit traces one Fluent Bit scenario and returns the backend.
+func traceFluentBit(t *testing.T, version fluentbit.Version, session string) *store.Store {
+	t.Helper()
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	backend := store.New()
+	tracer, err := core.NewTracer(core.Config{
+		SessionName:   session,
+		Index:         "events",
+		Backend:       backend,
+		AutoCorrelate: true,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Start(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fluentbit.RunScenario(k, "/var/log", version); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracer.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return backend
+}
+
+func TestDetectStaleOffsetReadOnBuggyFluentBit(t *testing.T) {
+	b := traceFluentBit(t, fluentbit.VersionBuggy, "buggy")
+	findings, err := DetectStaleOffsetReads(b, "events", "buggy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v, want exactly 1", findings)
+	}
+	f := findings[0]
+	if f.Severity != SeverityCritical || f.Rule != "stale-offset-read" {
+		t.Fatalf("finding = %+v", f)
+	}
+	if !strings.Contains(f.Summary, "offset 26") {
+		t.Fatalf("summary = %q", f.Summary)
+	}
+	if f.FilePath != "/var/log/app.log" {
+		t.Fatalf("file = %q", f.FilePath)
+	}
+}
+
+func TestNoStaleOffsetOnFixedFluentBit(t *testing.T) {
+	b := traceFluentBit(t, fluentbit.VersionFixed, "fixed")
+	findings, err := DetectStaleOffsetReads(b, "events", "fixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("false positive on fixed version: %+v", findings)
+	}
+}
+
+func TestRunFullDiagnosisSeparatesVersions(t *testing.T) {
+	bBuggy := traceFluentBit(t, fluentbit.VersionBuggy, "buggy")
+	repBuggy, err := Run(bBuggy, "events", "buggy", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repBuggy.Critical() {
+		t.Fatalf("buggy session not critical: %s", repBuggy)
+	}
+
+	bFixed := traceFluentBit(t, fluentbit.VersionFixed, "fixed")
+	repFixed, err := Run(bFixed, "events", "fixed", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repFixed.Critical() {
+		t.Fatalf("fixed session flagged critical: %s", repFixed)
+	}
+	out := repBuggy.String()
+	if !strings.Contains(out, "stale-offset-read") {
+		t.Fatalf("report rendering: %q", out)
+	}
+}
+
+func TestDetectCostlyPatterns(t *testing.T) {
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	k.MkdirAll("/d")
+	backend := store.New()
+	tracer, _ := core.NewTracer(core.Config{
+		SessionName: "patterns", Index: "events", Backend: backend,
+		AutoCorrelate: true, FlushInterval: time.Millisecond,
+	})
+	tracer.Start(k)
+
+	task := k.NewProcess("app").NewTask("app")
+	// Random, small I/O on one file.
+	fd, _ := task.Openat(kernel.AtFDCWD, "/d/bad", kernel.ORdwr|kernel.OCreat, 0o644)
+	task.Write(fd, make([]byte, 64<<10))
+	buf := make([]byte, 100)
+	for i := 20; i > 0; i-- {
+		task.Pread64(fd, buf, int64(i*3000))
+	}
+	task.Close(fd)
+	// Large sequential I/O on another.
+	fd2, _ := task.Openat(kernel.AtFDCWD, "/d/good", kernel.OWronly|kernel.OCreat, 0o644)
+	big := make([]byte, 16<<10)
+	for i := 0; i < 10; i++ {
+		task.Write(fd2, big)
+	}
+	task.Close(fd2)
+	tracer.Stop()
+
+	findings, err := DetectCostlyPatterns(backend, "events", "patterns", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string][]string{}
+	for _, f := range findings {
+		rules[f.Rule] = append(rules[f.Rule], f.FilePath)
+	}
+	if got := rules["small-io"]; len(got) != 1 || got[0] != "/d/bad" {
+		t.Fatalf("small-io findings = %v", got)
+	}
+	if got := rules["random-io"]; len(got) != 1 || got[0] != "/d/bad" {
+		t.Fatalf("random-io findings = %v", got)
+	}
+}
+
+func TestDetectFailingSyscalls(t *testing.T) {
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	backend := store.New()
+	tracer, _ := core.NewTracer(core.Config{
+		SessionName: "errs", Index: "events", Backend: backend,
+		FlushInterval: time.Millisecond,
+	})
+	tracer.Start(k)
+	task := k.NewProcess("app").NewTask("app")
+	task.Stat("/missing1")
+	task.Stat("/missing2")
+	task.Unlink("/missing3")
+	tracer.Stop()
+
+	findings, err := DetectFailingSyscalls(backend, "events", "errs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if !strings.Contains(findings[0].Summary, "3 syscalls returned errors") {
+		t.Fatalf("summary = %q", findings[0].Summary)
+	}
+}
+
+func TestDetectContentionOnRocksDBRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second contention run")
+	}
+	res, err := experiments.RunRocksDB(experiments.RocksDBConfig{
+		Duration: 1500 * time.Millisecond,
+		Trace:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := DetectContention(res.Backend, res.Index, res.Session,
+		"db_bench", "rocksdb:low", int64(100*time.Millisecond), 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Skip("no contention windows matched in this run (timing-dependent)")
+	}
+	f := findings[0]
+	if f.Rule != "background-io-contention" || len(f.Evidence) == 0 {
+		t.Fatalf("finding = %+v", f)
+	}
+}
+
+func TestDetectContentionNoSignal(t *testing.T) {
+	// A single-threaded quiet trace yields no contention findings.
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	k.MkdirAll("/d")
+	backend := store.New()
+	tracer, _ := core.NewTracer(core.Config{
+		SessionName: "quiet", Index: "events", Backend: backend,
+		Filter:        ebpf.Filter{},
+		FlushInterval: time.Millisecond,
+	})
+	tracer.Start(k)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(kernel.AtFDCWD, "/d/x", kernel.OWronly|kernel.OCreat, 0o644)
+	for i := 0; i < 50; i++ {
+		task.Write(fd, []byte("x"))
+	}
+	task.Close(fd)
+	tracer.Stop()
+
+	findings, err := DetectContention(backend, "events", "quiet",
+		"app", "rocksdb:low", 1000, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("false positive: %+v", findings)
+	}
+}

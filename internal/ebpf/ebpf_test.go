@@ -1,0 +1,484 @@
+package ebpf
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	in := Record{
+		NR:       uint16(kernel.SysOpenat),
+		PID:      101,
+		TID:      102,
+		EnterNS:  1_679_308_382_363_981_568,
+		ExitNS:   1_679_308_382_363_999_999,
+		Ret:      3,
+		FD:       -100,
+		Count:    26,
+		ArgOff:   -1,
+		Whence:   2,
+		Flags:    0x241,
+		Mode:     0o644,
+		Dev:      7340032,
+		Ino:      12,
+		BirthNS:  2156997363734041,
+		Offset:   26,
+		Comm:     "app",
+		TaskComm: "flb-pipeline",
+		Path:     "/tmp/app.log",
+		Path2:    "/tmp/app.log.1",
+		AttrName: "user.tag",
+	}
+	in.SetHaveFile()
+	in.SetHaveOffset()
+
+	buf := in.Marshal()
+	if len(buf) != in.Size() {
+		t.Fatalf("marshal length %d != Size() %d", len(buf), in.Size())
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if !out.HaveFile() || !out.HaveOffset() {
+		t.Fatal("aux flags lost")
+	}
+}
+
+func TestRecordTruncatesLongStrings(t *testing.T) {
+	long := make([]byte, 1024)
+	for i := range long {
+		long[i] = 'a'
+	}
+	in := Record{Comm: string(long), Path: "/" + string(long)}
+	out, err := Unmarshal(in.Marshal())
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out.Comm) != CommLen {
+		t.Fatalf("comm len = %d, want %d", len(out.Comm), CommLen)
+	}
+	if len(out.Path) != MaxPathLen {
+		t.Fatalf("path len = %d, want %d", len(out.Path), MaxPathLen)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(nr uint16, pid, tid int32, enter, exit, ret int64,
+		comm, path string) bool {
+		in := Record{
+			NR: nr, PID: pid, TID: tid,
+			EnterNS: enter, ExitNS: exit, Ret: ret,
+			Comm: truncate(comm, CommLen), Path: truncate(path, MaxPathLen),
+		}
+		out, err := Unmarshal(in.Marshal())
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalShortBuffers(t *testing.T) {
+	rec := Record{Comm: "x"}
+	buf := rec.Marshal()
+	for _, n := range []int{0, 3, 10, len(buf) - 1} {
+		if _, err := Unmarshal(buf[:n]); err == nil {
+			t.Errorf("Unmarshal(%d bytes) succeeded, want error", n)
+		}
+	}
+	// Corrupt the length prefix.
+	bad := append([]byte(nil), buf...)
+	bad[0] = 0xff
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("Unmarshal with bad length prefix succeeded")
+	}
+}
+
+func TestRingBufferFIFO(t *testing.T) {
+	rb := NewRingBuffer(1 << 20)
+	for i := byte(0); i < 10; i++ {
+		if !rb.Write([]byte{i}) {
+			t.Fatalf("write %d rejected", i)
+		}
+	}
+	for i := byte(0); i < 10; i++ {
+		rec, ok := rb.TryRead()
+		if !ok || rec[0] != i {
+			t.Fatalf("read %d = (%v, %v)", i, rec, ok)
+		}
+	}
+	if _, ok := rb.TryRead(); ok {
+		t.Fatal("read from empty buffer succeeded")
+	}
+}
+
+func TestRingBufferDropsWhenFull(t *testing.T) {
+	rb := NewRingBuffer(10)
+	if !rb.Write(make([]byte, 6)) {
+		t.Fatal("first write rejected")
+	}
+	if !rb.Write(make([]byte, 4)) {
+		t.Fatal("second write rejected")
+	}
+	if rb.Write(make([]byte, 1)) {
+		t.Fatal("overflow write accepted")
+	}
+	if rb.Drops() != 1 || rb.Writes() != 2 {
+		t.Fatalf("drops=%d writes=%d", rb.Drops(), rb.Writes())
+	}
+	// Draining frees capacity.
+	rb.TryRead()
+	if !rb.Write(make([]byte, 5)) {
+		t.Fatal("write after drain rejected")
+	}
+}
+
+func TestRingBufferReadBatch(t *testing.T) {
+	rb := NewRingBuffer(1 << 20)
+	for i := byte(0); i < 5; i++ {
+		rb.Write([]byte{i})
+	}
+	batch := rb.ReadBatch(3)
+	if len(batch) != 3 || batch[0][0] != 0 || batch[2][0] != 2 {
+		t.Fatalf("batch = %v", batch)
+	}
+	if rb.Pending() != 2 {
+		t.Fatalf("pending = %d", rb.Pending())
+	}
+	batch = rb.ReadBatch(100)
+	if len(batch) != 2 {
+		t.Fatalf("second batch = %v", batch)
+	}
+	if rb.ReadBatch(10) != nil {
+		t.Fatal("batch from empty buffer not nil")
+	}
+}
+
+func TestRingBufferCloseDrops(t *testing.T) {
+	rb := NewRingBuffer(100)
+	rb.Close()
+	if rb.Write([]byte{1}) {
+		t.Fatal("write after close accepted")
+	}
+	if rb.Drops() != 1 {
+		t.Fatalf("drops = %d", rb.Drops())
+	}
+}
+
+func TestPerCPUSpreadsByTID(t *testing.T) {
+	p := NewPerCPU(4, 1<<16)
+	for tid := 0; tid < 8; tid++ {
+		p.Write(tid, []byte{byte(tid)})
+	}
+	counts := 0
+	for _, r := range p.Rings() {
+		if r.Pending() != 2 {
+			t.Fatalf("ring pending = %d, want 2", r.Pending())
+		}
+		counts += r.Pending()
+	}
+	if counts != 8 || p.Writes() != 8 {
+		t.Fatalf("total = %d writes = %d", counts, p.Writes())
+	}
+}
+
+func TestFilterTaskMatching(t *testing.T) {
+	cf := Filter{PIDs: []int{100}, TIDs: []int{101, 102}}.compile()
+	if !cf.matchTask(100, 101) {
+		t.Fatal("matching pid+tid rejected")
+	}
+	if cf.matchTask(999, 101) {
+		t.Fatal("wrong pid accepted")
+	}
+	if cf.matchTask(100, 999) {
+		t.Fatal("wrong tid accepted")
+	}
+	empty := Filter{}.compile()
+	if !empty.matchTask(1, 2) {
+		t.Fatal("empty filter rejected a task")
+	}
+}
+
+func TestFilterEnabledSyscallsDefault(t *testing.T) {
+	if got := (Filter{}).EnabledSyscalls(); len(got) != kernel.NumSyscalls {
+		t.Fatalf("default enabled = %d, want %d", len(got), kernel.NumSyscalls)
+	}
+	f := Filter{Syscalls: []kernel.Syscall{kernel.SysRead, kernel.SysWrite}}
+	if got := f.EnabledSyscalls(); len(got) != 2 {
+		t.Fatalf("restricted enabled = %d, want 2", len(got))
+	}
+}
+
+func newTracedKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	if err := k.MkdirAll("/tmp"); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	return k
+}
+
+func drainRecords(p *Program) []Record {
+	var out []Record
+	for _, r := range p.Rings().Rings() {
+		for {
+			raw, ok := r.TryRead()
+			if !ok {
+				break
+			}
+			rec, err := Unmarshal(raw)
+			if err == nil {
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}
+
+func TestProgramCapturesSyscalls(t *testing.T) {
+	k := newTracedKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	p := NewProgram(ProgramConfig{NumCPU: 2})
+	p.Attach(k)
+	defer p.Detach()
+
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/a", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("hello"))
+	task.Close(fd)
+
+	recs := drainRecords(p)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	open, write, cl := recs[0], recs[1], recs[2]
+	if kernel.Syscall(open.NR) != kernel.SysOpenat || open.Path != "/tmp/a" || open.Ret != int64(fd) {
+		t.Fatalf("open record = %+v", open)
+	}
+	if kernel.Syscall(write.NR) != kernel.SysWrite || write.Ret != 5 || !write.HaveOffset() || write.Offset != 0 {
+		t.Fatalf("write record = %+v", write)
+	}
+	if !write.HaveFile() || write.Ino != open.Ino || write.BirthNS != open.BirthNS {
+		t.Fatalf("write enrichment = %+v vs open %+v", write, open)
+	}
+	if kernel.Syscall(cl.NR) != kernel.SysClose {
+		t.Fatalf("close record = %+v", cl)
+	}
+	if p.Captured() != 3 || p.Filtered() != 0 || p.Drops() != 0 {
+		t.Fatalf("counters: captured=%d filtered=%d drops=%d", p.Captured(), p.Filtered(), p.Drops())
+	}
+}
+
+func TestProgramSyscallSubset(t *testing.T) {
+	k := newTracedKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	p := NewProgram(ProgramConfig{Filter: Filter{
+		Syscalls: []kernel.Syscall{kernel.SysWrite},
+	}})
+	p.Attach(k)
+	defer p.Detach()
+
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/a", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("x"))
+	task.Close(fd)
+
+	recs := drainRecords(p)
+	if len(recs) != 1 || kernel.Syscall(recs[0].NR) != kernel.SysWrite {
+		t.Fatalf("records = %+v, want single write", recs)
+	}
+}
+
+func TestProgramPIDFilter(t *testing.T) {
+	k := newTracedKernel(t)
+	a := k.NewProcess("a").NewTask("a")
+	b := k.NewProcess("b").NewTask("b")
+
+	p := NewProgram(ProgramConfig{Filter: Filter{PIDs: []int{a.PID()}}})
+	p.Attach(k)
+	defer p.Detach()
+
+	fdA, _ := a.Openat(kernel.AtFDCWD, "/tmp/a", kernel.OWronly|kernel.OCreat, 0o644)
+	a.Close(fdA)
+	fdB, _ := b.Openat(kernel.AtFDCWD, "/tmp/b", kernel.OWronly|kernel.OCreat, 0o644)
+	b.Close(fdB)
+
+	recs := drainRecords(p)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if int(r.PID) != a.PID() {
+			t.Fatalf("leaked record from pid %d", r.PID)
+		}
+	}
+}
+
+func TestProgramPathFilterFollowsFDs(t *testing.T) {
+	k := newTracedKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	k.MkdirAll("/data")
+
+	p := NewProgram(ProgramConfig{Filter: Filter{PathPrefixes: []string{"/data"}}})
+	p.Attach(k)
+	defer p.Detach()
+
+	// Matching file: open/write/close all captured.
+	fd, _ := task.Openat(kernel.AtFDCWD, "/data/keep", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("x"))
+	task.Close(fd)
+	// Non-matching file: everything filtered, including fd-based syscalls.
+	fd2, _ := task.Openat(kernel.AtFDCWD, "/tmp/skip", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd2, []byte("y"))
+	task.Close(fd2)
+	// Path-based syscall on a matching path.
+	task.Stat("/data/keep")
+	// Path-based syscall on a non-matching path.
+	task.Stat("/tmp/skip")
+
+	recs := drainRecords(p)
+	if len(recs) != 4 {
+		for _, r := range recs {
+			t.Logf("rec: %s path=%q fd=%d", kernel.Syscall(r.NR), r.Path, r.FD)
+		}
+		t.Fatalf("records = %d, want 4 (open,write,close,stat)", len(recs))
+	}
+	if p.Filtered() != 4 {
+		t.Fatalf("filtered = %d, want 4", p.Filtered())
+	}
+}
+
+func TestProgramDropsUnderPressure(t *testing.T) {
+	k := newTracedKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	// A ring big enough for only a handful of records.
+	p := NewProgram(ProgramConfig{NumCPU: 1, RingBytes: 512})
+	p.Attach(k)
+	defer p.Detach()
+
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/a", kernel.OWronly|kernel.OCreat, 0o644)
+	for i := 0; i < 100; i++ {
+		task.Write(fd, []byte("x"))
+	}
+	task.Close(fd)
+
+	if p.Drops() == 0 {
+		t.Fatal("no drops despite tiny ring")
+	}
+	if p.Captured() != 102 {
+		t.Fatalf("captured = %d, want 102", p.Captured())
+	}
+	if got := p.Rings().Writes() + p.Drops(); got != p.Captured() {
+		t.Fatalf("writes+drops = %d, want %d", got, p.Captured())
+	}
+}
+
+func TestProgramDetachStopsCapture(t *testing.T) {
+	k := newTracedKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	p := NewProgram(ProgramConfig{})
+	p.Attach(k)
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/a", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Close(fd)
+	before := p.Captured()
+	p.Detach()
+	fd2, _ := task.Openat(kernel.AtFDCWD, "/tmp/b", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Close(fd2)
+	if p.Captured() != before {
+		t.Fatalf("captured after detach: %d -> %d", before, p.Captured())
+	}
+}
+
+func TestProgramEmitUnpairedDoublesRecords(t *testing.T) {
+	k := newTracedKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	p := NewProgram(ProgramConfig{EmitUnpaired: true})
+	p.Attach(k)
+	defer p.Detach()
+
+	fd, _ := task.Openat(kernel.AtFDCWD, "/tmp/u", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("x"))
+	task.Close(fd)
+
+	recs := drainRecords(p)
+	// 3 syscalls -> 3 entry records + 3 exit records.
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 6 (unpaired mode)", len(recs))
+	}
+	// User-space pairing: entries have ExitNS zero, exits have it set; each
+	// (tid, nr) entry must be matchable to a following exit.
+	entries, exits := 0, 0
+	for _, r := range recs {
+		if r.ExitNS == 0 {
+			entries++
+		} else {
+			exits++
+		}
+	}
+	if entries != 3 || exits != 3 {
+		t.Fatalf("entries/exits = %d/%d", entries, exits)
+	}
+}
+
+func TestRingBufferBlockingMode(t *testing.T) {
+	rb := NewRingBuffer(16)
+	rb.SetBlocking(true)
+	if !rb.Write(make([]byte, 10)) {
+		t.Fatal("first write rejected")
+	}
+
+	// A producer blocks on a full ring until the consumer drains.
+	wrote := make(chan bool, 1)
+	go func() { wrote <- rb.Write(make([]byte, 10)) }()
+	select {
+	case <-wrote:
+		t.Fatal("write did not block on full ring")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := rb.TryRead(); !ok {
+		t.Fatal("read failed")
+	}
+	select {
+	case ok := <-wrote:
+		if !ok {
+			t.Fatal("blocked write failed after drain")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked write never completed")
+	}
+	if rb.Drops() != 0 {
+		t.Fatalf("drops = %d in blocking mode", rb.Drops())
+	}
+	if rb.Blocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", rb.Blocks())
+	}
+}
+
+func TestRingBufferCloseReleasesBlockedProducer(t *testing.T) {
+	rb := NewRingBuffer(4)
+	rb.SetBlocking(true)
+	rb.Write(make([]byte, 4))
+	done := make(chan bool, 1)
+	go func() { done <- rb.Write(make([]byte, 4)) }()
+	time.Sleep(10 * time.Millisecond)
+	rb.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("write succeeded on closed ring")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked producer not released by Close")
+	}
+}

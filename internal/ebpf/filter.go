@@ -1,0 +1,122 @@
+package ebpf
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// Filter is the kernel-side filtering specification (§II-B): events can be
+// narrowed by syscall type, process or thread IDs, and target file or
+// directory paths, before anything is copied to user space.
+type Filter struct {
+	// Syscalls restricts which tracepoints are enabled. Empty means all 42.
+	Syscalls []kernel.Syscall
+	// PIDs restricts tracing to these processes. Empty means all.
+	PIDs []int
+	// TIDs restricts tracing to these threads. Empty means all.
+	TIDs []int
+	// PathPrefixes restricts tracing to files or directories under these
+	// prefixes. Empty means all paths.
+	PathPrefixes []string
+}
+
+// compiledFilter is the runtime form with O(1) membership checks.
+type compiledFilter struct {
+	pids     map[int]struct{}
+	tids     map[int]struct{}
+	prefixes []string
+}
+
+func (f Filter) compile() compiledFilter {
+	cf := compiledFilter{prefixes: append([]string(nil), f.PathPrefixes...)}
+	if len(f.PIDs) > 0 {
+		cf.pids = make(map[int]struct{}, len(f.PIDs))
+		for _, p := range f.PIDs {
+			cf.pids[p] = struct{}{}
+		}
+	}
+	if len(f.TIDs) > 0 {
+		cf.tids = make(map[int]struct{}, len(f.TIDs))
+		for _, t := range f.TIDs {
+			cf.tids[t] = struct{}{}
+		}
+	}
+	return cf
+}
+
+// EnabledSyscalls resolves the syscall set of the filter: all of Table I
+// when unset.
+func (f Filter) EnabledSyscalls() []kernel.Syscall {
+	if len(f.Syscalls) == 0 {
+		return kernel.AllSyscalls()
+	}
+	return append([]kernel.Syscall(nil), f.Syscalls...)
+}
+
+func (cf *compiledFilter) matchTask(pid, tid int) bool {
+	if cf.pids != nil {
+		if _, ok := cf.pids[pid]; !ok {
+			return false
+		}
+	}
+	if cf.tids != nil {
+		if _, ok := cf.tids[tid]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (cf *compiledFilter) hasPathFilter() bool { return len(cf.prefixes) > 0 }
+
+func (cf *compiledFilter) matchPath(path string) bool {
+	if len(cf.prefixes) == 0 {
+		return true
+	}
+	for _, p := range cf.prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fdKey identifies an open descriptor within a process, for the kernel map
+// that extends path filtering to fd-based syscalls.
+type fdKey struct {
+	pid int
+	fd  int
+}
+
+// fdInterestMap is the eBPF map that remembers which descriptors refer to
+// filtered paths: populated when an open of a matching path succeeds,
+// consulted by fd-based syscalls, and cleaned on close.
+type fdInterestMap struct {
+	mu sync.Mutex
+	m  map[fdKey]struct{}
+}
+
+func newFDInterestMap() *fdInterestMap {
+	return &fdInterestMap{m: make(map[fdKey]struct{})}
+}
+
+func (fim *fdInterestMap) add(pid, fd int) {
+	fim.mu.Lock()
+	fim.m[fdKey{pid, fd}] = struct{}{}
+	fim.mu.Unlock()
+}
+
+func (fim *fdInterestMap) has(pid, fd int) bool {
+	fim.mu.Lock()
+	_, ok := fim.m[fdKey{pid, fd}]
+	fim.mu.Unlock()
+	return ok
+}
+
+func (fim *fdInterestMap) remove(pid, fd int) {
+	fim.mu.Lock()
+	delete(fim.m, fdKey{pid, fd})
+	fim.mu.Unlock()
+}

@@ -1,0 +1,31 @@
+package ebpf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the record decoder: it must never
+// panic, and any record it accepts must re-marshal to a decodable record.
+func FuzzUnmarshal(f *testing.F) {
+	seed := Record{
+		NR: 7, PID: 1, TID: 2, EnterNS: 3, ExitNS: 4, Ret: -2,
+		Comm: "app", Path: "/tmp/x",
+	}
+	f.Add(seed.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(rec.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of accepted record failed: %v", err)
+		}
+		if !reflect.DeepEqual(rec, again) {
+			t.Fatalf("re-marshal not stable:\n%+v\n%+v", rec, again)
+		}
+	})
+}

@@ -1,0 +1,259 @@
+// Package ebpf implements the in-kernel half of DIO's tracer as an
+// eBPF-style runtime: small programs attach to the simulated kernel's
+// syscall tracepoints, filter events in "kernel space", pair syscall entry
+// and exit into a single record, and publish fixed-layout binary records
+// through bounded per-CPU ring buffers. When producers outpace the
+// user-space consumer the buffers drop events, exactly like the real
+// ring-buffer behaviour measured in §III-D of the paper.
+package ebpf
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// CommLen mirrors the kernel TASK_COMM_LEN: thread and process names are
+// truncated to this many bytes in trace records.
+const CommLen = 16
+
+// MaxPathLen bounds the path bytes copied into a record, as eBPF programs
+// copy paths into fixed-size per-record buffers.
+const MaxPathLen = 256
+
+// Record is the binary payload exchanged between the kernel-side programs
+// and the user-space tracer: one fully paired syscall with its enrichment.
+type Record struct {
+	NR       uint16
+	PID      int32
+	TID      int32
+	EnterNS  int64
+	ExitNS   int64
+	Ret      int64
+	FD       int32
+	Count    int32
+	ArgOff   int64
+	Whence   int32
+	Flags    int32
+	Mode     uint32
+	AuxFlags uint8 // bit 0: have file, bit 1: have offset
+	FType    uint8 // kernel.FileType of the accessed object (0 when unknown)
+	Dev      uint64
+	Ino      uint64
+	BirthNS  int64
+	Offset   int64
+	Comm     string // process name, truncated to CommLen
+	TaskComm string // thread name, truncated to CommLen
+	Path     string
+	Path2    string
+	AttrName string
+}
+
+// Aux flag bits.
+const (
+	auxHaveFile   = 1 << 0
+	auxHaveOffset = 1 << 1
+)
+
+// HaveFile reports whether the record carries file enrichment.
+func (r *Record) HaveFile() bool { return r.AuxFlags&auxHaveFile != 0 }
+
+// HaveOffset reports whether the record carries a file offset.
+func (r *Record) HaveOffset() bool { return r.AuxFlags&auxHaveOffset != 0 }
+
+// SetHaveFile marks the record as carrying file enrichment.
+func (r *Record) SetHaveFile() { r.AuxFlags |= auxHaveFile }
+
+// SetHaveOffset marks the record as carrying a file offset.
+func (r *Record) SetHaveOffset() { r.AuxFlags |= auxHaveOffset }
+
+func truncate(s string, max int) string {
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
+}
+
+const fixedHeaderLen = 2 + 4 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 4 + 4 + 1 + 1 + 8 + 8 + 8 + 8
+
+// Size returns the marshaled length of the record in bytes; the ring buffer
+// accounts capacity in bytes, as the real BPF ring buffer does.
+func (r *Record) Size() int {
+	n := 4 + fixedHeaderLen // u32 total length prefix + fixed fields
+	for _, s := range []string{
+		truncate(r.Comm, CommLen),
+		truncate(r.TaskComm, CommLen),
+		truncate(r.Path, MaxPathLen),
+		truncate(r.Path2, MaxPathLen),
+		truncate(r.AttrName, MaxPathLen),
+	} {
+		n += 2 + len(s)
+	}
+	return n
+}
+
+// Marshal encodes the record into a fresh byte slice.
+func (r *Record) Marshal() []byte {
+	buf := make([]byte, r.Size())
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(len(buf)))
+	o := 4
+	le.PutUint16(buf[o:], r.NR)
+	o += 2
+	le.PutUint32(buf[o:], uint32(r.PID))
+	o += 4
+	le.PutUint32(buf[o:], uint32(r.TID))
+	o += 4
+	le.PutUint64(buf[o:], uint64(r.EnterNS))
+	o += 8
+	le.PutUint64(buf[o:], uint64(r.ExitNS))
+	o += 8
+	le.PutUint64(buf[o:], uint64(r.Ret))
+	o += 8
+	le.PutUint32(buf[o:], uint32(r.FD))
+	o += 4
+	le.PutUint32(buf[o:], uint32(r.Count))
+	o += 4
+	le.PutUint64(buf[o:], uint64(r.ArgOff))
+	o += 8
+	le.PutUint32(buf[o:], uint32(r.Whence))
+	o += 4
+	le.PutUint32(buf[o:], uint32(r.Flags))
+	o += 4
+	le.PutUint32(buf[o:], r.Mode)
+	o += 4
+	buf[o] = r.AuxFlags
+	o++
+	buf[o] = r.FType
+	o++
+	le.PutUint64(buf[o:], r.Dev)
+	o += 8
+	le.PutUint64(buf[o:], r.Ino)
+	o += 8
+	le.PutUint64(buf[o:], uint64(r.BirthNS))
+	o += 8
+	le.PutUint64(buf[o:], uint64(r.Offset))
+	o += 8
+	for _, s := range []string{
+		truncate(r.Comm, CommLen),
+		truncate(r.TaskComm, CommLen),
+		truncate(r.Path, MaxPathLen),
+		truncate(r.Path2, MaxPathLen),
+		truncate(r.AttrName, MaxPathLen),
+	} {
+		le.PutUint16(buf[o:], uint16(len(s)))
+		o += 2
+		copy(buf[o:], s)
+		o += len(s)
+	}
+	return buf
+}
+
+// ErrShortRecord reports a truncated or corrupt record buffer.
+var ErrShortRecord = errors.New("ebpf: short record")
+
+// Unmarshal decodes a record previously produced by Marshal.
+func Unmarshal(buf []byte) (Record, error) {
+	var r Record
+	le := binary.LittleEndian
+	if len(buf) < 4+fixedHeaderLen {
+		return r, ErrShortRecord
+	}
+	total := int(le.Uint32(buf[0:]))
+	if total != len(buf) {
+		return r, ErrShortRecord
+	}
+	o := 4
+	r.NR = le.Uint16(buf[o:])
+	o += 2
+	r.PID = int32(le.Uint32(buf[o:]))
+	o += 4
+	r.TID = int32(le.Uint32(buf[o:]))
+	o += 4
+	r.EnterNS = int64(le.Uint64(buf[o:]))
+	o += 8
+	r.ExitNS = int64(le.Uint64(buf[o:]))
+	o += 8
+	r.Ret = int64(le.Uint64(buf[o:]))
+	o += 8
+	r.FD = int32(le.Uint32(buf[o:]))
+	o += 4
+	r.Count = int32(le.Uint32(buf[o:]))
+	o += 4
+	r.ArgOff = int64(le.Uint64(buf[o:]))
+	o += 8
+	r.Whence = int32(le.Uint32(buf[o:]))
+	o += 4
+	r.Flags = int32(le.Uint32(buf[o:]))
+	o += 4
+	r.Mode = le.Uint32(buf[o:])
+	o += 4
+	r.AuxFlags = buf[o]
+	o++
+	r.FType = buf[o]
+	o++
+	r.Dev = le.Uint64(buf[o:])
+	o += 8
+	r.Ino = le.Uint64(buf[o:])
+	o += 8
+	r.BirthNS = int64(le.Uint64(buf[o:]))
+	o += 8
+	r.Offset = int64(le.Uint64(buf[o:]))
+	o += 8
+	strs := make([]string, 5)
+	for i := range strs {
+		if o+2 > len(buf) {
+			return r, ErrShortRecord
+		}
+		n := int(le.Uint16(buf[o:]))
+		o += 2
+		if o+n > len(buf) {
+			return r, ErrShortRecord
+		}
+		strs[i] = string(buf[o : o+n])
+		o += n
+	}
+	r.Comm, r.TaskComm, r.Path, r.Path2, r.AttrName = strs[0], strs[1], strs[2], strs[3], strs[4]
+	return r, nil
+}
+
+// RecordFromExit builds a record from a kernel sys_exit payload. It is the
+// core of the eBPF program body: copy syscall info, process info, time
+// info, and the kernel-context enrichment into the fixed layout.
+func RecordFromExit(e *kernel.Exit) Record {
+	r := Record{
+		NR:       uint16(e.NR),
+		PID:      int32(e.PID),
+		TID:      int32(e.TID),
+		EnterNS:  e.TimeNS,
+		ExitNS:   e.ExitNS,
+		Ret:      e.Ret,
+		FD:       int32(e.Args.FD),
+		Count:    int32(e.Args.Count),
+		ArgOff:   e.Args.Offset,
+		Whence:   int32(e.Args.Whence),
+		Flags:    int32(e.Args.Flags),
+		Mode:     e.Args.Mode,
+		Comm:     truncate(e.ProcName, CommLen),
+		TaskComm: truncate(e.TaskName, CommLen),
+		Path:     truncate(e.Args.Path, MaxPathLen),
+		Path2:    truncate(e.Args.Path2, MaxPathLen),
+		AttrName: truncate(e.Args.AttrName, MaxPathLen),
+	}
+	if e.Aux.HaveFile {
+		r.SetHaveFile()
+		r.FType = uint8(e.Aux.FileType)
+		r.Dev = e.Aux.Dev
+		r.Ino = e.Aux.Ino
+		r.BirthNS = e.Aux.BirthNS
+	}
+	if e.Aux.HaveOffset {
+		r.SetHaveOffset()
+		r.Offset = e.Aux.Offset
+	}
+	if r.Path == "" && e.Aux.Path != "" {
+		r.Path = truncate(e.Aux.Path, MaxPathLen)
+	}
+	return r
+}

@@ -1,0 +1,234 @@
+package ebpf
+
+import (
+	"sync"
+)
+
+// RingBuffer is a bounded byte-accounted FIFO between a kernel-side producer
+// and the user-space consumer. When the buffer is full, new records are
+// dropped and counted — the non-blocking strategy that keeps tracing off the
+// application's critical path at the cost of possible event loss (§I, §III-D).
+type RingBuffer struct {
+	mu       sync.Mutex
+	space    *sync.Cond // signaled when capacity frees up (blocking mode)
+	capBytes int
+	used     int
+	queue    [][]byte
+	head     int
+	blocking bool
+
+	writes uint64
+	drops  uint64
+	blocks uint64 // producer waits in blocking mode
+	closed bool
+
+	// notify wakes a blocked consumer; buffered size 1 so producers never
+	// block on it.
+	notify chan struct{}
+}
+
+// NewRingBuffer creates a ring buffer with the given capacity in bytes.
+func NewRingBuffer(capBytes int) *RingBuffer {
+	rb := &RingBuffer{
+		capBytes: capBytes,
+		notify:   make(chan struct{}, 1),
+	}
+	rb.space = sync.NewCond(&rb.mu)
+	return rb
+}
+
+// SetBlocking switches the buffer into back-pressure mode: instead of
+// dropping when full, Write blocks the producer until the consumer frees
+// space — the strace-style trade-off (no loss, application slowdown) that
+// DIO's non-blocking design deliberately avoids (§I). Exists for the
+// ablation benchmark.
+func (rb *RingBuffer) SetBlocking(v bool) {
+	rb.mu.Lock()
+	rb.blocking = v
+	rb.mu.Unlock()
+}
+
+// Blocks reports how many producer waits occurred in blocking mode.
+func (rb *RingBuffer) Blocks() uint64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.blocks
+}
+
+// Write offers a record to the buffer. In the default non-blocking mode it
+// never blocks: if the record does not fit, it is dropped and Write returns
+// false. In blocking mode it waits for the consumer instead.
+func (rb *RingBuffer) Write(rec []byte) bool {
+	rb.mu.Lock()
+	if rb.blocking {
+		waited := false
+		for !rb.closed && rb.used+len(rec) > rb.capBytes {
+			if !waited {
+				rb.blocks++
+				waited = true
+			}
+			rb.space.Wait()
+		}
+	}
+	if rb.closed || rb.used+len(rec) > rb.capBytes {
+		rb.drops++
+		rb.mu.Unlock()
+		return false
+	}
+	rb.queue = append(rb.queue, rec)
+	rb.used += len(rec)
+	rb.writes++
+	rb.mu.Unlock()
+	select {
+	case rb.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// TryRead pops the oldest record, if any.
+func (rb *RingBuffer) TryRead() ([]byte, bool) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.head >= len(rb.queue) {
+		return nil, false
+	}
+	rec := rb.queue[rb.head]
+	rb.queue[rb.head] = nil
+	rb.head++
+	rb.used -= len(rec)
+	if rb.head == len(rb.queue) {
+		rb.queue = rb.queue[:0]
+		rb.head = 0
+	} else if rb.head > 1024 && rb.head*2 > len(rb.queue) {
+		rb.queue = append(rb.queue[:0], rb.queue[rb.head:]...)
+		rb.head = 0
+	}
+	rb.space.Broadcast()
+	return rec, true
+}
+
+// ReadBatch pops up to max records.
+func (rb *RingBuffer) ReadBatch(max int) [][]byte {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	n := len(rb.queue) - rb.head
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = rb.queue[rb.head+i]
+		rb.used -= len(out[i])
+		rb.queue[rb.head+i] = nil
+	}
+	rb.head += n
+	if rb.head == len(rb.queue) {
+		rb.queue = rb.queue[:0]
+		rb.head = 0
+	}
+	rb.space.Broadcast()
+	return out
+}
+
+// Notify returns the consumer wake-up channel.
+func (rb *RingBuffer) Notify() <-chan struct{} { return rb.notify }
+
+// Pending reports the number of queued records.
+func (rb *RingBuffer) Pending() int {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return len(rb.queue) - rb.head
+}
+
+// Writes returns the number of successfully written records.
+func (rb *RingBuffer) Writes() uint64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.writes
+}
+
+// Drops returns the number of records discarded because the buffer was full.
+func (rb *RingBuffer) Drops() uint64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.drops
+}
+
+// Close marks the buffer closed; subsequent writes are dropped and any
+// blocked producers are released.
+func (rb *RingBuffer) Close() {
+	rb.mu.Lock()
+	rb.closed = true
+	rb.space.Broadcast()
+	rb.mu.Unlock()
+	select {
+	case rb.notify <- struct{}{}:
+	default:
+	}
+}
+
+// PerCPU models the per-CPU ring buffer array used by the tracer (§II-B):
+// each producer writes to the ring of its (simulated) CPU, chosen by a
+// stable hash of the thread ID.
+type PerCPU struct {
+	rings []*RingBuffer
+}
+
+// NewPerCPU creates nCPU rings of capBytes each (the paper's deployment used
+// 256 MiB per core).
+func NewPerCPU(nCPU, capBytes int) *PerCPU {
+	if nCPU < 1 {
+		nCPU = 1
+	}
+	p := &PerCPU{rings: make([]*RingBuffer, nCPU)}
+	for i := range p.rings {
+		p.rings[i] = NewRingBuffer(capBytes)
+	}
+	return p
+}
+
+// Write publishes rec on the ring of tid's CPU.
+func (p *PerCPU) Write(tid int, rec []byte) bool {
+	return p.rings[tid%len(p.rings)].Write(rec)
+}
+
+// Rings returns the underlying rings for the consumer loop.
+func (p *PerCPU) Rings() []*RingBuffer { return p.rings }
+
+// Drops sums drops across CPUs.
+func (p *PerCPU) Drops() uint64 {
+	var n uint64
+	for _, r := range p.rings {
+		n += r.Drops()
+	}
+	return n
+}
+
+// Writes sums successful writes across CPUs.
+func (p *PerCPU) Writes() uint64 {
+	var n uint64
+	for _, r := range p.rings {
+		n += r.Writes()
+	}
+	return n
+}
+
+// Pending sums queued records across CPUs.
+func (p *PerCPU) Pending() int {
+	var n int
+	for _, r := range p.rings {
+		n += r.Pending()
+	}
+	return n
+}
+
+// Close closes all rings.
+func (p *PerCPU) Close() {
+	for _, r := range p.rings {
+		r.Close()
+	}
+}

@@ -1,0 +1,123 @@
+// Package event defines the trace event model shared by the tracer, the
+// analysis backend, and the visualizer: one Event per syscall, carrying the
+// request information (type, arguments, return value), process information
+// (PID, TID, process and thread names), entry/exit timestamps, and the
+// kernel-context enrichment (file type, file offset, file tag) described in
+// §II-B of the paper.
+package event
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FileTag uniquely identifies the file accessed by a syscall, even across
+// inode-number reuse: device number, inode number, and the first-access
+// (inode birth) timestamp. It is the key input to the file-path correlation
+// algorithm (§II-C).
+type FileTag struct {
+	Dev     uint64 `json:"dev_no"`
+	Ino     uint64 `json:"inode_no"`
+	BirthNS int64  `json:"timestamp"`
+}
+
+// Zero reports whether the tag is unset.
+func (ft FileTag) Zero() bool { return ft.Dev == 0 && ft.Ino == 0 && ft.BirthNS == 0 }
+
+// String renders the tag in the "dev_no inode_no timestamp" form used by the
+// paper's Fig. 2 tables.
+func (ft FileTag) String() string {
+	if ft.Zero() {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(40)
+	b.WriteString(strconv.FormatUint(ft.Dev, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(ft.Ino, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(ft.BirthNS, 10))
+	return b.String()
+}
+
+// ParseFileTag parses the String form back into a FileTag.
+func ParseFileTag(s string) (FileTag, error) {
+	parts := strings.Fields(s)
+	if len(parts) != 3 {
+		return FileTag{}, fmt.Errorf("file tag %q: want 3 fields", s)
+	}
+	dev, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return FileTag{}, fmt.Errorf("file tag dev: %w", err)
+	}
+	ino, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return FileTag{}, fmt.Errorf("file tag ino: %w", err)
+	}
+	ts, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return FileTag{}, fmt.Errorf("file tag timestamp: %w", err)
+	}
+	return FileTag{Dev: dev, Ino: ino, BirthNS: ts}, nil
+}
+
+// Event is one traced syscall, with entry and exit already aggregated into a
+// single record (DIO pairs them in kernel space, §II-B).
+type Event struct {
+	// Session names the tracing execution this event belongs to, so the
+	// backend can store and compare multiple runs (§II-F).
+	Session string `json:"session"`
+
+	// Request information.
+	Syscall string `json:"syscall"`
+	Class   string `json:"class"`
+	RetVal  int64  `json:"ret_val"`
+
+	// Arguments (fields that do not apply to a syscall are zero).
+	FD       int    `json:"fd,omitempty"`
+	ArgPath  string `json:"arg_path,omitempty"`
+	ArgPath2 string `json:"arg_path2,omitempty"`
+	Count    int    `json:"count,omitempty"`
+	ArgOff   int64  `json:"arg_offset,omitempty"`
+	Whence   int    `json:"whence,omitempty"`
+	Flags    int    `json:"flags,omitempty"`
+	Mode     uint32 `json:"mode,omitempty"`
+	AttrName string `json:"xattr_name,omitempty"`
+
+	// Process information.
+	PID        int    `json:"pid"`
+	TID        int    `json:"tid"`
+	ProcName   string `json:"proc_name"`
+	ThreadName string `json:"thread_name"`
+
+	// Time information (raw kernel nanoseconds).
+	TimeEnterNS int64 `json:"time_enter_ns"`
+	TimeExitNS  int64 `json:"time_exit_ns"`
+
+	// Enrichment from kernel context (§II-B).
+	FileTag    FileTag `json:"file_tag,omitempty"`
+	FileType   string  `json:"file_type,omitempty"`
+	Offset     int64   `json:"offset"`
+	HasOffset  bool    `json:"has_offset"`
+	KernelPath string  `json:"kernel_path,omitempty"`
+
+	// FilePath is filled by the backend's file-path correlation algorithm
+	// (§II-C); empty until correlation runs or when the tag is unresolvable.
+	FilePath string `json:"file_path,omitempty"`
+}
+
+// DurationNS returns the syscall's latency in nanoseconds.
+func (e *Event) DurationNS() int64 { return e.TimeExitNS - e.TimeEnterNS }
+
+// Failed reports whether the syscall returned an error.
+func (e *Event) Failed() bool { return e.RetVal < 0 }
+
+// OffsetOrBlank renders the offset column of the paper's tabular view:
+// empty for syscalls without a meaningful offset.
+func (e *Event) OffsetOrBlank() string {
+	if !e.HasOffset {
+		return ""
+	}
+	return strconv.FormatInt(e.Offset, 10)
+}

@@ -1,0 +1,108 @@
+package event
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileTagString(t *testing.T) {
+	ft := FileTag{Dev: 7340032, Ino: 12, BirthNS: 2156997363734041}
+	want := "7340032 12 2156997363734041"
+	if got := ft.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFileTagZero(t *testing.T) {
+	var ft FileTag
+	if !ft.Zero() {
+		t.Fatal("zero tag not Zero()")
+	}
+	if ft.String() != "" {
+		t.Fatalf("zero tag String() = %q, want empty", ft.String())
+	}
+	if (FileTag{Ino: 1}).Zero() {
+		t.Fatal("non-zero tag reported Zero()")
+	}
+}
+
+func TestParseFileTagRoundTrip(t *testing.T) {
+	f := func(dev, ino uint64, birth int64) bool {
+		in := FileTag{Dev: dev, Ino: ino, BirthNS: birth}
+		if in.Zero() {
+			return true
+		}
+		out, err := ParseFileTag(in.String())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFileTagErrors(t *testing.T) {
+	for _, bad := range []string{"", "1 2", "a b c", "1 2 3 4", "1 x 3", "1 2 z"} {
+		if _, err := ParseFileTag(bad); err == nil {
+			t.Errorf("ParseFileTag(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEventDurationAndFailed(t *testing.T) {
+	e := Event{TimeEnterNS: 100, TimeExitNS: 350, RetVal: -2}
+	if e.DurationNS() != 250 {
+		t.Fatalf("duration = %d", e.DurationNS())
+	}
+	if !e.Failed() {
+		t.Fatal("negative ret not Failed()")
+	}
+	e.RetVal = 0
+	if e.Failed() {
+		t.Fatal("zero ret reported Failed()")
+	}
+}
+
+func TestOffsetOrBlank(t *testing.T) {
+	e := Event{Offset: 26, HasOffset: true}
+	if got := e.OffsetOrBlank(); got != "26" {
+		t.Fatalf("OffsetOrBlank = %q", got)
+	}
+	e.HasOffset = false
+	if got := e.OffsetOrBlank(); got != "" {
+		t.Fatalf("OffsetOrBlank = %q, want empty", got)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{
+		Session:     "s1",
+		Syscall:     "openat",
+		Class:       "metadata",
+		RetVal:      3,
+		FD:          -100,
+		ArgPath:     "/tmp/app.log",
+		PID:         101,
+		TID:         102,
+		ProcName:    "app",
+		ThreadName:  "app",
+		TimeEnterNS: 1,
+		TimeExitNS:  2,
+		FileTag:     FileTag{Dev: 7340032, Ino: 12, BirthNS: 99},
+		FileType:    "regular",
+		HasOffset:   true,
+		Offset:      0,
+		KernelPath:  "/tmp/app.log",
+	}
+	raw, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Event
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}

@@ -1,0 +1,27 @@
+package event
+
+import "testing"
+
+// FuzzParseFileTag must never panic, and accepted tags must round-trip.
+func FuzzParseFileTag(f *testing.F) {
+	f.Add("7340032 12 2156997363734041")
+	f.Add("")
+	f.Add("1 2")
+	f.Add("a b c")
+	f.Add("-1 -2 -3")
+	f.Fuzz(func(t *testing.T, s string) {
+		tag, err := ParseFileTag(s)
+		if err != nil || tag.Zero() {
+			// The zero tag renders as the empty string by design (unset
+			// tags are omitted from events), so it cannot round-trip.
+			return
+		}
+		back, err := ParseFileTag(tag.String())
+		if err != nil {
+			t.Fatalf("accepted tag %q did not round-trip: %v", s, err)
+		}
+		if back != tag {
+			t.Fatalf("round trip mismatch: %+v vs %+v", tag, back)
+		}
+	})
+}

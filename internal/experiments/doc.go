@@ -1,0 +1,17 @@
+// Package experiments wires the repository's components into the paper's
+// evaluation artifacts: each exported Run* function reproduces one table or
+// figure of the DSN'23 DIO paper end-to-end (workload → tracer → backend →
+// visualizer) and returns both the rendered artifact and the raw numbers so
+// tests can assert the result's shape. The cmd/diobench binary and the
+// repository-level benchmarks are thin wrappers around this package.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Table I   — RunTable1: supported-syscall inventory
+//	Fig. 2a/b — RunFig2: Fluent Bit data-loss access patterns
+//	Fig. 3    — RunRocksDB: p99 client latency over time
+//	Fig. 4    — RunRocksDB: syscalls over time by thread name
+//	Table II  — RunTable2: tracer execution-time overheads
+//	Table III — RunTable3: qualitative tool comparison
+//	§III-D    — RunDrops (ring-buffer loss), RunPathResolution (coverage)
+package experiments

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/dsrhaslab/dio-go/internal/comparators"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/viz"
+)
+
+// RunTable1 renders Table I: the 42 storage-related syscalls the tracer
+// supports, grouped by class.
+func RunTable1() *viz.Table {
+	t := &viz.Table{
+		Title:   "Table I: syscalls supported by DIO",
+		Columns: []string{"class", "syscalls", "count"},
+	}
+	groups := map[kernel.Class][]string{}
+	order := []kernel.Class{
+		kernel.ClassData, kernel.ClassMetadata, kernel.ClassExtendedAttr, kernel.ClassDirectory,
+	}
+	for _, s := range kernel.AllSyscalls() {
+		groups[s.Class()] = append(groups[s.Class()], s.String())
+	}
+	total := 0
+	for _, c := range order {
+		names := groups[c]
+		total += len(names)
+		t.Rows = append(t.Rows, []string{c.String(), joinWrapped(names), fmt.Sprintf("%d", len(names))})
+	}
+	t.Rows = append(t.Rows, []string{"total", "", fmt.Sprintf("%d", total)})
+	return t
+}
+
+func joinWrapped(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
+}
+
+// Table2Row is one row of the overhead table, with the paper's reference
+// values attached for side-by-side reporting.
+type Table2Row struct {
+	comparators.OverheadResult
+	// PaperOverhead is the slowdown the paper measured on real hardware.
+	PaperOverhead float64
+}
+
+// Table2Result is the output of the Table II reproduction.
+type Table2Result struct {
+	Rows  []Table2Row
+	Table *viz.Table
+}
+
+var paperOverheads = map[comparators.Mode]float64{
+	comparators.ModeVanilla: 1.00,
+	comparators.ModeSysdig:  1.04,
+	comparators.ModeDIO:     1.37,
+	comparators.ModeStrace:  1.71,
+}
+
+// RunTable2 reproduces Table II with the given number of workload cycles
+// (0 selects a default sized for quick runs).
+func RunTable2(cycles int) (Table2Result, error) {
+	res, err := comparators.RunOverheadExperiment(comparators.OverheadConfig{Cycles: cycles})
+	if err != nil {
+		return Table2Result{}, fmt.Errorf("overhead experiment: %w", err)
+	}
+	out := Table2Result{
+		Table: &viz.Table{
+			Title: "Table II: execution time and overhead per tracer",
+			Columns: []string{
+				"tracer", "syscalls", "exec time (simulated)", "overhead", "paper overhead",
+			},
+		},
+	}
+	for _, r := range res {
+		row := Table2Row{OverheadResult: r, PaperOverhead: paperOverheads[r.Mode]}
+		out.Rows = append(out.Rows, row)
+		out.Table.Rows = append(out.Table.Rows, []string{
+			r.Mode.String(),
+			fmt.Sprintf("%d", r.Syscalls),
+			r.ExecTime.String(),
+			fmt.Sprintf("%.2fx", r.Overhead),
+			fmt.Sprintf("%.2fx", row.PaperOverhead),
+		})
+	}
+	return out, nil
+}
+
+// RunTable3 renders the qualitative tool comparison of Table III.
+func RunTable3() *viz.Table {
+	return comparators.RenderTable3()
+}

@@ -1,0 +1,236 @@
+// Package integration exercises the full paper deployment (§II-F): a
+// standalone backend server (the Elasticsearch role), tracers on "other
+// machines" shipping events over HTTP, correlation on the server, and
+// visualizer queries from a third party — all composed exactly like the
+// cmd/diod, cmd/dio, and cmd/dioviz binaries.
+package integration
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/analysis"
+	"github.com/dsrhaslab/dio-go/internal/apps/fluentbit"
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/comparators"
+	"github.com/dsrhaslab/dio-go/internal/core"
+	"github.com/dsrhaslab/dio-go/internal/diagnose"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/replay"
+	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/viz"
+)
+
+func TestFullPipelineOverHTTP(t *testing.T) {
+	// The "analysis server": one store behind HTTP, as cmd/diod runs it.
+	st := store.New()
+	srv := httptest.NewServer(store.NewServer(st))
+	defer srv.Close()
+
+	// "Machine 1": trace the Fluent Bit scenario, shipping remotely.
+	k1 := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(kernel.BaseTimestampNS, time.Microsecond)})
+	tr1, err := core.NewTracer(core.Config{
+		SessionName:   "m1-fluentbit",
+		Index:         "dio-events",
+		Backend:       store.NewClient(srv.URL),
+		AutoCorrelate: true,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr1.Start(k1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fluentbit.RunScenario(k1, "/var/log", fluentbit.VersionBuggy); err != nil {
+		t.Fatal(err)
+	}
+	stats1, err := tr1.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Shipped == 0 || stats1.ShipErrors != 0 {
+		t.Fatalf("machine 1 stats = %+v", stats1)
+	}
+
+	// "Machine 2": a different workload into the same backend.
+	k2 := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	tr2, err := core.NewTracer(core.Config{
+		SessionName:   "m2-synthetic",
+		Index:         "dio-events",
+		Backend:       store.NewClient(srv.URL),
+		AutoCorrelate: true,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Start(k2); err != nil {
+		t.Fatal(err)
+	}
+	task := k2.NewProcess("synthetic").NewTask("synthetic")
+	if err := comparators.RunWorkload(k2, task, comparators.WorkloadConfig{}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "visualizer machine": query through a fresh HTTP client, as
+	// cmd/dioviz does.
+	client := store.NewClient(srv.URL)
+
+	names, err := client.Indices()
+	if err != nil || len(names) != 1 || names[0] != "dio-events" {
+		t.Fatalf("indices = (%v, %v)", names, err)
+	}
+
+	table, err := viz.AccessPatternTable(client, "dio-events", "m1-fluentbit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	if !strings.Contains(out, "fluent-bit") || !strings.Contains(out, "lseek") {
+		t.Fatalf("fig2-style table over HTTP missing content:\n%s", out)
+	}
+
+	hist, err := viz.SyscallHistogram(client, "dio-events", "m2-synthetic")
+	if err != nil || len(hist.Labels) == 0 {
+		t.Fatalf("histogram = (%v, %v)", hist, err)
+	}
+
+	// Cross-session comparison through HTTP.
+	deltas, err := analysis.CompareSessions(client, "dio-events", "m1-fluentbit", "m2-synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFsync := false
+	for _, d := range deltas {
+		if d.Syscall == "fsync" && d.CountA == 0 && d.CountB > 0 {
+			foundFsync = true
+		}
+	}
+	if !foundFsync {
+		t.Fatalf("comparison did not separate the workloads: %+v", deltas)
+	}
+
+	// Offset-pattern analysis over HTTP (machine 2's synthetic files were
+	// correlated server-side at tracer Stop).
+	p, err := analysis.FileOffsetPattern(client, "dio-events", "m2-synthetic", "/data/f000.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Writes == 0 || p.Classification() == "no data I/O" {
+		t.Fatalf("offset pattern = %+v", p)
+	}
+
+	// Both sessions' tagged events fully path-correlated on the server.
+	unresolved, err := client.Count("dio-events", store.Must(
+		store.Exists(store.FieldFileTag),
+		store.MustNot(store.Exists(store.FieldFilePath)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unresolved != 0 {
+		t.Fatalf("%d events left unresolved after server-side correlation", unresolved)
+	}
+}
+
+func TestMultipleTracersSameKernelDifferentBackends(t *testing.T) {
+	// DIO and a Sysdig-style tracer observing the same kernel at once, as
+	// in the §III-D comparison runs.
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	k.MkdirAll("/data")
+
+	backend := store.New()
+	dioTracer, _ := core.NewTracer(core.Config{
+		SessionName:   "both-dio",
+		Index:         "events",
+		Backend:       backend,
+		FlushInterval: time.Millisecond,
+	})
+	dioTracer.Start(k)
+	sysdig := comparators.NewSysdigTracer(comparators.SysdigConfig{Clock: k.Clock(), RingBytes: 1 << 20})
+	sysdig.Attach(k)
+
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(kernel.AtFDCWD, "/data/x", kernel.OWronly|kernel.OCreat, 0o644)
+	task.Write(fd, []byte("hello"))
+	task.Close(fd)
+
+	sysdig.Detach()
+	sysdig.Consume()
+	dioStats, err := dioTracer.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dioStats.Shipped != 3 {
+		t.Fatalf("dio shipped = %d", dioStats.Shipped)
+	}
+	if got := sysdig.Stats().Consumed; got != 3 {
+		t.Fatalf("sysdig consumed = %d", got)
+	}
+}
+
+func TestVisualizerViewsOverHTTP(t *testing.T) {
+	st := store.New()
+	srv := httptest.NewServer(store.NewServer(st))
+	defer srv.Close()
+
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	tr, _ := core.NewTracer(core.Config{
+		SessionName:   "views",
+		Index:         "dio-events",
+		Backend:       store.NewClient(srv.URL),
+		AutoCorrelate: true,
+		FlushInterval: time.Millisecond,
+	})
+	tr.Start(k)
+	if _, err := fluentbit.RunScenario(k, "/var/log", fluentbit.VersionBuggy); err != nil {
+		t.Fatal(err)
+	}
+	tr.Stop()
+
+	client := store.NewClient(srv.URL)
+
+	// HTML dashboard renders through the remote backend.
+	var html strings.Builder
+	if err := viz.HTMLDashboard(&html, client, "dio-events", "views", int64(time.Millisecond)); err != nil {
+		t.Fatalf("html dashboard: %v", err)
+	}
+	if !strings.Contains(html.String(), "<svg") || !strings.Contains(html.String(), "fluent-bit") {
+		t.Fatal("html dashboard incomplete")
+	}
+
+	// Heatmap via the remote timeline.
+	ts, err := viz.SyscallTimeline(client, "dio-events", "views", int64(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := viz.HeatmapFromTimeSeries(ts)
+	if len(hm.RowLabels) == 0 {
+		t.Fatal("empty heatmap")
+	}
+
+	// Automated diagnosis through HTTP.
+	rep, err := diagnose.Run(client, "dio-events", "views", diagnose.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Critical() {
+		t.Fatalf("remote diagnosis missed the bug: %s", rep)
+	}
+
+	// Trace replay through HTTP.
+	k2 := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	res, err := replay.Session(client, "dio-events", "views", k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replayed == 0 || len(res.Mismatches) != 0 {
+		t.Fatalf("remote replay = %+v", res)
+	}
+}

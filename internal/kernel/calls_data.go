@@ -1,0 +1,377 @@
+package kernel
+
+// Whence values for lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Open opens path with flags, returning a new file descriptor.
+func (t *Task) Open(path string, flags OpenFlags, mode uint32) (int, error) {
+	enter := t.begin(SysOpen, SyscallArgs{Path: path, Flags: flags, Mode: mode})
+	fd, aux, err := t.openImpl(path, flags)
+	t.finish(enter, Ret(int64(fd), err), aux)
+	return fd, err
+}
+
+// Openat opens path relative to dirfd (only AtFDCWD with absolute paths is
+// supported, which is how the traced workloads use it).
+func (t *Task) Openat(dirfd int, path string, flags OpenFlags, mode uint32) (int, error) {
+	enter := t.begin(SysOpenat, SyscallArgs{FD: dirfd, Path: path, Flags: flags, Mode: mode})
+	fd, aux, err := t.openImpl(path, flags)
+	t.finish(enter, Ret(int64(fd), err), aux)
+	return fd, err
+}
+
+// Creat creates (or truncates) path for writing.
+func (t *Task) Creat(path string, mode uint32) (int, error) {
+	enter := t.begin(SysCreat, SyscallArgs{Path: path, Mode: mode})
+	fd, aux, err := t.openImpl(path, OWronly|OCreat|OTrunc)
+	t.finish(enter, Ret(int64(fd), err), aux)
+	return fd, err
+}
+
+func (t *Task) openImpl(path string, flags OpenFlags) (int, Aux, error) {
+	// EMFILE is reported before any filesystem effect (as on Linux, where
+	// the unused-fd allocation precedes the path walk).
+	fd := t.proc.reserveFD()
+	if fd < 0 {
+		return -1, Aux{}, EMFILE
+	}
+	k := t.k
+	k.mu.Lock()
+	nd, err := k.fs.namei(path, true)
+	switch {
+	case err == nil:
+		if flags&OExcl != 0 && flags&OCreat != 0 {
+			k.mu.Unlock()
+			t.proc.releaseFD(fd)
+			return -1, Aux{}, EEXIST
+		}
+	case err == ENOENT && flags&OCreat != 0:
+		nd, err = k.fs.create(path, FileTypeRegular)
+		if err != nil {
+			k.mu.Unlock()
+			t.proc.releaseFD(fd)
+			return -1, Aux{}, err.(Errno)
+		}
+	default:
+		k.mu.Unlock()
+		t.proc.releaseFD(fd)
+		return -1, Aux{}, err
+	}
+	if flags&ODirectory != 0 && nd.ftype != FileTypeDirectory {
+		k.mu.Unlock()
+		t.proc.releaseFD(fd)
+		return -1, Aux{}, ENOTDIR
+	}
+	if nd.ftype == FileTypeDirectory && flags.writable() {
+		k.mu.Unlock()
+		t.proc.releaseFD(fd)
+		return -1, Aux{}, EISDIR
+	}
+	if flags&OTrunc != 0 && nd.ftype == FileTypeRegular {
+		nd.data = nil
+	}
+	nd.opens++
+	aux := auxOf(nd)
+	aux.Path = path
+	of := &openFile{nd: nd, path: path, flags: flags}
+	k.mu.Unlock()
+
+	t.proc.fillFD(fd, of)
+	return fd, aux, nil
+}
+
+// Close closes fd.
+func (t *Task) Close(fd int) error {
+	enter := t.begin(SysClose, SyscallArgs{FD: fd})
+	var aux Aux
+	of, ok := t.proc.removeFD(fd)
+	var err error
+	if !ok {
+		err = EBADF
+	} else {
+		k := t.k
+		k.mu.Lock()
+		of.nd.opens--
+		aux = auxOf(of.nd)
+		k.fs.it.maybeRelease(of.nd)
+		k.mu.Unlock()
+	}
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Read reads up to len(buf) bytes from fd's current offset.
+func (t *Task) Read(fd int, buf []byte) (int, error) {
+	enter := t.begin(SysRead, SyscallArgs{FD: fd, Count: len(buf)})
+	n, aux, err := t.readImpl(fd, buf, -1, true)
+	t.finish(enter, Ret(int64(n), err), aux)
+	return n, err
+}
+
+// Pread64 reads up to len(buf) bytes from the given offset without moving
+// the file offset.
+func (t *Task) Pread64(fd int, buf []byte, offset int64) (int, error) {
+	enter := t.begin(SysPread64, SyscallArgs{FD: fd, Count: len(buf), Offset: offset})
+	n, aux, err := t.readImpl(fd, buf, offset, false)
+	t.finish(enter, Ret(int64(n), err), aux)
+	return n, err
+}
+
+// Readv reads into multiple buffers from fd's current offset.
+func (t *Task) Readv(fd int, bufs [][]byte) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	enter := t.begin(SysReadv, SyscallArgs{FD: fd, Count: total})
+	flat := make([]byte, total)
+	n, aux, err := t.readImpl(fd, flat, -1, true)
+	if err == nil {
+		rem := flat[:n]
+		for _, b := range bufs {
+			m := copy(b, rem)
+			rem = rem[m:]
+			if len(rem) == 0 {
+				break
+			}
+		}
+	}
+	t.finish(enter, Ret(int64(n), err), aux)
+	return n, err
+}
+
+func (t *Task) readImpl(fd int, buf []byte, offset int64, advance bool) (int, Aux, error) {
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		return 0, Aux{}, EBADF
+	}
+	k := t.k
+	k.mu.Lock()
+	if !of.flags.readable() {
+		k.mu.Unlock()
+		return 0, Aux{}, EBADF
+	}
+	if of.nd.ftype == FileTypeDirectory {
+		k.mu.Unlock()
+		return 0, Aux{}, EISDIR
+	}
+	off := offset
+	if off < 0 {
+		off = of.offset
+	}
+	aux := auxOf(of.nd)
+	aux.HaveOffset = true
+	aux.Offset = off
+	ino, birth := of.nd.ino, of.nd.birthNS
+	var n int
+	if off < int64(len(of.nd.data)) {
+		n = copy(buf, of.nd.data[off:])
+	}
+	if advance {
+		of.offset = off + int64(n)
+	}
+	k.mu.Unlock()
+
+	// Pages resident in the cache are served from memory; only the misses
+	// hit the device.
+	charge := int64(n)
+	if k.cache != nil {
+		charge = k.cache.access(ino, birth, off, int64(n), false)
+	}
+	if charge > 0 || k.cache == nil {
+		k.disk.Submit(int(charge))
+	}
+	return n, aux, nil
+}
+
+// Write writes buf at fd's current offset (or at EOF with O_APPEND).
+func (t *Task) Write(fd int, buf []byte) (int, error) {
+	enter := t.begin(SysWrite, SyscallArgs{FD: fd, Count: len(buf)})
+	n, aux, err := t.writeImpl(fd, buf, -1, true)
+	t.finish(enter, Ret(int64(n), err), aux)
+	return n, err
+}
+
+// Pwrite64 writes buf at the given offset without moving the file offset.
+func (t *Task) Pwrite64(fd int, buf []byte, offset int64) (int, error) {
+	enter := t.begin(SysPwrite64, SyscallArgs{FD: fd, Count: len(buf), Offset: offset})
+	n, aux, err := t.writeImpl(fd, buf, offset, false)
+	t.finish(enter, Ret(int64(n), err), aux)
+	return n, err
+}
+
+// Writev writes multiple buffers at fd's current offset.
+func (t *Task) Writev(fd int, bufs [][]byte) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	enter := t.begin(SysWritev, SyscallArgs{FD: fd, Count: total})
+	flat := make([]byte, 0, total)
+	for _, b := range bufs {
+		flat = append(flat, b...)
+	}
+	n, aux, err := t.writeImpl(fd, flat, -1, true)
+	t.finish(enter, Ret(int64(n), err), aux)
+	return n, err
+}
+
+func (t *Task) writeImpl(fd int, buf []byte, offset int64, advance bool) (int, Aux, error) {
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		return 0, Aux{}, EBADF
+	}
+	k := t.k
+	k.mu.Lock()
+	if !of.flags.writable() {
+		k.mu.Unlock()
+		return 0, Aux{}, EBADF
+	}
+	off := offset
+	if off < 0 {
+		off = of.offset
+		if of.flags&OAppend != 0 {
+			off = int64(len(of.nd.data))
+		}
+	}
+	aux := auxOf(of.nd)
+	aux.HaveOffset = true
+	aux.Offset = off
+	end := off + int64(len(buf))
+	if end > int64(len(of.nd.data)) {
+		if end <= int64(cap(of.nd.data)) {
+			// Zero any gap between the old length and the new end before
+			// exposing it (sparse-write semantics).
+			old := len(of.nd.data)
+			of.nd.data = of.nd.data[:end]
+			for i := old; int64(i) < off; i++ {
+				of.nd.data[i] = 0
+			}
+		} else {
+			// Amortized growth: doubling keeps long append streams linear.
+			newCap := int64(cap(of.nd.data)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, of.nd.data)
+			of.nd.data = grown
+		}
+	}
+	copy(of.nd.data[off:end], buf)
+	if advance {
+		of.offset = end
+	}
+	ino, birth := of.nd.ino, of.nd.birthNS
+	k.mu.Unlock()
+
+	// Write-through: populate the cache, still charge the device.
+	if k.cache != nil {
+		k.cache.access(ino, birth, off, int64(len(buf)), true)
+	}
+	k.disk.Submit(len(buf))
+	return len(buf), aux, nil
+}
+
+// Lseek repositions fd's offset and returns the new offset.
+func (t *Task) Lseek(fd int, offset int64, whence int) (int64, error) {
+	enter := t.begin(SysLseek, SyscallArgs{FD: fd, Offset: offset, Whence: whence})
+	var (
+		aux    Aux
+		newOff int64
+		err    error
+	)
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		err = EBADF
+	} else {
+		k := t.k
+		k.mu.Lock()
+		switch whence {
+		case SeekSet:
+			newOff = offset
+		case SeekCur:
+			newOff = of.offset + offset
+		case SeekEnd:
+			newOff = int64(len(of.nd.data)) + offset
+		default:
+			err = EINVAL
+		}
+		if err == nil && newOff < 0 {
+			err = EINVAL
+		}
+		if err == nil {
+			of.offset = newOff
+			aux = auxOf(of.nd)
+			aux.HaveOffset = true
+			aux.Offset = newOff
+		}
+		k.mu.Unlock()
+	}
+	t.finish(enter, Ret(newOff, err), aux)
+	return newOff, err
+}
+
+// Fsync flushes fd's data and metadata to the device.
+func (t *Task) Fsync(fd int) error {
+	enter := t.begin(SysFsync, SyscallArgs{FD: fd})
+	aux, err := t.syncImpl(fd)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Fdatasync flushes fd's data to the device.
+func (t *Task) Fdatasync(fd int) error {
+	enter := t.begin(SysFdatasync, SyscallArgs{FD: fd})
+	aux, err := t.syncImpl(fd)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func (t *Task) syncImpl(fd int) (Aux, error) {
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		return Aux{}, EBADF
+	}
+	k := t.k
+	k.mu.Lock()
+	aux := auxOf(of.nd)
+	k.mu.Unlock()
+	k.disk.Submit(0) // a flush costs one device round trip
+	return aux, nil
+}
+
+// Readahead populates the page cache for [offset, offset+count).
+func (t *Task) Readahead(fd int, offset int64, count int) error {
+	enter := t.begin(SysReadahead, SyscallArgs{FD: fd, Offset: offset, Count: count})
+	var (
+		aux Aux
+		err error
+	)
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		err = EBADF
+	} else {
+		k := t.k
+		k.mu.Lock()
+		aux = auxOf(of.nd)
+		aux.HaveOffset = true
+		aux.Offset = offset
+		size := int64(len(of.nd.data))
+		k.mu.Unlock()
+		n := int64(count)
+		if offset < size && offset+n > size {
+			n = size - offset
+		}
+		if offset >= size {
+			n = 0
+		}
+		k.disk.Submit(int(n))
+	}
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}

@@ -1,0 +1,114 @@
+package kernel
+
+// Node type selectors for mknod, mirroring the S_IF* mode bits.
+const (
+	ModeRegular uint32 = 0o100000
+	ModeCharDev uint32 = 0o020000
+	ModeBlkDev  uint32 = 0o060000
+	ModeFIFO    uint32 = 0o010000
+	ModeSocket  uint32 = 0o140000
+)
+
+func fileTypeForMode(mode uint32) FileType {
+	switch mode & 0o170000 {
+	case ModeCharDev:
+		return FileTypeCharDevice
+	case ModeBlkDev:
+		return FileTypeBlockDevice
+	case ModeFIFO:
+		return FileTypePipe
+	case ModeSocket:
+		return FileTypeSocket
+	default:
+		return FileTypeRegular
+	}
+}
+
+// Mkdir creates a directory at path.
+func (t *Task) Mkdir(path string, mode uint32) error {
+	enter := t.begin(SysMkdir, SyscallArgs{Path: path, Mode: mode})
+	aux, err := t.mkdirImpl(path)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Mkdirat creates a directory at path relative to dirfd.
+func (t *Task) Mkdirat(dirfd int, path string, mode uint32) error {
+	enter := t.begin(SysMkdirat, SyscallArgs{FD: dirfd, Path: path, Mode: mode})
+	aux, err := t.mkdirImpl(path)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func (t *Task) mkdirImpl(path string) (Aux, error) {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.create(path, FileTypeDirectory)
+	if err != nil {
+		return Aux{}, err
+	}
+	aux := auxOf(nd)
+	aux.Path = path
+	return aux, nil
+}
+
+// Rmdir removes the empty directory at path.
+func (t *Task) Rmdir(path string) error {
+	enter := t.begin(SysRmdir, SyscallArgs{Path: path})
+	err := t.rmdirImpl(path)
+	t.finish(enter, Ret(0, err), Aux{Path: path})
+	return err
+}
+
+func (t *Task) rmdirImpl(path string) error {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.fs.rmdir(path)
+}
+
+// Mknod creates a filesystem node (regular file, device, pipe, or socket)
+// at path.
+func (t *Task) Mknod(path string, mode uint32, dev uint64) error {
+	enter := t.begin(SysMknod, SyscallArgs{Path: path, Mode: mode})
+	aux, err := t.mknodImpl(path, mode)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Mknodat creates a filesystem node at path relative to dirfd.
+func (t *Task) Mknodat(dirfd int, path string, mode uint32, dev uint64) error {
+	enter := t.begin(SysMknodat, SyscallArgs{FD: dirfd, Path: path, Mode: mode})
+	aux, err := t.mknodImpl(path, mode)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func (t *Task) mknodImpl(path string, mode uint32) (Aux, error) {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.create(path, fileTypeForMode(mode))
+	if err != nil {
+		return Aux{}, err
+	}
+	aux := auxOf(nd)
+	aux.Path = path
+	return aux, nil
+}
+
+// Symlink creates a symbolic link at linkPath pointing to target. It is a
+// host helper for building test fixtures (symlink(2) itself is not in the
+// 42-syscall set of Table I, but symlinks must exist so that the f_type
+// enrichment can observe them).
+func (k *Kernel) Symlink(target, linkPath string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.create(linkPath, FileTypeSymlink)
+	if err != nil {
+		return err
+	}
+	nd.target = target
+	return nil
+}

@@ -1,0 +1,221 @@
+package kernel
+
+// Stat returns metadata for the object at path, following symlinks.
+func (t *Task) Stat(path string) (Stat, error) {
+	enter := t.begin(SysStat, SyscallArgs{Path: path})
+	st, aux, err := t.statImpl(path, true)
+	t.finish(enter, Ret(0, err), aux)
+	return st, err
+}
+
+// Lstat returns metadata for the object at path without following a final
+// symlink.
+func (t *Task) Lstat(path string) (Stat, error) {
+	enter := t.begin(SysLstat, SyscallArgs{Path: path})
+	st, aux, err := t.statImpl(path, false)
+	t.finish(enter, Ret(0, err), aux)
+	return st, err
+}
+
+func (t *Task) statImpl(path string, follow bool) (Stat, Aux, error) {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.namei(path, follow)
+	if err != nil {
+		return Stat{}, Aux{}, err
+	}
+	aux := auxOf(nd)
+	aux.Path = path
+	return statOf(nd), aux, nil
+}
+
+// Fstat returns metadata for the object behind fd.
+func (t *Task) Fstat(fd int) (Stat, error) {
+	enter := t.begin(SysFstat, SyscallArgs{FD: fd})
+	var (
+		st  Stat
+		aux Aux
+		err error
+	)
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		err = EBADF
+	} else {
+		k := t.k
+		k.mu.Lock()
+		st = statOf(of.nd)
+		aux = auxOf(of.nd)
+		k.mu.Unlock()
+	}
+	t.finish(enter, Ret(0, err), aux)
+	return st, err
+}
+
+// Fstatfs returns filesystem statistics for the filesystem containing fd.
+func (t *Task) Fstatfs(fd int) (StatFS, error) {
+	enter := t.begin(SysFstatfs, SyscallArgs{FD: fd})
+	var (
+		sf  StatFS
+		aux Aux
+		err error
+	)
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		err = EBADF
+	} else {
+		k := t.k
+		k.mu.Lock()
+		sf = k.fs.statfs()
+		aux = auxOf(of.nd)
+		k.mu.Unlock()
+	}
+	t.finish(enter, Ret(0, err), aux)
+	return sf, err
+}
+
+// Truncate resizes the file at path to size.
+func (t *Task) Truncate(path string, size int64) error {
+	enter := t.begin(SysTruncate, SyscallArgs{Path: path, Offset: size})
+	aux, err := t.truncateImpl(path, size)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func (t *Task) truncateImpl(path string, size int64) (Aux, error) {
+	if size < 0 {
+		return Aux{}, EINVAL
+	}
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.namei(path, true)
+	if err != nil {
+		return Aux{}, err
+	}
+	if nd.ftype == FileTypeDirectory {
+		return Aux{}, EISDIR
+	}
+	resize(nd, size)
+	aux := auxOf(nd)
+	aux.Path = path
+	return aux, nil
+}
+
+// Ftruncate resizes the file behind fd to size.
+func (t *Task) Ftruncate(fd int, size int64) error {
+	enter := t.begin(SysFtruncate, SyscallArgs{FD: fd, Offset: size})
+	var (
+		aux Aux
+		err error
+	)
+	of, ok := t.proc.lookupFD(fd)
+	switch {
+	case !ok:
+		err = EBADF
+	case size < 0:
+		err = EINVAL
+	default:
+		k := t.k
+		k.mu.Lock()
+		if !of.flags.writable() {
+			err = EBADF
+		} else {
+			resize(of.nd, size)
+			aux = auxOf(of.nd)
+		}
+		k.mu.Unlock()
+	}
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func resize(nd *inode, size int64) {
+	switch {
+	case size < int64(len(nd.data)):
+		nd.data = nd.data[:size]
+	case size > int64(len(nd.data)):
+		grown := make([]byte, size)
+		copy(grown, nd.data)
+		nd.data = grown
+	}
+}
+
+// Rename moves oldPath to newPath.
+func (t *Task) Rename(oldPath, newPath string) error {
+	enter := t.begin(SysRename, SyscallArgs{Path: oldPath, Path2: newPath})
+	aux, err := t.renameImpl(oldPath, newPath)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Renameat moves oldPath to newPath relative to directory fds (only
+// AtFDCWD with absolute paths is supported).
+func (t *Task) Renameat(olddirfd int, oldPath string, newdirfd int, newPath string) error {
+	enter := t.begin(SysRenameat, SyscallArgs{FD: olddirfd, Path: oldPath, Path2: newPath})
+	aux, err := t.renameImpl(oldPath, newPath)
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Renameat2 is Renameat with flags; flags are accepted but only 0 is
+// supported.
+func (t *Task) Renameat2(olddirfd int, oldPath string, newdirfd int, newPath string, flags int) error {
+	enter := t.begin(SysRenameat2, SyscallArgs{FD: olddirfd, Path: oldPath, Path2: newPath, Flags: OpenFlags(flags)})
+	var (
+		aux Aux
+		err error
+	)
+	if flags != 0 {
+		err = EINVAL
+	} else {
+		aux, err = t.renameImpl(oldPath, newPath)
+	}
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func (t *Task) renameImpl(oldPath, newPath string) (Aux, error) {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.fs.rename(oldPath, newPath); err != nil {
+		return Aux{}, err
+	}
+	nd, err := k.fs.namei(newPath, false)
+	if err != nil {
+		return Aux{}, err
+	}
+	aux := auxOf(nd)
+	aux.Path = newPath
+	return aux, nil
+}
+
+// Unlink removes the file at path.
+func (t *Task) Unlink(path string) error {
+	enter := t.begin(SysUnlink, SyscallArgs{Path: path})
+	err := t.unlinkImpl(path)
+	t.finish(enter, Ret(0, err), Aux{Path: path})
+	return err
+}
+
+// Unlinkat removes the file (or, with AT_REMOVEDIR semantics via rmdirFlag,
+// the directory) at path.
+func (t *Task) Unlinkat(dirfd int, path string, rmdirFlag bool) error {
+	enter := t.begin(SysUnlinkat, SyscallArgs{FD: dirfd, Path: path})
+	var err error
+	if rmdirFlag {
+		err = t.rmdirImpl(path)
+	} else {
+		err = t.unlinkImpl(path)
+	}
+	t.finish(enter, Ret(0, err), Aux{Path: path})
+	return err
+}
+
+func (t *Task) unlinkImpl(path string) error {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.fs.unlink(path)
+}

@@ -1,0 +1,205 @@
+package kernel
+
+import "sort"
+
+// Getxattr reads the extended attribute name of the file at path.
+func (t *Task) Getxattr(path, name string) ([]byte, error) {
+	enter := t.begin(SysGetxattr, SyscallArgs{Path: path, AttrName: name})
+	val, aux, err := t.getxattrPath(path, name, true)
+	t.finish(enter, Ret(int64(len(val)), err), aux)
+	return val, err
+}
+
+// Lgetxattr is Getxattr without following a final symlink.
+func (t *Task) Lgetxattr(path, name string) ([]byte, error) {
+	enter := t.begin(SysLgetxattr, SyscallArgs{Path: path, AttrName: name})
+	val, aux, err := t.getxattrPath(path, name, false)
+	t.finish(enter, Ret(int64(len(val)), err), aux)
+	return val, err
+}
+
+// Fgetxattr reads the extended attribute name of the file behind fd.
+func (t *Task) Fgetxattr(fd int, name string) ([]byte, error) {
+	enter := t.begin(SysFgetxattr, SyscallArgs{FD: fd, AttrName: name})
+	val, aux, err := t.withFD(fd, func(nd *inode) ([]byte, error) {
+		return getxattr(nd, name)
+	})
+	t.finish(enter, Ret(int64(len(val)), err), aux)
+	return val, err
+}
+
+// Setxattr sets the extended attribute name of the file at path.
+func (t *Task) Setxattr(path, name string, value []byte) error {
+	enter := t.begin(SysSetxattr, SyscallArgs{Path: path, AttrName: name, Count: len(value)})
+	_, aux, err := t.xattrPath(path, true, func(nd *inode) ([]byte, error) {
+		setxattr(nd, name, value)
+		return nil, nil
+	})
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Lsetxattr is Setxattr without following a final symlink.
+func (t *Task) Lsetxattr(path, name string, value []byte) error {
+	enter := t.begin(SysLsetxattr, SyscallArgs{Path: path, AttrName: name, Count: len(value)})
+	_, aux, err := t.xattrPath(path, false, func(nd *inode) ([]byte, error) {
+		setxattr(nd, name, value)
+		return nil, nil
+	})
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Fsetxattr sets the extended attribute name of the file behind fd.
+func (t *Task) Fsetxattr(fd int, name string, value []byte) error {
+	enter := t.begin(SysFsetxattr, SyscallArgs{FD: fd, AttrName: name, Count: len(value)})
+	_, aux, err := t.withFD(fd, func(nd *inode) ([]byte, error) {
+		setxattr(nd, name, value)
+		return nil, nil
+	})
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Listxattr lists attribute names of the file at path.
+func (t *Task) Listxattr(path string) ([]string, error) {
+	enter := t.begin(SysListxattr, SyscallArgs{Path: path})
+	names, aux, err := t.listxattrPath(path, true)
+	t.finish(enter, Ret(int64(len(names)), err), aux)
+	return names, err
+}
+
+// Llistxattr is Listxattr without following a final symlink.
+func (t *Task) Llistxattr(path string) ([]string, error) {
+	enter := t.begin(SysLlistxattr, SyscallArgs{Path: path})
+	names, aux, err := t.listxattrPath(path, false)
+	t.finish(enter, Ret(int64(len(names)), err), aux)
+	return names, err
+}
+
+// Flistxattr lists attribute names of the file behind fd.
+func (t *Task) Flistxattr(fd int) ([]string, error) {
+	enter := t.begin(SysFlistxattr, SyscallArgs{FD: fd})
+	var names []string
+	_, aux, err := t.withFD(fd, func(nd *inode) ([]byte, error) {
+		names = listxattr(nd)
+		return nil, nil
+	})
+	t.finish(enter, Ret(int64(len(names)), err), aux)
+	return names, err
+}
+
+// Removexattr removes the extended attribute name of the file at path.
+func (t *Task) Removexattr(path, name string) error {
+	enter := t.begin(SysRemovexattr, SyscallArgs{Path: path, AttrName: name})
+	_, aux, err := t.xattrPath(path, true, func(nd *inode) ([]byte, error) {
+		return nil, removexattr(nd, name)
+	})
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Lremovexattr is Removexattr without following a final symlink.
+func (t *Task) Lremovexattr(path, name string) error {
+	enter := t.begin(SysLremovexattr, SyscallArgs{Path: path, AttrName: name})
+	_, aux, err := t.xattrPath(path, false, func(nd *inode) ([]byte, error) {
+		return nil, removexattr(nd, name)
+	})
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+// Fremovexattr removes the extended attribute name of the file behind fd.
+func (t *Task) Fremovexattr(fd int, name string) error {
+	enter := t.begin(SysFremovexattr, SyscallArgs{FD: fd, AttrName: name})
+	_, aux, err := t.withFD(fd, func(nd *inode) ([]byte, error) {
+		return nil, removexattr(nd, name)
+	})
+	t.finish(enter, Ret(0, err), aux)
+	return err
+}
+
+func (t *Task) getxattrPath(path, name string, follow bool) ([]byte, Aux, error) {
+	return t.xattrPath(path, follow, func(nd *inode) ([]byte, error) {
+		return getxattr(nd, name)
+	})
+}
+
+func (t *Task) listxattrPath(path string, follow bool) ([]string, Aux, error) {
+	var names []string
+	_, aux, err := t.xattrPath(path, follow, func(nd *inode) ([]byte, error) {
+		names = listxattr(nd)
+		return nil, nil
+	})
+	return names, aux, err
+}
+
+// xattrPath resolves path and applies fn to the inode under the kernel lock.
+func (t *Task) xattrPath(path string, follow bool, fn func(*inode) ([]byte, error)) ([]byte, Aux, error) {
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.namei(path, follow)
+	if err != nil {
+		return nil, Aux{}, err
+	}
+	val, err := fn(nd)
+	if err != nil {
+		return nil, Aux{}, err
+	}
+	aux := auxOf(nd)
+	aux.Path = path
+	return val, aux, nil
+}
+
+// withFD looks up fd and applies fn to its inode under the kernel lock.
+func (t *Task) withFD(fd int, fn func(*inode) ([]byte, error)) ([]byte, Aux, error) {
+	of, ok := t.proc.lookupFD(fd)
+	if !ok {
+		return nil, Aux{}, EBADF
+	}
+	k := t.k
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	val, err := fn(of.nd)
+	if err != nil {
+		return nil, Aux{}, err
+	}
+	return val, auxOf(of.nd), nil
+}
+
+func getxattr(nd *inode, name string) ([]byte, error) {
+	v, ok := nd.xattrs[name]
+	if !ok {
+		return nil, ENODATA
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+func setxattr(nd *inode, name string, value []byte) {
+	if nd.xattrs == nil {
+		nd.xattrs = make(map[string][]byte)
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	nd.xattrs[name] = v
+}
+
+func listxattr(nd *inode) []string {
+	names := make([]string, 0, len(nd.xattrs))
+	for n := range nd.xattrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func removexattr(nd *inode, name string) error {
+	if _, ok := nd.xattrs[name]; !ok {
+		return ENODATA
+	}
+	delete(nd.xattrs, name)
+	return nil
+}

@@ -1,0 +1,68 @@
+package kernel
+
+import "strconv"
+
+// Errno is a POSIX error number. Syscall methods return Errno values so that
+// tracers observe negative return values exactly as they would on Linux.
+type Errno int
+
+// POSIX error numbers used by the simulated kernel (Linux x86-64 values).
+const (
+	EPERM        Errno = 1
+	ENOENT       Errno = 2
+	EBADF        Errno = 9
+	EACCES       Errno = 13
+	EEXIST       Errno = 17
+	EXDEV        Errno = 18
+	ENOTDIR      Errno = 20
+	EISDIR       Errno = 21
+	EINVAL       Errno = 22
+	EMFILE       Errno = 24
+	EFBIG        Errno = 27
+	ENOSPC       Errno = 28
+	ENAMETOOLONG Errno = 36
+	ENOTEMPTY    Errno = 39
+	ELOOP        Errno = 40
+	ENODATA      Errno = 61
+	EOPNOTSUPP   Errno = 95
+)
+
+var errnoNames = map[Errno]string{
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	EBADF:        "EBADF",
+	EACCES:       "EACCES",
+	EEXIST:       "EEXIST",
+	EXDEV:        "EXDEV",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	EMFILE:       "EMFILE",
+	EFBIG:        "EFBIG",
+	ENOSPC:       "ENOSPC",
+	ENAMETOOLONG: "ENAMETOOLONG",
+	ENOTEMPTY:    "ENOTEMPTY",
+	ELOOP:        "ELOOP",
+	ENODATA:      "ENODATA",
+	EOPNOTSUPP:   "EOPNOTSUPP",
+}
+
+// Error implements the error interface.
+func (e Errno) Error() string {
+	if n, ok := errnoNames[e]; ok {
+		return n
+	}
+	return "errno " + strconv.Itoa(int(e))
+}
+
+// Ret converts an (n, err) syscall result into the int64 return value that
+// appears on the sys_exit tracepoint: n on success, -errno on failure.
+func Ret(n int64, err error) int64 {
+	if err == nil {
+		return n
+	}
+	if e, ok := err.(Errno); ok {
+		return -int64(e)
+	}
+	return -int64(EINVAL)
+}

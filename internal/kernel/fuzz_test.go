@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+)
+
+// FuzzPaths drives the VFS with arbitrary path strings: no input may
+// panic, and successful creations must be observable via stat.
+func FuzzPaths(f *testing.F) {
+	f.Add("/a/b/c")
+	f.Add("")
+	f.Add("////")
+	f.Add("/..")
+	f.Add("/a/../b")
+	f.Add("relative/path")
+	f.Add("/with\x00nul")
+	f.Add("/" + string(make([]byte, 300)))
+	f.Fuzz(func(t *testing.T, path string) {
+		k := New(Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+		task := k.NewProcess("fuzz").NewTask("fuzz")
+
+		fd, err := task.Open(path, OWronly|OCreat, 0o644)
+		if err == nil {
+			if _, serr := task.Stat(path); serr != nil {
+				t.Fatalf("created %q but stat failed: %v", path, serr)
+			}
+			if _, werr := task.Write(fd, []byte("x")); werr != nil {
+				t.Fatalf("write to created %q: %v", path, werr)
+			}
+			if cerr := task.Close(fd); cerr != nil {
+				t.Fatalf("close %q: %v", path, cerr)
+			}
+			if uerr := task.Unlink(path); uerr != nil {
+				t.Fatalf("unlink created %q: %v", path, uerr)
+			}
+		}
+		// These must never panic regardless of input.
+		task.Stat(path)
+		task.Mkdir(path, 0o755)
+		task.Rmdir(path)
+		task.Rename(path, "/renamed")
+		task.Getxattr(path, "user.x")
+	})
+}
+
+// FuzzFileTagOffsets drives pread/pwrite with arbitrary offsets and sizes.
+func FuzzFileTagOffsets(f *testing.F) {
+	f.Add(int64(0), 10)
+	f.Add(int64(-1), 1)
+	f.Add(int64(1<<40), 5)
+	f.Fuzz(func(t *testing.T, off int64, size int) {
+		if size < 0 || size > 1<<16 {
+			return
+		}
+		k := New(Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+		task := k.NewProcess("fuzz").NewTask("fuzz")
+		fd, err := task.Open("/f", ORdwr|OCreat, 0o644)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		buf := make([]byte, size)
+		if off >= 0 && off < 1<<30 {
+			if _, werr := task.Pwrite64(fd, buf, off); werr != nil {
+				t.Fatalf("pwrite(off=%d,size=%d): %v", off, size, werr)
+			}
+			st, _ := task.Fstat(fd)
+			if st.Size < off {
+				t.Fatalf("size %d < write offset %d", st.Size, off)
+			}
+		}
+		task.Pread64(fd, buf, off)
+		task.Lseek(fd, off, SeekSet)
+		task.Close(fd)
+	})
+}

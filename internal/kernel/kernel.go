@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+)
+
+// Config parametrizes a simulated kernel instance.
+type Config struct {
+	// Clock supplies timestamps and sleeps. Defaults to a real clock with a
+	// base resembling the raw kernel timestamps of the paper's figures.
+	Clock clock.Clock
+	// Disk configures the storage device model.
+	Disk DiskConfig
+}
+
+// Kernel is one simulated machine: a filesystem, a device, a process table,
+// and the tracing infrastructure. It is safe for concurrent use by any
+// number of tasks.
+type Kernel struct {
+	mu     sync.Mutex
+	clk    clock.Clock
+	fs     *vfs
+	disk   *Disk
+	tps    *TracepointRegistry
+	cache  *pageCache
+	nextID int
+	procs  map[int]*Process
+	tasks  map[int]*Task
+
+	syscallCount atomic.Uint64
+}
+
+// BaseTimestampNS is the default epoch for kernel clocks; chosen so traces
+// look like the raw nanosecond timestamps in the paper's Fig. 2.
+const BaseTimestampNS = 1_679_308_382_000_000_000
+
+// New creates a kernel. A zero Config selects a real-time clock and the
+// default disk model.
+func New(cfg Config) *Kernel {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal(BaseTimestampNS)
+	}
+	k := &Kernel{
+		clk:    clk,
+		tps:    newTracepointRegistry(),
+		nextID: 100, // first pid, strace-style low numbers kept free
+		procs:  make(map[int]*Process),
+		tasks:  make(map[int]*Task),
+	}
+	k.fs = newVFS(clk.NowNS)
+	k.disk = NewDisk(cfg.Disk, clk)
+	k.cache = newPageCache(cfg.Disk.PageCacheBytes)
+	return k
+}
+
+// Clock returns the kernel's time source.
+func (k *Kernel) Clock() clock.Clock { return k.clk }
+
+// Disk returns the kernel's storage device.
+func (k *Kernel) Disk() *Disk { return k.disk }
+
+// Tracepoints returns the tracepoint registry that tracers attach to.
+func (k *Kernel) Tracepoints() *TracepointRegistry { return k.tps }
+
+// SyscallCount returns the total number of syscalls dispatched since boot.
+func (k *Kernel) SyscallCount() uint64 { return k.syscallCount.Load() }
+
+// NewProcess creates a process with one initial task named like the process.
+func (k *Kernel) NewProcess(name string) *Process {
+	k.mu.Lock()
+	pid := k.nextID
+	k.nextID++
+	k.mu.Unlock()
+
+	p := &Process{
+		pid:    pid,
+		name:   name,
+		nextFD: 3, // 0-2 are stdio, never handed out for files
+		maxFDs: DefaultMaxFDs,
+		fds:    make(map[int]*openFile),
+		kern:   k,
+	}
+	t := &Task{tid: pid, name: name, proc: p, k: k}
+	p.tasks = append(p.tasks, t)
+
+	k.mu.Lock()
+	k.procs[pid] = p
+	k.tasks[pid] = t
+	k.mu.Unlock()
+	return p
+}
+
+func (k *Kernel) registerTask(t *Task) {
+	k.mu.Lock()
+	k.tasks[t.tid] = t
+	k.mu.Unlock()
+}
+
+// Processes returns a snapshot of all processes.
+func (k *Kernel) Processes() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// MkdirAll is a host-side helper (not a traced syscall) used by workload
+// setup code to prepare directory trees.
+func (k *Kernel) MkdirAll(path string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.fs.mkdirAll(path)
+}
+
+// ReadFileContents returns a copy of a regular file's bytes; a host-side
+// helper for assertions in tests and examples.
+func (k *Kernel) ReadFileContents(path string) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.namei(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if nd.ftype != FileTypeRegular {
+		return nil, EISDIR
+	}
+	out := make([]byte, len(nd.data))
+	copy(out, nd.data)
+	return out, nil
+}
+
+// ListDir returns the sorted entry names of a directory; a host-side
+// helper (getdents is outside Table I's syscall set) used by recovery code
+// and tests.
+func (k *Kernel) ListDir(path string) ([]string, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	nd, err := k.fs.namei(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if nd.ftype != FileTypeDirectory {
+		return nil, ENOTDIR
+	}
+	names := make([]string, 0, len(nd.childs))
+	for name := range nd.childs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// InodeReuses reports how many times the allocator handed out a recycled
+// inode number; used by tests of the Fluent Bit scenario.
+func (k *Kernel) InodeReuses() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.fs.it.reuses
+}
+
+// begin stamps a syscall entry, fires sys_enter hooks, and returns the Enter
+// payload for the matching exit. When no hooks are attached the payload is
+// still produced (it is cheap) but hook dispatch is skipped.
+func (t *Task) begin(nr Syscall, args SyscallArgs) Enter {
+	t.k.syscallCount.Add(1)
+	ev := Enter{
+		NR:       nr,
+		PID:      t.proc.pid,
+		TID:      t.tid,
+		ProcName: t.proc.name,
+		TaskName: t.name,
+		TimeNS:   t.k.clk.NowNS(),
+		Args:     args,
+	}
+	if t.k.tps.HasHooks(nr) {
+		t.k.tps.fireEnter(&ev)
+	}
+	return ev
+}
+
+// finish stamps the syscall exit and fires sys_exit hooks.
+func (t *Task) finish(enter Enter, ret int64, aux Aux) {
+	if !t.k.tps.HasHooks(enter.NR) {
+		return
+	}
+	ev := Exit{
+		Enter:  enter,
+		Ret:    ret,
+		ExitNS: t.k.clk.NowNS(),
+		Aux:    aux,
+	}
+	t.k.tps.fireExit(&ev)
+}
+
+// auxOf captures enrichment context from an inode. Callers must hold k.mu.
+func auxOf(nd *inode) Aux {
+	return Aux{
+		HaveFile: true,
+		Dev:      nd.dev,
+		Ino:      nd.ino,
+		FileType: nd.ftype,
+		BirthNS:  nd.birthNS,
+	}
+}

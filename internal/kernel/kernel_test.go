@@ -1,0 +1,833 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+)
+
+func newTestKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k := New(Config{Clock: clock.NewVirtualTicking(BaseTimestampNS, time.Microsecond)})
+	for _, dir := range []string{"/tmp", "/log"} {
+		if err := k.MkdirAll(dir); err != nil {
+			t.Fatalf("mkdir %s: %v", dir, err)
+		}
+	}
+	return k
+}
+
+func TestOpenWriteReadClose(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	fd, err := task.Openat(AtFDCWD, "/tmp/fileA", OWronly|OCreat, 0o644)
+	if err != nil {
+		t.Fatalf("openat: %v", err)
+	}
+	if fd != 3 {
+		t.Fatalf("first fd = %d, want 3", fd)
+	}
+	n, err := task.Write(fd, []byte("hello world"))
+	if err != nil || n != 11 {
+		t.Fatalf("write = (%d, %v), want (11, nil)", n, err)
+	}
+	if err := task.Close(fd); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	fd, err = task.Openat(AtFDCWD, "/tmp/fileA", ORdonly, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	buf := make([]byte, 32)
+	n, err = task.Read(fd, buf)
+	if err != nil || n != 11 {
+		t.Fatalf("read = (%d, %v), want (11, nil)", n, err)
+	}
+	if string(buf[:n]) != "hello world" {
+		t.Fatalf("read content %q", buf[:n])
+	}
+	// Second read is at EOF.
+	n, err = task.Read(fd, buf)
+	if err != nil || n != 0 {
+		t.Fatalf("read at EOF = (%d, %v), want (0, nil)", n, err)
+	}
+	if err := task.Close(fd); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestMissingParentDirectory(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	if _, err := task.Openat(AtFDCWD, "/nosuch/dir/file", OWronly|OCreat, 0o644); err != ENOENT {
+		t.Fatalf("openat = %v, want ENOENT", err)
+	}
+}
+
+func TestOpenNonexistentReadOnly(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	if _, err := task.Openat(AtFDCWD, "/tmp/nope", ORdonly, 0); err != ENOENT {
+		t.Fatalf("openat = %v, want ENOENT", err)
+	}
+}
+
+func TestOpenExclusive(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, err := task.Openat(AtFDCWD, "/tmp/x", OWronly|OCreat|OExcl, 0o644)
+	if err != nil {
+		t.Fatalf("first O_EXCL create: %v", err)
+	}
+	task.Close(fd)
+	if _, err := task.Openat(AtFDCWD, "/tmp/x", OWronly|OCreat|OExcl, 0o644); err != EEXIST {
+		t.Fatalf("second O_EXCL create = %v, want EEXIST", err)
+	}
+}
+
+func TestOpenTruncate(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/t", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("0123456789"))
+	task.Close(fd)
+
+	fd, _ = task.Openat(AtFDCWD, "/tmp/t", OWronly|OTrunc, 0)
+	task.Close(fd)
+	st, err := task.Stat("/tmp/t")
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if st.Size != 0 {
+		t.Fatalf("size after O_TRUNC = %d, want 0", st.Size)
+	}
+}
+
+func TestAppendFlag(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/log", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("aaaa"))
+	task.Close(fd)
+
+	fd, _ = task.Openat(AtFDCWD, "/tmp/log", OWronly|OAppend, 0)
+	task.Write(fd, []byte("bb"))
+	task.Close(fd)
+
+	data, err := k.ReadFileContents("/tmp/log")
+	if err != nil {
+		t.Fatalf("read contents: %v", err)
+	}
+	if string(data) != "aaaabb" {
+		t.Fatalf("content = %q, want aaaabb", data)
+	}
+}
+
+func TestPreadPwriteDoNotMoveOffset(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/p", ORdwr|OCreat, 0o644)
+	task.Write(fd, []byte("abcdefgh"))
+	task.Lseek(fd, 0, SeekSet)
+
+	buf := make([]byte, 2)
+	if n, err := task.Pread64(fd, buf, 4); n != 2 || err != nil || string(buf) != "ef" {
+		t.Fatalf("pread = (%d, %v, %q)", n, err, buf)
+	}
+	if n, err := task.Pwrite64(fd, []byte("ZZ"), 0); n != 2 || err != nil {
+		t.Fatalf("pwrite = (%d, %v)", n, err)
+	}
+	// Offset still at 0: a plain read sees the pwritten bytes first.
+	if n, err := task.Read(fd, buf); n != 2 || err != nil || string(buf) != "ZZ" {
+		t.Fatalf("read after pread/pwrite = (%d, %v, %q)", n, err, buf)
+	}
+}
+
+func TestReadvWritev(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/v", ORdwr|OCreat, 0o644)
+	n, err := task.Writev(fd, [][]byte{[]byte("abc"), []byte("de")})
+	if n != 5 || err != nil {
+		t.Fatalf("writev = (%d, %v)", n, err)
+	}
+	task.Lseek(fd, 0, SeekSet)
+	b1 := make([]byte, 2)
+	b2 := make([]byte, 3)
+	n, err = task.Readv(fd, [][]byte{b1, b2})
+	if n != 5 || err != nil {
+		t.Fatalf("readv = (%d, %v)", n, err)
+	}
+	if string(b1) != "ab" || string(b2) != "cde" {
+		t.Fatalf("readv buffers %q %q", b1, b2)
+	}
+}
+
+func TestLseekWhence(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/s", ORdwr|OCreat, 0o644)
+	task.Write(fd, []byte("0123456789"))
+
+	if off, _ := task.Lseek(fd, 2, SeekSet); off != 2 {
+		t.Fatalf("SEEK_SET = %d, want 2", off)
+	}
+	if off, _ := task.Lseek(fd, 3, SeekCur); off != 5 {
+		t.Fatalf("SEEK_CUR = %d, want 5", off)
+	}
+	if off, _ := task.Lseek(fd, -1, SeekEnd); off != 9 {
+		t.Fatalf("SEEK_END = %d, want 9", off)
+	}
+	if _, err := task.Lseek(fd, -100, SeekSet); err != EINVAL {
+		t.Fatalf("negative seek err = %v, want EINVAL", err)
+	}
+	if _, err := task.Lseek(fd, 0, 99); err != EINVAL {
+		t.Fatalf("bad whence err = %v, want EINVAL", err)
+	}
+}
+
+func TestBadFD(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	if _, err := task.Read(42, make([]byte, 1)); err != EBADF {
+		t.Fatalf("read bad fd = %v, want EBADF", err)
+	}
+	if _, err := task.Write(42, []byte("x")); err != EBADF {
+		t.Fatalf("write bad fd = %v, want EBADF", err)
+	}
+	if err := task.Close(42); err != EBADF {
+		t.Fatalf("close bad fd = %v, want EBADF", err)
+	}
+	if _, err := task.Fstat(42); err != EBADF {
+		t.Fatalf("fstat bad fd = %v, want EBADF", err)
+	}
+}
+
+func TestReadOnWriteOnlyFD(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/w", OWronly|OCreat, 0o644)
+	if _, err := task.Read(fd, make([]byte, 1)); err != EBADF {
+		t.Fatalf("read on O_WRONLY = %v, want EBADF", err)
+	}
+	fd2, _ := task.Openat(AtFDCWD, "/tmp/w", ORdonly, 0)
+	if _, err := task.Write(fd2, []byte("x")); err != EBADF {
+		t.Fatalf("write on O_RDONLY = %v, want EBADF", err)
+	}
+}
+
+func TestFDReuseLowestFirst(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fdA, _ := task.Openat(AtFDCWD, "/a", OWronly|OCreat, 0o644)
+	fdB, _ := task.Openat(AtFDCWD, "/b", OWronly|OCreat, 0o644)
+	if fdA != 3 || fdB != 4 {
+		t.Fatalf("fds = %d,%d want 3,4", fdA, fdB)
+	}
+	task.Close(fdA)
+	fdC, _ := task.Openat(AtFDCWD, "/c", OWronly|OCreat, 0o644)
+	if fdC != 3 {
+		t.Fatalf("fd after close = %d, want reused 3", fdC)
+	}
+}
+
+func TestInodeReuseAfterUnlinkAndClose(t *testing.T) {
+	k := newTestKernel(t)
+	app := k.NewProcess("app").NewTask("app")
+	reader := k.NewProcess("reader").NewTask("reader")
+
+	fd, _ := app.Openat(AtFDCWD, "/log/app.log", OWronly|OCreat, 0o644)
+	if fd < 0 {
+		// parent dir missing: create it
+		k.MkdirAll("/log")
+		fd, _ = app.Openat(AtFDCWD, "/log/app.log", OWronly|OCreat, 0o644)
+	}
+	st1, _ := app.Fstat(fd)
+	app.Close(fd)
+
+	// Reader holds the file open while app unlinks it.
+	rfd, err := reader.Openat(AtFDCWD, "/log/app.log", ORdonly, 0)
+	if err != nil {
+		t.Fatalf("reader open: %v", err)
+	}
+	if err := app.Unlink("/log/app.log"); err != nil {
+		t.Fatalf("unlink: %v", err)
+	}
+
+	// While the reader keeps it open, the inode number must NOT be reused.
+	fd2, _ := app.Openat(AtFDCWD, "/log/app.log", OWronly|OCreat, 0o644)
+	st2, _ := app.Fstat(fd2)
+	if st2.Ino == st1.Ino {
+		t.Fatalf("inode %d reused while still open elsewhere", st1.Ino)
+	}
+	app.Close(fd2)
+	app.Unlink("/log/app.log")
+
+	// Now release the original inode and recreate: the number comes back.
+	reader.Close(rfd)
+	fd3, _ := app.Openat(AtFDCWD, "/log/app.log", OWronly|OCreat, 0o644)
+	st3, _ := app.Fstat(fd3)
+	if st3.Ino != st1.Ino {
+		t.Fatalf("inode not reused: got %d, want %d", st3.Ino, st1.Ino)
+	}
+	if st3.BirthNS == st1.BirthNS {
+		t.Fatalf("reused inode kept the same birth timestamp %d", st3.BirthNS)
+	}
+	app.Close(fd3)
+	if k.InodeReuses() == 0 {
+		t.Fatal("kernel recorded no inode reuses")
+	}
+}
+
+func TestUnlinkedFileStillReadable(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/f", ORdwr|OCreat, 0o644)
+	task.Write(fd, []byte("persist"))
+	if err := task.Unlink("/f"); err != nil {
+		t.Fatalf("unlink: %v", err)
+	}
+	task.Lseek(fd, 0, SeekSet)
+	buf := make([]byte, 16)
+	n, err := task.Read(fd, buf)
+	if err != nil || string(buf[:n]) != "persist" {
+		t.Fatalf("read after unlink = (%q, %v)", buf[:n], err)
+	}
+	if _, err := task.Stat("/f"); err != ENOENT {
+		t.Fatalf("stat after unlink = %v, want ENOENT", err)
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/a", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("AAA"))
+	task.Close(fd)
+	fd, _ = task.Openat(AtFDCWD, "/b", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("BBB"))
+	task.Close(fd)
+
+	if err := task.Rename("/a", "/b"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if _, err := task.Stat("/a"); err != ENOENT {
+		t.Fatalf("stat old = %v, want ENOENT", err)
+	}
+	data, _ := k.ReadFileContents("/b")
+	if string(data) != "AAA" {
+		t.Fatalf("target content = %q, want AAA", data)
+	}
+}
+
+func TestRenameMissingSource(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	if err := task.Rename("/nope", "/x"); err != ENOENT {
+		t.Fatalf("rename = %v, want ENOENT", err)
+	}
+}
+
+func TestTruncateAndFtruncate(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/t", ORdwr|OCreat, 0o644)
+	task.Write(fd, []byte("0123456789"))
+
+	if err := task.Ftruncate(fd, 4); err != nil {
+		t.Fatalf("ftruncate: %v", err)
+	}
+	st, _ := task.Fstat(fd)
+	if st.Size != 4 {
+		t.Fatalf("size = %d, want 4", st.Size)
+	}
+	if err := task.Truncate("/t", 8); err != nil {
+		t.Fatalf("truncate grow: %v", err)
+	}
+	data, _ := k.ReadFileContents("/t")
+	if !bytes.Equal(data, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Fatalf("grown content = %v", data)
+	}
+	if err := task.Ftruncate(fd, -1); err != EINVAL {
+		t.Fatalf("negative ftruncate = %v, want EINVAL", err)
+	}
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	if err := task.Mkdir("/d", 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := task.Mkdir("/d", 0o755); err != EEXIST {
+		t.Fatalf("mkdir again = %v, want EEXIST", err)
+	}
+	st, err := task.Stat("/d")
+	if err != nil || st.Mode != FileTypeDirectory {
+		t.Fatalf("stat dir = (%+v, %v)", st, err)
+	}
+	fd, _ := task.Openat(AtFDCWD, "/d/f", OWronly|OCreat, 0o644)
+	task.Close(fd)
+	if err := task.Rmdir("/d"); err != ENOTEMPTY {
+		t.Fatalf("rmdir non-empty = %v, want ENOTEMPTY", err)
+	}
+	task.Unlink("/d/f")
+	if err := task.Rmdir("/d"); err != nil {
+		t.Fatalf("rmdir: %v", err)
+	}
+	if err := task.Rmdir("/d"); err != ENOENT {
+		t.Fatalf("rmdir again = %v, want ENOENT", err)
+	}
+}
+
+func TestMknodTypes(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	cases := []struct {
+		path string
+		mode uint32
+		want FileType
+	}{
+		{"/dev/null0", ModeCharDev, FileTypeCharDevice},
+		{"/dev/blk0", ModeBlkDev, FileTypeBlockDevice},
+		{"/fifo", ModeFIFO, FileTypePipe},
+		{"/sock", ModeSocket, FileTypeSocket},
+		{"/reg", ModeRegular, FileTypeRegular},
+	}
+	k.MkdirAll("/dev")
+	for _, c := range cases {
+		if err := task.Mknod(c.path, c.mode, 0); err != nil {
+			t.Fatalf("mknod %s: %v", c.path, err)
+		}
+		st, err := task.Lstat(c.path)
+		if err != nil || st.Mode != c.want {
+			t.Fatalf("lstat %s = (%v, %v), want type %v", c.path, st.Mode, err, c.want)
+		}
+	}
+}
+
+func TestSymlinkFollowAndLstat(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/target", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("data"))
+	task.Close(fd)
+	if err := k.Symlink("/target", "/link"); err != nil {
+		t.Fatalf("symlink: %v", err)
+	}
+	st, err := task.Stat("/link")
+	if err != nil || st.Mode != FileTypeRegular {
+		t.Fatalf("stat follows symlink = (%v, %v)", st.Mode, err)
+	}
+	lst, err := task.Lstat("/link")
+	if err != nil || lst.Mode != FileTypeSymlink {
+		t.Fatalf("lstat = (%v, %v), want symlink", lst.Mode, err)
+	}
+	rfd, err := task.Openat(AtFDCWD, "/link", ORdonly, 0)
+	if err != nil {
+		t.Fatalf("open through symlink: %v", err)
+	}
+	buf := make([]byte, 8)
+	n, _ := task.Read(rfd, buf)
+	if string(buf[:n]) != "data" {
+		t.Fatalf("read through symlink = %q", buf[:n])
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	k.Symlink("/l2", "/l1")
+	k.Symlink("/l1", "/l2")
+	if _, err := task.Stat("/l1"); err != ELOOP {
+		t.Fatalf("stat loop = %v, want ELOOP", err)
+	}
+}
+
+func TestXattrRoundTrip(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/x", OWronly|OCreat, 0o644)
+
+	if err := task.Setxattr("/x", "user.tag", []byte("v1")); err != nil {
+		t.Fatalf("setxattr: %v", err)
+	}
+	if err := task.Fsetxattr(fd, "user.other", []byte("v2")); err != nil {
+		t.Fatalf("fsetxattr: %v", err)
+	}
+	v, err := task.Getxattr("/x", "user.tag")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("getxattr = (%q, %v)", v, err)
+	}
+	v, err = task.Fgetxattr(fd, "user.other")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("fgetxattr = (%q, %v)", v, err)
+	}
+	names, err := task.Listxattr("/x")
+	if err != nil || len(names) != 2 || names[0] != "user.other" || names[1] != "user.tag" {
+		t.Fatalf("listxattr = (%v, %v)", names, err)
+	}
+	if err := task.Removexattr("/x", "user.tag"); err != nil {
+		t.Fatalf("removexattr: %v", err)
+	}
+	if _, err := task.Getxattr("/x", "user.tag"); err != ENODATA {
+		t.Fatalf("getxattr removed = %v, want ENODATA", err)
+	}
+	if err := task.Fremovexattr(fd, "user.nope"); err != ENODATA {
+		t.Fatalf("fremovexattr missing = %v, want ENODATA", err)
+	}
+}
+
+func TestXattrSymlinkVariants(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/t", OWronly|OCreat, 0o644)
+	task.Close(fd)
+	k.Symlink("/t", "/l")
+
+	// setxattr follows the link: the attribute lands on the target.
+	task.Setxattr("/l", "user.a", []byte("x"))
+	if v, err := task.Getxattr("/t", "user.a"); err != nil || string(v) != "x" {
+		t.Fatalf("attr did not follow symlink: (%q, %v)", v, err)
+	}
+	// l* variants act on the link inode itself.
+	task.Lsetxattr("/l", "user.onlink", []byte("y"))
+	if _, err := task.Getxattr("/t", "user.onlink"); err != ENODATA {
+		t.Fatalf("lsetxattr leaked to target: %v", err)
+	}
+	if v, err := task.Lgetxattr("/l", "user.onlink"); err != nil || string(v) != "y" {
+		t.Fatalf("lgetxattr = (%q, %v)", v, err)
+	}
+	names, _ := task.Llistxattr("/l")
+	if len(names) != 1 || names[0] != "user.onlink" {
+		t.Fatalf("llistxattr = %v", names)
+	}
+	if err := task.Lremovexattr("/l", "user.onlink"); err != nil {
+		t.Fatalf("lremovexattr: %v", err)
+	}
+}
+
+func TestFstatfs(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/f", OWronly|OCreat, 0o644)
+	sf, err := task.Fstatfs(fd)
+	if err != nil {
+		t.Fatalf("fstatfs: %v", err)
+	}
+	if sf.BlockSize != 4096 || sf.FSTypeMagic != 0xef53 {
+		t.Fatalf("fstatfs = %+v", sf)
+	}
+}
+
+func TestTracepointEnterExitPairs(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	var enters, exits []Syscall
+	var lastExit Exit
+	detE := k.Tracepoints().AttachEnter(SysOpenat, func(e *Enter) { enters = append(enters, e.NR) })
+	detX := k.Tracepoints().AttachExit(SysOpenat, func(e *Exit) { exits = append(exits, e.NR); lastExit = *e })
+	defer detE()
+	defer detX()
+
+	fd, _ := task.Openat(AtFDCWD, "/tp", OWronly|OCreat, 0o644)
+	task.Close(fd) // no hook on close
+
+	if len(enters) != 1 || len(exits) != 1 {
+		t.Fatalf("hook counts = %d/%d, want 1/1", len(enters), len(exits))
+	}
+	if lastExit.Ret != int64(fd) {
+		t.Fatalf("exit ret = %d, want %d", lastExit.Ret, fd)
+	}
+	if !lastExit.Aux.HaveFile || lastExit.Aux.Path != "/tp" {
+		t.Fatalf("exit aux = %+v", lastExit.Aux)
+	}
+	if lastExit.ExitNS < lastExit.TimeNS {
+		t.Fatalf("exit ts %d < enter ts %d", lastExit.ExitNS, lastExit.TimeNS)
+	}
+	if lastExit.PID != task.PID() || lastExit.TID != task.TID() {
+		t.Fatalf("identity mismatch: %+v", lastExit.Enter)
+	}
+
+	detE()
+	detX()
+	fd2, _ := task.Openat(AtFDCWD, "/tp2", OWronly|OCreat, 0o644)
+	task.Close(fd2)
+	if len(enters) != 1 {
+		t.Fatalf("hooks fired after detach: %d", len(enters))
+	}
+}
+
+func TestTracepointOffsetEnrichment(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+
+	var offsets []int64
+	det := k.Tracepoints().AttachExit(SysRead, func(e *Exit) {
+		if e.Aux.HaveOffset {
+			offsets = append(offsets, e.Aux.Offset)
+		}
+	})
+	defer det()
+
+	fd, _ := task.Openat(AtFDCWD, "/o", ORdwr|OCreat, 0o644)
+	task.Write(fd, []byte("0123456789"))
+	task.Lseek(fd, 0, SeekSet)
+	buf := make([]byte, 4)
+	task.Read(fd, buf) // starts at 0
+	task.Read(fd, buf) // starts at 4
+	task.Read(fd, buf) // starts at 8
+
+	want := []int64{0, 4, 8}
+	if len(offsets) != 3 {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	for i := range want {
+		if offsets[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offsets, want)
+		}
+	}
+}
+
+func TestTaskIdentities(t *testing.T) {
+	k := newTestKernel(t)
+	p := k.NewProcess("rocksdb")
+	main := p.NewTask("rocksdb:main")
+	flush := p.NewTask("rocksdb:high0")
+	if main.PID() != p.PID() || flush.PID() != p.PID() {
+		t.Fatal("tasks do not share pid")
+	}
+	if main.TID() == flush.TID() {
+		t.Fatal("tasks share tid")
+	}
+	if flush.Name() != "rocksdb:high0" || flush.ProcessName() != "rocksdb" {
+		t.Fatalf("names = %q %q", flush.Name(), flush.ProcessName())
+	}
+
+	// Threads share the fd table.
+	fd, _ := main.Openat(AtFDCWD, "/shared", OWronly|OCreat, 0o644)
+	if _, err := flush.Write(fd, []byte("x")); err != nil {
+		t.Fatalf("cross-thread write: %v", err)
+	}
+}
+
+// frozenClock never advances, so consecutive Submit calls model concurrent
+// arrivals and expose FIFO queueing delay.
+type frozenClock struct{}
+
+func (frozenClock) NowNS() int64        { return 0 }
+func (frozenClock) Sleep(time.Duration) {}
+
+func TestDiskFIFOQueueing(t *testing.T) {
+	d := NewDisk(DiskConfig{BytesPerSecond: 1 << 20, PerOpLatency: time.Millisecond}, frozenClock{})
+	// Two back-to-back 1 MiB requests: the second waits for the first.
+	w1 := d.Submit(1 << 20)
+	w2 := d.Submit(1 << 20)
+	if w2 <= w1 {
+		t.Fatalf("second request did not queue: w1=%v w2=%v", w1, w2)
+	}
+	st := d.Stats()
+	if st.Ops != 2 || st.Bytes != 2<<20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSyscallCountAndNames(t *testing.T) {
+	if NumSyscalls != 42 {
+		t.Fatalf("NumSyscalls = %d, want 42 (Table I)", NumSyscalls)
+	}
+	all := AllSyscalls()
+	if len(all) != 42 {
+		t.Fatalf("AllSyscalls len = %d", len(all))
+	}
+	seen := make(map[string]bool, len(all))
+	for _, s := range all {
+		name := s.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("syscall %d has no name", s)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate syscall name %q", name)
+		}
+		seen[name] = true
+		if s.Class() == 0 {
+			t.Fatalf("syscall %s has no class", name)
+		}
+		got, ok := SyscallByName(name)
+		if !ok || got != s {
+			t.Fatalf("SyscallByName(%q) = (%v, %v)", name, got, ok)
+		}
+	}
+	if _, ok := SyscallByName("clone"); ok {
+		t.Fatal("SyscallByName accepted an unsupported syscall")
+	}
+	if Syscall(0).Valid() || Syscall(999).Valid() {
+		t.Fatal("Valid() accepted out-of-range values")
+	}
+}
+
+func TestSyscallClassCounts(t *testing.T) {
+	counts := make(map[Class]int)
+	for _, s := range AllSyscalls() {
+		counts[s.Class()]++
+	}
+	if counts[ClassData] != 10 {
+		t.Errorf("data class = %d, want 10", counts[ClassData])
+	}
+	if counts[ClassMetadata] != 15 {
+		t.Errorf("metadata class = %d, want 15", counts[ClassMetadata])
+	}
+	if counts[ClassExtendedAttr] != 12 {
+		t.Errorf("xattr class = %d, want 12", counts[ClassExtendedAttr])
+	}
+	if counts[ClassDirectory] != 5 {
+		t.Errorf("directory class = %d, want 5", counts[ClassDirectory])
+	}
+}
+
+func TestKernelSyscallCounter(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.NewProcess("app").NewTask("app")
+	before := k.SyscallCount()
+	fd, _ := task.Openat(AtFDCWD, "/c", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("x"))
+	task.Close(fd)
+	if got := k.SyscallCount() - before; got != 3 {
+		t.Fatalf("syscall count delta = %d, want 3", got)
+	}
+}
+
+func TestFDLimitEMFILE(t *testing.T) {
+	k := newTestKernel(t)
+	p := k.NewProcess("limited")
+	p.SetMaxFDs(4)
+	task := p.NewTask("limited")
+	var fds []int
+	for i := 0; i < 4; i++ {
+		fd, err := task.Openat(AtFDCWD, fmt.Sprintf("/tmp/l%d", i), OWronly|OCreat, 0o644)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		fds = append(fds, fd)
+	}
+	if _, err := task.Openat(AtFDCWD, "/tmp/over", OWronly|OCreat, 0o644); err != EMFILE {
+		t.Fatalf("open over limit = %v, want EMFILE", err)
+	}
+	// Closing one frees a slot.
+	task.Close(fds[0])
+	if _, err := task.Openat(AtFDCWD, "/tmp/over2", OWronly|OCreat, 0o644); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	// EMFILE is reported before the path walk, so the failed open created
+	// nothing.
+	if err := task.Unlink("/tmp/over"); err != ENOENT {
+		t.Fatalf("unlink of never-created file = %v, want ENOENT", err)
+	}
+}
+
+func TestPageCacheWarmReadsSkipDisk(t *testing.T) {
+	k := New(Config{
+		Clock: clock.NewVirtualTicking(0, time.Microsecond),
+		Disk: DiskConfig{
+			BytesPerSecond: 1 << 20,
+			PerOpLatency:   time.Millisecond,
+			PageCacheBytes: 1 << 20,
+		},
+	})
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Open("/c", ORdwr|OCreat, 0o644)
+	data := bytes.Repeat([]byte("x"), 64<<10)
+	task.Write(fd, data)
+
+	opsAfterWrite := k.Disk().Stats().Ops
+
+	// Warm read: the write populated the cache, so no disk op.
+	buf := make([]byte, 64<<10)
+	task.Lseek(fd, 0, SeekSet)
+	task.Read(fd, buf)
+	if got := k.Disk().Stats().Ops; got != opsAfterWrite {
+		t.Fatalf("warm read hit the disk: ops %d -> %d", opsAfterWrite, got)
+	}
+	st := k.PageCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits: %+v", st)
+	}
+	task.Close(fd)
+}
+
+func TestPageCacheColdReadChargesDisk(t *testing.T) {
+	k := New(Config{
+		Clock: clock.NewVirtualTicking(0, time.Microsecond),
+		Disk:  DiskConfig{BytesPerSecond: 1 << 30, PageCacheBytes: 1 << 20},
+	})
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Open("/c", ORdwr|OCreat, 0o644)
+	task.Write(fd, bytes.Repeat([]byte("y"), 32<<10))
+	task.Close(fd)
+
+	// A second kernel-level reader through a fresh kernel would be cold;
+	// here we simulate eviction by filling the cache with another file.
+	fd2, _ := task.Open("/big", ORdwr|OCreat, 0o644)
+	task.Write(fd2, bytes.Repeat([]byte("z"), 2<<20)) // evicts /c's pages
+	task.Close(fd2)
+
+	before := k.Disk().Stats().Ops
+	fd3, _ := task.Open("/c", ORdonly, 0)
+	task.Read(fd3, make([]byte, 32<<10))
+	if got := k.Disk().Stats().Ops; got == before {
+		t.Fatal("cold read did not hit the disk after eviction")
+	}
+	task.Close(fd3)
+}
+
+func TestPageCacheDisabledByDefault(t *testing.T) {
+	k := newTestKernel(t)
+	if st := k.PageCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("cache active by default: %+v", st)
+	}
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Openat(AtFDCWD, "/tmp/nc", ORdwr|OCreat, 0o644)
+	task.Write(fd, []byte("data"))
+	before := k.Disk().Stats().Ops
+	task.Lseek(fd, 0, SeekSet)
+	task.Read(fd, make([]byte, 4))
+	if got := k.Disk().Stats().Ops; got != before+1 {
+		t.Fatalf("uncached read ops delta = %d, want 1", got-before)
+	}
+}
+
+func TestPageCacheInodeReuseNoStaleHits(t *testing.T) {
+	k := New(Config{
+		Clock: clock.NewVirtualTicking(0, time.Microsecond),
+		Disk:  DiskConfig{BytesPerSecond: 1 << 30, PageCacheBytes: 1 << 20},
+	})
+	task := k.NewProcess("app").NewTask("app")
+	fd, _ := task.Open("/r", OWronly|OCreat, 0o644)
+	task.Write(fd, []byte("old"))
+	task.Close(fd)
+	task.Unlink("/r")
+
+	// Recreate: same inode number, new generation. Reading it must MISS
+	// (different birth timestamp in the page key), not reuse stale pages.
+	fd2, _ := task.Open("/r", ORdwr|OCreat, 0o644)
+	task.Write(fd2, []byte("new"))
+	hitsBefore := k.PageCacheStats().Hits
+	// Fresh descriptor, read through a range never accessed in this
+	// generation beyond the write-populated page: the write populated it,
+	// so the read hits — but only within THIS generation.
+	task.Lseek(fd2, 0, SeekSet)
+	task.Read(fd2, make([]byte, 3))
+	if k.PageCacheStats().Hits == hitsBefore {
+		t.Fatal("same-generation read did not hit")
+	}
+	task.Close(fd2)
+	if k.InodeReuses() == 0 {
+		t.Fatal("scenario did not reuse an inode")
+	}
+}

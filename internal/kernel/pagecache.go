@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PageSize is the cache granularity (4 KiB pages, as on Linux).
+const PageSize = 4096
+
+// pageKey identifies one cached page. The inode birth timestamp is part of
+// the key so that a recycled inode number never hits stale pages.
+type pageKey struct {
+	ino     uint64
+	birthNS int64
+	block   int64
+}
+
+// pageCache is an LRU page cache in front of the disk model. Writes
+// populate it (write-through: the disk is still charged); reads served
+// entirely from resident pages skip the disk. Disabled unless the kernel's
+// DiskConfig sets PageCacheBytes.
+type pageCache struct {
+	mu       sync.Mutex
+	capPages int
+	pages    map[pageKey]*list.Element
+	lru      *list.List // of pageKey; front = most recent
+	hits     uint64
+	misses   uint64
+}
+
+func newPageCache(capBytes int64) *pageCache {
+	capPages := int(capBytes / PageSize)
+	if capPages <= 0 {
+		return nil
+	}
+	return &pageCache{
+		capPages: capPages,
+		pages:    make(map[pageKey]*list.Element, capPages),
+		lru:      list.New(),
+	}
+}
+
+// insert makes the page resident, evicting the least recently used page
+// when at capacity.
+func (c *pageCache) insertLocked(k pageKey) {
+	if el, ok := c.pages[k]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capPages {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.pages, oldest.Value.(pageKey))
+	}
+	c.pages[k] = c.lru.PushFront(k)
+}
+
+// access walks the byte range [off, off+n) of the file identified by
+// (ino, birthNS): resident pages count as hits; missing pages are inserted
+// and their bytes returned as the amount the disk must serve.
+func (c *pageCache) access(ino uint64, birthNS int64, off, n int64, populateOnly bool) (missBytes int64) {
+	if c == nil || n <= 0 {
+		return n
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	for b := first; b <= last; b++ {
+		k := pageKey{ino: ino, birthNS: birthNS, block: b}
+		if el, ok := c.pages[k]; ok {
+			c.lru.MoveToFront(el)
+			if !populateOnly {
+				c.hits++
+			}
+			continue
+		}
+		if !populateOnly {
+			c.misses++
+		}
+		missBytes += PageSize
+		c.insertLocked(k)
+	}
+	if missBytes > n {
+		missBytes = n
+	}
+	return missBytes
+}
+
+// PageCacheStats reports cache effectiveness.
+type PageCacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// PageCacheStats returns hit/miss counters; zeros when the cache is
+// disabled.
+func (k *Kernel) PageCacheStats() PageCacheStats {
+	if k.cache == nil {
+		return PageCacheStats{}
+	}
+	k.cache.mu.Lock()
+	defer k.cache.mu.Unlock()
+	return PageCacheStats{Hits: k.cache.hits, Misses: k.cache.misses}
+}

@@ -1,0 +1,167 @@
+package kernel
+
+import "sync"
+
+// SyscallArgs carries the decoded arguments of a syscall as they appear on
+// the sys_enter tracepoint. Fields that do not apply to a given syscall are
+// left at their zero values.
+type SyscallArgs struct {
+	FD       int
+	Path     string
+	Path2    string
+	Count    int
+	Offset   int64
+	Whence   int
+	Flags    OpenFlags
+	Mode     uint32
+	AttrName string
+}
+
+// Enter is the payload delivered to sys_enter hooks.
+type Enter struct {
+	NR       Syscall
+	PID      int
+	TID      int
+	ProcName string
+	TaskName string
+	TimeNS   int64
+	Args     SyscallArgs
+}
+
+// Aux is the kernel-side context an eBPF program can read from kernel
+// structures at syscall exit: the basis of DIO's enrichment (§II-B).
+type Aux struct {
+	// HaveFile reports whether the syscall resolved to a filesystem object.
+	HaveFile bool
+	Dev      uint64
+	Ino      uint64
+	FileType FileType
+	// BirthNS is the inode allocation timestamp; together with Dev and Ino
+	// it forms the unique file tag that survives inode-number reuse.
+	BirthNS int64
+	// HaveOffset reports whether Offset is meaningful for this syscall.
+	HaveOffset bool
+	// Offset is the file offset at which a data syscall started accessing
+	// the file (available even for read/write, which take no offset).
+	Offset int64
+	// Path is the kernel-resolved path for path-based syscalls; fd-based
+	// syscalls leave it empty, as the kernel does not resolve fd→path on
+	// the fast path (that is what the file-tag correlation is for).
+	Path string
+}
+
+// Exit is the payload delivered to sys_exit hooks. It embeds the matching
+// Enter payload so hooks that pair entry and exit in kernel space (as DIO,
+// CaT and Tracee do) receive a single complete record.
+type Exit struct {
+	Enter
+	Ret    int64
+	ExitNS int64
+	Aux    Aux
+}
+
+// EnterHook observes a syscall entry. Hooks run synchronously in the calling
+// task's context, like eBPF programs on a tracepoint: the time they take is
+// charged to the application.
+type EnterHook func(*Enter)
+
+// ExitHook observes a syscall exit.
+type ExitHook func(*Exit)
+
+// TracepointRegistry holds the hooks attached to each syscall tracepoint.
+type TracepointRegistry struct {
+	mu     sync.RWMutex
+	nextID int
+	enter  [syscallSentinel][]hookSlot[EnterHook]
+	exit   [syscallSentinel][]hookSlot[ExitHook]
+}
+
+type hookSlot[H any] struct {
+	id int
+	fn H
+}
+
+func newTracepointRegistry() *TracepointRegistry {
+	return &TracepointRegistry{nextID: 1}
+}
+
+// AttachEnter attaches fn to the sys_enter tracepoint of nr and returns a
+// detach function.
+func (r *TracepointRegistry) AttachEnter(nr Syscall, fn EnterHook) (detach func()) {
+	if !nr.Valid() || fn == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	r.enter[nr] = append(r.enter[nr], hookSlot[EnterHook]{id: id, fn: fn})
+	r.mu.Unlock()
+	return func() { r.detachEnter(nr, id) }
+}
+
+// AttachExit attaches fn to the sys_exit tracepoint of nr and returns a
+// detach function.
+func (r *TracepointRegistry) AttachExit(nr Syscall, fn ExitHook) (detach func()) {
+	if !nr.Valid() || fn == nil {
+		return func() {}
+	}
+	r.mu.Lock()
+	id := r.nextID
+	r.nextID++
+	r.exit[nr] = append(r.exit[nr], hookSlot[ExitHook]{id: id, fn: fn})
+	r.mu.Unlock()
+	return func() { r.detachExit(nr, id) }
+}
+
+func (r *TracepointRegistry) detachEnter(nr Syscall, id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hooks := r.enter[nr]
+	for i, h := range hooks {
+		if h.id == id {
+			r.enter[nr] = append(append([]hookSlot[EnterHook]{}, hooks[:i]...), hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *TracepointRegistry) detachExit(nr Syscall, id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hooks := r.exit[nr]
+	for i, h := range hooks {
+		if h.id == id {
+			r.exit[nr] = append(append([]hookSlot[ExitHook]{}, hooks[:i]...), hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+// fireEnter invokes the sys_enter hooks for ev.NR.
+func (r *TracepointRegistry) fireEnter(ev *Enter) {
+	r.mu.RLock()
+	hooks := r.enter[ev.NR]
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h.fn(ev)
+	}
+}
+
+// fireExit invokes the sys_exit hooks for ev.NR.
+func (r *TracepointRegistry) fireExit(ev *Exit) {
+	r.mu.RLock()
+	hooks := r.exit[ev.NR]
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h.fn(ev)
+	}
+}
+
+// HasHooks reports whether any hook is attached to nr's tracepoints. The
+// syscall fast path uses it to skip event construction entirely when the
+// kernel is untraced (the vanilla configuration of Table II).
+func (r *TracepointRegistry) HasHooks(nr Syscall) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.enter[nr]) > 0 || len(r.exit[nr]) > 0
+}

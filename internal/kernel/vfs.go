@@ -1,0 +1,313 @@
+package kernel
+
+import (
+	"strings"
+)
+
+// DefaultDev is the device number of the kernel's single filesystem. The
+// value matches the dev_no column of the paper's Fig. 2 traces.
+const DefaultDev uint64 = 7340032
+
+// vfs is the in-memory filesystem: a single device with a directory tree.
+// All methods assume the kernel mutex is held.
+type vfs struct {
+	it   *inodeTable
+	root uint64
+}
+
+func newVFS(nowNS func() int64) *vfs {
+	v := &vfs{it: newInodeTable(DefaultDev, nowNS)}
+	rootInode := v.it.alloc(FileTypeDirectory)
+	rootInode.nlink = 2
+	v.root = rootInode.ino
+	return v
+}
+
+// splitPath normalizes an absolute path into components. It returns false
+// for relative or empty paths.
+func splitPath(path string) ([]string, bool) {
+	if path == "" || path[0] != '/' {
+		return nil, false
+	}
+	raw := strings.Split(path, "/")
+	comps := make([]string, 0, len(raw))
+	for _, c := range raw {
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			if len(comps) > 0 {
+				comps = comps[:len(comps)-1]
+			}
+		default:
+			comps = append(comps, c)
+		}
+	}
+	return comps, true
+}
+
+const maxNameLen = 255
+
+// namei resolves path to an inode, following symlinks in intermediate and
+// final components (up to a loop budget).
+func (v *vfs) namei(path string, followFinal bool) (*inode, error) {
+	return v.nameiDepth(path, followFinal, 0)
+}
+
+func (v *vfs) nameiDepth(path string, followFinal bool, depth int) (*inode, error) {
+	if depth > 8 {
+		return nil, ELOOP
+	}
+	comps, ok := splitPath(path)
+	if !ok {
+		return nil, EINVAL
+	}
+	cur, _ := v.it.get(v.root)
+	for i, c := range comps {
+		if cur.ftype != FileTypeDirectory {
+			return nil, ENOTDIR
+		}
+		if len(c) > maxNameLen {
+			return nil, ENAMETOOLONG
+		}
+		childIno, ok := cur.childs[c]
+		if !ok {
+			return nil, ENOENT
+		}
+		child, ok := v.it.get(childIno)
+		if !ok {
+			return nil, ENOENT
+		}
+		final := i == len(comps)-1
+		if child.ftype == FileTypeSymlink && (!final || followFinal) {
+			resolved, err := v.nameiDepth(child.target, true, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			child = resolved
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// parentOf resolves the directory that would contain path's final component
+// and returns that component's name.
+func (v *vfs) parentOf(path string) (*inode, string, error) {
+	comps, ok := splitPath(path)
+	if !ok {
+		return nil, "", EINVAL
+	}
+	if len(comps) == 0 {
+		return nil, "", EEXIST // operating on the root itself
+	}
+	name := comps[len(comps)-1]
+	if len(name) > maxNameLen {
+		return nil, "", ENAMETOOLONG
+	}
+	dirPath := "/" + strings.Join(comps[:len(comps)-1], "/")
+	dir, err := v.namei(dirPath, true)
+	if err != nil {
+		return nil, "", err
+	}
+	if dir.ftype != FileTypeDirectory {
+		return nil, "", ENOTDIR
+	}
+	return dir, name, nil
+}
+
+// create makes a new filesystem object at path. It fails with EEXIST if the
+// name is already taken.
+func (v *vfs) create(path string, ft FileType) (*inode, error) {
+	dir, name, err := v.parentOf(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := dir.childs[name]; exists {
+		return nil, EEXIST
+	}
+	nd := v.it.alloc(ft)
+	nd.nlink = 1
+	if ft == FileTypeDirectory {
+		nd.nlink = 2
+		dir.nlink++
+	}
+	dir.childs[name] = nd.ino
+	return nd, nil
+}
+
+// unlink removes a non-directory entry. The inode number is recycled only
+// once no open descriptors remain (POSIX delete-on-last-close).
+func (v *vfs) unlink(path string) error {
+	dir, name, err := v.parentOf(path)
+	if err != nil {
+		return err
+	}
+	ino, ok := dir.childs[name]
+	if !ok {
+		return ENOENT
+	}
+	nd, ok := v.it.get(ino)
+	if !ok {
+		return ENOENT
+	}
+	if nd.ftype == FileTypeDirectory {
+		return EISDIR
+	}
+	delete(dir.childs, name)
+	nd.nlink--
+	v.it.maybeRelease(nd)
+	return nil
+}
+
+// rmdir removes an empty directory.
+func (v *vfs) rmdir(path string) error {
+	dir, name, err := v.parentOf(path)
+	if err != nil {
+		return err
+	}
+	ino, ok := dir.childs[name]
+	if !ok {
+		return ENOENT
+	}
+	nd, ok := v.it.get(ino)
+	if !ok {
+		return ENOENT
+	}
+	if nd.ftype != FileTypeDirectory {
+		return ENOTDIR
+	}
+	if len(nd.childs) != 0 {
+		return ENOTEMPTY
+	}
+	delete(dir.childs, name)
+	dir.nlink--
+	nd.nlink -= 2
+	v.it.maybeRelease(nd)
+	return nil
+}
+
+// rename moves oldPath to newPath, replacing a non-directory target.
+func (v *vfs) rename(oldPath, newPath string) error {
+	odir, oname, err := v.parentOf(oldPath)
+	if err != nil {
+		return err
+	}
+	oino, ok := odir.childs[oname]
+	if !ok {
+		return ENOENT
+	}
+	src, ok := v.it.get(oino)
+	if !ok {
+		return ENOENT
+	}
+	ndir, nname, err := v.parentOf(newPath)
+	if err != nil {
+		return err
+	}
+	if tgtIno, exists := ndir.childs[nname]; exists {
+		tgt, ok := v.it.get(tgtIno)
+		if !ok {
+			return ENOENT
+		}
+		if tgt.ftype == FileTypeDirectory {
+			if src.ftype != FileTypeDirectory {
+				return EISDIR
+			}
+			if len(tgt.childs) != 0 {
+				return ENOTEMPTY
+			}
+			ndir.nlink--
+			tgt.nlink -= 2
+		} else {
+			if src.ftype == FileTypeDirectory {
+				return ENOTDIR
+			}
+			tgt.nlink--
+		}
+		v.it.maybeRelease(tgt)
+	}
+	delete(odir.childs, oname)
+	ndir.childs[nname] = src.ino
+	if src.ftype == FileTypeDirectory && odir != ndir {
+		odir.nlink--
+		ndir.nlink++
+	}
+	return nil
+}
+
+// mkdirAll creates all missing directories along path. It is a host helper
+// used by workload setup code, not a traced syscall.
+func (v *vfs) mkdirAll(path string) error {
+	comps, ok := splitPath(path)
+	if !ok {
+		return EINVAL
+	}
+	cur := "/"
+	for _, c := range comps {
+		if cur == "/" {
+			cur += c
+		} else {
+			cur += "/" + c
+		}
+		nd, err := v.namei(cur, true)
+		switch {
+		case err == nil:
+			if nd.ftype != FileTypeDirectory {
+				return ENOTDIR
+			}
+		case err == ENOENT:
+			if _, err := v.create(cur, FileTypeDirectory); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// Stat holds the subset of struct stat fields the tracer and workloads use.
+type Stat struct {
+	Dev     uint64
+	Ino     uint64
+	Mode    FileType
+	Nlink   int
+	Size    int64
+	BirthNS int64
+}
+
+func statOf(nd *inode) Stat {
+	return Stat{
+		Dev:     nd.dev,
+		Ino:     nd.ino,
+		Mode:    nd.ftype,
+		Nlink:   nd.nlink,
+		Size:    nd.size(),
+		BirthNS: nd.birthNS,
+	}
+}
+
+// StatFS holds the subset of struct statfs fields exposed by fstatfs.
+type StatFS struct {
+	BlockSize   int64
+	Blocks      int64
+	BlocksFree  int64
+	FilesTotal  int64
+	FilesFree   int64
+	NameMaxLen  int64
+	FSTypeMagic int64
+}
+
+func (v *vfs) statfs() StatFS {
+	used := int64(len(v.it.inodes))
+	return StatFS{
+		BlockSize:   4096,
+		Blocks:      1 << 26,
+		BlocksFree:  1 << 25,
+		FilesTotal:  1 << 20,
+		FilesFree:   1<<20 - used,
+		NameMaxLen:  maxNameLen,
+		FSTypeMagic: 0xef53, // ext4
+	}
+}

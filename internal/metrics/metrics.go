@@ -1,0 +1,153 @@
+// Package metrics provides the latency accounting used by the benchmark
+// harness: percentile summaries and windowed time series (the paper's
+// Fig. 3 plots the 99th percentile of client request latency over time).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	P50   float64
+	P90   float64
+	P95   float64
+	P99   float64
+}
+
+// Summarize computes a Summary. The input slice is not modified.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Summary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+		P50:   Percentile(sorted, 50),
+		P90:   Percentile(sorted, 90),
+		P95:   Percentile(sorted, 95),
+		P99:   Percentile(sorted, 99),
+	}
+}
+
+// Percentile returns the pct-th percentile of an ascending-sorted sample,
+// using the nearest-rank method.
+func Percentile(sorted []float64, pct float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if pct <= 0 {
+		return sorted[0]
+	}
+	if pct >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(pct / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// WindowPoint is one bucket of a windowed latency series.
+type WindowPoint struct {
+	StartNS int64
+	Count   int
+	Mean    float64
+	P50     float64
+	P99     float64
+	Max     float64
+}
+
+// WindowedRecorder collects (timestamp, latency) samples and produces a
+// fixed-interval percentile series. It is safe for concurrent use by many
+// client threads.
+type WindowedRecorder struct {
+	mu       sync.Mutex
+	windowNS int64
+	samples  map[int64][]float64
+}
+
+// NewWindowedRecorder creates a recorder with the given window width.
+func NewWindowedRecorder(windowNS int64) *WindowedRecorder {
+	if windowNS <= 0 {
+		windowNS = 1
+	}
+	return &WindowedRecorder{
+		windowNS: windowNS,
+		samples:  make(map[int64][]float64),
+	}
+}
+
+// Record adds one sample observed at tsNS.
+func (w *WindowedRecorder) Record(tsNS int64, value float64) {
+	bucket := tsNS / w.windowNS * w.windowNS
+	w.mu.Lock()
+	w.samples[bucket] = append(w.samples[bucket], value)
+	w.mu.Unlock()
+}
+
+// TotalCount returns the number of recorded samples.
+func (w *WindowedRecorder) TotalCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, s := range w.samples {
+		n += len(s)
+	}
+	return n
+}
+
+// Series returns the ordered windowed percentile series.
+func (w *WindowedRecorder) Series() []WindowPoint {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keys := make([]int64, 0, len(w.samples))
+	for k := range w.samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]WindowPoint, 0, len(keys))
+	for _, k := range keys {
+		s := append([]float64(nil), w.samples[k]...)
+		sort.Float64s(s)
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		out = append(out, WindowPoint{
+			StartNS: k,
+			Count:   len(s),
+			Mean:    sum / float64(len(s)),
+			P50:     Percentile(s, 50),
+			P99:     Percentile(s, 99),
+			Max:     s[len(s)-1],
+		})
+	}
+	return out
+}
+
+// AllValues returns every recorded sample (unordered across windows).
+func (w *WindowedRecorder) AllValues() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []float64
+	for _, s := range w.samples {
+		out = append(out, s...)
+	}
+	return out
+}

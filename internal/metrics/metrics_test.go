@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	s := Summarize(vals)
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 50 || s.P99 != 99 || s.P90 != 90 || s.P95 != 95 {
+		t.Fatalf("percentiles = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []float64{10, 20, 30}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 30 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("p50 of empty not NaN")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for pct := 0.0; pct <= 100; pct += 5 {
+			p := Percentile(vals, pct)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return Percentile(vals, 0) == vals[0] && Percentile(vals, 100) == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedRecorderSeries(t *testing.T) {
+	w := NewWindowedRecorder(100)
+	for i := int64(0); i < 10; i++ {
+		w.Record(i*10, float64(i)) // all in window 0
+	}
+	w.Record(150, 42) // window 100
+	w.Record(990, 7)  // window 900
+
+	series := w.Series()
+	if len(series) != 3 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[0].StartNS != 0 || series[0].Count != 10 {
+		t.Fatalf("window 0 = %+v", series[0])
+	}
+	if series[1].StartNS != 100 || series[1].P99 != 42 {
+		t.Fatalf("window 100 = %+v", series[1])
+	}
+	if series[2].StartNS != 900 || series[2].Max != 7 {
+		t.Fatalf("window 900 = %+v", series[2])
+	}
+	if w.TotalCount() != 12 {
+		t.Fatalf("total = %d", w.TotalCount())
+	}
+	if got := len(w.AllValues()); got != 12 {
+		t.Fatalf("all values = %d", got)
+	}
+}
+
+func TestWindowedRecorderConcurrent(t *testing.T) {
+	w := NewWindowedRecorder(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Record(int64(i*10), float64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.TotalCount() != 4000 {
+		t.Fatalf("total = %d", w.TotalCount())
+	}
+}
+
+func TestWindowedRecorderDegenerateWindow(t *testing.T) {
+	w := NewWindowedRecorder(0) // coerced to 1
+	w.Record(5, 1)
+	if len(w.Series()) != 1 {
+		t.Fatal("series empty")
+	}
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Agg is a JSON-serializable aggregation: exactly one kind should be set.
+// Sub-aggregations apply within each bucket (e.g. a date histogram of
+// syscall counts split by thread name, which is how Fig. 4 is built).
+type Agg struct {
+	Terms         *TermsAgg         `json:"terms,omitempty"`
+	DateHistogram *DateHistogramAgg `json:"date_histogram,omitempty"`
+	Percentiles   *PercentilesAgg   `json:"percentiles,omitempty"`
+	Stats         *StatsAgg         `json:"stats,omitempty"`
+	Aggs          map[string]Agg    `json:"aggs,omitempty"`
+}
+
+// TermsAgg buckets documents by the distinct values of a field.
+type TermsAgg struct {
+	Field string `json:"field"`
+	// Size limits the number of buckets returned (0 = all), ordered by
+	// descending count then key.
+	Size int `json:"size,omitempty"`
+}
+
+// DateHistogramAgg buckets documents into fixed nanosecond intervals of a
+// numeric timestamp field.
+type DateHistogramAgg struct {
+	Field      string `json:"field"`
+	IntervalNS int64  `json:"interval_ns"`
+}
+
+// PercentilesAgg estimates percentiles of a numeric field.
+type PercentilesAgg struct {
+	Field    string    `json:"field"`
+	Percents []float64 `json:"percents,omitempty"` // default 50,90,95,99
+}
+
+// StatsAgg computes count/min/max/sum/avg of a numeric field.
+type StatsAgg struct {
+	Field string `json:"field"`
+}
+
+// Bucket is one group of documents produced by a bucketing aggregation.
+type Bucket struct {
+	Key    string               `json:"key"`
+	KeyNum float64              `json:"key_num,omitempty"`
+	Count  int                  `json:"count"`
+	Sub    map[string]AggResult `json:"sub,omitempty"`
+}
+
+// StatsResult is the output of a stats aggregation.
+type StatsResult struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Avg   float64 `json:"avg"`
+}
+
+// AggResult is the output of one aggregation.
+type AggResult struct {
+	Buckets     []Bucket           `json:"buckets,omitempty"`
+	Percentiles map[string]float64 `json:"percentiles,omitempty"`
+	Stats       *StatsResult       `json:"stats,omitempty"`
+}
+
+// apply runs the aggregation over the matched documents.
+func (a Agg) apply(docs []Document) AggResult {
+	switch {
+	case a.Terms != nil:
+		return a.applyTerms(docs)
+	case a.DateHistogram != nil:
+		return a.applyDateHistogram(docs)
+	case a.Percentiles != nil:
+		return applyPercentiles(docs, a.Percentiles)
+	case a.Stats != nil:
+		return applyStats(docs, a.Stats)
+	default:
+		return AggResult{}
+	}
+}
+
+func (a Agg) applySubs(docs []Document) map[string]AggResult {
+	if len(a.Aggs) == 0 {
+		return nil
+	}
+	out := make(map[string]AggResult, len(a.Aggs))
+	for name, sub := range a.Aggs {
+		out[name] = sub.apply(docs)
+	}
+	return out
+}
+
+func (a Agg) applyTerms(docs []Document) AggResult {
+	groups := make(map[string][]Document)
+	for _, d := range docs {
+		k := keyString(d[a.Terms.Field])
+		groups[k] = append(groups[k], d)
+	}
+	buckets := make([]Bucket, 0, len(groups))
+	for k, g := range groups {
+		buckets = append(buckets, Bucket{Key: k, Count: len(g), Sub: a.applySubs(g)})
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].Count != buckets[j].Count {
+			return buckets[i].Count > buckets[j].Count
+		}
+		return buckets[i].Key < buckets[j].Key
+	})
+	if a.Terms.Size > 0 && len(buckets) > a.Terms.Size {
+		buckets = buckets[:a.Terms.Size]
+	}
+	return AggResult{Buckets: buckets}
+}
+
+func (a Agg) applyDateHistogram(docs []Document) AggResult {
+	interval := a.DateHistogram.IntervalNS
+	if interval <= 0 {
+		interval = 1
+	}
+	groups := make(map[int64][]Document)
+	for _, d := range docs {
+		f, ok := numeric(d[a.DateHistogram.Field])
+		if !ok {
+			continue
+		}
+		b := int64(f) / interval * interval
+		groups[b] = append(groups[b], d)
+	}
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buckets := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		buckets = append(buckets, Bucket{
+			Key:    strconv.FormatInt(k, 10),
+			KeyNum: float64(k),
+			Count:  len(g),
+			Sub:    a.applySubs(g),
+		})
+	}
+	return AggResult{Buckets: buckets}
+}
+
+func applyPercentiles(docs []Document, p *PercentilesAgg) AggResult {
+	percents := p.Percents
+	if len(percents) == 0 {
+		percents = []float64{50, 90, 95, 99}
+	}
+	vals := make([]float64, 0, len(docs))
+	for _, d := range docs {
+		if f, ok := numeric(d[p.Field]); ok {
+			vals = append(vals, f)
+		}
+	}
+	out := make(map[string]float64, len(percents))
+	sort.Float64s(vals)
+	for _, pct := range percents {
+		out[strconv.FormatFloat(pct, 'g', -1, 64)] = percentileOf(vals, pct)
+	}
+	return AggResult{Percentiles: out}
+}
+
+// percentileOf computes the pct-th percentile of sorted vals using the
+// nearest-rank method.
+func percentileOf(sorted []float64, pct float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if pct <= 0 {
+		return sorted[0]
+	}
+	if pct >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(pct / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func applyStats(docs []Document, s *StatsAgg) AggResult {
+	res := StatsResult{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, d := range docs {
+		f, ok := numeric(d[s.Field])
+		if !ok {
+			continue
+		}
+		res.Count++
+		res.Sum += f
+		if f < res.Min {
+			res.Min = f
+		}
+		if f > res.Max {
+			res.Max = f
+		}
+	}
+	if res.Count > 0 {
+		res.Avg = res.Sum / float64(res.Count)
+	} else {
+		res.Min, res.Max = 0, 0
+	}
+	return AggResult{Stats: &res}
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is the HTTP counterpart of *Store: the tracer uses it to ship
+// events to a backend running on a separate server, keeping analysis load
+// off the traced machine (§II-F). It implements Backend.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the server at base (e.g.
+// "http://127.0.0.1:9200").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Bulk ships docs to the named index using the NDJSON bulk API.
+func (c *Client) Bulk(index string, docs []Document) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, d := range docs {
+		buf.WriteString("{\"index\":{}}\n")
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("encode bulk doc: %w", err)
+		}
+	}
+	var out map[string]int
+	return c.do(http.MethodPost, "/"+url.PathEscape(index)+"/_bulk", buf.Bytes(), &out)
+}
+
+// Search runs req against the named index.
+func (c *Client) Search(index string, req SearchRequest) (SearchResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SearchResponse{}, fmt.Errorf("encode search: %w", err)
+	}
+	var resp SearchResponse
+	err = c.do(http.MethodPost, "/"+url.PathEscape(index)+"/_search", body, &resp)
+	return resp, err
+}
+
+// Count counts documents matching q.
+func (c *Client) Count(index string, q Query) (int, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return 0, fmt.Errorf("encode query: %w", err)
+	}
+	var out struct {
+		Count int `json:"count"`
+	}
+	err = c.do(http.MethodPost, "/"+url.PathEscape(index)+"/_count", body, &out)
+	return out.Count, err
+}
+
+// Correlate triggers the server-side file-path correlation algorithm.
+func (c *Client) Correlate(index, session string) (CorrelationResult, error) {
+	path := "/" + url.PathEscape(index) + "/_correlate"
+	if session != "" {
+		path += "?session=" + url.QueryEscape(session)
+	}
+	var res CorrelationResult
+	err := c.do(http.MethodPost, path, nil, &res)
+	return res, err
+}
+
+// Indices lists index names.
+func (c *Client) Indices() ([]string, error) {
+	var out []string
+	err := c.do(http.MethodGet, "/_cat/indices", nil, &out)
+	return out, err
+}
+
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return fmt.Errorf("new request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package store
+
+// CorrelationResult summarizes one run of the file-path correlation
+// algorithm (§II-C): how many file tags resolved to paths, and how many
+// events remained without a resolvable path (the §III-D coverage metric:
+// DIO leaves at most ~5% of events unresolved, versus 45% for Sysdig).
+type CorrelationResult struct {
+	// TagsResolved is the number of distinct file tags that mapped to a path.
+	TagsResolved int `json:"tags_resolved"`
+	// EventsUpdated is the number of events whose file_path was filled in.
+	EventsUpdated int `json:"events_updated"`
+	// EventsUnresolved is the number of events carrying a file tag whose
+	// path could not be determined (their open event was dropped or not
+	// captured).
+	EventsUnresolved int `json:"events_unresolved"`
+	// EventsWithTag is the total number of events carrying a file tag.
+	EventsWithTag int `json:"events_with_tag"`
+}
+
+// UnresolvedFraction returns the share of tagged events without a path.
+func (r CorrelationResult) UnresolvedFraction() float64 {
+	if r.EventsWithTag == 0 {
+		return 0
+	}
+	return float64(r.EventsUnresolved) / float64(r.EventsWithTag)
+}
+
+// openSyscalls are the syscalls that carry both a path argument and a file
+// tag, anchoring the tag→path mapping.
+var openSyscalls = []any{"open", "openat", "creat"}
+
+// CorrelateFilePaths implements DIO's custom correlation algorithm using
+// the store's query and update features:
+//
+//  1. Search events whose syscall is an open variant and that carry both a
+//     file tag and a kernel-resolved path; build the tag→path dictionary.
+//  2. Update-by-query every event that carries a file tag but no file_path,
+//     setting file_path from the dictionary.
+//
+// It can run while the tracer is still indexing (near-real-time pipeline)
+// or on demand after the session completes (§II-E).
+func CorrelateFilePaths(ix *Index, session string) CorrelationResult {
+	var res CorrelationResult
+
+	sessionFilter := func() []Query {
+		if session == "" {
+			return nil
+		}
+		return []Query{Term(FieldSession, session)}
+	}
+
+	// Step 1: harvest tag→path anchors from open-like events. Path-based
+	// non-open syscalls (stat, unlink, ...) also carry kernel paths and
+	// strengthen the dictionary.
+	anchors := ix.Search(SearchRequest{
+		Query: Query{Bool: &BoolQuery{
+			Must: append(sessionFilter(),
+				Exists(FieldFileTag),
+				Exists(FieldKernelPath),
+			),
+		}},
+		Size: -1,
+	})
+	tagToPath := make(map[string]string)
+	for _, d := range anchors.Hits {
+		tag := str(d[FieldFileTag])
+		if tag == "" {
+			continue
+		}
+		if _, seen := tagToPath[tag]; !seen {
+			tagToPath[tag] = str(d[FieldKernelPath])
+		}
+	}
+	res.TagsResolved = len(tagToPath)
+
+	// Step 2: rewrite tagged events without a path.
+	q := Query{Bool: &BoolQuery{
+		Must: append(sessionFilter(), Exists(FieldFileTag)),
+	}}
+	ix.UpdateByQuery(q, func(d Document) bool {
+		res.EventsWithTag++
+		if str(d[FieldFilePath]) != "" {
+			return false
+		}
+		if kp := str(d[FieldKernelPath]); kp != "" {
+			d[FieldFilePath] = kp
+			res.EventsUpdated++
+			return true
+		}
+		path, ok := tagToPath[str(d[FieldFileTag])]
+		if !ok {
+			res.EventsUnresolved++
+			return false
+		}
+		d[FieldFilePath] = path
+		res.EventsUpdated++
+		return true
+	})
+	return res
+}

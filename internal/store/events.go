@@ -1,0 +1,156 @@
+package store
+
+import (
+	"github.com/dsrhaslab/dio-go/internal/event"
+)
+
+// Document field names for trace events. Kept as constants so queries,
+// correlation, and visualizations agree on the schema.
+const (
+	FieldSession    = "session"
+	FieldSyscall    = "syscall"
+	FieldClass      = "class"
+	FieldRetVal     = "ret_val"
+	FieldFD         = "fd"
+	FieldArgPath    = "arg_path"
+	FieldArgPath2   = "arg_path2"
+	FieldCount      = "count"
+	FieldArgOffset  = "arg_offset"
+	FieldWhence     = "whence"
+	FieldFlags      = "flags"
+	FieldMode       = "mode"
+	FieldAttrName   = "xattr_name"
+	FieldPID        = "pid"
+	FieldTID        = "tid"
+	FieldProcName   = "proc_name"
+	FieldThreadName = "thread_name"
+	FieldTimeEnter  = "time_enter_ns"
+	FieldTimeExit   = "time_exit_ns"
+	FieldDuration   = "duration_ns"
+	FieldFileTag    = "file_tag"
+	FieldDevNo      = "dev_no"
+	FieldInodeNo    = "inode_no"
+	FieldTagTS      = "tag_timestamp"
+	FieldFileType   = "file_type"
+	FieldOffset     = "offset"
+	FieldHasOffset  = "has_offset"
+	FieldKernelPath = "kernel_path"
+	FieldFilePath   = "file_path"
+)
+
+// EventToDoc flattens a trace event into an indexable document.
+func EventToDoc(e *event.Event) Document {
+	d := Document{
+		FieldSession:    e.Session,
+		FieldSyscall:    e.Syscall,
+		FieldClass:      e.Class,
+		FieldRetVal:     e.RetVal,
+		FieldPID:        int64(e.PID),
+		FieldTID:        int64(e.TID),
+		FieldProcName:   e.ProcName,
+		FieldThreadName: e.ThreadName,
+		FieldTimeEnter:  e.TimeEnterNS,
+		FieldTimeExit:   e.TimeExitNS,
+		FieldDuration:   e.DurationNS(),
+		FieldHasOffset:  e.HasOffset,
+	}
+	if e.FD != 0 {
+		d[FieldFD] = int64(e.FD)
+	}
+	if e.ArgPath != "" {
+		d[FieldArgPath] = e.ArgPath
+	}
+	if e.ArgPath2 != "" {
+		d[FieldArgPath2] = e.ArgPath2
+	}
+	if e.Count != 0 {
+		d[FieldCount] = int64(e.Count)
+	}
+	if e.ArgOff != 0 {
+		d[FieldArgOffset] = e.ArgOff
+	}
+	if e.Whence != 0 {
+		d[FieldWhence] = int64(e.Whence)
+	}
+	if e.Flags != 0 {
+		d[FieldFlags] = int64(e.Flags)
+	}
+	if e.Mode != 0 {
+		d[FieldMode] = int64(e.Mode)
+	}
+	if e.AttrName != "" {
+		d[FieldAttrName] = e.AttrName
+	}
+	if !e.FileTag.Zero() {
+		d[FieldFileTag] = e.FileTag.String()
+		d[FieldDevNo] = int64(e.FileTag.Dev)
+		d[FieldInodeNo] = int64(e.FileTag.Ino)
+		d[FieldTagTS] = e.FileTag.BirthNS
+	}
+	if e.FileType != "" {
+		d[FieldFileType] = e.FileType
+	}
+	if e.HasOffset {
+		d[FieldOffset] = e.Offset
+	}
+	if e.KernelPath != "" {
+		d[FieldKernelPath] = e.KernelPath
+	}
+	if e.FilePath != "" {
+		d[FieldFilePath] = e.FilePath
+	}
+	return d
+}
+
+// DocToEvent reconstructs a trace event from a document (best-effort: the
+// schema above is lossless for all fields the tracer emits).
+func DocToEvent(d Document) event.Event {
+	e := event.Event{
+		Session:    str(d[FieldSession]),
+		Syscall:    str(d[FieldSyscall]),
+		Class:      str(d[FieldClass]),
+		RetVal:     i64(d[FieldRetVal]),
+		FD:         int(i64(d[FieldFD])),
+		ArgPath:    str(d[FieldArgPath]),
+		ArgPath2:   str(d[FieldArgPath2]),
+		Count:      int(i64(d[FieldCount])),
+		ArgOff:     i64(d[FieldArgOffset]),
+		Whence:     int(i64(d[FieldWhence])),
+		Flags:      int(i64(d[FieldFlags])),
+		Mode:       uint32(i64(d[FieldMode])),
+		AttrName:   str(d[FieldAttrName]),
+		PID:        int(i64(d[FieldPID])),
+		TID:        int(i64(d[FieldTID])),
+		ProcName:   str(d[FieldProcName]),
+		ThreadName: str(d[FieldThreadName]),
+
+		TimeEnterNS: i64(d[FieldTimeEnter]),
+		TimeExitNS:  i64(d[FieldTimeExit]),
+		FileType:    str(d[FieldFileType]),
+		KernelPath:  str(d[FieldKernelPath]),
+		FilePath:    str(d[FieldFilePath]),
+	}
+	if tag := str(d[FieldFileTag]); tag != "" {
+		if ft, err := event.ParseFileTag(tag); err == nil {
+			e.FileTag = ft
+		}
+	}
+	if b, ok := d[FieldHasOffset].(bool); ok && b {
+		e.HasOffset = true
+		e.Offset = i64(d[FieldOffset])
+	}
+	return e
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func i64(v any) int64 {
+	f, ok := numeric(v)
+	if !ok {
+		return 0
+	}
+	return int64(f)
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// indexedFields are the keyword fields for which the index maintains posting
+// lists, accelerating the term queries issued by the paper's dashboards
+// (session, syscall, process/thread names).
+var indexedFields = []string{"session", "syscall", "proc_name", "thread_name", "class"}
+
+// Index stores the documents of one index and their posting lists.
+type Index struct {
+	mu       sync.RWMutex
+	name     string
+	docs     []Document
+	postings map[string]map[string][]int // field -> term -> doc ids
+}
+
+// NewIndex creates an empty index.
+func NewIndex(name string) *Index {
+	p := make(map[string]map[string][]int, len(indexedFields))
+	for _, f := range indexedFields {
+		p[f] = make(map[string][]int)
+	}
+	return &Index{name: name, postings: p}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Add indexes one document and returns its id.
+func (ix *Index) Add(doc Document) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.addLocked(doc)
+}
+
+// AddBulk indexes a batch of documents.
+func (ix *Index) AddBulk(docs []Document) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, d := range docs {
+		ix.addLocked(d)
+	}
+}
+
+func (ix *Index) addLocked(doc Document) int {
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, doc)
+	for _, f := range indexedFields {
+		if s, ok := doc[f].(string); ok {
+			ix.postings[f][s] = append(ix.postings[f][s], id)
+		}
+	}
+	return id
+}
+
+// Len returns the number of documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// SearchRequest describes one search: a query, sorting, pagination, and
+// aggregations over the matched set.
+type SearchRequest struct {
+	Query Query          `json:"query"`
+	Sort  []SortField    `json:"sort,omitempty"`
+	From  int            `json:"from,omitempty"`
+	Size  int            `json:"size,omitempty"` // <=0 returns all hits
+	Aggs  map[string]Agg `json:"aggs,omitempty"`
+	// HitsOnly false with Size<0 suppresses hit materialization (aggs only).
+}
+
+// SortField orders results by a document field.
+type SortField struct {
+	Field string `json:"field"`
+	Desc  bool   `json:"desc,omitempty"`
+}
+
+// SearchResponse is the result of a search.
+type SearchResponse struct {
+	Total int                  `json:"total"`
+	Hits  []Document           `json:"hits"`
+	Aggs  map[string]AggResult `json:"aggs,omitempty"`
+}
+
+// Search runs req against the index.
+func (ix *Index) Search(req SearchRequest) SearchResponse {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	matched := ix.matchLocked(req.Query)
+
+	if len(req.Sort) > 0 {
+		sort.SliceStable(matched, func(i, j int) bool {
+			return compareDocs(matched[i], matched[j], req.Sort)
+		})
+	}
+
+	var aggs map[string]AggResult
+	if len(req.Aggs) > 0 {
+		aggs = make(map[string]AggResult, len(req.Aggs))
+		for name, a := range req.Aggs {
+			aggs[name] = a.apply(matched)
+		}
+	}
+
+	total := len(matched)
+	hits := matched
+	if req.From > 0 {
+		if req.From >= len(hits) {
+			hits = nil
+		} else {
+			hits = hits[req.From:]
+		}
+	}
+	if req.Size > 0 && len(hits) > req.Size {
+		hits = hits[:req.Size]
+	}
+	out := make([]Document, len(hits))
+	copy(out, hits)
+	return SearchResponse{Total: total, Hits: out, Aggs: aggs}
+}
+
+// matchLocked evaluates the query, using posting lists for top-level term
+// queries on indexed keyword fields.
+func (ix *Index) matchLocked(q Query) []Document {
+	if q.Term != nil {
+		if terms, ok := ix.postings[q.Term.Field]; ok {
+			if val, isStr := q.Term.Value.(string); isStr {
+				ids := terms[val]
+				out := make([]Document, len(ids))
+				for i, id := range ids {
+					out[i] = ix.docs[id]
+				}
+				return out
+			}
+		}
+	}
+	// Bool-must with a leading indexed term: intersect from the posting list.
+	if q.Bool != nil && len(q.Bool.Must) > 0 {
+		if first := q.Bool.Must[0]; first.Term != nil {
+			if terms, ok := ix.postings[first.Term.Field]; ok {
+				if val, isStr := first.Term.Value.(string); isStr {
+					rest := Query{Bool: &BoolQuery{
+						Must:    q.Bool.Must[1:],
+						Should:  q.Bool.Should,
+						MustNot: q.Bool.MustNot,
+					}}
+					var out []Document
+					for _, id := range terms[val] {
+						if rest.Matches(ix.docs[id]) {
+							out = append(out, ix.docs[id])
+						}
+					}
+					return out
+				}
+			}
+		}
+	}
+	var out []Document
+	for _, d := range ix.docs {
+		if q.Matches(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Count returns the number of documents matching q.
+func (ix *Index) Count(q Query) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.matchLocked(q))
+}
+
+// UpdateByQuery applies fn to every matching document, in place, and
+// returns the number of updated documents. fn must return true if it
+// changed the document.
+func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	updated := 0
+	for _, d := range ix.docs {
+		if q.Matches(d) && fn(d) {
+			updated++
+		}
+	}
+	return updated
+}
+
+func compareDocs(a, b Document, sorts []SortField) bool {
+	for _, s := range sorts {
+		av, bv := a[s.Field], b[s.Field]
+		af, aok := numeric(av)
+		bf, bok := numeric(bv)
+		var less, greater bool
+		if aok && bok {
+			less, greater = af < bf, af > bf
+		} else {
+			as, bs := keyString(av), keyString(bv)
+			less, greater = as < bs, as > bs
+		}
+		if less {
+			return !s.Desc
+		}
+		if greater {
+			return s.Desc
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Backend is the interface the tracer and visualizer program against: it is
+// satisfied both by the in-process *Store and by *Client talking to a
+// remote Server, mirroring the paper's deployment choice of co-located or
+// dedicated analysis servers (§II-F).
+type Backend interface {
+	Bulk(index string, docs []Document) error
+	Search(index string, req SearchRequest) (SearchResponse, error)
+	Count(index string, q Query) (int, error)
+	Correlate(index, session string) (CorrelationResult, error)
+}
+
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*Client)(nil)
+)
+
+// Correlate runs the file-path correlation algorithm on the named index.
+func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
+	ix, ok := s.GetIndex(index)
+	if !ok {
+		return CorrelationResult{}, fmt.Errorf("index %q not found", index)
+	}
+	return CorrelateFilePaths(ix, session), nil
+}
+
+// Server exposes the store over HTTP with an Elasticsearch-flavoured API:
+//
+//	POST   /{index}/_bulk       NDJSON action/document pairs
+//	POST   /{index}/_search     SearchRequest JSON body
+//	POST   /{index}/_count      optional Query JSON body
+//	POST   /{index}/_correlate  ?session=NAME
+//	GET    /_cat/indices        list index names
+//	DELETE /{index}             drop an index
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps st in an HTTP handler.
+func NewServer(st *Store) *Server {
+	s := &Server{store: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/_cat/indices", s.handleCatIndices)
+	s.mux.HandleFunc("/", s.handleIndexOps)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleCatIndices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Indices())
+}
+
+func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	switch {
+	case len(parts) == 1 && parts[0] != "" && r.Method == http.MethodDelete:
+		s.store.DeleteIndex(parts[0])
+		writeJSON(w, http.StatusOK, map[string]bool{"acknowledged": true})
+	case len(parts) == 2:
+		index, op := parts[0], parts[1]
+		switch op {
+		case "_bulk":
+			s.handleBulk(w, r, index)
+		case "_search":
+			s.handleSearch(w, r, index)
+		case "_count":
+			s.handleCount(w, r, index)
+		case "_correlate":
+			s.handleCorrelate(w, r, index)
+		default:
+			httpError(w, http.StatusNotFound, "unknown operation %q", op)
+		}
+	default:
+		httpError(w, http.StatusNotFound, "not found")
+	}
+}
+
+// handleBulk consumes Elasticsearch-style NDJSON: an action line (ignored
+// beyond validation) followed by a document line, repeated.
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	var docs []Document
+	expectDoc := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !expectDoc {
+			// action line, e.g. {"index":{}}
+			expectDoc = true
+			continue
+		}
+		var d Document
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			httpError(w, http.StatusBadRequest, "bad document: %v", err)
+			return
+		}
+		docs = append(docs, d)
+		expectDoc = false
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := s.store.Bulk(index, docs); err != nil {
+		httpError(w, http.StatusInternalServerError, "bulk: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"items": len(docs)})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad search request: %v", err)
+		return
+	}
+	resp, err := s.store.Search(index, req)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, index string) {
+	var q Query
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			httpError(w, http.StatusBadRequest, "bad query: %v", err)
+			return
+		}
+	}
+	n, err := s.store.Count(index, q)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"count": n})
+}
+
+func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	res, err := s.store.Correlate(index, r.URL.Query().Get("session"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServerClient(t *testing.T) (*Store, *Client) {
+	t.Helper()
+	st := New()
+	srv := httptest.NewServer(NewServer(st))
+	t.Cleanup(srv.Close)
+	return st, NewClient(srv.URL)
+}
+
+func TestHTTPBulkSearchCount(t *testing.T) {
+	_, c := newTestServerClient(t)
+
+	if err := c.Bulk("run1", docFixture()); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	n, err := c.Count("run1", Term("session", "s1"))
+	if err != nil || n != 4 {
+		t.Fatalf("count = (%d, %v), want 4", n, err)
+	}
+	resp, err := c.Search("run1", SearchRequest{
+		Query: Term("syscall", "read"),
+		Sort:  []SortField{{Field: "time_enter_ns"}},
+	})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if resp.Total != 2 || len(resp.Hits) != 2 {
+		t.Fatalf("search resp = %+v", resp)
+	}
+	if resp.Hits[0]["proc_name"] != "fluent-bit" {
+		t.Fatalf("hit = %v", resp.Hits[0])
+	}
+}
+
+func TestHTTPSearchWithAggs(t *testing.T) {
+	_, c := newTestServerClient(t)
+	if err := c.Bulk("run1", docFixture()); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	resp, err := c.Search("run1", SearchRequest{
+		Query: MatchAll(),
+		Size:  1,
+		Aggs: map[string]Agg{
+			"by_proc": {Terms: &TermsAgg{Field: "proc_name"}},
+			"lat":     {Percentiles: &PercentilesAgg{Field: "duration_ns", Percents: []float64{99}}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(resp.Aggs["by_proc"].Buckets) != 2 {
+		t.Fatalf("agg buckets = %+v", resp.Aggs["by_proc"])
+	}
+	if resp.Aggs["lat"].Percentiles["99"] != 50 {
+		t.Fatalf("p99 = %v", resp.Aggs["lat"].Percentiles)
+	}
+}
+
+func TestHTTPCorrelate(t *testing.T) {
+	_, c := newTestServerClient(t)
+	if err := c.Bulk("run1", docFixture()); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	res, err := c.Correlate("run1", "s1")
+	if err != nil {
+		t.Fatalf("correlate: %v", err)
+	}
+	if res.TagsResolved != 1 || res.EventsUpdated != 4 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestHTTPIndicesAndErrors(t *testing.T) {
+	_, c := newTestServerClient(t)
+	if err := c.Bulk("a", docFixture()); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	if err := c.Bulk("b", docFixture()[:1]); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	names, err := c.Indices()
+	if err != nil || len(names) != 2 {
+		t.Fatalf("indices = (%v, %v)", names, err)
+	}
+	if _, err := c.Search("missing", SearchRequest{}); err == nil {
+		t.Fatal("search on missing index succeeded")
+	}
+	if _, err := c.Correlate("missing", ""); err == nil {
+		t.Fatal("correlate on missing index succeeded")
+	}
+}
+
+func TestHTTPBackendInterchangeable(t *testing.T) {
+	st, c := newTestServerClient(t)
+	for _, b := range []Backend{st, c} {
+		if err := b.Bulk("x", []Document{{"syscall": "read"}}); err != nil {
+			t.Fatalf("bulk via %T: %v", b, err)
+		}
+	}
+	n, _ := st.Count("x", MatchAll())
+	if n != 2 {
+		t.Fatalf("count = %d, want 2 (one via each backend)", n)
+	}
+}
+
+func TestHTTPServerErrorPaths(t *testing.T) {
+	st := New()
+	st.Bulk("x", docFixture())
+	srv := httptest.NewServer(NewServer(st))
+	defer srv.Close()
+
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post("/x/_bulk", "{\"index\":{}}\nnot-json\n"); code != http.StatusBadRequest {
+		t.Fatalf("bad bulk doc status = %d", code)
+	}
+	if code := post("/x/_search", "{bad"); code != http.StatusBadRequest {
+		t.Fatalf("bad search status = %d", code)
+	}
+	if code := post("/x/_unknownop", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown op status = %d", code)
+	}
+	if code := post("/a/b/c", ""); code != http.StatusNotFound {
+		t.Fatalf("deep path status = %d", code)
+	}
+
+	// GET where POST is required.
+	resp, err := http.Get(srv.URL + "/x/_bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET bulk status = %d", resp.StatusCode)
+	}
+
+	// DELETE an index through HTTP.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/x", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if _, ok := st.GetIndex("x"); ok {
+		t.Fatal("index survived HTTP delete")
+	}
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the top-level document store: a set of named indices, one per
+// tracing session by convention (the tracer labels each execution with a
+// unique session name, §II-F).
+type Store struct {
+	mu      sync.RWMutex
+	indices map[string]*Index
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{indices: make(map[string]*Index)}
+}
+
+// IndexOrCreate returns the named index, creating it on first use (like
+// Elasticsearch's dynamic index creation on first write).
+func (s *Store) IndexOrCreate(name string) *Index {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ix, ok := s.indices[name]
+	if !ok {
+		ix = NewIndex(name)
+		s.indices[name] = ix
+	}
+	return ix
+}
+
+// GetIndex returns the named index if it exists.
+func (s *Store) GetIndex(name string) (*Index, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ix, ok := s.indices[name]
+	return ix, ok
+}
+
+// DeleteIndex removes the named index.
+func (s *Store) DeleteIndex(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.indices, name)
+}
+
+// Indices lists index names in sorted order.
+func (s *Store) Indices() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.indices))
+	for n := range s.indices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bulk indexes docs into the named index.
+func (s *Store) Bulk(index string, docs []Document) error {
+	s.IndexOrCreate(index).AddBulk(docs)
+	return nil
+}
+
+// Search runs req against the named index.
+func (s *Store) Search(index string, req SearchRequest) (SearchResponse, error) {
+	ix, ok := s.GetIndex(index)
+	if !ok {
+		return SearchResponse{}, fmt.Errorf("index %q not found", index)
+	}
+	return ix.Search(req), nil
+}
+
+// Count counts documents matching q in the named index.
+func (s *Store) Count(index string, q Query) (int, error) {
+	ix, ok := s.GetIndex(index)
+	if !ok {
+		return 0, fmt.Errorf("index %q not found", index)
+	}
+	return ix.Count(q), nil
+}

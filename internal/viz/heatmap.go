@@ -1,0 +1,92 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Heatmap renders a matrix of intensities (rows × time buckets) — one of
+// the visualization types the paper lists alongside tables, histograms, and
+// time series (§IV). The canonical use is thread activity over time, where
+// Fig. 4's stacked series become one shaded row per thread.
+type Heatmap struct {
+	Title string
+	// RowLabels names the rows (e.g. thread names).
+	RowLabels []string
+	// ColLabels names the columns (e.g. window start times); optional.
+	ColLabels []string
+	// Values holds one intensity per row per column.
+	Values [][]float64
+}
+
+// heatRunes shade from empty to full intensity.
+var heatRunes = []rune(" ░▒▓█")
+
+// HeatmapFromTimeSeries converts a multi-series chart into a heatmap with
+// one row per series, normalized per row.
+func HeatmapFromTimeSeries(ts *TimeSeries) *Heatmap {
+	names := ts.SeriesNames()
+	h := &Heatmap{Title: ts.Title, RowLabels: names}
+	for _, t := range ts.BucketStartNS {
+		h.ColLabels = append(h.ColLabels, strconv.FormatInt(t, 10))
+	}
+	for _, n := range names {
+		vals := ts.Series[n]
+		row := make([]float64, len(ts.BucketStartNS))
+		copy(row, vals)
+		h.Values = append(h.Values, row)
+	}
+	return h
+}
+
+// Render writes the heatmap as shaded text, one row per label, normalizing
+// each row to its own maximum.
+func (h *Heatmap) Render(w io.Writer) error {
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", h.Title); err != nil {
+			return err
+		}
+	}
+	labW := 0
+	for _, l := range h.RowLabels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for i, label := range h.RowLabels {
+		var vals []float64
+		if i < len(h.Values) {
+			vals = h.Values[i]
+		}
+		var max float64
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		var b strings.Builder
+		for _, v := range vals {
+			idx := 0
+			if max > 0 && v > 0 {
+				idx = 1 + int(v/max*float64(len(heatRunes)-2))
+				if idx >= len(heatRunes) {
+					idx = len(heatRunes) - 1
+				}
+			}
+			b.WriteRune(heatRunes[idx])
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s| max %s\n", pad(label, labW), b.String(), trimFloat(max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the heatmap to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	_ = h.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// HTMLDashboard renders a session's predefined dashboard as one
+// self-contained HTML page (inline CSS and SVG, no external assets): the
+// Kibana-style artifact of the paper's visualizer, in static form. It
+// contains the access-pattern table, the per-syscall histogram, and the
+// per-thread syscall timeline.
+func HTMLDashboard(w io.Writer, b store.Backend, index, session string, intervalNS int64) error {
+	table, err := AccessPatternTable(b, index, session)
+	if err != nil {
+		return fmt.Errorf("dashboard table: %w", err)
+	}
+	hist, err := SyscallHistogram(b, index, session)
+	if err != nil {
+		return fmt.Errorf("dashboard histogram: %w", err)
+	}
+	timeline, err := SyscallTimeline(b, index, session, intervalNS)
+	if err != nil {
+		return fmt.Errorf("dashboard timeline: %w", err)
+	}
+
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>DIO dashboard: `)
+	sb.WriteString(html.EscapeString(session))
+	sb.WriteString(`</title><style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+th, td { border: 1px solid #ccd; padding: 0.25rem 0.6rem; text-align: left; }
+th { background: #eef; }
+.bar { fill: #4477aa; } .axis { stroke: #999; stroke-width: 1; }
+.series { fill: none; stroke-width: 2; }
+.lbl { font-size: 11px; fill: #333; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>DIO session %s</h1>\n", html.EscapeString(session))
+
+	// Histogram as SVG bars.
+	sb.WriteString("<h2>Syscall counts</h2>\n")
+	writeHistogramSVG(&sb, hist)
+
+	// Timeline as SVG polylines, one color per thread.
+	sb.WriteString("<h2>Syscalls over time by thread</h2>\n")
+	writeTimelineSVG(&sb, timeline)
+
+	// Access-pattern table (bounded to keep pages reasonable).
+	sb.WriteString("<h2>Access pattern</h2>\n")
+	writeTableHTML(&sb, table, 500)
+
+	sb.WriteString("</body></html>\n")
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+func writeTableHTML(sb *strings.Builder, t *Table, maxRows int) {
+	sb.WriteString("<table><thead><tr>")
+	for _, c := range t.Columns {
+		fmt.Fprintf(sb, "<th>%s</th>", html.EscapeString(c))
+	}
+	sb.WriteString("</tr></thead><tbody>\n")
+	rows := t.Rows
+	truncated := false
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+		truncated = true
+	}
+	for _, row := range rows {
+		sb.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(sb, "<td>%s</td>", html.EscapeString(cell))
+		}
+		sb.WriteString("</tr>\n")
+	}
+	sb.WriteString("</tbody></table>\n")
+	if truncated {
+		fmt.Fprintf(sb, "<p>(%d of %d rows shown)</p>\n", maxRows, len(t.Rows))
+	}
+}
+
+func writeHistogramSVG(sb *strings.Builder, h *Histogram) {
+	const (
+		barH   = 18
+		gap    = 4
+		chartW = 640
+		labelW = 140
+	)
+	var max float64
+	for _, v := range h.Values {
+		if v > max {
+			max = v
+		}
+	}
+	height := len(h.Labels)*(barH+gap) + gap
+	fmt.Fprintf(sb, `<svg width="%d" height="%d" role="img">`, chartW+labelW+60, height)
+	for i, label := range h.Labels {
+		v := 0.0
+		if i < len(h.Values) {
+			v = h.Values[i]
+		}
+		w := 0.0
+		if max > 0 {
+			w = v / max * chartW
+		}
+		y := gap + i*(barH+gap)
+		fmt.Fprintf(sb, `<text class="lbl" x="0" y="%d">%s</text>`, y+barH-5, html.EscapeString(label))
+		fmt.Fprintf(sb, `<rect class="bar" x="%d" y="%d" width="%.1f" height="%d"/>`, labelW, y, w, barH)
+		fmt.Fprintf(sb, `<text class="lbl" x="%.1f" y="%d">%s</text>`, labelW+w+4, y+barH-5, trimFloat(v))
+	}
+	sb.WriteString("</svg>\n")
+}
+
+// seriesColors is a color-blind-friendly palette cycled across series.
+var seriesColors = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+	"#44aa99", "#882255",
+}
+
+func writeTimelineSVG(sb *strings.Builder, ts *TimeSeries) {
+	const (
+		chartW  = 720
+		chartH  = 220
+		padL    = 50
+		padB    = 20
+		legendW = 170
+	)
+	names := ts.SeriesNames()
+	var max float64
+	for _, vals := range ts.Series {
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	n := len(ts.BucketStartNS)
+	fmt.Fprintf(sb, `<svg width="%d" height="%d" role="img">`, padL+chartW+legendW, chartH+padB+10)
+	// Axes.
+	fmt.Fprintf(sb, `<line class="axis" x1="%d" y1="%d" x2="%d" y2="%d"/>`, padL, chartH, padL+chartW, chartH)
+	fmt.Fprintf(sb, `<line class="axis" x1="%d" y1="0" x2="%d" y2="%d"/>`, padL, padL, chartH)
+	fmt.Fprintf(sb, `<text class="lbl" x="0" y="12">%s</text>`, trimFloat(max))
+	for si, name := range names {
+		color := seriesColors[si%len(seriesColors)]
+		vals := ts.Series[name]
+		var pts []string
+		for i := 0; i < n && i < len(vals); i++ {
+			x := float64(padL)
+			if n > 1 {
+				x += float64(i) / float64(n-1) * chartW
+			}
+			y := float64(chartH)
+			if max > 0 {
+				y -= vals[i] / max * (chartH - 10)
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(sb, `<polyline class="series" stroke="%s" points="%s"/>`, color, strings.Join(pts, " "))
+		// Legend.
+		ly := 14 + si*16
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, padL+chartW+10, ly-9, color)
+		fmt.Fprintf(sb, `<text class="lbl" x="%d" y="%d">%s</text>`, padL+chartW+24, ly, html.EscapeString(name))
+	}
+	sb.WriteString("</svg>\n")
+}

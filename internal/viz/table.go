@@ -1,0 +1,144 @@
+// Package viz is DIO's visualizer (§II-D): the Kibana stand-in. It queries
+// the analysis backend and renders tabular views, histograms, and
+// time-series charts as text and CSV, including the predefined dashboards
+// that regenerate the paper's figures.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered tabular visualization (the paper's Fig. 2 views).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (no quoting needed for trace fields).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Histogram renders labeled counts as a horizontal ASCII bar chart.
+type Histogram struct {
+	Title  string
+	Labels []string
+	Values []float64
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+}
+
+// Render writes the histogram.
+func (h *Histogram) Render(w io.Writer) error {
+	width := h.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, v := range h.Values {
+		if v > max {
+			max = v
+		}
+	}
+	labW := 0
+	for _, l := range h.Labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	if h.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", h.Title); err != nil {
+			return err
+		}
+	}
+	for i, l := range h.Labels {
+		v := 0.0
+		if i < len(h.Values) {
+			v = h.Values[i]
+		}
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "%s | %s %g\n", pad(l, labW), strings.Repeat("#", bar), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the histogram to a string.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	_ = h.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TimeSeries is a set of named series sampled on a shared time axis: the
+// shape behind the paper's Fig. 3 (latency over time) and Fig. 4 (syscalls
+// over time, one series per thread name).
+type TimeSeries struct {
+	Title string
+	// BucketStartNS are the ordered bucket timestamps.
+	BucketStartNS []int64
+	// Series maps a series name (e.g. thread name) to one value per bucket.
+	Series map[string][]float64
+	// ValueLabel names the measured quantity (e.g. "syscalls", "p99 us").
+	ValueLabel string
+}
+
+// SeriesNames returns the series names in sorted order.
+func (ts *TimeSeries) SeriesNames() []string {
+	names := make([]string, 0, len(ts.Series))
+	for n := range ts.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table converts the time series into a tabular view: one row per bucket,
+// one column per series.
+func (ts *TimeSeries) Table() *Table {
+	names := ts.SeriesNames()
+	cols := append([]string{"t_ns"}, names...)
+	rows := make([][]string, len(ts.BucketStartNS))
+	for i, t := range ts.BucketStartNS {
+		row := make([]string, 0, len(cols))
+		row = append(row, strconv.FormatInt(t, 10))
+		for _, n := range names {
+			vals := ts.Series[n]
+			v := 0.0
+			if i < len(vals) {
+				v = vals[i]
+			}
+			row = append(row, trimFloat(v))
+		}
+		rows[i] = row
+	}
+	return &Table{Title: ts.Title, Columns: cols, Rows: rows}
+}
+
+// RenderCSV writes the series as CSV.
+func (ts *TimeSeries) RenderCSV(w io.Writer) error {
+	return ts.Table().RenderCSV(w)
+}
+
+// Render writes a per-series sparkline chart, the closest text analogue of
+// the paper's stacked count plots.
+func (ts *TimeSeries) Render(w io.Writer) error {
+	if ts.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", ts.Title); err != nil {
+			return err
+		}
+	}
+	names := ts.SeriesNames()
+	labW := 0
+	for _, n := range names {
+		if len(n) > labW {
+			labW = len(n)
+		}
+	}
+	// Each series is normalized to its own maximum, so low-volume series
+	// (e.g. compaction threads next to client threads) remain visible; the
+	// per-row max is printed alongside.
+	for _, n := range names {
+		vals := ts.Series[n]
+		var max float64
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		spark := sparkline(vals, max)
+		if _, err := fmt.Fprintf(w, "%s | %s | max %s\n", pad(n, labW), spark, trimFloat(max)); err != nil {
+			return err
+		}
+	}
+	if ts.ValueLabel != "" {
+		_, err := fmt.Fprintf(w, "(%d buckets, values: %s)\n",
+			len(ts.BucketStartNS), ts.ValueLabel)
+		return err
+	}
+	return nil
+}
+
+// String renders the chart to a string.
+func (ts *TimeSeries) String() string {
+	var b strings.Builder
+	_ = ts.Render(&b)
+	return b.String()
+}
+
+var sparkRunes = []rune(" .:-=+*#%@")
+
+func sparkline(vals []float64, max float64) string {
+	if max <= 0 {
+		return strings.Repeat(" ", len(vals))
+	}
+	var b strings.Builder
+	b.Grow(len(vals))
+	for _, v := range vals {
+		idx := int(v / max * float64(len(sparkRunes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

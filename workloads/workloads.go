@@ -1,0 +1,79 @@
+// Package workloads exposes the paper's evaluation subjects through the
+// public API: the Fluent Bit-style tail forwarder of §III-B (buggy v1.4.0
+// and fixed v2.0.5 behaviours) and the RocksDB-style LSM key-value store
+// with its db_bench YCSB-A client harness of §III-C. Examples and
+// downstream users drive these workloads on a simulated kernel while a
+// dio.Tracer observes them.
+package workloads
+
+import (
+	"github.com/dsrhaslab/dio-go/internal/apps/dbbench"
+	"github.com/dsrhaslab/dio-go/internal/apps/fluentbit"
+	"github.com/dsrhaslab/dio-go/internal/apps/lsmkv"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+)
+
+// Fluent Bit workload (§III-B).
+type (
+	// FluentBitVersion selects the buggy or fixed tail-plugin behaviour.
+	FluentBitVersion = fluentbit.Version
+	// FluentBitForwarder is the tail input plugin.
+	FluentBitForwarder = fluentbit.Forwarder
+	// FluentBitScenarioResult reports the data-loss outcome.
+	FluentBitScenarioResult = fluentbit.ScenarioResult
+	// LogWriter is the client program generating log-file churn.
+	LogWriter = fluentbit.LogWriter
+)
+
+// Fluent Bit versions.
+const (
+	// FluentBitBuggy mirrors v1.4.0 (loses data on inode reuse).
+	FluentBitBuggy = fluentbit.VersionBuggy
+	// FluentBitFixed mirrors v2.0.5.
+	FluentBitFixed = fluentbit.VersionFixed
+)
+
+// NewFluentBitForwarder creates a tail forwarder on task following path.
+func NewFluentBitForwarder(task *kernel.Task, path string, v FluentBitVersion) *FluentBitForwarder {
+	return fluentbit.NewForwarder(task, path, v)
+}
+
+// NewLogWriter creates the log-writing client on task for path.
+func NewLogWriter(task *kernel.Task, path string) *LogWriter {
+	return fluentbit.NewLogWriter(task, path)
+}
+
+// RunFluentBitScenario executes the issue #1875 reproduction (Fig. 2).
+func RunFluentBitScenario(k *kernel.Kernel, dir string, v FluentBitVersion) (FluentBitScenarioResult, error) {
+	return fluentbit.RunScenario(k, dir, v)
+}
+
+// RocksDB-style LSM store (§III-C).
+type (
+	// LSMConfig parametrizes the key-value store.
+	LSMConfig = lsmkv.Config
+	// LSMDB is the LSM key-value store.
+	LSMDB = lsmkv.DB
+	// LSMStats are cumulative store counters.
+	LSMStats = lsmkv.Stats
+	// DBBenchConfig parametrizes the client benchmark.
+	DBBenchConfig = dbbench.Config
+	// DBBenchResult summarizes a benchmark run.
+	DBBenchResult = dbbench.Result
+)
+
+// OpenLSM opens an LSM store on k, starting its flush and compaction
+// threads.
+func OpenLSM(k *kernel.Kernel, cfg LSMConfig) (*LSMDB, error) {
+	return lsmkv.Open(k, cfg)
+}
+
+// DBBenchPreload fills the store before the timed phase.
+func DBBenchPreload(db *LSMDB, cfg DBBenchConfig) error {
+	return dbbench.Preload(db, cfg)
+}
+
+// RunDBBench executes the YCSB-A closed-loop benchmark.
+func RunDBBench(k *kernel.Kernel, db *LSMDB, cfg DBBenchConfig) (DBBenchResult, error) {
+	return dbbench.Run(k, db, cfg)
+}

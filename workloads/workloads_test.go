@@ -1,0 +1,87 @@
+package workloads_test
+
+import (
+	"testing"
+	"time"
+
+	dio "github.com/dsrhaslab/dio-go"
+	"github.com/dsrhaslab/dio-go/workloads"
+)
+
+func TestFluentBitScenarioThroughPublicAPI(t *testing.T) {
+	k := dio.NewVirtualKernel()
+	res, err := workloads.RunFluentBitScenario(k, "/var/log", workloads.FluentBitBuggy)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if !res.DataLost() {
+		t.Fatal("buggy scenario did not lose data")
+	}
+	k2 := dio.NewVirtualKernel()
+	res2, err := workloads.RunFluentBitScenario(k2, "/var/log", workloads.FluentBitFixed)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if res2.DataLost() {
+		t.Fatal("fixed scenario lost data")
+	}
+}
+
+func TestForwarderAndWriterThroughPublicAPI(t *testing.T) {
+	k := dio.NewVirtualKernel()
+	if err := k.MkdirAll("/logs"); err != nil {
+		t.Fatal(err)
+	}
+	appTask := k.NewProcess("app").NewTask("app")
+	flbTask := k.NewProcess("flb").NewTask("flb")
+
+	w := workloads.NewLogWriter(appTask, "/logs/a.log")
+	if err := w.WriteFile([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f := workloads.NewFluentBitForwarder(flbTask, "/logs/a.log", workloads.FluentBitFixed)
+	if err := f.Poll(); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if string(f.Received()) != "hello" {
+		t.Fatalf("received %q", f.Received())
+	}
+	if err := f.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := w.Remove(); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}
+
+func TestLSMAndDBBenchThroughPublicAPI(t *testing.T) {
+	k := dio.NewKernel(dio.KernelConfig{
+		Disk: dio.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: time.Microsecond},
+	})
+	db, err := workloads.OpenLSM(k, workloads.LSMConfig{Dir: "/db", CompactionThreads: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+
+	cfg := workloads.DBBenchConfig{
+		Clients:      2,
+		OpsPerClient: 200,
+		KeyCount:     500,
+		PreloadKeys:  500,
+		ValueBytes:   64,
+	}
+	if err := workloads.DBBenchPreload(db, cfg); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	res, err := workloads.RunDBBench(k, db, cfg)
+	if err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	if res.Ops != 400 || res.Misses != 0 {
+		t.Fatalf("bench result = %+v", res)
+	}
+	if db.Stats().Puts == 0 {
+		t.Fatal("no puts recorded")
+	}
+}
