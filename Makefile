@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: tier1 build test race vet bench scale
+
+## tier1: the PR gate — vet, build, tests, and the race detector over the
+## concurrency-heavy packages (store sharding, tracer drain workers).
+tier1: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: the paper-evaluation and ablation benchmarks.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+## scale: the backend/tracer scalability experiment (legacy vs sharded).
+scale:
+	$(GO) run ./cmd/diobench -exp scale

@@ -492,6 +492,147 @@ func BenchmarkStoreQuery(b *testing.B) {
 	}
 }
 
+// buildBenchIndex fills a sharded index with n session-shaped documents.
+func buildBenchIndex(n int) *store.Index {
+	ix := store.NewIndex("bench")
+	syscalls := []string{"read", "write", "openat", "close", "fsync", "lseek"}
+	batch := make([]store.Document, 0, 4096)
+	for i := 0; i < n; i++ {
+		batch = append(batch, store.Document{
+			store.FieldSession:    "s",
+			store.FieldSyscall:    syscalls[i%len(syscalls)],
+			store.FieldProcName:   "app",
+			store.FieldThreadName: fmt.Sprintf("t%d", i%16),
+			store.FieldTimeEnter:  int64(i) * 1000,
+			store.FieldDuration:   int64(i % 997),
+		})
+		if len(batch) == cap(batch) {
+			ix.AddBulk(batch)
+			batch = batch[:0]
+		}
+	}
+	ix.AddBulk(batch)
+	return ix
+}
+
+// benchLegacyVsSharded runs the same operation under the legacy serial scan
+// and the sharded parallel execution, as sub-benchmarks.
+func benchLegacyVsSharded(b *testing.B, ix *store.Index, op func()) {
+	b.Run("legacy-scan", func(b *testing.B) {
+		ix.SetLegacyScan(true)
+		defer ix.SetLegacyScan(false)
+		op() // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		ix.SetLegacyScan(false)
+		op() // warm columnar caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+}
+
+// BenchmarkStoreSearchParallel contrasts the sharded fan-out search (posting
+// lists, columnar range scan, per-shard top-k) with the legacy serial
+// full-materialize scan over a session-scale index.
+func BenchmarkStoreSearchParallel(b *testing.B) {
+	ix := buildBenchIndex(120_000)
+	req := store.SearchRequest{
+		Query: store.Query{Bool: &store.BoolQuery{Must: []store.Query{
+			store.Term(store.FieldSyscall, "write"),
+			store.RangeGTE(store.FieldDuration, 500),
+		}}},
+		Sort: []store.SortField{{Field: store.FieldTimeEnter, Desc: true}},
+		Size: 50,
+	}
+	benchLegacyVsSharded(b, ix, func() {
+		resp := ix.Search(req)
+		if resp.Total == 0 {
+			b.Fatal("no matches")
+		}
+	})
+}
+
+// BenchmarkAggFanout contrasts the merged per-shard aggregation partials
+// with the legacy serial aggregation over the full matched set.
+func BenchmarkAggFanout(b *testing.B) {
+	ix := buildBenchIndex(120_000)
+	req := store.SearchRequest{
+		Query: store.MatchAll(),
+		Size:  1,
+		Aggs: map[string]store.Agg{
+			"timeline": {DateHistogram: &store.DateHistogramAgg{
+				Field: store.FieldTimeEnter, IntervalNS: 10_000_000,
+			}},
+			"by_sys": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
+			"lat":    {Percentiles: &store.PercentilesAgg{Field: store.FieldDuration}},
+			"stats":  {Stats: &store.StatsAgg{Field: store.FieldDuration}},
+		},
+	}
+	benchLegacyVsSharded(b, ix, func() {
+		resp := ix.Search(req)
+		if len(resp.Aggs) != 4 {
+			b.Fatal("missing aggs")
+		}
+	})
+}
+
+// BenchmarkTracerDrainWorkers contrasts the original single consumer loop
+// (DrainWorkers=1) with one drain worker per CPU ring (the default). The
+// rings are filled while the workers idle on a long flush interval; the
+// timed section is Stop's final drain — parse, batch, and ship of the whole
+// backlog, which is where the workers run in parallel.
+func BenchmarkTracerDrainWorkers(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		var shipped uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k := kernel.New(kernel.Config{
+				Clock: clock.NewReal(0),
+				Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+			})
+			tracer, err := core.NewTracer(core.Config{
+				Backend:       store.New(),
+				NumCPU:        4,
+				RingBytes:     64 << 20,
+				BatchSize:     1024,
+				FlushInterval: time.Hour, // idle the workers; Stop drains
+				DrainWorkers:  workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tracer.Start(k); err != nil {
+				b.Fatal(err)
+			}
+			// One producer task per simulated CPU so every ring gets a share.
+			for t := 0; t < 4; t++ {
+				task := k.NewProcess("w").NewTask(fmt.Sprintf("w%d", t))
+				if err := comparators.RunWorkload(k, task, comparators.WorkloadConfig{}, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			stats, err := tracer.Stop()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Dropped > 0 {
+				b.Fatalf("unexpected drops: %d", stats.Dropped)
+			}
+			shipped = stats.Shipped
+		}
+		b.ReportMetric(float64(shipped), "events-shipped")
+	}
+	b.Run("single-consumer", func(b *testing.B) { run(b, 1) })
+	b.Run("per-ring", func(b *testing.B) { run(b, 0) })
+}
+
 // BenchmarkCorrelation measures the file-path correlation algorithm.
 func BenchmarkCorrelation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -36,8 +36,16 @@ type Config struct {
 	// BatchSize groups events into bulk requests (default 512).
 	BatchSize int
 	// FlushInterval bounds how long a partial batch may wait (default 10ms),
-	// keeping the pipeline near-real-time.
+	// keeping the pipeline near-real-time. It also paces the drain workers:
+	// rings are only emptied once per interval, which is what lets the
+	// drops experiments model a consumer that falls behind (§III-D).
 	FlushInterval time.Duration
+	// DrainWorkers is the number of user-space drain goroutines. 0 (the
+	// default) starts one worker per CPU ring — the scalable configuration.
+	// 1 reproduces the original single-consumer loop over all rings and is
+	// kept as the ablation baseline; other values assign rings to workers
+	// round-robin.
+	DrainWorkers int
 	// Backend receives the events. Required.
 	Backend store.Backend
 	// AutoCorrelate runs the file-path correlation algorithm on Stop.
@@ -45,6 +53,24 @@ type Config struct {
 	// PerEventCost optionally charges a synthetic kernel-side cost per
 	// traced event (used by the overhead experiments of Table II).
 	PerEventCost func()
+}
+
+// WorkerStats summarizes one drain worker's share of the pipeline.
+type WorkerStats struct {
+	// Worker is the worker's index.
+	Worker int
+	// Rings is the number of per-CPU rings the worker drains.
+	Rings int
+	// Dropped is the number of events lost on this worker's rings.
+	Dropped uint64
+	// Parsed is the number of records the worker decoded.
+	Parsed uint64
+	// Shipped is the number of events the worker indexed at the backend.
+	Shipped uint64
+	// ShipErrors counts the worker's failed bulk requests.
+	ShipErrors uint64
+	// Flushes counts the worker's bulk requests (including failed ones).
+	Flushes uint64
 }
 
 // Stats summarizes a tracing session.
@@ -56,12 +82,14 @@ type Stats struct {
 	Filtered uint64
 	// Dropped is the number of events lost to full ring buffers (§III-D).
 	Dropped uint64
-	// Parsed is the number of records decoded by the user-space consumer.
+	// Parsed is the number of records decoded by the user-space consumers.
 	Parsed uint64
 	// Shipped is the number of events successfully indexed at the backend.
 	Shipped uint64
 	// ShipErrors counts failed bulk requests.
 	ShipErrors uint64
+	// Workers breaks the user-space numbers down per drain worker.
+	Workers []WorkerStats
 	// Correlation is the result of the final correlation pass, when
 	// AutoCorrelate is set.
 	Correlation store.CorrelationResult
@@ -84,12 +112,24 @@ type Tracer struct {
 	started bool
 	stopped bool
 	stop    chan struct{}
-	done    chan struct{}
+	wg      sync.WaitGroup
+
+	workers   []*drainWorker
+	batchPool sync.Pool // *[]store.Document, cap BatchSize
+	lastErr   atomic.Value // error
+}
+
+// drainWorker is one user-space consumer goroutine: it owns a subset of the
+// per-CPU rings, a reusable batch buffer, and its own counters, so workers
+// never contend with each other on the drain path.
+type drainWorker struct {
+	id    int
+	rings []*ebpf.RingBuffer
 
 	parsed     atomic.Uint64
 	shipped    atomic.Uint64
 	shipErrors atomic.Uint64
-	lastErr    atomic.Value // error
+	flushes    atomic.Uint64
 }
 
 var (
@@ -146,8 +186,30 @@ func (t *Tracer) Start(k *kernel.Kernel) error {
 	})
 	t.prog.Attach(k)
 	t.stop = make(chan struct{})
-	t.done = make(chan struct{})
-	go t.consume()
+	batchCap := t.cfg.BatchSize
+	t.batchPool.New = func() any {
+		s := make([]store.Document, 0, batchCap)
+		return &s
+	}
+
+	// Partition the per-CPU rings across the drain workers round-robin.
+	rings := t.prog.Rings().Rings()
+	n := t.cfg.DrainWorkers
+	if n <= 0 || n > len(rings) {
+		n = len(rings)
+	}
+	t.workers = make([]*drainWorker, n)
+	for i := range t.workers {
+		w := &drainWorker{id: i}
+		for r := i; r < len(rings); r += n {
+			w.rings = append(w.rings, rings[r])
+		}
+		t.workers[i] = w
+	}
+	t.wg.Add(len(t.workers))
+	for _, w := range t.workers {
+		go t.drain(w)
+	}
 	return nil
 }
 
@@ -168,7 +230,7 @@ func (t *Tracer) Stop() (Stats, error) {
 
 	t.prog.Detach()
 	close(t.stop)
-	<-t.done
+	t.wg.Wait()
 
 	var res store.CorrelationResult
 	var err error
@@ -196,11 +258,23 @@ func (t *Tracer) stats() Stats {
 }
 
 func (t *Tracer) statsLocked() Stats {
-	st := Stats{
-		Session:    t.cfg.SessionName,
-		Parsed:     t.parsed.Load(),
-		Shipped:    t.shipped.Load(),
-		ShipErrors: t.shipErrors.Load(),
+	st := Stats{Session: t.cfg.SessionName}
+	for _, w := range t.workers {
+		ws := WorkerStats{
+			Worker:     w.id,
+			Rings:      len(w.rings),
+			Parsed:     w.parsed.Load(),
+			Shipped:    w.shipped.Load(),
+			ShipErrors: w.shipErrors.Load(),
+			Flushes:    w.flushes.Load(),
+		}
+		for _, r := range w.rings {
+			ws.Dropped += r.Drops()
+		}
+		st.Parsed += ws.Parsed
+		st.Shipped += ws.Shipped
+		st.ShipErrors += ws.ShipErrors
+		st.Workers = append(st.Workers, ws)
 	}
 	if t.prog != nil {
 		st.Captured = t.prog.Captured()
@@ -210,42 +284,48 @@ func (t *Tracer) statsLocked() Stats {
 	return st
 }
 
-// consume is the user-space drain loop: it fetches binary records from the
-// per-CPU rings, parses them into events, and ships batches to the backend.
-func (t *Tracer) consume() {
-	defer close(t.done)
+// drain is one worker's loop: every FlushInterval it fetches binary records
+// from its rings, parses them into events, and ships batches to the backend.
+// Workers share nothing but the backend handle, so drain throughput scales
+// with the number of rings when cores are available. Batch buffers come from
+// a pool and the raw-record slice is reused across reads, keeping the steady
+// state allocation-free outside document construction.
+func (t *Tracer) drain(w *drainWorker) {
+	defer t.wg.Done()
 	ticker := time.NewTicker(t.cfg.FlushInterval)
 	defer ticker.Stop()
 
-	batch := make([]store.Document, 0, t.cfg.BatchSize)
+	batchp := t.batchPool.Get().(*[]store.Document)
+	batch := (*batchp)[:0]
+	var raws [][]byte
+
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
+		w.flushes.Add(1)
 		if err := t.cfg.Backend.Bulk(t.cfg.Index, batch); err != nil {
-			t.shipErrors.Add(1)
+			w.shipErrors.Add(1)
 			t.lastErr.Store(fmt.Errorf("bulk ship: %w", err))
 		} else {
-			t.shipped.Add(uint64(len(batch)))
+			w.shipped.Add(uint64(len(batch)))
 		}
 		batch = batch[:0]
 	}
 
-	drain := func() bool {
-		got := false
-		for _, ring := range t.prog.Rings().Rings() {
+	drainRings := func() {
+		for _, ring := range w.rings {
 			for {
-				raws := ring.ReadBatch(t.cfg.BatchSize)
+				raws = ring.ReadBatchInto(raws[:0], t.cfg.BatchSize)
 				if len(raws) == 0 {
 					break
 				}
-				got = true
 				for _, raw := range raws {
 					rec, err := ebpf.Unmarshal(raw)
 					if err != nil {
 						continue // corrupt record; nothing to recover
 					}
-					t.parsed.Add(1)
+					w.parsed.Add(1)
 					ev := t.recordToEvent(&rec)
 					batch = append(batch, store.EventToDoc(&ev))
 					if len(batch) >= t.cfg.BatchSize {
@@ -254,18 +334,19 @@ func (t *Tracer) consume() {
 				}
 			}
 		}
-		return got
 	}
 
 	for {
 		select {
 		case <-t.stop:
 			// Final drain: the program is detached, so the rings are quiescent.
-			drain()
+			drainRings()
 			flush()
+			*batchp = batch[:0]
+			t.batchPool.Put(batchp)
 			return
 		case <-ticker.C:
-			drain()
+			drainRings()
 			flush()
 		}
 	}

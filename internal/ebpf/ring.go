@@ -108,22 +108,30 @@ func (rb *RingBuffer) TryRead() ([]byte, bool) {
 	return rec, true
 }
 
-// ReadBatch pops up to max records.
+// ReadBatch pops up to max records into a fresh slice.
 func (rb *RingBuffer) ReadBatch(max int) [][]byte {
+	return rb.ReadBatchInto(nil, max)
+}
+
+// ReadBatchInto pops up to max records, appending them to dst (which is
+// returned, possibly reallocated). Consumers that drain in a loop pass the
+// previous result re-sliced to [:0] so the backing array is reused and the
+// drain path stops allocating a slice header block per call.
+func (rb *RingBuffer) ReadBatchInto(dst [][]byte, max int) [][]byte {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	n := len(rb.queue) - rb.head
 	if n == 0 {
-		return nil
+		return dst
 	}
 	if n > max {
 		n = max
 	}
-	out := make([][]byte, n)
 	for i := 0; i < n; i++ {
-		out[i] = rb.queue[rb.head+i]
-		rb.used -= len(out[i])
+		rec := rb.queue[rb.head+i]
+		rb.used -= len(rec)
 		rb.queue[rb.head+i] = nil
+		dst = append(dst, rec)
 	}
 	rb.head += n
 	if rb.head == len(rb.queue) {
@@ -131,7 +139,7 @@ func (rb *RingBuffer) ReadBatch(max int) [][]byte {
 		rb.head = 0
 	}
 	rb.space.Broadcast()
-	return out
+	return dst
 }
 
 // Notify returns the consumer wake-up channel.

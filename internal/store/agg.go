@@ -100,6 +100,12 @@ func (a Agg) applyTerms(docs []Document) AggResult {
 		k := keyString(d[a.Terms.Field])
 		groups[k] = append(groups[k], d)
 	}
+	return a.finalizeTerms(groups)
+}
+
+// finalizeTerms turns (possibly merged) term groups into ordered, truncated
+// buckets with sub-aggregations.
+func (a Agg) finalizeTerms(groups map[string][]Document) AggResult {
 	buckets := make([]Bucket, 0, len(groups))
 	for k, g := range groups {
 		buckets = append(buckets, Bucket{Key: k, Count: len(g), Sub: a.applySubs(g)})
@@ -112,6 +118,42 @@ func (a Agg) applyTerms(docs []Document) AggResult {
 	})
 	if a.Terms.Size > 0 && len(buckets) > a.Terms.Size {
 		buckets = buckets[:a.Terms.Size]
+	}
+	return AggResult{Buckets: buckets}
+}
+
+// finalizeTermCounts is finalizeTerms for count-only partials (no sub-aggs).
+func (a Agg) finalizeTermCounts(counts map[string]int) AggResult {
+	buckets := make([]Bucket, 0, len(counts))
+	for k, n := range counts {
+		buckets = append(buckets, Bucket{Key: k, Count: n})
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].Count != buckets[j].Count {
+			return buckets[i].Count > buckets[j].Count
+		}
+		return buckets[i].Key < buckets[j].Key
+	})
+	if a.Terms.Size > 0 && len(buckets) > a.Terms.Size {
+		buckets = buckets[:a.Terms.Size]
+	}
+	return AggResult{Buckets: buckets}
+}
+
+// finalizeHistCounts is finalizeHistogram for count-only partials.
+func (a Agg) finalizeHistCounts(counts map[int64]int) AggResult {
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buckets := make([]Bucket, 0, len(keys))
+	for _, k := range keys {
+		buckets = append(buckets, Bucket{
+			Key:    strconv.FormatInt(k, 10),
+			KeyNum: float64(k),
+			Count:  counts[k],
+		})
 	}
 	return AggResult{Buckets: buckets}
 }
@@ -130,6 +172,12 @@ func (a Agg) applyDateHistogram(docs []Document) AggResult {
 		b := int64(f) / interval * interval
 		groups[b] = append(groups[b], d)
 	}
+	return a.finalizeHistogram(groups)
+}
+
+// finalizeHistogram turns (possibly merged) interval groups into ordered
+// buckets with sub-aggregations.
+func (a Agg) finalizeHistogram(groups map[int64][]Document) AggResult {
 	keys := make([]int64, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
@@ -149,20 +197,26 @@ func (a Agg) applyDateHistogram(docs []Document) AggResult {
 }
 
 func applyPercentiles(docs []Document, p *PercentilesAgg) AggResult {
-	percents := p.Percents
-	if len(percents) == 0 {
-		percents = []float64{50, 90, 95, 99}
-	}
 	vals := make([]float64, 0, len(docs))
 	for _, d := range docs {
 		if f, ok := numeric(d[p.Field]); ok {
 			vals = append(vals, f)
 		}
 	}
-	out := make(map[string]float64, len(percents))
 	sort.Float64s(vals)
+	return percentilesFromSorted(vals, p)
+}
+
+// percentilesFromSorted computes the requested percentiles of pre-sorted
+// values.
+func percentilesFromSorted(sorted []float64, p *PercentilesAgg) AggResult {
+	percents := p.Percents
+	if len(percents) == 0 {
+		percents = []float64{50, 90, 95, 99}
+	}
+	out := make(map[string]float64, len(percents))
 	for _, pct := range percents {
-		out[strconv.FormatFloat(pct, 'g', -1, 64)] = percentileOf(vals, pct)
+		out[strconv.FormatFloat(pct, 'g', -1, 64)] = percentileOf(sorted, pct)
 	}
 	return AggResult{Percentiles: out}
 }
@@ -202,10 +256,224 @@ func applyStats(docs []Document, s *StatsAgg) AggResult {
 			res.Max = f
 		}
 	}
+	return AggResult{Stats: finalizeStats(res)}
+}
+
+// finalizeStats computes the average and normalizes the empty accumulator.
+func finalizeStats(res StatsResult) *StatsResult {
 	if res.Count > 0 {
 		res.Avg = res.Sum / float64(res.Count)
 	} else {
 		res.Min, res.Max = 0, 0
 	}
-	return AggResult{Stats: &res}
+	return &res
+}
+
+// --- Per-shard partials and their merges ---
+//
+// The sharded Search computes one partialAgg per (shard, aggregation) while
+// holding only that shard's read lock, then merges the partials lock-free:
+// bucketing aggregations merge their group maps (sub-aggregations run on the
+// merged groups, so nesting stays exact), percentiles stream-merge per-shard
+// sorted value slices, and stats combine their accumulators.
+
+// partialAgg is one shard's mergeable contribution to an aggregation.
+// Bucketing aggregations without sub-aggregations carry only bucket counts;
+// document groups are materialized only when nested aggregations need to run
+// over the merged groups.
+type partialAgg struct {
+	terms      map[string][]Document // TermsAgg groups (sub-aggs present)
+	termCounts map[string]int        // TermsAgg counts (no sub-aggs)
+	hist       map[int64][]Document  // DateHistogramAgg groups (sub-aggs present)
+	histCounts map[int64]int         // DateHistogramAgg counts (no sub-aggs)
+	vals       []float64             // PercentilesAgg values, sorted
+	stats      *StatsResult          // StatsAgg raw accumulator (no Avg, ±Inf when empty)
+}
+
+// termCounts tallies ids by term. When the matched set is the whole shard
+// and the posting lists fully cover it (every doc holds the field as a
+// string), the counts are just the posting-list lengths — no per-document
+// work at all.
+func (sh *shard) termCounts(t *TermsAgg, ids []int32) map[string]int {
+	if pl, ok := sh.postings[t.Field]; ok && len(ids) == len(sh.docs) {
+		total := 0
+		for _, l := range pl {
+			total += len(l)
+		}
+		if total == len(sh.docs) {
+			counts := make(map[string]int, len(pl))
+			for term, l := range pl {
+				counts[term] = len(l)
+			}
+			return counts
+		}
+	}
+	counts := make(map[string]int)
+	for _, id := range ids {
+		counts[keyString(sh.docs[id][t.Field])]++
+	}
+	return counts
+}
+
+// partial computes a's partial over the matched local ids, reading numeric
+// fields through the shard's columnar caches. Caller holds the read lock.
+func (sh *shard) partial(a Agg, ids []int32) *partialAgg {
+	switch {
+	case a.Terms != nil:
+		if len(a.Aggs) == 0 {
+			return &partialAgg{termCounts: sh.termCounts(a.Terms, ids)}
+		}
+		groups := make(map[string][]Document)
+		for _, id := range ids {
+			d := sh.docs[id]
+			k := keyString(d[a.Terms.Field])
+			groups[k] = append(groups[k], d)
+		}
+		return &partialAgg{terms: groups}
+	case a.DateHistogram != nil:
+		interval := a.DateHistogram.IntervalNS
+		if interval <= 0 {
+			interval = 1
+		}
+		c := sh.cols[a.DateHistogram.Field]
+		if len(a.Aggs) == 0 {
+			counts := make(map[int64]int)
+			for _, id := range ids {
+				f, ok := sh.colVal(c, a.DateHistogram.Field, id)
+				if !ok {
+					continue
+				}
+				counts[int64(f)/interval*interval]++
+			}
+			return &partialAgg{histCounts: counts}
+		}
+		groups := make(map[int64][]Document)
+		for _, id := range ids {
+			f, ok := sh.colVal(c, a.DateHistogram.Field, id)
+			if !ok {
+				continue
+			}
+			b := int64(f) / interval * interval
+			groups[b] = append(groups[b], sh.docs[id])
+		}
+		return &partialAgg{hist: groups}
+	case a.Percentiles != nil:
+		c := sh.cols[a.Percentiles.Field]
+		vals := make([]float64, 0, len(ids))
+		for _, id := range ids {
+			if f, ok := sh.colVal(c, a.Percentiles.Field, id); ok {
+				vals = append(vals, f)
+			}
+		}
+		sort.Float64s(vals)
+		return &partialAgg{vals: vals}
+	case a.Stats != nil:
+		c := sh.cols[a.Stats.Field]
+		res := StatsResult{Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, id := range ids {
+			f, ok := sh.colVal(c, a.Stats.Field, id)
+			if !ok {
+				continue
+			}
+			res.Count++
+			res.Sum += f
+			if f < res.Min {
+				res.Min = f
+			}
+			if f > res.Max {
+				res.Max = f
+			}
+		}
+		return &partialAgg{stats: &res}
+	default:
+		return &partialAgg{}
+	}
+}
+
+// mergePartials combines per-shard partials into the final AggResult.
+func mergePartials(a Agg, parts []*partialAgg) AggResult {
+	switch {
+	case a.Terms != nil:
+		if len(a.Aggs) == 0 {
+			counts := make(map[string]int)
+			for _, p := range parts {
+				for k, n := range p.termCounts {
+					counts[k] += n
+				}
+			}
+			return a.finalizeTermCounts(counts)
+		}
+		groups := make(map[string][]Document)
+		for _, p := range parts {
+			for k, g := range p.terms {
+				groups[k] = append(groups[k], g...)
+			}
+		}
+		return a.finalizeTerms(groups)
+	case a.DateHistogram != nil:
+		if len(a.Aggs) == 0 {
+			counts := make(map[int64]int)
+			for _, p := range parts {
+				for k, n := range p.histCounts {
+					counts[k] += n
+				}
+			}
+			return a.finalizeHistCounts(counts)
+		}
+		groups := make(map[int64][]Document)
+		for _, p := range parts {
+			for k, g := range p.hist {
+				groups[k] = append(groups[k], g...)
+			}
+		}
+		return a.finalizeHistogram(groups)
+	case a.Percentiles != nil:
+		var merged []float64
+		for _, p := range parts {
+			merged = mergeSortedFloats(merged, p.vals)
+		}
+		return percentilesFromSorted(merged, a.Percentiles)
+	case a.Stats != nil:
+		res := StatsResult{Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, p := range parts {
+			if p.stats == nil {
+				continue
+			}
+			res.Count += p.stats.Count
+			res.Sum += p.stats.Sum
+			if p.stats.Min < res.Min {
+				res.Min = p.stats.Min
+			}
+			if p.stats.Max > res.Max {
+				res.Max = p.stats.Max
+			}
+		}
+		return AggResult{Stats: finalizeStats(res)}
+	default:
+		return AggResult{}
+	}
+}
+
+// mergeSortedFloats streams two ascending slices into one.
+func mergeSortedFloats(a, b []float64) []float64 {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }

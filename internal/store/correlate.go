@@ -1,5 +1,7 @@
 package store
 
+import "sync/atomic"
+
 // CorrelationResult summarizes one run of the file-path correlation
 // algorithm (§II-C): how many file tags resolved to paths, and how many
 // events remained without a resolvable path (the §III-D coverage metric:
@@ -73,28 +75,34 @@ func CorrelateFilePaths(ix *Index, session string) CorrelationResult {
 	}
 	res.TagsResolved = len(tagToPath)
 
-	// Step 2: rewrite tagged events without a path.
+	// Step 2: rewrite tagged events without a path. UpdateByQuery fans out
+	// across index shards, so the closure runs concurrently; the counters
+	// are shared and must be updated atomically. tagToPath is read-only here.
 	q := Query{Bool: &BoolQuery{
 		Must: append(sessionFilter(), Exists(FieldFileTag)),
 	}}
+	var withTag, updated, unresolved atomic.Int64
 	ix.UpdateByQuery(q, func(d Document) bool {
-		res.EventsWithTag++
+		withTag.Add(1)
 		if str(d[FieldFilePath]) != "" {
 			return false
 		}
 		if kp := str(d[FieldKernelPath]); kp != "" {
 			d[FieldFilePath] = kp
-			res.EventsUpdated++
+			updated.Add(1)
 			return true
 		}
 		path, ok := tagToPath[str(d[FieldFileTag])]
 		if !ok {
-			res.EventsUnresolved++
+			unresolved.Add(1)
 			return false
 		}
 		d[FieldFilePath] = path
-		res.EventsUpdated++
+		updated.Add(1)
 		return true
 	})
+	res.EventsWithTag = int(withTag.Load())
+	res.EventsUpdated = int(updated.Load())
+	res.EventsUnresolved = int(unresolved.Load())
 	return res
 }

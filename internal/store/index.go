@@ -1,8 +1,9 @@
 package store
 
 import (
+	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // indexedFields are the keyword fields for which the index maintains posting
@@ -10,58 +11,110 @@ import (
 // (session, syscall, process/thread names).
 var indexedFields = []string{"session", "syscall", "proc_name", "thread_name", "class"}
 
-// Index stores the documents of one index and their posting lists.
+// Index stores the documents of one index, striped across shards so that
+// writes contend on 1/N of the index and reads fan out across cores.
+//
+// Documents are assigned to shards round-robin in insertion order: the
+// document with global id g lives in shard g%N at local position g/N. A
+// single-writer workload therefore observes ids 0,1,2,… exactly as the
+// unsharded implementation did, and unsorted searches return documents in
+// insertion order.
 type Index struct {
-	mu       sync.RWMutex
-	name     string
-	docs     []Document
-	postings map[string]map[string][]int // field -> term -> doc ids
+	name   string
+	shards []*shard
+	rr     atomic.Uint64 // round-robin write cursor
+	legacy atomic.Bool   // ablation: serial single-stripe scan semantics
 }
 
-// NewIndex creates an empty index.
-func NewIndex(name string) *Index {
-	p := make(map[string]map[string][]int, len(indexedFields))
-	for _, f := range indexedFields {
-		p[f] = make(map[string][]int)
+// defaultShardCount picks the shard count for new indices: the power of two
+// covering GOMAXPROCS, floored at 4 (so merge paths stay exercised on small
+// machines) and capped at 32.
+func defaultShardCount() int {
+	n := 4
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
 	}
-	return &Index{name: name, postings: p}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// NewIndex creates an empty index with the default shard count.
+func NewIndex(name string) *Index { return NewIndexWithShards(name, 0) }
+
+// NewIndexWithShards creates an empty index with n shards (n <= 0 selects
+// the default policy).
+func NewIndexWithShards(name string, n int) *Index {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	ix := &Index{name: name, shards: make([]*shard, n)}
+	for i := range ix.shards {
+		ix.shards[i] = newShard()
+	}
+	return ix
 }
 
 // Name returns the index name.
 func (ix *Index) Name() string { return ix.name }
 
-// Add indexes one document and returns its id.
+// NumShards returns the number of lock stripes.
+func (ix *Index) NumShards() int { return len(ix.shards) }
+
+// SetLegacyScan toggles the pre-sharding execution strategy — serial
+// evaluation, no columnar caches, full-sort-then-copy hits — kept as an
+// ablation baseline for the scalability benchmarks (like the ring buffer's
+// blocking mode).
+func (ix *Index) SetLegacyScan(v bool) { ix.legacy.Store(v) }
+
+// gid composes a global doc id from a shard index and local position.
+func (ix *Index) gid(shardIdx int, local int32) int {
+	return int(local)*len(ix.shards) + shardIdx
+}
+
+// Add indexes one document and returns its global id.
 func (ix *Index) Add(doc Document) int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.addLocked(doc)
+	s := int(ix.rr.Add(1)-1) % len(ix.shards)
+	sh := ix.shards[s]
+	sh.mu.Lock()
+	local := sh.addLocked(doc)
+	sh.mu.Unlock()
+	return ix.gid(s, local)
 }
 
-// AddBulk indexes a batch of documents.
+// AddBulk indexes a batch of documents, locking each shard once.
 func (ix *Index) AddBulk(docs []Document) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	for _, d := range docs {
-		ix.addLocked(d)
+	if len(docs) == 0 {
+		return
 	}
-}
-
-func (ix *Index) addLocked(doc Document) int {
-	id := len(ix.docs)
-	ix.docs = append(ix.docs, doc)
-	for _, f := range indexedFields {
-		if s, ok := doc[f].(string); ok {
-			ix.postings[f][s] = append(ix.postings[f][s], id)
+	S := len(ix.shards)
+	start := int(ix.rr.Add(uint64(len(docs))) - uint64(len(docs)))
+	groups := make([][]Document, S)
+	for i, d := range docs {
+		s := (start + i) % S
+		groups[s] = append(groups[s], d)
+	}
+	for s, g := range groups {
+		if len(g) == 0 {
+			continue
 		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, d := range g {
+			sh.addLocked(d)
+		}
+		sh.mu.Unlock()
 	}
-	return id
 }
 
 // Len returns the number of documents.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.docs)
+	n := 0
+	for _, sh := range ix.shards {
+		n += sh.len()
+	}
+	return n
 }
 
 // SearchRequest describes one search: a query, sorting, pagination, and
@@ -72,7 +125,6 @@ type SearchRequest struct {
 	From  int            `json:"from,omitempty"`
 	Size  int            `json:"size,omitempty"` // <=0 returns all hits
 	Aggs  map[string]Agg `json:"aggs,omitempty"`
-	// HitsOnly false with Size<0 suppresses hit materialization (aggs only).
 }
 
 // SortField orders results by a document field.
@@ -88,12 +140,351 @@ type SearchResponse struct {
 	Aggs  map[string]AggResult `json:"aggs,omitempty"`
 }
 
-// Search runs req against the index.
-func (ix *Index) Search(req SearchRequest) SearchResponse {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+// shardResult is one shard's contribution to a search: its match count,
+// its (sorted, possibly truncated) hit candidates, and its aggregation
+// partials, produced under the shard's read lock and merged lock-free.
+type shardResult struct {
+	total    int
+	hits     []hitRef
+	partials map[string]*partialAgg
+}
 
-	matched := ix.matchLocked(req.Query)
+// hitRef pairs a matched document with its global id for merge ordering.
+type hitRef struct {
+	doc Document
+	gid int
+}
+
+// Search runs req against the index: every shard matches, pre-sorts, and
+// pre-aggregates its stripe (in parallel when cores are available), then the
+// per-shard results are merged — top-k merge for sorted hits, map merges for
+// bucketing aggregations, a streaming merge for percentiles.
+func (ix *Index) Search(req SearchRequest) SearchResponse {
+	if ix.legacy.Load() {
+		return ix.legacySearch(req)
+	}
+	S := len(ix.shards)
+	cols := neededColumns(req)
+	for _, sh := range ix.shards {
+		sh.ensureColumns(cols)
+	}
+	// Hold every shard's read lock for the whole search. The merge stage
+	// reads documents (sort comparisons, sub-aggregation finalize) after the
+	// per-shard phase, so releasing locks between the two would race a
+	// concurrent UpdateByQuery; a full read snapshot reproduces the unsharded
+	// implementation's single-RLock semantics while the per-shard work still
+	// fans out in parallel.
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range ix.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	// need is how many leading hit candidates each shard must contribute for
+	// a correct global window; 0 means all.
+	need := 0
+	if req.Size > 0 {
+		need = req.From + req.Size
+	}
+	results := make([]shardResult, S)
+	forEachShard(S, func(s int) {
+		results[s] = ix.shards[s].searchLocked(req, need, s, S)
+	})
+
+	total := 0
+	for i := range results {
+		total += results[i].total
+	}
+	var aggs map[string]AggResult
+	if len(req.Aggs) > 0 {
+		aggs = make(map[string]AggResult, len(req.Aggs))
+		for name, a := range req.Aggs {
+			parts := make([]*partialAgg, 0, S)
+			for i := range results {
+				if p := results[i].partials[name]; p != nil {
+					parts = append(parts, p)
+				}
+			}
+			aggs[name] = mergePartials(a, parts)
+		}
+	}
+	return SearchResponse{Total: total, Hits: mergeHits(results, req, need), Aggs: aggs}
+}
+
+// searchLocked produces one shard's result; the caller holds sh.mu.RLock.
+func (sh *shard) searchLocked(req SearchRequest, need, shardIdx, S int) shardResult {
+	ids := sh.matchIDs(req.Query, true)
+	res := shardResult{total: len(ids)}
+	if len(req.Aggs) > 0 {
+		res.partials = make(map[string]*partialAgg, len(req.Aggs))
+		for name, a := range req.Aggs {
+			res.partials[name] = sh.partial(a, ids)
+		}
+	}
+	hitIDs := ids
+	if len(req.Sort) > 0 {
+		// Sort ids, not documents, comparing through the sort columns, and
+		// only materialize the winners. The local-id tie-break makes the
+		// order total, which is exactly the stable insertion order (local id
+		// order == per-shard global id order), so heap selection below
+		// returns the same winners a stable full sort would.
+		sortCols := make([]*column, len(req.Sort))
+		for i, s := range req.Sort {
+			sortCols[i] = sh.cols[s.Field]
+		}
+		less := func(a, b int32) bool {
+			if r := sh.cmpIDs(a, b, req.Sort, sortCols); r != 0 {
+				return r < 0
+			}
+			return a < b
+		}
+		if need > 0 && need < len(ids) {
+			hitIDs = topK(ids, need, less)
+		} else {
+			cp := make([]int32, len(ids))
+			copy(cp, ids)
+			sort.Slice(cp, func(i, j int) bool { return less(cp[i], cp[j]) })
+			hitIDs = cp
+		}
+	}
+	if need > 0 && len(hitIDs) > need {
+		hitIDs = hitIDs[:need]
+	}
+	res.hits = make([]hitRef, len(hitIDs))
+	for i, id := range hitIDs {
+		res.hits[i] = hitRef{doc: sh.docs[id], gid: int(id)*S + shardIdx}
+	}
+	return res
+}
+
+// topK selects the k smallest ids under less (a total order) in ascending
+// order without sorting the full candidate set: a size-k max-heap holds the
+// current winners with the worst at the root, so selection is O(n log k)
+// instead of O(n log n) — the difference between paging a dashboard and
+// re-sorting a whole session per query.
+func topK(ids []int32, k int, less func(a, b int32) bool) []int32 {
+	h := make([]int32, 0, k)
+	down := func(i int) {
+		for {
+			big := i
+			if l := 2*i + 1; l < len(h) && less(h[big], h[l]) {
+				big = l
+			}
+			if r := 2*i + 2; r < len(h) && less(h[big], h[r]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			h[i], h[big] = h[big], h[i]
+			i = big
+		}
+	}
+	for _, id := range ids {
+		if len(h) < k {
+			h = append(h, id)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !less(h[p], h[i]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+		} else if less(id, h[0]) {
+			h[0] = id
+			down(0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return less(h[i], h[j]) })
+	return h
+}
+
+// hitLess orders merged hits by the request's sort fields, breaking ties by
+// global id so that unsorted (and tied) results keep insertion order, as the
+// unsharded implementation's stable sort did.
+func hitLess(a, b hitRef, sorts []SortField) bool {
+	if len(sorts) > 0 {
+		if compareDocs(a.doc, b.doc, sorts) {
+			return true
+		}
+		if compareDocs(b.doc, a.doc, sorts) {
+			return false
+		}
+	}
+	return a.gid < b.gid
+}
+
+// mergeHits k-way merges the per-shard candidate lists and applies the
+// From/Size window.
+func mergeHits(results []shardResult, req SearchRequest, need int) []Document {
+	n := 0
+	for i := range results {
+		n += len(results[i].hits)
+	}
+	if need > 0 && need < n {
+		n = need
+	}
+	out := make([]Document, 0, n)
+	cursors := make([]int, len(results))
+	for len(out) < n || need == 0 {
+		best := -1
+		for s := range results {
+			if cursors[s] >= len(results[s].hits) {
+				continue
+			}
+			if best == -1 || hitLess(results[s].hits[cursors[s]], results[best].hits[cursors[best]], req.Sort) {
+				best = s
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, results[best].hits[cursors[best]].doc)
+		cursors[best]++
+	}
+	if req.From > 0 {
+		if req.From >= len(out) {
+			return nil
+		}
+		out = out[req.From:]
+	}
+	if req.Size > 0 && len(out) > req.Size {
+		out = out[:req.Size]
+	}
+	return out
+}
+
+// neededColumns lists the numeric fields a request will read through the
+// columnar caches: range-query fields and top-level numeric aggregation
+// fields.
+func neededColumns(req SearchRequest) []string {
+	var out []string
+	seen := make(map[string]struct{})
+	add := func(f string) {
+		if f == "" {
+			return
+		}
+		if _, ok := seen[f]; ok {
+			return
+		}
+		seen[f] = struct{}{}
+		out = append(out, f)
+	}
+	var walk func(q Query)
+	walk = func(q Query) {
+		if q.Range != nil {
+			add(q.Range.Field)
+		}
+		if q.Bool != nil {
+			for _, sub := range q.Bool.Must {
+				walk(sub)
+			}
+			for _, sub := range q.Bool.Should {
+				walk(sub)
+			}
+			for _, sub := range q.Bool.MustNot {
+				walk(sub)
+			}
+		}
+	}
+	walk(req.Query)
+	for _, s := range req.Sort {
+		add(s.Field)
+	}
+	for _, a := range req.Aggs {
+		if a.DateHistogram != nil {
+			add(a.DateHistogram.Field)
+		}
+		if a.Percentiles != nil {
+			add(a.Percentiles.Field)
+		}
+		if a.Stats != nil {
+			add(a.Stats.Field)
+		}
+	}
+	return out
+}
+
+// Count returns the number of documents matching q.
+func (ix *Index) Count(q Query) int {
+	if q.matchesAll() {
+		return ix.Len()
+	}
+	if ix.legacy.Load() {
+		n := 0
+		for _, sh := range ix.shards {
+			sh.mu.RLock()
+			n += len(sh.matchIDs(q, false))
+			sh.mu.RUnlock()
+		}
+		return n
+	}
+	cols := neededColumns(SearchRequest{Query: q})
+	for _, sh := range ix.shards {
+		sh.ensureColumns(cols)
+	}
+	counts := make([]int, len(ix.shards))
+	forEachShard(len(ix.shards), func(s int) {
+		sh := ix.shards[s]
+		sh.mu.RLock()
+		counts[s] = len(sh.matchIDs(q, true))
+		sh.mu.RUnlock()
+	})
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// UpdateByQuery applies fn to every matching document, in place, and
+// returns the number of updated documents. fn must return true if it
+// changed the document.
+//
+// Shards update in parallel, so fn may be invoked from multiple goroutines
+// concurrently (never for the same document); closures that accumulate
+// state must synchronize. Cached numeric columns of updated shards are
+// invalidated.
+func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
+	S := len(ix.shards)
+	counts := make([]int, S)
+	run := func(s int) {
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		updated := 0
+		for _, d := range sh.docs {
+			if q.Matches(d) && fn(d) {
+				updated++
+			}
+		}
+		if updated > 0 {
+			sh.invalidateColumnsLocked()
+		}
+		counts[s] = updated
+		sh.mu.Unlock()
+	}
+	if ix.legacy.Load() {
+		for s := 0; s < S; s++ {
+			run(s)
+		}
+	} else {
+		forEachShard(S, run)
+	}
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// legacySearch reproduces the pre-sharding execution: materialize every
+// matched document, stable-sort the full set, aggregate serially, then copy
+// the requested window.
+func (ix *Index) legacySearch(req SearchRequest) SearchResponse {
+	matched := ix.legacyMatch(req.Query)
 
 	if len(req.Sort) > 0 {
 		sort.SliceStable(matched, func(i, j int) bool {
@@ -126,91 +517,83 @@ func (ix *Index) Search(req SearchRequest) SearchResponse {
 	return SearchResponse{Total: total, Hits: out, Aggs: aggs}
 }
 
-// matchLocked evaluates the query, using posting lists for top-level term
-// queries on indexed keyword fields.
-func (ix *Index) matchLocked(q Query) []Document {
-	if q.Term != nil {
-		if terms, ok := ix.postings[q.Term.Field]; ok {
-			if val, isStr := q.Term.Value.(string); isStr {
-				ids := terms[val]
-				out := make([]Document, len(ids))
-				for i, id := range ids {
-					out[i] = ix.docs[id]
-				}
-				return out
+// legacyMatch evaluates q serially and returns matched documents in global
+// insertion order.
+func (ix *Index) legacyMatch(q Query) []Document {
+	S := len(ix.shards)
+	parts := make([][]int32, S)
+	docs := make([][]Document, S)
+	for s, sh := range ix.shards {
+		sh.mu.RLock()
+		ids := sh.matchIDs(q, false)
+		ds := make([]Document, len(ids))
+		for i, id := range ids {
+			ds[i] = sh.docs[id]
+		}
+		sh.mu.RUnlock()
+		parts[s] = ids
+		docs[s] = ds
+	}
+	if S == 1 {
+		return docs[0]
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]Document, 0, n)
+	cursors := make([]int, S)
+	for len(out) < n {
+		best, bestGID := -1, 0
+		for s := range parts {
+			c := cursors[s]
+			if c >= len(parts[s]) {
+				continue
+			}
+			gid := int(parts[s][c])*S + s
+			if best == -1 || gid < bestGID {
+				best, bestGID = s, gid
 			}
 		}
-	}
-	// Bool-must with a leading indexed term: intersect from the posting list.
-	if q.Bool != nil && len(q.Bool.Must) > 0 {
-		if first := q.Bool.Must[0]; first.Term != nil {
-			if terms, ok := ix.postings[first.Term.Field]; ok {
-				if val, isStr := first.Term.Value.(string); isStr {
-					rest := Query{Bool: &BoolQuery{
-						Must:    q.Bool.Must[1:],
-						Should:  q.Bool.Should,
-						MustNot: q.Bool.MustNot,
-					}}
-					var out []Document
-					for _, id := range terms[val] {
-						if rest.Matches(ix.docs[id]) {
-							out = append(out, ix.docs[id])
-						}
-					}
-					return out
-				}
-			}
-		}
-	}
-	var out []Document
-	for _, d := range ix.docs {
-		if q.Matches(d) {
-			out = append(out, d)
-		}
+		out = append(out, docs[best][cursors[best]])
+		cursors[best]++
 	}
 	return out
 }
 
-// Count returns the number of documents matching q.
-func (ix *Index) Count(q Query) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.matchLocked(q))
-}
-
-// UpdateByQuery applies fn to every matching document, in place, and
-// returns the number of updated documents. fn must return true if it
-// changed the document.
-func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	updated := 0
-	for _, d := range ix.docs {
-		if q.Matches(d) && fn(d) {
-			updated++
-		}
-	}
-	return updated
-}
-
 func compareDocs(a, b Document, sorts []SortField) bool {
 	for _, s := range sorts {
-		av, bv := a[s.Field], b[s.Field]
-		af, aok := numeric(av)
-		bf, bok := numeric(bv)
-		var less, greater bool
-		if aok && bok {
-			less, greater = af < bf, af > bf
-		} else {
-			as, bs := keyString(av), keyString(bv)
-			less, greater = as < bs, as > bs
-		}
-		if less {
-			return !s.Desc
-		}
-		if greater {
-			return s.Desc
+		if r := cmpField(a[s.Field], b[s.Field], s.Desc); r != 0 {
+			return r < 0
 		}
 	}
 	return false
+}
+
+// cmpField orders two field values under one sort direction: numerically
+// when both coerce, by key string otherwise. Returns -1, 0, or +1.
+func cmpField(av, bv any, desc bool) int {
+	af, aok := numeric(av)
+	bf, bok := numeric(bv)
+	var less, greater bool
+	if aok && bok {
+		less, greater = af < bf, af > bf
+	} else {
+		as, bs := keyString(av), keyString(bv)
+		less, greater = as < bs, as > bs
+	}
+	switch {
+	case less:
+		if desc {
+			return 1
+		}
+		return -1
+	case greater:
+		if desc {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
 }

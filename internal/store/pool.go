@@ -1,0 +1,46 @@
+package store
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardSem bounds the number of goroutines the store spawns for shard
+// fan-out across all concurrent searches. When the pool is saturated the
+// work runs inline on the caller, so fan-out degrades to serial execution
+// instead of queueing unboundedly.
+var shardSem = make(chan struct{}, maxInt(1, runtime.GOMAXPROCS(0)))
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// forEachShard runs fn(0..n-1), in parallel when worker slots are free.
+func forEachShard(n int, fn func(int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case shardSem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-shardSem
+					wg.Done()
+				}()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}

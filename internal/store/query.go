@@ -110,6 +110,13 @@ func MustNot(qs ...Query) Query {
 	return Query{Bool: &BoolQuery{MustNot: qs}}
 }
 
+// matchesAll reports whether the query matches every document (zero query
+// or explicit match_all), letting evaluation skip per-document checks.
+func (q Query) matchesAll() bool {
+	return q.Term == nil && q.Terms == nil && q.Range == nil &&
+		q.Prefix == nil && q.Exists == nil && q.Bool == nil
+}
+
 // Matches evaluates the query against doc.
 func (q Query) Matches(doc Document) bool {
 	switch {

@@ -12,6 +12,10 @@ import (
 // satisfied both by the in-process *Store and by *Client talking to a
 // remote Server, mirroring the paper's deployment choice of co-located or
 // dedicated analysis servers (§II-F).
+//
+// Bulk implementations must not retain the docs slice after returning: the
+// tracer's drain workers recycle batch buffers through a pool. (Retaining
+// the Document maps themselves is fine; the in-process store does.)
 type Backend interface {
 	Bulk(index string, docs []Document) error
 	Search(index string, req SearchRequest) (SearchResponse, error)
@@ -39,6 +43,7 @@ func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
 //	POST   /{index}/_search     SearchRequest JSON body
 //	POST   /{index}/_count      optional Query JSON body
 //	POST   /{index}/_correlate  ?session=NAME
+//	GET    /{index}/_stats      doc and shard counts
 //	GET    /_cat/indices        list index names
 //	DELETE /{index}             drop an index
 type Server struct {
@@ -82,6 +87,8 @@ func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
 			s.handleCount(w, r, index)
 		case "_correlate":
 			s.handleCorrelate(w, r, index)
+		case "_stats":
+			s.handleStats(w, r, index)
 		default:
 			httpError(w, http.StatusNotFound, "unknown operation %q", op)
 		}
@@ -175,6 +182,19 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request, index s
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st, err := s.store.Stats(index)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

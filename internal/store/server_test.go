@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -96,6 +97,42 @@ func TestHTTPIndicesAndErrors(t *testing.T) {
 	}
 	if _, err := c.Correlate("missing", ""); err == nil {
 		t.Fatal("correlate on missing index succeeded")
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	st, c := newTestServerClient(t)
+	if err := c.Bulk("run1", docFixture()); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	ix, _ := st.GetIndex("run1")
+
+	resp, err := http.Get(c.base + "/run1/_stats")
+	if err != nil {
+		t.Fatalf("get stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var stats IndexStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if stats.Index != "run1" || stats.Docs != ix.Len() || stats.Shards != ix.NumShards() {
+		t.Fatalf("stats = %+v, want docs=%d shards=%d", stats, ix.Len(), ix.NumShards())
+	}
+
+	// POST is rejected; missing index is a 404.
+	post, _ := http.Post(c.base+"/run1/_stats", "", nil)
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats status = %d", post.StatusCode)
+	}
+	miss, _ := http.Get(c.base + "/nope/_stats")
+	miss.Body.Close()
+	if miss.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-index stats status = %d", miss.StatusCode)
 	}
 }
 

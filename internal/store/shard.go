@@ -1,0 +1,325 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// shard is one lock stripe of an Index. Documents are distributed across
+// shards round-robin by insertion order, so shard s of S holds the documents
+// whose global ids are ≡ s (mod S) and the global id of the document at
+// local position i is i*S + s. Per-shard global ids are therefore always
+// sorted in append order, which the merge phase of Search relies on.
+type shard struct {
+	mu       sync.RWMutex
+	docs     []Document
+	postings map[string]map[string][]int32 // field -> term -> local doc ids
+	cols     map[string]*column            // lazy numeric columns, keyed by field
+}
+
+// column is a pre-extracted numeric view of one field: vals[i] holds the
+// float64 coercion of docs[i][field] and ok[i] whether the field was numeric.
+// Columns are built lazily up to the current doc count and extended on the
+// next use after writes; UpdateByQuery drops them (it may mutate numeric
+// fields in place).
+type column struct {
+	vals []float64
+	ok   []bool
+}
+
+func newShard() *shard {
+	p := make(map[string]map[string][]int32, len(indexedFields))
+	for _, f := range indexedFields {
+		p[f] = make(map[string][]int32)
+	}
+	return &shard{postings: p}
+}
+
+// add appends doc and returns its local id. Caller holds the write lock.
+func (sh *shard) addLocked(doc Document) int32 {
+	id := int32(len(sh.docs))
+	sh.docs = append(sh.docs, doc)
+	for _, f := range indexedFields {
+		if s, ok := doc[f].(string); ok {
+			sh.postings[f][s] = append(sh.postings[f][s], id)
+		}
+	}
+	return id
+}
+
+// len returns the shard's doc count under its own lock.
+func (sh *shard) len() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.docs)
+}
+
+// ensureColumns builds or extends the numeric columns for fields so they
+// cover every doc currently in the shard. It is called before the read phase
+// of a search; docs appended concurrently afterwards are handled by the
+// per-doc fallback in colVal.
+func (sh *shard) ensureColumns(fields []string) {
+	if len(fields) == 0 {
+		return
+	}
+	sh.mu.RLock()
+	need := false
+	for _, f := range fields {
+		if c := sh.cols[f]; c == nil || len(c.vals) < len(sh.docs) {
+			need = true
+			break
+		}
+	}
+	sh.mu.RUnlock()
+	if !need {
+		return
+	}
+	sh.mu.Lock()
+	if sh.cols == nil {
+		sh.cols = make(map[string]*column)
+	}
+	for _, f := range fields {
+		c := sh.cols[f]
+		if c == nil {
+			c = &column{}
+			sh.cols[f] = c
+		}
+		for i := len(c.vals); i < len(sh.docs); i++ {
+			v, ok := numeric(sh.docs[i][f])
+			c.vals = append(c.vals, v)
+			c.ok = append(c.ok, ok)
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// invalidateColumnsLocked drops all cached columns. Caller holds the write
+// lock (used after in-place updates, which may change numeric fields).
+func (sh *shard) invalidateColumnsLocked() {
+	sh.cols = nil
+}
+
+// colVal reads one value through the column cache, falling back to the
+// document map for ids past the built prefix. Caller holds at least the read
+// lock.
+func (sh *shard) colVal(c *column, field string, id int32) (float64, bool) {
+	if c != nil && int(id) < len(c.vals) {
+		return c.vals[id], c.ok[id]
+	}
+	return numeric(sh.docs[id][field])
+}
+
+// cmpIDs orders two local docs under sorts, reading through the sort
+// fields' columns (cols, aligned with sorts) when both values are numeric
+// there, and falling back to the exact document-compare semantics otherwise.
+// Caller holds at least the read lock.
+func (sh *shard) cmpIDs(a, b int32, sorts []SortField, cols []*column) int {
+	for i, s := range sorts {
+		if c := cols[i]; c != nil && int(a) < len(c.vals) && int(b) < len(c.vals) && c.ok[a] && c.ok[b] {
+			af, bf := c.vals[a], c.vals[b]
+			if af == bf {
+				continue
+			}
+			if (af < bf) != s.Desc {
+				return -1
+			}
+			return 1
+		}
+		if r := cmpField(sh.docs[a][s.Field], sh.docs[b][s.Field], s.Desc); r != 0 {
+			return r
+		}
+	}
+	return 0
+}
+
+// matchIDs evaluates q and returns the local ids of matching docs in
+// ascending order. The returned slice may alias a posting list and must not
+// be mutated. useCols false forces the per-document scan paths (the legacy
+// ablation mode). Caller holds at least the read lock.
+func (sh *shard) matchIDs(q Query, useCols bool) []int32 {
+	// Match-all: enumerate without consulting documents.
+	if q.matchesAll() {
+		out := make([]int32, len(sh.docs))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	// Plain indexed term: the posting list is the answer.
+	if q.Term != nil {
+		if terms, ok := sh.postings[q.Term.Field]; ok {
+			if val, isStr := q.Term.Value.(string); isStr {
+				return terms[val]
+			}
+		}
+	}
+	// Top-level range with a built column: scan the column, not the docs.
+	if useCols && q.Range != nil {
+		if c := sh.cols[q.Range.Field]; c != nil {
+			return sh.rangeScan(q.Range, c)
+		}
+	}
+	// Bool/must: intersect every indexed keyword term's posting list, then
+	// evaluate the residual query over the candidates only.
+	if q.Bool != nil && len(q.Bool.Must) > 0 {
+		if ids, ok := sh.boolCandidates(q, useCols); ok {
+			return ids
+		}
+	}
+	// Fallback: full scan.
+	var out []int32
+	for i := range sh.docs {
+		if q.Matches(sh.docs[i]) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// contains reports whether f satisfies every bound of r.
+func (r *RangeQuery) contains(f float64) bool {
+	if r.GTE != nil && f < *r.GTE {
+		return false
+	}
+	if r.LTE != nil && f > *r.LTE {
+		return false
+	}
+	if r.GT != nil && f <= *r.GT {
+		return false
+	}
+	if r.LT != nil && f >= *r.LT {
+		return false
+	}
+	return true
+}
+
+// rangeScan evaluates r over the column cache (plus the uncovered tail).
+func (sh *shard) rangeScan(r *RangeQuery, c *column) []int32 {
+	var out []int32
+	n := len(c.vals)
+	if n > len(sh.docs) {
+		n = len(sh.docs)
+	}
+	for i := 0; i < n; i++ {
+		if c.ok[i] && r.contains(c.vals[i]) {
+			out = append(out, int32(i))
+		}
+	}
+	for i := n; i < len(sh.docs); i++ {
+		if f, ok := numeric(sh.docs[i][r.Field]); ok && r.contains(f) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// isPureRange reports whether q is exactly one range clause, so it can be
+// evaluated through a numeric column alone.
+func (q Query) isPureRange() bool {
+	return q.Range != nil && q.Term == nil && q.Terms == nil &&
+		q.Prefix == nil && q.Exists == nil && q.Bool == nil
+}
+
+// boolCandidates resolves a bool query whose must clauses include indexed
+// keyword terms (or, with columns, a leading range) by posting-list
+// intersection followed by residual evaluation. ok is false when no clause
+// can seed a candidate list, meaning the caller should scan.
+func (sh *shard) boolCandidates(q Query, useCols bool) ([]int32, bool) {
+	var lists [][]int32
+	residualMust := make([]Query, 0, len(q.Bool.Must))
+	for _, sub := range q.Bool.Must {
+		if sub.Term != nil {
+			if terms, ok := sh.postings[sub.Term.Field]; ok {
+				if val, isStr := sub.Term.Value.(string); isStr {
+					lists = append(lists, terms[val])
+					continue
+				}
+			}
+		}
+		residualMust = append(residualMust, sub)
+	}
+	var candidates []int32
+	switch {
+	case len(lists) > 0:
+		// Intersect smallest-first to keep intermediate sets minimal.
+		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+		candidates = lists[0]
+		for _, l := range lists[1:] {
+			candidates = intersectSorted(candidates, l)
+			if len(candidates) == 0 {
+				return nil, true
+			}
+		}
+	case useCols && len(residualMust) > 0 && residualMust[0].isPureRange():
+		r := residualMust[0].Range
+		c := sh.cols[r.Field]
+		if c == nil {
+			return nil, false
+		}
+		candidates = sh.rangeScan(r, c)
+		residualMust = residualMust[1:]
+	default:
+		return nil, false
+	}
+	// Pure range residuals read the numeric columns instead of going back to
+	// the document maps; everything else falls through to Query.Matches.
+	var colRanges []*RangeQuery
+	var colCols []*column
+	if useCols {
+		kept := residualMust[:0]
+		for _, sub := range residualMust {
+			if sub.isPureRange() {
+				if c := sh.cols[sub.Range.Field]; c != nil {
+					colRanges = append(colRanges, sub.Range)
+					colCols = append(colCols, c)
+					continue
+				}
+			}
+			kept = append(kept, sub)
+		}
+		residualMust = kept
+	}
+	rest := Query{Bool: &BoolQuery{
+		Must:    residualMust,
+		Should:  q.Bool.Should,
+		MustNot: q.Bool.MustNot,
+	}}
+	needRest := len(residualMust) > 0 || len(q.Bool.Should) > 0 || len(q.Bool.MustNot) > 0
+	if !needRest && len(colRanges) == 0 {
+		return candidates, true
+	}
+	var out []int32
+next:
+	for _, id := range candidates {
+		for i, r := range colRanges {
+			f, ok := sh.colVal(colCols[i], r.Field, id)
+			if !ok || !r.contains(f) {
+				continue next
+			}
+		}
+		if needRest && !rest.Matches(sh.docs[id]) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, true
+}
+
+// intersectSorted intersects two ascending id lists.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -20,11 +20,19 @@ func New() *Store {
 }
 
 // IndexOrCreate returns the named index, creating it on first use (like
-// Elasticsearch's dynamic index creation on first write).
+// Elasticsearch's dynamic index creation on first write). The common case —
+// the index already exists — takes only the read lock, so concurrent bulk
+// writers don't serialize on the store lock before even reaching the index.
 func (s *Store) IndexOrCreate(name string) *Index {
+	s.mu.RLock()
+	ix, ok := s.indices[name]
+	s.mu.RUnlock()
+	if ok {
+		return ix
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ix, ok := s.indices[name]
+	ix, ok = s.indices[name]
 	if !ok {
 		ix = NewIndex(name)
 		s.indices[name] = ix
@@ -59,10 +67,28 @@ func (s *Store) Indices() []string {
 	return names
 }
 
-// Bulk indexes docs into the named index.
+// Bulk indexes docs into the named index. A single index lookup resolves
+// the handle (read-locked fast path); the documents then take only the
+// per-shard index locks.
 func (s *Store) Bulk(index string, docs []Document) error {
 	s.IndexOrCreate(index).AddBulk(docs)
 	return nil
+}
+
+// IndexStats summarizes one index for the _stats API.
+type IndexStats struct {
+	Index  string `json:"index"`
+	Docs   int    `json:"docs"`
+	Shards int    `json:"shards"`
+}
+
+// Stats reports the named index's document and shard counts.
+func (s *Store) Stats(index string) (IndexStats, error) {
+	ix, ok := s.GetIndex(index)
+	if !ok {
+		return IndexStats{}, fmt.Errorf("index %q not found", index)
+	}
+	return IndexStats{Index: ix.Name(), Docs: ix.Len(), Shards: ix.NumShards()}, nil
 }
 
 // Search runs req against the named index.

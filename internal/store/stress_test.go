@@ -1,0 +1,311 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentStress hammers one sharded index with concurrent bulk
+// writers, single-doc writers, searchers, aggregators, counters, and an
+// update-by-query loop — the contention pattern of the real pipeline, where
+// drain workers bulk-index while dashboards query and the correlation
+// algorithm rewrites documents. Run under -race; the invariants are:
+// no lost documents, globally unique doc ids, and consistent totals.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		writers       = 4
+		docsPerWriter = 1500
+		batch         = 64
+	)
+	ix := NewIndexWithShards("stress", 8)
+
+	syscalls := []string{"read", "write", "openat", "close", "fsync"}
+	mkdoc := func(writer, i int) Document {
+		return Document{
+			"session":       "stress",
+			"writer":        fmt.Sprintf("w%d", writer),
+			"syscall":       syscalls[i%len(syscalls)],
+			"time_enter_ns": int64(i) * 1000,
+			"duration_ns":   float64(i%97) + 1,
+		}
+	}
+
+	var (
+		writeWG, readWG sync.WaitGroup
+		done            atomic.Bool
+		idMu            sync.Mutex
+		seenIDs         []int
+	)
+
+	// Half the writers index one document at a time and record the returned
+	// global ids; the other half go through AddBulk like the tracer does.
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			if w%2 == 0 {
+				var local []int
+				for i := 0; i < docsPerWriter; i++ {
+					local = append(local, ix.Add(mkdoc(w, i)))
+				}
+				idMu.Lock()
+				seenIDs = append(seenIDs, local...)
+				idMu.Unlock()
+				return
+			}
+			for i := 0; i < docsPerWriter; i += batch {
+				end := i + batch
+				if end > docsPerWriter {
+					end = docsPerWriter
+				}
+				docs := make([]Document, 0, end-i)
+				for j := i; j < end; j++ {
+					docs = append(docs, mkdoc(w, j))
+				}
+				ix.AddBulk(docs)
+			}
+		}(w)
+	}
+
+	// Readers: searches with sorting, pagination, and aggregations. Totals
+	// are racy snapshots while writers run, so only structural invariants
+	// are asserted here.
+	for r := 0; r < 2; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for !done.Load() {
+				resp := ix.Search(SearchRequest{
+					Query: Term("syscall", "write"),
+					Sort:  []SortField{{Field: "time_enter_ns", Desc: true}},
+					Size:  10,
+					Aggs: map[string]Agg{
+						"by_writer": {Terms: &TermsAgg{Field: "writer"}},
+						"lat":       {Stats: &StatsAgg{Field: "duration_ns"}},
+					},
+				})
+				if len(resp.Hits) > 10 {
+					panic("size cap violated")
+				}
+				sum := 0
+				for _, b := range resp.Aggs["by_writer"].Buckets {
+					sum += b.Count
+				}
+				if sum != resp.Total {
+					panic(fmt.Sprintf("terms agg counted %d docs, total %d", sum, resp.Total))
+				}
+				if n := ix.Count(Term("syscall", "write")); n < 0 {
+					panic("negative count")
+				}
+			}
+		}()
+	}
+
+	// Correlation-style rewriter: flags matched docs in place while writes
+	// and reads are in flight; the closure must be safe for concurrent
+	// invocation across shards.
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for !done.Load() {
+			var flagged atomic.Int64
+			ix.UpdateByQuery(Term("syscall", "fsync"), func(d Document) bool {
+				if d["flag"] == "y" {
+					return false
+				}
+				d["flag"] = "y"
+				flagged.Add(1)
+				return true
+			})
+		}
+	}()
+
+	writeWG.Wait()
+	done.Store(true)
+	readWG.Wait()
+
+	total := writers * docsPerWriter
+	if got := ix.Len(); got != total {
+		t.Fatalf("Len = %d, want %d", got, total)
+	}
+	resp := ix.Search(SearchRequest{Query: MatchAll(), Size: -1})
+	if resp.Total != total || len(resp.Hits) != total {
+		t.Fatalf("match_all total=%d hits=%d, want %d", resp.Total, len(resp.Hits), total)
+	}
+
+	// Ids returned by Add are unique and within the dense global range.
+	idMu.Lock()
+	defer idMu.Unlock()
+	unique := make(map[int]struct{}, len(seenIDs))
+	for _, id := range seenIDs {
+		if id < 0 || id >= total {
+			t.Fatalf("id %d out of range [0,%d)", id, total)
+		}
+		if _, dup := unique[id]; dup {
+			t.Fatalf("duplicate doc id %d", id)
+		}
+		unique[id] = struct{}{}
+	}
+
+	// No lost docs: every writer's documents are all present.
+	for w := 0; w < writers; w++ {
+		if n := ix.Count(Term("writer", fmt.Sprintf("w%d", w))); n != docsPerWriter {
+			t.Fatalf("writer %d count = %d, want %d", w, n, docsPerWriter)
+		}
+	}
+
+	// A final quiescent update pass flags every fsync doc exactly once more
+	// or not at all; afterwards flag coverage equals the fsync population.
+	ix.UpdateByQuery(Term("syscall", "fsync"), func(d Document) bool {
+		if d["flag"] == "y" {
+			return false
+		}
+		d["flag"] = "y"
+		return true
+	})
+	if nf, ns := ix.Count(Exists("flag")), ix.Count(Term("syscall", "fsync")); nf != ns {
+		t.Fatalf("flagged %d docs, fsync population %d", nf, ns)
+	}
+}
+
+// TestShardedMatchesLegacy cross-checks the sharded parallel execution
+// against the legacy serial scan on randomized documents and a spread of
+// query shapes: both strategies must produce byte-identical responses
+// (totals, hit order, aggregation results).
+func TestShardedMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	syscalls := []string{"read", "write", "openat", "close", "fsync", "stat"}
+	procs := []string{"fluent-bit", "rocksdb", "dbbench"}
+
+	ix := NewIndexWithShards("diff", 8)
+	const n = 4000
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		d := Document{
+			"session":       fmt.Sprintf("s%d", rng.Intn(3)),
+			"syscall":       syscalls[rng.Intn(len(syscalls))],
+			"proc_name":     procs[rng.Intn(len(procs))],
+			"time_enter_ns": int64(rng.Intn(5_000_000)),
+		}
+		if rng.Intn(10) > 0 { // ~10% of docs miss the numeric field
+			d["duration_ns"] = float64(rng.Intn(100_000))
+		}
+		if rng.Intn(4) == 0 {
+			d["file_tag"] = fmt.Sprintf("dev1:ino%d", rng.Intn(50))
+		}
+		docs = append(docs, d)
+	}
+	ix.AddBulk(docs)
+
+	reqs := []SearchRequest{
+		{Query: MatchAll(), Size: -1},
+		{Query: Term("syscall", "write"), Size: -1},
+		{Query: Terms("syscall", "read", "write"), Size: 25, From: 10},
+		{Query: RangeBetween("duration_ns", 1000, 60000), Size: -1},
+		{Query: Prefix("file_tag", "dev1:ino1"), Size: -1},
+		{Query: Exists("file_tag"), Size: 50},
+		{Query: Must(Term("session", "s1"), Term("syscall", "read"), RangeGTE("time_enter_ns", 1_000_000)), Size: -1},
+		{Query: MustNot(Term("proc_name", "rocksdb")), Size: 40, From: 5},
+		{
+			Query: Term("session", "s2"),
+			Sort:  []SortField{{Field: "duration_ns", Desc: true}, {Field: "time_enter_ns"}},
+			Size:  17,
+		},
+		{
+			Query: Term("session", "s0"),
+			Sort:  []SortField{{Field: "duration_ns"}}, // ties resolve by insertion order
+			Size:  -1,
+		},
+		{
+			Query: MatchAll(),
+			Sort:  []SortField{{Field: "time_enter_ns"}},
+			From:  100,
+			Size:  33,
+		},
+		{
+			Query: Term("syscall", "read"),
+			Size:  1,
+			Aggs: map[string]Agg{
+				"by_proc": {Terms: &TermsAgg{Field: "proc_name", Size: 2}},
+				"hist": {
+					DateHistogram: &DateHistogramAgg{Field: "time_enter_ns", IntervalNS: 500_000},
+					Aggs:          map[string]Agg{"lat": {Stats: &StatsAgg{Field: "duration_ns"}}},
+				},
+				"pcts":  {Percentiles: &PercentilesAgg{Field: "duration_ns", Percents: []float64{50, 90, 99}}},
+				"stats": {Stats: &StatsAgg{Field: "duration_ns"}},
+			},
+		},
+		{
+			Query: Exists("duration_ns"),
+			Aggs: map[string]Agg{
+				"by_sys": {
+					Terms: &TermsAgg{Field: "syscall"},
+					Aggs:  map[string]Agg{"p": {Percentiles: &PercentilesAgg{Field: "duration_ns"}}},
+				},
+			},
+			Size: -1,
+		},
+	}
+
+	for i, req := range reqs {
+		ix.SetLegacyScan(true)
+		want := ix.Search(req)
+		wantCount := ix.Count(req.Query)
+		ix.SetLegacyScan(false)
+		got := ix.Search(req)
+		gotCount := ix.Count(req.Query)
+
+		if got.Total != want.Total {
+			t.Errorf("req %d: total = %d, legacy %d", i, got.Total, want.Total)
+		}
+		if gotCount != wantCount {
+			t.Errorf("req %d: count = %d, legacy %d", i, gotCount, wantCount)
+		}
+		if !reflect.DeepEqual(got.Hits, want.Hits) {
+			t.Errorf("req %d: hits diverge (%d vs %d docs)", i, len(got.Hits), len(want.Hits))
+		}
+		if !reflect.DeepEqual(got.Aggs, want.Aggs) {
+			t.Errorf("req %d: aggs diverge\n got %+v\nwant %+v", i, got.Aggs, want.Aggs)
+		}
+	}
+
+	// UpdateByQuery must agree too: run the same rewrite through both paths
+	// on twin indices and compare the resulting documents.
+	twin := NewIndexWithShards("twin", 8)
+	twin.AddBulk(docs2(docs))
+	twin.SetLegacyScan(true)
+	legacyN := twin.UpdateByQuery(Exists("file_tag"), func(d Document) bool {
+		d["resolved"] = true
+		return true
+	})
+	shardedN := ix.UpdateByQuery(Exists("file_tag"), func(d Document) bool {
+		d["resolved"] = true
+		return true
+	})
+	if legacyN != shardedN {
+		t.Fatalf("update count: sharded %d, legacy %d", shardedN, legacyN)
+	}
+	twin.SetLegacyScan(false)
+	a := ix.Search(SearchRequest{Query: Exists("resolved"), Size: -1})
+	b := twin.Search(SearchRequest{Query: Exists("resolved"), Size: -1})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("post-update responses diverge: %d vs %d hits", len(a.Hits), len(b.Hits))
+	}
+}
+
+// docs2 deep-copies a document slice so twin indices don't alias maps.
+func docs2(in []Document) []Document {
+	out := make([]Document, len(in))
+	for i, d := range in {
+		c := make(Document, len(d))
+		for k, v := range d {
+			c[k] = v
+		}
+		out[i] = c
+	}
+	return out
+}
