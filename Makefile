@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench scale
+.PHONY: tier1 build test race vet bench scale chaos
 
-## tier1: the PR gate — vet, build, tests, and the race detector over the
-## concurrency-heavy packages (store sharding, tracer drain workers).
-tier1: vet build test race
+## tier1: the PR gate — vet, build, tests, the race detector over the
+## concurrency-heavy packages (store sharding, tracer drain workers), and the
+## chaos suite (fault injection on the ship path).
+tier1: vet build test race chaos
 
 build:
 	$(GO) build ./...
@@ -25,3 +26,8 @@ bench:
 ## scale: the backend/tracer scalability experiment (legacy vs sharded).
 scale:
 	$(GO) run ./cmd/diobench -exp scale
+
+## chaos: the fault-injection suite — shipper, breaker, spill, and the
+## tracer-level exact-accounting tests, raced and repeated.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Shipper|Breaker|Faulty|Spill' ./internal/resilience/ ./internal/store/ ./internal/core/

@@ -18,6 +18,7 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/ebpf"
 	"github.com/dsrhaslab/dio-go/internal/experiments"
 	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/resilience"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
@@ -459,6 +460,50 @@ func BenchmarkStoreBulkIndex(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(docs)), "docs/op")
+}
+
+// BenchmarkShipperOverhead measures what the resilience ladder costs on the
+// happy path: the same bulk ingestion direct to the store versus through the
+// retrying shipper (breaker check, spill probe, attempt bookkeeping) with no
+// faults injected. The wrapper must stay within a few percent of direct.
+func BenchmarkShipperOverhead(b *testing.B) {
+	mkDocs := func() []store.Document {
+		docs := make([]store.Document, 512)
+		for i := range docs {
+			docs[i] = store.Document{
+				store.FieldSession:   "s",
+				store.FieldSyscall:   "write",
+				store.FieldProcName:  "app",
+				store.FieldTimeEnter: int64(i),
+				store.FieldRetVal:    int64(4096),
+			}
+		}
+		return docs
+	}
+	b.Run("direct", func(b *testing.B) {
+		st := store.New()
+		docs := mkDocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Bulk("bench", docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shipper", func(b *testing.B) {
+		sh := resilience.NewShipper(store.New(), resilience.Config{})
+		docs := mkDocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sh.Bulk("bench", docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := sh.Stats(); s.Retries != 0 || s.SpillDropped != 0 {
+			b.Fatalf("faults on the happy path: %+v", s)
+		}
+	})
 }
 
 // BenchmarkStoreQuery measures a filtered, aggregated search over 50k docs.

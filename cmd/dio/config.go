@@ -10,6 +10,7 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/core"
 	"github.com/dsrhaslab/dio-go/internal/ebpf"
 	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/resilience"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
@@ -38,6 +39,44 @@ type FileConfig struct {
 	AutoCorrelate bool `json:"auto_correlate"`
 	// Workload selects the bundled application to trace.
 	Workload string `json:"workload,omitempty"`
+	// Resilience enables the fault-tolerant ship path (retry, circuit
+	// breaker, spill queue); nil ships directly to the backend.
+	Resilience *ResilienceFileConfig `json:"resilience,omitempty"`
+}
+
+// ResilienceFileConfig is the JSON form of resilience.Config; zero fields
+// take the library defaults.
+type ResilienceFileConfig struct {
+	// MaxAttempts bounds delivery attempts per batch (retries = attempts-1).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// BaseBackoffMillis seeds the exponential backoff (full jitter).
+	BaseBackoffMillis int `json:"base_backoff_millis,omitempty"`
+	// MaxBackoffMillis caps a single backoff sleep.
+	MaxBackoffMillis int `json:"max_backoff_millis,omitempty"`
+	// AttemptTimeoutMillis bounds one delivery attempt (HTTP backends).
+	AttemptTimeoutMillis int `json:"attempt_timeout_millis,omitempty"`
+	// BreakerThreshold is consecutive failures before the breaker opens.
+	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+	// BreakerCooldownMillis is how long the breaker stays open before probing.
+	BreakerCooldownMillis int `json:"breaker_cooldown_millis,omitempty"`
+	// SpillEvents bounds the spill queue (events parked during an outage).
+	SpillEvents int `json:"spill_events,omitempty"`
+}
+
+// toConfig maps the JSON fields onto resilience.Config.
+func (rc *ResilienceFileConfig) toConfig() *resilience.Config {
+	if rc == nil {
+		return nil
+	}
+	return &resilience.Config{
+		MaxAttempts:      rc.MaxAttempts,
+		BaseBackoff:      time.Duration(rc.BaseBackoffMillis) * time.Millisecond,
+		MaxBackoff:       time.Duration(rc.MaxBackoffMillis) * time.Millisecond,
+		AttemptTimeout:   time.Duration(rc.AttemptTimeoutMillis) * time.Millisecond,
+		BreakerThreshold: rc.BreakerThreshold,
+		BreakerCooldown:  time.Duration(rc.BreakerCooldownMillis) * time.Millisecond,
+		SpillEvents:      rc.SpillEvents,
+	}
 }
 
 // LoadFileConfig reads and validates a JSON config file.
@@ -91,6 +130,7 @@ func (fc FileConfig) TracerConfig() (core.Config, *store.Store, error) {
 	if fc.FlushIntervalMillis > 0 {
 		cfg.FlushInterval = time.Duration(fc.FlushIntervalMillis) * time.Millisecond
 	}
+	cfg.Resilience = fc.Resilience.toConfig()
 	var inproc *store.Store
 	if fc.BackendURL != "" {
 		cfg.Backend = store.NewClient(fc.BackendURL)

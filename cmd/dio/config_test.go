@@ -92,14 +92,58 @@ func TestTracerConfigRemoteBackend(t *testing.T) {
 	}
 }
 
+func TestLoadFileConfigResilience(t *testing.T) {
+	path := writeConfig(t, `{
+		"workload": "synthetic",
+		"resilience": {
+			"max_attempts": 6,
+			"base_backoff_millis": 2,
+			"max_backoff_millis": 50,
+			"attempt_timeout_millis": 1000,
+			"breaker_threshold": 3,
+			"breaker_cooldown_millis": 250,
+			"spill_events": 1024
+		}
+	}`)
+	fc, err := LoadFileConfig(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	cfg, _, err := fc.TracerConfig()
+	if err != nil {
+		t.Fatalf("tracer config: %v", err)
+	}
+	rc := cfg.Resilience
+	if rc == nil {
+		t.Fatal("resilience config not mapped")
+	}
+	if rc.MaxAttempts != 6 || rc.BaseBackoff.Milliseconds() != 2 ||
+		rc.MaxBackoff.Milliseconds() != 50 || rc.AttemptTimeout.Milliseconds() != 1000 ||
+		rc.BreakerThreshold != 3 || rc.BreakerCooldown.Milliseconds() != 250 ||
+		rc.SpillEvents != 1024 {
+		t.Fatalf("resilience = %+v", rc)
+	}
+}
+
+func TestRunWithChaosDemo(t *testing.T) {
+	fc := FileConfig{
+		Session:    "t-chaos",
+		Workload:   "synthetic",
+		Resilience: &ResilienceFileConfig{BreakerCooldownMillis: 5},
+	}
+	if err := run(fc, false, 0.3); err != nil {
+		t.Fatalf("run with chaos: %v", err)
+	}
+}
+
 func TestRunWorkloadsEndToEnd(t *testing.T) {
 	for _, wl := range []string{"fluentbit-buggy", "fluentbit-fixed", "synthetic"} {
 		fc := FileConfig{Session: "t-" + wl, Workload: wl, AutoCorrelate: true}
-		if err := run(fc, false); err != nil {
+		if err := run(fc, false, 0); err != nil {
 			t.Fatalf("run %s: %v", wl, err)
 		}
 	}
-	if err := run(FileConfig{Workload: "nope"}, false); err == nil {
+	if err := run(FileConfig{Workload: "nope"}, false, 0); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

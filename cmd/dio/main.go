@@ -8,6 +8,7 @@
 //
 //	dio -workload fluentbit-buggy
 //	dio -workload synthetic -syscalls openat,write,close -backend http://localhost:9200
+//	dio -workload synthetic -resilience -chaos-rate 0.3
 //	dio -config trace.json
 package main
 
@@ -25,6 +26,7 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/comparators"
 	"github.com/dsrhaslab/dio-go/internal/core"
 	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/resilience"
 	"github.com/dsrhaslab/dio-go/internal/viz"
 )
 
@@ -39,6 +41,13 @@ func main() {
 		paths      = flag.String("paths", "", "comma-separated path prefixes to trace")
 		correlate  = flag.Bool("correlate", true, "run file-path correlation on stop")
 		table      = flag.Bool("table", true, "print the access-pattern table (in-process backend only)")
+
+		resilient        = flag.Bool("resilience", false, "wrap the backend in the fault-tolerant ship path (retry, breaker, spill)")
+		maxRetries       = flag.Int("max-retries", 0, "delivery attempts per batch before spilling (0 = default 4; implies -resilience)")
+		spillEvents      = flag.Int("spill-events", 0, "spill-queue capacity in events (0 = default 65536; implies -resilience)")
+		breakerThreshold = flag.Int("breaker-threshold", 0, "consecutive failures before the circuit breaker opens (0 = default 5; implies -resilience)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "how long the breaker stays open before a probe (0 = default 500ms; implies -resilience)")
+		chaosRate        = flag.Float64("chaos-rate", 0, "inject transient bulk failures at this rate on the in-process backend (demo; implies -resilience)")
 	)
 	flag.Parse()
 
@@ -55,6 +64,15 @@ func main() {
 	if *paths != "" {
 		fc.Paths = strings.Split(*paths, ",")
 	}
+	if *resilient || *maxRetries > 0 || *spillEvents > 0 || *breakerThreshold > 0 ||
+		*breakerCooldown > 0 || *chaosRate > 0 {
+		fc.Resilience = &ResilienceFileConfig{
+			MaxAttempts:           *maxRetries,
+			SpillEvents:           *spillEvents,
+			BreakerThreshold:      *breakerThreshold,
+			BreakerCooldownMillis: int(breakerCooldown.Milliseconds()),
+		}
+	}
 	if *configPath != "" {
 		loaded, err := LoadFileConfig(*configPath)
 		if err != nil {
@@ -63,16 +81,24 @@ func main() {
 		}
 		fc = loaded
 	}
-	if err := run(fc, *table); err != nil {
+	if err := run(fc, *table, *chaosRate); err != nil {
 		fmt.Fprintln(os.Stderr, "dio:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fc FileConfig, printTable bool) error {
+func run(fc FileConfig, printTable bool, chaosRate float64) error {
 	cfg, inproc, err := fc.TracerConfig()
 	if err != nil {
 		return err
+	}
+	var faulty *resilience.FaultyBackend
+	if chaosRate > 0 {
+		// Demo mode: inject transient bulk failures in front of the backend so
+		// the resilience ladder is observable without a flaky network.
+		faulty = resilience.NewFaultyBackend(cfg.Backend, time.Now().UnixNano())
+		faulty.SetErrorRate(chaosRate)
+		cfg.Backend = faulty
 	}
 	k := kernel.New(kernel.Config{
 		Clock: clock.NewVirtualTicking(kernel.BaseTimestampNS, 200*time.Microsecond),
@@ -96,12 +122,28 @@ func run(fc FileConfig, printTable bool) error {
 		return fmt.Errorf("workload: %w", err)
 	}
 
+	if faulty != nil {
+		// The injected fault is transient: the backend recovers before
+		// shutdown so the final flush can replay the spill queue.
+		faulty.SetErrorRate(0)
+	}
 	stats, err := tracer.Stop()
 	if err != nil {
 		return fmt.Errorf("stop tracer: %w", err)
 	}
 	fmt.Printf("captured=%d filtered=%d dropped=%d shipped=%d\n",
 		stats.Captured, stats.Filtered, stats.Dropped, stats.Shipped)
+	if stats.ParseErrors > 0 {
+		fmt.Printf("parse errors=%d\n", stats.ParseErrors)
+	}
+	if stats.Resilience != nil {
+		fmt.Printf("resilience: retries=%d requeued=%d replayed=%d spill-dropped=%d breaker-opens=%d breaker=%s\n",
+			stats.Retries, stats.Requeued, stats.Replayed, stats.SpillDropped,
+			stats.BreakerOpens, stats.Resilience.BreakerState)
+	}
+	if faulty != nil {
+		fmt.Printf("chaos: injected %d bulk failures\n", faulty.Injected())
+	}
 	if cfg.AutoCorrelate {
 		fmt.Printf("correlation: %d tags resolved, %d events updated, %d unresolved\n",
 			stats.Correlation.TagsResolved, stats.Correlation.EventsUpdated,

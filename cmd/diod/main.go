@@ -6,6 +6,7 @@
 // Usage:
 //
 //	diod -addr :9200
+//	diod -addr :9200 -chaos
 package main
 
 import (
@@ -20,20 +21,30 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9200", "listen address")
+	chaos := flag.Bool("chaos", false, "enable the fault injector (arm it over POST /_chaos)")
 	flag.Parse()
-	if err := run(*addr); err != nil {
+	if err := run(*addr, *chaos); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string) error {
+func run(addr string, chaos bool) error {
 	st := store.New()
+	var handler http.Handler = store.NewServer(st)
+	if chaos {
+		// Starts disarmed; POST a store.ChaosConfig to /_chaos to inject
+		// failures into the ship path.
+		handler = store.NewChaosHandler(handler, time.Now().UnixNano())
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           store.NewServer(st),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("diod: analysis backend listening on %s\n", addr)
-	fmt.Println("endpoints: POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices")
+	fmt.Println("endpoints: POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health")
+	if chaos {
+		fmt.Println("chaos: fault injector enabled (disarmed); control via GET/POST /_chaos")
+	}
 	return srv.ListenAndServe()
 }

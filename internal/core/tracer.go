@@ -17,6 +17,7 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/ebpf"
 	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/resilience"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
@@ -48,6 +49,12 @@ type Config struct {
 	DrainWorkers int
 	// Backend receives the events. Required.
 	Backend store.Backend
+	// Resilience, when non-nil, wraps Backend in the fault-tolerant ship
+	// path (retry → circuit breaker → spill queue → counted drop; see
+	// DESIGN.md §8). Stop's final drain flushes the spill queue before
+	// returning, so every captured event is either shipped or counted in
+	// exactly one drop counter.
+	Resilience *resilience.Config
 	// AutoCorrelate runs the file-path correlation algorithm on Stop.
 	AutoCorrelate bool
 	// PerEventCost optionally charges a synthetic kernel-side cost per
@@ -65,8 +72,14 @@ type WorkerStats struct {
 	Dropped uint64
 	// Parsed is the number of records the worker decoded.
 	Parsed uint64
+	// ParseErrors is the number of corrupt records the worker could not
+	// decode (each is one lost event, counted here instead of vanishing).
+	ParseErrors uint64
 	// Shipped is the number of events the worker indexed at the backend.
 	Shipped uint64
+	// Requeued is the number of events the resilience layer parked in the
+	// spill queue on this worker's behalf.
+	Requeued uint64
 	// ShipErrors counts the worker's failed bulk requests.
 	ShipErrors uint64
 	// Flushes counts the worker's bulk requests (including failed ones).
@@ -84,10 +97,30 @@ type Stats struct {
 	Dropped uint64
 	// Parsed is the number of records decoded by the user-space consumers.
 	Parsed uint64
-	// Shipped is the number of events successfully indexed at the backend.
+	// ParseErrors is the number of corrupt records dropped by the parsers.
+	ParseErrors uint64
+	// Shipped is the number of events successfully indexed at the backend,
+	// including spilled events delivered later by replay.
 	Shipped uint64
 	// ShipErrors counts failed bulk requests.
 	ShipErrors uint64
+	// Retries counts ship attempts beyond each batch's first (resilience).
+	Retries uint64
+	// Requeued is the number of events parked in the spill queue while the
+	// backend was failing (resilience).
+	Requeued uint64
+	// Replayed is the number of spilled events later delivered (resilience).
+	Replayed uint64
+	// SpillDropped is the number of events dropped with accounting by the
+	// resilience layer: spill overflow, permanently-failed batches, and
+	// batches the final flush could not deliver. Together with Dropped it
+	// makes loss exact: Shipped + Dropped + SpillDropped + ParseErrors ==
+	// Captured.
+	SpillDropped uint64
+	// BreakerOpens counts circuit-breaker trips (resilience).
+	BreakerOpens uint64
+	// Resilience is the full shipper snapshot when Config.Resilience is set.
+	Resilience *resilience.Stats
 	// Workers breaks the user-space numbers down per drain worker.
 	Workers []WorkerStats
 	// Correlation is the result of the final correlation pass, when
@@ -107,6 +140,10 @@ func (s Stats) DropFraction() float64 {
 type Tracer struct {
 	cfg  Config
 	prog *ebpf.Program
+	// backend is the ship target: cfg.Backend, or the resilience shipper
+	// wrapped around it when Config.Resilience is set.
+	backend store.Backend
+	shipper *resilience.Shipper
 
 	mu      sync.Mutex
 	started bool
@@ -116,7 +153,7 @@ type Tracer struct {
 
 	workers   []*drainWorker
 	batchPool sync.Pool // *[]store.Document, cap BatchSize
-	lastErr   atomic.Value // error
+	errs      shipErrorList
 }
 
 // drainWorker is one user-space consumer goroutine: it owns a subset of the
@@ -126,10 +163,61 @@ type drainWorker struct {
 	id    int
 	rings []*ebpf.RingBuffer
 
-	parsed     atomic.Uint64
-	shipped    atomic.Uint64
-	shipErrors atomic.Uint64
-	flushes    atomic.Uint64
+	parsed      atomic.Uint64
+	parseErrors atomic.Uint64
+	shipped     atomic.Uint64
+	requeued    atomic.Uint64
+	shipErrors  atomic.Uint64
+	flushes     atomic.Uint64
+}
+
+// maxShipErrors bounds how many distinct ship errors are retained for Stop's
+// report.
+const maxShipErrors = 8
+
+// shipErrorList retains the first maxShipErrors distinct ship errors instead
+// of last-writer-wins, so Stop reports what actually went wrong over the
+// session, not just the final failure.
+type shipErrorList struct {
+	mu      sync.Mutex
+	seen    map[string]struct{}
+	errs    []error
+	omitted int
+}
+
+func (l *shipErrorList) add(err error) {
+	if err == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seen == nil {
+		l.seen = make(map[string]struct{})
+	}
+	key := err.Error()
+	if _, dup := l.seen[key]; dup {
+		return
+	}
+	if len(l.errs) >= maxShipErrors {
+		l.omitted++
+		return
+	}
+	l.seen[key] = struct{}{}
+	l.errs = append(l.errs, err)
+}
+
+// err joins the retained errors (nil when none occurred).
+func (l *shipErrorList) err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.errs) == 0 {
+		return nil
+	}
+	joined := errors.Join(l.errs...)
+	if l.omitted > 0 {
+		return fmt.Errorf("%w\n(and %d more distinct errors omitted)", joined, l.omitted)
+	}
+	return joined
 }
 
 var (
@@ -160,8 +248,16 @@ func NewTracer(cfg Config) (*Tracer, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 10 * time.Millisecond
 	}
-	return &Tracer{cfg: cfg}, nil
+	t := &Tracer{cfg: cfg, backend: cfg.Backend}
+	if cfg.Resilience != nil {
+		t.shipper = resilience.NewShipper(cfg.Backend, *cfg.Resilience)
+		t.backend = t.shipper
+	}
+	return t, nil
 }
+
+// Shipper exposes the resilience layer when configured (nil otherwise).
+func (t *Tracer) Shipper() *resilience.Shipper { return t.shipper }
 
 // Session returns the session name labeling this execution.
 func (t *Tracer) Session() string { return t.cfg.SessionName }
@@ -232,15 +328,23 @@ func (t *Tracer) Stop() (Stats, error) {
 	close(t.stop)
 	t.wg.Wait()
 
+	// Final spill flush: replay everything the resilience layer parked, so
+	// a backend that recovered gets the events and one that did not gets
+	// exact drop accounting. Runs before correlation so the correlation
+	// pass sees the replayed events.
+	if t.shipper != nil {
+		if ferr := t.shipper.Flush(); ferr != nil {
+			t.errs.add(fmt.Errorf("final spill flush: %w", ferr))
+		}
+	}
+
 	var res store.CorrelationResult
 	var err error
 	if t.cfg.AutoCorrelate {
 		res, err = t.cfg.Backend.Correlate(t.cfg.Index, t.cfg.SessionName)
 	}
 	if err == nil {
-		if e, ok := t.lastErr.Load().(error); ok {
-			err = e
-		}
+		err = t.errs.err()
 	}
 
 	st := t.stats()
@@ -261,17 +365,20 @@ func (t *Tracer) statsLocked() Stats {
 	st := Stats{Session: t.cfg.SessionName}
 	for _, w := range t.workers {
 		ws := WorkerStats{
-			Worker:     w.id,
-			Rings:      len(w.rings),
-			Parsed:     w.parsed.Load(),
-			Shipped:    w.shipped.Load(),
-			ShipErrors: w.shipErrors.Load(),
-			Flushes:    w.flushes.Load(),
+			Worker:      w.id,
+			Rings:       len(w.rings),
+			Parsed:      w.parsed.Load(),
+			ParseErrors: w.parseErrors.Load(),
+			Shipped:     w.shipped.Load(),
+			Requeued:    w.requeued.Load(),
+			ShipErrors:  w.shipErrors.Load(),
+			Flushes:     w.flushes.Load(),
 		}
 		for _, r := range w.rings {
 			ws.Dropped += r.Drops()
 		}
 		st.Parsed += ws.Parsed
+		st.ParseErrors += ws.ParseErrors
 		st.Shipped += ws.Shipped
 		st.ShipErrors += ws.ShipErrors
 		st.Workers = append(st.Workers, ws)
@@ -280,6 +387,18 @@ func (t *Tracer) statsLocked() Stats {
 		st.Captured = t.prog.Captured()
 		st.Filtered = t.prog.Filtered()
 		st.Dropped = t.prog.Drops()
+	}
+	if t.shipper != nil {
+		rs := t.shipper.Stats()
+		// Workers count only batches acked synchronously; replays are
+		// delivered (and counted once) by the shipper.
+		st.Shipped += rs.Replayed
+		st.Retries = rs.Retries
+		st.Requeued = rs.Requeued
+		st.Replayed = rs.Replayed
+		st.SpillDropped = rs.SpillDropped
+		st.BreakerOpens = rs.BreakerOpens
+		st.Resilience = &rs
 	}
 	return st
 }
@@ -304,11 +423,17 @@ func (t *Tracer) drain(w *drainWorker) {
 			return
 		}
 		w.flushes.Add(1)
-		if err := t.cfg.Backend.Bulk(t.cfg.Index, batch); err != nil {
-			w.shipErrors.Add(1)
-			t.lastErr.Store(fmt.Errorf("bulk ship: %w", err))
-		} else {
+		err := t.backend.Bulk(t.cfg.Index, batch)
+		switch {
+		case err == nil:
 			w.shipped.Add(uint64(len(batch)))
+		case errors.Is(err, resilience.ErrSpilled):
+			// The resilience layer parked the batch and owns its accounting
+			// from here (replay or counted drop).
+			w.requeued.Add(uint64(len(batch)))
+		default:
+			w.shipErrors.Add(1)
+			t.errs.add(fmt.Errorf("bulk ship: %w", err))
 		}
 		batch = batch[:0]
 	}
@@ -323,7 +448,10 @@ func (t *Tracer) drain(w *drainWorker) {
 				for _, raw := range raws {
 					rec, err := ebpf.Unmarshal(raw)
 					if err != nil {
-						continue // corrupt record; nothing to recover
+						// Corrupt record: nothing to recover, but the loss
+						// is counted so the accounting stays exact.
+						w.parseErrors.Add(1)
+						continue
 					}
 					w.parsed.Add(1)
 					ev := t.recordToEvent(&rec)

@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// FaultyBackend wraps a store.Backend and injects faults on the ship path
+// (Bulk): a configurable transient-error rate, an error class toggle
+// (retryable vs permanent), added latency, and scripted full-outage windows
+// expressed in bulk-call counts, which keeps chaos tests deterministic under
+// any scheduling. The read path passes through untouched.
+type FaultyBackend struct {
+	inner store.Backend
+	clk   clock.Clock
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	errRate    float64
+	permanent  bool
+	latency    time.Duration
+	outageFrom uint64
+	outageTo   uint64
+	calls      uint64
+	injected   uint64
+}
+
+var _ store.Backend = (*FaultyBackend)(nil)
+
+// NewFaultyBackend wraps inner with a deterministic (seeded) fault injector.
+func NewFaultyBackend(inner store.Backend, seed int64) *FaultyBackend {
+	return &FaultyBackend{
+		inner: inner,
+		clk:   clock.NewReal(0),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetClock replaces the latency time source (virtual clocks make latency
+// injection free in tests).
+func (f *FaultyBackend) SetClock(clk clock.Clock) { f.clk = clk }
+
+// SetErrorRate makes each Bulk call outside an outage window fail with
+// probability p.
+func (f *FaultyBackend) SetErrorRate(p float64) {
+	f.mu.Lock()
+	f.errRate = p
+	f.mu.Unlock()
+}
+
+// SetPermanent selects the class of injected errors: permanent (true) or
+// retryable (false, the default).
+func (f *FaultyBackend) SetPermanent(v bool) {
+	f.mu.Lock()
+	f.permanent = v
+	f.mu.Unlock()
+}
+
+// SetLatency adds d of delay to every Bulk call.
+func (f *FaultyBackend) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// ScriptOutage makes every Bulk call in the half-open call-count window
+// [from, to) fail with a retryable error — a scripted full outage that ends
+// only after to-from failing calls have been absorbed.
+func (f *FaultyBackend) ScriptOutage(from, to uint64) {
+	f.mu.Lock()
+	f.outageFrom, f.outageTo = from, to
+	f.mu.Unlock()
+}
+
+// Calls returns how many Bulk calls were observed.
+func (f *FaultyBackend) Calls() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Injected returns how many Bulk calls failed by injection.
+func (f *FaultyBackend) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Bulk injects the configured faults, then delegates.
+func (f *FaultyBackend) Bulk(index string, docs []store.Document) error {
+	f.mu.Lock()
+	call := f.calls
+	f.calls++
+	inOutage := call >= f.outageFrom && call < f.outageTo
+	roll := !inOutage && f.errRate > 0 && f.rng.Float64() < f.errRate
+	perm := f.permanent
+	lat := f.latency
+	if inOutage || roll {
+		f.injected++
+	}
+	f.mu.Unlock()
+
+	if lat > 0 {
+		f.clk.Sleep(lat)
+	}
+	switch {
+	case inOutage:
+		return Retryable(fmt.Errorf("%w: scripted outage (call %d)", ErrInjected, call))
+	case roll && perm:
+		return Permanent(fmt.Errorf("%w: permanent (call %d)", ErrInjected, call))
+	case roll:
+		return Retryable(fmt.Errorf("%w: transient (call %d)", ErrInjected, call))
+	}
+	return f.inner.Bulk(index, docs)
+}
+
+// Search delegates to the wrapped backend.
+func (f *FaultyBackend) Search(index string, req store.SearchRequest) (store.SearchResponse, error) {
+	return f.inner.Search(index, req)
+}
+
+// Count delegates to the wrapped backend.
+func (f *FaultyBackend) Count(index string, q store.Query) (int, error) {
+	return f.inner.Count(index, q)
+}
+
+// Correlate delegates to the wrapped backend.
+func (f *FaultyBackend) Correlate(index, session string) (store.CorrelationResult, error) {
+	return f.inner.Correlate(index, session)
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ChaosConfig tunes the HTTP fault injector wrapped around a Server.
+type ChaosConfig struct {
+	// Rate is the probability that a bulk request is rejected (0 disables
+	// random injection).
+	Rate float64 `json:"rate"`
+	// Status is the injected response code (default 503).
+	Status int `json:"status"`
+	// RetryAfterSec is sent as a Retry-After header on injected responses
+	// when positive.
+	RetryAfterSec int `json:"retry_after_sec"`
+	// OutageFrom/OutageTo script a full outage over the half-open bulk-call
+	// window [OutageFrom, OutageTo): every request in it fails regardless of
+	// Rate.
+	OutageFrom uint64 `json:"outage_from"`
+	OutageTo   uint64 `json:"outage_to"`
+}
+
+// ChaosHandler wraps a backend HTTP handler with fault injection so the full
+// tracer→client→server path can be exercised under failure. Faults target
+// the ship path (POST /{index}/_bulk); during a scripted outage window the
+// health endpoint fails too, mirroring a genuinely dead server. The injector
+// is reconfigured at runtime over HTTP:
+//
+//	GET  /_chaos   current config plus injection counters
+//	POST /_chaos   ChaosConfig JSON body replaces the config
+type ChaosHandler struct {
+	next http.Handler
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cfg      ChaosConfig
+	calls    uint64 // bulk requests observed
+	injected uint64
+}
+
+var _ http.Handler = (*ChaosHandler)(nil)
+
+// NewChaosHandler wraps next with a deterministic (seeded) fault injector;
+// the zero config injects nothing until /_chaos or SetConfig arms it.
+func NewChaosHandler(next http.Handler, seed int64) *ChaosHandler {
+	return &ChaosHandler{next: next, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetConfig replaces the chaos configuration.
+func (c *ChaosHandler) SetConfig(cfg ChaosConfig) {
+	c.mu.Lock()
+	c.cfg = cfg
+	c.mu.Unlock()
+}
+
+// Injected reports how many requests were failed by injection.
+func (c *ChaosHandler) Injected() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// ServeHTTP implements http.Handler.
+func (c *ChaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/_chaos" {
+		c.handleControl(w, r)
+		return
+	}
+	isBulk := r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/_bulk")
+	c.mu.Lock()
+	cfg := c.cfg
+	var call uint64
+	if isBulk {
+		call = c.calls
+		c.calls++
+	}
+	inOutage := cfg.OutageTo > cfg.OutageFrom && isBulk &&
+		call >= cfg.OutageFrom && call < cfg.OutageTo
+	// During an outage everything but the control endpoint is down, so
+	// health probes observe the failure too.
+	if !isBulk && cfg.OutageTo > cfg.OutageFrom &&
+		c.calls >= cfg.OutageFrom && c.calls < cfg.OutageTo {
+		inOutage = true
+	}
+	roll := isBulk && !inOutage && cfg.Rate > 0 && c.rng.Float64() < cfg.Rate
+	if inOutage || roll {
+		c.injected++
+	}
+	c.mu.Unlock()
+
+	if inOutage || roll {
+		status := cfg.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		if cfg.RetryAfterSec > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(cfg.RetryAfterSec))
+		}
+		writeJSON(w, status, map[string]string{
+			"error": fmt.Sprintf("chaos: injected failure (bulk call %d)", call),
+		})
+		return
+	}
+	c.next.ServeHTTP(w, r)
+}
+
+func (c *ChaosHandler) handleControl(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		c.mu.Lock()
+		out := map[string]any{"config": c.cfg, "bulk_calls": c.calls, "injected": c.injected}
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var cfg ChaosConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			httpError(w, http.StatusBadRequest, "bad chaos config: %v", err)
+			return
+		}
+		c.SetConfig(cfg)
+		writeJSON(w, http.StatusOK, map[string]any{"config": cfg})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}

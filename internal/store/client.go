@@ -2,34 +2,95 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
+// HTTPError is a non-2xx response from the backend server. It classifies
+// itself for the resilience layer: 429 (throttled) and 5xx (server-side)
+// responses are temporary and worth retrying, while 4xx client errors are
+// permanent. A Retry-After header is surfaced as a backoff hint.
+type HTTPError struct {
+	Method     string
+	Path       string
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("%s %s: status %d: %s", e.Method, e.Path, e.Status, e.Message)
+}
+
+// Temporary classifies the status for retry purposes (the structural
+// interface the resilience package looks for).
+func (e *HTTPError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests ||
+		(e.Status >= 500 && e.Status != http.StatusNotImplemented)
+}
+
+// RetryAfterHint returns the server-provided backoff, if any.
+func (e *HTTPError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// maxErrorBody caps how much of an error response is read: enough for any
+// real error message, bounded against a misbehaving server.
+const maxErrorBody = 8 * 1024
+
 // Client is the HTTP counterpart of *Store: the tracer uses it to ship
 // events to a backend running on a separate server, keeping analysis load
-// off the traced machine (§II-F). It implements Backend.
+// off the traced machine (§II-F). It implements Backend, and additionally
+// resilience.ContextBackend so the retrying shipper can enforce per-attempt
+// deadlines.
 type Client struct {
 	base string
 	hc   *http.Client
+	// reqTimeout bounds each request via context when the caller supplies
+	// none; distinct from the transport-level safety-net timeout.
+	reqTimeout time.Duration
 }
 
 // NewClient creates a client for the server at base (e.g.
-// "http://127.0.0.1:9200").
+// "http://127.0.0.1:9200") with connection-reuse-friendly transport limits
+// and a 10s default per-request timeout.
 func NewClient(base string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 32,
+		MaxConnsPerHost:     64,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		hc: &http.Client{
+			Transport: tr,
+			// Transport-level safety net; per-request deadlines come from
+			// contexts and are usually much tighter.
+			Timeout: 60 * time.Second,
+		},
+		reqTimeout: 10 * time.Second,
 	}
 }
 
+// SetRequestTimeout overrides the default per-request deadline (0 disables
+// the client-imposed deadline; callers may still pass their own contexts).
+func (c *Client) SetRequestTimeout(d time.Duration) { c.reqTimeout = d }
+
 // Bulk ships docs to the named index using the NDJSON bulk API.
 func (c *Client) Bulk(index string, docs []Document) error {
+	return c.BulkContext(context.Background(), index, docs)
+}
+
+// BulkContext is Bulk with a caller-supplied context, letting the resilience
+// shipper bound each delivery attempt.
+func (c *Client) BulkContext(ctx context.Context, index string, docs []Document) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, d := range docs {
@@ -39,7 +100,7 @@ func (c *Client) Bulk(index string, docs []Document) error {
 		}
 	}
 	var out map[string]int
-	return c.do(http.MethodPost, "/"+url.PathEscape(index)+"/_bulk", buf.Bytes(), &out)
+	return c.do(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk", buf.Bytes(), &out)
 }
 
 // Search runs req against the named index.
@@ -49,7 +110,7 @@ func (c *Client) Search(index string, req SearchRequest) (SearchResponse, error)
 		return SearchResponse{}, fmt.Errorf("encode search: %w", err)
 	}
 	var resp SearchResponse
-	err = c.do(http.MethodPost, "/"+url.PathEscape(index)+"/_search", body, &resp)
+	err = c.do(context.Background(), http.MethodPost, "/"+url.PathEscape(index)+"/_search", body, &resp)
 	return resp, err
 }
 
@@ -62,7 +123,7 @@ func (c *Client) Count(index string, q Query) (int, error) {
 	var out struct {
 		Count int `json:"count"`
 	}
-	err = c.do(http.MethodPost, "/"+url.PathEscape(index)+"/_count", body, &out)
+	err = c.do(context.Background(), http.MethodPost, "/"+url.PathEscape(index)+"/_count", body, &out)
 	return out.Count, err
 }
 
@@ -73,23 +134,34 @@ func (c *Client) Correlate(index, session string) (CorrelationResult, error) {
 		path += "?session=" + url.QueryEscape(session)
 	}
 	var res CorrelationResult
-	err := c.do(http.MethodPost, path, nil, &res)
+	err := c.do(context.Background(), http.MethodPost, path, nil, &res)
 	return res, err
 }
 
 // Indices lists index names.
 func (c *Client) Indices() ([]string, error) {
 	var out []string
-	err := c.do(http.MethodGet, "/_cat/indices", nil, &out)
+	err := c.do(context.Background(), http.MethodGet, "/_cat/indices", nil, &out)
 	return out, err
 }
 
-func (c *Client) do(method, path string, body []byte, out any) error {
+// Health probes the server's GET /_health endpoint; nil means the backend
+// is reachable and serving.
+func (c *Client) Health() error {
+	return c.do(context.Background(), http.MethodGet, "/_health", nil, nil)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+	}
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
 	if err != nil {
 		return fmt.Errorf("new request: %w", err)
 	}
@@ -100,13 +172,24 @@ func (c *Client) do(method, path string, body []byte, out any) error {
 	if err != nil {
 		return fmt.Errorf("%s %s: %w", method, path, err)
 	}
-	defer resp.Body.Close()
+	// Fully drain the body on every path so the transport can reuse the
+	// connection instead of tearing it down.
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode/100 != 2 {
 		var e struct {
 			Error string `json:"error"`
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
+		_ = json.NewDecoder(io.LimitReader(resp.Body, maxErrorBody)).Decode(&e)
+		return &HTTPError{
+			Method:     method,
+			Path:       path,
+			Status:     resp.StatusCode,
+			Message:    e.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -115,4 +198,17 @@ func (c *Client) do(method, path string, body []byte, out any) error {
 		return fmt.Errorf("decode response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads a Retry-After header in delay-seconds form (the
+// HTTP-date form is ignored; a backoff hint is best-effort).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -45,6 +45,7 @@ func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
 //	POST   /{index}/_correlate  ?session=NAME
 //	GET    /{index}/_stats      doc and shard counts
 //	GET    /_cat/indices        list index names
+//	GET    /_health             liveness probe for clients and breakers
 //	DELETE /{index}             drop an index
 type Server struct {
 	store *Store
@@ -57,6 +58,7 @@ var _ http.Handler = (*Server)(nil)
 func NewServer(st *Store) *Server {
 	s := &Server{store: st, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/_cat/indices", s.handleCatIndices)
+	s.mux.HandleFunc("/_health", s.handleHealth)
 	s.mux.HandleFunc("/", s.handleIndexOps)
 	return s
 }
@@ -68,6 +70,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCatIndices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.store.Indices())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"indices": len(s.store.Indices()),
+	})
 }
 
 func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
