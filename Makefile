@@ -1,14 +1,25 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench scale chaos
+.PHONY: tier1 build test race vet bench scale chaos lint examples
 
-## tier1: the PR gate — vet, build, tests, the race detector over the
-## concurrency-heavy packages (store sharding, tracer drain workers), and the
-## chaos suite (fault injection on the ship path).
-tier1: vet build test race chaos
+## tier1: the PR gate — vet, build (examples included), the dead-symbol
+## lint, tests, the race detector over the concurrency-heavy packages (store
+## sharding, tracer drain workers), and the chaos suite (fault injection on
+## the ship path).
+tier1: vet build examples lint test race chaos
 
 build:
 	$(GO) build ./...
+
+## examples: compile the runnable examples (not covered by ./... test runs).
+examples:
+	$(GO) build ./examples/...
+
+## lint: dead-symbol analysis — unexported package-level declarations that
+## nothing in their package references (the class of bug behind the dead
+## openSyscalls dictionary in correlate.go).
+lint:
+	$(GO) run ./internal/tools/deadsym .
 
 test:
 	$(GO) test ./...

@@ -678,6 +678,53 @@ func BenchmarkTracerDrainWorkers(b *testing.B) {
 	b.Run("per-ring", func(b *testing.B) { run(b, 0) })
 }
 
+// BenchmarkTelemetryOverhead measures what the self-accounting layer
+// (DESIGN.md §9) costs on the drain+ship hot path: the same pre-filled-ring
+// drain as BenchmarkTracerDrainWorkers, with telemetry disabled (ablation,
+// Config.DisableTelemetry) versus enabled. The acceptance bar is < 5% added
+// cost — recorded in BENCH_store.json next to the shipper-overhead number.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, disabled bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			k := kernel.New(kernel.Config{
+				Clock: clock.NewReal(0),
+				Disk:  kernel.DiskConfig{BytesPerSecond: 1 << 40, PerOpLatency: 0},
+			})
+			tracer, err := core.NewTracer(core.Config{
+				Backend:          store.New(),
+				NumCPU:           4,
+				RingBytes:        64 << 20,
+				BatchSize:        1024,
+				FlushInterval:    time.Hour, // idle the workers; Stop drains
+				DisableTelemetry: disabled,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tracer.Start(k); err != nil {
+				b.Fatal(err)
+			}
+			for t := 0; t < 4; t++ {
+				task := k.NewProcess("w").NewTask(fmt.Sprintf("w%d", t))
+				if err := comparators.RunWorkload(k, task, comparators.WorkloadConfig{}, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			stats, err := tracer.Stop()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Dropped > 0 {
+				b.Fatalf("unexpected drops: %d", stats.Dropped)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, true) })
+	b.Run("enabled", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkCorrelation measures the file-path correlation algorithm.
 func BenchmarkCorrelation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

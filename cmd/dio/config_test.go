@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/dsrhaslab/dio-go/internal/kernel"
 )
@@ -131,7 +132,7 @@ func TestRunWithChaosDemo(t *testing.T) {
 		Workload:   "synthetic",
 		Resilience: &ResilienceFileConfig{BreakerCooldownMillis: 5},
 	}
-	if err := run(fc, false, 0.3); err != nil {
+	if err := run(fc, false, 0.3, time.Millisecond); err != nil {
 		t.Fatalf("run with chaos: %v", err)
 	}
 }
@@ -139,11 +140,11 @@ func TestRunWithChaosDemo(t *testing.T) {
 func TestRunWorkloadsEndToEnd(t *testing.T) {
 	for _, wl := range []string{"fluentbit-buggy", "fluentbit-fixed", "synthetic"} {
 		fc := FileConfig{Session: "t-" + wl, Workload: wl, AutoCorrelate: true}
-		if err := run(fc, false, 0); err != nil {
+		if err := run(fc, false, 0, 0); err != nil {
 			t.Fatalf("run %s: %v", wl, err)
 		}
 	}
-	if err := run(FileConfig{Workload: "nope"}, false, 0); err == nil {
+	if err := run(FileConfig{Workload: "nope"}, false, 0, 0); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

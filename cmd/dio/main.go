@@ -42,6 +42,8 @@ func main() {
 		correlate  = flag.Bool("correlate", true, "run file-path correlation on stop")
 		table      = flag.Bool("table", true, "print the access-pattern table (in-process backend only)")
 
+		telemetryEvery = flag.Duration("telemetry", 0, "print a pipeline self-telemetry report at this interval, plus a final dashboard (0 = off)")
+
 		resilient        = flag.Bool("resilience", false, "wrap the backend in the fault-tolerant ship path (retry, breaker, spill)")
 		maxRetries       = flag.Int("max-retries", 0, "delivery attempts per batch before spilling (0 = default 4; implies -resilience)")
 		spillEvents      = flag.Int("spill-events", 0, "spill-queue capacity in events (0 = default 65536; implies -resilience)")
@@ -81,13 +83,13 @@ func main() {
 		}
 		fc = loaded
 	}
-	if err := run(fc, *table, *chaosRate); err != nil {
+	if err := run(fc, *table, *chaosRate, *telemetryEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "dio:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fc FileConfig, printTable bool, chaosRate float64) error {
+func run(fc FileConfig, printTable bool, chaosRate float64, telemetryEvery time.Duration) error {
 	cfg, inproc, err := fc.TracerConfig()
 	if err != nil {
 		return err
@@ -117,10 +119,39 @@ func run(fc FileConfig, printTable bool, chaosRate float64) error {
 	}
 	fmt.Printf("dio: session %q tracing workload %q\n", tracer.Session(), fc.Workload)
 
+	// -telemetry: periodic self-report while the workload runs ("DIO
+	// observing DIO"). Each tick prints the conservation ledger one-liner;
+	// the full dashboard renders after Stop.
+	stopTelemetry := make(chan struct{})
+	telemetryDone := make(chan struct{})
+	if telemetryEvery > 0 {
+		go func() {
+			defer close(telemetryDone)
+			tick := time.NewTicker(telemetryEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopTelemetry:
+					return
+				case <-tick.C:
+					l := tracer.Ledger()
+					fmt.Printf("telemetry: captured=%d shipped=%d ring-dropped=%d spill-dropped=%d parse-errors=%d pending=%d outstanding=%d\n",
+						l.Captured, l.Shipped, l.RingDropped, l.SpillDropped,
+						l.ParseErrors, l.Pending, l.Outstanding())
+				}
+			}
+		}()
+	} else {
+		close(telemetryDone)
+	}
+
 	if err := runWorkload(k, fc.Workload); err != nil {
+		close(stopTelemetry)
 		tracer.Stop()
 		return fmt.Errorf("workload: %w", err)
 	}
+	close(stopTelemetry)
+	<-telemetryDone
 
 	if faulty != nil {
 		// The injected fault is transient: the backend recovers before
@@ -148,6 +179,18 @@ func run(fc FileConfig, printTable bool, chaosRate float64) error {
 		fmt.Printf("correlation: %d tags resolved, %d events updated, %d unresolved\n",
 			stats.Correlation.TagsResolved, stats.Correlation.EventsUpdated,
 			stats.Correlation.EventsUnresolved)
+	}
+
+	if telemetryEvery > 0 {
+		dash := viz.SelfDashboard(tracer.Telemetry())
+		if err := dash.Render(os.Stdout); err != nil {
+			return err
+		}
+		if ts := viz.SelfFlushSeries(tracer.Telemetry()); ts != nil {
+			if err := ts.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
 	}
 
 	if printTable && inproc != nil {

@@ -42,7 +42,7 @@ func run(addr string, chaos bool) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("diod: analysis backend listening on %s\n", addr)
-	fmt.Println("endpoints: POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health")
+	fmt.Println("endpoints: POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health | GET /metrics")
 	if chaos {
 		fmt.Println("chaos: fault injector enabled (disarmed); control via GET/POST /_chaos")
 	}

@@ -59,6 +59,24 @@ func assertExactAccounting(t *testing.T, st Stats) {
 	}
 }
 
+// assertLedgerBalanced asserts the same invariant through the runtime
+// telemetry snapshot (DESIGN.md §9) instead of the Stop statistics: after
+// Stop the pipeline is quiescent, so the conservation ledger must close with
+// nothing pending.
+func assertLedgerBalanced(t *testing.T, tr *Tracer) {
+	t.Helper()
+	l := tr.Ledger()
+	if l.Captured == 0 {
+		t.Fatal("telemetry ledger captured nothing")
+	}
+	if l.Pending != 0 {
+		t.Fatalf("ledger pending = %d after Stop, want 0", l.Pending)
+	}
+	if !l.Balanced() {
+		t.Fatalf("telemetry ledger does not close: %+v (outstanding %d)", l, l.Outstanding())
+	}
+}
+
 func TestTracerChaosExactAccounting(t *testing.T) {
 	k := newTracedKernel(t)
 	inner := store.New()
@@ -88,6 +106,7 @@ func TestTracerChaosExactAccounting(t *testing.T) {
 	st, _ := tr.Stop() // a non-nil error only reports the transient failures
 
 	assertExactAccounting(t, st)
+	assertLedgerBalanced(t, tr)
 	if st.SpillDropped != 0 {
 		t.Fatalf("events dropped despite recovery: %+v", st.Resilience)
 	}
@@ -152,6 +171,7 @@ func TestTracerChaosOverHTTP(t *testing.T) {
 	stats, _ := tr.Stop()
 
 	assertExactAccounting(t, stats)
+	assertLedgerBalanced(t, tr)
 	if stats.SpillDropped != 0 {
 		t.Fatalf("events dropped despite recovery: %+v", stats.Resilience)
 	}
@@ -187,6 +207,7 @@ func TestTracerChaosPermanentOutageCountsDrops(t *testing.T) {
 		t.Fatal("Stop must report the delivery failure")
 	}
 	assertExactAccounting(t, st)
+	assertLedgerBalanced(t, tr)
 	if st.Shipped != 0 {
 		t.Fatalf("shipped %d events through a dead backend", st.Shipped)
 	}

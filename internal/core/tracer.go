@@ -17,8 +17,10 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/ebpf"
 	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/metrics"
 	"github.com/dsrhaslab/dio-go/internal/resilience"
 	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
 // Config configures one tracing session.
@@ -60,6 +62,16 @@ type Config struct {
 	// PerEventCost optionally charges a synthetic kernel-side cost per
 	// traced event (used by the overhead experiments of Table II).
 	PerEventCost func()
+	// Telemetry is the self-accounting registry every pipeline stage
+	// records into (ring produce/drop, drain/parse/flush latency, shipper
+	// ladder activity). Nil creates a private registry per tracer; pass a
+	// shared one to merge the tracer's metrics into a server's /metrics
+	// endpoint. See DESIGN.md §9.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry turns self-accounting off entirely — the ablation
+	// switch for BenchmarkTelemetryOverhead, in the same spirit as
+	// Index.SetLegacyScan and DrainWorkers=1.
+	DisableTelemetry bool
 }
 
 // WorkerStats summarizes one drain worker's share of the pipeline.
@@ -154,6 +166,21 @@ type Tracer struct {
 	workers   []*drainWorker
 	batchPool sync.Pool // *[]store.Document, cap BatchSize
 	errs      shipErrorList
+	tm        coreTelemetry
+}
+
+// coreTelemetry holds the user-space stage's shared instruments. All fields
+// are nil-safe no-ops when telemetry is disabled, so the drain loop guards
+// only its time.Now() calls on the enabled flag.
+type coreTelemetry struct {
+	enabled     bool
+	parsed      *telemetry.Counter
+	parseErrors *telemetry.Counter
+	shipped     *telemetry.Counter
+	shipErrors  *telemetry.Counter
+	flushes     *telemetry.Counter
+	flushNS     *telemetry.Histogram
+	flushWindow *metrics.WindowedRecorder
 }
 
 // drainWorker is one user-space consumer goroutine: it owns a subset of the
@@ -169,6 +196,15 @@ type drainWorker struct {
 	requeued    atomic.Uint64
 	shipErrors  atomic.Uint64
 	flushes     atomic.Uint64
+
+	// batchLen mirrors len(batch) at batch granularity so the telemetry
+	// batch-pending gauge can observe drained-but-unflushed events without
+	// sharing the worker-local batch slice.
+	batchLen atomic.Int64
+
+	// Per-worker latency histograms (nil when telemetry is disabled).
+	tmDrainNS *telemetry.Histogram
+	tmParseNS *telemetry.Histogram
 }
 
 // maxShipErrors bounds how many distinct ship errors are retained for Stop's
@@ -248,9 +284,31 @@ func NewTracer(cfg Config) (*Tracer, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 10 * time.Millisecond
 	}
+	if !cfg.DisableTelemetry && cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.DisableTelemetry {
+		cfg.Telemetry = nil
+	}
 	t := &Tracer{cfg: cfg, backend: cfg.Backend}
+	if tm := cfg.Telemetry; tm != nil {
+		t.tm = coreTelemetry{
+			enabled:     true,
+			parsed:      tm.Counter(telemetry.MetricParsed, "records decoded by the drain workers"),
+			parseErrors: tm.Counter(telemetry.MetricParseErrors, "corrupt records dropped by the parsers"),
+			shipped:     tm.Counter(telemetry.MetricShipped, "events acked synchronously by the backend"),
+			shipErrors:  tm.Counter(telemetry.MetricShipErrors, "failed bulk requests"),
+			flushes:     tm.Counter(telemetry.MetricFlushes, "bulk requests issued"),
+			flushNS:     tm.Histogram(telemetry.MetricFlushNS, "one bulk ship call", nil),
+			flushWindow: tm.Window(telemetry.MetricFlushWindow, "windowed flush latency", int64(100*time.Millisecond)),
+		}
+	}
 	if cfg.Resilience != nil {
-		t.shipper = resilience.NewShipper(cfg.Backend, *cfg.Resilience)
+		rcfg := *cfg.Resilience
+		if rcfg.Telemetry == nil {
+			rcfg.Telemetry = cfg.Telemetry
+		}
+		t.shipper = resilience.NewShipper(cfg.Backend, rcfg)
 		t.backend = t.shipper
 	}
 	return t, nil
@@ -279,6 +337,7 @@ func (t *Tracer) Start(k *kernel.Kernel) error {
 		NumCPU:       t.cfg.NumCPU,
 		RingBytes:    t.cfg.RingBytes,
 		PerEventCost: t.cfg.PerEventCost,
+		Telemetry:    t.cfg.Telemetry,
 	})
 	t.prog.Attach(k)
 	t.stop = make(chan struct{})
@@ -300,7 +359,26 @@ func (t *Tracer) Start(k *kernel.Kernel) error {
 		for r := i; r < len(rings); r += n {
 			w.rings = append(w.rings, rings[r])
 		}
+		if tm := t.cfg.Telemetry; tm != nil {
+			w.tmDrainNS = tm.Histogram(
+				fmt.Sprintf("%s{worker=\"%d\"}", telemetry.MetricDrainNS, i),
+				"one drain cycle (rings to batch)", nil)
+			w.tmParseNS = tm.Histogram(
+				fmt.Sprintf("%s{worker=\"%d\"}", telemetry.MetricParseNS, i),
+				"decoding one raw read batch", nil)
+		}
 		t.workers[i] = w
+	}
+	if tm := t.cfg.Telemetry; tm != nil {
+		workers := t.workers
+		tm.GaugeFunc(telemetry.MetricBatchPending, "events drained but not yet flushed",
+			func() float64 {
+				var n int64
+				for _, w := range workers {
+					n += w.batchLen.Load()
+				}
+				return float64(n)
+			})
 	}
 	t.wg.Add(len(t.workers))
 	for _, w := range t.workers {
@@ -354,6 +432,28 @@ func (t *Tracer) Stop() (Stats, error) {
 
 // Stats returns a snapshot of the session statistics.
 func (t *Tracer) Stats() Stats { return t.stats() }
+
+// TelemetryRegistry returns the tracer's self-accounting registry (nil when
+// DisableTelemetry is set). Attach it to a store.Server with
+// ExposeTelemetry to surface the tracer's metrics on GET /metrics alongside
+// the backend's own.
+func (t *Tracer) TelemetryRegistry() *telemetry.Registry { return t.cfg.Telemetry }
+
+// Telemetry snapshots the pipeline's self-accounting: counters, gauges,
+// histograms, and windowed latency series from every stage the tracer owns
+// (ebpf rings, drain workers, and the resilience ladder when configured).
+// Safe to call while tracing and after Stop.
+func (t *Tracer) Telemetry() telemetry.Snapshot { return t.cfg.Telemetry.Snapshot() }
+
+// Ledger derives the conservation ledger from the current telemetry
+// snapshot. After Stop it must balance exactly:
+//
+//	Captured == Shipped + RingDropped + SpillDropped + ParseErrors
+//
+// Live, in-flight events appear in Ledger.Pending instead of vanishing.
+func (t *Tracer) Ledger() telemetry.Ledger {
+	return telemetry.LedgerFromSnapshot(t.Telemetry())
+}
 
 func (t *Tracer) stats() Stats {
 	t.mu.Lock()
@@ -418,49 +518,85 @@ func (t *Tracer) drain(w *drainWorker) {
 	batch := (*batchp)[:0]
 	var raws [][]byte
 
+	tmOn := t.tm.enabled
+
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
 		w.flushes.Add(1)
+		t.tm.flushes.Inc()
+		var start time.Time
+		if tmOn {
+			start = time.Now()
+		}
 		err := t.backend.Bulk(t.cfg.Index, batch)
+		if tmOn {
+			d := float64(time.Since(start))
+			t.tm.flushNS.Observe(d)
+			t.tm.flushWindow.Record(start.UnixNano(), d)
+		}
 		switch {
 		case err == nil:
 			w.shipped.Add(uint64(len(batch)))
+			t.tm.shipped.Add(uint64(len(batch)))
 		case errors.Is(err, resilience.ErrSpilled):
 			// The resilience layer parked the batch and owns its accounting
 			// from here (replay or counted drop).
 			w.requeued.Add(uint64(len(batch)))
 		default:
 			w.shipErrors.Add(1)
+			t.tm.shipErrors.Inc()
 			t.errs.add(fmt.Errorf("bulk ship: %w", err))
 		}
 		batch = batch[:0]
+		w.batchLen.Store(0)
 	}
 
 	drainRings := func() {
+		var drainStart time.Time
+		if tmOn {
+			drainStart = time.Now()
+		}
 		for _, ring := range w.rings {
 			for {
 				raws = ring.ReadBatchInto(raws[:0], t.cfg.BatchSize)
 				if len(raws) == 0 {
 					break
 				}
+				var parseStart time.Time
+				if tmOn {
+					parseStart = time.Now()
+				}
+				parsed, parseErrs := 0, 0
 				for _, raw := range raws {
 					rec, err := ebpf.Unmarshal(raw)
 					if err != nil {
 						// Corrupt record: nothing to recover, but the loss
 						// is counted so the accounting stays exact.
 						w.parseErrors.Add(1)
+						parseErrs++
 						continue
 					}
 					w.parsed.Add(1)
+					parsed++
 					ev := t.recordToEvent(&rec)
 					batch = append(batch, store.EventToDoc(&ev))
 					if len(batch) >= t.cfg.BatchSize {
+						w.batchLen.Store(int64(len(batch)))
 						flush()
 					}
 				}
+				if tmOn {
+					w.tmParseNS.Observe(float64(time.Since(parseStart)))
+					t.tm.parsed.Add(uint64(parsed))
+					t.tm.parseErrors.Add(uint64(parseErrs))
+					w.batchLen.Store(int64(len(batch)))
+				}
 			}
+		}
+		if tmOn {
+			w.tmDrainNS.Observe(float64(time.Since(drainStart)))
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
 // ProgramConfig parametrizes the kernel-side tracing program.
@@ -27,6 +28,10 @@ type ProgramConfig struct {
 	// pairing to user space. Exists for the ablation benchmark of the
 	// paper's design choice.
 	EmitUnpaired bool
+	// Telemetry, when non-nil, receives the kernel-stage self-accounting
+	// (capture/filter counters, ring produce/drop, ring occupancy). Nil
+	// disables recording at the cost of one branch per event.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultRingBytes is the per-CPU ring capacity used when unset (scaled down
@@ -51,6 +56,14 @@ type Program struct {
 	captured atomic.Uint64 // records written to a ring (pre-drop)
 	filtered atomic.Uint64 // events rejected by kernel-side filters
 
+	// Telemetry counters (nil-safe no-ops when ProgramConfig.Telemetry is
+	// unset). Produce/drop are recorded at the ring boundary so the ledger's
+	// Captured == Produced + RingDropped holds by construction.
+	tmCaptured     *telemetry.Counter
+	tmFiltered     *telemetry.Counter
+	tmRingProduced *telemetry.Counter
+	tmRingDropped  *telemetry.Counter
+
 	detaches []func()
 }
 
@@ -62,13 +75,23 @@ func NewProgram(cfg ProgramConfig) *Program {
 	if cfg.RingBytes <= 0 {
 		cfg.RingBytes = DefaultRingBytes
 	}
-	return &Program{
+	p := &Program{
 		cfg:     cfg,
 		filter:  cfg.Filter.compile(),
 		rings:   NewPerCPU(cfg.NumCPU, cfg.RingBytes),
 		fdMap:   newFDInterestMap(),
 		pending: make(map[int]int64),
 	}
+	if tm := cfg.Telemetry; tm != nil {
+		p.tmCaptured = tm.Counter(telemetry.MetricCaptured, "events accepted by kernel-side filters")
+		p.tmFiltered = tm.Counter(telemetry.MetricFiltered, "events rejected in kernel space")
+		p.tmRingProduced = tm.Counter(telemetry.MetricRingProduced, "records written to per-CPU rings")
+		p.tmRingDropped = tm.Counter(telemetry.MetricRingDropped, "records lost to full rings")
+		rings := p.rings
+		tm.GaugeFunc(telemetry.MetricRingPending, "records currently queued in rings",
+			func() float64 { return float64(rings.Pending()) })
+	}
+	return p
 }
 
 // Rings exposes the per-CPU buffers to the user-space consumer.
@@ -130,7 +153,12 @@ func (p *Program) handleEnter(e *kernel.Enter) {
 			AttrName: truncate(e.Args.AttrName, MaxPathLen),
 		}
 		p.captured.Add(1)
-		p.rings.Write(e.TID, rec.Marshal())
+		p.tmCaptured.Inc()
+		if p.rings.Write(e.TID, rec.Marshal()) {
+			p.tmRingProduced.Inc()
+		} else {
+			p.tmRingDropped.Inc()
+		}
 	} else {
 		p.mu.Lock()
 		p.pending[e.TID] = e.TimeNS
@@ -165,13 +193,19 @@ func (p *Program) handleExit(e *kernel.Exit) {
 
 	if !p.passPathFilter(e) {
 		p.filtered.Add(1)
+		p.tmFiltered.Inc()
 		return
 	}
 
 	rec := RecordFromExit(e)
 	rec.EnterNS = enterNS
 	p.captured.Add(1)
-	p.rings.Write(e.TID, rec.Marshal())
+	p.tmCaptured.Inc()
+	if p.rings.Write(e.TID, rec.Marshal()) {
+		p.tmRingProduced.Inc()
+	} else {
+		p.tmRingDropped.Inc()
+	}
 	if p.cfg.PerEventCost != nil {
 		p.cfg.PerEventCost()
 	}

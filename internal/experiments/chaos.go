@@ -9,6 +9,7 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/kernel"
 	"github.com/dsrhaslab/dio-go/internal/resilience"
 	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
 	"github.com/dsrhaslab/dio-go/internal/viz"
 )
 
@@ -46,9 +47,15 @@ type ChaosResult struct {
 	Stats    core.Stats
 	Injected uint64
 	// Accounted reports the invariant Shipped + Dropped + SpillDropped +
-	// ParseErrors == Captured.
+	// ParseErrors == Captured, computed from the Stop statistics.
 	Accounted bool
-	Table     *viz.Table
+	// Ledger is the same conservation accounting derived independently from
+	// the live telemetry snapshot (DESIGN.md §9) — the runtime-readable path.
+	Ledger telemetry.Ledger
+	// LedgerBalanced reports whether the telemetry-derived ledger closes at
+	// quiescence, which must agree with Accounted.
+	LedgerBalanced bool
+	Table          *viz.Table
 }
 
 // RunChaos traces an event storm against a backend that fails ~ErrorRate of
@@ -116,10 +123,13 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	faulty.SetErrorRate(0)
 	stats, _ := tracer.Stop()
 
+	ledger := tracer.Ledger()
 	res := ChaosResult{
-		Stats:     stats,
-		Injected:  faulty.Injected(),
-		Accounted: stats.Shipped+stats.Dropped+stats.SpillDropped+stats.ParseErrors == stats.Captured,
+		Stats:          stats,
+		Injected:       faulty.Injected(),
+		Accounted:      stats.Shipped+stats.Dropped+stats.SpillDropped+stats.ParseErrors == stats.Captured,
+		Ledger:         ledger,
+		LedgerBalanced: ledger.Balanced(),
 	}
 	breakerState := "off"
 	if stats.Resilience != nil {
@@ -140,6 +150,8 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			{"breaker opens", fmt.Sprintf("%d", stats.BreakerOpens)},
 			{"breaker state", breakerState},
 			{"exact accounting", fmt.Sprintf("%v", res.Accounted)},
+			{"telemetry ledger balanced", fmt.Sprintf("%v", res.LedgerBalanced)},
+			{"telemetry ledger pending", fmt.Sprintf("%d", ledger.Pending)},
 		},
 	}
 	return res, nil

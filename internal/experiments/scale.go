@@ -38,8 +38,8 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 // ScalePoint is one measurement: the legacy (serial full-scan) strategy
 // against the sharded parallel execution.
 type ScalePoint struct {
-	Name     string
-	LegacyNS int64
+	Name      string
+	LegacyNS  int64
 	ShardedNS int64
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"github.com/dsrhaslab/dio-go/internal/clock"
 	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
 // Config tunes the fault-tolerant ship path.
@@ -41,6 +42,10 @@ type Config struct {
 	// Seed seeds the jitter source (0 selects a fixed default; jitter only
 	// needs to decorrelate concurrent workers, not be unpredictable).
 	Seed int64
+	// Telemetry, when non-nil, receives the ship-path self-accounting
+	// (attempts, retries, backoff delays, spill depth, breaker state). The
+	// tracer wires its own registry through here automatically.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +146,14 @@ type Shipper struct {
 	requeued     atomic.Uint64
 	replayed     atomic.Uint64
 	spillDropped atomic.Uint64
+
+	// Telemetry counters/histograms (nil-safe no-ops when unset).
+	tmAttempts     *telemetry.Counter
+	tmRetries      *telemetry.Counter
+	tmBackoffNS    *telemetry.Histogram
+	tmRequeued     *telemetry.Counter
+	tmReplayed     *telemetry.Counter
+	tmSpillDropped *telemetry.Counter
 }
 
 var _ store.Backend = (*Shipper)(nil)
@@ -148,13 +161,30 @@ var _ store.Backend = (*Shipper)(nil)
 // NewShipper wraps backend with cfg's resilience ladder.
 func NewShipper(backend store.Backend, cfg Config) *Shipper {
 	cfg = cfg.withDefaults()
-	return &Shipper{
+	s := &Shipper{
 		backend: backend,
 		cfg:     cfg,
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 		spill:   newSpillQueue(cfg.SpillEvents),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if tm := cfg.Telemetry; tm != nil {
+		s.tmAttempts = tm.Counter(telemetry.MetricShipAttempts, "delivery attempts, first tries included")
+		s.tmRetries = tm.Counter(telemetry.MetricRetries, "ship attempts beyond each batch's first")
+		s.tmBackoffNS = tm.Histogram(telemetry.MetricBackoffNS, "backoff delays slept before retries", nil)
+		s.tmRequeued = tm.Counter(telemetry.MetricRequeued, "events parked in the spill queue")
+		s.tmReplayed = tm.Counter(telemetry.MetricReplayed, "spilled events later delivered")
+		s.tmSpillDropped = tm.Counter(telemetry.MetricSpillDropped, "events dropped with accounting")
+		spill, breaker := s.spill, s.breaker
+		tm.GaugeFunc(telemetry.MetricSpillPending, "events currently parked in the spill queue",
+			func() float64 { return float64(spill.size()) })
+		tm.GaugeFunc(telemetry.MetricBreakerState, "circuit breaker position (0 closed, 1 open, 2 half-open)",
+			func() float64 { return float64(breaker.State()) })
+		breaker.setTelemetry(
+			tm.Counter(telemetry.MetricBreakerOpens, "circuit breaker trips"),
+			tm.Counter(telemetry.MetricBreakerCloses, "circuit breaker recoveries"))
+	}
+	return s
 }
 
 // Bulk ships docs with retries; on exhaustion the batch spills (ErrSpilled)
@@ -176,17 +206,35 @@ func (s *Shipper) Bulk(index string, docs []store.Document) error {
 	}
 	if IsRetryable(err) {
 		queued, evicted := s.spill.push(index, docs)
-		s.spillDropped.Add(uint64(evicted))
+		s.countSpillDropped(uint64(evicted))
 		if !queued {
-			s.spillDropped.Add(uint64(len(docs)))
+			s.countSpillDropped(uint64(len(docs)))
 			return fmt.Errorf("resilience: batch of %d events exceeds spill capacity, dropped: %w", len(docs), err)
 		}
 		s.requeued.Add(uint64(len(docs)))
+		s.tmRequeued.Add(uint64(len(docs)))
 		return fmt.Errorf("%w: %v", ErrSpilled, err)
 	}
 	// Permanent failure: the final rung of the ladder is a counted drop.
-	s.spillDropped.Add(uint64(len(docs)))
+	s.countSpillDropped(uint64(len(docs)))
 	return err
+}
+
+// countSpillDropped records an accounted drop in both the Stats counter and
+// the telemetry registry.
+func (s *Shipper) countSpillDropped(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.spillDropped.Add(n)
+	s.tmSpillDropped.Add(n)
+}
+
+// countReplayed records a successful replay in both accounting surfaces.
+func (s *Shipper) countReplayed(n uint64) {
+	s.replayed.Add(n)
+	s.shipped.Add(n)
+	s.tmReplayed.Add(n)
 }
 
 // ship runs the retry loop for one batch. bypassBreaker is the final flush's
@@ -197,7 +245,10 @@ func (s *Shipper) ship(index string, docs []store.Document, bypassBreaker bool) 
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			s.retries.Add(1)
-			s.cfg.Clock.Sleep(s.backoffDelay(attempt, lastErr))
+			s.tmRetries.Inc()
+			d := s.backoffDelay(attempt, lastErr)
+			s.tmBackoffNS.Observe(float64(d))
+			s.cfg.Clock.Sleep(d)
 		}
 		if !bypassBreaker && !s.breaker.Allow() {
 			if lastErr != nil {
@@ -222,6 +273,7 @@ func (s *Shipper) ship(index string, docs []store.Document, bypassBreaker bool) 
 // attempt makes one delivery attempt, with a context deadline when the
 // backend supports it.
 func (s *Shipper) attempt(index string, docs []store.Document) error {
+	s.tmAttempts.Inc()
 	if cb, ok := s.backend.(ContextBackend); ok {
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AttemptTimeout)
 		defer cancel()
@@ -262,8 +314,7 @@ func (s *Shipper) tryReplay() {
 		}
 		err := s.ship(b.index, b.docs, false)
 		if err == nil {
-			s.replayed.Add(uint64(len(b.docs)))
-			s.shipped.Add(uint64(len(b.docs)))
+			s.countReplayed(uint64(len(b.docs)))
 			continue
 		}
 		if IsRetryable(err) {
@@ -273,7 +324,7 @@ func (s *Shipper) tryReplay() {
 		}
 		// The backend permanently rejected this batch: count the drop and
 		// keep replaying the rest.
-		s.spillDropped.Add(uint64(len(b.docs)))
+		s.countSpillDropped(uint64(len(b.docs)))
 	}
 }
 
@@ -293,11 +344,10 @@ func (s *Shipper) Flush() error {
 		}
 		err := s.ship(b.index, b.docs, true)
 		if err == nil {
-			s.replayed.Add(uint64(len(b.docs)))
-			s.shipped.Add(uint64(len(b.docs)))
+			s.countReplayed(uint64(len(b.docs)))
 			continue
 		}
-		s.spillDropped.Add(uint64(len(b.docs)))
+		s.countSpillDropped(uint64(len(b.docs)))
 		if len(errs) < 4 {
 			errs = append(errs, fmt.Errorf("flush %d spilled events: %w", len(b.docs), err))
 		}

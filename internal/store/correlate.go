@@ -6,6 +6,10 @@ import "sync/atomic"
 // algorithm (§II-C): how many file tags resolved to paths, and how many
 // events remained without a resolvable path (the §III-D coverage metric:
 // DIO leaves at most ~5% of events unresolved, versus 45% for Sysdig).
+//
+// The accounting closes: EventsUpdated + EventsUnresolved +
+// EventsAlreadyResolved == EventsWithTag. Every tagged event lands in
+// exactly one of the three outcome counters.
 type CorrelationResult struct {
 	// TagsResolved is the number of distinct file tags that mapped to a path.
 	TagsResolved int `json:"tags_resolved"`
@@ -15,6 +19,10 @@ type CorrelationResult struct {
 	// path could not be determined (their open event was dropped or not
 	// captured).
 	EventsUnresolved int `json:"events_unresolved"`
+	// EventsAlreadyResolved is the number of tagged events that entered the
+	// pass with a file_path already set (typically filled by an earlier
+	// run — correlation is idempotent).
+	EventsAlreadyResolved int `json:"events_already_resolved"`
 	// EventsWithTag is the total number of events carrying a file tag.
 	EventsWithTag int `json:"events_with_tag"`
 }
@@ -28,20 +36,73 @@ func (r CorrelationResult) UnresolvedFraction() float64 {
 }
 
 // openSyscalls are the syscalls that carry both a path argument and a file
-// tag, anchoring the tag→path mapping.
+// tag, anchoring the tag→path mapping. They are the primary anchor source;
+// path-carrying non-open syscalls (stat, unlink, ...) are consulted only as
+// a second-pass fallback for tags no open variant resolved.
 var openSyscalls = []any{"open", "openat", "creat"}
+
+// anchor is one tag→path candidate with the evidence needed to pick a
+// deterministic winner.
+type anchor struct {
+	path    string
+	enterNS float64
+	ok      bool // enterNS was present and numeric
+}
+
+// better reports whether candidate c should replace cur: the earliest
+// FieldTimeEnter anchor wins, with the lexicographically smaller path as the
+// tie-break, so the dictionary is independent of shard-merge order.
+// Anchors without a usable timestamp lose to any timestamped anchor.
+func (c anchor) better(cur anchor) bool {
+	switch {
+	case c.ok != cur.ok:
+		return c.ok
+	case c.ok && c.enterNS != cur.enterNS:
+		return c.enterNS < cur.enterNS
+	default:
+		return c.path < cur.path
+	}
+}
+
+// harvestAnchors folds one anchor search's hits into the dictionary,
+// keeping the winning anchor per tag under the deterministic order above.
+func harvestAnchors(dict map[string]anchor, hits []Document) {
+	for _, d := range hits {
+		tag := str(d[FieldFileTag])
+		path := str(d[FieldKernelPath])
+		if tag == "" || path == "" {
+			continue
+		}
+		enterNS, ok := numeric(d[FieldTimeEnter])
+		c := anchor{path: path, enterNS: enterNS, ok: ok}
+		if cur, seen := dict[tag]; !seen || c.better(cur) {
+			dict[tag] = c
+		}
+	}
+}
 
 // CorrelateFilePaths implements DIO's custom correlation algorithm using
 // the store's query and update features:
 //
-//  1. Search events whose syscall is an open variant and that carry both a
-//     file tag and a kernel-resolved path; build the tag→path dictionary.
-//  2. Update-by-query every event that carries a file tag but no file_path,
+//  1. Search open-variant events (open/openat/creat) that carry both a file
+//     tag and a kernel-resolved path; build the tag→path dictionary. Per
+//     tag the anchor with the earliest FieldTimeEnter wins (path string as
+//     tie-break), so the dictionary is deterministic under any shard count
+//     and merge order — the inode-reuse shape of the Fluent Bit case study
+//     (§III-B) depends on the first open of a tag naming it.
+//  2. Fallback: tags no open variant anchored (the open was dropped or
+//     pre-dates the session) are resolved from any other path-carrying
+//     tagged event (stat, unlink, ...), under the same earliest-wins rule.
+//  3. Update-by-query every event that carries a file tag but no file_path,
 //     setting file_path from the dictionary.
 //
 // It can run while the tracer is still indexing (near-real-time pipeline)
 // or on demand after the session completes (§II-E).
 func CorrelateFilePaths(ix *Index, session string) CorrelationResult {
+	return correlateFilePaths(ix, session, nil)
+}
+
+func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) CorrelationResult {
 	var res CorrelationResult
 
 	sessionFilter := func() []Query {
@@ -51,58 +112,85 @@ func CorrelateFilePaths(ix *Index, session string) CorrelationResult {
 		return []Query{Term(FieldSession, session)}
 	}
 
-	// Step 1: harvest tag→path anchors from open-like events. Path-based
-	// non-open syscalls (stat, unlink, ...) also carry kernel paths and
-	// strengthen the dictionary.
-	anchors := ix.Search(SearchRequest{
+	// Step 1: harvest tag→path anchors from open-like events only — the
+	// syscalls whose path argument names the file the tag identifies.
+	dict := make(map[string]anchor)
+	openAnchors := ix.Search(SearchRequest{
 		Query: Query{Bool: &BoolQuery{
 			Must: append(sessionFilter(),
+				Terms(FieldSyscall, openSyscalls...),
 				Exists(FieldFileTag),
 				Exists(FieldKernelPath),
 			),
 		}},
 		Size: -1,
 	})
-	tagToPath := make(map[string]string)
-	for _, d := range anchors.Hits {
-		tag := str(d[FieldFileTag])
-		if tag == "" {
-			continue
+	harvestAnchors(dict, openAnchors.Hits)
+
+	// Step 2 (fallback): for tags without an open anchor, any path-carrying
+	// tagged event still names the file; weaker evidence, so it never
+	// overrides an open anchor.
+	fallback := ix.Search(SearchRequest{
+		Query: Query{Bool: &BoolQuery{
+			Must: append(sessionFilter(),
+				Exists(FieldFileTag),
+				Exists(FieldKernelPath),
+			),
+			MustNot: []Query{Terms(FieldSyscall, openSyscalls...)},
+		}},
+		Size: -1,
+	})
+	fallbackDict := make(map[string]anchor)
+	harvestAnchors(fallbackDict, fallback.Hits)
+	for tag, c := range fallbackDict {
+		if _, seen := dict[tag]; !seen {
+			dict[tag] = c
 		}
-		if _, seen := tagToPath[tag]; !seen {
-			tagToPath[tag] = str(d[FieldKernelPath])
-		}
+	}
+
+	tagToPath := make(map[string]string, len(dict))
+	for tag, c := range dict {
+		tagToPath[tag] = c.path
 	}
 	res.TagsResolved = len(tagToPath)
 
-	// Step 2: rewrite tagged events without a path. UpdateByQuery fans out
+	// Step 3: rewrite tagged events without a path. UpdateByQuery fans out
 	// across index shards, so the closure runs concurrently; the counters
 	// are shared and must be updated atomically. tagToPath is read-only here.
 	q := Query{Bool: &BoolQuery{
 		Must: append(sessionFilter(), Exists(FieldFileTag)),
 	}}
-	var withTag, updated, unresolved atomic.Int64
-	ix.UpdateByQuery(q, func(d Document) bool {
-		withTag.Add(1)
-		if str(d[FieldFilePath]) != "" {
-			return false
-		}
-		if kp := str(d[FieldKernelPath]); kp != "" {
-			d[FieldFilePath] = kp
+	var withTag, updated, unresolved, already atomic.Int64
+	updateByQuery := func() {
+		ix.UpdateByQuery(q, func(d Document) bool {
+			withTag.Add(1)
+			if str(d[FieldFilePath]) != "" {
+				already.Add(1)
+				return false
+			}
+			if kp := str(d[FieldKernelPath]); kp != "" {
+				d[FieldFilePath] = kp
+				updated.Add(1)
+				return true
+			}
+			path, ok := tagToPath[str(d[FieldFileTag])]
+			if !ok {
+				unresolved.Add(1)
+				return false
+			}
+			d[FieldFilePath] = path
 			updated.Add(1)
 			return true
-		}
-		path, ok := tagToPath[str(d[FieldFileTag])]
-		if !ok {
-			unresolved.Add(1)
-			return false
-		}
-		d[FieldFilePath] = path
-		updated.Add(1)
-		return true
-	})
+		})
+	}
+	if tm != nil {
+		observeNS(tm.updateNS, updateByQuery)
+	} else {
+		updateByQuery()
+	}
 	res.EventsWithTag = int(withTag.Load())
 	res.EventsUpdated = int(updated.Load())
 	res.EventsUnresolved = int(unresolved.Load())
+	res.EventsAlreadyResolved = int(already.Load())
 	return res
 }

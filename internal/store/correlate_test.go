@@ -1,0 +1,187 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// conflictingAnchors builds open events for one tag with distinct paths and
+// enter timestamps. The earliest open names the file; later opens model
+// inode reuse after the original is deleted (§III-B).
+func conflictingAnchors(tag string) []Document {
+	return []Document{
+		{"session": "s", "syscall": "openat", "file_tag": tag, "kernel_path": "/files/late", "time_enter_ns": int64(900)},
+		{"session": "s", "syscall": "open", "file_tag": tag, "kernel_path": "/files/first", "time_enter_ns": int64(100)},
+		{"session": "s", "syscall": "creat", "file_tag": tag, "kernel_path": "/files/mid", "time_enter_ns": int64(500)},
+	}
+}
+
+// TestCorrelateDeterministicAnchor checks satellite 2: with several open
+// anchors for one tag, the earliest FieldTimeEnter wins regardless of
+// insertion order or shard count, so two correlation runs over the same
+// events always build the same dictionary.
+func TestCorrelateDeterministicAnchor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, shards := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 8; trial++ {
+			ix := NewIndexWithShards("det", shards)
+			docs := conflictingAnchors("1 42 7")
+			// A tagged event with no path, to be resolved from the dictionary.
+			docs = append(docs, Document{"session": "s", "syscall": "read", "file_tag": "1 42 7"})
+			rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+			ix.AddBulk(docs)
+
+			res := CorrelateFilePaths(ix, "s")
+			if res.TagsResolved != 1 {
+				t.Fatalf("shards=%d trial=%d: tags = %d", shards, trial, res.TagsResolved)
+			}
+			resp := ix.Search(SearchRequest{Query: Term(FieldSyscall, "read")})
+			if got := resp.Hits[0][FieldFilePath]; got != "/files/first" {
+				t.Fatalf("shards=%d trial=%d: read resolved to %v, want earliest anchor /files/first",
+					shards, trial, got)
+			}
+		}
+	}
+}
+
+// TestCorrelateAnchorTieBreak checks the secondary ordering: equal enter
+// timestamps fall back to the lexicographically smaller path, and anchors
+// without a timestamp lose to any timestamped anchor.
+func TestCorrelateAnchorTieBreak(t *testing.T) {
+	ix := NewIndex("tie")
+	ix.AddBulk([]Document{
+		{"session": "s", "syscall": "open", "file_tag": "t", "kernel_path": "/b", "time_enter_ns": int64(100)},
+		{"session": "s", "syscall": "open", "file_tag": "t", "kernel_path": "/a", "time_enter_ns": int64(100)},
+		{"session": "s", "syscall": "open", "file_tag": "t", "kernel_path": "/z"}, // no timestamp
+		{"session": "s", "syscall": "write", "file_tag": "t"},
+	})
+	CorrelateFilePaths(ix, "s")
+	resp := ix.Search(SearchRequest{Query: Term(FieldSyscall, "write")})
+	if got := resp.Hits[0][FieldFilePath]; got != "/a" {
+		t.Fatalf("tie broke to %v, want /a", got)
+	}
+}
+
+// TestCorrelateFallbackAnchors checks satellite 1's second pass: a tag whose
+// open was never captured still resolves when a non-open path-carrying event
+// (stat, unlink) names it — but such an event never overrides an open anchor.
+func TestCorrelateFallbackAnchors(t *testing.T) {
+	ix := NewIndex("fb")
+	ix.AddBulk([]Document{
+		// Tag "lost-open": only a stat carries the path.
+		{"session": "s", "syscall": "stat", "file_tag": "lost-open", "kernel_path": "/via/stat", "time_enter_ns": int64(50)},
+		{"session": "s", "syscall": "read", "file_tag": "lost-open"},
+		// Tag "both": the stat is earlier, but the open anchor must win.
+		{"session": "s", "syscall": "stat", "file_tag": "both", "kernel_path": "/wrong", "time_enter_ns": int64(10)},
+		{"session": "s", "syscall": "openat", "file_tag": "both", "kernel_path": "/right", "time_enter_ns": int64(200)},
+		{"session": "s", "syscall": "write", "file_tag": "both"},
+	})
+	res := CorrelateFilePaths(ix, "s")
+	if res.TagsResolved != 2 {
+		t.Fatalf("tags = %d, want 2", res.TagsResolved)
+	}
+	read := ix.Search(SearchRequest{Query: Term(FieldSyscall, "read")})
+	if got := read.Hits[0][FieldFilePath]; got != "/via/stat" {
+		t.Fatalf("fallback resolved to %v, want /via/stat", got)
+	}
+	write := ix.Search(SearchRequest{Query: Term(FieldSyscall, "write")})
+	if got := write.Hits[0][FieldFilePath]; got != "/right" {
+		t.Fatalf("open anchor overridden: got %v, want /right", got)
+	}
+}
+
+// assertClosedAccounting checks satellite 3's invariant: every tagged event
+// lands in exactly one outcome bucket.
+func assertClosedAccounting(t *testing.T, res CorrelationResult) {
+	t.Helper()
+	if got := res.EventsUpdated + res.EventsUnresolved + res.EventsAlreadyResolved; got != res.EventsWithTag {
+		t.Fatalf("accounting leak: updated %d + unresolved %d + already %d = %d, want with-tag %d",
+			res.EventsUpdated, res.EventsUnresolved, res.EventsAlreadyResolved, got, res.EventsWithTag)
+	}
+}
+
+func TestCorrelateClosedAccounting(t *testing.T) {
+	ix := newFixtureIndex()
+	ix.Add(Document{"session": "s1", "syscall": "read", "file_tag": "1 99 1", "ret_val": int64(5)})
+
+	res := CorrelateFilePaths(ix, "s1")
+	assertClosedAccounting(t, res)
+	if res.EventsAlreadyResolved != 0 {
+		t.Fatalf("first run already-resolved = %d, want 0", res.EventsAlreadyResolved)
+	}
+
+	// Second run: the 4 previously updated docs show up as already-resolved,
+	// the orphan stays unresolved, and the books still close.
+	res2 := CorrelateFilePaths(ix, "s1")
+	assertClosedAccounting(t, res2)
+	if res2.EventsUpdated != 0 || res2.EventsAlreadyResolved != 4 || res2.EventsUnresolved != 1 {
+		t.Fatalf("second run = %+v", res2)
+	}
+}
+
+// TestCorrelateDuringLiveIndexing runs the correlation pass concurrently
+// with live bulk indexing into the same index — the paper's near-real-time
+// pipeline (§II-E). Under -race this is the satellite-4 regression test; in
+// any mode the final pass must resolve everything index-time races left
+// behind, with closed accounting throughout.
+func TestCorrelateDuringLiveIndexing(t *testing.T) {
+	st := New()
+	st.IndexOrCreate("run-live") // correlation may start before the first bulk
+	const writers = 4
+	const batches = 25
+	const perBatch = 20
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				docs := make([]Document, 0, perBatch+1)
+				tag := fmt.Sprintf("1 %d %d", w, b)
+				path := fmt.Sprintf("/live/w%d/b%d", w, b)
+				docs = append(docs, Document{
+					"session": "live", "syscall": "openat",
+					"file_tag": tag, "kernel_path": path,
+					"time_enter_ns": int64(w*batches+b) * 1000,
+				})
+				for i := 1; i < perBatch; i++ {
+					docs = append(docs, Document{"session": "live", "syscall": "write", "file_tag": tag})
+				}
+				if err := st.Bulk("run-live", docs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		res, err := st.Correlate("run-live", "live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClosedAccounting(t, res)
+		select {
+		case <-done:
+			// Quiesced: one more pass must leave nothing unresolved.
+			final, err := st.Correlate("run-live", "live")
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertClosedAccounting(t, final)
+			if final.EventsUnresolved != 0 {
+				t.Fatalf("final pass left %d unresolved", final.EventsUnresolved)
+			}
+			if final.EventsWithTag != writers*batches*perBatch {
+				t.Fatalf("with-tag = %d, want %d", final.EventsWithTag, writers*batches*perBatch)
+			}
+			return
+		default:
+		}
+	}
+}

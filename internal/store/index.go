@@ -117,6 +117,16 @@ func (ix *Index) Len() int {
 	return n
 }
 
+// ShardDocCounts returns the per-shard document counts, for the telemetry
+// shard-imbalance gauge and the _stats API.
+func (ix *Index) ShardDocCounts() []int {
+	counts := make([]int, len(ix.shards))
+	for i, sh := range ix.shards {
+		counts[i] = sh.len()
+	}
+	return counts
+}
+
 // SearchRequest describes one search: a query, sorting, pagination, and
 // aggregations over the matched set.
 type SearchRequest struct {

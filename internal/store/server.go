@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
 // Backend is the interface the tracer and visualizer program against: it is
@@ -28,13 +31,22 @@ var (
 	_ Backend = (*Client)(nil)
 )
 
-// Correlate runs the file-path correlation algorithm on the named index.
+// Correlate runs the file-path correlation algorithm on the named index,
+// recording the run in the store's telemetry registry.
 func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return CorrelationResult{}, fmt.Errorf("index %q not found", index)
 	}
-	return CorrelateFilePaths(ix, session), nil
+	var res CorrelationResult
+	s.tm.corrRuns.Inc()
+	observeNS(s.tm.corrNS, func() {
+		res = correlateFilePaths(ix, session, &s.tm)
+	})
+	s.tm.corrTags.Add(uint64(res.TagsResolved))
+	s.tm.corrUpd.Add(uint64(res.EventsUpdated))
+	s.tm.corrUnres.Add(uint64(res.EventsUnresolved))
+	return res, nil
 }
 
 // Server exposes the store over HTTP with an Elasticsearch-flavoured API:
@@ -46,10 +58,14 @@ func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
 //	GET    /{index}/_stats      doc and shard counts
 //	GET    /_cat/indices        list index names
 //	GET    /_health             liveness probe for clients and breakers
+//	GET    /metrics             Prometheus-style text exposition
 //	DELETE /{index}             drop an index
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
+
+	mu    sync.Mutex
+	extra []*telemetry.Registry
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -59,8 +75,43 @@ func NewServer(st *Store) *Server {
 	s := &Server{store: st, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/_cat/indices", s.handleCatIndices)
 	s.mux.HandleFunc("/_health", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/", s.handleIndexOps)
 	return s
+}
+
+// ExposeTelemetry attaches an additional registry to GET /metrics. A
+// co-located tracer hands over its pipeline registry (ebpf, core,
+// resilience stages) so one scrape covers the whole pipeline alongside the
+// store's own instruments.
+func (s *Server) ExposeTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.extra {
+		if r == reg {
+			return
+		}
+	}
+	s.extra = append(s.extra, reg)
+}
+
+// handleMetrics serves the store registry plus every attached registry in
+// the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	regs := append([]*telemetry.Registry{s.store.Telemetry()}, s.extra...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, reg := range regs {
+		reg.WriteText(w)
+	}
 }
 
 // ServeHTTP implements http.Handler.

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
 // Store is the top-level document store: a set of named indices, one per
@@ -12,11 +15,93 @@ import (
 type Store struct {
 	mu      sync.RWMutex
 	indices map[string]*Index
+	tm      storeTelemetry
+}
+
+// storeTelemetry holds the backend stage's instruments: bulk/search/count
+// latency histograms, throughput counters, and the correlation metrics
+// recorded by Store.Correlate. All entries live in one registry the server
+// exposes on GET /metrics.
+type storeTelemetry struct {
+	reg       *telemetry.Registry
+	bulkNS    *telemetry.Histogram
+	searchNS  *telemetry.Histogram
+	countNS   *telemetry.Histogram
+	updateNS  *telemetry.Histogram
+	bulkDocs  *telemetry.Counter
+	searches  *telemetry.Counter
+	corrRuns  *telemetry.Counter
+	corrNS    *telemetry.Histogram
+	corrTags  *telemetry.Counter
+	corrUpd   *telemetry.Counter
+	corrUnres *telemetry.Counter
 }
 
 // New creates an empty store.
 func New() *Store {
-	return &Store{indices: make(map[string]*Index)}
+	s := &Store{indices: make(map[string]*Index)}
+	reg := telemetry.NewRegistry()
+	s.tm = storeTelemetry{
+		reg:       reg,
+		bulkNS:    reg.Histogram(telemetry.MetricBulkNS, "one bulk indexing call", nil),
+		searchNS:  reg.Histogram(telemetry.MetricSearchNS, "one search", nil),
+		countNS:   reg.Histogram(telemetry.MetricCountNS, "one count", nil),
+		updateNS:  reg.Histogram(telemetry.MetricUpdateNS, "one update-by-query pass", nil),
+		bulkDocs:  reg.Counter(telemetry.MetricBulkDocs, "documents indexed through Bulk"),
+		searches:  reg.Counter(telemetry.MetricSearches, "searches served"),
+		corrRuns:  reg.Counter(telemetry.MetricCorrelateRuns, "correlation passes run"),
+		corrNS:    reg.Histogram(telemetry.MetricCorrelateNS, "one full correlation pass", nil),
+		corrTags:  reg.Counter(telemetry.MetricCorrelateTags, "file tags resolved to paths"),
+		corrUpd:   reg.Counter(telemetry.MetricCorrelateUpdated, "events whose file_path was filled in"),
+		corrUnres: reg.Counter(telemetry.MetricCorrelateUnresolved, "tagged events left without a path"),
+	}
+	// Shard imbalance is a pull gauge: max/mean shard doc count across all
+	// indices (1.0 = perfectly balanced; the round-robin writer should keep
+	// it there). Evaluated only at snapshot time.
+	reg.GaugeFunc(telemetry.MetricShardImbalance, "max/mean shard doc count across indices",
+		s.shardImbalance)
+	return s
+}
+
+// Telemetry returns the store's self-accounting registry, which the HTTP
+// server exposes on GET /metrics.
+func (s *Store) Telemetry() *telemetry.Registry { return s.tm.reg }
+
+// observeNS times fn and records the elapsed nanoseconds in h.
+func observeNS(h *telemetry.Histogram, fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(float64(time.Since(start)))
+}
+
+// shardImbalance reports the worst max/mean shard doc-count ratio across
+// indices (0 when the store is empty).
+func (s *Store) shardImbalance() float64 {
+	s.mu.RLock()
+	indices := make([]*Index, 0, len(s.indices))
+	for _, ix := range s.indices {
+		indices = append(indices, ix)
+	}
+	s.mu.RUnlock()
+	worst := 0.0
+	for _, ix := range indices {
+		counts := ix.ShardDocCounts()
+		total, max := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		mean := float64(total) / float64(len(counts))
+		if r := float64(max) / mean; r > worst {
+			worst = r
+		}
+	}
+	return worst
 }
 
 // IndexOrCreate returns the named index, creating it on first use (like
@@ -36,6 +121,13 @@ func (s *Store) IndexOrCreate(name string) *Index {
 	if !ok {
 		ix = NewIndex(name)
 		s.indices[name] = ix
+		// Per-index live doc count as a pull gauge; evaluated only at
+		// snapshot time, so index creation stays off the hot path's cost.
+		s.tm.reg.GaugeFunc(
+			telemetry.MetricDocs+`{index="`+name+`"}`,
+			"live documents in the index",
+			func() float64 { return float64(ix.Len()) },
+		)
 	}
 	return ix
 }
@@ -71,7 +163,10 @@ func (s *Store) Indices() []string {
 // the handle (read-locked fast path); the documents then take only the
 // per-shard index locks.
 func (s *Store) Bulk(index string, docs []Document) error {
+	start := time.Now()
 	s.IndexOrCreate(index).AddBulk(docs)
+	s.tm.bulkNS.Observe(float64(time.Since(start)))
+	s.tm.bulkDocs.Add(uint64(len(docs)))
 	return nil
 }
 
@@ -97,7 +192,11 @@ func (s *Store) Search(index string, req SearchRequest) (SearchResponse, error) 
 	if !ok {
 		return SearchResponse{}, fmt.Errorf("index %q not found", index)
 	}
-	return ix.Search(req), nil
+	start := time.Now()
+	resp := ix.Search(req)
+	s.tm.searchNS.Observe(float64(time.Since(start)))
+	s.tm.searches.Inc()
+	return resp, nil
 }
 
 // Count counts documents matching q in the named index.
@@ -106,5 +205,8 @@ func (s *Store) Count(index string, q Query) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("index %q not found", index)
 	}
-	return ix.Count(q), nil
+	start := time.Now()
+	n := ix.Count(q)
+	s.tm.countNS.Observe(float64(time.Since(start)))
+	return n, nil
 }

@@ -1,0 +1,193 @@
+// Command deadsym is the repository's dead-symbol lint: it reports
+// unexported package-level declarations that are never referenced anywhere
+// else in their package (test files included). It exists because the
+// correlation layer shipped a dead `openSyscalls` dictionary that silently
+// widened the anchor query — `go vet` only catches unused locals, not
+// unused package-level state.
+//
+// The analysis is name-based over the AST: a declaration is dead when its
+// identifier appears nowhere in the package beyond its own definition
+// sites. Name collisions (a local shadowing the package symbol) make it
+// conservative: shadowed uses still count, so it reports false negatives,
+// never false positives for merely-shadowed names.
+//
+// Usage:
+//
+//	deadsym <dir> [<dir>...]   # each dir is walked recursively
+//
+// Exits 1 when any dead symbol is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var dead []string
+	for _, root := range roots {
+		found, err := walk(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deadsym:", err)
+			os.Exit(2)
+		}
+		dead = append(dead, found...)
+	}
+	for _, d := range dead {
+		fmt.Println(d)
+	}
+	if len(dead) > 0 {
+		fmt.Fprintf(os.Stderr, "deadsym: %d dead package-level symbol(s)\n", len(dead))
+		os.Exit(1)
+	}
+}
+
+// walk analyzes every package directory under root.
+func walk(root string) ([]string, error) {
+	var dead []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		found, aerr := analyzeDir(path)
+		if aerr != nil {
+			return fmt.Errorf("%s: %w", path, aerr)
+		}
+		dead = append(dead, found...)
+		return nil
+	})
+	return dead, err
+}
+
+// analyzeDir reports dead unexported package-level symbols in one directory
+// (one Go package plus its tests). Directories without Go files yield nil.
+func analyzeDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, perr
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return deadSymbols(fset, files), nil
+}
+
+// decl is one unexported package-level definition site.
+type decl struct {
+	name string
+	pos  token.Position
+}
+
+// deadSymbols returns "path:line: name is never used" findings for the
+// package formed by files.
+func deadSymbols(fset *token.FileSet, files []*ast.File) []string {
+	// Collect candidate declarations: unexported package-level funcs, vars,
+	// consts, and types. Methods, main, init, blank names, and test entry
+	// points are never candidates.
+	var candidates []decl
+	defs := make(map[string]int)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !isCandidateName(d.Name.Name) || isTestEntry(d.Name.Name) {
+					continue
+				}
+				candidates = append(candidates, decl{d.Name.Name, fset.Position(d.Name.Pos())})
+				defs[d.Name.Name]++
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch spec := spec.(type) {
+					case *ast.ValueSpec:
+						for _, n := range spec.Names {
+							if !isCandidateName(n.Name) {
+								continue
+							}
+							candidates = append(candidates, decl{n.Name, fset.Position(n.Pos())})
+							defs[n.Name]++
+						}
+					case *ast.TypeSpec:
+						if !isCandidateName(spec.Name.Name) {
+							continue
+						}
+						candidates = append(candidates, decl{spec.Name.Name, fset.Position(spec.Name.Pos())})
+						defs[spec.Name.Name]++
+					}
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Count every identifier occurrence in the package, definition sites
+	// included. A symbol is dead when nothing beyond its definitions names it.
+	uses := make(map[string]int)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if _, tracked := defs[id.Name]; tracked {
+					uses[id.Name]++
+				}
+			}
+			return true
+		})
+	}
+
+	var dead []string
+	for _, c := range candidates {
+		if uses[c.name] <= defs[c.name] {
+			dead = append(dead, fmt.Sprintf("%s:%d: %s is never used", c.pos.Filename, c.pos.Line, c.name))
+		}
+	}
+	sort.Strings(dead)
+	return dead
+}
+
+func isCandidateName(name string) bool {
+	if name == "_" || name == "main" || name == "init" {
+		return false
+	}
+	r := name[0]
+	return r >= 'a' && r <= 'z' || r == '_'
+}
+
+func isTestEntry(name string) bool {
+	for _, p := range []string{"Test", "Benchmark", "Example", "Fuzz"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// SelfDashboard renders "DIO observing DIO": the pipeline's own telemetry
+// snapshot as a table — the conservation ledger first, then every counter,
+// gauge, and histogram summary (count / mean / p50 / p99). The same
+// instruments the analysis backend exposes on GET /metrics, rendered with
+// the visualization layer DIO points at traced applications.
+func SelfDashboard(s telemetry.Snapshot) *Table {
+	t := &Table{
+		Title:   "DIO self-telemetry",
+		Columns: []string{"metric", "value", "mean", "p50", "p99"},
+	}
+	row := func(name, value, mean, p50, p99 string) {
+		t.Rows = append(t.Rows, []string{name, value, mean, p50, p99})
+	}
+
+	l := telemetry.LedgerFromSnapshot(s)
+	balance := "BALANCED"
+	if !l.Balanced() {
+		balance = fmt.Sprintf("outstanding %d", l.Outstanding())
+	}
+	row("ledger: captured", formatCount(l.Captured), "", "", "")
+	row("ledger: shipped", formatCount(l.Shipped), "", "", "")
+	row("ledger: ring dropped", formatCount(l.RingDropped), "", "", "")
+	row("ledger: spill dropped", formatCount(l.SpillDropped), "", "", "")
+	row("ledger: parse errors", formatCount(l.ParseErrors), "", "", "")
+	row("ledger: pending", formatCount(l.Pending), "", "", "")
+	row("ledger: balance", balance, "", "", "")
+
+	for _, name := range sortedNames(s.Counters) {
+		row(name, formatCount(s.Counters[name]), "", "", "")
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		row(name, trimFloat(s.Gauges[name]), "", "", "")
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		h := s.Histograms[name]
+		row(name, formatCount(h.Count),
+			formatNS(h.Mean()), formatNS(h.Quantile(0.5)), formatNS(h.Quantile(0.99)))
+	}
+	return t
+}
+
+// SelfFlushSeries renders the windowed flush-latency recording as the same
+// Fig. 3-style p99 time series used for client operations, pointed at the
+// tracer's own bulk-flush path. Returns nil when no flush window was
+// recorded (telemetry disabled or no flush happened yet).
+func SelfFlushSeries(s telemetry.Snapshot) *TimeSeries {
+	points, ok := s.Windows[telemetry.MetricFlushWindow]
+	if !ok || len(points) == 0 {
+		return nil
+	}
+	ts := LatencySeries(points)
+	ts.Title = "DIO self-telemetry: p99 flush latency per window"
+	return ts
+}
+
+// formatNS renders a nanosecond quantity in the most readable unit.
+func formatNS(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "0"
+	case ns < 1e3:
+		return trimFloat(ns) + "ns"
+	case ns < 1e6:
+		return trimFloat(ns/1e3) + "us"
+	case ns < 1e9:
+		return trimFloat(ns/1e6) + "ms"
+	default:
+		return trimFloat(ns/1e9) + "s"
+	}
+}
+
+func formatCount(v uint64) string {
+	return strconv.FormatUint(v, 10)
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
