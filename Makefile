@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench scale chaos lint examples
+.PHONY: tier1 build test race vet bench bench-smoke scale chaos lint examples
 
 ## tier1: the PR gate — vet, build (examples included), the dead-symbol
 ## lint, tests, the race detector over the concurrency-heavy packages (store
-## sharding, tracer drain workers), and the chaos suite (fault injection on
-## the ship path).
-tier1: vet build examples lint test race chaos
+## sharding, tracer drain workers), the chaos suite (fault injection on the
+## ship path), and a smoke run of the ingest benchmarks.
+tier1: vet build examples lint test race chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,10 @@ examples:
 
 ## lint: dead-symbol analysis — unexported package-level declarations that
 ## nothing in their package references (the class of bug behind the dead
-## openSyscalls dictionary in correlate.go).
+## openSyscalls dictionary in correlate.go), plus an audit of the store
+## package for exported symbols nothing outside the package uses.
 lint:
-	$(GO) run ./internal/tools/deadsym .
+	$(GO) run ./internal/tools/deadsym -exported internal/store .
 
 test:
 	$(GO) test ./...
@@ -33,6 +34,11 @@ vet:
 ## bench: the paper-evaluation and ablation benchmarks.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+## bench-smoke: a fast (100-iteration) run of the ingest benchmarks so the
+## typed-vs-document data plane numbers cannot silently rot.
+bench-smoke:
+	$(GO) test -run xxx -bench Ingest -benchtime=100x -benchmem .
 
 ## scale: the backend/tracer scalability experiment (legacy vs sharded).
 scale:

@@ -68,7 +68,7 @@ var dataSyscalls = []any{"read", "pread64", "readv", "write", "pwrite64", "write
 // FileOffsetPattern analyzes the offset pattern of filePath within a
 // session. Events must have been path-correlated first (file_path set).
 func FileOffsetPattern(b store.Backend, index, session, filePath string) (OffsetPattern, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := store.SearchEvents(b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Term(store.FieldFilePath, filePath),
@@ -83,8 +83,8 @@ func FileOffsetPattern(b store.Backend, index, session, filePath string) (Offset
 	// Track the expected next offset per thread, as concurrent streams can
 	// interleave while each remains sequential.
 	nextByTID := make(map[int]int64)
-	for _, d := range resp.Hits {
-		e := store.DocToEvent(d)
+	for i := range resp.Hits {
+		e := &resp.Hits[i]
 		if e.RetVal < 0 || !e.HasOffset {
 			continue
 		}
@@ -130,7 +130,7 @@ type FileLoad struct {
 // HotFiles ranks the session's files by data volume — the skew view that
 // turns "the disk is busy" into "these files are busy".
 func HotFiles(b store.Backend, index, session string, topN int) ([]FileLoad, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := store.SearchEvents(b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Exists(store.FieldFilePath),
@@ -142,8 +142,8 @@ func HotFiles(b store.Backend, index, session string, topN int) ([]FileLoad, err
 		return nil, fmt.Errorf("hot files query: %w", err)
 	}
 	agg := make(map[string]*FileLoad)
-	for _, d := range resp.Hits {
-		e := store.DocToEvent(d)
+	for i := range resp.Hits {
+		e := &resp.Hits[i]
 		if e.RetVal < 0 {
 			continue
 		}

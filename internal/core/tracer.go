@@ -164,7 +164,7 @@ type Tracer struct {
 	wg      sync.WaitGroup
 
 	workers   []*drainWorker
-	batchPool sync.Pool // *[]store.Document, cap BatchSize
+	batchPool sync.Pool // *[]event.Event, cap BatchSize
 	errs      shipErrorList
 	tm        coreTelemetry
 }
@@ -343,7 +343,7 @@ func (t *Tracer) Start(k *kernel.Kernel) error {
 	t.stop = make(chan struct{})
 	batchCap := t.cfg.BatchSize
 	t.batchPool.New = func() any {
-		s := make([]store.Document, 0, batchCap)
+		s := make([]event.Event, 0, batchCap)
 		return &s
 	}
 
@@ -504,19 +504,22 @@ func (t *Tracer) statsLocked() Stats {
 }
 
 // drain is one worker's loop: every FlushInterval it fetches binary records
-// from its rings, parses them into events, and ships batches to the backend.
-// Workers share nothing but the backend handle, so drain throughput scales
-// with the number of rings when cores are available. Batch buffers come from
-// a pool and the raw-record slice is reused across reads, keeping the steady
-// state allocation-free outside document construction.
+// from its rings, parses them into typed events, and ships batches to the
+// backend. Workers share nothing but the backend handle, so drain throughput
+// scales with the number of rings when cores are available. Batch buffers
+// come from a pool, the raw-record slice and the scratch Record are reused
+// across reads, and no Document is materialized anywhere on this path —
+// typed batches flow straight into the backend's typed bulk interface
+// (degrading to documents only for doc-only backends).
 func (t *Tracer) drain(w *drainWorker) {
 	defer t.wg.Done()
 	ticker := time.NewTicker(t.cfg.FlushInterval)
 	defer ticker.Stop()
 
-	batchp := t.batchPool.Get().(*[]store.Document)
+	batchp := t.batchPool.Get().(*[]event.Event)
 	batch := (*batchp)[:0]
 	var raws [][]byte
+	var rec ebpf.Record
 
 	tmOn := t.tm.enabled
 
@@ -530,7 +533,7 @@ func (t *Tracer) drain(w *drainWorker) {
 		if tmOn {
 			start = time.Now()
 		}
-		err := t.backend.Bulk(t.cfg.Index, batch)
+		err := store.ShipEvents(t.backend, t.cfg.Index, batch)
 		if tmOn {
 			d := float64(time.Since(start))
 			t.tm.flushNS.Observe(d)
@@ -570,8 +573,7 @@ func (t *Tracer) drain(w *drainWorker) {
 				}
 				parsed, parseErrs := 0, 0
 				for _, raw := range raws {
-					rec, err := ebpf.Unmarshal(raw)
-					if err != nil {
+					if err := ebpf.UnmarshalInto(raw, &rec); err != nil {
 						// Corrupt record: nothing to recover, but the loss
 						// is counted so the accounting stays exact.
 						w.parseErrors.Add(1)
@@ -580,8 +582,7 @@ func (t *Tracer) drain(w *drainWorker) {
 					}
 					w.parsed.Add(1)
 					parsed++
-					ev := t.recordToEvent(&rec)
-					batch = append(batch, store.EventToDoc(&ev))
+					batch = append(batch, t.recordToEvent(&rec))
 					if len(batch) >= t.cfg.BatchSize {
 						w.batchLen.Store(int64(len(batch)))
 						flush()

@@ -142,7 +142,7 @@ func Run(b store.Backend, index, session string, cfg Config) (Report, error) {
 // so freshly written data can never be delivered. The Fluent Bit v1.4.0
 // bug produces exactly this pattern after inode reuse.
 func DetectStaleOffsetReads(b store.Backend, index, session string) ([]Finding, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := store.SearchEvents(b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Terms(store.FieldSyscall, "read", "pread64", "readv"),
@@ -155,8 +155,8 @@ func DetectStaleOffsetReads(b store.Backend, index, session string) ([]Finding, 
 	}
 	firstReadSeen := make(map[event.FileTag]bool)
 	var findings []Finding
-	for _, d := range resp.Hits {
-		e := store.DocToEvent(d)
+	for i := range resp.Hits {
+		e := &resp.Hits[i]
 		if firstReadSeen[e.FileTag] {
 			continue
 		}

@@ -156,13 +156,21 @@ var ErrShortRecord = errors.New("ebpf: short record")
 // Unmarshal decodes a record previously produced by Marshal.
 func Unmarshal(buf []byte) (Record, error) {
 	var r Record
+	err := UnmarshalInto(buf, &r)
+	return r, err
+}
+
+// UnmarshalInto decodes into an existing record, letting the drain loop
+// reuse one Record value across a whole batch instead of allocating per
+// record. r is overwritten entirely on success and left unspecified on error.
+func UnmarshalInto(buf []byte, r *Record) error {
 	le := binary.LittleEndian
 	if len(buf) < 4+fixedHeaderLen {
-		return r, ErrShortRecord
+		return ErrShortRecord
 	}
 	total := int(le.Uint32(buf[0:]))
 	if total != len(buf) {
-		return r, ErrShortRecord
+		return ErrShortRecord
 	}
 	o := 4
 	r.NR = le.Uint16(buf[o:])
@@ -201,21 +209,21 @@ func Unmarshal(buf []byte) (Record, error) {
 	o += 8
 	r.Offset = int64(le.Uint64(buf[o:]))
 	o += 8
-	strs := make([]string, 5)
+	var strs [5]string
 	for i := range strs {
 		if o+2 > len(buf) {
-			return r, ErrShortRecord
+			return ErrShortRecord
 		}
 		n := int(le.Uint16(buf[o:]))
 		o += 2
 		if o+n > len(buf) {
-			return r, ErrShortRecord
+			return ErrShortRecord
 		}
 		strs[i] = string(buf[o : o+n])
 		o += n
 	}
 	r.Comm, r.TaskComm, r.Path, r.Path2, r.AttrName = strs[0], strs[1], strs[2], strs[3], strs[4]
-	return r, nil
+	return nil
 }
 
 // RecordFromExit builds a record from a kernel sys_exit payload. It is the

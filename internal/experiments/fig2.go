@@ -93,7 +93,7 @@ func RunFig2(version fluentbit.Version) (Fig2Result, error) {
 // restricted to the open/read/write/lseek/close/unlink rows of the two
 // traced applications, hiding the forwarder's stat polling.
 func fig2Table(b store.Backend, index, session string, version fluentbit.Version) (*viz.Table, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := store.SearchEvents(b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Terms(store.FieldSyscall, "openat", "open", "creat", "read", "write", "lseek", "close", "unlink"),
@@ -111,8 +111,8 @@ func fig2Table(b store.Backend, index, session string, version fluentbit.Version
 		Title:   title,
 		Columns: []string{"time", "proc_name", "syscall", "ret_val", "file_tag (dev_no inode_no timestamp)", "offset"},
 	}
-	for _, d := range resp.Hits {
-		e := store.DocToEvent(d)
+	for i := range resp.Hits {
+		e := &resp.Hits[i]
 		t.Rows = append(t.Rows, []string{
 			groupDigits(e.TimeEnterNS),
 			e.ProcName,

@@ -47,7 +47,7 @@ type replayer struct {
 // Session replays every event of the session (ordered by entry timestamp)
 // against k. The backend may be in-process or remote.
 func Session(b store.Backend, index, session string, k *kernel.Kernel) (Result, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := store.SearchEvents(b, index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
 	})
@@ -60,9 +60,8 @@ func Session(b store.Backend, index, session string, k *kernel.Kernel) (Result, 
 		tasks: make(map[int]*kernel.Task),
 		fds:   make(map[fdKey]int),
 	}
-	for _, d := range resp.Hits {
-		e := store.DocToEvent(d)
-		r.replayEvent(&e)
+	for i := range resp.Hits {
+		r.replayEvent(&resp.Hits[i])
 	}
 	return r.res, nil
 }

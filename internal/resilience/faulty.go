@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
@@ -91,8 +92,10 @@ func (f *FaultyBackend) Injected() uint64 {
 	return f.injected
 }
 
-// Bulk injects the configured faults, then delegates.
-func (f *FaultyBackend) Bulk(index string, docs []store.Document) error {
+// inject rolls the configured fault dice for one ship call and returns the
+// injected error, or nil to let the call through. Shared by Bulk and
+// BulkEvents so both ship representations see identical fault sequences.
+func (f *FaultyBackend) inject() error {
 	f.mu.Lock()
 	call := f.calls
 	f.calls++
@@ -116,7 +119,24 @@ func (f *FaultyBackend) Bulk(index string, docs []store.Document) error {
 	case roll:
 		return Retryable(fmt.Errorf("%w: transient (call %d)", ErrInjected, call))
 	}
+	return nil
+}
+
+// Bulk injects the configured faults, then delegates.
+func (f *FaultyBackend) Bulk(index string, docs []store.Document) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
 	return f.inner.Bulk(index, docs)
+}
+
+// BulkEvents injects the configured faults on the typed ship path, then
+// delegates through the inner backend's typed path when it has one.
+func (f *FaultyBackend) BulkEvents(index string, events []event.Event) error {
+	if err := f.inject(); err != nil {
+		return err
+	}
+	return store.ShipEvents(f.inner, index, events)
 }
 
 // Search delegates to the wrapped backend.

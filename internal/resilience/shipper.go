@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/store"
 	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
@@ -87,6 +88,13 @@ type ContextBackend interface {
 	BulkContext(ctx context.Context, index string, docs []store.Document) error
 }
 
+// ContextEventBackend is the typed counterpart of ContextBackend:
+// store.Client implements it, so typed batches get per-attempt deadlines and
+// binary-frame content negotiation on the HTTP path.
+type ContextEventBackend interface {
+	BulkEventsContext(ctx context.Context, index string, events []event.Event) error
+}
+
 // Stats is a snapshot of the shipper's event accounting. Every event handed
 // to Bulk ends up in exactly one of: Shipped (acked, possibly via replay) or
 // SpillDropped (dropped with accounting).
@@ -156,7 +164,10 @@ type Shipper struct {
 	tmSpillDropped *telemetry.Counter
 }
 
-var _ store.Backend = (*Shipper)(nil)
+var (
+	_ store.Backend      = (*Shipper)(nil)
+	_ store.EventBackend = (*Shipper)(nil)
+)
 
 // NewShipper wraps backend with cfg's resilience ladder.
 func NewShipper(backend store.Backend, cfg Config) *Shipper {
@@ -194,29 +205,45 @@ func (s *Shipper) Bulk(index string, docs []store.Document) error {
 	if len(docs) == 0 {
 		return nil
 	}
+	return s.deliver(spillBatch{index: index, docs: docs})
+}
+
+// BulkEvents ships typed events down the same ladder: retries, breaker,
+// spill, and counted drop all operate on the typed batch, which is only
+// degraded to documents if the backend itself has no typed path.
+func (s *Shipper) BulkEvents(index string, events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	return s.deliver(spillBatch{index: index, events: events})
+}
+
+// deliver runs one batch (either representation) through the ladder.
+func (s *Shipper) deliver(b spillBatch) error {
 	// Replay parked batches first so a recovered backend receives events in
 	// the order they were drained.
 	if s.spill.size() > 0 {
 		s.tryReplay()
 	}
-	err := s.ship(index, docs, false)
+	n := uint64(b.n())
+	err := s.ship(&b, false)
 	if err == nil {
-		s.shipped.Add(uint64(len(docs)))
+		s.shipped.Add(n)
 		return nil
 	}
 	if IsRetryable(err) {
-		queued, evicted := s.spill.push(index, docs)
+		queued, evicted := s.spill.push(b)
 		s.countSpillDropped(uint64(evicted))
 		if !queued {
-			s.countSpillDropped(uint64(len(docs)))
-			return fmt.Errorf("resilience: batch of %d events exceeds spill capacity, dropped: %w", len(docs), err)
+			s.countSpillDropped(n)
+			return fmt.Errorf("resilience: batch of %d events exceeds spill capacity, dropped: %w", n, err)
 		}
-		s.requeued.Add(uint64(len(docs)))
-		s.tmRequeued.Add(uint64(len(docs)))
+		s.requeued.Add(n)
+		s.tmRequeued.Add(n)
 		return fmt.Errorf("%w: %v", ErrSpilled, err)
 	}
 	// Permanent failure: the final rung of the ladder is a counted drop.
-	s.countSpillDropped(uint64(len(docs)))
+	s.countSpillDropped(n)
 	return err
 }
 
@@ -240,7 +267,7 @@ func (s *Shipper) countReplayed(n uint64) {
 // ship runs the retry loop for one batch. bypassBreaker is the final flush's
 // last-chance mode: attempts proceed even while the breaker is open, and
 // their outcome still feeds the breaker so recovery is observed.
-func (s *Shipper) ship(index string, docs []store.Document, bypassBreaker bool) error {
+func (s *Shipper) ship(b *spillBatch, bypassBreaker bool) error {
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -256,7 +283,7 @@ func (s *Shipper) ship(index string, docs []store.Document, bypassBreaker bool) 
 			}
 			return ErrBreakerOpen
 		}
-		err := s.attempt(index, docs)
+		err := s.attempt(b)
 		if err == nil {
 			s.breaker.RecordSuccess()
 			return nil
@@ -271,15 +298,24 @@ func (s *Shipper) ship(index string, docs []store.Document, bypassBreaker bool) 
 }
 
 // attempt makes one delivery attempt, with a context deadline when the
-// backend supports it.
-func (s *Shipper) attempt(index string, docs []store.Document) error {
+// backend supports it. Typed batches prefer the typed bulk interfaces and
+// degrade to EventToDoc + Bulk only for doc-only backends.
+func (s *Shipper) attempt(b *spillBatch) error {
 	s.tmAttempts.Inc()
+	if b.events != nil {
+		if cb, ok := s.backend.(ContextEventBackend); ok {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AttemptTimeout)
+			defer cancel()
+			return cb.BulkEventsContext(ctx, b.index, b.events)
+		}
+		return store.ShipEvents(s.backend, b.index, b.events)
+	}
 	if cb, ok := s.backend.(ContextBackend); ok {
 		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AttemptTimeout)
 		defer cancel()
-		return cb.BulkContext(ctx, index, docs)
+		return cb.BulkContext(ctx, b.index, b.docs)
 	}
-	return s.backend.Bulk(index, docs)
+	return s.backend.Bulk(b.index, b.docs)
 }
 
 // backoffDelay computes the attempt'th delay: full jitter over an
@@ -312,9 +348,9 @@ func (s *Shipper) tryReplay() {
 		if !ok {
 			return
 		}
-		err := s.ship(b.index, b.docs, false)
+		err := s.ship(&b, false)
 		if err == nil {
-			s.countReplayed(uint64(len(b.docs)))
+			s.countReplayed(uint64(b.n()))
 			continue
 		}
 		if IsRetryable(err) {
@@ -324,7 +360,7 @@ func (s *Shipper) tryReplay() {
 		}
 		// The backend permanently rejected this batch: count the drop and
 		// keep replaying the rest.
-		s.countSpillDropped(uint64(len(b.docs)))
+		s.countSpillDropped(uint64(b.n()))
 	}
 }
 
@@ -342,14 +378,14 @@ func (s *Shipper) Flush() error {
 		if !ok {
 			break
 		}
-		err := s.ship(b.index, b.docs, true)
+		err := s.ship(&b, true)
 		if err == nil {
-			s.countReplayed(uint64(len(b.docs)))
+			s.countReplayed(uint64(b.n()))
 			continue
 		}
-		s.countSpillDropped(uint64(len(b.docs)))
+		s.countSpillDropped(uint64(b.n()))
 		if len(errs) < 4 {
-			errs = append(errs, fmt.Errorf("flush %d spilled events: %w", len(b.docs), err))
+			errs = append(errs, fmt.Errorf("flush %d spilled events: %w", b.n(), err))
 		}
 	}
 	return errors.Join(errs...)
@@ -376,6 +412,12 @@ func (s *Shipper) Breaker() *Breaker { return s.breaker }
 // Search delegates to the wrapped backend.
 func (s *Shipper) Search(index string, req store.SearchRequest) (store.SearchResponse, error) {
 	return s.backend.Search(index, req)
+}
+
+// SearchEvents delegates typed search to the wrapped backend (converting
+// through the schema when the backend is doc-only).
+func (s *Shipper) SearchEvents(index string, req store.SearchRequest) (store.EventsResult, error) {
+	return store.SearchEvents(s.backend, index, req)
 }
 
 // Count delegates to the wrapped backend.

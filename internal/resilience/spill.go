@@ -3,13 +3,25 @@ package resilience
 import (
 	"sync"
 
+	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
-// spillBatch is one parked bulk request.
+// spillBatch is one parked bulk request, in either representation: typed
+// events (the tracer's fast path) or generic documents. Exactly one of the
+// two slices is non-nil.
 type spillBatch struct {
-	index string
-	docs  []store.Document
+	index  string
+	docs   []store.Document
+	events []event.Event
+}
+
+// n returns the batch's event count, whichever representation it holds.
+func (b *spillBatch) n() int {
+	if b.events != nil {
+		return len(b.events)
+	}
+	return len(b.docs)
 }
 
 // spillQueue is a bounded FIFO of batches that could not be shipped, bounded
@@ -29,24 +41,32 @@ func newSpillQueue(capEvents int) *spillQueue {
 	return &spillQueue{capEvents: capEvents}
 }
 
-// push parks a copy of docs (callers recycle their batch buffers). It
+// push parks a copy of b's payload (callers recycle their batch buffers). It
 // returns whether the batch was queued and how many older events were
 // evicted to make room; a batch larger than the whole queue capacity is
 // rejected outright (queued=false, evicted=0) and the caller accounts it.
-func (q *spillQueue) push(index string, docs []store.Document) (queued bool, evicted int) {
-	if len(docs) > q.capEvents {
+func (q *spillQueue) push(b spillBatch) (queued bool, evicted int) {
+	n := b.n()
+	if n > q.capEvents {
 		return false, 0
 	}
-	cp := make([]store.Document, len(docs))
-	copy(cp, docs)
+	if b.events != nil {
+		cp := make([]event.Event, len(b.events))
+		copy(cp, b.events)
+		b.events, b.docs = cp, nil
+	} else {
+		cp := make([]store.Document, len(b.docs))
+		copy(cp, b.docs)
+		b.docs = cp
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for q.events+len(cp) > q.capEvents {
+	for q.events+n > q.capEvents {
 		old := q.popLocked()
-		evicted += len(old.docs)
+		evicted += old.n()
 	}
-	q.batches = append(q.batches, spillBatch{index: index, docs: cp})
-	q.events += len(cp)
+	q.batches = append(q.batches, b)
+	q.events += n
 	return true, evicted
 }
 
@@ -64,7 +84,7 @@ func (q *spillQueue) popLocked() spillBatch {
 	b := q.batches[q.head]
 	q.batches[q.head] = spillBatch{}
 	q.head++
-	q.events -= len(b.docs)
+	q.events -= b.n()
 	if q.head == len(q.batches) {
 		q.batches = q.batches[:0]
 		q.head = 0
@@ -87,7 +107,7 @@ func (q *spillQueue) unshift(b spillBatch) {
 	} else {
 		q.batches = append([]spillBatch{b}, q.batches...)
 	}
-	q.events += len(b.docs)
+	q.events += b.n()
 }
 
 // size returns the queued event count.

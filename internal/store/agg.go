@@ -310,7 +310,7 @@ func (sh *shard) termCounts(t *TermsAgg, ids []int32) map[string]int {
 	}
 	counts := make(map[string]int)
 	for _, id := range ids {
-		counts[keyString(sh.docs[id][t.Field])]++
+		counts[keyString(sh.val(id, t.Field))]++
 	}
 	return counts
 }
@@ -325,7 +325,9 @@ func (sh *shard) partial(a Agg, ids []int32) *partialAgg {
 		}
 		groups := make(map[string][]Document)
 		for _, id := range ids {
-			d := sh.docs[id]
+			// Sub-aggregations run over merged Document groups, so typed rows
+			// materialize here — the one aggregation path that still needs maps.
+			d := sh.docView(id)
 			k := keyString(d[a.Terms.Field])
 			groups[k] = append(groups[k], d)
 		}
@@ -354,7 +356,7 @@ func (sh *shard) partial(a Agg, ids []int32) *partialAgg {
 				continue
 			}
 			b := int64(f) / interval * interval
-			groups[b] = append(groups[b], sh.docs[id])
+			groups[b] = append(groups[b], sh.docView(id))
 		}
 		return &partialAgg{hist: groups}
 	case a.Percentiles != nil:

@@ -4,13 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
 // HTTPError is a non-2xx response from the backend server. It classifies
@@ -55,7 +60,28 @@ type Client struct {
 	// reqTimeout bounds each request via context when the caller supplies
 	// none; distinct from the transport-level safety-net timeout.
 	reqTimeout time.Duration
+	// binaryDisabled latches after the server rejects the binary event frame
+	// with 415, so every later BulkEvents goes straight to the NDJSON
+	// fallback without re-probing (see DESIGN.md §10).
+	binaryDisabled atomic.Bool
 }
+
+// bulkBufPool recycles request-body buffers across Bulk and BulkEvents
+// calls: once a buffer has grown to the working batch size, encoding a batch
+// allocates nothing. bulkBufNews counts pool misses so tests can assert
+// steady-state reuse.
+var (
+	bulkBufPool = sync.Pool{New: func() any {
+		bulkBufNews.Add(1)
+		return bytes.NewBuffer(make([]byte, 0, 16*1024))
+	}}
+	bulkBufNews atomic.Uint64
+	// frameBufPool recycles binary frame buffers for BulkEvents.
+	frameBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 16*1024)
+		return &b
+	}}
+)
 
 // NewClient creates a client for the server at base (e.g.
 // "http://127.0.0.1:9200") with connection-reuse-friendly transport limits
@@ -89,10 +115,13 @@ func (c *Client) Bulk(index string, docs []Document) error {
 }
 
 // BulkContext is Bulk with a caller-supplied context, letting the resilience
-// shipper bound each delivery attempt.
+// shipper bound each delivery attempt. The NDJSON body is built in a pooled
+// buffer and streamed from it, so repeated bulks reuse one allocation.
 func (c *Client) BulkContext(ctx context.Context, index string, docs []Document) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := bulkBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bulkBufPool.Put(buf)
+	enc := json.NewEncoder(buf)
 	for _, d := range docs {
 		buf.WriteString("{\"index\":{}}\n")
 		if err := enc.Encode(d); err != nil {
@@ -100,8 +129,67 @@ func (c *Client) BulkContext(ctx context.Context, index string, docs []Document)
 		}
 	}
 	var out map[string]int
-	return c.do(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk", buf.Bytes(), &out)
+	return c.doBody(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk",
+		contentTypeJSON, buf.Bytes(), &out)
 }
+
+// BulkEvents ships typed events using the binary frame, falling back to the
+// NDJSON document path when the server does not speak it.
+func (c *Client) BulkEvents(index string, events []event.Event) error {
+	return c.BulkEventsContext(context.Background(), index, events)
+}
+
+// BulkEventsContext is BulkEvents with a caller-supplied context.
+//
+// The first 415 response latches the client into NDJSON mode — the request
+// that hit the 415 is retried as NDJSON in the same call, so callers (and the
+// resilience ladder above them) never observe a spurious permanent failure
+// from version skew.
+func (c *Client) BulkEventsContext(ctx context.Context, index string, events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if c.binaryDisabled.Load() {
+		return c.bulkEventsNDJSON(ctx, index, events)
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	frame := event.EncodeBatch((*bp)[:0], events)
+	var out map[string]int
+	err := c.doBody(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk",
+		event.ContentTypeBinaryV1, frame, &out)
+	// Hand the (possibly grown) backing array back to the pool; the request
+	// body has been fully sent by the time doBody returns.
+	*bp = frame[:0]
+	frameBufPool.Put(bp)
+	var he *HTTPError
+	if errors.As(err, &he) && he.Status == http.StatusUnsupportedMediaType {
+		c.binaryDisabled.Store(true)
+		return c.bulkEventsNDJSON(ctx, index, events)
+	}
+	if err == nil && out["items"] == 0 {
+		// A server predating the binary protocol does not answer 415: its
+		// NDJSON scanner sees the frame as one action line with no
+		// documents and acks zero items. Treat the empty ack as "does not
+		// speak binary" and resend, or the batch would be silently lost.
+		c.binaryDisabled.Store(true)
+		return c.bulkEventsNDJSON(ctx, index, events)
+	}
+	return err
+}
+
+// bulkEventsNDJSON is the compatibility path: events degrade to documents
+// and ship through the NDJSON bulk API.
+func (c *Client) bulkEventsNDJSON(ctx context.Context, index string, events []event.Event) error {
+	docs := make([]Document, len(events))
+	for i := range events {
+		docs[i] = EventToDoc(&events[i])
+	}
+	return c.BulkContext(ctx, index, docs)
+}
+
+// BinaryDisabled reports whether the client has latched onto the NDJSON
+// fallback after a 415 (exposed for tests and operational introspection).
+func (c *Client) BinaryDisabled() bool { return c.binaryDisabled.Load() }
 
 // Search runs req against the named index.
 func (c *Client) Search(index string, req SearchRequest) (SearchResponse, error) {
@@ -151,7 +239,17 @@ func (c *Client) Health() error {
 	return c.do(context.Background(), http.MethodGet, "/_health", nil, nil)
 }
 
+const contentTypeJSON = "application/json"
+
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	return c.doBody(ctx, method, path, contentTypeJSON, body, out)
+}
+
+// doBody issues one request with an explicit content type, streaming body
+// without copying it. The returned error is an *HTTPError for non-2xx
+// responses, so callers can dispatch on status (content negotiation, retry
+// classification).
+func (c *Client) doBody(ctx context.Context, method, path, contentType string, body []byte, out any) error {
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.reqTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
@@ -166,7 +264,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		return fmt.Errorf("new request: %w", err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -4,39 +4,92 @@ import (
 	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
-// Document field names for trace events. Kept as constants so queries,
-// correlation, and visualizations agree on the schema.
+// Document field names for trace events, aliased from the event package —
+// the schema's single source of truth — so queries, correlation, and
+// visualizations keep their store.Field* spelling while the typed accessors
+// (event.Event.Field/Visit) and this document view cannot drift apart.
 const (
-	FieldSession    = "session"
-	FieldSyscall    = "syscall"
-	FieldClass      = "class"
-	FieldRetVal     = "ret_val"
-	FieldFD         = "fd"
-	FieldArgPath    = "arg_path"
-	FieldArgPath2   = "arg_path2"
-	FieldCount      = "count"
-	FieldArgOffset  = "arg_offset"
-	FieldWhence     = "whence"
-	FieldFlags      = "flags"
-	FieldMode       = "mode"
-	FieldAttrName   = "xattr_name"
-	FieldPID        = "pid"
-	FieldTID        = "tid"
-	FieldProcName   = "proc_name"
-	FieldThreadName = "thread_name"
-	FieldTimeEnter  = "time_enter_ns"
-	FieldTimeExit   = "time_exit_ns"
-	FieldDuration   = "duration_ns"
-	FieldFileTag    = "file_tag"
-	FieldDevNo      = "dev_no"
-	FieldInodeNo    = "inode_no"
-	FieldTagTS      = "tag_timestamp"
-	FieldFileType   = "file_type"
-	FieldOffset     = "offset"
-	FieldHasOffset  = "has_offset"
-	FieldKernelPath = "kernel_path"
-	FieldFilePath   = "file_path"
+	FieldSession    = event.FieldSession
+	FieldSyscall    = event.FieldSyscall
+	FieldClass      = event.FieldClass
+	FieldRetVal     = event.FieldRetVal
+	FieldFD         = event.FieldFD
+	FieldArgPath    = event.FieldArgPath
+	FieldArgPath2   = event.FieldArgPath2
+	FieldCount      = event.FieldCount
+	FieldArgOffset  = event.FieldArgOffset
+	FieldWhence     = event.FieldWhence
+	FieldFlags      = event.FieldFlags
+	FieldMode       = event.FieldMode
+	FieldAttrName   = event.FieldAttrName
+	FieldPID        = event.FieldPID
+	FieldTID        = event.FieldTID
+	FieldProcName   = event.FieldProcName
+	FieldThreadName = event.FieldThreadName
+	FieldTimeEnter  = event.FieldTimeEnter
+	FieldTimeExit   = event.FieldTimeExit
+	FieldDuration   = event.FieldDuration
+	FieldFileTag    = event.FieldFileTag
+	FieldDevNo      = event.FieldDevNo
+	FieldInodeNo    = event.FieldInodeNo
+	FieldTagTS      = event.FieldTagTS
+	FieldFileType   = event.FieldFileType
+	FieldOffset     = event.FieldOffset
+	FieldHasOffset  = event.FieldHasOffset
+	FieldKernelPath = event.FieldKernelPath
+	FieldFilePath   = event.FieldFilePath
 )
+
+// EventBackend is the optional typed-ingest extension of Backend: both the
+// in-process *Store and the binary-protocol *Client implement it. Like Bulk,
+// implementations must not retain the events slice.
+type EventBackend interface {
+	BulkEvents(index string, events []event.Event) error
+}
+
+// EventSearcher is the optional typed-search extension of Backend.
+type EventSearcher interface {
+	SearchEvents(index string, req SearchRequest) (EventsResult, error)
+}
+
+var (
+	_ EventBackend  = (*Store)(nil)
+	_ EventBackend  = (*Client)(nil)
+	_ EventSearcher = (*Store)(nil)
+)
+
+// ShipEvents ships typed events through b's fast path when it has one and
+// degrades to EventToDoc + Bulk otherwise, so the tracer can hand every
+// backend the same typed batches. The events slice is not retained.
+func ShipEvents(b Backend, index string, events []event.Event) error {
+	if eb, ok := b.(EventBackend); ok {
+		return eb.BulkEvents(index, events)
+	}
+	docs := make([]Document, len(events))
+	for i := range events {
+		docs[i] = EventToDoc(&events[i])
+	}
+	return b.Bulk(index, docs)
+}
+
+// SearchEvents runs req through b's typed search when it has one; otherwise
+// the document hits convert best-effort through the schema. Consumers
+// (analysis, visualizations, replay) use this instead of hand-rolling
+// DocToEvent loops over SearchResponse hits.
+func SearchEvents(b Backend, index string, req SearchRequest) (EventsResult, error) {
+	if es, ok := b.(EventSearcher); ok {
+		return es.SearchEvents(index, req)
+	}
+	resp, err := b.Search(index, req)
+	if err != nil {
+		return EventsResult{}, err
+	}
+	hits := make([]event.Event, len(resp.Hits))
+	for i, d := range resp.Hits {
+		hits[i] = DocToEvent(d)
+	}
+	return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}, nil
+}
 
 // EventToDoc flattens a trace event into an indexable document.
 func EventToDoc(e *event.Event) Document {
@@ -148,6 +201,16 @@ func str(v any) string {
 }
 
 func i64(v any) int64 {
+	// Integer-typed values convert exactly: nanosecond timestamps exceed
+	// 2^53, so a float64 round-trip would corrupt them.
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	}
 	f, ok := numeric(v)
 	if !ok {
 		return 0

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
 // indexedFields are the keyword fields for which the index maintains posting
@@ -108,6 +110,32 @@ func (ix *Index) AddBulk(docs []Document) {
 	}
 }
 
+// AddEvents is the typed ingest fast path: each event is copied straight
+// into its shard's typed storage and keyword postings, preserving the same
+// round-robin placement as AddBulk but never materializing a Document. The
+// events slice is not retained; callers recycle their batch buffers.
+func (ix *Index) AddEvents(events []event.Event) {
+	if len(events) == 0 {
+		return
+	}
+	S := len(ix.shards)
+	start := int(ix.rr.Add(uint64(len(events))) - uint64(len(events)))
+	// Walk each shard's arithmetic slice of the batch directly instead of
+	// building per-shard groups: one lock per shard, zero allocations.
+	for s := 0; s < S; s++ {
+		first := ((s-start)%S + S) % S
+		if first >= len(events) {
+			continue
+		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for i := first; i < len(events); i += S {
+			sh.addEventLocked(&events[i])
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Len returns the number of documents.
 func (ix *Index) Len() int {
 	n := 0
@@ -159,31 +187,83 @@ type shardResult struct {
 	partials map[string]*partialAgg
 }
 
-// hitRef pairs a matched document with its global id for merge ordering.
+// hitRef locates a matched row for merge ordering without materializing it:
+// the shard, the local id (resolved lazily through the shard's accessors),
+// and the global id used as the stable tie-break.
 type hitRef struct {
-	doc Document
+	sh  *shard
+	id  int32
 	gid int
+}
+
+// EventsResult is the typed counterpart of SearchResponse: the same query,
+// sorting, pagination, and aggregations, with hits returned as events
+// instead of documents. Typed rows are copied out directly — no Document is
+// built anywhere on this path.
+type EventsResult struct {
+	Total int                  `json:"total"`
+	Hits  []event.Event        `json:"hits"`
+	Aggs  map[string]AggResult `json:"aggs,omitempty"`
 }
 
 // Search runs req against the index: every shard matches, pre-sorts, and
 // pre-aggregates its stripe (in parallel when cores are available), then the
 // per-shard results are merged — top-k merge for sorted hits, map merges for
-// bucketing aggregations, a streaming merge for percentiles.
+// bucketing aggregations, a streaming merge for percentiles. Only the
+// winning rows of the requested window are materialized as Documents.
 func (ix *Index) Search(req SearchRequest) SearchResponse {
 	if ix.legacy.Load() {
 		return ix.legacySearch(req)
 	}
+	var resp SearchResponse
+	ix.searchRefs(req, func(refs []hitRef, total int, aggs map[string]AggResult) {
+		hits := make([]Document, len(refs))
+		for i, ref := range refs {
+			hits[i] = ref.sh.docView(ref.id)
+		}
+		resp = SearchResponse{Total: total, Hits: hits, Aggs: aggs}
+	})
+	return resp
+}
+
+// SearchEvents runs req and returns typed hits. Typed rows never round-trip
+// through a Document; generic rows convert best-effort through the schema.
+func (ix *Index) SearchEvents(req SearchRequest) EventsResult {
+	if ix.legacy.Load() {
+		resp := ix.legacySearch(req)
+		hits := make([]event.Event, len(resp.Hits))
+		for i, d := range resp.Hits {
+			hits[i] = DocToEvent(d)
+		}
+		return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}
+	}
+	var res EventsResult
+	ix.searchRefs(req, func(refs []hitRef, total int, aggs map[string]AggResult) {
+		hits := make([]event.Event, len(refs))
+		for i, ref := range refs {
+			hits[i] = ref.sh.eventView(ref.id)
+		}
+		res = EventsResult{Total: total, Hits: hits, Aggs: aggs}
+	})
+	return res
+}
+
+// searchRefs runs the sharded search pipeline and hands the merged,
+// windowed hit refs to finish while every shard's read lock is still held —
+// the materialization step reads row storage, so it must happen inside the
+// snapshot.
+func (ix *Index) searchRefs(req SearchRequest, finish func(refs []hitRef, total int, aggs map[string]AggResult)) {
 	S := len(ix.shards)
 	cols := neededColumns(req)
 	for _, sh := range ix.shards {
 		sh.ensureColumns(cols)
 	}
 	// Hold every shard's read lock for the whole search. The merge stage
-	// reads documents (sort comparisons, sub-aggregation finalize) after the
-	// per-shard phase, so releasing locks between the two would race a
-	// concurrent UpdateByQuery; a full read snapshot reproduces the unsharded
-	// implementation's single-RLock semantics while the per-shard work still
-	// fans out in parallel.
+	// reads rows (sort comparisons, sub-aggregation finalize, hit
+	// materialization) after the per-shard phase, so releasing locks between
+	// the two would race a concurrent UpdateByQuery; a full read snapshot
+	// reproduces the unsharded implementation's single-RLock semantics while
+	// the per-shard work still fans out in parallel.
 	for _, sh := range ix.shards {
 		sh.mu.RLock()
 	}
@@ -220,7 +300,7 @@ func (ix *Index) Search(req SearchRequest) SearchResponse {
 			aggs[name] = mergePartials(a, parts)
 		}
 	}
-	return SearchResponse{Total: total, Hits: mergeHits(results, req, need), Aggs: aggs}
+	finish(mergeHits(results, req, need), total, aggs)
 }
 
 // searchLocked produces one shard's result; the caller holds sh.mu.RLock.
@@ -264,7 +344,7 @@ func (sh *shard) searchLocked(req SearchRequest, need, shardIdx, S int) shardRes
 	}
 	res.hits = make([]hitRef, len(hitIDs))
 	for i, id := range hitIDs {
-		res.hits[i] = hitRef{doc: sh.docs[id], gid: int(id)*S + shardIdx}
+		res.hits[i] = hitRef{sh: sh, id: id, gid: int(id)*S + shardIdx}
 	}
 	return res
 }
@@ -314,22 +394,22 @@ func topK(ids []int32, k int, less func(a, b int32) bool) []int32 {
 
 // hitLess orders merged hits by the request's sort fields, breaking ties by
 // global id so that unsorted (and tied) results keep insertion order, as the
-// unsharded implementation's stable sort did.
+// unsharded implementation's stable sort did. Field values are resolved
+// through the owning shard's accessors, so typed rows compare without ever
+// materializing a Document.
 func hitLess(a, b hitRef, sorts []SortField) bool {
-	if len(sorts) > 0 {
-		if compareDocs(a.doc, b.doc, sorts) {
-			return true
-		}
-		if compareDocs(b.doc, a.doc, sorts) {
-			return false
+	for _, s := range sorts {
+		if r := cmpField(a.sh.val(a.id, s.Field), b.sh.val(b.id, s.Field), s.Desc); r != 0 {
+			return r < 0
 		}
 	}
 	return a.gid < b.gid
 }
 
 // mergeHits k-way merges the per-shard candidate lists and applies the
-// From/Size window.
-func mergeHits(results []shardResult, req SearchRequest, need int) []Document {
+// From/Size window, returning refs — materialization is the caller's choice
+// (documents for Search, events for SearchEvents).
+func mergeHits(results []shardResult, req SearchRequest, need int) []hitRef {
 	n := 0
 	for i := range results {
 		n += len(results[i].hits)
@@ -337,7 +417,7 @@ func mergeHits(results []shardResult, req SearchRequest, need int) []Document {
 	if need > 0 && need < n {
 		n = need
 	}
-	out := make([]Document, 0, n)
+	out := make([]hitRef, 0, n)
 	cursors := make([]int, len(results))
 	for len(out) < n || need == 0 {
 		best := -1
@@ -352,7 +432,7 @@ func mergeHits(results []shardResult, req SearchRequest, need int) []Document {
 		if best == -1 {
 			break
 		}
-		out = append(out, results[best].hits[cursors[best]].doc)
+		out = append(out, results[best].hits[cursors[best]])
 		cursors[best]++
 	}
 	if req.From > 0 {
@@ -454,6 +534,10 @@ func (ix *Index) Count(q Query) int {
 // returns the number of updated documents. fn must return true if it
 // changed the document.
 //
+// Typed rows are materialized as a Document view for fn and, when fn reports
+// a change, written back through the event schema: schema fields persist,
+// non-schema keys are dropped (the typed row is the storage of record).
+//
 // Shards update in parallel, so fn may be invoked from multiple goroutines
 // concurrently (never for the same document); closures that accumulate
 // state must synchronize. Cached numeric columns of updated shards are
@@ -465,8 +549,21 @@ func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
 		sh := ix.shards[s]
 		sh.mu.Lock()
 		updated := 0
-		for _, d := range sh.docs {
-			if q.Matches(d) && fn(d) {
+		r := row{sh: sh}
+		for i := range sh.docs {
+			if d := sh.docs[i]; d != nil {
+				if q.matches(d) && fn(d) {
+					updated++
+				}
+				continue
+			}
+			r.id = int32(i)
+			if !q.matches(&r) {
+				continue
+			}
+			d := EventToDoc(&sh.events[i])
+			if fn(d) {
+				sh.events[i] = DocToEvent(d)
 				updated++
 			}
 		}
@@ -538,7 +635,7 @@ func (ix *Index) legacyMatch(q Query) []Document {
 		ids := sh.matchIDs(q, false)
 		ds := make([]Document, len(ids))
 		for i, id := range ids {
-			ds[i] = sh.docs[id]
+			ds[i] = sh.docView(id)
 		}
 		sh.mu.RUnlock()
 		parts[s] = ids

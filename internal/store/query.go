@@ -117,13 +117,47 @@ func (q Query) matchesAll() bool {
 		q.Prefix == nil && q.Exists == nil && q.Bool == nil
 }
 
+// contains reports whether f satisfies every bound of r. It is the single
+// range-match implementation shared by the per-document evaluator below and
+// the shard's columnar range scan, so the legacy and sharded paths cannot
+// drift on bound semantics (GT/LT strict, GTE/LTE inclusive).
+func (r *RangeQuery) contains(f float64) bool {
+	if r.GTE != nil && f < *r.GTE {
+		return false
+	}
+	if r.LTE != nil && f > *r.LTE {
+		return false
+	}
+	if r.GT != nil && f <= *r.GT {
+		return false
+	}
+	if r.LT != nil && f >= *r.LT {
+		return false
+	}
+	return true
+}
+
+// fieldSource is any row representation the query evaluator can read: a
+// materialized Document, or a shard slot whose typed event resolves fields
+// on demand without building a map.
+type fieldSource interface {
+	// field returns the document-view value of the named field (nil when
+	// absent).
+	field(name string) any
+}
+
+func (d Document) field(name string) any { return d[name] }
+
 // Matches evaluates the query against doc.
-func (q Query) Matches(doc Document) bool {
+func (q Query) Matches(doc Document) bool { return q.matches(doc) }
+
+// matches evaluates the query against any row representation.
+func (q Query) matches(src fieldSource) bool {
 	switch {
 	case q.Term != nil:
-		return valueEquals(doc[q.Term.Field], q.Term.Value)
+		return valueEquals(src.field(q.Term.Field), q.Term.Value)
 	case q.Terms != nil:
-		v := doc[q.Terms.Field]
+		v := src.field(q.Terms.Field)
 		for _, want := range q.Terms.Values {
 			if valueEquals(v, want) {
 				return true
@@ -131,30 +165,17 @@ func (q Query) Matches(doc Document) bool {
 		}
 		return false
 	case q.Range != nil:
-		f, ok := numeric(doc[q.Range.Field])
+		f, ok := numeric(src.field(q.Range.Field))
 		if !ok {
 			return false
 		}
-		r := q.Range
-		if r.GTE != nil && f < *r.GTE {
-			return false
-		}
-		if r.LTE != nil && f > *r.LTE {
-			return false
-		}
-		if r.GT != nil && f <= *r.GT {
-			return false
-		}
-		if r.LT != nil && f >= *r.LT {
-			return false
-		}
-		return true
+		return q.Range.contains(f)
 	case q.Prefix != nil:
-		s, ok := doc[q.Prefix.Field].(string)
+		s, ok := src.field(q.Prefix.Field).(string)
 		return ok && strings.HasPrefix(s, q.Prefix.Value)
 	case q.Exists != nil:
-		v, ok := doc[q.Exists.Field]
-		if !ok || v == nil {
+		v := src.field(q.Exists.Field)
+		if v == nil {
 			return false
 		}
 		if s, isStr := v.(string); isStr && s == "" {
@@ -163,19 +184,19 @@ func (q Query) Matches(doc Document) bool {
 		return true
 	case q.Bool != nil:
 		for _, sub := range q.Bool.Must {
-			if !sub.Matches(doc) {
+			if !sub.matches(src) {
 				return false
 			}
 		}
 		for _, sub := range q.Bool.MustNot {
-			if sub.Matches(doc) {
+			if sub.matches(src) {
 				return false
 			}
 		}
 		if len(q.Bool.Should) > 0 {
 			any := false
 			for _, sub := range q.Bool.Should {
-				if sub.Matches(doc) {
+				if sub.matches(src) {
 					any = true
 					break
 				}

@@ -2,12 +2,15 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
@@ -63,6 +66,10 @@ func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
+	// noBinary disables the binary bulk frame (POST _bulk with
+	// Content-Type application/x-dio-events.v1 answers 415), emulating an
+	// NDJSON-only server for mixed-version tests and rollback drills.
+	noBinary atomic.Bool
 
 	mu    sync.Mutex
 	extra []*telemetry.Registry
@@ -79,6 +86,24 @@ func NewServer(st *Store) *Server {
 	s.mux.HandleFunc("/", s.handleIndexOps)
 	return s
 }
+
+// SetBinaryProtocol enables or disables the binary bulk frame (enabled by
+// default). Disabled, the server rejects binary frames with 415, which
+// clients answer by latching onto the NDJSON fallback.
+func (s *Server) SetBinaryProtocol(v bool) { s.noBinary.Store(!v) }
+
+// Pools for the binary bulk path: request-body read buffers and decoded
+// event batches are recycled across requests, so the steady-state ingest
+// path's allocations are the interned strings alone.
+var (
+	serverReadPool = sync.Pool{New: func() any {
+		return bytes.NewBuffer(make([]byte, 0, 64*1024))
+	}}
+	serverEventsPool = sync.Pool{New: func() any {
+		b := make([]event.Event, 0, 512)
+		return &b
+	}}
+)
 
 // ExposeTelemetry attaches an additional registry to GET /metrics. A
 // co-located tracer hands over its pipeline registry (ebpf, core,
@@ -161,11 +186,17 @@ func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleBulk consumes Elasticsearch-style NDJSON: an action line (ignored
-// beyond validation) followed by a document line, repeated.
+// handleBulk consumes either the version-1 binary event frame (typed fast
+// path: ring → wire → shard storage with no Document anywhere) or
+// Elasticsearch-style NDJSON — an action line (ignored beyond validation)
+// followed by a document line, repeated — selected by Content-Type.
 func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request, index string) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, event.ContentTypeBinaryV1) {
+		s.handleBulkBinary(w, r, index)
 		return
 	}
 	sc := bufio.NewScanner(r.Body)
@@ -199,6 +230,43 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request, index string
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"items": len(docs)})
+}
+
+// handleBulkBinary decodes a binary event frame into a pooled batch and
+// indexes it through the typed fast path.
+func (s *Server) handleBulkBinary(w http.ResponseWriter, r *http.Request, index string) {
+	if s.noBinary.Load() {
+		// 415 tells the client this server only speaks NDJSON; the client
+		// re-sends the same batch as documents and stops probing.
+		httpError(w, http.StatusUnsupportedMediaType,
+			"binary event frames not supported; use NDJSON")
+		return
+	}
+	buf := serverReadPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer serverReadPool.Put(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	bp := serverEventsPool.Get().(*[]event.Event)
+	events, err := event.DecodeBatch(buf.Bytes(), (*bp)[:0])
+	if err != nil {
+		*bp = events[:0]
+		serverEventsPool.Put(bp)
+		httpError(w, http.StatusBadRequest, "decode frame: %v", err)
+		return
+	}
+	ingestErr := s.store.BulkEvents(index, events)
+	// AddEvents copies the structs into shard storage, so the batch can be
+	// recycled as soon as the call returns.
+	*bp = events[:0]
+	serverEventsPool.Put(bp)
+	if ingestErr != nil {
+		httpError(w, http.StatusInternalServerError, "bulk: %v", ingestErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"items": len(events)})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index string) {

@@ -3,6 +3,8 @@ package store
 import (
 	"sort"
 	"sync"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
 // shard is one lock stripe of an Index. Documents are distributed across
@@ -10,15 +12,26 @@ import (
 // whose global ids are ≡ s (mod S) and the global id of the document at
 // local position i is i*S + s. Per-shard global ids are therefore always
 // sorted in append order, which the merge phase of Search relies on.
+//
+// Rows come in two representations. Typed rows (the tracer's ingest fast
+// path) live in events as plain structs: docs[i] is nil and every read goes
+// through the typed accessors — postings, columns, query evaluation, and
+// aggregation never build a map. Generic rows (arbitrary JSON documents)
+// live in docs as before. A Document for a typed row is materialized lazily
+// (docView) and only where the generic DSL demands one.
 type shard struct {
-	mu       sync.RWMutex
-	docs     []Document
+	mu   sync.RWMutex
+	docs []Document // docs[i] != nil ⇒ generic row; nil ⇒ typed row in events
+	// events backs the typed rows. It stays nil until the first typed add,
+	// so all-generic workloads pay nothing for it; after that it is kept
+	// parallel to docs (zero-valued at generic slots).
+	events   []event.Event
 	postings map[string]map[string][]int32 // field -> term -> local doc ids
 	cols     map[string]*column            // lazy numeric columns, keyed by field
 }
 
 // column is a pre-extracted numeric view of one field: vals[i] holds the
-// float64 coercion of docs[i][field] and ok[i] whether the field was numeric.
+// float64 coercion of row i's field and ok[i] whether the field was numeric.
 // Columns are built lazily up to the current doc count and extended on the
 // next use after writes; UpdateByQuery drops them (it may mutate numeric
 // fields in place).
@@ -35,16 +48,100 @@ func newShard() *shard {
 	return &shard{postings: p}
 }
 
-// add appends doc and returns its local id. Caller holds the write lock.
+// row adapts one shard slot to the query evaluator's fieldSource without
+// materializing a Document. Callers reuse one row value across a scan and
+// only bump id, so evaluation allocates nothing per slot.
+type row struct {
+	sh *shard
+	id int32
+}
+
+func (r *row) field(name string) any { return r.sh.val(r.id, name) }
+
+// val returns the document-view value of one field of row id (nil when
+// absent). Typed rows box the value on demand; hot paths use strAt/numAt
+// instead. Caller holds at least the read lock.
+func (sh *shard) val(id int32, field string) any {
+	if d := sh.docs[id]; d != nil {
+		return d[field]
+	}
+	v, _ := sh.events[id].Field(field)
+	return v
+}
+
+// numAt reads one numeric field without boxing. Caller holds at least the
+// read lock.
+func (sh *shard) numAt(id int32, field string) (float64, bool) {
+	if d := sh.docs[id]; d != nil {
+		return numeric(d[field])
+	}
+	return sh.events[id].NumericField(field)
+}
+
+// docView materializes row id as a Document: generic rows return the stored
+// map, typed rows build the view on demand. Caller holds at least the read
+// lock. Mutations to a typed row's view are NOT persisted — writers must go
+// through UpdateByQuery, which round-trips the view back into the event.
+func (sh *shard) docView(id int32) Document {
+	if d := sh.docs[id]; d != nil {
+		return d
+	}
+	return EventToDoc(&sh.events[id])
+}
+
+// eventView materializes row id as a typed event (generic rows convert
+// best-effort through the schema). Caller holds at least the read lock.
+func (sh *shard) eventView(id int32) event.Event {
+	if d := sh.docs[id]; d != nil {
+		return DocToEvent(d)
+	}
+	return sh.events[id]
+}
+
+// addLocked appends a generic document row and returns its local id. Caller
+// holds the write lock.
 func (sh *shard) addLocked(doc Document) int32 {
+	if doc == nil {
+		doc = Document{}
+	}
 	id := int32(len(sh.docs))
 	sh.docs = append(sh.docs, doc)
+	if sh.events != nil {
+		sh.events = append(sh.events, event.Event{})
+	}
 	for _, f := range indexedFields {
 		if s, ok := doc[f].(string); ok {
 			sh.postings[f][s] = append(sh.postings[f][s], id)
 		}
 	}
 	return id
+}
+
+// addEventLocked appends a typed row and returns its local id: the struct is
+// copied into columnar-friendly storage and the keyword postings are fed
+// straight from its fields — no Document is built. Caller holds the write
+// lock.
+func (sh *shard) addEventLocked(e *event.Event) int32 {
+	id := int32(len(sh.docs))
+	if sh.events == nil && len(sh.docs) > 0 {
+		// First typed row after generic ones: backfill the parallel slice.
+		sh.events = make([]event.Event, len(sh.docs))
+	}
+	sh.docs = append(sh.docs, nil)
+	sh.events = append(sh.events, *e)
+	sh.postTermLocked(FieldSession, e.Session, id)
+	sh.postTermLocked(FieldSyscall, e.Syscall, id)
+	sh.postTermLocked(FieldClass, e.Class, id)
+	sh.postTermLocked(FieldProcName, e.ProcName, id)
+	sh.postTermLocked(FieldThreadName, e.ThreadName, id)
+	return id
+}
+
+func (sh *shard) postTermLocked(field, term string, id int32) {
+	if term == "" {
+		return
+	}
+	sh.postings[field][term] = append(sh.postings[field][term], id)
 }
 
 // len returns the shard's doc count under its own lock.
@@ -85,7 +182,7 @@ func (sh *shard) ensureColumns(fields []string) {
 			sh.cols[f] = c
 		}
 		for i := len(c.vals); i < len(sh.docs); i++ {
-			v, ok := numeric(sh.docs[i][f])
+			v, ok := sh.numAt(int32(i), f)
 			c.vals = append(c.vals, v)
 			c.ok = append(c.ok, ok)
 		}
@@ -100,13 +197,13 @@ func (sh *shard) invalidateColumnsLocked() {
 }
 
 // colVal reads one value through the column cache, falling back to the
-// document map for ids past the built prefix. Caller holds at least the read
-// lock.
+// row's typed or map representation for ids past the built prefix. Caller
+// holds at least the read lock.
 func (sh *shard) colVal(c *column, field string, id int32) (float64, bool) {
 	if c != nil && int(id) < len(c.vals) {
 		return c.vals[id], c.ok[id]
 	}
-	return numeric(sh.docs[id][field])
+	return sh.numAt(id, field)
 }
 
 // cmpIDs orders two local docs under sorts, reading through the sort
@@ -125,7 +222,7 @@ func (sh *shard) cmpIDs(a, b int32, sorts []SortField, cols []*column) int {
 			}
 			return 1
 		}
-		if r := cmpField(sh.docs[a][s.Field], sh.docs[b][s.Field], s.Desc); r != 0 {
+		if r := cmpField(sh.val(a, s.Field), sh.val(b, s.Field), s.Desc); r != 0 {
 			return r
 		}
 	}
@@ -166,34 +263,21 @@ func (sh *shard) matchIDs(q Query, useCols bool) []int32 {
 			return ids
 		}
 	}
-	// Fallback: full scan.
+	// Fallback: full scan through the row adapter (typed rows resolve
+	// fields on demand, no map materialization).
 	var out []int32
+	r := row{sh: sh}
 	for i := range sh.docs {
-		if q.Matches(sh.docs[i]) {
+		r.id = int32(i)
+		if q.matches(&r) {
 			out = append(out, int32(i))
 		}
 	}
 	return out
 }
 
-// contains reports whether f satisfies every bound of r.
-func (r *RangeQuery) contains(f float64) bool {
-	if r.GTE != nil && f < *r.GTE {
-		return false
-	}
-	if r.LTE != nil && f > *r.LTE {
-		return false
-	}
-	if r.GT != nil && f <= *r.GT {
-		return false
-	}
-	if r.LT != nil && f >= *r.LT {
-		return false
-	}
-	return true
-}
-
-// rangeScan evaluates r over the column cache (plus the uncovered tail).
+// rangeScan evaluates r over the column cache (plus the uncovered tail),
+// sharing RangeQuery.contains with the per-document evaluator.
 func (sh *shard) rangeScan(r *RangeQuery, c *column) []int32 {
 	var out []int32
 	n := len(c.vals)
@@ -206,7 +290,7 @@ func (sh *shard) rangeScan(r *RangeQuery, c *column) []int32 {
 		}
 	}
 	for i := n; i < len(sh.docs); i++ {
-		if f, ok := numeric(sh.docs[i][r.Field]); ok && r.contains(f) {
+		if f, ok := sh.numAt(int32(i), r.Field); ok && r.contains(f) {
 			out = append(out, int32(i))
 		}
 	}
@@ -262,7 +346,7 @@ func (sh *shard) boolCandidates(q Query, useCols bool) ([]int32, bool) {
 		return nil, false
 	}
 	// Pure range residuals read the numeric columns instead of going back to
-	// the document maps; everything else falls through to Query.Matches.
+	// the row storage; everything else falls through to the generic evaluator.
 	var colRanges []*RangeQuery
 	var colCols []*column
 	if useCols {
@@ -289,6 +373,7 @@ func (sh *shard) boolCandidates(q Query, useCols bool) ([]int32, bool) {
 		return candidates, true
 	}
 	var out []int32
+	rrow := row{sh: sh}
 next:
 	for _, id := range candidates {
 		for i, r := range colRanges {
@@ -297,8 +382,11 @@ next:
 				continue next
 			}
 		}
-		if needRest && !rest.Matches(sh.docs[id]) {
-			continue
+		if needRest {
+			rrow.id = id
+			if !rest.matches(&rrow) {
+				continue
+			}
 		}
 		out = append(out, id)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/telemetry"
 )
 
@@ -170,6 +171,17 @@ func (s *Store) Bulk(index string, docs []Document) error {
 	return nil
 }
 
+// BulkEvents indexes typed events into the named index through the typed
+// fast path: no Document is materialized anywhere between the wire and the
+// shard's columnar storage. The events slice is not retained.
+func (s *Store) BulkEvents(index string, events []event.Event) error {
+	start := time.Now()
+	s.IndexOrCreate(index).AddEvents(events)
+	s.tm.bulkNS.Observe(float64(time.Since(start)))
+	s.tm.bulkDocs.Add(uint64(len(events)))
+	return nil
+}
+
 // IndexStats summarizes one index for the _stats API.
 type IndexStats struct {
 	Index  string `json:"index"`
@@ -197,6 +209,19 @@ func (s *Store) Search(index string, req SearchRequest) (SearchResponse, error) 
 	s.tm.searchNS.Observe(float64(time.Since(start)))
 	s.tm.searches.Inc()
 	return resp, nil
+}
+
+// SearchEvents runs req against the named index and returns typed hits.
+func (s *Store) SearchEvents(index string, req SearchRequest) (EventsResult, error) {
+	ix, ok := s.GetIndex(index)
+	if !ok {
+		return EventsResult{}, fmt.Errorf("index %q not found", index)
+	}
+	start := time.Now()
+	res := ix.SearchEvents(req)
+	s.tm.searchNS.Observe(float64(time.Since(start)))
+	s.tm.searches.Inc()
+	return res, nil
 }
 
 // Count counts documents matching q in the named index.

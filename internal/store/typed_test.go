@@ -1,0 +1,326 @@
+package store
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+)
+
+// eventFixture mirrors docFixture as typed events (DurationNS is derived
+// from the timestamps rather than stored, so exit = enter + duration).
+func eventFixture() []event.Event {
+	return []event.Event{
+		{Session: "s1", Syscall: "openat", ProcName: "app", ThreadName: "app", RetVal: 3,
+			TimeEnterNS: 100, TimeExitNS: 110, KernelPath: "/tmp/a",
+			FileTag: event.FileTag{Dev: 1, Ino: 12, BirthNS: 5}},
+		{Session: "s1", Syscall: "write", ProcName: "app", ThreadName: "app", RetVal: 26,
+			TimeEnterNS: 200, TimeExitNS: 220,
+			FileTag: event.FileTag{Dev: 1, Ino: 12, BirthNS: 5}, Offset: 0, HasOffset: true},
+		{Session: "s1", Syscall: "read", ProcName: "fluent-bit", ThreadName: "flb-pipeline", RetVal: 26,
+			TimeEnterNS: 300, TimeExitNS: 330,
+			FileTag: event.FileTag{Dev: 1, Ino: 12, BirthNS: 5}, Offset: 0, HasOffset: true},
+		{Session: "s1", Syscall: "read", ProcName: "fluent-bit", ThreadName: "flb-pipeline", RetVal: 0,
+			TimeEnterNS: 400, TimeExitNS: 440,
+			FileTag: event.FileTag{Dev: 1, Ino: 12, BirthNS: 5}, Offset: 26, HasOffset: true},
+		{Session: "s2", Syscall: "unlink", ProcName: "app", ThreadName: "app", RetVal: 0,
+			TimeEnterNS: 500, TimeExitNS: 550, ArgPath: "/tmp/a"},
+	}
+}
+
+// TestTypedDocParity ingests the same data typed and as documents and checks
+// that every query class answers identically over both representations.
+func TestTypedDocParity(t *testing.T) {
+	typed := NewIndex("typed")
+	typed.AddEvents(eventFixture())
+	docs := NewIndex("docs")
+	docs.AddBulk(docFixture())
+
+	queries := map[string]Query{
+		"term string":  Term("syscall", "read"),
+		"term numeric": Term("ret_val", 26),
+		"terms":        Terms("syscall", "openat", "unlink"),
+		"range":        RangeBetween("time_enter_ns", 200, 400),
+		"prefix":       Prefix("kernel_path", "/tmp"),
+		"exists":       Exists("file_tag"),
+		"bool": Must(
+			Term("session", "s1"),
+			Term("proc_name", "fluent-bit"),
+		),
+		"match all": MatchAll(),
+	}
+	for name, q := range queries {
+		if got, want := typed.Count(q), docs.Count(q); got != want {
+			t.Errorf("%s: typed count %d, doc count %d", name, got, want)
+		}
+	}
+
+	// Sorted hits come back in the same order with the same field values.
+	req := SearchRequest{Query: Term("session", "s1"), Sort: []SortField{{Field: "time_enter_ns"}}}
+	tr := typed.SearchEvents(req)
+	dr := docs.Search(req)
+	if tr.Total != dr.Total || len(tr.Hits) != len(dr.Hits) {
+		t.Fatalf("totals: typed %d/%d, docs %d/%d", tr.Total, len(tr.Hits), dr.Total, len(dr.Hits))
+	}
+	for i := range tr.Hits {
+		d := DocToEvent(dr.Hits[i])
+		e := tr.Hits[i]
+		// DurationNS is a stored field on the doc side only; compare the
+		// identifying fields.
+		if e.Syscall != d.Syscall || e.TimeEnterNS != d.TimeEnterNS ||
+			e.ProcName != d.ProcName || e.RetVal != d.RetVal || e.FileTag != d.FileTag {
+			t.Errorf("hit %d: typed %+v vs doc %+v", i, e, d)
+		}
+	}
+
+	// Aggregations see the same values through both storage forms.
+	areq := SearchRequest{Query: MatchAll(), Size: 1, Aggs: map[string]Agg{
+		"by_proc": {Terms: &TermsAgg{Field: "proc_name"}},
+		"hist":    {DateHistogram: &DateHistogramAgg{Field: "time_enter_ns", IntervalNS: 200}},
+	}}
+	ta := typed.Search(areq).Aggs
+	da := docs.Search(areq).Aggs
+	for name := range areq.Aggs {
+		tb, db := ta[name].Buckets, da[name].Buckets
+		if len(tb) != len(db) {
+			t.Fatalf("agg %s: %d vs %d buckets", name, len(tb), len(db))
+		}
+		for i := range tb {
+			if tb[i].Key != db[i].Key || tb[i].KeyNum != db[i].KeyNum || tb[i].Count != db[i].Count {
+				t.Errorf("agg %s bucket %d: typed %+v vs doc %+v", name, i, tb[i], db[i])
+			}
+		}
+	}
+}
+
+// TestUpdateByQueryOverTypedRows checks the write path the correlation
+// algorithm uses still works when rows were ingested typed: the callback
+// sees a materialized document and schema-field mutations persist.
+func TestUpdateByQueryOverTypedRows(t *testing.T) {
+	ix := NewIndex("typed")
+	ix.AddEvents(eventFixture())
+	n := ix.UpdateByQuery(Term("syscall", "read"), func(d Document) bool {
+		d["file_path"] = "/tmp/a"
+		return true
+	})
+	if n != 2 {
+		t.Fatalf("updated %d rows, want 2", n)
+	}
+	res := ix.SearchEvents(SearchRequest{Query: Term("file_path", "/tmp/a")})
+	if res.Total != 2 {
+		t.Fatalf("file_path query total = %d, want 2", res.Total)
+	}
+	for i := range res.Hits {
+		if res.Hits[i].FilePath != "/tmp/a" || res.Hits[i].Syscall != "read" {
+			t.Fatalf("hit %d after update: %+v", i, res.Hits[i])
+		}
+	}
+}
+
+// TestMixedVersionFallback drives a binary-speaking client against a server
+// with the binary protocol disabled (an "old" server): the first BulkEvents
+// call must transparently degrade to NDJSON within the call, latch the
+// downgrade, and still land every event.
+func TestMixedVersionFallback(t *testing.T) {
+	old := New()
+	srv := NewServer(old)
+	srv.SetBinaryProtocol(false)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	oc := NewClient(hs.URL)
+
+	if oc.BinaryDisabled() {
+		t.Fatal("client latched before first call")
+	}
+	if err := oc.BulkEvents("run1", eventFixture()); err != nil {
+		t.Fatalf("BulkEvents against NDJSON-only server: %v", err)
+	}
+	if !oc.BinaryDisabled() {
+		t.Fatal("client did not latch NDJSON fallback after 415")
+	}
+	n, err := oc.Count("run1", MatchAll())
+	if err != nil || n != len(eventFixture()) {
+		t.Fatalf("count after fallback = (%d, %v), want %d", n, err, len(eventFixture()))
+	}
+	// Subsequent batches go straight to NDJSON and still land.
+	if err := oc.BulkEvents("run1", eventFixture()); err != nil {
+		t.Fatalf("second BulkEvents: %v", err)
+	}
+	if n, _ := oc.Count("run1", MatchAll()); n != 2*len(eventFixture()) {
+		t.Fatalf("count after second batch = %d", n)
+	}
+}
+
+// TestLegacyServerSilentDrop covers the server generation that predates
+// both the binary protocol and the 415 answer: its NDJSON scanner reads a
+// binary frame as one action line with no documents and acks
+// {"items": 0} with HTTP 200. The client must treat that empty ack as
+// "does not speak binary", resend the batch as NDJSON in the same call,
+// and latch the downgrade — otherwise the batch is silently lost.
+func TestLegacyServerSilentDrop(t *testing.T) {
+	st := New()
+	real := NewServer(st)
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/_bulk") && !strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+			// Old scanner behaviour: nothing parses, everything is "fine".
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"items":0}`))
+			return
+		}
+		real.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(legacy)
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	if err := c.BulkEvents("run1", eventFixture()); err != nil {
+		t.Fatalf("BulkEvents against legacy server: %v", err)
+	}
+	if !c.BinaryDisabled() {
+		t.Fatal("client did not latch NDJSON after the empty binary ack")
+	}
+	if n, err := c.Count("run1", MatchAll()); err != nil || n != len(eventFixture()) {
+		t.Fatalf("count after legacy fallback = (%d, %v), want %d", n, err, len(eventFixture()))
+	}
+}
+
+// TestBinaryPathLandsTyped checks the happy path: a binary BulkEvents call
+// against a current server ingests typed rows and they are queryable both
+// ways.
+func TestBinaryPathLandsTyped(t *testing.T) {
+	st, c := newTestServerClient(t)
+	if err := c.BulkEvents("run1", eventFixture()); err != nil {
+		t.Fatalf("BulkEvents: %v", err)
+	}
+	if c.BinaryDisabled() {
+		t.Fatal("client fell back to NDJSON against a binary-capable server")
+	}
+	res, err := st.SearchEvents("run1", SearchRequest{
+		Query: Term("session", "s1"), Sort: []SortField{{Field: "time_enter_ns"}}})
+	if err != nil {
+		t.Fatalf("SearchEvents: %v", err)
+	}
+	if res.Total != 4 || res.Hits[0].Syscall != "openat" {
+		t.Fatalf("typed search after binary ingest: total=%d hits=%+v", res.Total, res.Hits)
+	}
+	resp, err := c.Search("run1", SearchRequest{Query: Term("syscall", "read")})
+	if err != nil || resp.Total != 2 {
+		t.Fatalf("doc search after binary ingest = (%+v, %v)", resp, err)
+	}
+}
+
+// TestBulkBufferReuse asserts the client's NDJSON encode buffer comes from
+// the pool after warm-up: repeated sequential Bulk calls must not grow the
+// pool's miss counter.
+func TestBulkBufferReuse(t *testing.T) {
+	_, c := newTestServerClient(t)
+	docs := docFixture()
+	if err := c.Bulk("run1", docs); err != nil {
+		t.Fatalf("warm-up bulk: %v", err)
+	}
+	const calls = 32
+	misses := bulkBufNews.Load()
+	for i := 0; i < calls; i++ {
+		if err := c.Bulk("run1", docs); err != nil {
+			t.Fatalf("bulk %d: %v", i, err)
+		}
+	}
+	// Under -race, sync.Pool deliberately drops a fraction of Puts, so an
+	// exact zero-miss assertion cannot hold there. Requiring strictly
+	// fewer misses than calls still proves the buffer is reused (a
+	// non-pooling implementation misses on every call), and an all-miss
+	// run has probability 0.25^32 even in race mode.
+	if got := bulkBufNews.Load() - misses; got >= calls {
+		t.Fatalf("bulk buffer pool missed %d times across %d sequential calls: no reuse", got, calls)
+	}
+}
+
+// TestRangeEdgeDifferential cross-checks every range evaluation path on
+// GT/LT/GTE/LTE edge equality: the shared contains helper (document
+// matching), the columnar rangeScan path, and the legacy full-scan path
+// must agree for every combination of bounds anchored on stored values.
+func TestRangeEdgeDifferential(t *testing.T) {
+	vals := []int64{-5, 0, 10, 20, 20, 30, 40}
+	var docs []Document
+	var events []event.Event
+	for i, v := range vals {
+		docs = append(docs, Document{
+			"session": "s", "syscall": "read", "proc_name": "p", "thread_name": "t",
+			"ret_val": v, "time_enter_ns": int64(i),
+		})
+		events = append(events, event.Event{
+			Session: "s", Syscall: "read", ProcName: "p", ThreadName: "t",
+			RetVal: v, TimeEnterNS: int64(i), TimeExitNS: int64(i) + 1,
+		})
+	}
+	docIx := NewIndex("docs")
+	docIx.AddBulk(docs)
+	typedIx := NewIndex("typed")
+	typedIx.AddEvents(events)
+	legacyIx := NewIndex("legacy")
+	legacyIx.AddBulk(docs)
+	legacyIx.SetLegacyScan(true)
+
+	bounds := []float64{-6, -5, 0, 9, 10, 20, 21, 30, 40, 41}
+	mk := func(gt, gte, lt, lte *float64) Query {
+		return Query{Range: &RangeQuery{Field: "ret_val", GT: gt, GTE: gte, LT: lt, LTE: lte}}
+	}
+	check := func(name string, q Query) {
+		t.Helper()
+		// Ground truth: brute-force evaluation through the shared helper.
+		want := 0
+		for _, d := range docs {
+			if q.Matches(d) {
+				want++
+			}
+		}
+		if got := docIx.Count(q); got != want {
+			t.Errorf("%s: column path %d, brute force %d", name, got, want)
+		}
+		if got := typedIx.Count(q); got != want {
+			t.Errorf("%s: typed path %d, brute force %d", name, got, want)
+		}
+		if got := legacyIx.Count(q); got != want {
+			t.Errorf("%s: legacy path %d, brute force %d", name, got, want)
+		}
+	}
+	for _, b := range bounds {
+		b := b
+		check(fmt.Sprintf("gt %v", b), mk(&b, nil, nil, nil))
+		check(fmt.Sprintf("gte %v", b), mk(nil, &b, nil, nil))
+		check(fmt.Sprintf("lt %v", b), mk(nil, nil, &b, nil))
+		check(fmt.Sprintf("lte %v", b), mk(nil, nil, nil, &b))
+		for _, hi := range bounds {
+			hi := hi
+			check(fmt.Sprintf("gt %v lt %v", b, hi), mk(&b, nil, &hi, nil))
+			check(fmt.Sprintf("gte %v lte %v", b, hi), mk(nil, &b, nil, &hi))
+			check(fmt.Sprintf("gt %v lte %v", b, hi), mk(&b, nil, nil, &hi))
+			check(fmt.Sprintf("gte %v lt %v", b, hi), mk(nil, &b, &hi, nil))
+		}
+	}
+}
+
+// TestAddEventsAllocs pins the typed ingest path's allocation budget:
+// adding a warm batch of events (terms already in the dictionaries, columns
+// not yet built) must stay under 3 allocations per event amortized.
+func TestAddEventsAllocs(t *testing.T) {
+	base := make([]event.Event, 512)
+	for i := range base {
+		base[i] = event.Event{
+			Session: "s", Syscall: "read", Class: "data", ProcName: "proc",
+			ThreadName: "thread", PID: 1, TID: 2, RetVal: 4096,
+			TimeEnterNS: int64(i) * 10, TimeExitNS: int64(i)*10 + 5,
+		}
+	}
+	ix := NewIndex("bench")
+	ix.AddEvents(base) // warm term dictionaries and shard slices
+	allocs := testing.AllocsPerRun(10, func() {
+		ix.AddEvents(base)
+	})
+	if perEvent := allocs / float64(len(base)); perEvent > 3 {
+		t.Fatalf("typed ingest allocates %.2f allocs/event (total %.0f), budget is 3", perEvent, allocs)
+	}
+}

@@ -11,14 +11,23 @@
 // conservative: shadowed uses still count, so it reports false negatives,
 // never false positives for merely-shadowed names.
 //
+// With -exported, deadsym additionally audits one package directory's
+// EXPORTED package-level declarations: a second pass scans every root for
+// qualified references (pkg.Name selectors from other packages, or bare
+// uses inside the package itself) and reports exported symbols nothing
+// references. The same conservatism applies — a local variable that shares
+// the package's import name makes its selector uses count, so the mode
+// under-reports rather than flagging live API.
+//
 // Usage:
 //
-//	deadsym <dir> [<dir>...]   # each dir is walked recursively
+//	deadsym [-exported <pkgdir>] <dir> [<dir>...]   # each dir is walked recursively
 //
 // Exits 1 when any dead symbol is found.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -31,13 +40,23 @@ import (
 )
 
 func main() {
-	roots := os.Args[1:]
+	exportedDir := flag.String("exported", "", "package directory whose exported symbols are audited for external uses")
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
 	var dead []string
 	for _, root := range roots {
 		found, err := walk(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deadsym:", err)
+			os.Exit(2)
+		}
+		dead = append(dead, found...)
+	}
+	if *exportedDir != "" {
+		found, err := deadExported(*exportedDir, roots)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "deadsym:", err)
 			os.Exit(2)
@@ -51,6 +70,152 @@ func main() {
 		fmt.Fprintf(os.Stderr, "deadsym: %d dead package-level symbol(s)\n", len(dead))
 		os.Exit(1)
 	}
+}
+
+// deadExported reports exported package-level symbols of pkgDir that no file
+// under roots references: neither a qualified pkg.Name selector from another
+// package nor a bare use inside pkgDir beyond the definition sites.
+func deadExported(pkgDir string, roots []string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgFiles, pkgName, err := parsePackageDir(fset, pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgFiles) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", pkgDir)
+	}
+
+	// Pass 1: exported package-level declarations (methods excluded — a
+	// name-based scan cannot attribute selector receivers).
+	var candidates []decl
+	defs := make(map[string]int)
+	for _, f := range pkgFiles {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !ast.IsExported(d.Name.Name) {
+					continue
+				}
+				candidates = append(candidates, decl{d.Name.Name, fset.Position(d.Name.Pos())})
+				defs[d.Name.Name]++
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch spec := spec.(type) {
+					case *ast.ValueSpec:
+						for _, n := range spec.Names {
+							if !ast.IsExported(n.Name) {
+								continue
+							}
+							candidates = append(candidates, decl{n.Name, fset.Position(n.Pos())})
+							defs[n.Name]++
+						}
+					case *ast.TypeSpec:
+						if !ast.IsExported(spec.Name.Name) {
+							continue
+						}
+						candidates = append(candidates, decl{spec.Name.Name, fset.Position(spec.Name.Pos())})
+						defs[spec.Name.Name]++
+					}
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: count uses across every root. Inside pkgDir any identifier
+	// occurrence counts (definitions subtracted below); elsewhere only
+	// pkgName.Ident selectors do.
+	absPkg, err := filepath.Abs(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	uses := make(map[string]int)
+	for _, root := range roots {
+		werr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(d.Name(), ".go") {
+				return nil
+			}
+			f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if perr != nil {
+				return perr
+			}
+			abs, aerr := filepath.Abs(filepath.Dir(path))
+			if aerr != nil {
+				return aerr
+			}
+			if abs == absPkg {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok {
+						if _, tracked := defs[id.Name]; tracked {
+							uses[id.Name]++
+						}
+					}
+					return true
+				})
+				return nil
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == pkgName {
+					if _, tracked := defs[sel.Sel.Name]; tracked {
+						uses[sel.Sel.Name]++
+					}
+				}
+				return true
+			})
+			return nil
+		})
+		if werr != nil {
+			return nil, werr
+		}
+	}
+
+	var dead []string
+	for _, c := range candidates {
+		if uses[c.name] <= defs[c.name] {
+			dead = append(dead, fmt.Sprintf("%s:%d: exported %s is never used", c.pos.Filename, c.pos.Line, c.name))
+		}
+	}
+	sort.Strings(dead)
+	return dead, nil
+}
+
+// parsePackageDir parses the non-test Go files of one directory and returns
+// them with the package name.
+func parsePackageDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var files []*ast.File
+	var pkgName string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, perr := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, "", perr
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+	}
+	return files, pkgName, nil
 }
 
 // walk analyzes every package directory under root.

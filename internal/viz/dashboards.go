@@ -12,7 +12,7 @@ import (
 // session: one row per syscall, ordered by time, showing the process name,
 // syscall, return value, file tag, and offset.
 func AccessPatternTable(b store.Backend, index, session string) (*Table, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := store.SearchEvents(b, index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
 	})
@@ -23,8 +23,8 @@ func AccessPatternTable(b store.Backend, index, session string) (*Table, error) 
 		Title:   "Session " + session + ": syscalls over time",
 		Columns: []string{"time", "proc_name", "syscall", "ret_val", "file_tag (dev_no inode_no timestamp)", "offset"},
 	}
-	for _, d := range resp.Hits {
-		e := store.DocToEvent(d)
+	for i := range resp.Hits {
+		e := &resp.Hits[i]
 		t.Rows = append(t.Rows, []string{
 			groupDigits(e.TimeEnterNS),
 			e.ProcName,
