@@ -47,6 +47,10 @@ const (
 	codecMinEventLen   = codecFixedLen + 2*codecStringCount
 	codecAuxHasOffset  = 1 << 0
 	codecMaxFrameCount = 1 << 26 // sanity bound on the count field
+	// codecMaxStringLen is the largest string the u16 length prefix can
+	// carry; EncodeBatch truncates longer values and eventEncodedSize must
+	// apply the same cap so plen, EncodedSize, and the written bytes agree.
+	codecMaxStringLen = 0xFFFF
 )
 
 // ErrBadFrame reports a frame DecodeBatch could not parse: wrong magic,
@@ -65,11 +69,20 @@ func EncodedSize(events []Event) int {
 
 func eventEncodedSize(e *Event) int {
 	n := codecMinEventLen
-	n += len(e.Session) + len(e.Syscall) + len(e.Class)
-	n += len(e.ProcName) + len(e.ThreadName)
-	n += len(e.ArgPath) + len(e.ArgPath2) + len(e.AttrName)
-	n += len(e.FileType) + len(e.KernelPath) + len(e.FilePath)
+	for _, s := range eventStrings(e) {
+		n += min(len(s), codecMaxStringLen)
+	}
 	return n
+}
+
+// eventStrings enumerates the event's string fields in wire order; the
+// encoder and the size computation share it so they cannot disagree.
+func eventStrings(e *Event) [codecStringCount]string {
+	return [codecStringCount]string{
+		e.Session, e.Syscall, e.Class, e.ProcName, e.ThreadName,
+		e.ArgPath, e.ArgPath2, e.AttrName, e.FileType, e.KernelPath,
+		e.FilePath,
+	}
 }
 
 // EncodeBatch appends the version-1 binary frame for events to dst and
@@ -110,13 +123,9 @@ func EncodeBatch(dst []byte, events []Event) []byte {
 			aux |= codecAuxHasOffset
 		}
 		dst = append(dst, aux)
-		for _, s := range [codecStringCount]string{
-			e.Session, e.Syscall, e.Class, e.ProcName, e.ThreadName,
-			e.ArgPath, e.ArgPath2, e.AttrName, e.FileType, e.KernelPath,
-			e.FilePath,
-		} {
-			if len(s) > 0xFFFF {
-				s = s[:0xFFFF]
+		for _, s := range eventStrings(e) {
+			if len(s) > codecMaxStringLen {
+				s = s[:codecMaxStringLen]
 			}
 			dst = le.AppendUint16(dst, uint16(len(s)))
 			dst = append(dst, s...)

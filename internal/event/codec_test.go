@@ -2,6 +2,7 @@ package event
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -97,6 +98,39 @@ func TestCodecOffsetClearedWithoutFlag(t *testing.T) {
 	}
 	if out[0].Offset != 0 || out[0].HasOffset {
 		t.Fatalf("offset leaked without has_offset: %+v", out[0])
+	}
+}
+
+// TestCodecOverlongString pins the plen/EncodedSize agreement for strings
+// beyond the u16 length cap: EncodeBatch truncates them to 65535 bytes, and
+// eventEncodedSize must count the truncated length — an untruncated count
+// would overstate the per-event payload length, making DecodeBatch slice
+// into the next event's bytes and reject the whole frame.
+func TestCodecOverlongString(t *testing.T) {
+	long := strings.Repeat("p", 0xFFFF+4096)
+	in := []Event{
+		{Session: "s", Syscall: "openat", Class: "metadata",
+			ProcName: "p", ThreadName: "t", ArgPath: long,
+			PID: 1, TID: 1, TimeEnterNS: 1, TimeExitNS: 2},
+		// A trailing event catches the historical failure mode, where the
+		// overstated plen consumed this event's bytes.
+		{Session: "s", Syscall: "close", Class: "descriptor",
+			ProcName: "p", ThreadName: "t", FD: 3,
+			PID: 1, TID: 1, TimeEnterNS: 3, TimeExitNS: 4},
+	}
+	frame := EncodeBatch(nil, in)
+	if got, want := len(frame), EncodedSize(in); got != want {
+		t.Fatalf("frame is %d bytes, EncodedSize says %d", got, want)
+	}
+	out, err := DecodeBatch(frame, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(out) != 2 || out[1].Syscall != "close" {
+		t.Fatalf("decoded %d events, second = %+v", len(out), out[min(1, len(out)-1)])
+	}
+	if out[0].ArgPath != long[:0xFFFF] {
+		t.Fatalf("decoded ArgPath len=%d, want truncation to %d", len(out[0].ArgPath), 0xFFFF)
 	}
 }
 

@@ -49,28 +49,33 @@ func Fields() []string {
 	}
 }
 
-// StringField returns the named string-typed field. ok is false both for
-// non-string fields and for string fields whose value is absent (empty), so
-// presence semantics match the document view, which omits empty strings.
+// StringField returns the named string-typed field. ok is false for
+// non-string fields and for absent values, with presence mirroring the
+// document view exactly: session, syscall, class, proc_name, and thread_name
+// are stored unconditionally by EventToDoc (even when empty) and so are
+// always present, while the remaining string fields are present only when
+// non-empty, matching the document view's omission of empty values.
 func (e *Event) StringField(name string) (string, bool) {
-	var s string
 	switch name {
 	case FieldSession:
-		s = e.Session
+		return e.Session, true
 	case FieldSyscall:
-		s = e.Syscall
+		return e.Syscall, true
 	case FieldClass:
-		s = e.Class
+		return e.Class, true
+	case FieldProcName:
+		return e.ProcName, true
+	case FieldThreadName:
+		return e.ThreadName, true
+	}
+	var s string
+	switch name {
 	case FieldArgPath:
 		s = e.ArgPath
 	case FieldArgPath2:
 		s = e.ArgPath2
 	case FieldAttrName:
 		s = e.AttrName
-	case FieldProcName:
-		s = e.ProcName
-	case FieldThreadName:
-		s = e.ThreadName
 	case FieldFileTag:
 		s = e.FileTag.String()
 	case FieldFileType:

@@ -83,6 +83,30 @@ var (
 	}}
 )
 
+// pooledFrameBody is the request body of a binary bulk: it owns the pooled
+// frame buffer and recycles it in Close. http.Client.Do can return while the
+// transport's write goroutine is still reading the body — exactly the
+// error-response paths, where the server replies before consuming it — so
+// recycling right after Do would let a concurrent BulkEvents encode over
+// bytes an aborted write is still reading. The transport guarantees it
+// closes the request body once it is done with it (including on errors),
+// which makes Close the only race-free recycle point.
+type pooledFrameBody struct {
+	r    *bytes.Reader
+	bp   *[]byte
+	once sync.Once
+}
+
+func (b *pooledFrameBody) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *pooledFrameBody) Close() error {
+	b.once.Do(func() {
+		frameBufPool.Put(b.bp)
+		b.bp = nil
+	})
+	return nil
+}
+
 // NewClient creates a client for the server at base (e.g.
 // "http://127.0.0.1:9200") with connection-reuse-friendly transport limits
 // and a 10s default per-request timeout.
@@ -141,10 +165,14 @@ func (c *Client) BulkEvents(index string, events []event.Event) error {
 
 // BulkEventsContext is BulkEvents with a caller-supplied context.
 //
-// The first 415 response latches the client into NDJSON mode — the request
-// that hit the 415 is retried as NDJSON in the same call, so callers (and the
-// resilience ladder above them) never observe a spurious permanent failure
-// from version skew.
+// A server that rejects the binary frame is retried as NDJSON in the same
+// call, and a successful downgrade latches, so callers (and the resilience
+// ladder above them) never observe a spurious permanent failure from version
+// skew. Three rejection shapes exist in the wild: 415 from a server new
+// enough to negotiate, an arbitrary 4xx (typically 400 "bad document") from
+// a pre-negotiation server whose NDJSON scanner split the frame at whatever
+// 0x0A bytes the binary happened to contain, and a 200 {"items":0} ack from
+// the same scanner when the frame happened to contain none.
 func (c *Client) BulkEventsContext(ctx context.Context, index string, events []event.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -154,17 +182,26 @@ func (c *Client) BulkEventsContext(ctx context.Context, index string, events []e
 	}
 	bp := frameBufPool.Get().(*[]byte)
 	frame := event.EncodeBatch((*bp)[:0], events)
+	*bp = frame[:0] // keep the (possibly grown) backing array with the pool entry
+	body := &pooledFrameBody{r: bytes.NewReader(frame), bp: bp}
 	var out map[string]int
-	err := c.doBody(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk",
-		event.ContentTypeBinaryV1, frame, &out)
-	// Hand the (possibly grown) backing array back to the pool; the request
-	// body has been fully sent by the time doBody returns.
-	*bp = frame[:0]
-	frameBufPool.Put(bp)
+	err := c.doReader(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk",
+		event.ContentTypeBinaryV1, body, int64(len(frame)), &out)
 	var he *HTTPError
-	if errors.As(err, &he) && he.Status == http.StatusUnsupportedMediaType {
-		c.binaryDisabled.Store(true)
-		return c.bulkEventsNDJSON(ctx, index, events)
+	if errors.As(err, &he) && he.Status/100 == 4 && he.Status != http.StatusTooManyRequests {
+		// Any non-retryable 4xx on a binary frame is indistinguishable from
+		// "server does not speak binary": resend as NDJSON before letting
+		// the shipper classify the failure permanent and drop the batch.
+		ndErr := c.bulkEventsNDJSON(ctx, index, events)
+		if ndErr == nil || he.Status == http.StatusUnsupportedMediaType {
+			// The NDJSON path delivered (or the server explicitly refused
+			// the media type): latch so later batches skip the binary probe.
+			c.binaryDisabled.Store(true)
+		}
+		// When NDJSON also failed, surface its error: the problem is not
+		// the frame format, and the NDJSON error carries the right retry
+		// classification for the resilience layer.
+		return ndErr
 	}
 	if err == nil && out["items"] == 0 {
 		// A server predating the binary protocol does not answer 415: its
@@ -250,21 +287,39 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 // responses, so callers can dispatch on status (content negotiation, retry
 // classification).
 func (c *Client) doBody(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	return c.doReader(ctx, method, path, contentType, rdr, int64(len(body)), out)
+}
+
+// doReader is doBody over an arbitrary reader of known size. A body that
+// implements io.Closer is adopted as the request body and closed by the
+// transport when it has finished reading it (the hook pooledFrameBody uses
+// to recycle its buffer safely); such bodies are not replayable, so the
+// transport cannot transparently retry on a stale connection — the
+// resilience shipper above handles those retries.
+func (c *Client) doReader(ctx context.Context, method, path, contentType string, body io.Reader, size int64, out any) error {
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.reqTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
 		defer cancel()
 	}
-	var rdr io.Reader
-	if body != nil {
-		rdr = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
+		if cl, ok := body.(io.Closer); ok {
+			cl.Close()
+		}
 		return fmt.Errorf("new request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
+		if req.ContentLength == 0 && size > 0 {
+			// NewRequest only derives the length from the stdlib reader
+			// types; custom bodies would fall back to chunked encoding.
+			req.ContentLength = size
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -138,9 +138,10 @@ func (sh *shard) addEventLocked(e *event.Event) int32 {
 }
 
 func (sh *shard) postTermLocked(field, term string, id int32) {
-	if term == "" {
-		return
-	}
+	// Empty terms are posted too: EventToDoc stores these five fields
+	// unconditionally, so a generic row ingested through it lands "" in the
+	// postings (addLocked) and a Term query for "" must answer the same over
+	// typed rows.
 	sh.postings[field][term] = append(sh.postings[field][term], id)
 }
 

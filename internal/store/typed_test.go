@@ -1,10 +1,15 @@
 package store
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/dsrhaslab/dio-go/internal/event"
@@ -184,6 +189,180 @@ func TestLegacyServerSilentDrop(t *testing.T) {
 	}
 	if n, err := c.Count("run1", MatchAll()); err != nil || n != len(eventFixture()) {
 		t.Fatalf("count after legacy fallback = (%d, %v), want %d", n, err, len(eventFixture()))
+	}
+}
+
+// TestLegacyNDJSONScannerFallback drives BulkEvents against the real
+// pre-binary-protocol bulk handler: a line scanner with no Content-Type
+// dispatch that splits the body at 0x0A bytes and answers 400 "bad document"
+// when a chunk does not parse as JSON. A realistic binary frame almost
+// always contains an 0x0A somewhere in its little-endian integers (here
+// count=10, a ten-byte read), so this server generation answers neither 415
+// nor an empty ack. The client must treat the 400 as "does not speak
+// binary", resend as NDJSON within the same call, and latch the downgrade —
+// otherwise the shipper classifies the 400 permanent and drops the batch.
+func TestLegacyNDJSONScannerFallback(t *testing.T) {
+	st := New()
+	real := NewServer(st)
+	var rejected atomic.Int32
+	legacy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+		if len(parts) != 2 || parts[1] != "_bulk" {
+			real.ServeHTTP(w, r)
+			return
+		}
+		// The pre-binary handleBulk, verbatim: every body is NDJSON.
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+		var docs []Document
+		expectDoc := false
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if !expectDoc {
+				expectDoc = true
+				continue
+			}
+			var d Document
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				rejected.Add(1)
+				httpError(w, http.StatusBadRequest, "bad document: %v", err)
+				return
+			}
+			docs = append(docs, d)
+			expectDoc = false
+		}
+		if err := sc.Err(); err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		if err := st.Bulk(parts[0], docs); err != nil {
+			httpError(w, http.StatusInternalServerError, "bulk: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"items": len(docs)})
+	})
+	hs := httptest.NewServer(legacy)
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	events := eventFixture()
+	events[0].Count = 10 // read(fd, buf, 10): guarantees an 0x0A byte in the frame
+	if !bytes.ContainsRune(event.EncodeBatch(nil, events), '\n') {
+		t.Fatal("fixture frame contains no newline; the legacy scanner would not split it")
+	}
+	if err := c.BulkEvents("run1", events); err != nil {
+		t.Fatalf("BulkEvents against legacy scanner server: %v", err)
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("legacy server never rejected the frame; the 400 path was not exercised")
+	}
+	if !c.BinaryDisabled() {
+		t.Fatal("client did not latch NDJSON after the legacy 400")
+	}
+	if n, err := c.Count("run1", MatchAll()); err != nil || n != len(events) {
+		t.Fatalf("count after legacy fallback = (%d, %v), want %d", n, err, len(events))
+	}
+}
+
+// TestBulkEventsEarlyResponseNoRace hammers concurrent BulkEvents calls at a
+// server that answers before reading the request body — the path where
+// http.Client.Do returns while the transport's write goroutine may still be
+// reading the frame. Under -race this catches recycling the frame buffer
+// into the shared pool while an aborted write still reads it; bodies are
+// kept larger than the server's post-handler drain limit so the write really
+// is in flight when the response lands.
+func TestBulkEventsEarlyResponseNoRace(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// 429 replies without touching r.Body and does not trigger the
+		// NDJSON fallback, keeping the loop on the binary frame path.
+		httpError(w, http.StatusTooManyRequests, "rejected without reading the body")
+	}))
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL)
+
+	// Frames past the server's 256KB post-handler drain limit, so the
+	// connection is torn down while part of the frame is still unwritten.
+	batch := make([]event.Event, 4096)
+	for i := range batch {
+		batch[i] = event.Event{
+			Session: "s", Syscall: "write", Class: "data", ProcName: "proc",
+			ThreadName: "thread", PID: 1, TID: i, RetVal: 512,
+			TimeEnterNS: int64(i), TimeExitNS: int64(i) + 1,
+			ArgPath:     strings.Repeat("x", 512),
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				// Every call fails with 429; the point is frame-buffer
+				// lifetime across aborted writes, not delivery.
+				_ = c.BulkEvents("run1", batch)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEmptyStringPresenceParity pins the document-view presence contract on
+// the always-stored string fields: EventToDoc writes session, syscall,
+// class, proc_name, and thread_name even when empty, so a Term query for ""
+// (and Exists) must answer identically whether the same rows were ingested
+// typed or as documents — across the postings fast path, the typed scan,
+// and the legacy full scan.
+func TestEmptyStringPresenceParity(t *testing.T) {
+	events := eventFixture() // Class is empty on every fixture event
+	events[2].ThreadName = ""
+	docs := make([]Document, len(events))
+	for i := range events {
+		docs[i] = EventToDoc(&events[i])
+	}
+	typed := NewIndex("typed")
+	typed.AddEvents(events)
+	docIx := NewIndex("docs")
+	docIx.AddBulk(docs)
+	legacyIx := NewIndex("legacy")
+	legacyIx.AddBulk(docs)
+	legacyIx.SetLegacyScan(true)
+
+	queries := map[string]Query{
+		"empty class term":  Term("class", ""),
+		"empty thread term": Term("thread_name", ""),
+		"empty syscall":     Term("syscall", ""),
+		"class exists":      Exists("class"),
+		// Omitted-when-empty fields must keep matching nothing.
+		"empty arg_path term": Term("arg_path", ""),
+	}
+	for name, q := range queries {
+		want := docIx.Count(q)
+		if got := typed.Count(q); got != want {
+			t.Errorf("%s: typed %d, document %d", name, got, want)
+		}
+		if got := legacyIx.Count(q); got != want {
+			t.Errorf("%s: legacy scan %d, document %d", name, got, want)
+		}
+	}
+
+	// Field/Visit agree with the document view key-for-key, empty values
+	// included (every value in the schema is a comparable string/int64/bool).
+	for i := range events {
+		d := docs[i]
+		seen := map[string]any{}
+		events[i].Visit(func(name string, v any) { seen[name] = v })
+		if len(seen) != len(d) {
+			t.Fatalf("event %d: Visit yielded %d fields, document has %d\nvisit: %v\ndoc:   %v",
+				i, len(seen), len(d), seen, d)
+		}
+		for k, dv := range d {
+			if sv, ok := seen[k]; !ok || sv != dv {
+				t.Errorf("event %d field %q: typed %v (present=%t), document %v", i, k, sv, ok, dv)
+			}
+		}
 	}
 }
 
