@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-smoke scale chaos lint examples
+.PHONY: tier1 build test race vet bench bench-smoke scale chaos crash lint examples
 
 ## tier1: the PR gate — vet, build (examples included), the dead-symbol
 ## lint, tests, the race detector over the concurrency-heavy packages (store
 ## sharding, tracer drain workers), the chaos suite (fault injection on the
-## ship path), and a smoke run of the ingest benchmarks.
-tier1: vet build examples lint test race chaos bench-smoke
+## ship path), the crash-recovery matrix (durability kill points), and a
+## smoke run of the ingest benchmarks (WAL overhead included).
+tier1: vet build examples lint test race chaos crash bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,10 +18,10 @@ examples:
 
 ## lint: dead-symbol analysis — unexported package-level declarations that
 ## nothing in their package references (the class of bug behind the dead
-## openSyscalls dictionary in correlate.go), plus an audit of the store
-## package for exported symbols nothing outside the package uses.
+## openSyscalls dictionary in correlate.go), plus an audit of the store and
+## durable packages for exported symbols nothing outside them uses.
 lint:
-	$(GO) run ./internal/tools/deadsym -exported internal/store .
+	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable .
 
 test:
 	$(GO) test ./...
@@ -48,3 +49,9 @@ scale:
 ## tracer-level exact-accounting tests, raced and repeated.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Shipper|Breaker|Faulty|Spill' ./internal/resilience/ ./internal/store/ ./internal/core/
+
+## crash: the durability crash matrix — torn WAL tails, mid-snapshot kills,
+## superseded-log resurrection, frame-journal round-trips — each recovery
+## compared field-for-field against a never-crashed control, under -race.
+crash:
+	$(GO) test -race -run 'TestCrash|TestDurable|TestFrameJournal|TestRecovery|TestWAL|TestSegment|TestManifest' ./internal/store/ ./internal/durable/

@@ -7,6 +7,7 @@
 package dio_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func BenchmarkTable1SyscallCoverage(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			seen, _ := backend.Search("dio-events", store.SearchRequest{
+			seen, _ := backend.Search(context.Background(), "dio-events", store.SearchRequest{
 				Query: store.MatchAll(),
 				Size:  1,
 				Aggs:  map[string]store.Agg{"s": {Terms: &store.TermsAgg{Field: store.FieldSyscall}}},
@@ -455,7 +456,7 @@ func BenchmarkStoreBulkIndex(b *testing.B) {
 	b.ResetTimer()
 	st := store.New()
 	for i := 0; i < b.N; i++ {
-		if err := st.Bulk("bench", docs); err != nil {
+		if err := st.Bulk(context.Background(), "bench", docs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -485,7 +486,7 @@ func BenchmarkShipperOverhead(b *testing.B) {
 		docs := mkDocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := st.Bulk("bench", docs); err != nil {
+			if err := st.Bulk(context.Background(), "bench", docs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -495,7 +496,7 @@ func BenchmarkShipperOverhead(b *testing.B) {
 		docs := mkDocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := sh.Bulk("bench", docs); err != nil {
+			if err := sh.Bulk(context.Background(), "bench", docs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -531,7 +532,7 @@ func BenchmarkStoreQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := st.Search("bench", req); err != nil {
+		if _, err := st.Search(context.Background(), "bench", req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	diod -addr :9200
+//	diod -addr :9200 -data /var/lib/diod
 //	diod -addr :9200 -chaos
 package main
 
@@ -14,6 +15,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/dsrhaslab/dio-go/internal/store"
@@ -22,14 +26,28 @@ import (
 func main() {
 	addr := flag.String("addr", ":9200", "listen address")
 	chaos := flag.Bool("chaos", false, "enable the fault injector (arm it over POST /_chaos)")
+	data := flag.String("data", "", "data directory for WAL + snapshots (empty: in-memory only)")
+	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: interval, always, or off")
+	snapshot := flag.Duration("snapshot", time.Minute, "interval between columnar segment snapshots (0 disables)")
 	flag.Parse()
-	if err := run(*addr, *chaos); err != nil {
+	if err := run(*addr, *chaos, *data, *fsyncMode, *snapshot); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, chaos bool) error {
-	st := store.New()
+func run(addr string, chaos bool, data, fsyncMode string, snapshot time.Duration) error {
+	policy, err := store.ParseFsyncPolicy(fsyncMode)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(
+		store.WithDataDir(data),
+		store.WithFsyncPolicy(policy),
+		store.WithSnapshotInterval(snapshot),
+	)
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
 	var handler http.Handler = store.NewServer(st)
 	if chaos {
 		// Starts disarmed; POST a store.ChaosConfig to /_chaos to inject
@@ -42,9 +60,28 @@ func run(addr string, chaos bool) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("diod: analysis backend listening on %s\n", addr)
-	fmt.Println("endpoints: POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health | GET /metrics")
+	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health | GET /metrics")
+	if data != "" {
+		fmt.Printf("durability: data dir %s, fsync %s, snapshot every %s\n", data, policy, snapshot)
+	}
 	if chaos {
 		fmt.Println("chaos: fault injector enabled (disarmed); control via GET/POST /_chaos")
 	}
-	return srv.ListenAndServe()
+
+	// A durable store must flush its WAL and take a final snapshot on the
+	// way out, so SIGINT/SIGTERM drain through store.Close instead of
+	// dying mid-write.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		st.Close()
+		return err
+	case s := <-sig:
+		fmt.Printf("diod: %v, shutting down\n", s)
+		srv.Close()
+		return st.Close()
+	}
 }

@@ -7,6 +7,7 @@
 package dio_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -106,7 +107,7 @@ func BenchmarkIngestTypedVsDocument(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			batch = ingestParse(raws, batch[:0])
-			if err := c.BulkEvents("bench", batch); err != nil {
+			if err := c.BulkEvents(context.Background(), "bench", batch); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -132,11 +133,55 @@ func BenchmarkIngestTypedVsDocument(b *testing.B) {
 			for j := range batch {
 				docs = append(docs, store.EventToDoc(&batch[j]))
 			}
-			if err := c.Bulk("bench", docs); err != nil {
+			if err := c.Bulk(context.Background(), "bench", docs); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(ingestBatchSize), "events/op")
+	})
+}
+
+// BenchmarkIngestWALOverhead prices the durability layer on the deployed
+// ingest path: the same 512-event batches shipped as binary frames through a
+// real HTTP server (the received frame is journaled verbatim, so the WAL
+// pays no re-encode) into an in-memory store versus durable stores under
+// each fsync policy. The acceptance bar for the default interval policy is
+// <=15% events/sec below in-memory; see BENCH_store.json.
+func BenchmarkIngestWALOverhead(b *testing.B) {
+	raws := ingestRecords()
+	run := func(b *testing.B, opts ...store.Option) {
+		st, err := store.Open(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		srv := httptest.NewServer(store.NewServer(st))
+		defer srv.Close()
+		c := store.NewClient(srv.URL)
+		batch := make([]event.Event, 0, ingestBatchSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch = ingestParse(raws, batch[:0])
+			if err := c.BulkEvents(context.Background(), "bench", batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ingestBatchSize), "events/op")
+		if c.BinaryDisabled() {
+			b.Fatal("typed path fell back to NDJSON")
+		}
+	}
+	b.Run("Memory", func(b *testing.B) { run(b) })
+	b.Run("WALInterval", func(b *testing.B) {
+		run(b, store.WithDataDir(b.TempDir()), store.WithFsyncPolicy(store.FsyncInterval), store.WithSnapshotInterval(0))
+	})
+	b.Run("WALAlways", func(b *testing.B) {
+		run(b, store.WithDataDir(b.TempDir()), store.WithFsyncPolicy(store.FsyncAlways), store.WithSnapshotInterval(0))
+	})
+	b.Run("WALOff", func(b *testing.B) {
+		run(b, store.WithDataDir(b.TempDir()), store.WithFsyncPolicy(store.FsyncOff), store.WithSnapshotInterval(0))
 	})
 }

@@ -8,6 +8,8 @@
 package analysis
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -68,7 +70,7 @@ var dataSyscalls = []any{"read", "pread64", "readv", "write", "pwrite64", "write
 // FileOffsetPattern analyzes the offset pattern of filePath within a
 // session. Events must have been path-correlated first (file_path set).
 func FileOffsetPattern(b store.Backend, index, session, filePath string) (OffsetPattern, error) {
-	resp, err := store.SearchEvents(b, index, store.SearchRequest{
+	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Term(store.FieldFilePath, filePath),
@@ -130,7 +132,7 @@ type FileLoad struct {
 // HotFiles ranks the session's files by data volume — the skew view that
 // turns "the disk is busy" into "these files are busy".
 func HotFiles(b store.Backend, index, session string, topN int) ([]FileLoad, error) {
-	resp, err := store.SearchEvents(b, index, store.SearchRequest{
+	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Exists(store.FieldFilePath),
@@ -189,7 +191,7 @@ type SessionDelta struct {
 // Fluent Bit v1.4.0 against v2.0.5 this way).
 func CompareSessions(b store.Backend, index, sessionA, sessionB string) ([]SessionDelta, error) {
 	counts := func(session string) (map[string]int, map[string]int, error) {
-		resp, err := b.Search(index, store.SearchRequest{
+		resp, err := b.Search(context.Background(), index, store.SearchRequest{
 			Query: store.Term(store.FieldSession, session),
 			Size:  1,
 			Aggs: map[string]store.Agg{
@@ -204,7 +206,7 @@ func CompareSessions(b store.Backend, index, sessionA, sessionB string) ([]Sessi
 		for _, bkt := range resp.Aggs["all"].Buckets {
 			all[bkt.Key] = bkt.Count
 		}
-		respErr, err := b.Search(index, store.SearchRequest{
+		respErr, err := b.Search(context.Background(), index, store.SearchRequest{
 			Query: store.Must(
 				store.Term(store.FieldSession, session),
 				store.Query{Range: &store.RangeQuery{Field: store.FieldRetVal, LT: ptr(0.0)}},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -127,7 +128,7 @@ func TestTracerChaosExactAccounting(t *testing.T) {
 	}
 	// The store holds exactly the shipped events: nothing duplicated by
 	// retries-after-spill, nothing missing.
-	n, err := inner.Count("events", store.Term(store.FieldSession, "chaos"))
+	n, err := inner.Count(context.Background(), "events", store.Term(store.FieldSession, "chaos"))
 	if err != nil {
 		t.Fatalf("count: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestTracerChaosOverHTTP(t *testing.T) {
 	if stats.Retries == 0 {
 		t.Fatal("no retries despite injected 503s")
 	}
-	n, err := st.Count("events", store.Term(store.FieldSession, "chaos-http"))
+	n, err := st.Count(context.Background(), "events", store.Term(store.FieldSession, "chaos-http"))
 	if err != nil {
 		t.Fatalf("count: %v", err)
 	}
@@ -234,7 +235,7 @@ func (a *atomic64) next() int {
 	return a.n
 }
 
-func (c *countingFailBackend) Bulk(string, []store.Document) error {
+func (c *countingFailBackend) Bulk(context.Context, string, []store.Document) error {
 	return fmt.Errorf("backend unavailable (failure %d)", c.calls.next())
 }
 

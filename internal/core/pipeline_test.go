@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func TestNearRealTimeVisibility(t *testing.T) {
 	// Without stopping the tracer, the events must appear at the backend.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		n, _ := backend.Count("events", store.Term(store.FieldSession, "live"))
+		n, _ := backend.Count(context.Background(), "events", store.Term(store.FieldSession, "live"))
 		if n >= 2 {
 			break
 		}
@@ -96,7 +97,7 @@ func TestTracerConcurrentTasks(t *testing.T) {
 		t.Fatalf("shipped = %d, want %d", st.Shipped, wantEvents)
 	}
 	// Every event is attributed to a distinct tid within the right pid.
-	resp, _ := backend.Search("events", store.SearchRequest{
+	resp, _ := backend.Search(context.Background(), "events", store.SearchRequest{
 		Query: store.Term(store.FieldSession, "mt"),
 		Size:  1,
 		Aggs: map[string]store.Agg{
@@ -138,11 +139,11 @@ func TestTracerTIDFilter(t *testing.T) {
 	if st.Shipped != 2 {
 		t.Fatalf("shipped = %d, want 2", st.Shipped)
 	}
-	n, _ := backend.Count("events", store.Term(store.FieldTID, keep.TID()))
+	n, _ := backend.Count(context.Background(), "events", store.Term(store.FieldTID, keep.TID()))
 	if n != 2 {
 		t.Fatalf("keep-tid events = %d", n)
 	}
-	n, _ = backend.Count("events", store.Term(store.FieldTID, skip.TID()))
+	n, _ = backend.Count(context.Background(), "events", store.Term(store.FieldTID, skip.TID()))
 	if n != 0 {
 		t.Fatalf("skip-tid events leaked: %d", n)
 	}
@@ -188,13 +189,13 @@ func TestTracerSessionIsolation(t *testing.T) {
 		t.Fatalf("stop b: %v", err)
 	}
 
-	nA, _ := backend.Count("events", store.Term(store.FieldSession, "sess-a"))
-	nB, _ := backend.Count("events", store.Term(store.FieldSession, "sess-b"))
+	nA, _ := backend.Count(context.Background(), "events", store.Term(store.FieldSession, "sess-a"))
+	nB, _ := backend.Count(context.Background(), "events", store.Term(store.FieldSession, "sess-b"))
 	if nA != 2 || nB != 3 {
 		t.Fatalf("session counts = %d/%d, want 2/3", nA, nB)
 	}
 	// No cross-contamination: session A has no pid-B events.
-	n, _ := backend.Count("events", store.Must(
+	n, _ := backend.Count(context.Background(), "events", store.Must(
 		store.Term(store.FieldSession, "sess-a"),
 		store.Term(store.FieldPID, procB.PID()),
 	))

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -419,7 +420,7 @@ func (t *Tracer) Stop() (Stats, error) {
 	var res store.CorrelationResult
 	var err error
 	if t.cfg.AutoCorrelate {
-		res, err = t.cfg.Backend.Correlate(t.cfg.Index, t.cfg.SessionName)
+		res, err = t.cfg.Backend.Correlate(context.Background(), t.cfg.Index, t.cfg.SessionName)
 	}
 	if err == nil {
 		err = t.errs.err()
@@ -533,7 +534,7 @@ func (t *Tracer) drain(w *drainWorker) {
 		if tmOn {
 			start = time.Now()
 		}
-		err := store.ShipEvents(t.backend, t.cfg.Index, batch)
+		err := store.ShipEvents(context.Background(), t.backend, t.cfg.Index, batch)
 		if tmOn {
 			d := float64(time.Since(start))
 			t.tm.flushNS.Observe(d)

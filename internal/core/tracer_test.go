@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -82,7 +83,7 @@ func TestTracerEndToEnd(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 
-	resp, err := backend.Search("events", store.SearchRequest{
+	resp, err := backend.Search(context.Background(), "events", store.SearchRequest{
 		Query: store.Term(store.FieldSession, "e2e"),
 		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
 	})
@@ -150,7 +151,7 @@ func TestTracerFiltersToConfiguredSyscalls(t *testing.T) {
 	if st.Shipped != 3 {
 		t.Fatalf("shipped = %d, want 3 (open,write,close)", st.Shipped)
 	}
-	n, _ := backend.Count("events", store.Term(store.FieldSyscall, "fsync"))
+	n, _ := backend.Count(context.Background(), "events", store.Term(store.FieldSyscall, "fsync"))
 	if n != 0 {
 		t.Fatal("fsync event leaked past syscall filter")
 	}
@@ -176,8 +177,8 @@ func TestTracerMultipleSessionsShareBackend(t *testing.T) {
 	}
 	run("r1")
 	run("r2")
-	n1, _ := backend.Count("events", store.Term(store.FieldSession, "r1"))
-	n2, _ := backend.Count("events", store.Term(store.FieldSession, "r2"))
+	n1, _ := backend.Count(context.Background(), "events", store.Term(store.FieldSession, "r1"))
+	n2, _ := backend.Count(context.Background(), "events", store.Term(store.FieldSession, "r2"))
 	if n1 != 2 || n2 != 2 {
 		t.Fatalf("per-session counts = %d/%d, want 2/2", n1, n2)
 	}
@@ -221,7 +222,7 @@ func TestTracerDropAccounting(t *testing.T) {
 // failingBackend fails every bulk request.
 type failingBackend struct{ store.Backend }
 
-func (f failingBackend) Bulk(string, []store.Document) error {
+func (f failingBackend) Bulk(context.Context, string, []store.Document) error {
 	return errors.New("backend unavailable")
 }
 
@@ -269,7 +270,7 @@ func TestTracerOverHTTPBackend(t *testing.T) {
 	if stats.Shipped != 3 {
 		t.Fatalf("shipped = %d", stats.Shipped)
 	}
-	n, _ := st.Count("events", store.Exists(store.FieldFilePath))
+	n, _ := st.Count(context.Background(), "events", store.Exists(store.FieldFilePath))
 	if n != 3 {
 		t.Fatalf("correlated events at remote store = %d, want 3", n)
 	}

@@ -11,6 +11,8 @@
 package diagnose
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -142,7 +144,7 @@ func Run(b store.Backend, index, session string, cfg Config) (Report, error) {
 // so freshly written data can never be delivered. The Fluent Bit v1.4.0
 // bug produces exactly this pattern after inode reuse.
 func DetectStaleOffsetReads(b store.Backend, index, session string) ([]Finding, error) {
-	resp, err := store.SearchEvents(b, index, store.SearchRequest{
+	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Terms(store.FieldSyscall, "read", "pread64", "readv"),
@@ -226,7 +228,7 @@ func DetectCostlyPatterns(b store.Backend, index, session string, cfg Config) ([
 // immediate smell for erroneous I/O usage.
 func DetectFailingSyscalls(b store.Backend, index, session string) ([]Finding, error) {
 	lt := 0.0
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := b.Search(context.Background(), index, store.SearchRequest{
 		Query: store.Must(
 			store.Term(store.FieldSession, session),
 			store.Query{Range: &store.RangeQuery{Field: store.FieldRetVal, LT: &lt}},
@@ -272,7 +274,7 @@ func DetectContention(b store.Backend, index, session, clientThread, backgroundP
 	if dropFraction <= 0 {
 		dropFraction = 0.5
 	}
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := b.Search(context.Background(), index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Size:  1,
 		Aggs: map[string]store.Agg{

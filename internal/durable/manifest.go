@@ -1,0 +1,85 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ManifestName is the per-index manifest file, the single commit point for
+// the snapshot protocol: whichever (segment, WAL) pair it names is the
+// recovery source; everything else in the directory is an orphan from an
+// interrupted snapshot and is ignored, then cleaned.
+const ManifestName = "MANIFEST"
+
+// Manifest names the committed recovery sources of one index directory.
+type Manifest struct {
+	Version    int  `json:"version"`
+	Shards     int  `json:"shards"`
+	WALSeq     int  `json:"wal_seq"`
+	SegmentSeq int  `json:"segment_seq"`
+	HasSegment bool `json:"has_segment"`
+}
+
+// WALName formats the WAL filename for sequence number seq.
+func WALName(seq int) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+// SegmentName formats the segment filename for sequence number seq.
+func SegmentName(seq int) string { return fmt.Sprintf("seg-%06d.snap", seq) }
+
+// LoadManifest reads the manifest in dir. A missing manifest returns
+// (zero manifest, false, nil): the directory is fresh (or a crash happened
+// before the first commit) and recovery starts empty with WAL seq 0.
+func LoadManifest(dir string) (Manifest, bool, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, false, nil
+		}
+		return m, false, fmt.Errorf("durable: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, false, fmt.Errorf("durable: parse manifest: %w", err)
+	}
+	return m, true, nil
+}
+
+// CommitManifest atomically publishes m as dir's manifest. After it returns,
+// a crash at any point recovers from exactly the state m names.
+func CommitManifest(dir string, m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("durable: encode manifest: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, ManifestName), data); err != nil {
+		return fmt.Errorf("durable: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// CleanOrphans removes files in dir left behind by an interrupted snapshot:
+// segment temporaries, and any wal-*/seg-* whose sequence number is not the
+// committed one. Removal is best-effort — recovery correctness never depends
+// on it, only disk hygiene does.
+func CleanOrphans(dir string, m Manifest) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepWAL := WALName(m.WALSeq)
+	keepSeg := SegmentName(m.SegmentSeq)
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+		case strings.HasPrefix(name, "wal-") && name != keepWAL:
+		case strings.HasPrefix(name, "seg-") && (name != keepSeg || !m.HasSegment):
+		default:
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, name))
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -106,7 +107,7 @@ func TestRunFig2Buggy(t *testing.T) {
 	if res.Tracer.Correlation.EventsUnresolved != 0 {
 		t.Fatalf("unresolved events: %d", res.Tracer.Correlation.EventsUnresolved)
 	}
-	n, err := res.Backend.Count(res.Index, store.Must(
+	n, err := res.Backend.Count(context.Background(), res.Index, store.Must(
 		store.Term(store.FieldSession, res.Session),
 		store.Term(store.FieldFilePath, "/var/log/app.log"),
 	))

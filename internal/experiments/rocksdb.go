@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"time"
@@ -247,7 +249,7 @@ func joinWindows(lat []metrics.WindowPoint, b store.Backend, index, session stri
 		starts = append(starts, p.StartNS)
 	}
 
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := b.Search(context.Background(), index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Size:  1,
 		Aggs: map[string]store.Agg{

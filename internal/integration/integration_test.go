@@ -6,6 +6,7 @@
 package integration
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -127,7 +128,7 @@ func TestFullPipelineOverHTTP(t *testing.T) {
 	}
 
 	// Both sessions' tagged events fully path-correlated on the server.
-	unresolved, err := client.Count("dio-events", store.Must(
+	unresolved, err := client.Count(context.Background(), "dio-events", store.Must(
 		store.Exists(store.FieldFileTag),
 		store.MustNot(store.Exists(store.FieldFilePath)),
 	))

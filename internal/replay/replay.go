@@ -10,6 +10,8 @@
 package replay
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/dsrhaslab/dio-go/internal/event"
@@ -47,7 +49,7 @@ type replayer struct {
 // Session replays every event of the session (ordered by entry timestamp)
 // against k. The backend may be in-process or remote.
 func Session(b store.Backend, index, session string, k *kernel.Kernel) (Result, error) {
-	resp, err := store.SearchEvents(b, index, store.SearchRequest{
+	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
 	})

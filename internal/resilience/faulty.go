@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -123,33 +124,33 @@ func (f *FaultyBackend) inject() error {
 }
 
 // Bulk injects the configured faults, then delegates.
-func (f *FaultyBackend) Bulk(index string, docs []store.Document) error {
+func (f *FaultyBackend) Bulk(ctx context.Context, index string, docs []store.Document) error {
 	if err := f.inject(); err != nil {
 		return err
 	}
-	return f.inner.Bulk(index, docs)
+	return f.inner.Bulk(ctx, index, docs)
 }
 
 // BulkEvents injects the configured faults on the typed ship path, then
 // delegates through the inner backend's typed path when it has one.
-func (f *FaultyBackend) BulkEvents(index string, events []event.Event) error {
+func (f *FaultyBackend) BulkEvents(ctx context.Context, index string, events []event.Event) error {
 	if err := f.inject(); err != nil {
 		return err
 	}
-	return store.ShipEvents(f.inner, index, events)
+	return store.ShipEvents(ctx, f.inner, index, events)
 }
 
 // Search delegates to the wrapped backend.
-func (f *FaultyBackend) Search(index string, req store.SearchRequest) (store.SearchResponse, error) {
-	return f.inner.Search(index, req)
+func (f *FaultyBackend) Search(ctx context.Context, index string, req store.SearchRequest) (store.SearchResponse, error) {
+	return f.inner.Search(ctx, index, req)
 }
 
 // Count delegates to the wrapped backend.
-func (f *FaultyBackend) Count(index string, q store.Query) (int, error) {
-	return f.inner.Count(index, q)
+func (f *FaultyBackend) Count(ctx context.Context, index string, q store.Query) (int, error) {
+	return f.inner.Count(ctx, index, q)
 }
 
 // Correlate delegates to the wrapped backend.
-func (f *FaultyBackend) Correlate(index, session string) (store.CorrelationResult, error) {
-	return f.inner.Correlate(index, session)
+func (f *FaultyBackend) Correlate(ctx context.Context, index, session string) (store.CorrelationResult, error) {
+	return f.inner.Correlate(ctx, index, session)
 }

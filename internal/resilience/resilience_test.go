@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,7 +22,7 @@ type recordingBackend struct {
 	batches   [][]store.Document
 }
 
-func (r *recordingBackend) Bulk(index string, docs []store.Document) error {
+func (r *recordingBackend) Bulk(_ context.Context, index string, docs []store.Document) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.calls++
@@ -56,11 +57,11 @@ func (r *recordingBackend) seqs() []int {
 	return out
 }
 
-func (r *recordingBackend) Search(string, store.SearchRequest) (store.SearchResponse, error) {
+func (r *recordingBackend) Search(context.Context, string, store.SearchRequest) (store.SearchResponse, error) {
 	return store.SearchResponse{}, nil
 }
-func (r *recordingBackend) Count(string, store.Query) (int, error) { return 0, nil }
-func (r *recordingBackend) Correlate(string, string) (store.CorrelationResult, error) {
+func (r *recordingBackend) Count(context.Context, string, store.Query) (int, error) { return 0, nil }
+func (r *recordingBackend) Correlate(context.Context, string, string) (store.CorrelationResult, error) {
 	return store.CorrelationResult{}, nil
 }
 
@@ -153,7 +154,7 @@ func TestShipperRetriesTransientFailures(t *testing.T) {
 	clk := clock.NewVirtual(0)
 	be := &recordingBackend{failFirst: 2}
 	s := NewShipper(be, testConfig(clk))
-	if err := s.Bulk("ix", batch(0, 4)); err != nil {
+	if err := s.Bulk(context.Background(), "ix", batch(0, 4)); err != nil {
 		t.Fatalf("Bulk: %v", err)
 	}
 	st := s.Stats()
@@ -168,7 +169,7 @@ func TestShipperRetriesTransientFailures(t *testing.T) {
 func TestShipperPermanentFailureDropsWithoutRetry(t *testing.T) {
 	be := &recordingBackend{failFirst: 100, permanent: true}
 	s := NewShipper(be, testConfig(clock.NewVirtual(0)))
-	err := s.Bulk("ix", batch(0, 4))
+	err := s.Bulk(context.Background(), "ix", batch(0, 4))
 	if err == nil || errors.Is(err, ErrSpilled) {
 		t.Fatalf("permanent failure should surface directly, got %v", err)
 	}
@@ -188,10 +189,10 @@ func TestShipperSpillsAndReplaysInOrder(t *testing.T) {
 	cfg.BreakerThreshold = 100 // isolate spill behavior from the breaker
 	s := NewShipper(be, cfg)
 
-	if err := s.Bulk("ix", batch(0, 3)); !errors.Is(err, ErrSpilled) {
+	if err := s.Bulk(context.Background(), "ix", batch(0, 3)); !errors.Is(err, ErrSpilled) {
 		t.Fatalf("outage Bulk = %v, want ErrSpilled", err)
 	}
-	if err := s.Bulk("ix", batch(3, 3)); !errors.Is(err, ErrSpilled) {
+	if err := s.Bulk(context.Background(), "ix", batch(3, 3)); !errors.Is(err, ErrSpilled) {
 		t.Fatalf("outage Bulk = %v, want ErrSpilled", err)
 	}
 	st := s.Stats()
@@ -203,7 +204,7 @@ func TestShipperSpillsAndReplaysInOrder(t *testing.T) {
 	be.mu.Lock()
 	be.failFirst = 0
 	be.mu.Unlock()
-	if err := s.Bulk("ix", batch(6, 3)); err != nil {
+	if err := s.Bulk(context.Background(), "ix", batch(6, 3)); err != nil {
 		t.Fatalf("post-recovery Bulk: %v", err)
 	}
 	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
@@ -231,7 +232,7 @@ func TestShipperSpillOverflowDropsOldestCounted(t *testing.T) {
 	s := NewShipper(be, cfg)
 
 	for i := 0; i < 4; i++ {
-		s.Bulk("ix", batch(i*4, 4)) // each exhausts retries and spills
+		s.Bulk(context.Background(), "ix", batch(i*4, 4)) // each exhausts retries and spills
 	}
 	st := s.Stats()
 	if st.Requeued != 16 || st.SpillDropped != 8 || st.SpillPending != 8 {
@@ -268,7 +269,7 @@ func TestShipperBreakerStopsHammeringAndFlushRecovers(t *testing.T) {
 	s := NewShipper(be, cfg)
 
 	// b1 exhausts its attempts (calls 1-3) and trips the breaker.
-	if err := s.Bulk("ix", batch(0, 2)); !errors.Is(err, ErrSpilled) {
+	if err := s.Bulk(context.Background(), "ix", batch(0, 2)); !errors.Is(err, ErrSpilled) {
 		t.Fatalf("b1 = %v, want ErrSpilled", err)
 	}
 	if s.Breaker().State() != BreakerOpen {
@@ -276,10 +277,10 @@ func TestShipperBreakerStopsHammeringAndFlushRecovers(t *testing.T) {
 	}
 	calls := be.Calls()
 	// b2 and b3 must spill without touching the dead backend.
-	if err := s.Bulk("ix", batch(2, 2)); !errors.Is(err, ErrSpilled) {
+	if err := s.Bulk(context.Background(), "ix", batch(2, 2)); !errors.Is(err, ErrSpilled) {
 		t.Fatalf("b2 = %v, want ErrSpilled", err)
 	}
-	if err := s.Bulk("ix", batch(4, 2)); !errors.Is(err, ErrSpilled) {
+	if err := s.Bulk(context.Background(), "ix", batch(4, 2)); !errors.Is(err, ErrSpilled) {
 		t.Fatalf("b3 = %v, want ErrSpilled", err)
 	}
 	if got := be.Calls(); got != calls {
@@ -311,7 +312,7 @@ func TestShipperFlushCountsUndeliverableBatches(t *testing.T) {
 	cfg := testConfig(clock.NewVirtual(0))
 	cfg.BreakerThreshold = 1000
 	s := NewShipper(be, cfg)
-	s.Bulk("ix", batch(0, 5))
+	s.Bulk(context.Background(), "ix", batch(0, 5))
 	if err := s.Flush(); err == nil {
 		t.Fatal("Flush against a dead backend should report an error")
 	}
@@ -349,16 +350,16 @@ func TestFaultyBackendScriptedOutageAndRates(t *testing.T) {
 	f := NewFaultyBackend(inner, 42)
 	f.ScriptOutage(1, 3)
 	docs := batch(0, 1)
-	if err := f.Bulk("ix", docs); err != nil {
+	if err := f.Bulk(context.Background(), "ix", docs); err != nil {
 		t.Fatalf("call 0 before outage: %v", err)
 	}
 	for i := 0; i < 2; i++ {
-		err := f.Bulk("ix", docs)
+		err := f.Bulk(context.Background(), "ix", docs)
 		if !errors.Is(err, ErrInjected) || !IsRetryable(err) {
 			t.Fatalf("outage call %d = %v, want retryable injected", i, err)
 		}
 	}
-	if err := f.Bulk("ix", docs); err != nil {
+	if err := f.Bulk(context.Background(), "ix", docs); err != nil {
 		t.Fatalf("call after outage: %v", err)
 	}
 	if f.Calls() != 4 || f.Injected() != 2 {
@@ -372,7 +373,7 @@ func TestFaultyBackendScriptedOutageAndRates(t *testing.T) {
 	f2.SetPermanent(true)
 	var injected int
 	for i := 0; i < 200; i++ {
-		if err := f2.Bulk("ix", docs); err != nil {
+		if err := f2.Bulk(context.Background(), "ix", docs); err != nil {
 			if IsRetryable(err) {
 				t.Fatalf("injected error should be permanent: %v", err)
 			}
@@ -397,7 +398,7 @@ func TestShipperConcurrentBulkRace(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				s.Bulk("ix", batch((w*perWorker+i)*n, n))
+				s.Bulk(context.Background(), "ix", batch((w*perWorker+i)*n, n))
 			}
 		}(w)
 	}

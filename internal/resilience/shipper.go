@@ -25,8 +25,8 @@ type Config struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the exponential growth (default 1s).
 	MaxBackoff time.Duration
-	// AttemptTimeout is the per-attempt deadline, enforced through context
-	// for backends implementing ContextBackend (default 5s).
+	// AttemptTimeout is the per-attempt deadline, layered onto the caller's
+	// context for each delivery attempt (default 5s).
 	AttemptTimeout time.Duration
 	// BreakerThreshold is the consecutive-failure count that opens the
 	// circuit breaker (default 5).
@@ -78,21 +78,6 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	return c
-}
-
-// ContextBackend is the optional context-aware bulk interface; store.Client
-// implements it, letting the shipper enforce per-attempt deadlines on the
-// HTTP path. The in-process store completes synchronously and does not need
-// one.
-type ContextBackend interface {
-	BulkContext(ctx context.Context, index string, docs []store.Document) error
-}
-
-// ContextEventBackend is the typed counterpart of ContextBackend:
-// store.Client implements it, so typed batches get per-attempt deadlines and
-// binary-frame content negotiation on the HTTP path.
-type ContextEventBackend interface {
-	BulkEventsContext(ctx context.Context, index string, events []event.Event) error
 }
 
 // Stats is a snapshot of the shipper's event accounting. Every event handed
@@ -200,33 +185,34 @@ func NewShipper(backend store.Backend, cfg Config) *Shipper {
 
 // Bulk ships docs with retries; on exhaustion the batch spills (ErrSpilled)
 // and on permanent failure it is dropped and counted. Every event is
-// accounted for exactly once.
-func (s *Shipper) Bulk(index string, docs []store.Document) error {
+// accounted for exactly once. ctx bounds the whole delivery (per-attempt
+// deadlines layer AttemptTimeout on top of it).
+func (s *Shipper) Bulk(ctx context.Context, index string, docs []store.Document) error {
 	if len(docs) == 0 {
 		return nil
 	}
-	return s.deliver(spillBatch{index: index, docs: docs})
+	return s.deliver(ctx, spillBatch{index: index, docs: docs})
 }
 
 // BulkEvents ships typed events down the same ladder: retries, breaker,
 // spill, and counted drop all operate on the typed batch, which is only
 // degraded to documents if the backend itself has no typed path.
-func (s *Shipper) BulkEvents(index string, events []event.Event) error {
+func (s *Shipper) BulkEvents(ctx context.Context, index string, events []event.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	return s.deliver(spillBatch{index: index, events: events})
+	return s.deliver(ctx, spillBatch{index: index, events: events})
 }
 
 // deliver runs one batch (either representation) through the ladder.
-func (s *Shipper) deliver(b spillBatch) error {
+func (s *Shipper) deliver(ctx context.Context, b spillBatch) error {
 	// Replay parked batches first so a recovered backend receives events in
 	// the order they were drained.
 	if s.spill.size() > 0 {
-		s.tryReplay()
+		s.tryReplay(ctx)
 	}
 	n := uint64(b.n())
-	err := s.ship(&b, false)
+	err := s.ship(ctx, &b, false)
 	if err == nil {
 		s.shipped.Add(n)
 		return nil
@@ -267,7 +253,7 @@ func (s *Shipper) countReplayed(n uint64) {
 // ship runs the retry loop for one batch. bypassBreaker is the final flush's
 // last-chance mode: attempts proceed even while the breaker is open, and
 // their outcome still feeds the breaker so recovery is observed.
-func (s *Shipper) ship(b *spillBatch, bypassBreaker bool) error {
+func (s *Shipper) ship(ctx context.Context, b *spillBatch, bypassBreaker bool) error {
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -283,7 +269,7 @@ func (s *Shipper) ship(b *spillBatch, bypassBreaker bool) error {
 			}
 			return ErrBreakerOpen
 		}
-		err := s.attempt(b)
+		err := s.attempt(ctx, b)
 		if err == nil {
 			s.breaker.RecordSuccess()
 			return nil
@@ -297,25 +283,17 @@ func (s *Shipper) ship(b *spillBatch, bypassBreaker bool) error {
 	return lastErr
 }
 
-// attempt makes one delivery attempt, with a context deadline when the
-// backend supports it. Typed batches prefer the typed bulk interfaces and
-// degrade to EventToDoc + Bulk only for doc-only backends.
-func (s *Shipper) attempt(b *spillBatch) error {
+// attempt makes one delivery attempt under a per-attempt deadline layered
+// onto the caller's context. Typed batches prefer the typed bulk interfaces
+// and degrade to EventToDoc + Bulk only for doc-only backends.
+func (s *Shipper) attempt(ctx context.Context, b *spillBatch) error {
 	s.tmAttempts.Inc()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.AttemptTimeout)
+	defer cancel()
 	if b.events != nil {
-		if cb, ok := s.backend.(ContextEventBackend); ok {
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AttemptTimeout)
-			defer cancel()
-			return cb.BulkEventsContext(ctx, b.index, b.events)
-		}
-		return store.ShipEvents(s.backend, b.index, b.events)
+		return store.ShipEvents(ctx, s.backend, b.index, b.events)
 	}
-	if cb, ok := s.backend.(ContextBackend); ok {
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.AttemptTimeout)
-		defer cancel()
-		return cb.BulkContext(ctx, b.index, b.docs)
-	}
-	return s.backend.Bulk(b.index, b.docs)
+	return s.backend.Bulk(ctx, b.index, b.docs)
 }
 
 // backoffDelay computes the attempt'th delay: full jitter over an
@@ -338,7 +316,7 @@ func (s *Shipper) backoffDelay(attempt int, lastErr error) time.Duration {
 // tryReplay drains the spill queue opportunistically: it backs off
 // immediately if another goroutine is already replaying or the backend is
 // still failing.
-func (s *Shipper) tryReplay() {
+func (s *Shipper) tryReplay(ctx context.Context) {
 	if !s.replayMu.TryLock() {
 		return
 	}
@@ -348,7 +326,7 @@ func (s *Shipper) tryReplay() {
 		if !ok {
 			return
 		}
-		err := s.ship(&b, false)
+		err := s.ship(ctx, &b, false)
 		if err == nil {
 			s.countReplayed(uint64(b.n()))
 			continue
@@ -378,7 +356,7 @@ func (s *Shipper) Flush() error {
 		if !ok {
 			break
 		}
-		err := s.ship(&b, true)
+		err := s.ship(context.Background(), &b, true)
 		if err == nil {
 			s.countReplayed(uint64(b.n()))
 			continue
@@ -410,22 +388,22 @@ func (s *Shipper) Stats() Stats {
 func (s *Shipper) Breaker() *Breaker { return s.breaker }
 
 // Search delegates to the wrapped backend.
-func (s *Shipper) Search(index string, req store.SearchRequest) (store.SearchResponse, error) {
-	return s.backend.Search(index, req)
+func (s *Shipper) Search(ctx context.Context, index string, req store.SearchRequest) (store.SearchResponse, error) {
+	return s.backend.Search(ctx, index, req)
 }
 
 // SearchEvents delegates typed search to the wrapped backend (converting
 // through the schema when the backend is doc-only).
-func (s *Shipper) SearchEvents(index string, req store.SearchRequest) (store.EventsResult, error) {
-	return store.SearchEvents(s.backend, index, req)
+func (s *Shipper) SearchEvents(ctx context.Context, index string, req store.SearchRequest) (store.EventsResult, error) {
+	return store.SearchEvents(ctx, s.backend, index, req)
 }
 
 // Count delegates to the wrapped backend.
-func (s *Shipper) Count(index string, q store.Query) (int, error) {
-	return s.backend.Count(index, q)
+func (s *Shipper) Count(ctx context.Context, index string, q store.Query) (int, error) {
+	return s.backend.Count(ctx, index, q)
 }
 
 // Correlate delegates to the wrapped backend.
-func (s *Shipper) Correlate(index, session string) (store.CorrelationResult, error) {
-	return s.backend.Correlate(index, session)
+func (s *Shipper) Correlate(ctx context.Context, index, session string) (store.CorrelationResult, error) {
+	return s.backend.Correlate(ctx, index, session)
 }

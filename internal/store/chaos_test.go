@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -15,7 +16,7 @@ func TestHealthEndpoint(t *testing.T) {
 	if err := c.Health(); err != nil {
 		t.Fatalf("Health: %v", err)
 	}
-	st.Bulk("run1", docFixture())
+	st.Bulk(context.Background(), "run1", docFixture())
 	if err := c.Health(); err != nil {
 		t.Fatalf("Health after writes: %v", err)
 	}
@@ -50,7 +51,7 @@ func TestClientSurfacesRetryAfter(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := NewClient(srv.URL)
-	err := c.Bulk("ix", docFixture())
+	err := c.Bulk(context.Background(), "ix", docFixture())
 	var he *HTTPError
 	if !errors.As(err, &he) {
 		t.Fatalf("err = %v (%T), want *HTTPError", err, err)
@@ -67,7 +68,7 @@ func TestClientCapsErrorBody(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := NewClient(srv.URL)
-	err := c.Bulk("ix", docFixture())
+	err := c.Bulk(context.Background(), "ix", docFixture())
 	var he *HTTPError
 	if !errors.As(err, &he) {
 		t.Fatalf("err = %v, want *HTTPError", err)
@@ -107,11 +108,11 @@ func TestChaosHandlerScriptedOutage(t *testing.T) {
 	defer srv.Close()
 	c := NewClient(srv.URL)
 
-	if err := c.Bulk("ix", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "ix", docFixture()); err != nil {
 		t.Fatalf("bulk call 0 (before outage): %v", err)
 	}
 	for i := 0; i < 2; i++ {
-		err := c.Bulk("ix", docFixture())
+		err := c.Bulk(context.Background(), "ix", docFixture())
 		var he *HTTPError
 		if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
 			t.Fatalf("outage bulk %d = %v, want 503", i, err)
@@ -120,14 +121,14 @@ func TestChaosHandlerScriptedOutage(t *testing.T) {
 			t.Fatalf("outage bulk %d retry-after = %v", i, he.RetryAfterHint())
 		}
 	}
-	if err := c.Bulk("ix", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "ix", docFixture()); err != nil {
 		t.Fatalf("bulk after outage: %v", err)
 	}
 	if chaos.Injected() != 2 {
 		t.Fatalf("injected = %d, want 2", chaos.Injected())
 	}
 	// Queries were never chaos targets outside outages.
-	if _, err := c.Count("ix", Query{}); err != nil {
+	if _, err := c.Count(context.Background(), "ix", Query{}); err != nil {
 		t.Fatalf("count: %v", err)
 	}
 }
@@ -146,7 +147,7 @@ func TestChaosHandlerControlEndpoint(t *testing.T) {
 	resp.Body.Close()
 
 	c := NewClient(srv.URL)
-	err = c.Bulk("ix", docFixture())
+	err = c.Bulk(context.Background(), "ix", docFixture())
 	var he *HTTPError
 	if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests {
 		t.Fatalf("bulk under rate-1 chaos = %v, want 429", err)
@@ -157,7 +158,7 @@ func TestChaosHandlerControlEndpoint(t *testing.T) {
 
 	// Disarm and verify the report endpoint.
 	http.Post(srv.URL+"/_chaos", "application/json", bytes.NewReader([]byte("{}")))
-	if err := c.Bulk("ix", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "ix", docFixture()); err != nil {
 		t.Fatalf("bulk after disarm: %v", err)
 	}
 	get, err := http.Get(srv.URL + "/_chaos")

@@ -51,12 +51,15 @@ const maxErrorBody = 8 * 1024
 
 // Client is the HTTP counterpart of *Store: the tracer uses it to ship
 // events to a backend running on a separate server, keeping analysis load
-// off the traced machine (§II-F). It implements Backend, and additionally
-// resilience.ContextBackend so the retrying shipper can enforce per-attempt
-// deadlines.
+// off the traced machine (§II-F). It implements Backend; every canonical
+// method takes a context first, so the retrying shipper can enforce
+// per-attempt deadlines directly.
 type Client struct {
 	base string
 	hc   *http.Client
+	// prefix is prepended to every API path ("" for the legacy unversioned
+	// routes, "/v1" when the client opts into the versioned surface).
+	prefix string
 	// reqTimeout bounds each request via context when the caller supplies
 	// none; distinct from the transport-level safety-net timeout.
 	reqTimeout time.Duration
@@ -107,17 +110,29 @@ func (b *pooledFrameBody) Close() error {
 	return nil
 }
 
+// ClientOption customizes a Client at construction time.
+type ClientOption func(*Client)
+
+// WithAPIPrefix routes every request under the given path prefix.
+// WithAPIPrefix("/v1") selects the versioned REST surface; the default is
+// the legacy unversioned routes, which every server version understands.
+func WithAPIPrefix(prefix string) ClientOption {
+	return func(c *Client) {
+		c.prefix = strings.TrimRight(prefix, "/")
+	}
+}
+
 // NewClient creates a client for the server at base (e.g.
 // "http://127.0.0.1:9200") with connection-reuse-friendly transport limits
 // and a 10s default per-request timeout.
-func NewClient(base string) *Client {
+func NewClient(base string, opts ...ClientOption) *Client {
 	tr := &http.Transport{
 		MaxIdleConns:        32,
 		MaxIdleConnsPerHost: 32,
 		MaxConnsPerHost:     64,
 		IdleConnTimeout:     90 * time.Second,
 	}
-	return &Client{
+	c := &Client{
 		base: strings.TrimRight(base, "/"),
 		hc: &http.Client{
 			Transport: tr,
@@ -127,21 +142,27 @@ func NewClient(base string) *Client {
 		},
 		reqTimeout: 10 * time.Second,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // SetRequestTimeout overrides the default per-request deadline (0 disables
 // the client-imposed deadline; callers may still pass their own contexts).
 func (c *Client) SetRequestTimeout(d time.Duration) { c.reqTimeout = d }
 
-// Bulk ships docs to the named index using the NDJSON bulk API.
-func (c *Client) Bulk(index string, docs []Document) error {
-	return c.BulkContext(context.Background(), index, docs)
+// BulkContext is a deprecated alias for Bulk.
+//
+// Deprecated: use Bulk, which is context-first.
+func (c *Client) BulkContext(ctx context.Context, index string, docs []Document) error {
+	return c.Bulk(ctx, index, docs)
 }
 
-// BulkContext is Bulk with a caller-supplied context, letting the resilience
-// shipper bound each delivery attempt. The NDJSON body is built in a pooled
-// buffer and streamed from it, so repeated bulks reuse one allocation.
-func (c *Client) BulkContext(ctx context.Context, index string, docs []Document) error {
+// Bulk ships docs to the named index using the NDJSON bulk API. The NDJSON
+// body is built in a pooled buffer and streamed from it, so repeated bulks
+// reuse one allocation.
+func (c *Client) Bulk(ctx context.Context, index string, docs []Document) error {
 	buf := bulkBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bulkBufPool.Put(buf)
@@ -157,13 +178,15 @@ func (c *Client) BulkContext(ctx context.Context, index string, docs []Document)
 		contentTypeJSON, buf.Bytes(), &out)
 }
 
-// BulkEvents ships typed events using the binary frame, falling back to the
-// NDJSON document path when the server does not speak it.
-func (c *Client) BulkEvents(index string, events []event.Event) error {
-	return c.BulkEventsContext(context.Background(), index, events)
+// BulkEventsContext is a deprecated alias for BulkEvents.
+//
+// Deprecated: use BulkEvents, which is context-first.
+func (c *Client) BulkEventsContext(ctx context.Context, index string, events []event.Event) error {
+	return c.BulkEvents(ctx, index, events)
 }
 
-// BulkEventsContext is BulkEvents with a caller-supplied context.
+// BulkEvents ships typed events using the binary frame, falling back to the
+// NDJSON document path when the server does not speak it.
 //
 // A server that rejects the binary frame is retried as NDJSON in the same
 // call, and a successful downgrade latches, so callers (and the resilience
@@ -173,7 +196,7 @@ func (c *Client) BulkEvents(index string, events []event.Event) error {
 // a pre-negotiation server whose NDJSON scanner split the frame at whatever
 // 0x0A bytes the binary happened to contain, and a 200 {"items":0} ack from
 // the same scanner when the frame happened to contain none.
-func (c *Client) BulkEventsContext(ctx context.Context, index string, events []event.Event) error {
+func (c *Client) BulkEvents(ctx context.Context, index string, events []event.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
@@ -221,7 +244,7 @@ func (c *Client) bulkEventsNDJSON(ctx context.Context, index string, events []ev
 	for i := range events {
 		docs[i] = EventToDoc(&events[i])
 	}
-	return c.BulkContext(ctx, index, docs)
+	return c.Bulk(ctx, index, docs)
 }
 
 // BinaryDisabled reports whether the client has latched onto the NDJSON
@@ -229,18 +252,32 @@ func (c *Client) bulkEventsNDJSON(ctx context.Context, index string, events []ev
 func (c *Client) BinaryDisabled() bool { return c.binaryDisabled.Load() }
 
 // Search runs req against the named index.
-func (c *Client) Search(index string, req SearchRequest) (SearchResponse, error) {
+func (c *Client) Search(ctx context.Context, index string, req SearchRequest) (SearchResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return SearchResponse{}, fmt.Errorf("encode search: %w", err)
 	}
 	var resp SearchResponse
-	err = c.do(context.Background(), http.MethodPost, "/"+url.PathEscape(index)+"/_search", body, &resp)
+	err = c.do(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_search", body, &resp)
 	return resp, err
 }
 
+// SearchEvents runs req against the named index and decodes the hits into
+// typed events client-side, so consumers share the Store's typed surface.
+func (c *Client) SearchEvents(ctx context.Context, index string, req SearchRequest) (EventsResult, error) {
+	resp, err := c.Search(ctx, index, req)
+	if err != nil {
+		return EventsResult{}, err
+	}
+	hits := make([]event.Event, len(resp.Hits))
+	for i, d := range resp.Hits {
+		hits[i] = DocToEvent(d)
+	}
+	return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}, nil
+}
+
 // Count counts documents matching q.
-func (c *Client) Count(index string, q Query) (int, error) {
+func (c *Client) Count(ctx context.Context, index string, q Query) (int, error) {
 	body, err := json.Marshal(q)
 	if err != nil {
 		return 0, fmt.Errorf("encode query: %w", err)
@@ -248,18 +285,18 @@ func (c *Client) Count(index string, q Query) (int, error) {
 	var out struct {
 		Count int `json:"count"`
 	}
-	err = c.do(context.Background(), http.MethodPost, "/"+url.PathEscape(index)+"/_count", body, &out)
+	err = c.do(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_count", body, &out)
 	return out.Count, err
 }
 
 // Correlate triggers the server-side file-path correlation algorithm.
-func (c *Client) Correlate(index, session string) (CorrelationResult, error) {
+func (c *Client) Correlate(ctx context.Context, index, session string) (CorrelationResult, error) {
 	path := "/" + url.PathEscape(index) + "/_correlate"
 	if session != "" {
 		path += "?session=" + url.QueryEscape(session)
 	}
 	var res CorrelationResult
-	err := c.do(context.Background(), http.MethodPost, path, nil, &res)
+	err := c.do(ctx, http.MethodPost, path, nil, &res)
 	return res, err
 }
 
@@ -306,7 +343,7 @@ func (c *Client) doReader(ctx context.Context, method, path, contentType string,
 		ctx, cancel = context.WithTimeout(ctx, c.reqTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+c.prefix+path, body)
 	if err != nil {
 		if cl, ok := body.(io.Closer); ok {
 			cl.Close()

@@ -1,6 +1,9 @@
 package store
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // CorrelationResult summarizes one run of the file-path correlation
 // algorithm (§II-C): how many file tags resolved to paths, and how many
@@ -99,10 +102,11 @@ func harvestAnchors(dict map[string]anchor, hits []Document) {
 // It can run while the tracer is still indexing (near-real-time pipeline)
 // or on demand after the session completes (§II-E).
 func CorrelateFilePaths(ix *Index, session string) CorrelationResult {
-	return correlateFilePaths(ix, session, nil)
+	res, _ := correlateFilePaths(context.Background(), ix, session, nil)
+	return res
 }
 
-func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) CorrelationResult {
+func correlateFilePaths(ctx context.Context, ix *Index, session string, tm *storeTelemetry) (CorrelationResult, error) {
 	var res CorrelationResult
 
 	sessionFilter := func() []Query {
@@ -115,7 +119,7 @@ func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) Correlati
 	// Step 1: harvest tag→path anchors from open-like events only — the
 	// syscalls whose path argument names the file the tag identifies.
 	dict := make(map[string]anchor)
-	openAnchors := ix.Search(SearchRequest{
+	openAnchors, err := ix.searchCtx(ctx, SearchRequest{
 		Query: Query{Bool: &BoolQuery{
 			Must: append(sessionFilter(),
 				Terms(FieldSyscall, openSyscalls...),
@@ -125,12 +129,15 @@ func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) Correlati
 		}},
 		Size: -1,
 	})
+	if err != nil {
+		return res, err
+	}
 	harvestAnchors(dict, openAnchors.Hits)
 
 	// Step 2 (fallback): for tags without an open anchor, any path-carrying
 	// tagged event still names the file; weaker evidence, so it never
 	// overrides an open anchor.
-	fallback := ix.Search(SearchRequest{
+	fallback, err := ix.searchCtx(ctx, SearchRequest{
 		Query: Query{Bool: &BoolQuery{
 			Must: append(sessionFilter(),
 				Exists(FieldFileTag),
@@ -140,6 +147,9 @@ func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) Correlati
 		}},
 		Size: -1,
 	})
+	if err != nil {
+		return res, err
+	}
 	fallbackDict := make(map[string]anchor)
 	harvestAnchors(fallbackDict, fallback.Hits)
 	for tag, c := range fallbackDict {
@@ -161,8 +171,9 @@ func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) Correlati
 		Must: append(sessionFilter(), Exists(FieldFileTag)),
 	}}
 	var withTag, updated, unresolved, already atomic.Int64
+	var ubqErr error
 	updateByQuery := func() {
-		ix.UpdateByQuery(q, func(d Document) bool {
+		_, ubqErr = ix.updateByQueryCtx(ctx, q, func(d Document) bool {
 			withTag.Add(1)
 			if str(d[FieldFilePath]) != "" {
 				already.Add(1)
@@ -192,5 +203,5 @@ func correlateFilePaths(ix *Index, session string, tm *storeTelemetry) Correlati
 	res.EventsUpdated = int(updated.Load())
 	res.EventsUnresolved = int(unresolved.Load())
 	res.EventsAlreadyResolved = int(already.Load())
-	return res
+	return res, ubqErr
 }

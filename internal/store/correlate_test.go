@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -150,7 +151,7 @@ func TestCorrelateDuringLiveIndexing(t *testing.T) {
 				for i := 1; i < perBatch; i++ {
 					docs = append(docs, Document{"session": "live", "syscall": "write", "file_tag": tag})
 				}
-				if err := st.Bulk("run-live", docs); err != nil {
+				if err := st.Bulk(context.Background(), "run-live", docs); err != nil {
 					t.Error(err)
 					return
 				}
@@ -161,7 +162,7 @@ func TestCorrelateDuringLiveIndexing(t *testing.T) {
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	for {
-		res, err := st.Correlate("run-live", "live")
+		res, err := st.Correlate(context.Background(), "run-live", "live")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestCorrelateDuringLiveIndexing(t *testing.T) {
 		select {
 		case <-done:
 			// Quiesced: one more pass must leave nothing unresolved.
-			final, err := st.Correlate("run-live", "live")
+			final, err := st.Correlate(context.Background(), "run-live", "live")
 			if err != nil {
 				t.Fatal(err)
 			}

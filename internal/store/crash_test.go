@@ -1,0 +1,422 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/durable"
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// The crash matrix: every test in this file simulates one kill point of the
+// durability protocol by doing to the data directory exactly what a crash
+// would (torn WAL tails, orphan temporaries, superseded files that were
+// never deleted), then recovers and requires the reopened store to be
+// byte-identical — full typed search, document search, aggregations, and
+// counts — to a control store that never crashed.
+
+const crashIndex = "events"
+
+// crashEvents builds one deterministic typed batch. Timestamps exceed 2^53
+// so any float64 coercion on the journal path would corrupt them.
+func crashEvents(round int) []event.Event {
+	base := int64(1<<60) + int64(round)*1_000_000
+	evs := make([]event.Event, 0, 8)
+	for i := 0; i < 8; i++ {
+		evs = append(evs, event.Event{
+			Session: "crash", Syscall: []string{"read", "write", "openat", "fsync"}[i%4],
+			Class: "file", ProcName: "app", ThreadName: "app-worker",
+			PID: 100 + round, TID: 200 + i,
+			RetVal: int64(i * 13), FD: 3 + i, Count: 4096,
+			TimeEnterNS: base + int64(i)*1000, TimeExitNS: base + int64(i)*1000 + 500,
+			FileTag: event.FileTag{Dev: 8, Ino: uint64(40 + i%3), BirthNS: base},
+			Offset:  int64(i) * 4096, HasOffset: i%2 == 0,
+			ArgPath: "/data/f" + string(rune('a'+i%3)),
+		})
+	}
+	return evs
+}
+
+// crashDocs builds one deterministic generic-document batch (the NDJSON
+// ingest shape: schema fields plus free-form extras).
+func crashDocs(round int) []Document {
+	docs := make([]Document, 0, 4)
+	for i := 0; i < 4; i++ {
+		docs = append(docs, Document{
+			FieldSession: "crash", FieldSyscall: "ioctl",
+			FieldRetVal: int64(round*10 + i), FieldPID: int64(100 + round),
+			FieldTimeEnter: int64(1<<60) + int64(round)*1_000_000 + int64(900+i),
+			"custom_note":  "round",
+			"custom_seq":   int64(i),
+		})
+	}
+	return docs
+}
+
+// ingestRound applies one round of mixed writes: a typed batch, a generic
+// batch, and (on odd rounds) an update-by-query rewrite — the three journal
+// record types.
+func ingestRound(t *testing.T, st *Store, round int) {
+	t.Helper()
+	ctx := context.Background()
+	if err := st.BulkEvents(ctx, crashIndex, crashEvents(round)); err != nil {
+		t.Fatalf("round %d: bulk events: %v", round, err)
+	}
+	if err := st.Bulk(ctx, crashIndex, crashDocs(round)); err != nil {
+		t.Fatalf("round %d: bulk docs: %v", round, err)
+	}
+	if round%2 == 1 {
+		_, err := st.UpdateByQuery(ctx, crashIndex, Term(FieldSyscall, "openat"), func(d Document) bool {
+			d[FieldFilePath] = "/resolved/by/round"
+			return true
+		})
+		if err != nil {
+			t.Fatalf("round %d: update-by-query: %v", round, err)
+		}
+	}
+}
+
+// controlStore replays rounds [0, rounds) into a fresh in-memory store: the
+// never-crashed reference state.
+func controlStore(t *testing.T, rounds int) *Store {
+	t.Helper()
+	st := New()
+	for r := 0; r < rounds; r++ {
+		ingestRound(t, st, r)
+	}
+	return st
+}
+
+// fingerprint serializes everything a reader can observe: the full typed
+// result set, the full document result set, a three-way aggregation, and
+// the total count. Two stores with equal fingerprints are indistinguishable
+// to every consumer in the repository.
+func fingerprint(t *testing.T, st *Store) string {
+	t.Helper()
+	ctx := context.Background()
+	req := SearchRequest{Query: MatchAll(), Size: -1, Aggs: map[string]Agg{
+		"by_syscall": {Terms: &TermsAgg{Field: FieldSyscall}},
+		"ret_stats":  {Stats: &StatsAgg{Field: FieldRetVal}},
+		"timeline":   {DateHistogram: &DateHistogramAgg{Field: FieldTimeEnter, IntervalNS: 1_000_000}},
+	}}
+	evs, err := st.SearchEvents(ctx, crashIndex, req)
+	if err != nil {
+		t.Fatalf("fingerprint typed search: %v", err)
+	}
+	docs, err := st.Search(ctx, crashIndex, req)
+	if err != nil {
+		t.Fatalf("fingerprint doc search: %v", err)
+	}
+	n, err := st.Count(ctx, crashIndex, MatchAll())
+	if err != nil {
+		t.Fatalf("fingerprint count: %v", err)
+	}
+	blob, err := json.Marshal(struct {
+		Events EventsResult
+		Docs   SearchResponse
+		Count  int
+	}{evs, docs, n})
+	if err != nil {
+		t.Fatalf("fingerprint marshal: %v", err)
+	}
+	return string(blob)
+}
+
+func openDurable(t *testing.T, dir string, opts ...Option) *Store {
+	t.Helper()
+	st, err := Open(append([]Option{
+		WithDataDir(dir),
+		WithFsyncPolicy(FsyncAlways),
+		WithSnapshotInterval(0), // snapshots only when the test asks
+	}, opts...)...)
+	if err != nil {
+		t.Fatalf("open durable store: %v", err)
+	}
+	return st
+}
+
+func indexDir(dir string) string { return filepath.Join(dir, indexDirName(crashIndex)) }
+func walFile(dir string, seq int) string {
+	return filepath.Join(indexDir(dir), durable.WALName(seq))
+}
+
+// TestDurableRoundTripAcrossReopen is the base case: no crash, just close
+// and reopen, with a snapshot in the middle so recovery exercises segment
+// load + WAL replay together.
+func TestDurableRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir, WithShards(4), WithFsyncInterval(time.Millisecond))
+	ingestRound(t, st, 0)
+	ingestRound(t, st, 1)
+	if err := st.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ingestRound(t, st, 2) // lands in the post-snapshot WAL
+	want := fingerprint(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen with a different configured shard count: the manifest's shard
+	// count must win, or gid arithmetic would scatter recovered rows.
+	re := openDurable(t, dir, WithShards(7))
+	defer re.Close()
+	if got := fingerprint(t, re); got != want {
+		t.Fatalf("reopened state diverged from pre-close state\n got: %.200s...\nwant: %.200s...", got, want)
+	}
+	if got := fingerprint(t, controlStore(t, 3)); got != want {
+		t.Fatalf("durable state diverged from in-memory control")
+	}
+	ix, _ := re.GetIndex(crashIndex)
+	if ix.NumShards() != 4 {
+		t.Fatalf("recovered shards = %d, want the manifest's 4", ix.NumShards())
+	}
+}
+
+// TestCrashTornWALTail kills the store mid-append: the WAL ends in a
+// partially-written record. Recovery must truncate the torn tail, restore
+// exactly the state of every complete record, and leave the log usable for
+// new appends.
+func TestCrashTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	st := openDurable(t, dir)
+	ingestRound(t, st, 0)
+	ingestRound(t, st, 1)
+	cut, err := os.Stat(walFile(dir, 0))
+	if err != nil {
+		t.Fatalf("stat wal: %v", err)
+	}
+	ingestRound(t, st, 2) // this round will be torn away
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The kill point: the first record of round 2 made it only partially to
+	// disk. Cutting a few bytes into it leaves a frame whose payload is
+	// shorter than its header claims.
+	if err := os.Truncate(walFile(dir, 0), cut.Size()+5); err != nil {
+		t.Fatalf("truncate wal: %v", err)
+	}
+
+	re := openDurable(t, dir, WithTelemetry(reg))
+	defer re.Close()
+	if got, want := fingerprint(t, re), fingerprint(t, controlStore(t, 2)); got != want {
+		t.Fatalf("recovered state != never-crashed control (rounds 0-1)")
+	}
+	if n := reg.Counter(telemetry.MetricWALTornTails, "").Value(); n != 1 {
+		t.Fatalf("torn-tail counter = %d, want 1", n)
+	}
+	// The repaired log must accept new writes and survive another reopen.
+	ingestRound(t, re, 2)
+	want := fingerprint(t, re)
+	re.Close()
+	re2 := openDurable(t, dir)
+	defer re2.Close()
+	if got := fingerprint(t, re2); got != want {
+		t.Fatalf("post-repair writes lost on second recovery")
+	}
+}
+
+// TestCrashMidSnapshot kills the store between snapshot steps: the next WAL
+// file exists, the segment is half-written as a temporary, and the manifest
+// was never committed. Recovery must ignore every orphan and rebuild purely
+// from the old WAL.
+func TestCrashMidSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir)
+	ingestRound(t, st, 0)
+	ingestRound(t, st, 1)
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The kill point: snapshot created wal-000001 (step 1) and was writing
+	// the segment temporary (step 2) when the process died — the manifest
+	// (step 3, the commit point) never landed.
+	if err := os.WriteFile(walFile(dir, 1), nil, 0o644); err != nil {
+		t.Fatalf("plant orphan wal: %v", err)
+	}
+	tmp := filepath.Join(indexDir(dir), durable.SegmentName(1)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written segment"), 0o644); err != nil {
+		t.Fatalf("plant orphan segment tmp: %v", err)
+	}
+
+	re := openDurable(t, dir)
+	defer re.Close()
+	if got, want := fingerprint(t, re), fingerprint(t, controlStore(t, 2)); got != want {
+		t.Fatalf("recovered state != never-crashed control")
+	}
+	for _, orphan := range []string{walFile(dir, 1), tmp} {
+		if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived recovery", filepath.Base(orphan))
+		}
+	}
+}
+
+// TestCrashAfterSnapshotBeforeTruncate kills the store after the manifest
+// committed but before the superseded WAL was deleted: both generations are
+// on disk. Recovery must follow the manifest — segment plus new WAL — and
+// not double-apply the old log.
+func TestCrashAfterSnapshotBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir)
+	ingestRound(t, st, 0)
+	ingestRound(t, st, 1)
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	oldWAL, err := os.ReadFile(walFile(dir, 0))
+	if err != nil {
+		t.Fatalf("save old wal: %v", err)
+	}
+
+	st = openDurable(t, dir)
+	if err := st.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ingestRound(t, st, 2) // journals into wal-000001, after the segment
+	if err := st.Close(); err != nil {
+		t.Fatalf("close after snapshot: %v", err)
+	}
+	// The kill point: resurrect the superseded WAL the cleanup step never
+	// got to delete.
+	if err := os.WriteFile(walFile(dir, 0), oldWAL, 0o644); err != nil {
+		t.Fatalf("restore superseded wal: %v", err)
+	}
+
+	re := openDurable(t, dir)
+	defer re.Close()
+	if got, want := fingerprint(t, re), fingerprint(t, controlStore(t, 3)); got != want {
+		t.Fatalf("recovered state != never-crashed control (old WAL double-applied or segment ignored)")
+	}
+	if _, err := os.Stat(walFile(dir, 0)); !os.IsNotExist(err) {
+		t.Fatalf("superseded wal-000000 survived recovery")
+	}
+}
+
+// TestRecoveryConservationLedger checks the recovery conservation
+// invariant through the telemetry ledger: recovered rows == segment rows +
+// replayed WAL rows, with replayed batches counted.
+func TestRecoveryConservationLedger(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir)
+	ingestRound(t, st, 0)
+	ingestRound(t, st, 1)
+	if err := st.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ingestRound(t, st, 2)
+	segRows := 2 * (len(crashEvents(0)) + len(crashDocs(0)))
+	walRows := len(crashEvents(2)) + len(crashDocs(2))
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	re := openDurable(t, dir, WithTelemetry(reg))
+	defer re.Close()
+	n, err := re.Count(context.Background(), crashIndex, MatchAll())
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	replayed := int(reg.Counter(telemetry.MetricReplayedEvents, "").Value())
+	if replayed != walRows {
+		t.Fatalf("replayed rows = %d, want %d", replayed, walRows)
+	}
+	if n != segRows+replayed {
+		t.Fatalf("conservation violated: %d docs != %d segment rows + %d replayed rows", n, segRows, replayed)
+	}
+	if b := reg.Counter(telemetry.MetricReplayedBatches, "").Value(); b == 0 {
+		t.Fatalf("replayed-batch counter did not advance")
+	}
+}
+
+// TestDeleteIndexRemovesDurableState checks that dropping an index removes
+// its directory, so a reopen does not resurrect it.
+func TestDeleteIndexRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir)
+	ingestRound(t, st, 0)
+	st.DeleteIndex(crashIndex)
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	re := openDurable(t, dir)
+	defer re.Close()
+	if _, ok := re.GetIndex(crashIndex); ok {
+		t.Fatalf("deleted index resurrected on reopen")
+	}
+}
+
+// TestFrameJournalRoundTrip covers the verbatim-frame WAL path: typed
+// batches shipped as binary frames through the HTTP server journal the
+// received bytes directly, and recovery must rebuild the same state as
+// direct in-process ingest.
+func TestFrameJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir)
+	srv := httptest.NewServer(NewServer(st))
+	c := NewClient(srv.URL, WithAPIPrefix("/v1"))
+	ctx := context.Background()
+	for r := 0; r < 2; r++ {
+		if err := c.BulkEvents(ctx, crashIndex, crashEvents(r)); err != nil {
+			t.Fatalf("round %d: ship frame: %v", r, err)
+		}
+	}
+	if c.BinaryDisabled() {
+		t.Fatal("client fell back to NDJSON; frame path not exercised")
+	}
+	want := fingerprint(t, st)
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re := openDurable(t, dir)
+	defer re.Close()
+	if got := fingerprint(t, re); got != want {
+		t.Fatalf("frame-journaled state diverged after recovery")
+	}
+	control := New()
+	for r := 0; r < 2; r++ {
+		if err := control.BulkEvents(ctx, crashIndex, crashEvents(r)); err != nil {
+			t.Fatalf("control round %d: %v", r, err)
+		}
+	}
+	if got := fingerprint(t, control); got != want {
+		t.Fatalf("frame-journaled state != direct-ingest control")
+	}
+}
+
+// TestContextCancellationStopsOps checks the context-first surface: a
+// cancelled context refuses writes and aborts read fan-out with the
+// context's error.
+func TestContextCancellationStopsOps(t *testing.T) {
+	st := New(WithShards(8))
+	if err := st.Bulk(context.Background(), crashIndex, crashDocs(0)); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := st.Bulk(ctx, crashIndex, crashDocs(1)); err != context.Canceled {
+		t.Fatalf("bulk on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := st.Search(ctx, crashIndex, SearchRequest{Query: MatchAll()}); err != context.Canceled {
+		t.Fatalf("search on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := st.Count(ctx, crashIndex, MatchAll()); err != context.Canceled {
+		t.Fatalf("count on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := st.UpdateByQuery(ctx, crashIndex, MatchAll(), func(Document) bool { return false }); err != context.Canceled {
+		t.Fatalf("update-by-query on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// The store must still be fully usable with a live context.
+	if n, err := st.Count(context.Background(), crashIndex, MatchAll()); err != nil || n != len(crashDocs(0)) {
+		t.Fatalf("count after cancelled ops = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,574 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/durable"
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// Durable indices journal through gob for generic documents and rewrites
+// (typed batches use the event binary codec). Gob round-trips int64 exactly;
+// a JSON journal would coerce nanosecond timestamps through float64 and
+// corrupt values above 2^53. These registrations cover every value type the
+// schema and the NDJSON ingest path can place in a Document.
+func init() {
+	gob.Register(Document{})
+	gob.Register(map[string]any{})
+	gob.Register([]any{})
+	gob.Register("")
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+}
+
+// walRewrite is one update-by-query effect: the final document state of the
+// row at Gid. Replay applies it onto the row the WAL prefix already rebuilt.
+type walRewrite struct {
+	Gid int
+	Doc Document
+}
+
+// durTelemetry groups the durability instruments. All fields are nil-safe
+// (the telemetry package's zero instruments discard observations), so the
+// in-memory store carries a nil pointer at zero cost.
+type durTelemetry struct {
+	appendNS   *telemetry.Histogram
+	fsyncNS    *telemetry.Histogram
+	appends    *telemetry.Counter
+	walBytes   *telemetry.Counter
+	fsyncs     *telemetry.Counter
+	snapshots  *telemetry.Counter
+	snapshotNS *telemetry.Histogram
+	recoveryNS *telemetry.Histogram
+	replayedB  *telemetry.Counter
+	replayedE  *telemetry.Counter
+	tornTails  *telemetry.Counter
+}
+
+func newDurTelemetry(reg *telemetry.Registry) *durTelemetry {
+	return &durTelemetry{
+		appendNS:   reg.Histogram(telemetry.MetricWALAppendNS, "one WAL record append", nil),
+		fsyncNS:    reg.Histogram(telemetry.MetricWALFsyncNS, "one WAL fsync", nil),
+		appends:    reg.Counter(telemetry.MetricWALAppends, "WAL records appended"),
+		walBytes:   reg.Counter(telemetry.MetricWALBytes, "WAL bytes appended"),
+		fsyncs:     reg.Counter(telemetry.MetricWALFsyncs, "WAL fsyncs issued"),
+		snapshots:  reg.Counter(telemetry.MetricSnapshots, "segment snapshots committed"),
+		snapshotNS: reg.Histogram(telemetry.MetricSnapshotNS, "one segment snapshot", nil),
+		recoveryNS: reg.Histogram(telemetry.MetricRecoveryNS, "one index recovery", nil),
+		replayedB:  reg.Counter(telemetry.MetricReplayedBatches, "WAL batches replayed during recovery"),
+		replayedE:  reg.Counter(telemetry.MetricReplayedEvents, "rows rebuilt from replayed WAL batches"),
+		tornTails:  reg.Counter(telemetry.MetricWALTornTails, "torn WAL tails truncated during recovery"),
+	}
+}
+
+// indexDurable is one index's durability state. Lock order: ubqMu → gate →
+// shard locks → appendMu; the WAL's own mutex nests innermost.
+//
+// The gate makes snapshots consistent: every mutating operation (bulk adds,
+// update-by-query) holds gate.RLock across both its WAL append and its
+// in-memory application, so when snapshot takes gate.Lock, memory state
+// equals exactly the state the WAL prefix reproduces — the invariant that
+// lets the snapshot atomically supersede the log.
+type indexDurable struct {
+	dir   string
+	fsync FsyncPolicy
+	tm    *durTelemetry
+
+	gate     sync.RWMutex // writers share; snapshot excludes
+	appendMu sync.Mutex   // serializes WAL append + gid reservation
+	ubqMu    sync.Mutex   // serializes update-by-query journaling
+
+	wal        *durable.WAL
+	walSeq     int
+	segSeq     int
+	hasSegment bool
+	segRows    int
+
+	dirty    atomic.Int64 // records appended since the last snapshot
+	unsynced atomic.Bool  // bytes appended since the last fsync
+	segGauge atomic.Bool  // hasSegment, readable without the gate
+}
+
+// encodePool recycles WAL payload scratch buffers across appends.
+var encodePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16*1024)
+	return &b
+}}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("store: gob journal encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("store: gob journal decode: %w", err)
+	}
+	return nil
+}
+
+// journalApply journals one record and — when apply is non-nil — reserves
+// `reserve` global ids and applies the batch to shard storage, all inside
+// the append mutex. Holding the mutex across both steps makes in-memory
+// placement order identical to WAL record order even under concurrent
+// writers, which is what lets replay reproduce the original placement and
+// lets rewrite records name rows by global id. The caller holds gate.RLock.
+func (ix *Index) journalApply(t durable.RecordType, payload []byte, reserve int, apply func(start int)) error {
+	d := ix.dur
+	d.appendMu.Lock()
+	startT := time.Now()
+	n, err := d.wal.Append(t, payload)
+	appendDone := time.Now()
+	if err != nil {
+		d.appendMu.Unlock()
+		return err
+	}
+	if apply != nil {
+		start := int(ix.rr.Add(uint64(reserve)) - uint64(reserve))
+		apply(start)
+	}
+	d.appendMu.Unlock()
+	d.dirty.Add(1)
+	d.unsynced.Store(true)
+	d.tm.appendNS.Observe(float64(appendDone.Sub(startT)))
+	d.tm.appends.Inc()
+	d.tm.walBytes.Add(uint64(n))
+	if d.fsync == FsyncAlways {
+		return d.syncWAL()
+	}
+	return nil
+}
+
+// syncWAL flushes the live WAL if anything was appended since the last
+// flush. Safe against the snapshot's WAL swap: the handle is read under the
+// append mutex and the superseded WAL is synced by its own Close.
+func (d *indexDurable) syncWAL() error {
+	if !d.unsynced.Swap(false) {
+		return nil
+	}
+	d.appendMu.Lock()
+	w := d.wal
+	d.appendMu.Unlock()
+	startT := time.Now()
+	err := w.Sync()
+	d.tm.fsyncNS.Observe(float64(time.Since(startT)))
+	d.tm.fsyncs.Inc()
+	return err
+}
+
+// sliceRows adapts a pre-built row snapshot to durable.RowSource.
+type sliceRows []durable.SegmentRow
+
+func (r sliceRows) NumRows() int                 { return len(r) }
+func (r sliceRows) Row(i int) durable.SegmentRow { return r[i] }
+
+// rowSource snapshots the index's rows in global-id order for the segment
+// writer. Typed rows are referenced in place (the snapshot gate excludes
+// every mutator for the duration of the write); generic documents are
+// gob-encoded now, under the shard read locks.
+func (ix *Index) rowSource() (durable.RowSource, int, error) {
+	S := len(ix.shards)
+	n := ix.Len()
+	rows := make([]durable.SegmentRow, n)
+	for s, sh := range ix.shards {
+		sh.mu.RLock()
+		for local := range sh.docs {
+			g := local*S + s
+			if d := sh.docs[local]; d != nil {
+				b, err := encodeGob(d)
+				if err != nil {
+					sh.mu.RUnlock()
+					return nil, 0, err
+				}
+				rows[g] = durable.SegmentRow{Doc: b}
+			} else {
+				rows[g] = durable.SegmentRow{Event: &sh.events[local]}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return sliceRows(rows), n, nil
+}
+
+// snapshot writes a columnar segment of the index's current rows and
+// supersedes the WAL. The sequence is crash-atomic at every step:
+//
+//  1. create the next WAL file (empty; an orphan from a previous crash is
+//     truncated away),
+//  2. write the segment to a temporary file, fsync, rename into place,
+//  3. commit the manifest naming (new segment, new WAL) — the atomic
+//     commit point: before this rename recovery uses the old pair, after
+//     it the new,
+//  4. swap the live WAL handle and delete the superseded files.
+//
+// Searches proceed concurrently (the writer takes only read locks); writers
+// wait on the gate, which also guarantees memory state == WAL state.
+func (d *indexDurable) snapshot(ix *Index, force bool) error {
+	if d.dirty.Load() == 0 && !force {
+		return nil
+	}
+	startT := time.Now()
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	newWALSeq, newSegSeq := d.walSeq+1, d.segSeq+1
+	newWALPath := filepath.Join(d.dir, durable.WALName(newWALSeq))
+	os.Remove(newWALPath)
+	newWAL, err := durable.OpenWAL(newWALPath)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	src, rows, err := ix.rowSource()
+	if err != nil {
+		newWAL.Close()
+		return err
+	}
+	segPath := filepath.Join(d.dir, durable.SegmentName(newSegSeq))
+	if _, err := durable.WriteSegment(segPath, len(ix.shards), src); err != nil {
+		newWAL.Close()
+		return err
+	}
+	m := durable.Manifest{
+		Version:    1,
+		Shards:     len(ix.shards),
+		WALSeq:     newWALSeq,
+		SegmentSeq: newSegSeq,
+		HasSegment: true,
+	}
+	if err := durable.CommitManifest(d.dir, m); err != nil {
+		newWAL.Close()
+		return err
+	}
+	d.appendMu.Lock()
+	old := d.wal
+	d.wal = newWAL
+	d.appendMu.Unlock()
+	d.walSeq, d.segSeq, d.hasSegment, d.segRows = newWALSeq, newSegSeq, true, rows
+	d.dirty.Store(0)
+	d.segGauge.Store(true)
+	if err := old.Close(); err != nil {
+		return err
+	}
+	durable.CleanOrphans(d.dir, m)
+	d.tm.snapshots.Inc()
+	d.tm.snapshotNS.Observe(float64(time.Since(startT)))
+	return nil
+}
+
+// close syncs and closes the index's WAL. Taken under the gate so no writer
+// is mid-append.
+func (d *indexDurable) close() error {
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	return d.wal.Close()
+}
+
+// indexDirName maps an index name to its directory: PathEscape keeps "/",
+// ".", and ".." from ever reaching the filesystem as path structure.
+func indexDirName(name string) string { return "ix-" + url.PathEscape(name) }
+
+// removeIndexDir deletes a dropped index's on-disk state.
+func removeIndexDir(dir string) error { return os.RemoveAll(dir) }
+
+// indexDirToName inverts indexDirName.
+func indexDirToName(dir string) (string, bool) {
+	esc, ok := strings.CutPrefix(dir, "ix-")
+	if !ok {
+		return "", false
+	}
+	name, err := url.PathUnescape(esc)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+// newDurableIndex creates a fresh durable index: an empty directory with
+// WAL sequence 0 and no manifest (the manifest appears with the first
+// snapshot; recovery treats its absence as "replay wal-000000 from zero").
+func (s *Store) newDurableIndex(name string) (*Index, error) {
+	dir := filepath.Join(s.opts.dataDir, indexDirName(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create index dir: %w", err)
+	}
+	w, err := durable.OpenWAL(filepath.Join(dir, durable.WALName(0)))
+	if err != nil {
+		return nil, err
+	}
+	ix := NewIndexWithShards(name, s.opts.shards)
+	ix.dur = &indexDurable{dir: dir, fsync: s.opts.fsync, tm: s.dtm, wal: w}
+	return ix, nil
+}
+
+// recoverIndex rebuilds one index from its directory: committed segment
+// first (when the manifest names one), then WAL replay on top, with torn
+// tails truncated. The row count afterwards satisfies the recovery
+// conservation invariant: rows == segment rows + replayed WAL rows.
+func (s *Store) recoverIndex(name, dir string) (*Index, error) {
+	startT := time.Now()
+	m, committed, err := durable.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	shards := s.opts.shards
+	if committed {
+		shards = m.Shards
+	}
+	ix := NewIndexWithShards(name, shards)
+	d := &indexDurable{dir: dir, fsync: s.opts.fsync, tm: s.dtm}
+	if committed {
+		d.walSeq, d.segSeq, d.hasSegment = m.WALSeq, m.SegmentSeq, m.HasSegment
+	}
+	if d.hasSegment {
+		info, err := durable.ReadSegment(filepath.Join(dir, durable.SegmentName(d.segSeq)), ix.placeRecoveredRow)
+		if err != nil {
+			return nil, fmt.Errorf("store: recover %q: %w", name, err)
+		}
+		d.segRows = info.Rows
+		ix.rr.Store(uint64(info.Rows))
+		d.segGauge.Store(true)
+	}
+	walPath := filepath.Join(dir, durable.WALName(d.walSeq))
+	replayedRows := 0
+	stats, err := durable.ReplayWAL(walPath, func(t durable.RecordType, payload []byte) error {
+		n, err := ix.applyWALRecord(t, payload)
+		replayedRows += n
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: recover %q: %w", name, err)
+	}
+	if stats.Torn {
+		s.dtm.tornTails.Inc()
+	}
+	// Replayed records are un-snapshotted state: seed the dirty counter so
+	// the next snapshot knows the live WAL still holds them (otherwise a
+	// snapshot right after recovery would no-op and the WAL would grow
+	// forever across restarts).
+	d.dirty.Store(int64(stats.Records))
+	s.dtm.replayedB.Add(uint64(stats.Records))
+	s.dtm.replayedE.Add(uint64(replayedRows))
+	durable.CleanOrphans(dir, durable.Manifest{WALSeq: d.walSeq, SegmentSeq: d.segSeq, HasSegment: d.hasSegment})
+	w, err := durable.OpenWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	d.wal = w
+	ix.dur = d
+	s.dtm.recoveryNS.Observe(float64(time.Since(startT)))
+	return ix, nil
+}
+
+// placeRecoveredRow inserts one segment row. Segment rows arrive in
+// ascending contiguous gid order, so each lands exactly at its shard's
+// append position — verified, since placement integrity is what keeps gid
+// arithmetic (gid = local*S + shard) valid for the WAL replay that follows.
+func (ix *Index) placeRecoveredRow(gid int, ev *event.Event, docBytes []byte) error {
+	S := len(ix.shards)
+	sh := ix.shards[gid%S]
+	if gid/S != len(sh.docs) {
+		return fmt.Errorf("%w: row gid %d out of order", durable.ErrCorruptSegment, gid)
+	}
+	if ev != nil {
+		sh.addEventLocked(ev)
+		return nil
+	}
+	var doc Document
+	if err := decodeGob(docBytes, &doc); err != nil {
+		return fmt.Errorf("%w: generic row gid %d: %v", durable.ErrCorruptSegment, gid, err)
+	}
+	sh.addLocked(doc)
+	return nil
+}
+
+// applyWALRecord replays one journal record, returning how many rows it
+// added (zero for rewrites).
+func (ix *Index) applyWALRecord(t durable.RecordType, payload []byte) (int, error) {
+	switch t {
+	case durable.RecordEvents:
+		events, err := event.DecodeBatch(payload, nil)
+		if err != nil {
+			return 0, fmt.Errorf("store: replay events record: %w", err)
+		}
+		start := int(ix.rr.Add(uint64(len(events))) - uint64(len(events)))
+		ix.addEventsAt(start, events)
+		return len(events), nil
+	case durable.RecordDocs:
+		var docs []Document
+		if err := decodeGob(payload, &docs); err != nil {
+			return 0, err
+		}
+		start := int(ix.rr.Add(uint64(len(docs))) - uint64(len(docs)))
+		ix.addBulkAt(start, docs)
+		return len(docs), nil
+	case durable.RecordRewrite:
+		var rws []walRewrite
+		if err := decodeGob(payload, &rws); err != nil {
+			return 0, err
+		}
+		for _, r := range rws {
+			if err := ix.applyRewrite(r); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("store: unknown wal record type %d", t)
+	}
+}
+
+// applyRewrite replays one update-by-query effect onto an existing row. The
+// row's representation is preserved: a typed slot takes the document back
+// through the schema (exactly what the live UpdateByQuery write-back does),
+// a generic slot is replaced wholesale.
+func (ix *Index) applyRewrite(r walRewrite) error {
+	S := len(ix.shards)
+	if r.Gid < 0 || r.Gid >= int(ix.rr.Load()) {
+		return fmt.Errorf("store: rewrite of unknown gid %d", r.Gid)
+	}
+	sh := ix.shards[r.Gid%S]
+	local := r.Gid / S
+	if sh.docs[local] != nil {
+		sh.docs[local] = r.Doc
+	} else {
+		sh.events[local] = DocToEvent(r.Doc)
+	}
+	return nil
+}
+
+// loadDataDir recovers every index directory under the store's data dir.
+func (s *Store) loadDataDir() error {
+	entries, err := os.ReadDir(s.opts.dataDir)
+	if err != nil {
+		return fmt.Errorf("store: read data dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, ok := indexDirToName(e.Name())
+		if !ok {
+			continue
+		}
+		ix, err := s.recoverIndex(name, filepath.Join(s.opts.dataDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		s.indices[name] = ix
+		s.registerIndexGauge(name, ix)
+	}
+	return nil
+}
+
+// fsyncLoop flushes every durable index's WAL on the configured interval.
+func (s *Store) fsyncLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.opts.fsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			for _, ix := range s.allIndices() {
+				if ix.dur != nil {
+					_ = ix.dur.syncWAL()
+				}
+			}
+		}
+	}
+}
+
+// snapshotLoop periodically snapshots every durable index that journaled
+// anything since its last snapshot.
+func (s *Store) snapshotLoop() {
+	defer s.loopWG.Done()
+	t := time.NewTicker(s.opts.snapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			_ = s.Snapshot()
+		}
+	}
+}
+
+// Snapshot writes a segment snapshot for every durable index with journaled
+// writes since its last snapshot, truncating their WALs. On an in-memory
+// store it is a no-op. The first error is returned; remaining indices are
+// still attempted.
+func (s *Store) Snapshot() error {
+	var first error
+	for _, ix := range s.allIndices() {
+		if ix.dur == nil {
+			continue
+		}
+		if err := ix.dur.snapshot(ix, false); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops the background fsync/snapshot loops and syncs and closes
+// every WAL. The store must not be used after Close. In-memory stores
+// close trivially.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.stopCh != nil {
+		close(s.stopCh)
+	}
+	s.loopWG.Wait()
+	var first error
+	for _, ix := range s.allIndices() {
+		if ix.dur == nil {
+			continue
+		}
+		if err := ix.dur.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// allIndices snapshots the index set under the store lock.
+func (s *Store) allIndices() []*Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Index, 0, len(s.indices))
+	for _, ix := range s.indices {
+		out = append(out, ix)
+	}
+	return out
+}
+
+// segmentCount reports how many durable indices have a committed segment
+// (the dio_store_segments gauge).
+func (s *Store) segmentCount() float64 {
+	n := 0
+	for _, ix := range s.allIndices() {
+		if ix.dur != nil && ix.dur.segGauge.Load() {
+			n++
+		}
+	}
+	return float64(n)
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+
 	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
@@ -44,43 +46,44 @@ const (
 // in-process *Store and the binary-protocol *Client implement it. Like Bulk,
 // implementations must not retain the events slice.
 type EventBackend interface {
-	BulkEvents(index string, events []event.Event) error
+	BulkEvents(ctx context.Context, index string, events []event.Event) error
 }
 
 // EventSearcher is the optional typed-search extension of Backend.
 type EventSearcher interface {
-	SearchEvents(index string, req SearchRequest) (EventsResult, error)
+	SearchEvents(ctx context.Context, index string, req SearchRequest) (EventsResult, error)
 }
 
 var (
 	_ EventBackend  = (*Store)(nil)
 	_ EventBackend  = (*Client)(nil)
 	_ EventSearcher = (*Store)(nil)
+	_ EventSearcher = (*Client)(nil)
 )
 
 // ShipEvents ships typed events through b's fast path when it has one and
 // degrades to EventToDoc + Bulk otherwise, so the tracer can hand every
 // backend the same typed batches. The events slice is not retained.
-func ShipEvents(b Backend, index string, events []event.Event) error {
+func ShipEvents(ctx context.Context, b Backend, index string, events []event.Event) error {
 	if eb, ok := b.(EventBackend); ok {
-		return eb.BulkEvents(index, events)
+		return eb.BulkEvents(ctx, index, events)
 	}
 	docs := make([]Document, len(events))
 	for i := range events {
 		docs[i] = EventToDoc(&events[i])
 	}
-	return b.Bulk(index, docs)
+	return b.Bulk(ctx, index, docs)
 }
 
 // SearchEvents runs req through b's typed search when it has one; otherwise
 // the document hits convert best-effort through the schema. Consumers
 // (analysis, visualizations, replay) use this instead of hand-rolling
 // DocToEvent loops over SearchResponse hits.
-func SearchEvents(b Backend, index string, req SearchRequest) (EventsResult, error) {
+func SearchEvents(ctx context.Context, b Backend, index string, req SearchRequest) (EventsResult, error) {
 	if es, ok := b.(EventSearcher); ok {
-		return es.SearchEvents(index, req)
+		return es.SearchEvents(ctx, index, req)
 	}
-	resp, err := b.Search(index, req)
+	resp, err := b.Search(ctx, index, req)
 	if err != nil {
 		return EventsResult{}, err
 	}

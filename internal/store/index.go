@@ -1,10 +1,12 @@
 package store
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync/atomic"
 
+	"github.com/dsrhaslab/dio-go/internal/durable"
 	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
@@ -26,6 +28,7 @@ type Index struct {
 	shards []*shard
 	rr     atomic.Uint64 // round-robin write cursor
 	legacy atomic.Bool   // ablation: serial single-stripe scan semantics
+	dur    *indexDurable // nil on in-memory stores
 }
 
 // defaultShardCount picks the shard count for new indices: the power of two
@@ -75,53 +78,132 @@ func (ix *Index) gid(shardIdx int, local int32) int {
 	return int(local)*len(ix.shards) + shardIdx
 }
 
-// Add indexes one document and returns its global id.
-func (ix *Index) Add(doc Document) int {
-	s := int(ix.rr.Add(1)-1) % len(ix.shards)
-	sh := ix.shards[s]
-	sh.mu.Lock()
-	local := sh.addLocked(doc)
-	sh.mu.Unlock()
-	return ix.gid(s, local)
+// Add indexes one document and returns its global id. On a durable index
+// the document is journaled (as a one-document batch) before it is applied.
+func (ix *Index) Add(doc Document) (int, error) {
+	if ix.dur == nil {
+		start := int(ix.rr.Add(1) - 1)
+		ix.addBulkAt(start, []Document{doc})
+		return start, nil
+	}
+	ix.dur.gate.RLock()
+	defer ix.dur.gate.RUnlock()
+	payload, err := encodeGob([]Document{doc})
+	if err != nil {
+		return 0, err
+	}
+	gid := -1
+	err = ix.journalApply(durable.RecordDocs, payload, 1, func(start int) {
+		gid = start
+		ix.addBulkAt(start, []Document{doc})
+	})
+	return gid, err
 }
 
-// AddBulk indexes a batch of documents, locking each shard once.
-func (ix *Index) AddBulk(docs []Document) {
+// AddBulk indexes a batch of documents, locking each shard once. On a
+// durable index the batch is journaled before it is applied; a journaling
+// error leaves the index unchanged.
+func (ix *Index) AddBulk(docs []Document) error {
 	if len(docs) == 0 {
-		return
+		return nil
 	}
+	if ix.dur == nil {
+		start := int(ix.rr.Add(uint64(len(docs))) - uint64(len(docs)))
+		ix.addBulkAt(start, docs)
+		return nil
+	}
+	ix.dur.gate.RLock()
+	defer ix.dur.gate.RUnlock()
+	payload, err := encodeGob(docs)
+	if err != nil {
+		return err
+	}
+	return ix.journalApply(durable.RecordDocs, payload, len(docs), func(start int) {
+		ix.addBulkAt(start, docs)
+	})
+}
+
+// AddEvents is the typed ingest fast path: each event is copied straight
+// into its shard's typed storage and keyword postings, preserving the same
+// round-robin placement as AddBulk but never materializing a Document. On a
+// durable index the batch journals first, reusing the wire codec's binary
+// frame from a pooled scratch buffer. The events slice is not retained;
+// callers recycle their batch buffers.
+func (ix *Index) AddEvents(events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	// Canonicalize before journaling or placement: Offset is meaningless
+	// without HasOffset, and both the wire codec and the segment reader clear
+	// it on decode. Clearing here keeps the live in-memory state identical to
+	// its own durability round-trip.
+	for i := range events {
+		if !events[i].HasOffset {
+			events[i].Offset = 0
+		}
+	}
+	if ix.dur == nil {
+		start := int(ix.rr.Add(uint64(len(events))) - uint64(len(events)))
+		ix.addEventsAt(start, events)
+		return nil
+	}
+	ix.dur.gate.RLock()
+	defer ix.dur.gate.RUnlock()
+	bp := encodePool.Get().(*[]byte)
+	payload := event.EncodeBatch((*bp)[:0], events)
+	err := ix.journalApply(durable.RecordEvents, payload, len(events), func(start int) {
+		ix.addEventsAt(start, events)
+	})
+	*bp = payload[:0]
+	encodePool.Put(bp)
+	return err
+}
+
+// addEventsFrame places an already-decoded batch whose wire frame is in
+// hand: the frame bytes are journaled verbatim (they are exactly the WAL's
+// RecordEvents payload format), skipping the re-encode AddEvents would pay.
+// Decoded events are already canonical — the codec clears Offset when the
+// HasOffset aux bit is unset — so no normalization pass is needed either.
+func (ix *Index) addEventsFrame(frame []byte, events []event.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if ix.dur == nil {
+		start := int(ix.rr.Add(uint64(len(events))) - uint64(len(events)))
+		ix.addEventsAt(start, events)
+		return nil
+	}
+	ix.dur.gate.RLock()
+	defer ix.dur.gate.RUnlock()
+	return ix.journalApply(durable.RecordEvents, frame, len(events), func(start int) {
+		ix.addEventsAt(start, events)
+	})
+}
+
+// addBulkAt places docs at global ids start..start+len-1. Placement is pure
+// arithmetic on the global id, so WAL replay (which reserves the same id
+// ranges in record order) reproduces it exactly.
+func (ix *Index) addBulkAt(start int, docs []Document) {
 	S := len(ix.shards)
-	start := int(ix.rr.Add(uint64(len(docs))) - uint64(len(docs)))
-	groups := make([][]Document, S)
-	for i, d := range docs {
-		s := (start + i) % S
-		groups[s] = append(groups[s], d)
-	}
-	for s, g := range groups {
-		if len(g) == 0 {
+	for s := 0; s < S; s++ {
+		first := ((s-start)%S + S) % S
+		if first >= len(docs) {
 			continue
 		}
 		sh := ix.shards[s]
 		sh.mu.Lock()
-		for _, d := range g {
-			sh.addLocked(d)
+		for i := first; i < len(docs); i += S {
+			sh.addLocked(docs[i])
 		}
 		sh.mu.Unlock()
 	}
 }
 
-// AddEvents is the typed ingest fast path: each event is copied straight
-// into its shard's typed storage and keyword postings, preserving the same
-// round-robin placement as AddBulk but never materializing a Document. The
-// events slice is not retained; callers recycle their batch buffers.
-func (ix *Index) AddEvents(events []event.Event) {
-	if len(events) == 0 {
-		return
-	}
+// addEventsAt places events at global ids start..start+len-1, walking each
+// shard's arithmetic slice of the batch directly instead of building
+// per-shard groups: one lock per shard, zero allocations.
+func (ix *Index) addEventsAt(start int, events []event.Event) {
 	S := len(ix.shards)
-	start := int(ix.rr.Add(uint64(len(events))) - uint64(len(events)))
-	// Walk each shard's arithmetic slice of the batch directly instead of
-	// building per-shard groups: one lock per shard, zero allocations.
 	for s := 0; s < S; s++ {
 		first := ((s-start)%S + S) % S
 		if first >= len(events) {
@@ -212,47 +294,61 @@ type EventsResult struct {
 // bucketing aggregations, a streaming merge for percentiles. Only the
 // winning rows of the requested window are materialized as Documents.
 func (ix *Index) Search(req SearchRequest) SearchResponse {
+	resp, _ := ix.searchCtx(context.Background(), req)
+	return resp
+}
+
+// searchCtx is Search with cancellation: ctx is checked between shards
+// during fan-out, so a cancelled client stops consuming cores mid-query.
+func (ix *Index) searchCtx(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if ix.legacy.Load() {
-		return ix.legacySearch(req)
+		return ix.legacySearch(req), nil
 	}
 	var resp SearchResponse
-	ix.searchRefs(req, func(refs []hitRef, total int, aggs map[string]AggResult) {
+	err := ix.searchRefs(ctx, req, func(refs []hitRef, total int, aggs map[string]AggResult) {
 		hits := make([]Document, len(refs))
 		for i, ref := range refs {
 			hits[i] = ref.sh.docView(ref.id)
 		}
 		resp = SearchResponse{Total: total, Hits: hits, Aggs: aggs}
 	})
-	return resp
+	return resp, err
 }
 
 // SearchEvents runs req and returns typed hits. Typed rows never round-trip
 // through a Document; generic rows convert best-effort through the schema.
 func (ix *Index) SearchEvents(req SearchRequest) EventsResult {
+	res, _ := ix.searchEventsCtx(context.Background(), req)
+	return res
+}
+
+// searchEventsCtx is SearchEvents with cancellation.
+func (ix *Index) searchEventsCtx(ctx context.Context, req SearchRequest) (EventsResult, error) {
 	if ix.legacy.Load() {
 		resp := ix.legacySearch(req)
 		hits := make([]event.Event, len(resp.Hits))
 		for i, d := range resp.Hits {
 			hits[i] = DocToEvent(d)
 		}
-		return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}
+		return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}, nil
 	}
 	var res EventsResult
-	ix.searchRefs(req, func(refs []hitRef, total int, aggs map[string]AggResult) {
+	err := ix.searchRefs(ctx, req, func(refs []hitRef, total int, aggs map[string]AggResult) {
 		hits := make([]event.Event, len(refs))
 		for i, ref := range refs {
 			hits[i] = ref.sh.eventView(ref.id)
 		}
 		res = EventsResult{Total: total, Hits: hits, Aggs: aggs}
 	})
-	return res
+	return res, err
 }
 
 // searchRefs runs the sharded search pipeline and hands the merged,
 // windowed hit refs to finish while every shard's read lock is still held —
 // the materialization step reads row storage, so it must happen inside the
-// snapshot.
-func (ix *Index) searchRefs(req SearchRequest, finish func(refs []hitRef, total int, aggs map[string]AggResult)) {
+// snapshot. A cancelled ctx aborts between shards; finish is then never
+// called.
+func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(refs []hitRef, total int, aggs map[string]AggResult)) error {
 	S := len(ix.shards)
 	cols := neededColumns(req)
 	for _, sh := range ix.shards {
@@ -279,9 +375,11 @@ func (ix *Index) searchRefs(req SearchRequest, finish func(refs []hitRef, total 
 		need = req.From + req.Size
 	}
 	results := make([]shardResult, S)
-	forEachShard(S, func(s int) {
+	if err := forEachShardCtx(ctx, S, func(s int) {
 		results[s] = ix.shards[s].searchLocked(req, need, s, S)
-	})
+	}); err != nil {
+		return err
+	}
 
 	total := 0
 	for i := range results {
@@ -301,6 +399,7 @@ func (ix *Index) searchRefs(req SearchRequest, finish func(refs []hitRef, total 
 		}
 	}
 	finish(mergeHits(results, req, need), total, aggs)
+	return nil
 }
 
 // searchLocked produces one shard's result; the caller holds sh.mu.RLock.
@@ -500,8 +599,17 @@ func neededColumns(req SearchRequest) []string {
 
 // Count returns the number of documents matching q.
 func (ix *Index) Count(q Query) int {
+	n, _ := ix.countCtx(context.Background(), q)
+	return n
+}
+
+// countCtx is Count with cancellation between shards.
+func (ix *Index) countCtx(ctx context.Context, q Query) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if q.matchesAll() {
-		return ix.Len()
+		return ix.Len(), nil
 	}
 	if ix.legacy.Load() {
 		n := 0
@@ -510,24 +618,26 @@ func (ix *Index) Count(q Query) int {
 			n += len(sh.matchIDs(q, false))
 			sh.mu.RUnlock()
 		}
-		return n
+		return n, nil
 	}
 	cols := neededColumns(SearchRequest{Query: q})
 	for _, sh := range ix.shards {
 		sh.ensureColumns(cols)
 	}
 	counts := make([]int, len(ix.shards))
-	forEachShard(len(ix.shards), func(s int) {
+	if err := forEachShardCtx(ctx, len(ix.shards), func(s int) {
 		sh := ix.shards[s]
 		sh.mu.RLock()
 		counts[s] = len(sh.matchIDs(q, true))
 		sh.mu.RUnlock()
-	})
+	}); err != nil {
+		return 0, err
+	}
 	n := 0
 	for _, c := range counts {
 		n += c
 	}
-	return n
+	return n, nil
 }
 
 // UpdateByQuery applies fn to every matching document, in place, and
@@ -542,7 +652,32 @@ func (ix *Index) Count(q Query) int {
 // concurrently (never for the same document); closures that accumulate
 // state must synchronize. Cached numeric columns of updated shards are
 // invalidated.
+//
+// On a durable index the effects — the final state of every changed row —
+// are journaled as a rewrite record; a journaling error is reported through
+// the ctx-aware form (this legacy wrapper drops it, like the pre-durability
+// in-memory semantics it preserves).
 func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
+	n, _ := ix.updateByQueryCtx(context.Background(), q, fn)
+	return n
+}
+
+// updateByQueryCtx is UpdateByQuery with cancellation and journaling
+// errors. A cancelled ctx stops the fan-out between shards; effects already
+// applied are still journaled, so the durable log never lags memory.
+func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document) bool) (int, error) {
+	d := ix.dur
+	var rewrites [][]walRewrite
+	if d != nil {
+		// One update-by-query at a time per durable index: concurrent passes
+		// could journal their rewrite records in the opposite order of their
+		// in-memory application, and replay would then resurrect the loser.
+		d.ubqMu.Lock()
+		defer d.ubqMu.Unlock()
+		d.gate.RLock()
+		defer d.gate.RUnlock()
+		rewrites = make([][]walRewrite, len(ix.shards))
+	}
 	S := len(ix.shards)
 	counts := make([]int, S)
 	run := func(s int) {
@@ -551,9 +686,12 @@ func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
 		updated := 0
 		r := row{sh: sh}
 		for i := range sh.docs {
-			if d := sh.docs[i]; d != nil {
-				if q.matches(d) && fn(d) {
+			if d2 := sh.docs[i]; d2 != nil {
+				if q.matches(d2) && fn(d2) {
 					updated++
+					if d != nil {
+						rewrites[s] = append(rewrites[s], walRewrite{Gid: i*S + s, Doc: d2})
+					}
 				}
 				continue
 			}
@@ -561,10 +699,13 @@ func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
 			if !q.matches(&r) {
 				continue
 			}
-			d := EventToDoc(&sh.events[i])
-			if fn(d) {
-				sh.events[i] = DocToEvent(d)
+			d2 := EventToDoc(&sh.events[i])
+			if fn(d2) {
+				sh.events[i] = DocToEvent(d2)
 				updated++
+				if d != nil {
+					rewrites[s] = append(rewrites[s], walRewrite{Gid: i*S + s, Doc: d2})
+				}
 			}
 		}
 		if updated > 0 {
@@ -573,18 +714,32 @@ func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
 		counts[s] = updated
 		sh.mu.Unlock()
 	}
+	var fanErr error
 	if ix.legacy.Load() {
 		for s := 0; s < S; s++ {
 			run(s)
 		}
 	} else {
-		forEachShard(S, run)
+		fanErr = forEachShardCtx(ctx, S, run)
 	}
 	n := 0
 	for _, c := range counts {
 		n += c
 	}
-	return n
+	if d != nil && n > 0 {
+		flat := make([]walRewrite, 0, n)
+		for _, rs := range rewrites {
+			flat = append(flat, rs...)
+		}
+		payload, err := encodeGob(flat)
+		if err != nil {
+			return n, err
+		}
+		if err := ix.journalApply(durable.RecordRewrite, payload, 0, nil); err != nil {
+			return n, err
+		}
+	}
+	return n, fanErr
 }
 
 // legacySearch reproduces the pre-sharding execution: materialize every

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// FsyncPolicy selects when the write-ahead log is flushed to stable storage,
+// trading ingest latency against the window of acknowledged-but-volatile
+// events a crash can lose.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) flushes on a background timer: a crash
+	// loses at most the last interval's events, and the fsync cost is
+	// amortized across every batch in the window.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways flushes after every journaled batch before the write is
+	// acknowledged: no acknowledged event is ever lost, at per-batch fsync
+	// cost.
+	FsyncAlways
+	// FsyncOff never flushes explicitly; the OS writes back on its own
+	// schedule. A crash can lose everything the kernel still buffered, but a
+	// clean process exit loses nothing.
+	FsyncOff
+)
+
+// String returns the policy's flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsyncPolicy parses a -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "interval", "":
+		return FsyncInterval, nil
+	case "always":
+		return FsyncAlways, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return FsyncInterval, fmt.Errorf("unknown fsync policy %q (want always, interval, or off)", s)
+	}
+}
+
+// storeOptions is the resolved configuration a Store is built from.
+type storeOptions struct {
+	shards        int
+	dataDir       string
+	fsync         FsyncPolicy
+	fsyncEvery    time.Duration
+	snapshotEvery time.Duration
+	reg           *telemetry.Registry
+}
+
+func defaultOptions() storeOptions {
+	return storeOptions{
+		fsync:         FsyncInterval,
+		fsyncEvery:    100 * time.Millisecond,
+		snapshotEvery: time.Minute,
+	}
+}
+
+// Option configures a Store at construction.
+type Option func(*storeOptions)
+
+// WithShards fixes the shard count for indices this store creates (<= 0
+// keeps the automatic GOMAXPROCS-derived default). Recovered indices keep
+// the shard count recorded in their manifest.
+func WithShards(n int) Option {
+	return func(o *storeOptions) { o.shards = n }
+}
+
+// WithDataDir enables durability: every index journals writes to a
+// write-ahead log and periodically snapshots to a columnar segment under
+// dir, and Open recovers existing indices from it. The empty string (the
+// default) keeps the store purely in-memory.
+func WithDataDir(dir string) Option {
+	return func(o *storeOptions) { o.dataDir = dir }
+}
+
+// WithFsyncPolicy selects the WAL flush policy (FsyncInterval by default).
+// It has no effect without WithDataDir.
+func WithFsyncPolicy(p FsyncPolicy) Option {
+	return func(o *storeOptions) { o.fsync = p }
+}
+
+// WithFsyncInterval sets the flush period for FsyncInterval (default 100ms).
+func WithFsyncInterval(d time.Duration) Option {
+	return func(o *storeOptions) {
+		if d > 0 {
+			o.fsyncEvery = d
+		}
+	}
+}
+
+// WithSnapshotInterval sets the period of the background segment-snapshot
+// loop (default 1m); 0 disables automatic snapshots, leaving them to
+// explicit Snapshot calls. It has no effect without WithDataDir.
+func WithSnapshotInterval(d time.Duration) Option {
+	return func(o *storeOptions) { o.snapshotEvery = d }
+}
+
+// WithTelemetry registers the store's instruments in reg instead of a fresh
+// private registry, so one scrape endpoint can serve co-located components.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *storeOptions) { o.reg = reg }
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -18,16 +19,28 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// forEachShard runs fn(0..n-1), in parallel when worker slots are free.
-func forEachShard(n int, fn func(int)) {
+// forEachShardCtx runs fn(0..n-1), in parallel when worker slots are free,
+// with cancellation: ctx is consulted
+// before dispatching each shard, so a cancelled request stops claiming
+// cores at shard granularity (shards already running finish — fn holds
+// locks and must not be abandoned mid-flight). Returns ctx.Err() when any
+// shard was skipped; dispatched shards are always awaited first.
+func forEachShardCtx(ctx context.Context, n int, fn func(int)) error {
 	if n <= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if n == 1 {
 			fn(0)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
+	var err error
 	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		select {
 		case shardSem <- struct{}{}:
 			wg.Add(1)
@@ -43,4 +56,5 @@ func forEachShard(n int, fn func(int)) {
 		}
 	}
 	wg.Wait()
+	return err
 }

@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -17,16 +18,18 @@ import (
 // Backend is the interface the tracer and visualizer program against: it is
 // satisfied both by the in-process *Store and by *Client talking to a
 // remote Server, mirroring the paper's deployment choice of co-located or
-// dedicated analysis servers (§II-F).
+// dedicated analysis servers (§II-F). All methods are context-first: the
+// context carries cancellation from the caller (an HTTP request, a per-
+// attempt delivery deadline) into shard fan-out or the wire request.
 //
 // Bulk implementations must not retain the docs slice after returning: the
 // tracer's drain workers recycle batch buffers through a pool. (Retaining
 // the Document maps themselves is fine; the in-process store does.)
 type Backend interface {
-	Bulk(index string, docs []Document) error
-	Search(index string, req SearchRequest) (SearchResponse, error)
-	Count(index string, q Query) (int, error)
-	Correlate(index, session string) (CorrelationResult, error)
+	Bulk(ctx context.Context, index string, docs []Document) error
+	Search(ctx context.Context, index string, req SearchRequest) (SearchResponse, error)
+	Count(ctx context.Context, index string, q Query) (int, error)
+	Correlate(ctx context.Context, index, session string) (CorrelationResult, error)
 }
 
 var (
@@ -35,34 +38,44 @@ var (
 )
 
 // Correlate runs the file-path correlation algorithm on the named index,
-// recording the run in the store's telemetry registry.
-func (s *Store) Correlate(index, session string) (CorrelationResult, error) {
+// recording the run in the store's telemetry registry. On a durable store
+// the resulting file_path rewrites are journaled like any update-by-query.
+func (s *Store) Correlate(ctx context.Context, index, session string) (CorrelationResult, error) {
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return CorrelationResult{}, fmt.Errorf("index %q not found", index)
 	}
 	var res CorrelationResult
+	var err error
 	s.tm.corrRuns.Inc()
 	observeNS(s.tm.corrNS, func() {
-		res = correlateFilePaths(ix, session, &s.tm)
+		res, err = correlateFilePaths(ctx, ix, session, &s.tm)
 	})
 	s.tm.corrTags.Add(uint64(res.TagsResolved))
 	s.tm.corrUpd.Add(uint64(res.EventsUpdated))
 	s.tm.corrUnres.Add(uint64(res.EventsUnresolved))
-	return res, nil
+	return res, err
 }
 
-// Server exposes the store over HTTP with an Elasticsearch-flavoured API:
+// Server exposes the store over HTTP with an Elasticsearch-flavoured API.
+// Every route is mounted twice: under the versioned /v1/ prefix (the
+// canonical surface) and unprefixed (the legacy alias older clients still
+// speak):
 //
-//	POST   /{index}/_bulk       NDJSON action/document pairs
-//	POST   /{index}/_search     SearchRequest JSON body
-//	POST   /{index}/_count      optional Query JSON body
-//	POST   /{index}/_correlate  ?session=NAME
-//	GET    /{index}/_stats      doc and shard counts
-//	GET    /_cat/indices        list index names
-//	GET    /_health             liveness probe for clients and breakers
-//	GET    /metrics             Prometheus-style text exposition
-//	DELETE /{index}             drop an index
+//	POST   /v1/{index}/_bulk       NDJSON action/document pairs, or a binary event frame
+//	POST   /v1/{index}/_search     SearchRequest JSON body
+//	POST   /v1/{index}/_count      optional Query JSON body
+//	POST   /v1/{index}/_correlate  ?session=NAME
+//	GET    /v1/{index}/_stats      doc and shard counts
+//	GET    /v1/_cat/indices        list index names
+//	GET    /v1/_health             liveness probe for clients and breakers
+//	GET    /v1/metrics             Prometheus-style text exposition
+//	DELETE /v1/{index}             drop an index
+//
+// Request contexts propagate into the store, so a client that disconnects
+// mid-search stops the shard fan-out. Known alias limitation: an index
+// literally named "v1" is reachable only through the versioned prefix
+// (/v1/v1/_search), since the unprefixed path space cedes /v1/ to it.
 type Server struct {
 	store *Store
 	mux   *http.ServeMux
@@ -80,10 +93,18 @@ var _ http.Handler = (*Server)(nil)
 // NewServer wraps st in an HTTP handler.
 func NewServer(st *Store) *Server {
 	s := &Server{store: st, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/_cat/indices", s.handleCatIndices)
-	s.mux.HandleFunc("/_health", s.handleHealth)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/", s.handleIndexOps)
+	// One route set, mounted twice: the versioned surface strips its prefix
+	// exactly once and dispatches into the same inner mux as the legacy
+	// alias, so /v1/<anything> and /<anything> stay one handler set by
+	// construction — and the prefix cannot nest (/v1/v1/_search reaches the
+	// inner mux as /v1/_search, i.e. the index literally named "v1").
+	inner := http.NewServeMux()
+	inner.HandleFunc("/_cat/indices", s.handleCatIndices)
+	inner.HandleFunc("/_health", s.handleHealth)
+	inner.HandleFunc("/metrics", s.handleMetrics)
+	inner.HandleFunc("/", s.handleIndexOps)
+	s.mux.Handle("/", inner)
+	s.mux.Handle("/v1/", http.StripPrefix("/v1", inner))
 	return s
 }
 
@@ -225,7 +246,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request, index string
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
-	if err := s.store.Bulk(index, docs); err != nil {
+	if err := s.store.Bulk(r.Context(), index, docs); err != nil {
 		httpError(w, http.StatusInternalServerError, "bulk: %v", err)
 		return
 	}
@@ -257,7 +278,7 @@ func (s *Server) handleBulkBinary(w http.ResponseWriter, r *http.Request, index 
 		httpError(w, http.StatusBadRequest, "decode frame: %v", err)
 		return
 	}
-	ingestErr := s.store.BulkEvents(index, events)
+	ingestErr := s.store.bulkEventsFrame(r.Context(), index, buf.Bytes(), events)
 	// AddEvents copies the structs into shard storage, so the batch can be
 	// recycled as soon as the call returns.
 	*bp = events[:0]
@@ -279,7 +300,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index stri
 		httpError(w, http.StatusBadRequest, "bad search request: %v", err)
 		return
 	}
-	resp, err := s.store.Search(index, req)
+	resp, err := s.store.Search(r.Context(), index, req)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
@@ -295,7 +316,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, index strin
 			return
 		}
 	}
-	n, err := s.store.Count(index, q)
+	n, err := s.store.Count(r.Context(), index, q)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
@@ -308,7 +329,7 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request, index s
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	res, err := s.store.Correlate(index, r.URL.Query().Get("session"))
+	res, err := s.store.Correlate(r.Context(), index, r.URL.Query().Get("session"))
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return

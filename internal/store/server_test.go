@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -20,14 +21,14 @@ func newTestServerClient(t *testing.T) (*Store, *Client) {
 func TestHTTPBulkSearchCount(t *testing.T) {
 	_, c := newTestServerClient(t)
 
-	if err := c.Bulk("run1", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "run1", docFixture()); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
-	n, err := c.Count("run1", Term("session", "s1"))
+	n, err := c.Count(context.Background(), "run1", Term("session", "s1"))
 	if err != nil || n != 4 {
 		t.Fatalf("count = (%d, %v), want 4", n, err)
 	}
-	resp, err := c.Search("run1", SearchRequest{
+	resp, err := c.Search(context.Background(), "run1", SearchRequest{
 		Query: Term("syscall", "read"),
 		Sort:  []SortField{{Field: "time_enter_ns"}},
 	})
@@ -44,10 +45,10 @@ func TestHTTPBulkSearchCount(t *testing.T) {
 
 func TestHTTPSearchWithAggs(t *testing.T) {
 	_, c := newTestServerClient(t)
-	if err := c.Bulk("run1", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "run1", docFixture()); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
-	resp, err := c.Search("run1", SearchRequest{
+	resp, err := c.Search(context.Background(), "run1", SearchRequest{
 		Query: MatchAll(),
 		Size:  1,
 		Aggs: map[string]Agg{
@@ -68,10 +69,10 @@ func TestHTTPSearchWithAggs(t *testing.T) {
 
 func TestHTTPCorrelate(t *testing.T) {
 	_, c := newTestServerClient(t)
-	if err := c.Bulk("run1", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "run1", docFixture()); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
-	res, err := c.Correlate("run1", "s1")
+	res, err := c.Correlate(context.Background(), "run1", "s1")
 	if err != nil {
 		t.Fatalf("correlate: %v", err)
 	}
@@ -82,27 +83,27 @@ func TestHTTPCorrelate(t *testing.T) {
 
 func TestHTTPIndicesAndErrors(t *testing.T) {
 	_, c := newTestServerClient(t)
-	if err := c.Bulk("a", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "a", docFixture()); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
-	if err := c.Bulk("b", docFixture()[:1]); err != nil {
+	if err := c.Bulk(context.Background(), "b", docFixture()[:1]); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
 	names, err := c.Indices()
 	if err != nil || len(names) != 2 {
 		t.Fatalf("indices = (%v, %v)", names, err)
 	}
-	if _, err := c.Search("missing", SearchRequest{}); err == nil {
+	if _, err := c.Search(context.Background(), "missing", SearchRequest{}); err == nil {
 		t.Fatal("search on missing index succeeded")
 	}
-	if _, err := c.Correlate("missing", ""); err == nil {
+	if _, err := c.Correlate(context.Background(), "missing", ""); err == nil {
 		t.Fatal("correlate on missing index succeeded")
 	}
 }
 
 func TestHTTPStats(t *testing.T) {
 	st, c := newTestServerClient(t)
-	if err := c.Bulk("run1", docFixture()); err != nil {
+	if err := c.Bulk(context.Background(), "run1", docFixture()); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
 	ix, _ := st.GetIndex("run1")
@@ -139,11 +140,11 @@ func TestHTTPStats(t *testing.T) {
 func TestHTTPBackendInterchangeable(t *testing.T) {
 	st, c := newTestServerClient(t)
 	for _, b := range []Backend{st, c} {
-		if err := b.Bulk("x", []Document{{"syscall": "read"}}); err != nil {
+		if err := b.Bulk(context.Background(), "x", []Document{{"syscall": "read"}}); err != nil {
 			t.Fatalf("bulk via %T: %v", b, err)
 		}
 	}
-	n, _ := st.Count("x", MatchAll())
+	n, _ := st.Count(context.Background(), "x", MatchAll())
 	if n != 2 {
 		t.Fatalf("count = %d, want 2 (one via each backend)", n)
 	}
@@ -151,7 +152,7 @@ func TestHTTPBackendInterchangeable(t *testing.T) {
 
 func TestHTTPServerErrorPaths(t *testing.T) {
 	st := New()
-	st.Bulk("x", docFixture())
+	st.Bulk(context.Background(), "x", docFixture())
 	srv := httptest.NewServer(NewServer(st))
 	defer srv.Close()
 

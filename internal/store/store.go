@@ -1,9 +1,12 @@
 package store
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dsrhaslab/dio-go/internal/event"
@@ -12,11 +15,20 @@ import (
 
 // Store is the top-level document store: a set of named indices, one per
 // tracing session by convention (the tracer labels each execution with a
-// unique session name, §II-F).
+// unique session name, §II-F). Constructed with WithDataDir it is durable:
+// writes journal to per-index write-ahead logs, background snapshots fold
+// the log into columnar segments, and Open recovers the whole state after a
+// crash.
 type Store struct {
 	mu      sync.RWMutex
 	indices map[string]*Index
 	tm      storeTelemetry
+
+	opts   storeOptions
+	dtm    *durTelemetry // nil-safe instruments; non-nil iff durable
+	stopCh chan struct{}
+	loopWG sync.WaitGroup
+	closed atomic.Bool
 }
 
 // storeTelemetry holds the backend stage's instruments: bulk/search/count
@@ -38,10 +50,20 @@ type storeTelemetry struct {
 	corrUnres *telemetry.Counter
 }
 
-// New creates an empty store.
-func New() *Store {
-	s := &Store{indices: make(map[string]*Index)}
-	reg := telemetry.NewRegistry()
+// Open builds a store from functional options. Without WithDataDir it is
+// purely in-memory and never fails; with it, existing indices are recovered
+// (segment load, then WAL replay) before Open returns, and the background
+// fsync and snapshot loops start. Durable stores must be Closed.
+func Open(opts ...Option) (*Store, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Store{indices: make(map[string]*Index), opts: o}
+	reg := o.reg
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s.tm = storeTelemetry{
 		reg:       reg,
 		bulkNS:    reg.Histogram(telemetry.MetricBulkNS, "one bulk indexing call", nil),
@@ -61,6 +83,41 @@ func New() *Store {
 	// it there). Evaluated only at snapshot time.
 	reg.GaugeFunc(telemetry.MetricShardImbalance, "max/mean shard doc count across indices",
 		s.shardImbalance)
+	if o.dataDir == "" {
+		return s, nil
+	}
+	s.dtm = newDurTelemetry(reg)
+	reg.GaugeFunc(telemetry.MetricSegments, "durable indices with a committed segment",
+		s.segmentCount)
+	if err := os.MkdirAll(o.dataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	if err := s.loadDataDir(); err != nil {
+		return nil, err
+	}
+	s.stopCh = make(chan struct{})
+	if o.fsync == FsyncInterval {
+		s.loopWG.Add(1)
+		go s.fsyncLoop()
+	}
+	if o.snapshotEvery > 0 {
+		s.loopWG.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// New is the legacy constructor, kept so pre-options call sites compile
+// unchanged.
+//
+// Deprecated: use Open, which reports durability errors instead of
+// panicking on them. New without options (an in-memory store) never
+// panics.
+func New(opts ...Option) *Store {
+	s, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -78,12 +135,7 @@ func observeNS(h *telemetry.Histogram, fn func()) {
 // shardImbalance reports the worst max/mean shard doc-count ratio across
 // indices (0 when the store is empty).
 func (s *Store) shardImbalance() float64 {
-	s.mu.RLock()
-	indices := make([]*Index, 0, len(s.indices))
-	for _, ix := range s.indices {
-		indices = append(indices, ix)
-	}
-	s.mu.RUnlock()
+	indices := s.allIndices()
 	worst := 0.0
 	for _, ix := range indices {
 		counts := ix.ShardDocCounts()
@@ -105,30 +157,57 @@ func (s *Store) shardImbalance() float64 {
 	return worst
 }
 
-// IndexOrCreate returns the named index, creating it on first use (like
+// registerIndexGauge exposes the index's live doc count as a labeled pull
+// gauge; the caller holds the store lock or is still single-threaded setup.
+func (s *Store) registerIndexGauge(name string, ix *Index) {
+	s.tm.reg.GaugeFunc(
+		telemetry.MetricDocs+`{index="`+name+`"}`,
+		"live documents in the index",
+		func() float64 { return float64(ix.Len()) },
+	)
+}
+
+// indexOrCreate returns the named index, creating it on first use (like
 // Elasticsearch's dynamic index creation on first write). The common case —
 // the index already exists — takes only the read lock, so concurrent bulk
 // writers don't serialize on the store lock before even reaching the index.
-func (s *Store) IndexOrCreate(name string) *Index {
+// On a durable store, creation sets up the index's directory and WAL.
+func (s *Store) indexOrCreate(name string) (*Index, error) {
 	s.mu.RLock()
 	ix, ok := s.indices[name]
 	s.mu.RUnlock()
 	if ok {
-		return ix
+		return ix, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ix, ok = s.indices[name]
-	if !ok {
-		ix = NewIndex(name)
-		s.indices[name] = ix
-		// Per-index live doc count as a pull gauge; evaluated only at
-		// snapshot time, so index creation stays off the hot path's cost.
-		s.tm.reg.GaugeFunc(
-			telemetry.MetricDocs+`{index="`+name+`"}`,
-			"live documents in the index",
-			func() float64 { return float64(ix.Len()) },
-		)
+	if ok {
+		return ix, nil
+	}
+	if s.opts.dataDir != "" {
+		var err error
+		ix, err = s.newDurableIndex(name)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ix = NewIndexWithShards(name, s.opts.shards)
+	}
+	s.indices[name] = ix
+	s.registerIndexGauge(name, ix)
+	return ix, nil
+}
+
+// IndexOrCreate is the legacy form of indexOrCreate.
+//
+// Deprecated: route writes through Bulk/BulkEvents, which surface durable
+// index-creation errors; this wrapper panics on them (it cannot fail on an
+// in-memory store).
+func (s *Store) IndexOrCreate(name string) *Index {
+	ix, err := s.indexOrCreate(name)
+	if err != nil {
+		panic(err)
 	}
 	return ix
 }
@@ -141,11 +220,17 @@ func (s *Store) GetIndex(name string) (*Index, bool) {
 	return ix, ok
 }
 
-// DeleteIndex removes the named index.
+// DeleteIndex removes the named index, including its on-disk state on a
+// durable store.
 func (s *Store) DeleteIndex(name string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	ix, ok := s.indices[name]
 	delete(s.indices, name)
+	s.mu.Unlock()
+	if ok && ix.dur != nil {
+		_ = ix.dur.close()
+		_ = removeIndexDir(ix.dur.dir)
+	}
 }
 
 // Indices lists index names in sorted order.
@@ -162,22 +247,65 @@ func (s *Store) Indices() []string {
 
 // Bulk indexes docs into the named index. A single index lookup resolves
 // the handle (read-locked fast path); the documents then take only the
-// per-shard index locks.
-func (s *Store) Bulk(index string, docs []Document) error {
+// per-shard index locks. On a durable store the batch is journaled before
+// it is applied.
+func (s *Store) Bulk(ctx context.Context, index string, docs []Document) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ix, err := s.indexOrCreate(index)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	s.IndexOrCreate(index).AddBulk(docs)
+	err = ix.AddBulk(docs)
 	s.tm.bulkNS.Observe(float64(time.Since(start)))
+	if err != nil {
+		return err
+	}
 	s.tm.bulkDocs.Add(uint64(len(docs)))
 	return nil
 }
 
 // BulkEvents indexes typed events into the named index through the typed
 // fast path: no Document is materialized anywhere between the wire and the
-// shard's columnar storage. The events slice is not retained.
-func (s *Store) BulkEvents(index string, events []event.Event) error {
+// shard's columnar storage (the durable journal uses the same binary frame
+// the wire does). The events slice is not retained.
+func (s *Store) BulkEvents(ctx context.Context, index string, events []event.Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ix, err := s.indexOrCreate(index)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	s.IndexOrCreate(index).AddEvents(events)
+	err = ix.AddEvents(events)
 	s.tm.bulkNS.Observe(float64(time.Since(start)))
+	if err != nil {
+		return err
+	}
+	s.tm.bulkDocs.Add(uint64(len(events)))
+	return nil
+}
+
+// bulkEventsFrame is BulkEvents for a batch that arrived as a wire frame:
+// the already-encoded payload is journaled verbatim instead of re-encoding
+// the decoded events, so the HTTP ingest path pays for the codec once.
+func (s *Store) bulkEventsFrame(ctx context.Context, index string, frame []byte, events []event.Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ix, err := s.indexOrCreate(index)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	err = ix.addEventsFrame(frame, events)
+	s.tm.bulkNS.Observe(float64(time.Since(start)))
+	if err != nil {
+		return err
+	}
 	s.tm.bulkDocs.Add(uint64(len(events)))
 	return nil
 }
@@ -198,40 +326,66 @@ func (s *Store) Stats(index string) (IndexStats, error) {
 	return IndexStats{Index: ix.Name(), Docs: ix.Len(), Shards: ix.NumShards()}, nil
 }
 
-// Search runs req against the named index.
-func (s *Store) Search(index string, req SearchRequest) (SearchResponse, error) {
+// Search runs req against the named index. Cancelling ctx stops the shard
+// fan-out between shards.
+func (s *Store) Search(ctx context.Context, index string, req SearchRequest) (SearchResponse, error) {
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return SearchResponse{}, fmt.Errorf("index %q not found", index)
 	}
 	start := time.Now()
-	resp := ix.Search(req)
+	resp, err := ix.searchCtx(ctx, req)
 	s.tm.searchNS.Observe(float64(time.Since(start)))
+	if err != nil {
+		return SearchResponse{}, err
+	}
 	s.tm.searches.Inc()
 	return resp, nil
 }
 
 // SearchEvents runs req against the named index and returns typed hits.
-func (s *Store) SearchEvents(index string, req SearchRequest) (EventsResult, error) {
+func (s *Store) SearchEvents(ctx context.Context, index string, req SearchRequest) (EventsResult, error) {
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return EventsResult{}, fmt.Errorf("index %q not found", index)
 	}
 	start := time.Now()
-	res := ix.SearchEvents(req)
+	res, err := ix.searchEventsCtx(ctx, req)
 	s.tm.searchNS.Observe(float64(time.Since(start)))
+	if err != nil {
+		return EventsResult{}, err
+	}
 	s.tm.searches.Inc()
 	return res, nil
 }
 
 // Count counts documents matching q in the named index.
-func (s *Store) Count(index string, q Query) (int, error) {
+func (s *Store) Count(ctx context.Context, index string, q Query) (int, error) {
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return 0, fmt.Errorf("index %q not found", index)
 	}
 	start := time.Now()
-	n := ix.Count(q)
+	n, err := ix.countCtx(ctx, q)
 	s.tm.countNS.Observe(float64(time.Since(start)))
-	return n, nil
+	return n, err
+}
+
+// UpdateByQuery applies fn to every document matching q in the named index
+// and returns the number of updated documents; on a durable store the
+// effects are journaled. fn runs concurrently across shards (never for the
+// same document).
+func (s *Store) UpdateByQuery(ctx context.Context, index string, q Query, fn func(Document) bool) (int, error) {
+	ix, ok := s.GetIndex(index)
+	if !ok {
+		return 0, fmt.Errorf("index %q not found", index)
+	}
+	var (
+		n   int
+		err error
+	)
+	observeNS(s.tm.updateNS, func() {
+		n, err = ix.updateByQueryCtx(ctx, q, fn)
+	})
+	return n, err
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"testing"
 
 	"github.com/dsrhaslab/dio-go/internal/event"
@@ -251,20 +252,20 @@ func TestUpdateByQuery(t *testing.T) {
 
 func TestStoreIndexLifecycle(t *testing.T) {
 	s := New()
-	if err := s.Bulk("run1", docFixture()); err != nil {
+	if err := s.Bulk(context.Background(), "run1", docFixture()); err != nil {
 		t.Fatalf("bulk: %v", err)
 	}
 	if got := s.Indices(); len(got) != 1 || got[0] != "run1" {
 		t.Fatalf("indices = %v", got)
 	}
-	n, err := s.Count("run1", MatchAll())
+	n, err := s.Count(context.Background(), "run1", MatchAll())
 	if err != nil || n != 5 {
 		t.Fatalf("count = (%d, %v)", n, err)
 	}
-	if _, err := s.Search("missing", SearchRequest{}); err == nil {
+	if _, err := s.Search(context.Background(), "missing", SearchRequest{}); err == nil {
 		t.Fatal("search on missing index succeeded")
 	}
-	if _, err := s.Count("missing", MatchAll()); err == nil {
+	if _, err := s.Count(context.Background(), "missing", MatchAll()); err == nil {
 		t.Fatal("count on missing index succeeded")
 	}
 	s.DeleteIndex("run1")

@@ -50,7 +50,12 @@ func TestConcurrentStress(t *testing.T) {
 			if w%2 == 0 {
 				var local []int
 				for i := 0; i < docsPerWriter; i++ {
-					local = append(local, ix.Add(mkdoc(w, i)))
+					id, err := ix.Add(mkdoc(w, i))
+					if err != nil {
+						t.Errorf("add: %v", err)
+						return
+					}
+					local = append(local, id)
 				}
 				idMu.Lock()
 				seenIDs = append(seenIDs, local...)

@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -140,21 +141,21 @@ func TestMixedVersionFallback(t *testing.T) {
 	if oc.BinaryDisabled() {
 		t.Fatal("client latched before first call")
 	}
-	if err := oc.BulkEvents("run1", eventFixture()); err != nil {
+	if err := oc.BulkEvents(context.Background(), "run1", eventFixture()); err != nil {
 		t.Fatalf("BulkEvents against NDJSON-only server: %v", err)
 	}
 	if !oc.BinaryDisabled() {
 		t.Fatal("client did not latch NDJSON fallback after 415")
 	}
-	n, err := oc.Count("run1", MatchAll())
+	n, err := oc.Count(context.Background(), "run1", MatchAll())
 	if err != nil || n != len(eventFixture()) {
 		t.Fatalf("count after fallback = (%d, %v), want %d", n, err, len(eventFixture()))
 	}
 	// Subsequent batches go straight to NDJSON and still land.
-	if err := oc.BulkEvents("run1", eventFixture()); err != nil {
+	if err := oc.BulkEvents(context.Background(), "run1", eventFixture()); err != nil {
 		t.Fatalf("second BulkEvents: %v", err)
 	}
-	if n, _ := oc.Count("run1", MatchAll()); n != 2*len(eventFixture()) {
+	if n, _ := oc.Count(context.Background(), "run1", MatchAll()); n != 2*len(eventFixture()) {
 		t.Fatalf("count after second batch = %d", n)
 	}
 }
@@ -181,13 +182,13 @@ func TestLegacyServerSilentDrop(t *testing.T) {
 	t.Cleanup(hs.Close)
 	c := NewClient(hs.URL)
 
-	if err := c.BulkEvents("run1", eventFixture()); err != nil {
+	if err := c.BulkEvents(context.Background(), "run1", eventFixture()); err != nil {
 		t.Fatalf("BulkEvents against legacy server: %v", err)
 	}
 	if !c.BinaryDisabled() {
 		t.Fatal("client did not latch NDJSON after the empty binary ack")
 	}
-	if n, err := c.Count("run1", MatchAll()); err != nil || n != len(eventFixture()) {
+	if n, err := c.Count(context.Background(), "run1", MatchAll()); err != nil || n != len(eventFixture()) {
 		t.Fatalf("count after legacy fallback = (%d, %v), want %d", n, err, len(eventFixture()))
 	}
 }
@@ -238,7 +239,7 @@ func TestLegacyNDJSONScannerFallback(t *testing.T) {
 			httpError(w, http.StatusBadRequest, "read body: %v", err)
 			return
 		}
-		if err := st.Bulk(parts[0], docs); err != nil {
+		if err := st.Bulk(context.Background(), parts[0], docs); err != nil {
 			httpError(w, http.StatusInternalServerError, "bulk: %v", err)
 			return
 		}
@@ -253,7 +254,7 @@ func TestLegacyNDJSONScannerFallback(t *testing.T) {
 	if !bytes.ContainsRune(event.EncodeBatch(nil, events), '\n') {
 		t.Fatal("fixture frame contains no newline; the legacy scanner would not split it")
 	}
-	if err := c.BulkEvents("run1", events); err != nil {
+	if err := c.BulkEvents(context.Background(), "run1", events); err != nil {
 		t.Fatalf("BulkEvents against legacy scanner server: %v", err)
 	}
 	if rejected.Load() == 0 {
@@ -262,7 +263,7 @@ func TestLegacyNDJSONScannerFallback(t *testing.T) {
 	if !c.BinaryDisabled() {
 		t.Fatal("client did not latch NDJSON after the legacy 400")
 	}
-	if n, err := c.Count("run1", MatchAll()); err != nil || n != len(events) {
+	if n, err := c.Count(context.Background(), "run1", MatchAll()); err != nil || n != len(events) {
 		t.Fatalf("count after legacy fallback = (%d, %v), want %d", n, err, len(events))
 	}
 }
@@ -291,7 +292,7 @@ func TestBulkEventsEarlyResponseNoRace(t *testing.T) {
 			Session: "s", Syscall: "write", Class: "data", ProcName: "proc",
 			ThreadName: "thread", PID: 1, TID: i, RetVal: 512,
 			TimeEnterNS: int64(i), TimeExitNS: int64(i) + 1,
-			ArgPath:     strings.Repeat("x", 512),
+			ArgPath: strings.Repeat("x", 512),
 		}
 	}
 	var wg sync.WaitGroup
@@ -302,7 +303,7 @@ func TestBulkEventsEarlyResponseNoRace(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				// Every call fails with 429; the point is frame-buffer
 				// lifetime across aborted writes, not delivery.
-				_ = c.BulkEvents("run1", batch)
+				_ = c.BulkEvents(context.Background(), "run1", batch)
 			}
 		}()
 	}
@@ -371,13 +372,13 @@ func TestEmptyStringPresenceParity(t *testing.T) {
 // ways.
 func TestBinaryPathLandsTyped(t *testing.T) {
 	st, c := newTestServerClient(t)
-	if err := c.BulkEvents("run1", eventFixture()); err != nil {
+	if err := c.BulkEvents(context.Background(), "run1", eventFixture()); err != nil {
 		t.Fatalf("BulkEvents: %v", err)
 	}
 	if c.BinaryDisabled() {
 		t.Fatal("client fell back to NDJSON against a binary-capable server")
 	}
-	res, err := st.SearchEvents("run1", SearchRequest{
+	res, err := st.SearchEvents(context.Background(), "run1", SearchRequest{
 		Query: Term("session", "s1"), Sort: []SortField{{Field: "time_enter_ns"}}})
 	if err != nil {
 		t.Fatalf("SearchEvents: %v", err)
@@ -385,7 +386,7 @@ func TestBinaryPathLandsTyped(t *testing.T) {
 	if res.Total != 4 || res.Hits[0].Syscall != "openat" {
 		t.Fatalf("typed search after binary ingest: total=%d hits=%+v", res.Total, res.Hits)
 	}
-	resp, err := c.Search("run1", SearchRequest{Query: Term("syscall", "read")})
+	resp, err := c.Search(context.Background(), "run1", SearchRequest{Query: Term("syscall", "read")})
 	if err != nil || resp.Total != 2 {
 		t.Fatalf("doc search after binary ingest = (%+v, %v)", resp, err)
 	}
@@ -397,13 +398,13 @@ func TestBinaryPathLandsTyped(t *testing.T) {
 func TestBulkBufferReuse(t *testing.T) {
 	_, c := newTestServerClient(t)
 	docs := docFixture()
-	if err := c.Bulk("run1", docs); err != nil {
+	if err := c.Bulk(context.Background(), "run1", docs); err != nil {
 		t.Fatalf("warm-up bulk: %v", err)
 	}
 	const calls = 32
 	misses := bulkBufNews.Load()
 	for i := 0; i < calls; i++ {
-		if err := c.Bulk("run1", docs); err != nil {
+		if err := c.Bulk(context.Background(), "run1", docs); err != nil {
 			t.Fatalf("bulk %d: %v", i, err)
 		}
 	}

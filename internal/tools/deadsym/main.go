@@ -11,17 +11,17 @@
 // conservative: shadowed uses still count, so it reports false negatives,
 // never false positives for merely-shadowed names.
 //
-// With -exported, deadsym additionally audits one package directory's
-// EXPORTED package-level declarations: a second pass scans every root for
-// qualified references (pkg.Name selectors from other packages, or bare
-// uses inside the package itself) and reports exported symbols nothing
-// references. The same conservatism applies — a local variable that shares
-// the package's import name makes its selector uses count, so the mode
-// under-reports rather than flagging live API.
+// With -exported, deadsym additionally audits the EXPORTED package-level
+// declarations of one or more package directories (comma-separated): a
+// second pass scans every root for qualified references (pkg.Name selectors
+// from other packages, or bare uses inside the package itself) and reports
+// exported symbols nothing references. The same conservatism applies — a
+// local variable that shares the package's import name makes its selector
+// uses count, so the mode under-reports rather than flagging live API.
 //
 // Usage:
 //
-//	deadsym [-exported <pkgdir>] <dir> [<dir>...]   # each dir is walked recursively
+//	deadsym [-exported <pkgdir>[,<pkgdir>...]] <dir> [<dir>...]   # each dir is walked recursively
 //
 // Exits 1 when any dead symbol is found.
 package main
@@ -40,7 +40,7 @@ import (
 )
 
 func main() {
-	exportedDir := flag.String("exported", "", "package directory whose exported symbols are audited for external uses")
+	exportedDirs := flag.String("exported", "", "comma-separated package directories whose exported symbols are audited for external uses")
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
@@ -55,13 +55,15 @@ func main() {
 		}
 		dead = append(dead, found...)
 	}
-	if *exportedDir != "" {
-		found, err := deadExported(*exportedDir, roots)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "deadsym:", err)
-			os.Exit(2)
+	if *exportedDirs != "" {
+		for _, dir := range strings.Split(*exportedDirs, ",") {
+			found, err := deadExported(strings.TrimSpace(dir), roots)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "deadsym:", err)
+				os.Exit(2)
+			}
+			dead = append(dead, found...)
 		}
-		dead = append(dead, found...)
 	}
 	for _, d := range dead {
 		fmt.Println(d)

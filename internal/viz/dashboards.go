@@ -1,6 +1,8 @@
 package viz
 
 import (
+	"context"
+
 	"fmt"
 	"strconv"
 
@@ -12,7 +14,7 @@ import (
 // session: one row per syscall, ordered by time, showing the process name,
 // syscall, return value, file tag, and offset.
 func AccessPatternTable(b store.Backend, index, session string) (*Table, error) {
-	resp, err := store.SearchEvents(b, index, store.SearchRequest{
+	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
 	})
@@ -41,7 +43,7 @@ func AccessPatternTable(b store.Backend, index, session string) (*Table, error) 
 // one series per thread name, via a date-histogram aggregation with a terms
 // sub-aggregation.
 func SyscallTimeline(b store.Backend, index, session string, intervalNS int64) (*TimeSeries, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := b.Search(context.Background(), index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Size:  1, // aggregation-driven; hits are irrelevant
 		Aggs: map[string]store.Agg{
@@ -80,7 +82,7 @@ func SyscallTimeline(b store.Backend, index, session string, intervalNS int64) (
 
 // SyscallHistogram renders the per-syscall counts of a session.
 func SyscallHistogram(b store.Backend, index, session string) (*Histogram, error) {
-	resp, err := b.Search(index, store.SearchRequest{
+	resp, err := b.Search(context.Background(), index, store.SearchRequest{
 		Query: store.Term(store.FieldSession, session),
 		Size:  1,
 		Aggs: map[string]store.Agg{

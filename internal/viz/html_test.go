@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestHTMLDashboard(t *testing.T) {
 func TestHTMLDashboardEscapesContent(t *testing.T) {
 	st := fixtureBackend(t)
 	// Inject a document with markup in a field.
-	err := st.Bulk("events", []store.Document{{
+	err := st.Bulk(context.Background(), "events", []store.Document{{
 		"session": "s", "syscall": "<script>alert(1)</script>", "proc_name": "evil",
 		"time_enter_ns": int64(5000),
 	}})

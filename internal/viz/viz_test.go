@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -120,7 +121,7 @@ func fixtureBackend(t *testing.T) store.Backend {
 			"ret_val": int64(0), "time_enter_ns": int64(3000), "file_tag": "7340032 12 99",
 			"offset": int64(26), "has_offset": true},
 	}
-	if err := st.Bulk("events", docs); err != nil {
+	if err := st.Bulk(context.Background(), "events", docs); err != nil {
 		t.Fatal(err)
 	}
 	return st
