@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-smoke scale chaos crash lint examples
+.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos crash lint examples
 
 ## tier1: the PR gate — vet, build (examples included), the dead-symbol
 ## lint, tests, the race detector over the concurrency-heavy packages (store
 ## sharding, tracer drain workers), the chaos suite (fault injection on the
-## ship path), the crash-recovery matrix (durability kill points), and a
-## smoke run of the ingest benchmarks (WAL overhead included).
-tier1: vet build examples lint test race chaos crash bench-smoke
+## ship path), the crash-recovery matrix (durability kill points), and
+## smoke runs of the ingest and dashboard-read benchmarks.
+tier1: vet build examples lint test race chaos crash bench-smoke bench-read
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ bench:
 ## typed-vs-document data plane numbers cannot silently rot.
 bench-smoke:
 	$(GO) test -run xxx -bench Ingest -benchtime=100x -benchmem .
+
+## bench-read: a fast smoke run of the dashboard read-path benchmark
+## (rollups + query cache vs the uncached scan ablation) so the p50/p99
+## numbers cannot silently rot.
+bench-read:
+	$(GO) test -run xxx -bench DashboardReadPath -benchtime=50x .
 
 ## scale: the backend/tracer scalability experiment (legacy vs sharded).
 scale:

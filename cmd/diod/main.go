@@ -29,13 +29,15 @@ func main() {
 	data := flag.String("data", "", "data directory for WAL + snapshots (empty: in-memory only)")
 	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: interval, always, or off")
 	snapshot := flag.Duration("snapshot", time.Minute, "interval between columnar segment snapshots (0 disables)")
+	queryCache := flag.Int("query-cache", 256, "query cache capacity per index in entries (0 disables)")
+	rollup := flag.Duration("rollup", 100*time.Millisecond, "continuous rollup base histogram interval (0 disables)")
 	flag.Parse()
-	if err := run(*addr, *chaos, *data, *fsyncMode, *snapshot); err != nil {
+	if err := run(*addr, *chaos, *data, *fsyncMode, *snapshot, *queryCache, *rollup); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, chaos bool, data, fsyncMode string, snapshot time.Duration) error {
+func run(addr string, chaos bool, data, fsyncMode string, snapshot time.Duration, queryCache int, rollup time.Duration) error {
 	policy, err := store.ParseFsyncPolicy(fsyncMode)
 	if err != nil {
 		return err
@@ -44,6 +46,8 @@ func run(addr string, chaos bool, data, fsyncMode string, snapshot time.Duration
 		store.WithDataDir(data),
 		store.WithFsyncPolicy(policy),
 		store.WithSnapshotInterval(snapshot),
+		store.WithQueryCache(queryCache),
+		store.WithRollupInterval(rollup),
 	)
 	if err != nil {
 		return fmt.Errorf("open store: %w", err)

@@ -273,7 +273,7 @@ func (c *Client) SearchEvents(ctx context.Context, index string, req SearchReque
 	for i, d := range resp.Hits {
 		hits[i] = DocToEvent(d)
 	}
-	return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}, nil
+	return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs, NextAfter: resp.NextAfter}, nil
 }
 
 // Count counts documents matching q.

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+)
+
+// cursorFixture builds n typed events with deliberate sort-key collisions:
+// four events share each time_enter_ns value and the syscall set is small,
+// so every paged sort exercises the gid tie-break, not just the key order.
+func cursorFixture(n int) []event.Event {
+	syscalls := []string{"read", "write", "openat", "close", "fsync", "lseek"}
+	evs := make([]event.Event, n)
+	for i := range evs {
+		evs[i] = event.Event{
+			Session:     fmt.Sprintf("s%d", i%4),
+			Syscall:     syscalls[i%len(syscalls)],
+			Class:       "io",
+			RetVal:      int64(i % 8192),
+			FD:          3 + i%5,
+			PID:         100,
+			TID:         101 + i%3,
+			ProcName:    "app",
+			ThreadName:  fmt.Sprintf("w%d", i%2),
+			TimeEnterNS: 1_000_000_000 + int64(i/4)*1_000,
+			TimeExitNS:  1_000_000_000 + int64(i/4)*1_000 + 700,
+		}
+	}
+	return evs
+}
+
+func ingestCursorFixture(t *testing.T, st *Store, index string, evs []event.Event) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < len(evs); i += 4096 {
+		j := i + 4096
+		if j > len(evs) {
+			j = len(evs)
+		}
+		if err := st.BulkEvents(ctx, index, evs[i:j]); err != nil {
+			t.Fatalf("ingest [%d:%d): %v", i, j, err)
+		}
+	}
+}
+
+// pageAll walks req through the search_after cursor in pageSize steps and
+// returns the concatenated hits.
+func pageAll(t *testing.T, st *Store, index string, req SearchRequest, pageSize int) []Document {
+	t.Helper()
+	ctx := context.Background()
+	req.From, req.Size, req.SearchAfter = 0, pageSize, nil
+	var out []Document
+	for pages := 0; ; pages++ {
+		if pages > 1_000 {
+			t.Fatal("cursor failed to terminate")
+		}
+		resp, err := st.Search(ctx, index, req)
+		if err != nil {
+			t.Fatalf("paged search: %v", err)
+		}
+		out = append(out, resp.Hits...)
+		if len(resp.Hits) < pageSize || resp.NextAfter == nil {
+			return out
+		}
+		req.SearchAfter = resp.NextAfter
+	}
+}
+
+// TestCursorPagingDifferential is the paging correctness oracle: over a
+// 120k-doc index, walking any query with the search_after cursor must
+// reproduce the monolithic sorted response byte-for-byte — on the sharded
+// typed path, under the legacy serial-scan ablation, and on a store
+// recovered from its WAL (where gids are reassigned by replay order, which
+// equals ingest order).
+func TestCursorPagingDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120k-doc differential; skipped in -short")
+	}
+	const n = 120_000
+	const pageSize = 4_999
+	evs := cursorFixture(n)
+
+	shapes := []SearchRequest{
+		{Query: MatchAll(), Sort: []SortField{{Field: FieldTimeEnter, Desc: true}}},
+		{Query: Term(FieldSession, "s1"), Sort: []SortField{{Field: FieldSyscall}, {Field: FieldTimeEnter}}},
+		{Query: MatchAll()},
+		{Query: Term(FieldSyscall, "read")},
+	}
+
+	mem, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	ingestCursorFixture(t, mem, "cur", evs)
+
+	dir := t.TempDir()
+	dur, err := Open(WithDataDir(dir), WithFsyncPolicy(FsyncOff), WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCursorFixture(t, dur, "cur", evs)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(WithDataDir(dir), WithFsyncPolicy(FsyncOff), WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer rec.Close()
+
+	ix, ok := mem.GetIndex("cur")
+	if !ok {
+		t.Fatal("index missing")
+	}
+
+	for si, shape := range shapes {
+		mono := shape
+		mono.Size = n
+		want, err := mem.Search(context.Background(), "cur", mono)
+		if err != nil {
+			t.Fatalf("shape %d monolithic: %v", si, err)
+		}
+		if want.Total != n {
+			// Filtered shapes match a subset; just sanity-check non-empty.
+			if want.Total == 0 {
+				t.Fatalf("shape %d matched nothing", si)
+			}
+		}
+		// The legacy ablation re-sorts the full matched set on every page, so
+		// it pages coarsely (still several pages) to keep the oracle fast.
+		modes := map[string]func() []Document{
+			"typed": func() []Document { return pageAll(t, mem, "cur", shape, pageSize) },
+			"legacy": func() []Document {
+				ix.SetLegacyScan(true)
+				defer ix.SetLegacyScan(false)
+				return pageAll(t, mem, "cur", shape, n/3+7)
+			},
+			"recovered": func() []Document { return pageAll(t, rec, "cur", shape, pageSize) },
+		}
+		for name, page := range modes {
+			got := page()
+			if len(got) != len(want.Hits) {
+				t.Errorf("shape %d %s: paged %d hits, monolithic %d", si, name, len(got), len(want.Hits))
+				continue
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want.Hits[i]) {
+					a, _ := json.Marshal(got[i])
+					b, _ := json.Marshal(want.Hits[i])
+					t.Errorf("shape %d %s: first divergence at hit %d:\n got %s\nwant %s", si, name, i, a, b)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestCursorHTTPPaging drives the cursor over the wire: paging through the
+// /v1 client and the legacy unprefixed alias must both reproduce the
+// in-process monolithic response, proving NextAfter survives the JSON
+// round-trip (gids ride as float64 and re-parse exactly below 2^53).
+func TestCursorHTTPPaging(t *testing.T) {
+	st := New()
+	srv := httptest.NewServer(NewServer(st))
+	t.Cleanup(srv.Close)
+	evs := cursorFixture(6_000)
+	ingestCursorFixture(t, st, "cur", evs)
+
+	shape := SearchRequest{
+		Query: Term(FieldSession, "s0"),
+		Sort:  []SortField{{Field: FieldTimeEnter, Desc: true}},
+	}
+	mono := shape
+	mono.Size = len(evs)
+	want, err := st.Search(context.Background(), "cur", mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want.Hits)
+
+	for name, c := range map[string]*Client{
+		"v1":     NewClient(srv.URL, WithAPIPrefix("/v1")),
+		"legacy": NewClient(srv.URL),
+	} {
+		req := shape
+		req.Size = 700
+		var got []Document
+		for {
+			resp, err := c.Search(context.Background(), "cur", req)
+			if err != nil {
+				t.Fatalf("%s paged search: %v", name, err)
+			}
+			got = append(got, resp.Hits...)
+			if len(resp.Hits) < req.Size || resp.NextAfter == nil {
+				break
+			}
+			req.SearchAfter = resp.NextAfter
+		}
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("%s: paged hits diverge from monolithic (%d vs %d)", name, len(got), len(want.Hits))
+		}
+
+		// Typed paging through the same client must agree on count and order.
+		var typed int
+		err := EachEventPage(context.Background(), c, "cur", shape, 700, func(page EventsResult) error {
+			typed += len(page.Hits)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s EachEventPage: %v", name, err)
+		}
+		if typed != len(want.Hits) {
+			t.Errorf("%s: typed pager saw %d events, want %d", name, typed, len(want.Hits))
+		}
+	}
+}
+
+// TestCursorBadRequest maps every malformed cursor to HTTP 400 — not a 500,
+// not a silent empty page.
+func TestCursorBadRequest(t *testing.T) {
+	st := New()
+	srv := httptest.NewServer(NewServer(st))
+	t.Cleanup(srv.Close)
+	if err := st.BulkEvents(context.Background(), "cur", cursorFixture(16)); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []string{
+		`{"size":5,"sort":[{"field":"time_enter_ns"}],"search_after":[12345]}`,        // missing gid element
+		`{"size":5,"search_after":[1,2]}`,                                             // no sort: want exactly [gid]
+		`{"size":5,"from":3,"search_after":[7]}`,                                      // from + cursor conflict
+		`{"size":5,"search_after":["x"]}`,                                             // gid not numeric
+		`{"size":5,"search_after":[-1]}`,                                              // gid negative
+		`{"size":5,"search_after":[1.5]}`,                                             // gid not integral
+		`{"size":5,"sort":[{"field":"time_enter_ns"}],"search_after":[12345,"7"]}`,    // gid as string
+		`{"size":5,"sort":[{"field":"time_enter_ns"}],"search_after":[12345,9.1e17]}`, // gid above 2^53
+	}
+	for _, body := range bad {
+		for _, path := range []string{"/cur/_search", "/v1/cur/_search"} {
+			resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("POST %s %s: status %d, want 400", path, body, resp.StatusCode)
+			}
+		}
+	}
+
+	// A well-formed cursor on the same routes still answers 200.
+	ok := `{"size":5,"sort":[{"field":"time_enter_ns"}],"search_after":[1000000000,3]}`
+	resp, err := http.Post(srv.URL+"/cur/_search", "application/json", strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("valid cursor: status %d, want 200", resp.StatusCode)
+	}
+}

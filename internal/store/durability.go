@@ -310,7 +310,7 @@ func (s *Store) newDurableIndex(name string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := NewIndexWithShards(name, s.opts.shards)
+	ix := newIndexSized(name, s.opts.shards, s.opts.rollupBase)
 	ix.dur = &indexDurable{dir: dir, fsync: s.opts.fsync, tm: s.dtm, wal: w}
 	return ix, nil
 }
@@ -329,7 +329,7 @@ func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 	if committed {
 		shards = m.Shards
 	}
-	ix := NewIndexWithShards(name, shards)
+	ix := newIndexSized(name, shards, s.opts.rollupBase)
 	d := &indexDurable{dir: dir, fsync: s.opts.fsync, tm: s.dtm}
 	if committed {
 		d.walSeq, d.segSeq, d.hasSegment = m.WALSeq, m.SegmentSeq, m.HasSegment
@@ -392,6 +392,9 @@ func (ix *Index) placeRecoveredRow(gid int, ev *event.Event, docBytes []byte) er
 	if err := decodeGob(docBytes, &doc); err != nil {
 		return fmt.Errorf("%w: generic row gid %d: %v", durable.ErrCorruptSegment, gid, err)
 	}
+	// Generic rows void the typed-schema guarantee the cache fingerprint's
+	// integer range folding relies on, exactly as a live addBulkAt would.
+	ix.generic.Add(1)
 	sh.addLocked(doc)
 	return nil
 }
@@ -421,10 +424,21 @@ func (ix *Index) applyWALRecord(t durable.RecordType, payload []byte) (int, erro
 		if err := decodeGob(payload, &rws); err != nil {
 			return 0, err
 		}
+		// In-place rewrites mutate rows the shard rollups already counted, and
+		// (unlike the add paths above) don't route through an epoch-bumping
+		// mutator — invalidate both explicitly, as the live UpdateByQuery does.
+		ix.epoch.Add(1)
+		defer ix.epoch.Add(1)
+		touched := make(map[*shard]bool)
 		for _, r := range rws {
 			if err := ix.applyRewrite(r); err != nil {
 				return 0, err
 			}
+			touched[ix.shards[r.Gid%len(ix.shards)]] = true
+		}
+		for sh := range touched {
+			sh.invalidateColumnsLocked()
+			sh.invalidateRollupLocked()
 		}
 		return 0, nil
 	default:
@@ -444,9 +458,13 @@ func (ix *Index) applyRewrite(r walRewrite) error {
 	sh := ix.shards[r.Gid%S]
 	local := r.Gid / S
 	if sh.docs[local] != nil {
+		before := docTerms(sh.docs[local])
 		sh.docs[local] = r.Doc
+		sh.repostLocked(int32(local), before, docTerms(r.Doc))
 	} else {
+		before := eventTerms(&sh.events[local])
 		sh.events[local] = DocToEvent(r.Doc)
+		sh.repostLocked(int32(local), before, eventTerms(&sh.events[local]))
 	}
 	return nil
 }
@@ -469,6 +487,7 @@ func (s *Store) loadDataDir() error {
 		if err != nil {
 			return err
 		}
+		s.attachReadPath(ix)
 		s.indices[name] = ix
 		s.registerIndexGauge(name, ix)
 	}

@@ -91,7 +91,31 @@ func SearchEvents(ctx context.Context, b Backend, index string, req SearchReques
 	for i, d := range resp.Hits {
 		hits[i] = DocToEvent(d)
 	}
-	return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}, nil
+	return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs, NextAfter: resp.NextAfter}, nil
+}
+
+// EachEventPage walks every hit of req in pageSize-bounded pages using the
+// streaming cursor, calling fn once per page. The request's From/Size/
+// SearchAfter are overwritten by the pager; Sort and Query are honored. A
+// non-nil error from fn stops the walk and is returned.
+func EachEventPage(ctx context.Context, b Backend, index string, req SearchRequest, pageSize int, fn func(EventsResult) error) error {
+	if pageSize <= 0 {
+		pageSize = 1000
+	}
+	req.From, req.Size, req.SearchAfter = 0, pageSize, nil
+	for {
+		page, err := SearchEvents(ctx, b, index, req)
+		if err != nil {
+			return err
+		}
+		if err := fn(page); err != nil {
+			return err
+		}
+		if len(page.Hits) < pageSize || page.NextAfter == nil {
+			return nil
+		}
+		req.SearchAfter = page.NextAfter
+	}
 }
 
 // EventToDoc flattens a trace event into an indexable document.

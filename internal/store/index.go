@@ -29,6 +29,19 @@ type Index struct {
 	rr     atomic.Uint64 // round-robin write cursor
 	legacy atomic.Bool   // ablation: serial single-stripe scan semantics
 	dur    *indexDurable // nil on in-memory stores
+
+	// epoch versions the index contents for the query cache: every mutation
+	// bumps it at both its start and its end, so any cached response that
+	// could observe the mutation's partial state carries a dead epoch.
+	epoch atomic.Uint64
+	// generic counts generic (map-backed) rows ever placed. While zero, every
+	// row obeys the typed schema's integral fields, which licenses the cache
+	// fingerprint's integer range-bound folding.
+	generic atomic.Int64
+
+	rollupBase int64         // rollup histogram base interval ns (0 = disabled)
+	cache      *queryCache   // nil = caching disabled
+	rtm        readTelemetry // rollup counters (zero value = no-op)
 }
 
 // defaultShardCount picks the shard count for new indices: the power of two
@@ -49,14 +62,20 @@ func defaultShardCount() int {
 func NewIndex(name string) *Index { return NewIndexWithShards(name, 0) }
 
 // NewIndexWithShards creates an empty index with n shards (n <= 0 selects
-// the default policy).
+// the default policy) and the default rollup interval.
 func NewIndexWithShards(name string, n int) *Index {
+	return newIndexSized(name, n, defaultRollupIntervalNS)
+}
+
+// newIndexSized is the full constructor: shard count plus the continuous
+// rollup base interval (0 disables rollup maintenance).
+func newIndexSized(name string, n int, rollupBase int64) *Index {
 	if n <= 0 {
 		n = defaultShardCount()
 	}
-	ix := &Index{name: name, shards: make([]*shard, n)}
+	ix := &Index{name: name, shards: make([]*shard, n), rollupBase: rollupBase}
 	for i := range ix.shards {
-		ix.shards[i] = newShard()
+		ix.shards[i] = newShard(rollupBase)
 	}
 	return ix
 }
@@ -184,6 +203,9 @@ func (ix *Index) addEventsFrame(frame []byte, events []event.Event) error {
 // arithmetic on the global id, so WAL replay (which reserves the same id
 // ranges in record order) reproduces it exactly.
 func (ix *Index) addBulkAt(start int, docs []Document) {
+	ix.epoch.Add(1)
+	defer ix.epoch.Add(1)
+	ix.generic.Add(int64(len(docs)))
 	S := len(ix.shards)
 	for s := 0; s < S; s++ {
 		first := ((s-start)%S + S) % S
@@ -203,6 +225,8 @@ func (ix *Index) addBulkAt(start int, docs []Document) {
 // shard's arithmetic slice of the batch directly instead of building
 // per-shard groups: one lock per shard, zero allocations.
 func (ix *Index) addEventsAt(start int, events []event.Event) {
+	ix.epoch.Add(1)
+	defer ix.epoch.Add(1)
 	S := len(ix.shards)
 	for s := 0; s < S; s++ {
 		first := ((s-start)%S + S) % S
@@ -245,6 +269,10 @@ type SearchRequest struct {
 	From  int            `json:"from,omitempty"`
 	Size  int            `json:"size,omitempty"` // <=0 returns all hits
 	Aggs  map[string]Agg `json:"aggs,omitempty"`
+	// SearchAfter resumes a paged walk strictly after the row a previous
+	// response's NextAfter named: one scalar per sort field, then the global
+	// id tie-break. Requires From == 0. See cursor.go for the wire format.
+	SearchAfter []any `json:"search_after,omitempty"`
 }
 
 // SortField orders results by a document field.
@@ -258,6 +286,9 @@ type SearchResponse struct {
 	Total int                  `json:"total"`
 	Hits  []Document           `json:"hits"`
 	Aggs  map[string]AggResult `json:"aggs,omitempty"`
+	// NextAfter is the continuation token for the next page: present exactly
+	// when the request was bounded (Size > 0) and this response filled it.
+	NextAfter []any `json:"next_after,omitempty"`
 }
 
 // shardResult is one shard's contribution to a search: its match count,
@@ -286,6 +317,8 @@ type EventsResult struct {
 	Total int                  `json:"total"`
 	Hits  []event.Event        `json:"hits"`
 	Aggs  map[string]AggResult `json:"aggs,omitempty"`
+	// NextAfter mirrors SearchResponse.NextAfter (cursor.go).
+	NextAfter []any `json:"next_after,omitempty"`
 }
 
 // Search runs req against the index: every shard matches, pre-sorts, and
@@ -302,15 +335,15 @@ func (ix *Index) Search(req SearchRequest) SearchResponse {
 // during fan-out, so a cancelled client stops consuming cores mid-query.
 func (ix *Index) searchCtx(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if ix.legacy.Load() {
-		return ix.legacySearch(req), nil
+		return ix.legacySearch(req)
 	}
 	var resp SearchResponse
-	err := ix.searchRefs(ctx, req, func(refs []hitRef, total int, aggs map[string]AggResult) {
+	err := ix.searchRefs(ctx, req, func(refs []hitRef, total int, aggs map[string]AggResult, next []any) {
 		hits := make([]Document, len(refs))
 		for i, ref := range refs {
 			hits[i] = ref.sh.docView(ref.id)
 		}
-		resp = SearchResponse{Total: total, Hits: hits, Aggs: aggs}
+		resp = SearchResponse{Total: total, Hits: hits, Aggs: aggs, NextAfter: next}
 	})
 	return resp, err
 }
@@ -325,20 +358,23 @@ func (ix *Index) SearchEvents(req SearchRequest) EventsResult {
 // searchEventsCtx is SearchEvents with cancellation.
 func (ix *Index) searchEventsCtx(ctx context.Context, req SearchRequest) (EventsResult, error) {
 	if ix.legacy.Load() {
-		resp := ix.legacySearch(req)
+		resp, err := ix.legacySearch(req)
+		if err != nil {
+			return EventsResult{}, err
+		}
 		hits := make([]event.Event, len(resp.Hits))
 		for i, d := range resp.Hits {
 			hits[i] = DocToEvent(d)
 		}
-		return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs}, nil
+		return EventsResult{Total: resp.Total, Hits: hits, Aggs: resp.Aggs, NextAfter: resp.NextAfter}, nil
 	}
 	var res EventsResult
-	err := ix.searchRefs(ctx, req, func(refs []hitRef, total int, aggs map[string]AggResult) {
+	err := ix.searchRefs(ctx, req, func(refs []hitRef, total int, aggs map[string]AggResult, next []any) {
 		hits := make([]event.Event, len(refs))
 		for i, ref := range refs {
 			hits[i] = ref.sh.eventView(ref.id)
 		}
-		res = EventsResult{Total: total, Hits: hits, Aggs: aggs}
+		res = EventsResult{Total: total, Hits: hits, Aggs: aggs, NextAfter: next}
 	})
 	return res, err
 }
@@ -348,9 +384,17 @@ func (ix *Index) searchEventsCtx(ctx context.Context, req SearchRequest) (Events
 // the materialization step reads row storage, so it must happen inside the
 // snapshot. A cancelled ctx aborts between shards; finish is then never
 // called.
-func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(refs []hitRef, total int, aggs map[string]AggResult)) error {
+func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(refs []hitRef, total int, aggs map[string]AggResult, next []any)) error {
+	cur, err := parseSearchAfter(req)
+	if err != nil {
+		return err
+	}
 	S := len(ix.shards)
-	cols := neededColumns(req)
+	plan := ix.planRollup(req)
+	if plan != nil {
+		ix.ensureRollups()
+	}
+	cols := neededColumns(req, plan)
 	for _, sh := range ix.shards {
 		sh.ensureColumns(cols)
 	}
@@ -374,9 +418,10 @@ func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(
 	if req.Size > 0 {
 		need = req.From + req.Size
 	}
+	exec := &searchExec{req: req, need: need, plan: plan, cur: cur, rtm: &ix.rtm}
 	results := make([]shardResult, S)
 	if err := forEachShardCtx(ctx, S, func(s int) {
-		results[s] = ix.shards[s].searchLocked(req, need, s, S)
+		results[s] = ix.shards[s].searchLocked(exec, s, S)
 	}); err != nil {
 		return err
 	}
@@ -398,22 +443,80 @@ func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(
 			aggs[name] = mergePartials(a, parts)
 		}
 	}
-	finish(mergeHits(results, req, need), total, aggs)
+	refs := mergeHits(results, req, need)
+	var next []any
+	if req.Size > 0 && len(refs) == req.Size {
+		next = nextAfterRef(refs[len(refs)-1], req.Sort)
+	}
+	finish(refs, total, aggs, next)
 	return nil
 }
 
+// searchExec bundles one search's per-request execution state for the shard
+// fan-out: the request, the global candidate budget, the rollup plan, and
+// the parsed cursor.
+type searchExec struct {
+	req  SearchRequest
+	need int
+	plan *rollupPlan
+	cur  *searchCursor
+	rtm  *readTelemetry
+}
+
 // searchLocked produces one shard's result; the caller holds sh.mu.RLock.
-func (sh *shard) searchLocked(req SearchRequest, need, shardIdx, S int) shardResult {
-	ids := sh.matchIDs(req.Query, true)
-	res := shardResult{total: len(ids)}
+func (sh *shard) searchLocked(exec *searchExec, shardIdx, S int) shardResult {
+	req := exec.req
+	need := exec.need
+	matchAll := req.Query.matchesAll()
+	// ids materializes lazily: a rollup-served match-all request never needs
+	// the O(n) id enumeration at all.
+	var ids []int32
+	idsReady := false
+	getIDs := func() []int32 {
+		if !idsReady {
+			ids = sh.matchIDs(req.Query, true)
+			idsReady = true
+		}
+		return ids
+	}
+	var res shardResult
+	if matchAll {
+		res.total = len(sh.docs)
+	} else {
+		res.total = len(getIDs())
+	}
 	if len(req.Aggs) > 0 {
 		res.partials = make(map[string]*partialAgg, len(req.Aggs))
 		for name, a := range req.Aggs {
-			res.partials[name] = sh.partial(a, ids)
+			if exec.plan != nil && exec.plan.served[name] {
+				if p := sh.rollupServe(exec.plan, a); p != nil {
+					res.partials[name] = p
+					exec.rtm.rollupHits.Inc()
+					continue
+				}
+			}
+			// Everything else — unplannable requests, unservable agg shapes,
+			// per-shard overflow or stray-session fallbacks — is a scan, and
+			// counts as a miss so the hit ratio on /metrics means something.
+			exec.rtm.rollupMisses.Inc()
+			res.partials[name] = sh.partial(a, getIDs())
 		}
 	}
-	hitIDs := ids
-	if len(req.Sort) > 0 {
+	// Aggregations and Total cover the full matched set; the cursor only
+	// restricts which rows become hit candidates.
+	var hitIDs []int32
+	switch {
+	case len(req.Sort) > 0:
+		cand := getIDs()
+		if exec.cur != nil {
+			after := make([]int32, 0, len(cand))
+			for _, id := range cand {
+				if exec.cur.afterID(sh, id, int(id)*S+shardIdx, req.Sort) {
+					after = append(after, id)
+				}
+			}
+			cand = after
+		}
 		// Sort ids, not documents, comparing through the sort columns, and
 		// only materialize the winners. The local-id tie-break makes the
 		// order total, which is exactly the stable insertion order (local id
@@ -429,14 +532,42 @@ func (sh *shard) searchLocked(req SearchRequest, need, shardIdx, S int) shardRes
 			}
 			return a < b
 		}
-		if need > 0 && need < len(ids) {
-			hitIDs = topK(ids, need, less)
+		if need > 0 && need < len(cand) {
+			hitIDs = topK(cand, need, less)
 		} else {
-			cp := make([]int32, len(ids))
-			copy(cp, ids)
+			cp := make([]int32, len(cand))
+			copy(cp, cand)
 			sort.Slice(cp, func(i, j int) bool { return less(cp[i], cp[j]) })
 			hitIDs = cp
 		}
+	case matchAll:
+		// Unsorted match-all pages arithmetically: candidates are the local
+		// id range starting just past the cursor, clipped to the budget.
+		first := int32(0)
+		if exec.cur != nil {
+			first = firstLocalAfter(exec.cur.gid, shardIdx, S)
+		}
+		n := len(sh.docs) - int(first)
+		if n < 0 {
+			n = 0
+		}
+		if need > 0 && n > need {
+			n = need
+		}
+		hitIDs = make([]int32, n)
+		for i := range hitIDs {
+			hitIDs[i] = first + int32(i)
+		}
+	default:
+		cand := getIDs()
+		if exec.cur != nil {
+			// Unsorted order is gid order, so the resume point is a lower
+			// bound on the ascending local ids.
+			first := firstLocalAfter(exec.cur.gid, shardIdx, S)
+			lo := sort.Search(len(cand), func(i int) bool { return cand[i] >= first })
+			cand = cand[lo:]
+		}
+		hitIDs = cand
 	}
 	if need > 0 && len(hitIDs) > need {
 		hitIDs = hitIDs[:need]
@@ -548,8 +679,11 @@ func mergeHits(results []shardResult, req SearchRequest, need int) []hitRef {
 
 // neededColumns lists the numeric fields a request will read through the
 // columnar caches: range-query fields and top-level numeric aggregation
-// fields.
-func neededColumns(req SearchRequest) []string {
+// fields. Aggregations the rollup plan will serve are excluded — their
+// columns would be built (and, after every ingest batch, re-extended) for
+// nothing; the rare per-shard fallback still works through colVal's
+// row-storage path.
+func neededColumns(req SearchRequest, plan *rollupPlan) []string {
 	var out []string
 	seen := make(map[string]struct{})
 	add := func(f string) {
@@ -583,7 +717,10 @@ func neededColumns(req SearchRequest) []string {
 	for _, s := range req.Sort {
 		add(s.Field)
 	}
-	for _, a := range req.Aggs {
+	for name, a := range req.Aggs {
+		if plan != nil && plan.served[name] {
+			continue
+		}
 		if a.DateHistogram != nil {
 			add(a.DateHistogram.Field)
 		}
@@ -620,7 +757,7 @@ func (ix *Index) countCtx(ctx context.Context, q Query) (int, error) {
 		}
 		return n, nil
 	}
-	cols := neededColumns(SearchRequest{Query: q})
+	cols := neededColumns(SearchRequest{Query: q}, nil)
 	for _, sh := range ix.shards {
 		sh.ensureColumns(cols)
 	}
@@ -666,6 +803,8 @@ func (ix *Index) UpdateByQuery(q Query, fn func(Document) bool) int {
 // errors. A cancelled ctx stops the fan-out between shards; effects already
 // applied are still journaled, so the durable log never lags memory.
 func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document) bool) (int, error) {
+	ix.epoch.Add(1)
+	defer ix.epoch.Add(1)
 	d := ix.dur
 	var rewrites [][]walRewrite
 	if d != nil {
@@ -687,7 +826,12 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 		r := row{sh: sh}
 		for i := range sh.docs {
 			if d2 := sh.docs[i]; d2 != nil {
-				if q.matches(d2) && fn(d2) {
+				if !q.matches(d2) {
+					continue
+				}
+				before := docTerms(d2)
+				if fn(d2) {
+					sh.repostLocked(int32(i), before, docTerms(d2))
 					updated++
 					if d != nil {
 						rewrites[s] = append(rewrites[s], walRewrite{Gid: i*S + s, Doc: d2})
@@ -699,9 +843,11 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 			if !q.matches(&r) {
 				continue
 			}
+			before := eventTerms(&sh.events[i])
 			d2 := EventToDoc(&sh.events[i])
 			if fn(d2) {
 				sh.events[i] = DocToEvent(d2)
+				sh.repostLocked(int32(i), before, eventTerms(&sh.events[i]))
 				updated++
 				if d != nil {
 					rewrites[s] = append(rewrites[s], walRewrite{Gid: i*S + s, Doc: d2})
@@ -710,6 +856,7 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 		}
 		if updated > 0 {
 			sh.invalidateColumnsLocked()
+			sh.invalidateRollupLocked()
 		}
 		counts[s] = updated
 		sh.mu.Unlock()
@@ -744,13 +891,24 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 
 // legacySearch reproduces the pre-sharding execution: materialize every
 // matched document, stable-sort the full set, aggregate serially, then copy
-// the requested window.
-func (ix *Index) legacySearch(req SearchRequest) SearchResponse {
-	matched := ix.legacyMatch(req.Query)
+// the requested window. Cursors work here too — the stable sort's tie order
+// is insertion (gid) order, exactly the sharded pipeline's gid tie-break, so
+// paged output is identical across both execution strategies.
+func (ix *Index) legacySearch(req SearchRequest) (SearchResponse, error) {
+	cur, err := parseSearchAfter(req)
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	matched, gids := ix.legacyMatch(req.Query)
 
+	// Sort an index permutation so the document/gid pairing survives.
+	ord := make([]int, len(matched))
+	for i := range ord {
+		ord[i] = i
+	}
 	if len(req.Sort) > 0 {
-		sort.SliceStable(matched, func(i, j int) bool {
-			return compareDocs(matched[i], matched[j], req.Sort)
+		sort.SliceStable(ord, func(i, j int) bool {
+			return compareDocs(matched[ord[i]], matched[ord[j]], req.Sort)
 		})
 	}
 
@@ -763,7 +921,17 @@ func (ix *Index) legacySearch(req SearchRequest) SearchResponse {
 	}
 
 	total := len(matched)
-	hits := matched
+	hits := ord
+	if cur != nil {
+		// The cursor's "after" predicate is monotone along the sorted order
+		// (same comparators, gid tie-break), so the resume point is a prefix
+		// length.
+		start := 0
+		for start < len(hits) && !cur.afterDoc(matched[hits[start]], gids[hits[start]], req.Sort) {
+			start++
+		}
+		hits = hits[start:]
+	}
 	if req.From > 0 {
 		if req.From >= len(hits) {
 			hits = nil
@@ -775,13 +943,20 @@ func (ix *Index) legacySearch(req SearchRequest) SearchResponse {
 		hits = hits[:req.Size]
 	}
 	out := make([]Document, len(hits))
-	copy(out, hits)
-	return SearchResponse{Total: total, Hits: out, Aggs: aggs}
+	for i, oi := range hits {
+		out[i] = matched[oi]
+	}
+	var next []any
+	if req.Size > 0 && len(hits) == req.Size {
+		last := hits[len(hits)-1]
+		next = nextAfterDoc(matched[last], gids[last], req.Sort)
+	}
+	return SearchResponse{Total: total, Hits: out, Aggs: aggs, NextAfter: next}, nil
 }
 
-// legacyMatch evaluates q serially and returns matched documents in global
-// insertion order.
-func (ix *Index) legacyMatch(q Query) []Document {
+// legacyMatch evaluates q serially and returns matched documents and their
+// global ids in global insertion order.
+func (ix *Index) legacyMatch(q Query) ([]Document, []int) {
 	S := len(ix.shards)
 	parts := make([][]int32, S)
 	docs := make([][]Document, S)
@@ -796,14 +971,12 @@ func (ix *Index) legacyMatch(q Query) []Document {
 		parts[s] = ids
 		docs[s] = ds
 	}
-	if S == 1 {
-		return docs[0]
-	}
 	n := 0
 	for _, p := range parts {
 		n += len(p)
 	}
 	out := make([]Document, 0, n)
+	gids := make([]int, 0, n)
 	cursors := make([]int, S)
 	for len(out) < n {
 		best, bestGID := -1, 0
@@ -818,9 +991,10 @@ func (ix *Index) legacyMatch(q Query) []Document {
 			}
 		}
 		out = append(out, docs[best][cursors[best]])
+		gids = append(gids, bestGID)
 		cursors[best]++
 	}
-	return out
+	return out, gids
 }
 
 func compareDocs(a, b Document, sorts []SortField) bool {

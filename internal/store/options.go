@@ -61,6 +61,8 @@ type storeOptions struct {
 	fsyncEvery    time.Duration
 	snapshotEvery time.Duration
 	reg           *telemetry.Registry
+	cacheEntries  int   // query cache capacity per index (0 disables)
+	rollupBase    int64 // continuous rollup base interval ns (0 disables)
 }
 
 func defaultOptions() storeOptions {
@@ -68,6 +70,8 @@ func defaultOptions() storeOptions {
 		fsync:         FsyncInterval,
 		fsyncEvery:    100 * time.Millisecond,
 		snapshotEvery: time.Minute,
+		cacheEntries:  256,
+		rollupBase:    defaultRollupIntervalNS,
 	}
 }
 
@@ -115,4 +119,30 @@ func WithSnapshotInterval(d time.Duration) Option {
 // private registry, so one scrape endpoint can serve co-located components.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(o *storeOptions) { o.reg = reg }
+}
+
+// WithQueryCache sets the per-index query cache capacity in entries (default
+// 256; <= 0 disables caching). Entries are invalidated by the index epoch,
+// which every mutation bumps, so capacity only bounds memory — never
+// staleness.
+func WithQueryCache(entries int) Option {
+	return func(o *storeOptions) {
+		if entries < 0 {
+			entries = 0
+		}
+		o.cacheEntries = entries
+	}
+}
+
+// WithRollupInterval sets the continuous rollup's base histogram interval
+// (default 100ms; 0 disables rollup maintenance entirely). Date-histogram
+// aggregations are rollup-served when their interval is a multiple of the
+// base.
+func WithRollupInterval(d time.Duration) Option {
+	return func(o *storeOptions) {
+		if d < 0 {
+			d = 0
+		}
+		o.rollupBase = d.Nanoseconds()
+	}
 }

@@ -1,0 +1,338 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// TestCacheKeyCanonicalization pins the fingerprint's equivalence classes:
+// requests that must hit the same cache line produce identical keys, and
+// requests that can answer differently never collide.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	same := []struct {
+		name string
+		a, b SearchRequest
+	}{
+		{
+			"terms value order",
+			SearchRequest{Query: Terms(FieldSyscall, "write", "read", "read"), Size: 10},
+			SearchRequest{Query: Terms(FieldSyscall, "read", "write"), Size: 10},
+		},
+		{
+			"single-must bool unwraps to its clause",
+			SearchRequest{Query: Must(Term(FieldSyscall, "read")), Size: 10},
+			SearchRequest{Query: Term(FieldSyscall, "read"), Size: 10},
+		},
+		{
+			"bool clause order and duplicates",
+			SearchRequest{Query: Must(Term(FieldSyscall, "read"), Term(FieldSession, "s1"), Term(FieldSession, "s1")), Size: 10},
+			SearchRequest{Query: Must(Term(FieldSession, "s1"), Term(FieldSyscall, "read")), Size: 10},
+		},
+		{
+			"gt n folds to gte n+1 on an integer field",
+			SearchRequest{Query: rangeGT(FieldDuration, 499), Size: 10},
+			SearchRequest{Query: RangeGTE(FieldDuration, 500), Size: 10},
+		},
+		{
+			"percentile order, duplicates, and the default set",
+			SearchRequest{Size: 1, Aggs: map[string]Agg{"p": {Percentiles: &PercentilesAgg{Field: FieldDuration, Percents: []float64{99, 50, 95, 90, 99}}}}},
+			SearchRequest{Size: 1, Aggs: map[string]Agg{"p": {Percentiles: &PercentilesAgg{Field: FieldDuration}}}},
+		},
+	}
+	for _, tc := range same {
+		ka, kb := cacheKey('S', tc.a, true), cacheKey('S', tc.b, true)
+		if ka != kb {
+			t.Errorf("%s: keys differ\n a %q\n b %q", tc.name, ka, kb)
+		}
+	}
+
+	diff := []struct {
+		name string
+		a, b SearchRequest
+	}{
+		{
+			"gt vs gte at the same bound",
+			SearchRequest{Query: rangeGT(FieldDuration, 500), Size: 10},
+			SearchRequest{Query: RangeGTE(FieldDuration, 500), Size: 10},
+		},
+		{
+			"window position",
+			SearchRequest{Query: MatchAll(), Size: 10},
+			SearchRequest{Query: MatchAll(), From: 10, Size: 10},
+		},
+		{
+			"sort direction",
+			SearchRequest{Query: MatchAll(), Sort: []SortField{{Field: FieldTimeEnter}}, Size: 10},
+			SearchRequest{Query: MatchAll(), Sort: []SortField{{Field: FieldTimeEnter, Desc: true}}, Size: 10},
+		},
+		{
+			"cursor position",
+			SearchRequest{Query: MatchAll(), Size: 10},
+			SearchRequest{Query: MatchAll(), Size: 10, SearchAfter: []any{float64(7)}},
+		},
+	}
+	for _, tc := range diff {
+		ka, kb := cacheKey('S', tc.a, true), cacheKey('S', tc.b, true)
+		if ka == kb {
+			t.Errorf("%s: keys collide: %q", tc.name, ka)
+		}
+	}
+
+	// The int-range fold is only sound while the index holds typed events
+	// exclusively; with generic documents present (intSafe=false) the two
+	// spellings must stay distinct.
+	gt := SearchRequest{Query: rangeGT(FieldDuration, 499), Size: 10}
+	gte := SearchRequest{Query: RangeGTE(FieldDuration, 500), Size: 10}
+	if cacheKey('S', gt, false) == cacheKey('S', gte, false) {
+		t.Error("gt/gte folded despite generic documents in the index")
+	}
+
+	// Typed and document searches of the same request are distinct lines.
+	q := SearchRequest{Query: MatchAll(), Size: 10}
+	if cacheKey('S', q, true) == cacheKey('E', q, true) {
+		t.Error("document and typed search share a cache line")
+	}
+}
+
+// TestCacheKeyWireOrderInvariance decodes the same query JSON with its
+// object keys in two different orders: the fingerprints must match, so a
+// dashboard re-render that serializes its request differently still hits.
+func TestCacheKeyWireOrderInvariance(t *testing.T) {
+	a := `{"size":5,"query":{"bool":{"must":[{"term":{"field":"syscall","value":"read"}},{"range":{"field":"duration_ns","gte":100,"lte":900}}]}},"aggs":{"h":{"date_histogram":{"field":"time_enter_ns","interval_ns":1000}},"t":{"terms":{"field":"syscall"}}}}`
+	b := `{"aggs":{"t":{"terms":{"field":"syscall"}},"h":{"date_histogram":{"interval_ns":1000,"field":"time_enter_ns"}}},"query":{"bool":{"must":[{"range":{"lte":900,"gte":100,"field":"duration_ns"}},{"term":{"value":"read","field":"syscall"}}]}},"size":5}`
+	var ra, rb SearchRequest
+	if err := json.Unmarshal([]byte(a), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b), &rb); err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := cacheKey('S', ra, true), cacheKey('S', rb, true)
+	if ka != kb {
+		t.Errorf("wire key order changed the fingerprint:\n a %q\n b %q", ka, kb)
+	}
+}
+
+func counterDelta(t *testing.T, reg *telemetry.Registry, name string, base uint64) uint64 {
+	t.Helper()
+	return reg.Snapshot().Counters[name] - base
+}
+
+// TestQueryCacheServesAndInvalidates walks the cache through its life
+// cycle against the public Store API: miss on first sight, hit on repeat,
+// invalidated by every mutation kind, LRU-bounded, and bypassed for
+// uncacheable (size<=0) requests.
+func TestQueryCacheServesAndInvalidates(t *testing.T) {
+	st, err := Open(WithQueryCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	reg := st.Telemetry()
+	if err := st.BulkEvents(ctx, "run", cursorFixture(600)); err != nil {
+		t.Fatal(err)
+	}
+
+	req := SearchRequest{
+		Query: Term(FieldSession, "s1"),
+		Size:  1,
+		Aggs:  map[string]Agg{"by_syscall": {Terms: &TermsAgg{Field: FieldSyscall}}},
+	}
+	hits0 := reg.Snapshot().Counters[telemetry.MetricQueryCacheHits]
+	first, err := st.Search(ctx, "run", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := st.Search(ctx, "run", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := counterDelta(t, reg, telemetry.MetricQueryCacheHits, hits0); d != 1 {
+		t.Fatalf("repeat search: %d cache hits, want 1", d)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached response differs from computed response")
+	}
+
+	// Each mutation kind must invalidate: the next search recomputes.
+	mutate := []struct {
+		name string
+		do   func() error
+	}{
+		{"BulkEvents", func() error { return st.BulkEvents(ctx, "run", cursorFixture(8)) }},
+		{"Bulk", func() error { return st.Bulk(ctx, "run", docFixture()) }},
+		{"UpdateByQuery", func() error {
+			_, err := st.UpdateByQuery(ctx, "run", Term(FieldSyscall, "read"), func(d Document) bool {
+				d["seen"] = true
+				return true
+			})
+			return err
+		}},
+	}
+	for _, m := range mutate {
+		if err := m.do(); err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		h0 := reg.Snapshot().Counters[telemetry.MetricQueryCacheHits]
+		m0 := reg.Snapshot().Counters[telemetry.MetricQueryCacheMisses]
+		if _, err := st.Search(ctx, "run", req); err != nil {
+			t.Fatal(err)
+		}
+		if d := counterDelta(t, reg, telemetry.MetricQueryCacheHits, h0); d != 0 {
+			t.Errorf("after %s: search hit the cache (%d hits); mutation did not invalidate", m.name, d)
+		}
+		if d := counterDelta(t, reg, telemetry.MetricQueryCacheMisses, m0); d != 1 {
+			t.Errorf("after %s: %d misses, want 1", m.name, d)
+		}
+	}
+
+	// Capacity 2: three distinct queries evict the oldest line.
+	ev0 := reg.Snapshot().Counters[telemetry.MetricQueryCacheEvictions]
+	for i := 0; i < 3; i++ {
+		r := req
+		r.Size = i + 2
+		if _, err := st.Search(ctx, "run", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := counterDelta(t, reg, telemetry.MetricQueryCacheEvictions, ev0); d == 0 {
+		t.Error("three distinct queries in a 2-entry cache evicted nothing")
+	}
+	if got := reg.Snapshot().Gauges[telemetry.MetricQueryCacheEntries]; got > 2 {
+		t.Errorf("cache entries gauge = %v, want <= 2", got)
+	}
+
+	// size<=0 requests bypass the cache entirely.
+	h0 := reg.Snapshot().Counters[telemetry.MetricQueryCacheHits]
+	m0 := reg.Snapshot().Counters[telemetry.MetricQueryCacheMisses]
+	all := SearchRequest{Query: MatchAll(), Size: -1}
+	for i := 0; i < 2; i++ {
+		if _, err := st.Search(ctx, "run", all); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counterDelta(t, reg, telemetry.MetricQueryCacheHits, h0) != 0 || counterDelta(t, reg, telemetry.MetricQueryCacheMisses, m0) != 0 {
+		t.Error("size=-1 search touched the cache")
+	}
+}
+
+// TestCacheInvalidationStress races cached readers against writers under
+// the race detector: every response a reader observes must be at least as
+// fresh as the writer progress it already knew (no stale read escapes the
+// epoch check), and when the dust settles the ledger closes — the bulk-docs
+// counter, the index length, and an uncached recount all agree.
+func TestCacheInvalidationStress(t *testing.T) {
+	st, err := Open(WithQueryCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	const batches = 40
+	const perBatch = 64
+
+	if err := st.BulkEvents(ctx, "run", cursorFixture(perBatch)); err != nil {
+		t.Fatal(err)
+	}
+	var written atomic.Int64 // events acked so far, the reader's freshness floor
+	written.Store(perBatch)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < batches; i++ {
+			if err := st.BulkEvents(ctx, "run", cursorFixture(perBatch)); err != nil {
+				t.Error(err)
+				return
+			}
+			written.Add(perBatch)
+			if i%8 == 7 {
+				if _, err := st.UpdateByQuery(ctx, "run", Term(FieldSyscall, "fsync"), func(d Document) bool {
+					d["touched"] = true
+					return true
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	reqs := []SearchRequest{
+		{Query: MatchAll(), Size: 1},
+		{Query: MatchAll(), Size: 1, Aggs: map[string]Agg{"by_syscall": {Terms: &TermsAgg{Field: FieldSyscall}}}},
+		{Query: Term(FieldSession, "s0"), Size: 4, Sort: []SortField{{Field: FieldTimeEnter, Desc: true}}},
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := written.Load()
+				resp, err := st.Search(ctx, "run", reqs[r%len(reqs)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r%len(reqs) != 2 && int64(resp.Total) < floor {
+					t.Errorf("stale read escaped: total %d < %d events already acked", resp.Total, floor)
+					return
+				}
+				ev, err := st.SearchEvents(ctx, "run", SearchRequest{Query: MatchAll(), Size: 2})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if int64(ev.Total) < floor {
+					t.Errorf("stale typed read escaped: total %d < %d", ev.Total, floor)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Conservation: counter, index length, cached recount, and an uncached
+	// (size=-1, cache-bypassing) recount all see every event written.
+	want := int((batches + 1) * perBatch)
+	if got := st.Telemetry().Snapshot().Counters[telemetry.MetricBulkDocs]; got != uint64(want) {
+		t.Errorf("bulk-docs counter = %d, want %d", got, want)
+	}
+	cached, err := st.Search(ctx, "run", SearchRequest{Query: MatchAll(), Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := st.Search(ctx, "run", SearchRequest{Query: MatchAll(), Size: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Total != want || uncached.Total != want || len(uncached.Hits) != want {
+		t.Errorf("ledger open: cached %d, uncached %d (%d hits), want %d",
+			cached.Total, uncached.Total, len(uncached.Hits), want)
+	}
+	n, err := st.Count(ctx, "run", MatchAll())
+	if err != nil || n != want {
+		t.Errorf("count = (%d, %v), want %d", n, err, want)
+	}
+}
+
+// rangeGT builds a strict lower-bound range query (no public helper
+// exists; strict bounds normally arrive over the wire).
+func rangeGT(field string, gt float64) Query {
+	return Query{Range: &RangeQuery{Field: field, GT: &gt}}
+}

@@ -1,0 +1,372 @@
+package store
+
+import "github.com/dsrhaslab/dio-go/internal/event"
+
+// Continuous rollups: every shard maintains pre-merged partialAgg shapes for
+// the dashboard aggregations — terms counts over the indexed keyword fields
+// and a base-interval date histogram of time_enter_ns — incrementally at
+// ingest. A query whose filter the rollup can key exactly (match-all, or a
+// single term on the session field) and whose aggregations have no
+// sub-aggregations is answered from these partials instead of scanning the
+// shard, which is what keeps p99 dashboard latency flat while typed ingest
+// runs at full rate.
+//
+// Correctness rules, each mirroring the scan path it replaces:
+//
+//   - Terms counts key by keyString (missing fields land in ""), exactly as
+//     shard.termCounts does for a full scan.
+//   - The histogram keys at base-aligned truncated buckets; an aggregation
+//     interval I is servable iff I % base == 0, and re-bucketing a
+//     base-aligned key to I is exact (trunc division composes for I = k·base).
+//   - bySession groups only rows whose session value is a string. Rows with
+//     any other representation bump sessionStray, and while sessionStray > 0
+//     term-on-session queries fall back to the scan (valueEquals has Sprintf
+//     coercion edges — numeric 5 matches "5" — that string-keyed maps cannot
+//     reproduce). Typed events always have a string session, so the tracer's
+//     own workload never strays.
+//   - UpdateByQuery may rewrite any field in place, so it invalidates the
+//     rollup (dirty flag, maps freed) alongside the column caches; the next
+//     rollup-eligible search rebuilds it under the shard write lock before
+//     taking read locks.
+//   - Total map-key cardinality is capped; past the cap the rollup frees its
+//     maps and serves nothing until the next rebuild, so adversarial key
+//     cardinality degrades to the scan path instead of growing RSS.
+const defaultRollupIntervalNS = int64(100_000_000) // 100ms histogram base
+
+// maxRollupKeys caps the total map keys one shard's rollup may hold across
+// all partials (a package variable so tests can force overflow cheaply).
+var maxRollupKeys = 1 << 16
+
+// rollupPartial is the pre-merged aggregation state for one group of rows:
+// per-indexed-field term counts and the base-aligned time_enter histogram.
+// Both maps are exactly the count-only partialAgg shapes mergePartials
+// consumes, so serving is a pointer handoff under the held read lock.
+type rollupPartial struct {
+	terms [len(indexedFieldList)]map[string]int
+	hist  map[int64]int
+}
+
+// indexedFieldList fixes slot order for rollupPartial.terms. It must stay in
+// sync with indexedFields (asserted at init).
+var indexedFieldList = [...]string{FieldSession, FieldSyscall, FieldProcName, FieldThreadName, FieldClass}
+
+func init() {
+	if len(indexedFieldList) != len(indexedFields) {
+		panic("store: indexedFieldList out of sync with indexedFields")
+	}
+	for _, f := range indexedFieldList {
+		found := false
+		for _, g := range indexedFields {
+			if f == g {
+				found = true
+			}
+		}
+		if !found {
+			panic("store: indexedFieldList out of sync with indexedFields")
+		}
+	}
+}
+
+// rollupSlot maps an indexed field name to its terms slot, -1 when the field
+// is not indexed.
+func rollupSlot(field string) int {
+	for i, f := range indexedFieldList {
+		if f == field {
+			return i
+		}
+	}
+	return -1
+}
+
+func newRollupPartial() *rollupPartial {
+	p := &rollupPartial{hist: make(map[int64]int)}
+	for i := range p.terms {
+		p.terms[i] = make(map[string]int)
+	}
+	return p
+}
+
+// shardRollup is one shard's continuous rollup state. All access is under the
+// shard's mutex: writes (ingest maintenance, invalidation, rebuild) under the
+// write lock, serving under the read lock.
+type shardRollup struct {
+	base int64 // histogram bucket width in ns (> 0; 0 never constructs one)
+
+	dirty    bool // an in-place rewrite happened; rebuild before serving
+	overflow bool // key cap exceeded; serve nothing until the next rebuild
+
+	sessionStray int // rows whose session value is not a string
+	keys         int // total map keys across all partials, for the cap
+
+	all       *rollupPartial
+	bySession map[string]*rollupPartial
+}
+
+func newShardRollup(base int64) *shardRollup {
+	return &shardRollup{
+		base:      base,
+		all:       newRollupPartial(),
+		bySession: make(map[string]*rollupPartial),
+	}
+}
+
+// live reports whether the rollup can serve right now.
+func (r *shardRollup) live() bool { return r != nil && !r.dirty && !r.overflow }
+
+// invalidate marks the rollup stale and frees its state. Caller holds the
+// shard write lock.
+func (r *shardRollup) invalidate() {
+	if r == nil || r.dirty {
+		return
+	}
+	r.dirty = true
+	r.all, r.bySession = nil, nil
+	r.keys, r.sessionStray = 0, 0
+}
+
+// drop frees the maps after a cap overflow; the dirty flag stays clear so
+// ingest keeps skipping maintenance until a rebuild is forced.
+func (r *shardRollup) drop() {
+	r.overflow = true
+	r.all, r.bySession = nil, nil
+	r.keys, r.sessionStray = 0, 0
+}
+
+// incTerm / incHist count one row into a map, tracking total key cardinality
+// through len() deltas (O(1), no double lookup).
+func (r *shardRollup) incTerm(m map[string]int, k string) {
+	n := len(m)
+	m[k]++
+	if len(m) != n {
+		r.keys++
+	}
+}
+
+func (r *shardRollup) incHist(m map[int64]int, k int64) {
+	n := len(m)
+	m[k]++
+	if len(m) != n {
+		r.keys++
+	}
+}
+
+// sessionPartial returns the per-session group for key s, creating it on
+// first use.
+func (r *shardRollup) sessionPartial(s string) *rollupPartial {
+	p := r.bySession[s]
+	if p == nil {
+		p = newRollupPartial()
+		r.bySession[s] = p
+		r.keys++
+	}
+	return p
+}
+
+// addEvent folds one typed row into the rollup. Caller holds the shard write
+// lock. Steady state (known session, known terms, in-range bucket) performs
+// only map increments — no allocation — which is what keeps the typed ingest
+// path inside its AllocsPerRun budget.
+func (r *shardRollup) addEvent(e *event.Event) {
+	if r == nil || r.dirty || r.overflow {
+		return
+	}
+	bucket := e.TimeEnterNS / r.base * r.base
+	r.bumpEvent(r.all, e, bucket)
+	r.bumpEvent(r.sessionPartial(e.Session), e, bucket)
+	if r.keys > maxRollupKeys {
+		r.drop()
+	}
+}
+
+func (r *shardRollup) bumpEvent(p *rollupPartial, e *event.Event, bucket int64) {
+	r.incTerm(p.terms[0], e.Session)
+	r.incTerm(p.terms[1], e.Syscall)
+	r.incTerm(p.terms[2], e.ProcName)
+	r.incTerm(p.terms[3], e.ThreadName)
+	r.incTerm(p.terms[4], e.Class)
+	r.incHist(p.hist, bucket)
+}
+
+// addDoc folds one generic row into the rollup. Caller holds the shard write
+// lock. Term keys follow keyString (missing fields count under ""), the
+// histogram skips rows whose time_enter_ns is not numeric — both exactly the
+// scan semantics.
+func (r *shardRollup) addDoc(d Document) {
+	if r == nil || r.dirty || r.overflow {
+		return
+	}
+	bucket, haveBucket := int64(0), false
+	if f, ok := numeric(d[FieldTimeEnter]); ok {
+		bucket, haveBucket = int64(f)/r.base*r.base, true
+	}
+	r.bumpDoc(r.all, d, bucket, haveBucket)
+	if s, ok := d[FieldSession].(string); ok {
+		r.bumpDoc(r.sessionPartial(s), d, bucket, haveBucket)
+	} else {
+		r.sessionStray++
+	}
+	if r.keys > maxRollupKeys {
+		r.drop()
+	}
+}
+
+func (r *shardRollup) bumpDoc(p *rollupPartial, d Document, bucket int64, haveBucket bool) {
+	for i, f := range indexedFieldList {
+		r.incTerm(p.terms[i], keyString(d[f]))
+	}
+	if haveBucket {
+		r.incHist(p.hist, bucket)
+	}
+}
+
+// invalidateRollupLocked drops the shard's rollup state after an in-place
+// update, alongside the column caches. Caller holds the write lock.
+func (sh *shard) invalidateRollupLocked() { sh.rollup.invalidate() }
+
+// rebuildRollupLocked recomputes the rollup from row storage. Caller holds
+// the write lock. A rebuild that overflows the key cap leaves the rollup
+// dropped (scan fallback) but clean, so it is not re-attempted per query.
+func (sh *shard) rebuildRollupLocked() {
+	r := sh.rollup
+	if r == nil {
+		return
+	}
+	base := r.base
+	*r = *newShardRollup(base)
+	for i := range sh.docs {
+		if d := sh.docs[i]; d != nil {
+			r.addDoc(d)
+		} else {
+			r.addEvent(&sh.events[i])
+		}
+		if r.overflow {
+			return
+		}
+	}
+}
+
+// ensureRollups rebuilds any dirty shard rollup before a rollup-eligible
+// search takes its read locks, mirroring ensureColumns' check-then-upgrade
+// pattern. A concurrent UpdateByQuery can re-dirty a shard afterwards; the
+// per-shard serve check under the read lock falls back to the scan then.
+func (ix *Index) ensureRollups() {
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		need := sh.rollup != nil && sh.rollup.dirty
+		sh.mu.RUnlock()
+		if !need {
+			continue
+		}
+		sh.mu.Lock()
+		if sh.rollup != nil && sh.rollup.dirty {
+			sh.rebuildRollupLocked()
+			ix.rtm.rollupRebuilds.Inc()
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// rollupPlan is the per-request decision of which aggregations the rollups
+// can serve, computed once before the shard fan-out. nil means the request is
+// not rollup-eligible at all.
+type rollupPlan struct {
+	matchAll bool
+	session  string // valid when !matchAll: the Term(session, …) filter value
+	served   map[string]bool
+}
+
+// planRollup inspects the request: the filter must be match-all or exactly
+// one term on the session field with a string value, and a served
+// aggregation must be a no-sub-agg terms over an indexed field or a
+// no-sub-agg date histogram over time_enter_ns whose interval is a multiple
+// of the rollup base.
+func (ix *Index) planRollup(req SearchRequest) *rollupPlan {
+	if ix.rollupBase <= 0 || len(req.Aggs) == 0 {
+		return nil
+	}
+	p := &rollupPlan{}
+	q := req.Query
+	switch {
+	case q.matchesAll():
+		p.matchAll = true
+	case q.Term != nil && q.Term.Field == FieldSession &&
+		q.Terms == nil && q.Range == nil && q.Prefix == nil && q.Exists == nil && q.Bool == nil:
+		s, ok := q.Term.Value.(string)
+		if !ok {
+			return nil
+		}
+		p.session = s
+	default:
+		return nil
+	}
+	for name, a := range req.Aggs {
+		if !rollupServable(a, ix.rollupBase) {
+			continue
+		}
+		if p.served == nil {
+			p.served = make(map[string]bool, len(req.Aggs))
+		}
+		p.served[name] = true
+	}
+	if p.served == nil {
+		return nil
+	}
+	return p
+}
+
+// rollupServable reports whether one aggregation's shape can come from the
+// rollup partials.
+func rollupServable(a Agg, base int64) bool {
+	if len(a.Aggs) > 0 {
+		return false
+	}
+	switch {
+	case a.Terms != nil:
+		return rollupSlot(a.Terms.Field) >= 0
+	case a.DateHistogram != nil:
+		return a.DateHistogram.Field == FieldTimeEnter &&
+			a.DateHistogram.IntervalNS > 0 && a.DateHistogram.IntervalNS%base == 0
+	default:
+		return false
+	}
+}
+
+// rollupServe answers one planned aggregation from the shard's rollup, or
+// nil to fall back to the scan (rollup dropped, re-dirtied concurrently, or
+// the session filter is unsound because stray session representations
+// exist). Caller holds the shard read lock; the returned partial aliases the
+// live rollup maps, which is safe because mergePartials only reads and the
+// read lock is held through the merge.
+func (sh *shard) rollupServe(p *rollupPlan, a Agg) *partialAgg {
+	r := sh.rollup
+	if !r.live() {
+		return nil
+	}
+	var g *rollupPartial
+	if p.matchAll {
+		g = r.all
+	} else {
+		if r.sessionStray > 0 {
+			return nil
+		}
+		g = r.bySession[p.session]
+		if g == nil {
+			// No rows for this session in this shard: an empty partial.
+			return &partialAgg{}
+		}
+	}
+	if a.Terms != nil {
+		return &partialAgg{termCounts: g.terms[rollupSlot(a.Terms.Field)]}
+	}
+	interval := a.DateHistogram.IntervalNS
+	if interval == r.base {
+		return &partialAgg{histCounts: g.hist}
+	}
+	// Re-bucket the base-aligned keys to the coarser interval. Exact for
+	// interval = k·base: truncating toward zero in two steps equals one.
+	counts := make(map[int64]int, len(g.hist))
+	for k, n := range g.hist {
+		counts[k/interval*interval] += n
+	}
+	return &partialAgg{histCounts: counts}
+}

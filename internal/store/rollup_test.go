@@ -1,0 +1,347 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// rollupFixture spreads n typed events over ~n milliseconds of trace time
+// (many 100ms rollup buckets) across four sessions and six syscalls.
+func rollupFixture(n int) []event.Event {
+	syscalls := []string{"read", "write", "openat", "close", "fsync", "lseek"}
+	evs := make([]event.Event, n)
+	for i := range evs {
+		enter := 5_000_000_000 + int64(i)*1_000_000
+		evs[i] = event.Event{
+			Session:     fmt.Sprintf("s%d", i%4),
+			Syscall:     syscalls[i%len(syscalls)],
+			Class:       "io",
+			RetVal:      int64(i % 512),
+			PID:         9,
+			TID:         10 + i%2,
+			ProcName:    fmt.Sprintf("proc%d", i%3),
+			ThreadName:  fmt.Sprintf("w%d", i%2),
+			TimeEnterNS: enter,
+			TimeExitNS:  enter + 1_500,
+		}
+	}
+	return evs
+}
+
+// rollupTwin builds two stores over identical ingest: one with continuous
+// rollups at the default 100ms base, one with rollups disabled (the
+// ablation), so every aggregation can be checked shape-for-shape.
+func rollupTwin(t *testing.T) (on, off *Store) {
+	t.Helper()
+	var err error
+	on, err = Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { on.Close() })
+	off, err = Open(WithRollupInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { off.Close() })
+	evs := rollupFixture(8_000)
+	ctx := context.Background()
+	for i := 0; i < len(evs); i += 1024 {
+		j := min(i+1024, len(evs))
+		if err := on.BulkEvents(ctx, "run", evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+		if err := off.BulkEvents(ctx, "run", evs[i:j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return on, off
+}
+
+// rollupShapes is the aggregation matrix: served shapes (terms over every
+// indexed field, histograms at the base interval and exact multiples,
+// session-scoped variants) and fallback shapes (sub-aggregations,
+// non-divisible intervals, non-indexed fields, filtered queries).
+func rollupShapes() []SearchRequest {
+	terms := func(f string) map[string]Agg {
+		return map[string]Agg{"t": {Terms: &TermsAgg{Field: f}}}
+	}
+	hist := func(interval int64) map[string]Agg {
+		return map[string]Agg{"h": {DateHistogram: &DateHistogramAgg{Field: FieldTimeEnter, IntervalNS: interval}}}
+	}
+	shapes := []SearchRequest{
+		{Query: MatchAll(), Size: 1, Aggs: terms(FieldSession)},
+		{Query: MatchAll(), Size: 1, Aggs: terms(FieldSyscall)},
+		{Query: MatchAll(), Size: 1, Aggs: terms(FieldProcName)},
+		{Query: MatchAll(), Size: 1, Aggs: terms(FieldThreadName)},
+		{Query: MatchAll(), Size: 1, Aggs: terms(FieldClass)},
+		{Query: MatchAll(), Size: 1, Aggs: hist(100_000_000)},                 // base
+		{Query: MatchAll(), Size: 1, Aggs: hist(300_000_000)},                 // 3x base, rebucketed
+		{Query: MatchAll(), Size: 1, Aggs: hist(1_000_000_000)},               // 10x base
+		{Query: MatchAll(), Size: 1, Aggs: hist(150_000_000)},                 // not a multiple: fallback
+		{Query: MatchAll(), Size: 1, Aggs: terms(FieldRetVal)},                // not an indexed field: fallback
+		{Query: Term(FieldSession, "s2"), Size: 1, Aggs: terms(FieldSyscall)}, // session partial
+		{Query: Term(FieldSession, "s2"), Size: 1, Aggs: hist(100_000_000)},
+		{Query: Term(FieldSession, "nope"), Size: 1, Aggs: terms(FieldSyscall)}, // absent session
+		{Query: Term(FieldSyscall, "read"), Size: 1, Aggs: terms(FieldSession)}, // non-session filter: fallback
+		{ // sub-aggregation: fallback
+			Query: MatchAll(), Size: 1,
+			Aggs: map[string]Agg{"h": {
+				DateHistogram: &DateHistogramAgg{Field: FieldTimeEnter, IntervalNS: 1_000_000_000},
+				Aggs:          map[string]Agg{"by_thread": {Terms: &TermsAgg{Field: FieldThreadName}}},
+			}},
+		},
+		{ // mixed: one served, one fallback, same request
+			Query: MatchAll(), Size: 1,
+			Aggs: map[string]Agg{
+				"t": {Terms: &TermsAgg{Field: FieldSyscall}},
+				"s": {Stats: &StatsAgg{Field: FieldRetVal}},
+			},
+		},
+	}
+	return shapes
+}
+
+// TestRollupDifferential answers every dashboard aggregation twice — once
+// from the rollup-maintaining store, once from the scanning ablation — and
+// requires identical responses, while the telemetry counters prove the
+// served shapes really came from rollup partials.
+func TestRollupDifferential(t *testing.T) {
+	on, off := rollupTwin(t)
+	ctx := context.Background()
+	reg := on.Telemetry()
+	hits0 := reg.Snapshot().Counters[telemetry.MetricRollupAggHits]
+	for i, req := range rollupShapes() {
+		a, err := on.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatalf("shape %d rollup: %v", i, err)
+		}
+		b, err := off.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatalf("shape %d ablation: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("shape %d diverges:\n rollup   %+v\n ablation %+v", i, a.Aggs, b.Aggs)
+		}
+	}
+	if d := reg.Snapshot().Counters[telemetry.MetricRollupAggHits] - hits0; d == 0 {
+		t.Error("no aggregation was served from rollup partials")
+	}
+	if reg.Snapshot().Counters[telemetry.MetricRollupAggMisses] == 0 {
+		t.Error("fallback shapes recorded no rollup misses")
+	}
+}
+
+// TestRollupStraySessionDisablesSessionServing covers the coercion edge:
+// once a generic document carries a non-string session value, the
+// session-scoped rollup path must stand down (valueEquals coerces numerics
+// across types, which the string-keyed rollup cannot mirror) while answers
+// stay correct via the fallback scan.
+func TestRollupStraySessionDisablesSessionServing(t *testing.T) {
+	on, off := rollupTwin(t)
+	ctx := context.Background()
+	stray := []Document{{FieldSession: int64(7), FieldSyscall: "read", FieldTimeEnter: int64(5_000_000_123)}}
+	if err := on.Bulk(ctx, "run", stray); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Bulk(ctx, "run", []Document{{FieldSession: int64(7), FieldSyscall: "read", FieldTimeEnter: int64(5_000_000_123)}}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []SearchRequest{
+		// The numeric-vs-string coercion case itself.
+		{Query: Term(FieldSession, 7), Size: 1, Aggs: map[string]Agg{"t": {Terms: &TermsAgg{Field: FieldSyscall}}}},
+		{Query: Term(FieldSession, "s1"), Size: 1, Aggs: map[string]Agg{"t": {Terms: &TermsAgg{Field: FieldSyscall}}}},
+		// Whole-index terms still serve (stray only gates the session path).
+		{Query: MatchAll(), Size: 1, Aggs: map[string]Agg{"t": {Terms: &TermsAgg{Field: FieldSession}}}},
+	}
+	for i, req := range reqs {
+		a, err := on.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := off.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("stray-session shape %d diverges:\n rollup   %+v\n ablation %+v", i, a.Aggs, b.Aggs)
+		}
+	}
+}
+
+// TestRollupInvalidateAndRebuild mutates indexed fields in place through
+// UpdateByQuery — the one write that can change history — and checks the
+// rollup rebuilds (counted) and re-serves the corrected numbers.
+func TestRollupInvalidateAndRebuild(t *testing.T) {
+	on, off := rollupTwin(t)
+	ctx := context.Background()
+	reg := on.Telemetry()
+	req := SearchRequest{Query: MatchAll(), Size: 1, Aggs: map[string]Agg{"t": {Terms: &TermsAgg{Field: FieldSyscall}}}}
+	if _, err := on.Search(ctx, "run", req); err != nil {
+		t.Fatal(err)
+	}
+
+	rewrite := func(d Document) bool {
+		if d[FieldSyscall] == "fsync" {
+			d[FieldSyscall] = "fdatasync"
+			return true
+		}
+		return false
+	}
+	r0 := reg.Snapshot().Counters[telemetry.MetricRollupRebuilds]
+	for name, st := range map[string]*Store{"rollup": on, "ablation": off} {
+		if _, err := st.UpdateByQuery(ctx, "run", Term(FieldSyscall, "fsync"), rewrite); err != nil {
+			t.Fatalf("%s update: %v", name, err)
+		}
+	}
+	a, err := on.Search(ctx, "run", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := off.Search(ctx, "run", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("post-update aggs diverge:\n rollup   %+v\n ablation %+v", a.Aggs, b.Aggs)
+	}
+	for _, bkt := range a.Aggs["t"].Buckets {
+		if bkt.Key == "fsync" {
+			t.Error("rollup still serves the pre-update syscall name")
+		}
+	}
+	if d := reg.Snapshot().Counters[telemetry.MetricRollupRebuilds] - r0; d == 0 {
+		t.Error("update-by-query triggered no rollup rebuild")
+	}
+}
+
+// TestRollupOverflowFallsBack caps the key budget low enough that the
+// fixture blows through it: overflowing shards must drop their rollups and
+// every aggregation still answers correctly via the scan path.
+func TestRollupOverflowFallsBack(t *testing.T) {
+	old := maxRollupKeys
+	maxRollupKeys = 8
+	defer func() { maxRollupKeys = old }()
+
+	on, off := rollupTwin(t)
+	ctx := context.Background()
+	for i, req := range rollupShapes() {
+		a, err := on.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := off.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("overflow shape %d diverges:\n rollup   %+v\n ablation %+v", i, a.Aggs, b.Aggs)
+		}
+	}
+}
+
+// TestRewriteRepostsAfterRecovery covers the posting maintenance on both
+// the live and the replayed rewrite path: renaming an indexed term through
+// UpdateByQuery must move the row between posting lists (Term queries and
+// the postings-backed terms fast path see the new name, never the old), and
+// a WAL replay of the same rewrite must reproduce that exactly.
+func TestRewriteRepostsAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	dur, err := Open(WithDataDir(dir), WithFsyncPolicy(FsyncOff), WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := dur.BulkEvents(ctx, "run", rollupFixture(600)); err != nil {
+		t.Fatal(err)
+	}
+	// One generic row with a string syscall participates in postings too.
+	if err := dur.Bulk(ctx, "run", []Document{{FieldSession: "g", FieldSyscall: "fsync", FieldTimeEnter: int64(5_000_000_001)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dur.UpdateByQuery(ctx, "run", Term(FieldSyscall, "fsync"), func(d Document) bool {
+		d[FieldSyscall] = "fdatasync"
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, st *Store) {
+		t.Helper()
+		if n, err := st.Count(ctx, "run", Term(FieldSyscall, "fsync")); err != nil || n != 0 {
+			t.Errorf("%s: %d rows still under the old term (err %v)", name, n, err)
+		}
+		want := 600/6 + 1 // every sixth fixture event, plus the generic row
+		if n, err := st.Count(ctx, "run", Term(FieldSyscall, "fdatasync")); err != nil || n != want {
+			t.Errorf("%s: %d rows under the new term, want %d (err %v)", name, n, want, err)
+		}
+		resp, err := st.Search(ctx, "run", SearchRequest{Query: MatchAll(), Size: 1,
+			Aggs: map[string]Agg{"t": {Terms: &TermsAgg{Field: FieldSyscall, Size: 20}}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bkt := range resp.Aggs["t"].Buckets {
+			if bkt.Key == "fsync" {
+				t.Errorf("%s: terms agg still buckets the old name", name)
+			}
+		}
+	}
+	check("live", dur)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(WithDataDir(dir), WithFsyncPolicy(FsyncOff), WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	check("recovered", rec)
+}
+
+// TestRollupSurvivesRecovery rebuilds a durable store from disk and checks
+// recovered shards serve the same rollup answers as the never-closed twin.
+func TestRollupSurvivesRecovery(t *testing.T) {
+	on, _ := rollupTwin(t)
+	dir := t.TempDir()
+	dur, err := Open(WithDataDir(dir), WithFsyncPolicy(FsyncOff), WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	evs := rollupFixture(8_000)
+	for i := 0; i < len(evs); i += 1024 {
+		if err := dur.BulkEvents(ctx, "run", evs[i:min(i+1024, len(evs))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(WithDataDir(dir), WithFsyncPolicy(FsyncOff), WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	hits0 := rec.Telemetry().Snapshot().Counters[telemetry.MetricRollupAggHits]
+	for i, req := range rollupShapes() {
+		a, err := rec.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := on.Search(ctx, "run", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Aggs, b.Aggs) {
+			t.Errorf("recovered shape %d diverges:\n recovered %+v\n live      %+v", i, a.Aggs, b.Aggs)
+		}
+	}
+	if d := rec.Telemetry().Snapshot().Counters[telemetry.MetricRollupAggHits] - hits0; d == 0 {
+		t.Error("recovered store served no aggregation from rollups")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -302,6 +303,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index stri
 	}
 	resp, err := s.store.Search(r.Context(), index, req)
 	if err != nil {
+		if errors.Is(err, errBadSearchAfter) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}

@@ -28,6 +28,7 @@ type shard struct {
 	events   []event.Event
 	postings map[string]map[string][]int32 // field -> term -> local doc ids
 	cols     map[string]*column            // lazy numeric columns, keyed by field
+	rollup   *shardRollup                  // continuous rollup state, nil when disabled
 }
 
 // column is a pre-extracted numeric view of one field: vals[i] holds the
@@ -40,12 +41,16 @@ type column struct {
 	ok   []bool
 }
 
-func newShard() *shard {
+func newShard(rollupBase int64) *shard {
 	p := make(map[string]map[string][]int32, len(indexedFields))
 	for _, f := range indexedFields {
 		p[f] = make(map[string][]int32)
 	}
-	return &shard{postings: p}
+	sh := &shard{postings: p}
+	if rollupBase > 0 {
+		sh.rollup = newShardRollup(rollupBase)
+	}
+	return sh
 }
 
 // row adapts one shard slot to the query evaluator's fieldSource without
@@ -114,6 +119,7 @@ func (sh *shard) addLocked(doc Document) int32 {
 			sh.postings[f][s] = append(sh.postings[f][s], id)
 		}
 	}
+	sh.rollup.addDoc(doc)
 	return id
 }
 
@@ -134,6 +140,7 @@ func (sh *shard) addEventLocked(e *event.Event) int32 {
 	sh.postTermLocked(FieldClass, e.Class, id)
 	sh.postTermLocked(FieldProcName, e.ProcName, id)
 	sh.postTermLocked(FieldThreadName, e.ThreadName, id)
+	sh.rollup.addEvent(e)
 	return id
 }
 
@@ -143,6 +150,78 @@ func (sh *shard) postTermLocked(field, term string, id int32) {
 	// postings (addLocked) and a Term query for "" must answer the same over
 	// typed rows.
 	sh.postings[field][term] = append(sh.postings[field][term], id)
+}
+
+// indexedTerms is the posting-relevant view of one row: which of the
+// indexed keyword fields post a term and with which value. Typed rows post
+// all of them (addEventLocked); generic rows post only string values
+// (addLocked), so has distinguishes "posts the empty string" from "does not
+// post".
+type indexedTerms struct {
+	has [5]bool
+	val [5]string
+}
+
+func docTerms(d Document) indexedTerms {
+	var t indexedTerms
+	for k, f := range indexedFields {
+		t.val[k], t.has[k] = d[f].(string)
+	}
+	return t
+}
+
+func eventTerms(e *event.Event) indexedTerms {
+	return indexedTerms{
+		has: [5]bool{true, true, true, true, true},
+		val: [5]string{e.Session, e.Syscall, e.ProcName, e.ThreadName, e.Class},
+	}
+}
+
+// repostLocked reconciles the posting lists after a rewrite changed a row's
+// indexed terms. Posting lists stay in ascending-id order — the searches,
+// intersections, and the cursor's resume arithmetic all rely on it — so
+// removal and insertion are positional, not appends. Caller holds the write
+// lock.
+func (sh *shard) repostLocked(id int32, before, after indexedTerms) {
+	for k, f := range indexedFields {
+		if before.has[k] == after.has[k] && before.val[k] == after.val[k] {
+			continue
+		}
+		if before.has[k] {
+			sh.unpostTermLocked(f, before.val[k], id)
+		}
+		if after.has[k] {
+			sh.insertTermLocked(f, after.val[k], id)
+		}
+	}
+}
+
+func (sh *shard) unpostTermLocked(field, term string, id int32) {
+	l := sh.postings[field][term]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= id })
+	if i == len(l) || l[i] != id {
+		return
+	}
+	l = append(l[:i], l[i+1:]...)
+	if len(l) == 0 {
+		// A lingering empty list would surface as a zero-count bucket through
+		// the postings fast path of termCounts.
+		delete(sh.postings[field], term)
+		return
+	}
+	sh.postings[field][term] = l
+}
+
+func (sh *shard) insertTermLocked(field, term string, id int32) {
+	l := sh.postings[field][term]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= id })
+	if i < len(l) && l[i] == id {
+		return
+	}
+	l = append(l, 0)
+	copy(l[i+1:], l[i:])
+	l[i] = id
+	sh.postings[field][term] = l
 }
 
 // len returns the shard's doc count under its own lock.

@@ -48,6 +48,13 @@ type storeTelemetry struct {
 	corrTags  *telemetry.Counter
 	corrUpd   *telemetry.Counter
 	corrUnres *telemetry.Counter
+
+	// Read-path acceleration: query cache and rollup accounting, shared by
+	// every index the store owns.
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	cacheEvicts *telemetry.Counter
+	rtm         readTelemetry
 }
 
 // Open builds a store from functional options. Without WithDataDir it is
@@ -77,7 +84,19 @@ func Open(opts ...Option) (*Store, error) {
 		corrTags:  reg.Counter(telemetry.MetricCorrelateTags, "file tags resolved to paths"),
 		corrUpd:   reg.Counter(telemetry.MetricCorrelateUpdated, "events whose file_path was filled in"),
 		corrUnres: reg.Counter(telemetry.MetricCorrelateUnresolved, "tagged events left without a path"),
+		cacheHits: reg.Counter(telemetry.MetricQueryCacheHits, "searches answered from the query cache"),
+		cacheMisses: reg.Counter(telemetry.MetricQueryCacheMisses,
+			"searches that ran and populated the query cache"),
+		cacheEvicts: reg.Counter(telemetry.MetricQueryCacheEvictions,
+			"query cache entries dropped (LRU or stale epoch)"),
+		rtm: readTelemetry{
+			rollupHits:     reg.Counter(telemetry.MetricRollupAggHits, "agg partials served from rollups"),
+			rollupMisses:   reg.Counter(telemetry.MetricRollupAggMisses, "planned rollup serves that fell back to scans"),
+			rollupRebuilds: reg.Counter(telemetry.MetricRollupRebuilds, "shard rollups rebuilt after invalidation"),
+		},
 	}
+	reg.GaugeFunc(telemetry.MetricQueryCacheEntries, "live query cache entries across indices",
+		s.queryCacheEntries)
 	// Shard imbalance is a pull gauge: max/mean shard doc count across all
 	// indices (1.0 = perfectly balanced; the round-robin writer should keep
 	// it there). Evaluated only at snapshot time.
@@ -157,6 +176,29 @@ func (s *Store) shardImbalance() float64 {
 	return worst
 }
 
+// queryCacheEntries sums live cache entries across indices (the entries
+// gauge; evaluated at snapshot time only).
+func (s *Store) queryCacheEntries() float64 {
+	n := 0
+	for _, ix := range s.allIndices() {
+		if ix.cache != nil {
+			n += ix.cache.size()
+		}
+	}
+	return float64(n)
+}
+
+// attachReadPath wires a new or recovered index into the store's read-path
+// acceleration: the shared telemetry counters and, when enabled, a private
+// query cache.
+func (s *Store) attachReadPath(ix *Index) {
+	ix.rtm = s.tm.rtm
+	if s.opts.cacheEntries > 0 {
+		ix.cache = newQueryCache(s.opts.cacheEntries,
+			s.tm.cacheHits, s.tm.cacheMisses, s.tm.cacheEvicts)
+	}
+}
+
 // registerIndexGauge exposes the index's live doc count as a labeled pull
 // gauge; the caller holds the store lock or is still single-threaded setup.
 func (s *Store) registerIndexGauge(name string, ix *Index) {
@@ -192,8 +234,9 @@ func (s *Store) indexOrCreate(name string) (*Index, error) {
 			return nil, err
 		}
 	} else {
-		ix = NewIndexWithShards(name, s.opts.shards)
+		ix = newIndexSized(name, s.opts.shards, s.opts.rollupBase)
 	}
+	s.attachReadPath(ix)
 	s.indices[name] = ix
 	s.registerIndexGauge(name, ix)
 	return ix, nil
@@ -334,7 +377,7 @@ func (s *Store) Search(ctx context.Context, index string, req SearchRequest) (Se
 		return SearchResponse{}, fmt.Errorf("index %q not found", index)
 	}
 	start := time.Now()
-	resp, err := ix.searchCtx(ctx, req)
+	resp, err := ix.cachedSearchCtx(ctx, req)
 	s.tm.searchNS.Observe(float64(time.Since(start)))
 	if err != nil {
 		return SearchResponse{}, err
@@ -350,7 +393,7 @@ func (s *Store) SearchEvents(ctx context.Context, index string, req SearchReques
 		return EventsResult{}, fmt.Errorf("index %q not found", index)
 	}
 	start := time.Now()
-	res, err := ix.searchEventsCtx(ctx, req)
+	res, err := ix.cachedSearchEventsCtx(ctx, req)
 	s.tm.searchNS.Observe(float64(time.Since(start)))
 	if err != nil {
 		return EventsResult{}, err

@@ -46,20 +46,29 @@ const (
 	MetricDocs           = "dio_store_docs"            // live docs per index (gauge, labeled)
 	MetricShardImbalance = "dio_store_shard_imbalance" // max/mean shard doc count across indices
 
+	// internal/store — read-path acceleration (query cache + rollups).
+	MetricQueryCacheHits      = "dio_store_query_cache_hits_total"      // searches answered from cache
+	MetricQueryCacheMisses    = "dio_store_query_cache_misses_total"    // searches that ran and were cached
+	MetricQueryCacheEvictions = "dio_store_query_cache_evictions_total" // entries dropped (LRU or stale)
+	MetricQueryCacheEntries   = "dio_store_query_cache_entries"         // live cache entries (gauge)
+	MetricRollupAggHits       = "dio_store_rollup_agg_hits_total"       // aggs served from rollup partials
+	MetricRollupAggMisses     = "dio_store_rollup_agg_misses_total"     // aggs that fell back to shard scans
+	MetricRollupRebuilds      = "dio_store_rollup_rebuilds_total"       // rollups rebuilt after invalidation
+
 	// internal/store + internal/durable — the durability layer. The
 	// recovery counters close their own conservation invariant: after
 	// recovery, an index's live doc count equals the committed segment's
 	// rows plus the rows of every replayed WAL batch (rewrite records
 	// change rows in place and add none).
-	MetricWALAppendNS     = "dio_wal_append_ns"               // one WAL record append
-	MetricWALFsyncNS      = "dio_wal_fsync_ns"                // one WAL fsync
-	MetricWALAppends      = "dio_wal_appends_total"           // WAL records appended
-	MetricWALBytes        = "dio_wal_bytes_total"             // WAL bytes appended
-	MetricWALFsyncs       = "dio_wal_fsyncs_total"            // WAL fsyncs issued
-	MetricSegments        = "dio_store_segments"              // durable indices with a committed segment
-	MetricSnapshots       = "dio_store_snapshots_total"       // segment snapshots committed
-	MetricSnapshotNS      = "dio_store_snapshot_ns"           // one segment snapshot
-	MetricRecoveryNS      = "dio_store_recovery_ns"           // one index recovery
+	MetricWALAppendNS     = "dio_wal_append_ns"         // one WAL record append
+	MetricWALFsyncNS      = "dio_wal_fsync_ns"          // one WAL fsync
+	MetricWALAppends      = "dio_wal_appends_total"     // WAL records appended
+	MetricWALBytes        = "dio_wal_bytes_total"       // WAL bytes appended
+	MetricWALFsyncs       = "dio_wal_fsyncs_total"      // WAL fsyncs issued
+	MetricSegments        = "dio_store_segments"        // durable indices with a committed segment
+	MetricSnapshots       = "dio_store_snapshots_total" // segment snapshots committed
+	MetricSnapshotNS      = "dio_store_snapshot_ns"     // one segment snapshot
+	MetricRecoveryNS      = "dio_store_recovery_ns"     // one index recovery
 	MetricReplayedBatches = "dio_store_replayed_batches_total"
 	MetricReplayedEvents  = "dio_store_replayed_events_total"
 	MetricWALTornTails    = "dio_store_wal_torn_tails_total"

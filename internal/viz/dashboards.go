@@ -14,30 +14,40 @@ import (
 // session: one row per syscall, ordered by time, showing the process name,
 // syscall, return value, file tag, and offset.
 func AccessPatternTable(b store.Backend, index, session string) (*Table, error) {
-	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
-		Query: store.Term(store.FieldSession, session),
-		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("access pattern query: %w", err)
-	}
 	t := &Table{
 		Title:   "Session " + session + ": syscalls over time",
 		Columns: []string{"time", "proc_name", "syscall", "ret_val", "file_tag (dev_no inode_no timestamp)", "offset"},
 	}
-	for i := range resp.Hits {
-		e := &resp.Hits[i]
-		t.Rows = append(t.Rows, []string{
-			groupDigits(e.TimeEnterNS),
-			e.ProcName,
-			e.Syscall,
-			strconv.FormatInt(e.RetVal, 10),
-			e.FileTag.String(),
-			e.OffsetOrBlank(),
-		})
+	// Page with the streaming cursor instead of materializing the whole
+	// session in one response: a long trace renders in bounded memory, and
+	// each bounded page is a cacheable unit for re-renders.
+	req := store.SearchRequest{
+		Query: store.Term(store.FieldSession, session),
+		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
+	}
+	err := store.EachEventPage(context.Background(), b, index, req, accessPatternPageSize, func(page store.EventsResult) error {
+		for i := range page.Hits {
+			e := &page.Hits[i]
+			t.Rows = append(t.Rows, []string{
+				groupDigits(e.TimeEnterNS),
+				e.ProcName,
+				e.Syscall,
+				strconv.FormatInt(e.RetVal, 10),
+				e.FileTag.String(),
+				e.OffsetOrBlank(),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("access pattern query: %w", err)
 	}
 	return t, nil
 }
+
+// accessPatternPageSize bounds one cursor page of the Fig. 2 table (a
+// variable so tests can exercise multi-page renders cheaply).
+var accessPatternPageSize = 2000
 
 // SyscallTimeline builds the paper's Fig. 4 view: syscall counts over time,
 // one series per thread name, via a date-histogram aggregation with a terms

@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// TestDashboardRerenderHitsCache proves the dashboards ride the store's
+// read-path accelerations end to end: rendering the same views twice must
+// answer the second pass from the query cache (hit counters move, outputs
+// match), and the aggregation views must be served from rollup partials
+// rather than shard scans.
+func TestDashboardRerenderHitsCache(t *testing.T) {
+	st, err := store.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	evs := make([]event.Event, 600)
+	for i := range evs {
+		enter := 1_000_000_000 + int64(i)*1_000_000
+		evs[i] = event.Event{
+			Session:     "s",
+			Syscall:     []string{"read", "write", "openat"}[i%3],
+			Class:       "io",
+			RetVal:      int64(i % 100),
+			PID:         7,
+			TID:         8,
+			ProcName:    "app",
+			ThreadName:  fmt.Sprintf("w%d", i%2),
+			TimeEnterNS: enter,
+			TimeExitNS:  enter + 500,
+		}
+	}
+	if err := st.BulkEvents(ctx, "events", evs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Multi-page render: the Fig. 2 table pages through the cursor, and each
+	// bounded page is its own cacheable unit.
+	oldPage := accessPatternPageSize
+	accessPatternPageSize = 100
+	defer func() { accessPatternPageSize = oldPage }()
+
+	render := func() (*Table, *TimeSeries, *Histogram) {
+		tbl, err := AccessPatternTable(st, "events", "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := SyscallTimeline(st, "events", "s", 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := SyscallHistogram(st, "events", "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl, ts, h
+	}
+
+	reg := st.Telemetry()
+	tbl1, ts1, h1 := render()
+	if len(tbl1.Rows) != len(evs) {
+		t.Fatalf("table rows = %d, want %d (pager dropped or duplicated rows)", len(tbl1.Rows), len(evs))
+	}
+	snap := reg.Snapshot()
+	hits0 := snap.Counters[telemetry.MetricQueryCacheHits]
+	rollup0 := snap.Counters[telemetry.MetricRollupAggHits]
+
+	tbl2, ts2, h2 := render()
+	snap = reg.Snapshot()
+	// Second render: every cursor page plus both aggregation views repeat
+	// verbatim, so at minimum pages+2 requests must be cache hits.
+	minHits := uint64(len(evs)/accessPatternPageSize + 2)
+	if d := snap.Counters[telemetry.MetricQueryCacheHits] - hits0; d < minHits {
+		t.Errorf("re-render produced %d cache hits, want >= %d", d, minHits)
+	}
+	if d := snap.Counters[telemetry.MetricRollupAggHits] - rollup0; d != 0 {
+		t.Errorf("cached re-render recomputed %d rollup partials; hits should come from the query cache", d)
+	}
+	if rollup0 == 0 {
+		t.Error("first render served no aggregation from rollup partials")
+	}
+	if !reflect.DeepEqual(tbl1, tbl2) || !reflect.DeepEqual(ts1, ts2) || !reflect.DeepEqual(h1, h2) {
+		t.Error("re-rendered dashboards differ from the first render")
+	}
+
+	// New data invalidates: a third render recomputes and shows the new rows.
+	if err := st.BulkEvents(ctx, "events", evs[:30]); err != nil {
+		t.Fatal(err)
+	}
+	tbl3, _, _ := render()
+	if len(tbl3.Rows) != len(evs)+30 {
+		t.Errorf("post-ingest render rows = %d, want %d", len(tbl3.Rows), len(evs)+30)
+	}
+}

@@ -1,0 +1,161 @@
+// Dashboard read-path benchmark: the repeated, near-identical aggregation
+// queries a refreshing dashboard issues (terms over syscall, date-histogram
+// over time_enter_ns) against a live store that keeps ingesting typed
+// events while the queries run. The baseline side disables the query cache
+// and the continuous rollups through the ablation options
+// (WithQueryCache(0), WithRollupInterval(0)), so both sides execute the
+// same requests against the same data through the same binary. The
+// headline metrics are per-query p50/p99 latency; see BENCH_store.json
+// for the committed comparison.
+package dio_test
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+const (
+	readBenchPreload = 120_000
+	readBenchBatch   = 512
+	readBenchWorkers = 8
+)
+
+// readBenchEvents builds one batch of typed events spread across many
+// 100ms rollup buckets, offset so successive batches keep advancing the
+// timeline the way a live tracer does.
+func readBenchEvents(base int64, n int) []event.Event {
+	syscalls := []string{"read", "write", "pread64", "pwrite64", "openat", "close", "lseek"}
+	classes := []string{"read", "write", "read", "write", "metadata", "metadata", "metadata"}
+	evs := make([]event.Event, n)
+	for i := range evs {
+		k := i % len(syscalls)
+		enter := base + int64(i)*40_000 // 512 events span ~20ms of trace time
+		evs[i] = event.Event{
+			Session:     "dash",
+			Syscall:     syscalls[k],
+			Class:       classes[k],
+			RetVal:      4096,
+			FD:          7,
+			Count:       4096,
+			PID:         42,
+			TID:         43 + i%4,
+			ProcName:    "db_bench",
+			ThreadName:  "worker",
+			TimeEnterNS: enter,
+			TimeExitNS:  enter + 900,
+		}
+	}
+	return evs
+}
+
+// dashboardRequests is the repeated query mix: the Fig. 4 timeline
+// (date-histogram over time_enter_ns) and the per-syscall histogram (terms
+// over syscall), both filtered to the session the dashboard renders.
+func dashboardRequests() []store.SearchRequest {
+	return []store.SearchRequest{
+		{
+			Query: store.Term(store.FieldSession, "dash"),
+			Size:  1,
+			Aggs: map[string]store.Agg{
+				"by_syscall": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
+			},
+		},
+		{
+			Query: store.Term(store.FieldSession, "dash"),
+			Size:  1,
+			Aggs: map[string]store.Agg{
+				"timeline": {DateHistogram: &store.DateHistogramAgg{Field: store.FieldTimeEnter, IntervalNS: 1_000_000_000}},
+			},
+		},
+	}
+}
+
+// BenchmarkDashboardReadPath is the headline number for the read-path PR:
+// p50/p99 latency of concurrent repeated dashboard aggregations over a
+// 120k-event index while typed ingest keeps landing, accelerated (rollups +
+// epoch-keyed query cache, the defaults) versus the uncached full-scan
+// baseline.
+func BenchmarkDashboardReadPath(b *testing.B) {
+	run := func(b *testing.B, opts ...store.Option) {
+		st, err := store.Open(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		ctx := context.Background()
+		var clock int64 = 1_000_000_000
+		for n := 0; n < readBenchPreload; n += readBenchBatch {
+			if err := st.BulkEvents(ctx, "bench", readBenchEvents(clock, readBenchBatch)); err != nil {
+				b.Fatal(err)
+			}
+			clock += readBenchBatch * 40_000
+		}
+
+		// Live ingest: one background writer appending typed batches for the
+		// duration of the timed section, paced so queries and ingest genuinely
+		// interleave instead of the writer monopolizing the core.
+		stop := make(chan struct{})
+		var ingest sync.WaitGroup
+		ingest.Add(1)
+		go func() {
+			defer ingest.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				if err := st.BulkEvents(ctx, "bench", readBenchEvents(clock, readBenchBatch)); err != nil {
+					return
+				}
+				clock += readBenchBatch * 40_000
+			}
+		}()
+
+		reqs := dashboardRequests()
+		var mu sync.Mutex
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		var qs sync.WaitGroup
+		for w := 0; w < readBenchWorkers; w++ {
+			qs.Add(1)
+			go func(w int) {
+				defer qs.Done()
+				local := make([]time.Duration, 0, b.N/readBenchWorkers+1)
+				for i := w; i < b.N; i += readBenchWorkers {
+					req := reqs[i%len(reqs)]
+					t0 := time.Now()
+					if _, err := st.Search(ctx, "bench", req); err != nil {
+						b.Error(err)
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				lat = append(lat, local...)
+				mu.Unlock()
+			}(w)
+		}
+		qs.Wait()
+		b.StopTimer()
+		close(stop)
+		ingest.Wait()
+
+		if len(lat) > 0 {
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(lat[len(lat)/2]), "p50-ns")
+			b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+		}
+	}
+
+	b.Run("Accelerated", func(b *testing.B) { run(b) })
+	b.Run("Uncached", func(b *testing.B) {
+		run(b, store.WithQueryCache(0), store.WithRollupInterval(0))
+	})
+}
