@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos crash lint examples
+.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos chaos-repl crash lint examples
 
 ## tier1: the PR gate — vet, build (examples included), the dead-symbol
 ## lint, tests, the race detector over the concurrency-heavy packages (store
 ## sharding, tracer drain workers), the chaos suite (fault injection on the
-## ship path), the crash-recovery matrix (durability kill points), and
-## smoke runs of the ingest and dashboard-read benchmarks.
-tier1: vet build examples lint test race chaos crash bench-smoke bench-read
+## ship path), the replication chaos suite (partitions, duplicated and
+## reordered frames, failover), the crash-recovery matrix (durability kill
+## points), and smoke runs of the ingest and dashboard-read benchmarks.
+tier1: vet build examples lint test race chaos chaos-repl crash bench-smoke bench-read
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,7 @@ examples:
 ## openSyscalls dictionary in correlate.go), plus an audit of the store and
 ## durable packages for exported symbols nothing outside them uses.
 lint:
-	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable .
+	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable,internal/repl .
 
 test:
 	$(GO) test ./...
@@ -55,6 +56,13 @@ scale:
 ## tracer-level exact-accounting tests, raced and repeated.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Shipper|Breaker|Faulty|Spill' ./internal/resilience/ ./internal/store/ ./internal/core/
+
+## chaos-repl: the replication fault harness — partitioned, delayed,
+## duplicated, and reordered frames, follower crash mid-replay, primary
+## kill mid-ingest with follower promotion, graceful-stop resume, and the
+## HTTP chaos injector on the /_repl endpoints — raced and repeated.
+chaos-repl:
+	$(GO) test -race -count=2 -run 'TestRepl|TestFollower|TestFailover|TestPartition|TestDelayed|TestPrimaryKill|TestGraceful|TestRetryAfter|TestSync|TestChaosRepl|TestHealth|FuzzWALReplay' ./internal/repl/ ./internal/store/ ./internal/durable/
 
 ## crash: the durability crash matrix — torn WAL tails, mid-snapshot kills,
 ## superseded-log resurrection, frame-journal round-trips — each recovery

@@ -8,84 +8,213 @@
 //	diod -addr :9200
 //	diod -addr :9200 -data /var/lib/diod
 //	diod -addr :9200 -chaos
+//
+// Replicated pair (DESIGN.md §14):
+//
+//	diod -addr :9200 -data /var/lib/diod -replicate http://standby:9201
+//	diod -addr :9201 -data /var/lib/diod-standby -follow http://primary:9200 -auto-promote 10s
+//
+// A follower rejects direct writes and applies the primary's WAL frames
+// pushed to /_repl/apply; POST /_repl/promote (or -auto-promote on primary
+// loss) flips it to a writable primary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/dsrhaslab/dio-go/internal/repl"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
+type config struct {
+	addr        string
+	chaos       bool
+	data        string
+	fsyncMode   string
+	snapshot    time.Duration
+	queryCache  int
+	rollup      time.Duration
+	follow      string
+	autoPromote time.Duration
+	replicate   string
+}
+
 func main() {
-	addr := flag.String("addr", ":9200", "listen address")
-	chaos := flag.Bool("chaos", false, "enable the fault injector (arm it over POST /_chaos)")
-	data := flag.String("data", "", "data directory for WAL + snapshots (empty: in-memory only)")
-	fsyncMode := flag.String("fsync", "interval", "WAL fsync policy: interval, always, or off")
-	snapshot := flag.Duration("snapshot", time.Minute, "interval between columnar segment snapshots (0 disables)")
-	queryCache := flag.Int("query-cache", 256, "query cache capacity per index in entries (0 disables)")
-	rollup := flag.Duration("rollup", 100*time.Millisecond, "continuous rollup base histogram interval (0 disables)")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":9200", "listen address")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "enable the fault injector (arm it over POST /_chaos)")
+	flag.StringVar(&cfg.data, "data", "", "data directory for WAL + snapshots (empty: in-memory only)")
+	flag.StringVar(&cfg.fsyncMode, "fsync", "interval", "WAL fsync policy: interval, always, or off")
+	flag.DurationVar(&cfg.snapshot, "snapshot", time.Minute, "interval between columnar segment snapshots (0 disables)")
+	flag.IntVar(&cfg.queryCache, "query-cache", 256, "query cache capacity per index in entries (0 disables)")
+	flag.DurationVar(&cfg.rollup, "rollup", 100*time.Millisecond, "continuous rollup base histogram interval (0 disables)")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a follower of this primary URL: reject writes, apply /_repl pushes")
+	flag.DurationVar(&cfg.autoPromote, "auto-promote", 0, "with -follow: promote to primary once the primary has been unreachable this long (0 disables)")
+	flag.StringVar(&cfg.replicate, "replicate", "", "comma-separated follower URLs to ship this node's WAL to")
 	flag.Parse()
-	if err := run(*addr, *chaos, *data, *fsyncMode, *snapshot, *queryCache, *rollup); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, chaos bool, data, fsyncMode string, snapshot time.Duration, queryCache int, rollup time.Duration) error {
-	policy, err := store.ParseFsyncPolicy(fsyncMode)
+func run(cfg config) error {
+	policy, err := store.ParseFsyncPolicy(cfg.fsyncMode)
 	if err != nil {
 		return err
 	}
+	if cfg.follow != "" && cfg.replicate != "" {
+		return fmt.Errorf("-follow and -replicate are mutually exclusive (chained replication is not supported)")
+	}
 	st, err := store.Open(
-		store.WithDataDir(data),
+		store.WithDataDir(cfg.data),
 		store.WithFsyncPolicy(policy),
-		store.WithSnapshotInterval(snapshot),
-		store.WithQueryCache(queryCache),
-		store.WithRollupInterval(rollup),
+		store.WithSnapshotInterval(cfg.snapshot),
+		store.WithQueryCache(cfg.queryCache),
+		store.WithRollupInterval(cfg.rollup),
 	)
 	if err != nil {
 		return fmt.Errorf("open store: %w", err)
 	}
+	if cfg.follow != "" {
+		st.SetFollower()
+	}
+
+	var shippers []*repl.Replicator
+	if cfg.replicate != "" {
+		for _, target := range strings.Split(cfg.replicate, ",") {
+			target = strings.TrimSpace(target)
+			if target == "" {
+				continue
+			}
+			r := repl.New(st, repl.ClientTransport{C: store.NewClient(target)}, repl.Config{})
+			r.Start()
+			shippers = append(shippers, r)
+		}
+	}
+
 	var handler http.Handler = store.NewServer(st)
-	if chaos {
+	if cfg.chaos {
 		// Starts disarmed; POST a store.ChaosConfig to /_chaos to inject
 		// failures into the ship path.
 		handler = store.NewChaosHandler(handler, time.Now().UnixNano())
 	}
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("diod: analysis backend listening on %s\n", addr)
+	fmt.Printf("diod: analysis backend listening on %s\n", cfg.addr)
 	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health | GET /metrics")
-	if data != "" {
-		fmt.Printf("durability: data dir %s, fsync %s, snapshot every %s\n", data, policy, snapshot)
+	if cfg.data != "" {
+		fmt.Printf("durability: data dir %s, fsync %s, snapshot every %s\n", cfg.data, policy, cfg.snapshot)
 	}
-	if chaos {
+	if cfg.chaos {
 		fmt.Println("chaos: fault injector enabled (disarmed); control via GET/POST /_chaos")
 	}
+	if cfg.follow != "" {
+		fmt.Printf("role: follower of %s (writes rejected; promote via POST /_repl/promote", cfg.follow)
+		if cfg.autoPromote > 0 {
+			fmt.Printf(", or automatically after %s of primary loss", cfg.autoPromote)
+		}
+		fmt.Println(")")
+	}
+	for i, r := range shippers {
+		fmt.Printf("role: primary, shipping WAL to follower %d: %s\n", i+1, r.Target())
+	}
 
-	// A durable store must flush its WAL and take a final snapshot on the
-	// way out, so SIGINT/SIGTERM drain through store.Close instead of
-	// dying mid-write.
+	watchDone := make(chan struct{})
+	watchStop := make(chan struct{})
+	if cfg.follow != "" && cfg.autoPromote > 0 {
+		go func() {
+			defer close(watchDone)
+			watchPrimary(st, cfg.follow, cfg.autoPromote, watchStop)
+		}()
+	} else {
+		close(watchDone)
+	}
+
+	// On the way out everything drains in dependency order: the HTTP server
+	// finishes in-flight requests (a follower's half-applied replication
+	// frame included), shippers push their final WAL suffix to the
+	// followers, and store.Close fsyncs the WAL and takes a closing snapshot
+	// — the clean handoff point a restarted node resumes from without
+	// re-requesting the full stream.
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		close(watchStop)
+		<-watchDone
+		for _, r := range shippers {
+			if err := r.Stop(); err != nil {
+				fmt.Printf("diod: replication drain: %v\n", err)
+			}
+		}
+		return st.Close()
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		st.Close()
+		shutdown()
 		return err
 	case s := <-sig:
-		fmt.Printf("diod: %v, shutting down\n", s)
-		srv.Close()
-		return st.Close()
+		fmt.Printf("diod: %v, draining and shutting down\n", s)
+		return shutdown()
+	}
+}
+
+// watchPrimary probes the primary's /_health and promotes the local store
+// once the primary has been unreachable for the full grace window. A single
+// successful probe resets the window, so transient blips never trigger a
+// split-brain promotion; an already-promoted store (operator raced us via
+// POST /_repl/promote) stops the watch.
+func watchPrimary(st *store.Store, primary string, grace time.Duration, stop <-chan struct{}) {
+	c := store.NewClient(primary)
+	interval := grace / 4
+	if interval < 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	lastOK := time.Now()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if st.Role() == store.RolePrimary {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		_, err := c.HealthStatus(ctx)
+		cancel()
+		if err == nil {
+			lastOK = time.Now()
+			continue
+		}
+		if time.Since(lastOK) >= grace {
+			fmt.Printf("diod: primary %s unreachable for %s, promoting to primary\n", primary, grace)
+			st.Promote()
+			return
+		}
 	}
 }

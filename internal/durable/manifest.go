@@ -21,6 +21,17 @@ type Manifest struct {
 	WALSeq     int  `json:"wal_seq"`
 	SegmentSeq int  `json:"segment_seq"`
 	HasSegment bool `json:"has_segment"`
+	// BaseSeq is the replication sequence number of the live WAL's first
+	// record: every record folded into the committed segment has a sequence
+	// below it. The index head sequence is BaseSeq plus the live WAL's record
+	// count, which is how recovery re-derives it without a full history.
+	// Manifests written before replication existed carry 0, which is exactly
+	// right — their WAL has held every record since sequence zero.
+	BaseSeq int64 `json:"base_seq,omitempty"`
+	// ReplOffset is a follower's alignment to its primary: primary sequence ==
+	// local sequence + ReplOffset. Non-zero only after a bootstrap (the
+	// follower's local journal starts mid-stream); primaries keep 0.
+	ReplOffset int64 `json:"repl_offset,omitempty"`
 }
 
 // WALName formats the WAL filename for sequence number seq.

@@ -13,10 +13,12 @@
 package durable
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -226,6 +228,81 @@ func ReplayWAL(path string, fn func(t RecordType, payload []byte) error) (WALRep
 		}
 	}
 	return stats, nil
+}
+
+// TailRecord is one intact WAL record handed back by ReadWALTail. Payload is
+// freshly allocated and safe to retain.
+type TailRecord struct {
+	Type    RecordType
+	Payload []byte
+}
+
+// ReadWALTail reads complete records from the log at path starting at byte
+// offset off, stopping after maxRecords records or once more than maxBytes of
+// payload have been collected (at least one record is returned if any is
+// intact). It returns the records, the byte offset just past the last one —
+// the cursor for the next call — and an error only for real I/O failures.
+//
+// Unlike ReplayWAL it never truncates: a short or CRC-failing record at the
+// tail may simply be an append in flight on the live file (Append completes
+// its single write before the head sequence advances, so any record the
+// caller knows exists is fully visible), so the scan stops silently and the
+// caller retries from the returned offset. A missing file returns
+// (nil, off, nil) — the log was superseded by a snapshot.
+func ReadWALTail(path string, off int64, maxRecords, maxBytes int) ([]TailRecord, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, off, nil
+		}
+		return nil, off, fmt.Errorf("durable: open wal tail: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, off, fmt.Errorf("durable: stat wal tail: %w", err)
+	}
+	end := st.Size()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, off, fmt.Errorf("durable: seek wal tail: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 64<<10)
+	var (
+		recs  []TailRecord
+		bytes int
+		hdr   [walHeaderLen]byte
+	)
+	for len(recs) < maxRecords && bytes <= maxBytes {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return recs, off, fmt.Errorf("durable: read wal tail: %w", err)
+		}
+		t := RecordType(hdr[0])
+		plen := int(binary.LittleEndian.Uint32(hdr[1:]))
+		sum := binary.LittleEndian.Uint32(hdr[5:])
+		// A length past the statted end is a torn or in-flight record (or a
+		// corrupt field); checking before allocating also keeps a garbage
+		// length from provoking a giant allocation.
+		if plen > walMaxPayload || off+int64(walHeaderLen)+int64(plen) > end {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return recs, off, fmt.Errorf("durable: read wal tail: %w", err)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			break
+		}
+		recs = append(recs, TailRecord{Type: t, Payload: payload})
+		off += int64(walHeaderLen + plen)
+		bytes += plen
+	}
+	return recs, off, nil
 }
 
 // syncParent fsyncs the directory containing path so renames and creates in

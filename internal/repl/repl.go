@@ -1,0 +1,509 @@
+// Package repl ships a primary store's WAL to followers. The store exposes
+// the replication data plane (sequenced WAL ranges, full-state bootstraps,
+// follower apply — internal/store/repl.go); this package is the control
+// plane: a Replicator per follower that tails the primary's records and
+// pushes them over a Transport, reusing the resilience ladder (full-jitter
+// backoff honoring Retry-After hints, circuit breaker) that already guards
+// the tracer's ship path. A sequence mismatch from the follower is never
+// retried blindly — the replicator resyncs from the follower's reported
+// position, bootstrapping wholesale when the follower is too far behind for
+// the primary to serve the gap as WAL records.
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/resilience"
+	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// Transport moves replication calls to one follower. ClientTransport speaks
+// HTTP through store.Client; tests swap in in-process fault-injecting fakes.
+type Transport interface {
+	// Target names the follower (health reporting, logs).
+	Target() string
+	// Status fetches the follower's applied positions (resync, reconnect).
+	Status(ctx context.Context) (store.ReplState, error)
+	// Apply pushes consecutive frames starting at from; returns the
+	// follower's new applied sequence. A sequence mismatch surfaces as
+	// *store.ReplSeqError (or an HTTP 409 carrying the same meaning).
+	Apply(ctx context.Context, index string, from int64, frames []store.ReplFrame) (int64, error)
+	// Bootstrap replaces the follower's index state wholesale, aligned to
+	// primary sequence seq.
+	Bootstrap(ctx context.Context, index string, seq int64, frames []store.ReplFrame) error
+}
+
+// Config tunes a Replicator.
+type Config struct {
+	// Interval is the steady-state poll period between sync passes
+	// (default 50ms). Each pass drains the follower to the current head, so
+	// the interval bounds added lag, not throughput.
+	Interval time.Duration
+	// MaxFrames / MaxBytes bound one push (defaults 256 frames / 4 MiB).
+	MaxFrames int
+	MaxBytes  int
+	// BootstrapRows batches rows per frame in a full-state transfer
+	// (default 1024).
+	BootstrapRows int
+	// MaxAttempts is the per-push attempt budget, first try included
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff / MaxBackoff shape the retry delays (defaults 10ms / 1s);
+	// Retry-After hints from the follower floor them.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout is the per-attempt deadline (default 5s).
+	AttemptTimeout time.Duration
+	// BreakerThreshold / BreakerCooldown tune the circuit breaker guarding
+	// the follower (defaults 5 / 500ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Clock drives sleeps and cooldowns; virtual in tests (default wall).
+	Clock clock.Clock
+	// Seed seeds backoff jitter (0 selects a fixed default).
+	Seed int64
+	// Telemetry, when non-nil, receives shipping counters and the lag gauge.
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = 256
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 4 << 20
+	}
+	if c.BootstrapRows <= 0 {
+		c.BootstrapRows = 1024
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 5 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = clock.NewReal(0)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Stats is a snapshot of one replicator's shipping accounting.
+type Stats struct {
+	// ShippedRecords / ShippedBytes count acked frames and their payload
+	// bytes (bootstrap frames included).
+	ShippedRecords uint64 `json:"shipped_records"`
+	ShippedBytes   uint64 `json:"shipped_bytes"`
+	// Pushes counts Apply/Bootstrap calls that succeeded; Retries counts
+	// attempts beyond each push's first.
+	Pushes  uint64 `json:"pushes"`
+	Retries uint64 `json:"retries"`
+	// Bootstraps counts full-state transfers.
+	Bootstraps uint64 `json:"bootstraps"`
+	// SeqRejects counts out-of-sequence pushes the follower bounced; each
+	// one forced a resync from the follower's reported position.
+	SeqRejects uint64 `json:"seq_rejects"`
+	// Lag is primary head minus follower acked, summed across indices, as of
+	// the last completed pass.
+	Lag int64 `json:"lag"`
+	// LastSyncNS is when the last fully-acked pass finished (unix ns; 0
+	// means never).
+	LastSyncNS int64 `json:"last_sync_ns"`
+}
+
+// ErrFollowerDown reports a push abandoned after the retry budget (or a
+// breaker rejection); the next sync pass will try again.
+var ErrFollowerDown = errors.New("repl: follower unreachable")
+
+// Replicator tails one primary store and pushes its WAL records to one
+// follower. Run one per follower; each keeps its own cursor, breaker, and
+// accounting.
+type Replicator struct {
+	src *store.Store
+	tr  Transport
+	cfg Config
+
+	backoff *resilience.Backoff
+	breaker *resilience.Breaker
+
+	// mu serializes sync passes: the background loop, explicit Sync calls,
+	// and the final Stop drain never interleave.
+	mu      sync.Mutex
+	acked   map[string]int64             // follower's applied seq per index
+	cursors map[string]*store.ReplCursor // WAL file cursors per index
+
+	shippedRecs  atomic.Uint64
+	shippedBytes atomic.Uint64
+	pushes       atomic.Uint64
+	retries      atomic.Uint64
+	bootstraps   atomic.Uint64
+	seqRejects   atomic.Uint64
+	lag          atomic.Int64
+	lastSyncNS   atomic.Int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+
+	// Telemetry instruments (nil-safe no-ops when Config.Telemetry unset).
+	tmShippedRecs  *telemetry.Counter
+	tmShippedBytes *telemetry.Counter
+	tmPushes       *telemetry.Counter
+	tmRetries      *telemetry.Counter
+	tmPushNS       *telemetry.Histogram
+	tmBootstraps   *telemetry.Counter
+}
+
+// New builds a replicator shipping src's WAL to the follower behind tr. It
+// arms src's replication tail buffers (the ingest path starts copying
+// journaled payloads into them) and registers a per-target health source on
+// src, so GET /_health reports this follower's lag. Call Start to begin
+// shipping.
+func New(src *store.Store, tr Transport, cfg Config) *Replicator {
+	cfg = cfg.withDefaults()
+	r := &Replicator{
+		src:     src,
+		tr:      tr,
+		cfg:     cfg,
+		backoff: resilience.NewBackoff(cfg.BaseBackoff, cfg.MaxBackoff, cfg.Seed),
+		breaker: resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		acked:   map[string]int64{},
+		cursors: map[string]*store.ReplCursor{},
+		stopCh:  make(chan struct{}),
+	}
+	src.ArmReplication()
+	src.RegisterReplicaHealth(r.health)
+	if tm := cfg.Telemetry; tm != nil {
+		r.tmShippedRecs = tm.Counter(telemetry.MetricReplShippedRecs, "replication records acked by followers")
+		r.tmShippedBytes = tm.Counter(telemetry.MetricReplShippedBytes, "replication payload bytes acked by followers")
+		r.tmPushes = tm.Counter(telemetry.MetricReplPushes, "successful replication pushes")
+		r.tmRetries = tm.Counter(telemetry.MetricReplPushRetries, "replication push attempts beyond the first")
+		r.tmPushNS = tm.Histogram(telemetry.MetricReplPushNS, "one replication push round-trip", nil)
+		r.tmBootstraps = tm.Counter(telemetry.MetricReplBootstraps, "full-state transfers shipped")
+		tm.GaugeFunc(telemetry.MetricReplLag, "primary head minus follower acked, summed across indices",
+			func() float64 { return float64(r.lag.Load()) })
+	}
+	return r
+}
+
+// health snapshots this target's shipping state for GET /_health.
+func (r *Replicator) health() store.ReplHealth {
+	last := r.lastSyncNS.Load()
+	lastMS := int64(-1)
+	if last != 0 {
+		lastMS = (r.cfg.Clock.NowNS() - last) / int64(time.Millisecond)
+		if lastMS < 0 {
+			lastMS = 0
+		}
+	}
+	return store.ReplHealth{
+		Target:     r.tr.Target(),
+		Lag:        r.lag.Load(),
+		LastSyncMS: lastMS,
+		Bootstraps: r.bootstraps.Load(),
+		SeqRejects: r.seqRejects.Load(),
+	}
+}
+
+// Stats snapshots the replicator's accounting.
+func (r *Replicator) Stats() Stats {
+	return Stats{
+		ShippedRecords: r.shippedRecs.Load(),
+		ShippedBytes:   r.shippedBytes.Load(),
+		Pushes:         r.pushes.Load(),
+		Retries:        r.retries.Load(),
+		Bootstraps:     r.bootstraps.Load(),
+		SeqRejects:     r.seqRejects.Load(),
+		Lag:            r.lag.Load(),
+		LastSyncNS:     r.lastSyncNS.Load(),
+	}
+}
+
+// Breaker exposes the breaker guarding this follower (tests, health).
+func (r *Replicator) Breaker() *resilience.Breaker { return r.breaker }
+
+// Target names the follower this replicator ships to.
+func (r *Replicator) Target() string { return r.tr.Target() }
+
+// Start launches the background shipping loop. The loop paces itself with a
+// plain timer rather than Clock.Sleep: a wall Clock's Sleep yield-spins its
+// final 2ms for sub-millisecond precision the loop does not need, and the
+// timer lets Stop interrupt a sleeping loop immediately. The Clock still
+// drives the retry backoff and the breaker cooldown, which is what the
+// deterministic tests pace.
+func (r *Replicator) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTimer(0)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stopCh:
+				return
+			case <-t.C:
+			}
+			_ = r.Sync(context.Background())
+			t.Reset(r.cfg.Interval)
+		}
+	}()
+}
+
+// Stop halts the loop, then runs one final drain pass so a graceful shutdown
+// hands the follower everything journaled so far — the clean-handoff point a
+// promoted follower resumes from. The drain's error (if the follower is down)
+// is returned; the primary's durability is unaffected either way.
+func (r *Replicator) Stop() error {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+	return r.Sync(context.Background())
+}
+
+// Sync runs one full pass: for every durable index on the primary, push
+// frames until the follower is caught up to the pass's head. Returns the
+// first error that ended an index's drain early (the next pass retries).
+func (r *Replicator) Sync(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	var lag int64
+	for _, name := range r.src.Indices() {
+		left, err := r.syncIndex(ctx, name)
+		lag += left
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("repl: index %q: %w", name, err)
+		}
+	}
+	r.lag.Store(lag)
+	if firstErr == nil {
+		r.lastSyncNS.Store(r.cfg.Clock.NowNS())
+	}
+	return firstErr
+}
+
+// syncIndex drains one index to the follower and reports the residual lag.
+// Non-durable indices are skipped (no WAL, nothing to ship).
+func (r *Replicator) syncIndex(ctx context.Context, name string) (lag int64, err error) {
+	head, ok := r.src.ReplHeadSeq(name)
+	if !ok {
+		return 0, nil
+	}
+	acked, known := r.acked[name]
+	if !known {
+		if err := r.resync(ctx, name); err != nil {
+			return head, err
+		}
+		acked = r.acked[name]
+	}
+	if acked > head {
+		// The follower claims more records than this primary ever journaled:
+		// divergent histories (it applied writes from another promoted node).
+		// Only a full-state transfer reconciles that.
+		if err := r.bootstrap(ctx, name); err != nil {
+			return 0, err
+		}
+		acked = r.acked[name]
+	}
+	resyncs := 0
+	for acked < head {
+		cur := r.cursors[name]
+		if cur == nil {
+			cur = &store.ReplCursor{}
+			r.cursors[name] = cur
+		}
+		frames, h, bootstrap, err := r.src.ReplRange(name, acked, cur, r.cfg.MaxFrames, r.cfg.MaxBytes)
+		if err != nil {
+			return h - acked, err
+		}
+		head = h
+		if bootstrap {
+			if err := r.bootstrap(ctx, name); err != nil {
+				return head - acked, err
+			}
+			acked = r.acked[name]
+			continue
+		}
+		if len(frames) == 0 {
+			break // in-flight tail append; next pass picks it up
+		}
+		applied, err := r.push(ctx, func(c context.Context) (int64, error) {
+			return r.tr.Apply(c, name, acked, frames)
+		})
+		if err != nil {
+			if !isSeqMismatch(err) {
+				return head - acked, err
+			}
+			// The follower is elsewhere (restart, duplicate, divergence):
+			// resync from its reported position instead of repushing.
+			r.seqRejects.Add(1)
+			if resyncs++; resyncs > 3 {
+				return head - acked, fmt.Errorf("repl: index %q: resync loop: %w", name, err)
+			}
+			if err := r.resync(ctx, name); err != nil {
+				return head - acked, err
+			}
+			acked = r.acked[name]
+			continue
+		}
+		var pushed uint64
+		for _, f := range frames {
+			r.shippedBytes.Add(uint64(len(f.Payload)))
+			pushed++
+		}
+		r.shippedRecs.Add(pushed)
+		r.tmShippedRecs.Add(pushed)
+		r.acked[name] = applied
+		acked = applied
+	}
+	return head - acked, nil
+}
+
+// resync reads the follower's applied position for one index (creating the
+// entry at 0 for an index the follower has never seen) and drops the WAL
+// cursor so the next range scan restarts cleanly.
+func (r *Replicator) resync(ctx context.Context, name string) error {
+	st, err := r.push(ctx, func(c context.Context) (int64, error) {
+		s, e := r.tr.Status(c)
+		if e != nil {
+			return 0, e
+		}
+		return s.Indices[name], nil
+	})
+	if err != nil {
+		return err
+	}
+	r.acked[name] = st
+	delete(r.cursors, name)
+	return nil
+}
+
+// bootstrap ships the index's full state and aligns the follower to the
+// snapshot's head sequence.
+func (r *Replicator) bootstrap(ctx context.Context, name string) error {
+	frames, head, err := r.src.ReplBootstrapFrames(name, r.cfg.BootstrapRows)
+	if err != nil {
+		return err
+	}
+	_, err = r.push(ctx, func(c context.Context) (int64, error) {
+		return head, r.tr.Bootstrap(c, name, head, frames)
+	})
+	if err != nil {
+		return err
+	}
+	r.bootstraps.Add(1)
+	r.tmBootstraps.Inc()
+	for _, f := range frames {
+		r.shippedBytes.Add(uint64(len(f.Payload)))
+	}
+	r.shippedRecs.Add(uint64(len(frames)))
+	r.tmShippedRecs.Add(uint64(len(frames)))
+	r.acked[name] = head
+	delete(r.cursors, name)
+	return nil
+}
+
+// push runs one transport call through the retry → breaker ladder. Retryable
+// failures (timeouts, 5xx, connection errors) burn attempts with jittered
+// backoff floored by Retry-After hints; non-retryable ones — sequence
+// mismatches above all — fail fast for the caller to handle.
+func (r *Replicator) push(ctx context.Context, fn func(context.Context) (int64, error)) (int64, error) {
+	var lastErr error
+	start := r.cfg.Clock.NowNS()
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			r.tmRetries.Inc()
+			r.cfg.Clock.Sleep(r.backoff.Delay(attempt, lastErr))
+		}
+		if !r.breaker.Allow() {
+			if lastErr != nil {
+				return 0, fmt.Errorf("%w: breaker open (last attempt: %v)", ErrFollowerDown, lastErr)
+			}
+			return 0, fmt.Errorf("%w: breaker open", ErrFollowerDown)
+		}
+		c, cancel := context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		v, err := fn(c)
+		cancel()
+		if err == nil {
+			r.breaker.RecordSuccess()
+			r.pushes.Add(1)
+			r.tmPushes.Inc()
+			r.tmPushNS.Observe(float64(r.cfg.Clock.NowNS() - start))
+			return v, nil
+		}
+		// A sequence mismatch is a healthy follower answering correctly, not
+		// a failure of the target: it must not open the breaker.
+		if isSeqMismatch(err) {
+			r.breaker.RecordSuccess()
+			return 0, err
+		}
+		r.breaker.RecordFailure()
+		lastErr = err
+		if !resilience.IsRetryable(err) {
+			return 0, err
+		}
+	}
+	return 0, fmt.Errorf("%w: %v", ErrFollowerDown, lastErr)
+}
+
+// isSeqMismatch recognizes the follower's out-of-sequence rejection across
+// transports: the typed error in-process, HTTP 409 over the wire.
+func isSeqMismatch(err error) bool {
+	var se *store.ReplSeqError
+	if errors.As(err, &se) {
+		return true
+	}
+	var he *store.HTTPError
+	return errors.As(err, &he) && he.Status == 409
+}
+
+// ClientTransport adapts a store.Client into a Transport: the HTTP path a
+// real deployment ships over (POST /v1/_repl/apply etc. on the follower).
+type ClientTransport struct {
+	C *store.Client
+}
+
+var _ Transport = ClientTransport{}
+
+// Target implements Transport.
+func (t ClientTransport) Target() string { return t.C.Base() }
+
+// Status implements Transport.
+func (t ClientTransport) Status(ctx context.Context) (store.ReplState, error) {
+	return t.C.ReplStatus(ctx)
+}
+
+// Apply implements Transport.
+func (t ClientTransport) Apply(ctx context.Context, index string, from int64, frames []store.ReplFrame) (int64, error) {
+	return t.C.ReplApply(ctx, index, from, frames)
+}
+
+// Bootstrap implements Transport.
+func (t ClientTransport) Bootstrap(ctx context.Context, index string, seq int64, frames []store.ReplFrame) error {
+	return t.C.ReplBootstrap(ctx, index, seq, frames)
+}

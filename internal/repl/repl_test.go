@@ -1,0 +1,522 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+const testIndex = "events"
+
+// ingestRound applies one deterministic round of mixed writes — a typed
+// batch, a generic batch, and (odd rounds) an update-by-query rewrite — the
+// three journal record types the replication stream carries.
+func ingestRound(t *testing.T, st *store.Store, round int) {
+	t.Helper()
+	ctx := context.Background()
+	base := int64(1<<60) + int64(round)*1_000_000
+	evs := make([]event.Event, 0, 8)
+	for i := 0; i < 8; i++ {
+		evs = append(evs, event.Event{
+			Session: "repl", Syscall: []string{"read", "write", "openat", "fsync"}[i%4],
+			Class: "file", ProcName: "app", ThreadName: "app-worker",
+			PID: 100 + round, TID: 200 + i,
+			RetVal: int64(i * 13), FD: 3 + i, Count: 4096,
+			TimeEnterNS: base + int64(i)*1000, TimeExitNS: base + int64(i)*1000 + 500,
+			ArgPath: "/data/f" + string(rune('a'+i%3)),
+		})
+	}
+	if err := st.BulkEvents(ctx, testIndex, evs); err != nil {
+		t.Fatalf("round %d: bulk events: %v", round, err)
+	}
+	docs := make([]store.Document, 0, 4)
+	for i := 0; i < 4; i++ {
+		docs = append(docs, store.Document{
+			store.FieldSession: "repl", store.FieldSyscall: "ioctl",
+			store.FieldRetVal: int64(round*10 + i), store.FieldPID: int64(100 + round),
+			store.FieldTimeEnter: base + int64(900+i),
+			"custom_seq":         int64(i),
+		})
+	}
+	if err := st.Bulk(ctx, testIndex, docs); err != nil {
+		t.Fatalf("round %d: bulk docs: %v", round, err)
+	}
+	if round%2 == 1 {
+		_, err := st.UpdateByQuery(ctx, testIndex, store.Term(store.FieldSyscall, "openat"), func(d store.Document) bool {
+			d[store.FieldFilePath] = "/resolved/by/round"
+			return true
+		})
+		if err != nil {
+			t.Fatalf("round %d: update-by-query: %v", round, err)
+		}
+	}
+}
+
+// rowsPerRound is how many rows one ingestRound adds (8 events + 4 docs).
+const rowsPerRound = 12
+
+// fingerprint serializes everything a reader can observe from the index.
+func fingerprint(t *testing.T, st *store.Store) string {
+	t.Helper()
+	ctx := context.Background()
+	req := store.SearchRequest{Query: store.MatchAll(), Size: -1, Aggs: map[string]store.Agg{
+		"by_syscall": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
+		"ret_stats":  {Stats: &store.StatsAgg{Field: store.FieldRetVal}},
+	}}
+	evs, err := st.SearchEvents(ctx, testIndex, req)
+	if err != nil {
+		t.Fatalf("fingerprint typed search: %v", err)
+	}
+	docs, err := st.Search(ctx, testIndex, req)
+	if err != nil {
+		t.Fatalf("fingerprint doc search: %v", err)
+	}
+	n, err := st.Count(ctx, testIndex, store.MatchAll())
+	if err != nil {
+		t.Fatalf("fingerprint count: %v", err)
+	}
+	blob, err := json.Marshal(struct {
+		Events store.EventsResult
+		Docs   store.SearchResponse
+		Count  int
+	}{evs, docs, n})
+	if err != nil {
+		t.Fatalf("fingerprint marshal: %v", err)
+	}
+	return string(blob)
+}
+
+// controlStore replays rounds [0, rounds) into a fresh in-memory store.
+func controlStore(t *testing.T, rounds int) *store.Store {
+	t.Helper()
+	st := store.New()
+	for r := 0; r < rounds; r++ {
+		ingestRound(t, st, r)
+	}
+	return st
+}
+
+func openDurable(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(
+		store.WithDataDir(dir),
+		store.WithFsyncPolicy(store.FsyncAlways),
+		store.WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatalf("open durable store: %v", err)
+	}
+	return st
+}
+
+// faultTransport is the in-process fake transport: it applies frames
+// directly to a follower store and injects network faults on the way —
+// dropped calls (partition), delayed calls, duplicated deliveries, and a
+// reordered delivery (the tail of a batch arriving before its head).
+type faultTransport struct {
+	mu sync.Mutex
+	st *store.Store
+	// clk, when set with delay, advances/sleeps before every delivery.
+	clk   clock.Clock
+	delay time.Duration
+	// failN makes the next N calls fail with failErr (partition).
+	failN   int
+	failErr error
+	// dupApply delivers every Apply twice (network duplication).
+	dupApply bool
+	// reorderOnce delivers the next multi-frame Apply tail-first.
+	reorderOnce bool
+
+	statusCalls, applyCalls, bootstrapCalls int
+}
+
+func (f *faultTransport) Target() string { return "fake://follower" }
+
+// fault consumes one injected fault, if armed.
+func (f *faultTransport) fault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.clk != nil && f.delay > 0 {
+		f.clk.Sleep(f.delay)
+	}
+	if f.failN > 0 {
+		f.failN--
+		if f.failErr != nil {
+			return f.failErr
+		}
+		return errors.New("fake: connection refused")
+	}
+	return nil
+}
+
+func (f *faultTransport) Status(ctx context.Context) (store.ReplState, error) {
+	f.mu.Lock()
+	f.statusCalls++
+	f.mu.Unlock()
+	if err := f.fault(); err != nil {
+		return store.ReplState{}, err
+	}
+	return f.st.ReplStatus(), nil
+}
+
+func (f *faultTransport) Apply(ctx context.Context, index string, from int64, frames []store.ReplFrame) (int64, error) {
+	f.mu.Lock()
+	f.applyCalls++
+	reorder := f.reorderOnce && len(frames) > 1
+	if reorder {
+		f.reorderOnce = false
+	}
+	dup := f.dupApply
+	f.mu.Unlock()
+	if err := f.fault(); err != nil {
+		return 0, err
+	}
+	if reorder {
+		// The batch's tail arrives before its head: the follower must bounce
+		// it, and the shipper must resync rather than trust partial delivery.
+		_, err := f.st.ReplApply(ctx, index, from+1, frames[1:])
+		return 0, err
+	}
+	applied, err := f.st.ReplApply(ctx, index, from, frames)
+	if dup && err == nil {
+		// The network delivers the same push again; the follower must reject
+		// the duplicate without double-applying.
+		if _, derr := f.st.ReplApply(ctx, index, from, frames); derr == nil {
+			return applied, errors.New("fake: duplicate delivery was accepted")
+		}
+	}
+	return applied, err
+}
+
+func (f *faultTransport) Bootstrap(ctx context.Context, index string, seq int64, frames []store.ReplFrame) error {
+	f.mu.Lock()
+	f.bootstrapCalls++
+	f.mu.Unlock()
+	if err := f.fault(); err != nil {
+		return err
+	}
+	return f.st.ReplBootstrap(ctx, index, seq, frames)
+}
+
+// hintedErr is a retryable failure carrying a Retry-After hint, as the HTTP
+// client surfaces 429/503 responses.
+type hintedErr struct{ after time.Duration }
+
+func (e hintedErr) Error() string                 { return fmt.Sprintf("fake: back off %v", e.after) }
+func (e hintedErr) Temporary() bool               { return true }
+func (e hintedErr) RetryAfterHint() time.Duration { return e.after }
+
+// newPair builds a primary (durable, dir) and an in-memory follower behind a
+// fault transport, plus a replicator wired with a virtual clock.
+func newPair(t *testing.T, cfg Config) (*store.Store, *store.Store, *faultTransport, *Replicator) {
+	t.Helper()
+	primary := openDurable(t, t.TempDir())
+	t.Cleanup(func() { primary.Close() })
+	follower := store.New()
+	follower.SetFollower()
+	tr := &faultTransport{st: follower}
+	r := New(primary, tr, cfg)
+	return primary, follower, tr, r
+}
+
+// TestSyncDrainsAndReports is the happy path: one pass drains every record,
+// the follower fingerprints identical to a never-replicated control, and the
+// stats/health surfaces report a caught-up target.
+func TestSyncDrainsAndReports(t *testing.T) {
+	vclk := clock.NewVirtual(0)
+	primary, follower, _, r := newPair(t, Config{Clock: vclk})
+	for round := 0; round < 3; round++ {
+		ingestRound(t, primary, round)
+	}
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 3)); got != want {
+		t.Fatalf("follower diverged from control")
+	}
+	st := r.Stats()
+	if st.Lag != 0 || st.ShippedRecords == 0 || st.Pushes == 0 || st.Retries != 0 {
+		t.Fatalf("stats after clean drain: %+v", st)
+	}
+	h := primary.Health()
+	if len(h.Replication) != 1 || h.Replication[0].Target != "fake://follower" || h.Replication[0].Lag != 0 {
+		t.Fatalf("primary health replication entry: %+v", h.Replication)
+	}
+	// Nothing new → next pass pushes nothing.
+	pushes := st.Pushes
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("idle sync: %v", err)
+	}
+	if got := r.Stats().Pushes; got != pushes {
+		t.Fatalf("idle sync pushed: %d → %d", pushes, got)
+	}
+}
+
+// TestPartitionHeals drops enough calls to exhaust attempts and open the
+// breaker, then heals the partition and checks the stream catches up with no
+// lost or duplicated records.
+func TestPartitionHeals(t *testing.T) {
+	vclk := clock.NewVirtual(0)
+	primary, follower, tr, r := newPair(t, Config{
+		Clock: vclk, MaxAttempts: 2, BreakerThreshold: 2, BreakerCooldown: 100 * time.Millisecond,
+	})
+	ingestRound(t, primary, 0)
+	tr.mu.Lock()
+	tr.failN = 50 // partition: every call fails for a while
+	tr.mu.Unlock()
+	if err := r.Sync(context.Background()); err == nil {
+		t.Fatalf("sync through partition succeeded")
+	}
+	if err := r.Sync(context.Background()); !errors.Is(err, ErrFollowerDown) {
+		t.Fatalf("partitioned sync error = %v, want ErrFollowerDown", err)
+	}
+	if r.Stats().Retries == 0 {
+		t.Fatalf("no retries recorded during partition")
+	}
+	// Heal: clear the fault, wait out the breaker cooldown, resync.
+	tr.mu.Lock()
+	tr.failN = 0
+	tr.mu.Unlock()
+	vclk.Advance(time.Second)
+	ingestRound(t, primary, 1)
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 2)); got != want {
+		t.Fatalf("follower diverged after partition heal")
+	}
+	if lag := r.Stats().Lag; lag != 0 {
+		t.Fatalf("lag after heal = %d", lag)
+	}
+}
+
+// TestDelayedDuplicatedReordered runs the stream through a transport that
+// delays every delivery, duplicates every apply, and reorders one batch:
+// the follower's sequence guard plus the shipper's resync must yield exactly
+// the control state anyway.
+func TestDelayedDuplicatedReordered(t *testing.T) {
+	vclk := clock.NewVirtual(0)
+	primary, follower, tr, r := newPair(t, Config{Clock: vclk})
+	tr.clk, tr.delay = vclk, 5*time.Millisecond
+	tr.dupApply = true
+	tr.reorderOnce = true
+	for round := 0; round < 4; round++ {
+		ingestRound(t, primary, round)
+	}
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("sync under faults: %v", err)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 4)); got != want {
+		t.Fatalf("follower diverged under delay+dup+reorder")
+	}
+	st := r.Stats()
+	if st.SeqRejects == 0 {
+		t.Fatalf("reordered delivery did not surface as a seq reject: %+v", st)
+	}
+	n, err := follower.Count(context.Background(), testIndex, store.MatchAll())
+	if err != nil || n != 4*rowsPerRound {
+		t.Fatalf("follower rows = %d, %v; want %d (duplicates applied?)", n, err, 4*rowsPerRound)
+	}
+}
+
+// TestFollowerCrashMidReplay kills a durable follower mid-stream — torn WAL
+// tail included, exactly as the crash matrix does for primaries — restarts
+// it, and checks the shipper resyncs from the follower's recovered position
+// and converges without a bootstrap.
+func TestFollowerCrashMidReplay(t *testing.T) {
+	vclk := clock.NewVirtual(0)
+	primary := openDurable(t, t.TempDir())
+	defer primary.Close()
+	fdir := t.TempDir()
+	follower := openDurable(t, fdir)
+	follower.SetFollower()
+	tr := &faultTransport{st: follower}
+	r := New(primary, tr, Config{Clock: vclk})
+
+	ingestRound(t, primary, 0)
+	ingestRound(t, primary, 1)
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	// Crash: close, then tear the last WAL record as a mid-write kill would.
+	if err := follower.Close(); err != nil {
+		t.Fatalf("close follower: %v", err)
+	}
+	wals, err := filepath.Glob(filepath.Join(fdir, "*", "wal-*"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("follower wal files = %v, %v", wals, err)
+	}
+	info, err := os.Stat(wals[0])
+	if err != nil {
+		t.Fatalf("stat follower wal: %v", err)
+	}
+	if err := os.Truncate(wals[0], info.Size()-3); err != nil {
+		t.Fatalf("tear follower wal: %v", err)
+	}
+
+	restarted := openDurable(t, fdir)
+	defer restarted.Close()
+	restarted.SetFollower()
+	tr.mu.Lock()
+	tr.st = restarted
+	tr.mu.Unlock()
+
+	ingestRound(t, primary, 2)
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("sync after follower crash: %v", err)
+	}
+	if got, want := fingerprint(t, restarted), fingerprint(t, controlStore(t, 3)); got != want {
+		t.Fatalf("restarted follower diverged from never-crashed control")
+	}
+	st := r.Stats()
+	if st.Bootstraps != 0 {
+		t.Fatalf("follower restart forced a bootstrap; resync from the torn record should have sufficed")
+	}
+	if st.SeqRejects == 0 {
+		t.Fatalf("expected a seq reject when pushing past the restarted follower's position")
+	}
+}
+
+// TestPrimaryKillMidIngestFailover is the failover oracle: the primary dies
+// with journaled-but-unshipped records, the follower promotes, and the
+// promoted state must equal the never-crashed control at the last replicated
+// boundary — a consistent prefix, conservation intact — and then accept new
+// writes as primary.
+func TestPrimaryKillMidIngestFailover(t *testing.T) {
+	vclk := clock.NewVirtual(0)
+	primary, follower, _, r := newPair(t, Config{Clock: vclk})
+	for round := 0; round < 3; round++ {
+		ingestRound(t, primary, round)
+	}
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// The primary journals one more round that never ships: the kill point.
+	ingestRound(t, primary, 3)
+
+	// Failover: the primary is gone; promote the follower.
+	follower.Promote()
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 3)); got != want {
+		t.Fatalf("promoted state != never-crashed control at the replicated boundary")
+	}
+	n, err := follower.Count(context.Background(), testIndex, store.MatchAll())
+	if err != nil || n != 3*rowsPerRound {
+		t.Fatalf("conservation: promoted rows = %d, %v; want %d", n, err, 3*rowsPerRound)
+	}
+	// The promoted node is a primary now: it takes the lost round directly.
+	ingestRound(t, follower, 3)
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 4)); got != want {
+		t.Fatalf("promoted primary diverged after taking over writes")
+	}
+}
+
+// TestGracefulStopDrainsAndResumes covers the clean-handoff satellite: Stop
+// runs a final drain so nothing journaled is left unshipped, and a new
+// replicator over the same pair resumes from the follower's position — no
+// bootstrap, no re-shipping of acked records.
+func TestGracefulStopDrainsAndResumes(t *testing.T) {
+	primary, follower, tr, r := newPair(t, Config{Interval: time.Millisecond})
+	ingestRound(t, primary, 0)
+	r.Start()
+	ingestRound(t, primary, 1)
+	if err := r.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 2)); got != want {
+		t.Fatalf("graceful stop left unshipped records")
+	}
+	shipped := r.Stats().ShippedRecords
+
+	// A successor replicator (the restarted process) resumes exactly where
+	// the handoff left the follower.
+	r2 := New(primary, tr, Config{Clock: clock.NewVirtual(0)})
+	ingestRound(t, primary, 2)
+	if err := r2.Sync(context.Background()); err != nil {
+		t.Fatalf("successor sync: %v", err)
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 3)); got != want {
+		t.Fatalf("successor replicator diverged")
+	}
+	st := r2.Stats()
+	if st.Bootstraps != 0 || st.SeqRejects != 0 {
+		t.Fatalf("successor did not resume cleanly: %+v", st)
+	}
+	if st.ShippedRecords >= shipped {
+		t.Fatalf("successor re-shipped acked records: first %d, successor %d", shipped, st.ShippedRecords)
+	}
+}
+
+// TestRetryAfterFloorHonored checks the reconnect contract: when the
+// follower sends Retry-After hints, every retry delay is floored by the
+// hint — measured exactly on the virtual clock.
+func TestRetryAfterFloorHonored(t *testing.T) {
+	vclk := clock.NewVirtual(0)
+	primary, _, tr, r := newPair(t, Config{Clock: vclk, MaxAttempts: 4})
+	ingestRound(t, primary, 0)
+	const hint = 2 * time.Second
+	tr.mu.Lock()
+	tr.failN, tr.failErr = 2, hintedErr{after: hint}
+	tr.mu.Unlock()
+
+	before := vclk.NowNS()
+	if err := r.Sync(context.Background()); err != nil {
+		t.Fatalf("sync with hinted failures: %v", err)
+	}
+	slept := time.Duration(vclk.NowNS() - before)
+	if slept < 2*hint {
+		t.Fatalf("slept %v across 2 hinted retries, want ≥ %v (Retry-After floor ignored)", slept, 2*hint)
+	}
+	if got := r.Stats().Retries; got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+}
+
+// TestChaosReplShipping is the HTTP end-to-end: a real follower server
+// behind the chaos injector faulting the replication path, a ClientTransport
+// shipper, and random 503s with Retry-After — the stream must converge to
+// the control fingerprint anyway.
+func TestChaosReplShipping(t *testing.T) {
+	primary := openDurable(t, t.TempDir())
+	defer primary.Close()
+	follower := store.New()
+	follower.SetFollower()
+	chaos := store.NewChaosHandler(store.NewServer(follower), 42)
+	chaos.SetConfig(store.ChaosConfig{Rate: 0.4, Status: 503, Repl: true})
+	srv := httptest.NewServer(chaos)
+	defer srv.Close()
+
+	r := New(primary, ClientTransport{C: store.NewClient(srv.URL, store.WithAPIPrefix("/v1"))}, Config{
+		BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		MaxFrames: 4, // many small pushes → many chances to be faulted
+	})
+	for round := 0; round < 4; round++ {
+		ingestRound(t, primary, round)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := r.Sync(context.Background()); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("stream never converged under chaos: %v", err)
+		}
+	}
+	if got, want := fingerprint(t, follower), fingerprint(t, controlStore(t, 4)); got != want {
+		t.Fatalf("follower diverged under HTTP chaos")
+	}
+	if chaos.Injected() == 0 {
+		t.Fatalf("chaos injected nothing; test exercised no faults")
+	}
+	if r.Stats().Retries == 0 {
+		t.Fatalf("no retries under chaos; injector not hitting the repl path")
+	}
+}

@@ -1,0 +1,54 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes retry delays: full jitter over an exponentially growing
+// cap, floored by any server-provided Retry-After hint carried on the last
+// error. It is the delay policy shared by the ship ladder and the replication
+// shipper, safe for concurrent use.
+type Backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff builds a policy whose first-retry delay is capped at base and
+// whose exponential growth is capped at max. seed seeds the jitter source
+// (0 selects a fixed default; jitter only needs to decorrelate concurrent
+// workers, not be unpredictable).
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay computes the delay before the attempt'th retry (attempt >= 1 — the
+// first try itself never waits). lastErr, when it carries a Retry-After hint
+// (store.HTTPError does), floors the jittered delay so the server's explicit
+// pacing is always honored.
+func (b *Backoff) Delay(attempt int, lastErr error) time.Duration {
+	cap := b.base << uint(attempt-1)
+	if cap > b.max || cap <= 0 {
+		cap = b.max
+	}
+	b.mu.Lock()
+	d := time.Duration(b.rng.Int63n(int64(cap) + 1))
+	b.mu.Unlock()
+	if hint := retryAfter(lastErr); hint > d {
+		d = hint
+	}
+	return d
+}

@@ -333,13 +333,13 @@ func TestBackoffHonorsRetryAfterHint(t *testing.T) {
 	clk := clock.NewVirtual(0)
 	cfg := testConfig(clk)
 	s := NewShipper(&recordingBackend{}, cfg)
-	d := s.backoffDelay(1, &hintedError{hint: 3 * time.Second})
+	d := s.backoff.Delay(1, &hintedError{hint: 3 * time.Second})
 	if d < 3*time.Second {
 		t.Fatalf("delay %v ignores Retry-After hint", d)
 	}
 	// Without a hint the delay stays inside the jittered exponential cap.
 	for attempt := 1; attempt < 10; attempt++ {
-		if d := s.backoffDelay(attempt, errors.New("x")); d < 0 || d > cfg.MaxBackoff {
+		if d := s.backoff.Delay(attempt, errors.New("x")); d < 0 || d > cfg.MaxBackoff {
 			t.Fatalf("attempt %d delay %v outside [0, %v]", attempt, d, cfg.MaxBackoff)
 		}
 	}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,8 +130,7 @@ type Shipper struct {
 	// already holds it.
 	replayMu sync.Mutex
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	backoff *Backoff
 
 	shipped      atomic.Uint64
 	retries      atomic.Uint64
@@ -162,7 +160,7 @@ func NewShipper(backend store.Backend, cfg Config) *Shipper {
 		cfg:     cfg,
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 		spill:   newSpillQueue(cfg.SpillEvents),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		backoff: NewBackoff(cfg.BaseBackoff, cfg.MaxBackoff, cfg.Seed),
 	}
 	if tm := cfg.Telemetry; tm != nil {
 		s.tmAttempts = tm.Counter(telemetry.MetricShipAttempts, "delivery attempts, first tries included")
@@ -259,7 +257,7 @@ func (s *Shipper) ship(ctx context.Context, b *spillBatch, bypassBreaker bool) e
 		if attempt > 0 {
 			s.retries.Add(1)
 			s.tmRetries.Inc()
-			d := s.backoffDelay(attempt, lastErr)
+			d := s.backoff.Delay(attempt, lastErr)
 			s.tmBackoffNS.Observe(float64(d))
 			s.cfg.Clock.Sleep(d)
 		}
@@ -294,23 +292,6 @@ func (s *Shipper) attempt(ctx context.Context, b *spillBatch) error {
 		return store.ShipEvents(ctx, s.backend, b.index, b.events)
 	}
 	return s.backend.Bulk(ctx, b.index, b.docs)
-}
-
-// backoffDelay computes the attempt'th delay: full jitter over an
-// exponentially growing cap, floored by any server-provided Retry-After
-// hint.
-func (s *Shipper) backoffDelay(attempt int, lastErr error) time.Duration {
-	cap := s.cfg.BaseBackoff << uint(attempt-1)
-	if cap > s.cfg.MaxBackoff || cap <= 0 {
-		cap = s.cfg.MaxBackoff
-	}
-	s.rngMu.Lock()
-	d := time.Duration(s.rng.Int63n(int64(cap) + 1))
-	s.rngMu.Unlock()
-	if hint := retryAfter(lastErr); hint > d {
-		d = hint
-	}
-	return d
 }
 
 // tryReplay drains the spill queue opportunistically: it backs off

@@ -25,6 +25,10 @@ type ChaosConfig struct {
 	// Rate.
 	OutageFrom uint64 `json:"outage_from"`
 	OutageTo   uint64 `json:"outage_to"`
+	// Repl extends fault targeting to the replication push path
+	// (POST /_repl/apply and /_repl/bootstrap), sharing the same call
+	// counter and outage window as bulk requests.
+	Repl bool `json:"repl"`
 }
 
 // ChaosHandler wraps a backend HTTP handler with fault injection so the full
@@ -74,22 +78,25 @@ func (c *ChaosHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	isBulk := r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/_bulk")
+	isRepl := r.Method == http.MethodPost &&
+		(strings.HasSuffix(r.URL.Path, "/_repl/apply") || strings.HasSuffix(r.URL.Path, "/_repl/bootstrap"))
 	c.mu.Lock()
 	cfg := c.cfg
+	isTarget := isBulk || (cfg.Repl && isRepl)
 	var call uint64
-	if isBulk {
+	if isTarget {
 		call = c.calls
 		c.calls++
 	}
-	inOutage := cfg.OutageTo > cfg.OutageFrom && isBulk &&
+	inOutage := cfg.OutageTo > cfg.OutageFrom && isTarget &&
 		call >= cfg.OutageFrom && call < cfg.OutageTo
 	// During an outage everything but the control endpoint is down, so
 	// health probes observe the failure too.
-	if !isBulk && cfg.OutageTo > cfg.OutageFrom &&
+	if !isTarget && cfg.OutageTo > cfg.OutageFrom &&
 		c.calls >= cfg.OutageFrom && c.calls < cfg.OutageTo {
 		inOutage = true
 	}
-	roll := isBulk && !inOutage && cfg.Rate > 0 && c.rng.Float64() < cfg.Rate
+	roll := isTarget && !inOutage && cfg.Rate > 0 && c.rng.Float64() < cfg.Rate
 	if inOutage || roll {
 		c.injected++
 	}

@@ -313,6 +313,58 @@ func (c *Client) Health() error {
 	return c.do(context.Background(), http.MethodGet, "/_health", nil, nil)
 }
 
+// HealthStatus fetches the server's full health report: role, per-index
+// durability freshness, and replication lag. The failover client dispatches
+// on Role to find the live primary.
+func (c *Client) HealthStatus(ctx context.Context) (HealthStatus, error) {
+	var h HealthStatus
+	err := c.do(ctx, http.MethodGet, "/_health", nil, &h)
+	return h, err
+}
+
+// ReplStatus fetches the node's replication position (role plus per-index
+// sequences); the shipper resyncs from it after a mismatch or reconnect.
+func (c *Client) ReplStatus(ctx context.Context) (ReplState, error) {
+	var st ReplState
+	err := c.do(ctx, http.MethodGet, "/_repl/status", nil, &st)
+	return st, err
+}
+
+// ReplApply pushes consecutive replication frames starting at sequence from
+// to a follower and returns the follower's new applied sequence. A sequence
+// mismatch surfaces as a 409 *HTTPError whose body carried the follower's
+// applied position; callers resync via ReplStatus rather than retrying.
+func (c *Client) ReplApply(ctx context.Context, index string, from int64, frames []ReplFrame) (int64, error) {
+	body, err := json.Marshal(replApplyRequest{Index: index, From: from, Frames: frames})
+	if err != nil {
+		return 0, fmt.Errorf("encode repl apply: %w", err)
+	}
+	var out struct {
+		Applied int64 `json:"applied"`
+	}
+	err = c.do(ctx, http.MethodPost, "/_repl/apply", body, &out)
+	return out.Applied, err
+}
+
+// ReplBootstrap ships a full-state snapshot of one index, aligned to primary
+// sequence seq, replacing whatever the follower held.
+func (c *Client) ReplBootstrap(ctx context.Context, index string, seq int64, frames []ReplFrame) error {
+	body, err := json.Marshal(replBootstrapRequest{Index: index, Seq: seq, Frames: frames})
+	if err != nil {
+		return fmt.Errorf("encode repl bootstrap: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, "/_repl/bootstrap", body, nil)
+}
+
+// Promote asks the node to become primary (POST /_repl/promote): manual
+// failover, or the failover client acting on primary loss.
+func (c *Client) Promote(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/_repl/promote", nil, nil)
+}
+
+// Base returns the server URL this client targets (failover diagnostics).
+func (c *Client) Base() string { return c.base }
+
 const contentTypeJSON = "application/json"
 
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {

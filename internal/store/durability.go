@@ -97,9 +97,25 @@ type indexDurable struct {
 	hasSegment bool
 	segRows    int
 
-	dirty    atomic.Int64 // records appended since the last snapshot
-	unsynced atomic.Bool  // bytes appended since the last fsync
-	segGauge atomic.Bool  // hasSegment, readable without the gate
+	// Replication sequence accounting. Every journaled record gets the next
+	// sequence number; the segment holds [0, baseSeq), the live WAL holds
+	// [baseSeq, recSeq). baseSeq is gate-guarded (it only moves under the
+	// snapshot's exclusive gate); recSeq is bumped inside appendMu so sequence
+	// order equals WAL record order.
+	baseSeq int64
+	recSeq  atomic.Int64
+	// replOff aligns a follower to its primary: primary seq == local recSeq +
+	// replOff. Zero on primaries and on followers that never bootstrapped.
+	replOff atomic.Int64
+	// tail buffers recent WAL records in memory for the replication shipper,
+	// so lagging followers survive a snapshot without a full bootstrap.
+	tail *replTail
+
+	dirty     atomic.Int64 // records appended since the last snapshot
+	unsynced  atomic.Bool  // bytes appended since the last fsync
+	segGauge  atomic.Bool  // hasSegment, readable without the gate
+	lastFsync atomic.Int64 // unix ns of the last completed fsync (0 = never)
+	lastSnap  atomic.Int64 // unix ns of the last committed snapshot (0 = never)
 }
 
 // encodePool recycles WAL payload scratch buffers across appends.
@@ -129,7 +145,14 @@ func decodeGob(payload []byte, v any) error {
 // placement order identical to WAL record order even under concurrent
 // writers, which is what lets replay reproduce the original placement and
 // lets rewrite records name rows by global id. The caller holds gate.RLock.
-func (ix *Index) journalApply(t durable.RecordType, payload []byte, reserve int, apply func(start int)) error {
+//
+// owned declares that payload's buffer belongs to this call: when the
+// replication tail is armed, an owned payload is handed to the buffer
+// without copying (the caller must not reuse it afterward), while an
+// unowned one — a pooled scratch the caller will recycle — is cloned.
+// Callers with pooled buffers avoid the clone by checking replOwns first
+// and withholding the buffer from the pool (see AddEvents).
+func (ix *Index) journalApply(t durable.RecordType, payload []byte, owned bool, reserve int, apply func(start int)) error {
 	d := ix.dur
 	d.appendMu.Lock()
 	startT := time.Now()
@@ -142,6 +165,15 @@ func (ix *Index) journalApply(t durable.RecordType, payload []byte, reserve int,
 	if apply != nil {
 		start := int(ix.rr.Add(uint64(reserve)) - uint64(reserve))
 		apply(start)
+	}
+	// The record's replication sequence is assigned inside appendMu, so
+	// sequence order == WAL order == placement order.
+	seq := d.recSeq.Add(1) - 1
+	if d.tail.wants() {
+		if !owned {
+			payload = bytes.Clone(payload)
+		}
+		d.tail.push(seq, t, payload)
 	}
 	d.appendMu.Unlock()
 	d.dirty.Add(1)
@@ -169,6 +201,9 @@ func (d *indexDurable) syncWAL() error {
 	err := w.Sync()
 	d.tm.fsyncNS.Observe(float64(time.Since(startT)))
 	d.tm.fsyncs.Inc()
+	if err == nil {
+		d.lastFsync.Store(time.Now().UnixNano())
+	}
 	return err
 }
 
@@ -243,12 +278,19 @@ func (d *indexDurable) snapshot(ix *Index, force bool) error {
 		newWAL.Close()
 		return err
 	}
+	// Under the exclusive gate no writer is mid-append, so recSeq is the exact
+	// sequence of the segment's last record + 1: the new (empty) WAL's records
+	// will carry sequences from there, which BaseSeq records for recovery and
+	// the replication tail reader.
+	headSeq := d.recSeq.Load()
 	m := durable.Manifest{
 		Version:    1,
 		Shards:     len(ix.shards),
 		WALSeq:     newWALSeq,
 		SegmentSeq: newSegSeq,
 		HasSegment: true,
+		BaseSeq:    headSeq,
+		ReplOffset: d.replOff.Load(),
 	}
 	if err := durable.CommitManifest(d.dir, m); err != nil {
 		newWAL.Close()
@@ -259,8 +301,10 @@ func (d *indexDurable) snapshot(ix *Index, force bool) error {
 	d.wal = newWAL
 	d.appendMu.Unlock()
 	d.walSeq, d.segSeq, d.hasSegment, d.segRows = newWALSeq, newSegSeq, true, rows
+	d.baseSeq = headSeq
 	d.dirty.Store(0)
 	d.segGauge.Store(true)
+	d.lastSnap.Store(time.Now().UnixNano())
 	if err := old.Close(); err != nil {
 		return err
 	}
@@ -311,7 +355,10 @@ func (s *Store) newDurableIndex(name string) (*Index, error) {
 		return nil, err
 	}
 	ix := newIndexSized(name, s.opts.shards, s.opts.rollupBase)
-	ix.dur = &indexDurable{dir: dir, fsync: s.opts.fsync, tm: s.dtm, wal: w}
+	ix.dur = &indexDurable{
+		dir: dir, fsync: s.opts.fsync, tm: s.dtm, wal: w,
+		tail: newReplTail(s.opts.replTailBytes, &s.replArmed),
+	}
 	return ix, nil
 }
 
@@ -330,9 +377,14 @@ func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 		shards = m.Shards
 	}
 	ix := newIndexSized(name, shards, s.opts.rollupBase)
-	d := &indexDurable{dir: dir, fsync: s.opts.fsync, tm: s.dtm}
+	d := &indexDurable{
+		dir: dir, fsync: s.opts.fsync, tm: s.dtm,
+		tail: newReplTail(s.opts.replTailBytes, &s.replArmed),
+	}
 	if committed {
 		d.walSeq, d.segSeq, d.hasSegment = m.WALSeq, m.SegmentSeq, m.HasSegment
+		d.baseSeq = m.BaseSeq
+		d.replOff.Store(m.ReplOffset)
 	}
 	if d.hasSegment {
 		info, err := durable.ReadSegment(filepath.Join(dir, durable.SegmentName(d.segSeq)), ix.placeRecoveredRow)
@@ -361,6 +413,14 @@ func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 	// snapshot right after recovery would no-op and the WAL would grow
 	// forever across restarts).
 	d.dirty.Store(int64(stats.Records))
+	// The head sequence is re-derived, not stored: the segment ends at
+	// BaseSeq and the live WAL carries exactly stats.Records records past it.
+	// On a follower, the applied primary sequence is the head plus the
+	// bootstrap offset — which is exactly the replication resume point, so a
+	// cleanly restarted follower asks for frames from where it left off
+	// instead of re-requesting the whole stream.
+	d.recSeq.Store(d.baseSeq + int64(stats.Records))
+	ix.replSeq.Store(d.replOff.Load() + d.recSeq.Load())
 	s.dtm.replayedB.Add(uint64(stats.Records))
 	s.dtm.replayedE.Add(uint64(replayedRows))
 	durable.CleanOrphans(dir, durable.Manifest{WALSeq: d.walSeq, SegmentSeq: d.segSeq, HasSegment: d.hasSegment})
@@ -424,47 +484,51 @@ func (ix *Index) applyWALRecord(t durable.RecordType, payload []byte) (int, erro
 		if err := decodeGob(payload, &rws); err != nil {
 			return 0, err
 		}
-		// In-place rewrites mutate rows the shard rollups already counted, and
-		// (unlike the add paths above) don't route through an epoch-bumping
-		// mutator — invalidate both explicitly, as the live UpdateByQuery does.
-		ix.epoch.Add(1)
-		defer ix.epoch.Add(1)
-		touched := make(map[*shard]bool)
-		for _, r := range rws {
-			if err := ix.applyRewrite(r); err != nil {
-				return 0, err
-			}
-			touched[ix.shards[r.Gid%len(ix.shards)]] = true
-		}
-		for sh := range touched {
-			sh.invalidateColumnsLocked()
-			sh.invalidateRollupLocked()
-		}
-		return 0, nil
+		return 0, ix.applyRewrites(rws)
 	default:
 		return 0, fmt.Errorf("store: unknown wal record type %d", t)
 	}
 }
 
-// applyRewrite replays one update-by-query effect onto an existing row. The
-// row's representation is preserved: a typed slot takes the document back
-// through the schema (exactly what the live UpdateByQuery write-back does),
-// a generic slot is replaced wholesale.
-func (ix *Index) applyRewrite(r walRewrite) error {
+// applyRewrites replays a batch of update-by-query effects onto existing
+// rows. Each row's representation is preserved: a typed slot takes the
+// document back through the schema (exactly what the live UpdateByQuery
+// write-back does), a generic slot is replaced wholesale. Shard locks are
+// held per shard, so the same path serves single-threaded recovery and a
+// live follower applying replicated rewrites while searches run; the
+// invalidations mirror the live UpdateByQuery (in-place rewrites mutate rows
+// the rollups already counted and don't route through an epoch-bumping
+// mutator).
+func (ix *Index) applyRewrites(rws []walRewrite) error {
+	ix.epoch.Add(1)
+	defer ix.epoch.Add(1)
 	S := len(ix.shards)
-	if r.Gid < 0 || r.Gid >= int(ix.rr.Load()) {
-		return fmt.Errorf("store: rewrite of unknown gid %d", r.Gid)
+	head := int(ix.rr.Load())
+	byShard := make(map[int][]walRewrite)
+	for _, r := range rws {
+		if r.Gid < 0 || r.Gid >= head {
+			return fmt.Errorf("store: rewrite of unknown gid %d", r.Gid)
+		}
+		byShard[r.Gid%S] = append(byShard[r.Gid%S], r)
 	}
-	sh := ix.shards[r.Gid%S]
-	local := r.Gid / S
-	if sh.docs[local] != nil {
-		before := docTerms(sh.docs[local])
-		sh.docs[local] = r.Doc
-		sh.repostLocked(int32(local), before, docTerms(r.Doc))
-	} else {
-		before := eventTerms(&sh.events[local])
-		sh.events[local] = DocToEvent(r.Doc)
-		sh.repostLocked(int32(local), before, eventTerms(&sh.events[local]))
+	for s, list := range byShard {
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, r := range list {
+			local := r.Gid / S
+			if sh.docs[local] != nil {
+				before := docTerms(sh.docs[local])
+				sh.docs[local] = r.Doc
+				sh.repostLocked(int32(local), before, docTerms(r.Doc))
+			} else {
+				before := eventTerms(&sh.events[local])
+				sh.events[local] = DocToEvent(r.Doc)
+				sh.repostLocked(int32(local), before, eventTerms(&sh.events[local]))
+			}
+		}
+		sh.invalidateColumnsLocked()
+		sh.invalidateRollupLocked()
+		sh.mu.Unlock()
 	}
 	return nil
 }

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+)
+
+// FailoverClient fans a Backend over a set of replicated nodes: it sends
+// every request to the node it believes is primary and, when that node dies
+// or demotes, re-probes the set, switches to whichever node now reports
+// itself primary, and retries the request once. Search cursors survive the
+// switch because search_after carries sort values, not node state — a cursor
+// minted on the old primary resumes on the promoted follower as long as
+// replication caught up to the rows already seen.
+//
+// The client discovers primaries; it never elects them. Promotion is the
+// operator's (or diod's) move, so a full-cluster outage stays an error
+// instead of a split brain.
+type FailoverClient struct {
+	nodes  []*Client
+	active atomic.Int32
+	// probeTimeout bounds each health probe during repick (default 2s).
+	probeTimeout time.Duration
+	// switches counts primary changes (observability, tests).
+	switches atomic.Uint64
+}
+
+var (
+	_ Backend       = (*FailoverClient)(nil)
+	_ EventBackend  = (*FailoverClient)(nil)
+	_ EventSearcher = (*FailoverClient)(nil)
+)
+
+// NewFailoverClient wraps the given nodes; the first is the presumed primary
+// until a failure forces a re-probe. At least one node is required.
+func NewFailoverClient(nodes ...*Client) (*FailoverClient, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("failover: at least one node required")
+	}
+	return &FailoverClient{nodes: nodes, probeTimeout: 2 * time.Second}, nil
+}
+
+// Active returns the node currently receiving traffic.
+func (f *FailoverClient) Active() *Client { return f.nodes[f.active.Load()] }
+
+// Switches reports how many times the client changed primaries.
+func (f *FailoverClient) Switches() uint64 { return f.switches.Load() }
+
+// failoverWorthy reports whether err suggests the active node is dead or no
+// longer primary, rather than the request itself being bad. Transport-level
+// failures (no *HTTPError) and 5xx qualify; so do 403/409, which the server
+// uses for role mismatches (writes to a read-only follower). Plain client
+// errors — bad query, missing index — are returned to the caller untouched.
+func failoverWorthy(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		return true // transport failure: connection refused, reset, ...
+	}
+	switch {
+	case he.Status >= 500:
+		return true
+	case he.Status == 403 || he.Status == 409:
+		return true
+	}
+	return false
+}
+
+// repick probes every node's health — the non-active ones first, since the
+// active one just failed — and switches to the first that reports itself
+// primary. Probes use fresh short-deadline contexts detached from the failed
+// request's (possibly expired) context. Returns true if a primary was found.
+func (f *FailoverClient) repick() bool {
+	cur := f.active.Load()
+	order := make([]int32, 0, len(f.nodes))
+	for i := range f.nodes {
+		if int32(i) != cur {
+			order = append(order, int32(i))
+		}
+	}
+	order = append(order, cur)
+	for _, i := range order {
+		ctx, cancel := context.WithTimeout(context.Background(), f.probeTimeout)
+		h, err := f.nodes[i].HealthStatus(ctx)
+		cancel()
+		if err != nil || h.Role != RolePrimary.String() {
+			continue
+		}
+		if i != cur {
+			f.active.Store(i)
+			f.switches.Add(1)
+		}
+		return true
+	}
+	return false
+}
+
+// do runs op against the active node, and on a failover-worthy error
+// re-probes the set and retries once against the new primary.
+func (f *FailoverClient) do(ctx context.Context, op func(*Client) error) error {
+	err := op(f.Active())
+	if !failoverWorthy(err) {
+		return err
+	}
+	if ctx.Err() != nil {
+		return err
+	}
+	if !f.repick() {
+		return fmt.Errorf("failover: no primary found after error: %w", err)
+	}
+	return op(f.Active())
+}
+
+// Bulk implements Backend.
+func (f *FailoverClient) Bulk(ctx context.Context, index string, docs []Document) error {
+	return f.do(ctx, func(c *Client) error { return c.BulkContext(ctx, index, docs) })
+}
+
+// BulkEvents implements EventBackend.
+func (f *FailoverClient) BulkEvents(ctx context.Context, index string, events []event.Event) error {
+	return f.do(ctx, func(c *Client) error { return c.BulkEventsContext(ctx, index, events) })
+}
+
+// Search implements Backend.
+func (f *FailoverClient) Search(ctx context.Context, index string, req SearchRequest) (SearchResponse, error) {
+	var res SearchResponse
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		res, e = c.Search(ctx, index, req)
+		return e
+	})
+	return res, err
+}
+
+// SearchEvents implements EventSearcher.
+func (f *FailoverClient) SearchEvents(ctx context.Context, index string, req SearchRequest) (EventsResult, error) {
+	var res EventsResult
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		res, e = c.SearchEvents(ctx, index, req)
+		return e
+	})
+	return res, err
+}
+
+// Count implements Backend.
+func (f *FailoverClient) Count(ctx context.Context, index string, q Query) (int, error) {
+	var n int
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		n, e = c.Count(ctx, index, q)
+		return e
+	})
+	return n, err
+}
+
+// Correlate implements Backend.
+func (f *FailoverClient) Correlate(ctx context.Context, index, session string) (CorrelationResult, error) {
+	var res CorrelationResult
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		res, e = c.Correlate(ctx, index, session)
+		return e
+	})
+	return res, err
+}
+
+// Health probes the active node.
+func (f *FailoverClient) Health() error { return f.Active().Health() }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"github.com/dsrhaslab/dio-go/internal/durable"
@@ -42,6 +43,12 @@ type Index struct {
 	rollupBase int64         // rollup histogram base interval ns (0 = disabled)
 	cache      *queryCache   // nil = caching disabled
 	rtm        readTelemetry // rollup counters (zero value = no-op)
+
+	// Follower-side replication state: replMu serializes ReplApply so frames
+	// land in primary order; replSeq is the primary sequence applied so far
+	// (== dur.replOff + dur.recSeq on a durable follower).
+	replMu  sync.Mutex
+	replSeq atomic.Int64
 }
 
 // defaultShardCount picks the shard count for new indices: the power of two
@@ -112,7 +119,7 @@ func (ix *Index) Add(doc Document) (int, error) {
 		return 0, err
 	}
 	gid := -1
-	err = ix.journalApply(durable.RecordDocs, payload, 1, func(start int) {
+	err = ix.journalApply(durable.RecordDocs, payload, true, 1, func(start int) {
 		gid = start
 		ix.addBulkAt(start, []Document{doc})
 	})
@@ -137,7 +144,7 @@ func (ix *Index) AddBulk(docs []Document) error {
 	if err != nil {
 		return err
 	}
-	return ix.journalApply(durable.RecordDocs, payload, len(docs), func(start int) {
+	return ix.journalApply(durable.RecordDocs, payload, true, len(docs), func(start int) {
 		ix.addBulkAt(start, docs)
 	})
 }
@@ -170,10 +177,19 @@ func (ix *Index) AddEvents(events []event.Event) error {
 	defer ix.dur.gate.RUnlock()
 	bp := encodePool.Get().(*[]byte)
 	payload := event.EncodeBatch((*bp)[:0], events)
-	err := ix.journalApply(durable.RecordEvents, payload, len(events), func(start int) {
+	// When replication is armed, hand the encode buffer to the tail instead
+	// of recycling it — cheaper than cloning the payload under appendMu. The
+	// pooled box is returned with a replacement buffer pre-sized to the
+	// surrendered one, so the next encode grows from full capacity.
+	owned := ix.dur.tail.wants()
+	err := ix.journalApply(durable.RecordEvents, payload, owned, len(events), func(start int) {
 		ix.addEventsAt(start, events)
 	})
-	*bp = payload[:0]
+	if owned {
+		*bp = make([]byte, 0, cap(payload))
+	} else {
+		*bp = payload[:0]
+	}
 	encodePool.Put(bp)
 	return err
 }
@@ -183,7 +199,9 @@ func (ix *Index) AddEvents(events []event.Event) error {
 // RecordEvents payload format), skipping the re-encode AddEvents would pay.
 // Decoded events are already canonical — the codec clears Offset when the
 // HasOffset aux bit is unset — so no normalization pass is needed either.
-func (ix *Index) addEventsFrame(frame []byte, events []event.Event) error {
+// owned passes through to journalApply: true means the frame's buffer is
+// surrendered to the replication tail and must not be reused by the caller.
+func (ix *Index) addEventsFrame(frame []byte, owned bool, events []event.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
@@ -194,7 +212,7 @@ func (ix *Index) addEventsFrame(frame []byte, events []event.Event) error {
 	}
 	ix.dur.gate.RLock()
 	defer ix.dur.gate.RUnlock()
-	return ix.journalApply(durable.RecordEvents, frame, len(events), func(start int) {
+	return ix.journalApply(durable.RecordEvents, frame, owned, len(events), func(start int) {
 		ix.addEventsAt(start, events)
 	})
 }
@@ -882,7 +900,7 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 		if err != nil {
 			return n, err
 		}
-		if err := ix.journalApply(durable.RecordRewrite, payload, 0, nil); err != nil {
+		if err := ix.journalApply(durable.RecordRewrite, payload, true, 0, nil); err != nil {
 			return n, err
 		}
 	}

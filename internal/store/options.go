@@ -63,6 +63,7 @@ type storeOptions struct {
 	reg           *telemetry.Registry
 	cacheEntries  int   // query cache capacity per index (0 disables)
 	rollupBase    int64 // continuous rollup base interval ns (0 disables)
+	replTailBytes int   // per-index replication tail buffer budget
 }
 
 func defaultOptions() storeOptions {
@@ -72,6 +73,7 @@ func defaultOptions() storeOptions {
 		snapshotEvery: time.Minute,
 		cacheEntries:  256,
 		rollupBase:    defaultRollupIntervalNS,
+		replTailBytes: 4 << 20,
 	}
 }
 
@@ -131,6 +133,25 @@ func WithQueryCache(entries int) Option {
 			entries = 0
 		}
 		o.cacheEntries = entries
+	}
+}
+
+// WithReplicationBuffer sets the per-index in-memory replication tail buffer
+// budget in bytes (default 4MB). The buffer keeps recent WAL records
+// available to the replication shipper across snapshots, so a follower lagging
+// by less than the budget is never forced into a full bootstrap; larger
+// budgets tolerate longer partitions at memory cost. Size it to at least one
+// shipper poll interval of sustained ingest (bytes/s x interval): frames
+// evicted before the shipper drains them are re-read from the WAL file —
+// correct, but a re-read and CRC check of bytes that were just in memory.
+// <= 0 disables the buffer — followers then resync from the live WAL file
+// or bootstrap.
+func WithReplicationBuffer(bytes int) Option {
+	return func(o *storeOptions) {
+		if bytes < 0 {
+			bytes = 0
+		}
+		o.replTailBytes = bytes
 	}
 }
 

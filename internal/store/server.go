@@ -42,6 +42,11 @@ var (
 // recording the run in the store's telemetry registry. On a durable store
 // the resulting file_path rewrites are journaled like any update-by-query.
 func (s *Store) Correlate(ctx context.Context, index, session string) (CorrelationResult, error) {
+	// Correlation rewrites file_path on matched rows — a mutation, so a
+	// follower rejects it like any direct write.
+	if s.Role() == RoleFollower {
+		return CorrelationResult{}, ErrReadOnlyFollower
+	}
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return CorrelationResult{}, fmt.Errorf("index %q not found", index)
@@ -103,6 +108,10 @@ func NewServer(st *Store) *Server {
 	inner.HandleFunc("/_cat/indices", s.handleCatIndices)
 	inner.HandleFunc("/_health", s.handleHealth)
 	inner.HandleFunc("/metrics", s.handleMetrics)
+	inner.HandleFunc("/_repl/status", s.handleReplStatus)
+	inner.HandleFunc("/_repl/apply", s.handleReplApply)
+	inner.HandleFunc("/_repl/bootstrap", s.handleReplBootstrap)
+	inner.HandleFunc("/_repl/promote", s.handleReplPromote)
 	inner.HandleFunc("/", s.handleIndexOps)
 	s.mux.Handle("/", inner)
 	s.mux.Handle("/v1/", http.StripPrefix("/v1", inner))
@@ -175,10 +184,95 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"indices": len(s.store.Indices()),
-	})
+	writeJSON(w, http.StatusOK, s.store.Health())
+}
+
+// handleReplStatus reports the node's role and per-index sequence positions.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.ReplStatus())
+}
+
+// replApplyRequest is the POST /_repl/apply body.
+type replApplyRequest struct {
+	Index  string      `json:"index"`
+	From   int64       `json:"from"`
+	Frames []ReplFrame `json:"frames"`
+}
+
+// writeReplError maps replication errors onto statuses the shipper
+// dispatches on: 403 for role mismatches (this node is not a follower), 409
+// with the applied sequence for out-of-order pushes (the shipper resyncs
+// instead of retrying), 500 otherwise. Both 4xx shapes are non-temporary
+// under HTTPError's classification, so the resilience ladder fails fast.
+func writeReplError(w http.ResponseWriter, applied int64, err error) {
+	var seqErr *ReplSeqError
+	switch {
+	case errors.As(err, &seqErr):
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": err.Error(), "applied": applied,
+		})
+	case errors.Is(err, ErrNotFollower):
+		httpError(w, http.StatusForbidden, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleReplApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req replApplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad repl apply request: %v", err)
+		return
+	}
+	applied, err := s.store.ReplApply(r.Context(), req.Index, req.From, req.Frames)
+	if err != nil {
+		writeReplError(w, applied, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"applied": applied})
+}
+
+// replBootstrapRequest is the POST /_repl/bootstrap body: a full-state
+// snapshot of one index, aligned to primary sequence seq.
+type replBootstrapRequest struct {
+	Index  string      `json:"index"`
+	Seq    int64       `json:"seq"`
+	Frames []ReplFrame `json:"frames"`
+}
+
+func (s *Server) handleReplBootstrap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req replBootstrapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad repl bootstrap request: %v", err)
+		return
+	}
+	if err := s.store.ReplBootstrap(r.Context(), req.Index, req.Seq, req.Frames); err != nil {
+		writeReplError(w, 0, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"applied": req.Seq})
+}
+
+// handleReplPromote flips a follower to primary (idempotent on a primary).
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.store.Promote()
+	writeJSON(w, http.StatusOK, map[string]string{"role": s.store.Role().String()})
 }
 
 func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
@@ -248,6 +342,12 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request, index string
 		return
 	}
 	if err := s.store.Bulk(r.Context(), index, docs); err != nil {
+		if errors.Is(err, ErrReadOnlyFollower) {
+			// 409, not 5xx: retrying against this node cannot succeed, the
+			// client must redirect to the primary.
+			httpError(w, http.StatusConflict, "bulk: %v", err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "bulk: %v", err)
 		return
 	}
@@ -266,7 +366,17 @@ func (s *Server) handleBulkBinary(w http.ResponseWriter, r *http.Request, index 
 	}
 	buf := serverReadPool.Get().(*bytes.Buffer)
 	buf.Reset()
-	defer serverReadPool.Put(buf)
+	// When replication is armed the frame's buffer is surrendered to the
+	// tail (cheaper than having journalApply clone it). The pool gets a
+	// replacement pre-sized to the surrendered buffer's capacity, so the
+	// next request reads its body without any doubling-growth reallocs —
+	// the armed path costs one flat allocation per batch, not a copy.
+	owned := s.store.replWantsFrames()
+	if !owned {
+		defer serverReadPool.Put(buf)
+	} else {
+		defer func() { serverReadPool.Put(bytes.NewBuffer(make([]byte, 0, buf.Cap()))) }()
+	}
 	if _, err := buf.ReadFrom(r.Body); err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
 		return
@@ -279,12 +389,16 @@ func (s *Server) handleBulkBinary(w http.ResponseWriter, r *http.Request, index 
 		httpError(w, http.StatusBadRequest, "decode frame: %v", err)
 		return
 	}
-	ingestErr := s.store.bulkEventsFrame(r.Context(), index, buf.Bytes(), events)
+	ingestErr := s.store.bulkEventsFrame(r.Context(), index, buf.Bytes(), owned, events)
 	// AddEvents copies the structs into shard storage, so the batch can be
 	// recycled as soon as the call returns.
 	*bp = events[:0]
 	serverEventsPool.Put(bp)
 	if ingestErr != nil {
+		if errors.Is(ingestErr, ErrReadOnlyFollower) {
+			httpError(w, http.StatusConflict, "bulk: %v", ingestErr)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "bulk: %v", ingestErr)
 		return
 	}
@@ -336,6 +450,10 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request, index s
 	}
 	res, err := s.store.Correlate(r.Context(), index, r.URL.Query().Get("session"))
 	if err != nil {
+		if errors.Is(err, ErrReadOnlyFollower) {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}

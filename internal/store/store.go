@@ -29,6 +29,16 @@ type Store struct {
 	stopCh chan struct{}
 	loopWG sync.WaitGroup
 	closed atomic.Bool
+
+	// Replication role: a follower rejects direct writes (they arrive through
+	// ReplApply instead) until Promote flips it back to primary. replArmed
+	// turns on the per-index tail buffers the shipper reads; it is shared by
+	// pointer into every indexDurable so arming is one store-wide store.
+	role      atomic.Int32
+	replArmed atomic.Bool
+
+	replHealthMu sync.Mutex
+	replHealth   []func() ReplHealth
 }
 
 // storeTelemetry holds the backend stage's instruments: bulk/search/count
@@ -55,6 +65,11 @@ type storeTelemetry struct {
 	cacheMisses *telemetry.Counter
 	cacheEvicts *telemetry.Counter
 	rtm         readTelemetry
+
+	// Follower-side replication accounting (ReplApply).
+	replApplied *telemetry.Counter
+	replApplyNS *telemetry.Histogram
+	replRejects *telemetry.Counter
 }
 
 // Open builds a store from functional options. Without WithDataDir it is
@@ -89,6 +104,9 @@ func Open(opts ...Option) (*Store, error) {
 			"searches that ran and populated the query cache"),
 		cacheEvicts: reg.Counter(telemetry.MetricQueryCacheEvictions,
 			"query cache entries dropped (LRU or stale epoch)"),
+		replApplied: reg.Counter(telemetry.MetricReplAppliedRecs, "replication records applied on this follower"),
+		replApplyNS: reg.Histogram(telemetry.MetricReplApplyNS, "one replication frame apply", nil),
+		replRejects: reg.Counter(telemetry.MetricReplSeqRejects, "out-of-sequence replication pushes rejected"),
 		rtm: readTelemetry{
 			rollupHits:     reg.Counter(telemetry.MetricRollupAggHits, "agg partials served from rollups"),
 			rollupMisses:   reg.Counter(telemetry.MetricRollupAggMisses, "planned rollup serves that fell back to scans"),
@@ -102,6 +120,8 @@ func Open(opts ...Option) (*Store, error) {
 	// it there). Evaluated only at snapshot time.
 	reg.GaugeFunc(telemetry.MetricShardImbalance, "max/mean shard doc count across indices",
 		s.shardImbalance)
+	reg.GaugeFunc(telemetry.MetricReplRole, "replication role (0 primary, 1 follower)",
+		func() float64 { return float64(s.role.Load()) })
 	if o.dataDir == "" {
 		return s, nil
 	}
@@ -296,6 +316,9 @@ func (s *Store) Bulk(ctx context.Context, index string, docs []Document) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if s.Role() == RoleFollower {
+		return ErrReadOnlyFollower
+	}
 	ix, err := s.indexOrCreate(index)
 	if err != nil {
 		return err
@@ -318,6 +341,9 @@ func (s *Store) BulkEvents(ctx context.Context, index string, events []event.Eve
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if s.Role() == RoleFollower {
+		return ErrReadOnlyFollower
+	}
 	ix, err := s.indexOrCreate(index)
 	if err != nil {
 		return err
@@ -335,16 +361,21 @@ func (s *Store) BulkEvents(ctx context.Context, index string, events []event.Eve
 // bulkEventsFrame is BulkEvents for a batch that arrived as a wire frame:
 // the already-encoded payload is journaled verbatim instead of re-encoding
 // the decoded events, so the HTTP ingest path pays for the codec once.
-func (s *Store) bulkEventsFrame(ctx context.Context, index string, frame []byte, events []event.Event) error {
+// owned reports whether the frame's buffer is surrendered (see
+// replWantsFrames and journalApply).
+func (s *Store) bulkEventsFrame(ctx context.Context, index string, frame []byte, owned bool, events []event.Event) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if s.Role() == RoleFollower {
+		return ErrReadOnlyFollower
 	}
 	ix, err := s.indexOrCreate(index)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	err = ix.addEventsFrame(frame, events)
+	err = ix.addEventsFrame(frame, owned, events)
 	s.tm.bulkNS.Observe(float64(time.Since(start)))
 	if err != nil {
 		return err
@@ -419,6 +450,9 @@ func (s *Store) Count(ctx context.Context, index string, q Query) (int, error) {
 // effects are journaled. fn runs concurrently across shards (never for the
 // same document).
 func (s *Store) UpdateByQuery(ctx context.Context, index string, q Query, fn func(Document) bool) (int, error) {
+	if s.Role() == RoleFollower {
+		return 0, ErrReadOnlyFollower
+	}
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return 0, fmt.Errorf("index %q not found", index)

@@ -73,6 +73,19 @@ const (
 	MetricReplayedEvents  = "dio_store_replayed_events_total"
 	MetricWALTornTails    = "dio_store_wal_torn_tails_total"
 
+	// internal/store + internal/repl — primary/follower replication.
+	MetricReplRole         = "dio_repl_role"                   // 0 primary, 1 follower
+	MetricReplShippedRecs  = "dio_repl_shipped_records_total"  // WAL records pushed to followers
+	MetricReplShippedBytes = "dio_repl_shipped_bytes_total"    // payload bytes pushed to followers
+	MetricReplPushes       = "dio_repl_pushes_total"           // push calls issued (bootstraps included)
+	MetricReplPushRetries  = "dio_repl_push_retries_total"     // push attempts beyond each call's first
+	MetricReplPushNS       = "dio_repl_push_ns"                // one push call (ship + follower apply)
+	MetricReplBootstraps   = "dio_repl_bootstraps_total"       // full-state bootstraps shipped
+	MetricReplLag          = "dio_repl_lag_records"            // primary head - follower acked, summed
+	MetricReplAppliedRecs  = "dio_repl_applied_records_total"  // frames applied on this follower
+	MetricReplApplyNS      = "dio_repl_apply_ns"               // one follower frame-batch apply
+	MetricReplSeqRejects   = "dio_repl_seq_rejects_total"      // out-of-sequence pushes rejected
+
 	// internal/store/correlate.go — the correlation algorithm.
 	MetricCorrelateRuns       = "dio_correlate_runs_total"
 	MetricCorrelateNS         = "dio_correlate_ns"
