@@ -43,10 +43,11 @@ bench-smoke:
 	$(GO) test -run xxx -bench Ingest -benchtime=100x -benchmem .
 
 ## bench-read: a fast smoke run of the dashboard read-path benchmark
-## (rollups + query cache vs the uncached scan ablation) so the p50/p99
-## numbers cannot silently rot.
+## (rollups + query cache vs the uncached scan ablation) and the tiered
+## segment-pruning benchmark (time-range planner vs the full-scan ablation)
+## so the p50/p99 and pruning-speedup numbers cannot silently rot.
 bench-read:
-	$(GO) test -run xxx -bench DashboardReadPath -benchtime=50x .
+	$(GO) test -run xxx -bench 'DashboardReadPath|SegmentPrunedSearch' -benchtime=50x .
 
 ## scale: the backend/tracer scalability experiment (legacy vs sharded).
 scale:
@@ -65,7 +66,10 @@ chaos-repl:
 	$(GO) test -race -count=2 -run 'TestRepl|TestFollower|TestFailover|TestPartition|TestDelayed|TestPrimaryKill|TestGraceful|TestRetryAfter|TestSync|TestChaosRepl|TestHealth|FuzzWALReplay' ./internal/repl/ ./internal/store/ ./internal/durable/
 
 ## crash: the durability crash matrix — torn WAL tails, mid-snapshot kills,
-## superseded-log resurrection, frame-journal round-trips — each recovery
-## compared field-for-field against a never-crashed control, under -race.
+## superseded-log resurrection, frame-journal round-trips, and the tiered
+## segment matrix (torn segment writes, compaction killed before the
+## manifest commit, manifests referencing missing segments, multi-segment
+## follower bootstrap) — each recovery compared field-for-field against a
+## never-crashed control, under -race.
 crash:
 	$(GO) test -race -run 'TestCrash|TestDurable|TestFrameJournal|TestRecovery|TestWAL|TestSegment|TestManifest' ./internal/store/ ./internal/durable/

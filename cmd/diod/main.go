@@ -41,6 +41,7 @@ type config struct {
 	data        string
 	fsyncMode   string
 	snapshot    time.Duration
+	retention   time.Duration
 	queryCache  int
 	rollup      time.Duration
 	follow      string
@@ -55,6 +56,7 @@ func main() {
 	flag.StringVar(&cfg.data, "data", "", "data directory for WAL + snapshots (empty: in-memory only)")
 	flag.StringVar(&cfg.fsyncMode, "fsync", "interval", "WAL fsync policy: interval, always, or off")
 	flag.DurationVar(&cfg.snapshot, "snapshot", time.Minute, "interval between columnar segment snapshots (0 disables)")
+	flag.DurationVar(&cfg.retention, "retention", 0, "drop segments whose events are all older than this (0 keeps everything); requires -data")
 	flag.IntVar(&cfg.queryCache, "query-cache", 256, "query cache capacity per index in entries (0 disables)")
 	flag.DurationVar(&cfg.rollup, "rollup", 100*time.Millisecond, "continuous rollup base histogram interval (0 disables)")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a follower of this primary URL: reject writes, apply /_repl pushes")
@@ -78,6 +80,7 @@ func run(cfg config) error {
 		store.WithDataDir(cfg.data),
 		store.WithFsyncPolicy(policy),
 		store.WithSnapshotInterval(cfg.snapshot),
+		store.WithRetention(cfg.retention),
 		store.WithQueryCache(cfg.queryCache),
 		store.WithRollupInterval(cfg.rollup),
 	)
@@ -116,6 +119,9 @@ func run(cfg config) error {
 	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health | GET /metrics")
 	if cfg.data != "" {
 		fmt.Printf("durability: data dir %s, fsync %s, snapshot every %s\n", cfg.data, policy, cfg.snapshot)
+		if cfg.retention > 0 {
+			fmt.Printf("retention: segments older than %s are compacted away\n", cfg.retention)
+		}
 	}
 	if cfg.chaos {
 		fmt.Println("chaos: fault injector enabled (disarmed); control via GET/POST /_chaos")

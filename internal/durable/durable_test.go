@@ -231,13 +231,17 @@ func TestSegmentRoundTrip(t *testing.T) {
 		{Event: &evs[3]},
 		{Event: &evs[4]},
 	}
-	size, err := WriteSegment(path, 8, sliceSource{rows})
+	winfo, err := WriteSegment(path, 8, sliceSource{rows})
 	if err != nil {
 		t.Fatal(err)
 	}
 	st, err := os.Stat(path)
-	if err != nil || st.Size() != size {
-		t.Fatalf("size %d on disk vs %d reported (err=%v)", st.Size(), size, err)
+	if err != nil || st.Size() != winfo.Bytes {
+		t.Fatalf("size %d on disk vs %d reported (err=%v)", st.Size(), winfo.Bytes, err)
+	}
+	if winfo.MinTime != evs[0].TimeEnterNS || winfo.MaxTime != evs[4].TimeEnterNS {
+		t.Fatalf("time range [%d, %d], want [%d, %d]",
+			winfo.MinTime, winfo.MaxTime, evs[0].TimeEnterNS, evs[4].TimeEnterNS)
 	}
 
 	wantGid := 0
@@ -320,12 +324,15 @@ func TestManifestLifecycle(t *testing.T) {
 	if _, ok, err := LoadManifest(dir); ok || err != nil {
 		t.Fatalf("fresh dir: ok=%v err=%v", ok, err)
 	}
-	m := Manifest{Version: 1, Shards: 8, WALSeq: 3, SegmentSeq: 2, HasSegment: true}
+	m := Manifest{
+		Version: 2, Shards: 8, WALSeq: 3, SegmentSeq: 3,
+		Segments: []SegmentMeta{{Seq: 2, Rows: 5, StartRow: 0, EndRow: 5, MinTime: 10, MaxTime: 20}},
+	}
 	if err := CommitManifest(dir, m); err != nil {
 		t.Fatal(err)
 	}
 	got, ok, err := LoadManifest(dir)
-	if err != nil || !ok || got != m {
+	if err != nil || !ok || !reflect.DeepEqual(got, m) {
 		t.Fatalf("got=%+v ok=%v err=%v", got, ok, err)
 	}
 	// Orphans from an interrupted snapshot: stale wal, stale seg, tmp file.
@@ -351,6 +358,25 @@ func TestManifestLifecycle(t *testing.T) {
 	want := []string{ManifestName, SegmentName(2), WALName(3)}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("after clean: %v, want %v", names, want)
+	}
+}
+
+func TestManifestV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	v1 := []byte(`{"version":1,"shards":8,"wal_seq":3,"segment_seq":2,"has_segment":true}`)
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got.Version != 2 || got.HasSegment || got.SegmentSeq != 3 || len(got.Segments) != 1 {
+		t.Fatalf("migrated = %+v", got)
+	}
+	sm := got.Segments[0]
+	if sm.Seq != 2 || sm.Rows != -1 || sm.StartRow != 0 || sm.EndRow != -1 || !sm.TimeUnknown() {
+		t.Fatalf("migrated segment = %+v", sm)
 	}
 }
 

@@ -3,26 +3,82 @@ package durable
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 )
 
 // ManifestName is the per-index manifest file, the single commit point for
-// the snapshot protocol: whichever (segment, WAL) pair it names is the
+// the snapshot protocol: whichever (segments, WAL) set it names is the
 // recovery source; everything else in the directory is an orphan from an
-// interrupted snapshot and is ignored, then cleaned.
+// interrupted snapshot or compaction and is ignored, then cleaned.
 const ManifestName = "MANIFEST"
+
+// manifestVersion is the current manifest schema. Version 1 named at most
+// one monolithic segment (HasSegment/SegmentSeq); version 2 carries the
+// leveled segment list. LoadManifest migrates v1 in place so the rest of
+// the system only ever sees the leveled form.
+const manifestVersion = 2
+
+// SegmentMeta describes one committed immutable segment in the leveled
+// layout. Segments are listed in ascending row order; StartRow is the global
+// row id of the segment's first row, and EndRow is one past its last.
+// Rows may be less than EndRow-StartRow when retention or compaction left
+// interior gaps (the file encodes explicit per-row ids, so sparse segments
+// are first-class).
+type SegmentMeta struct {
+	Seq      int   `json:"seq"`
+	Level    int   `json:"level"`
+	Rows     int64 `json:"rows"`
+	StartRow int64 `json:"start_row"`
+	EndRow   int64 `json:"end_row"`
+	// MinTime/MaxTime bound time_enter_ns over the segment's timed rows,
+	// the basis for query-time segment pruning. An empty range
+	// (MinTime > MaxTime) means no row carries a numeric time; an unknown
+	// range (MinTime = math.MinInt64, MaxTime = math.MaxInt64, the v1
+	// migration default) overlaps everything and is never pruned.
+	MinTime int64 `json:"min_time"`
+	MaxTime int64 `json:"max_time"`
+	Bytes   int64 `json:"bytes"`
+	// Generic counts the segment's generic (schemaless) rows. Recovery that
+	// leaves segments cold on disk still needs the index's generic-row count
+	// (it gates integer range-bound folding in query-cache keys), and this
+	// field supplies it without reading the file. Unknown (v1-era) metas
+	// carry 0 alongside Rows < 0 and are fixed up on first read.
+	Generic int64 `json:"generic,omitempty"`
+}
+
+// TimeUnknown reports whether the segment's time range was never stamped
+// (a v1-era segment): it must be treated as overlapping every filter.
+func (s SegmentMeta) TimeUnknown() bool {
+	return s.MinTime == math.MinInt64 && s.MaxTime == math.MaxInt64
+}
+
+// Overlaps reports whether the segment's time range intersects [min, max].
+func (s SegmentMeta) Overlaps(min, max int64) bool {
+	return s.MinTime <= max && s.MaxTime >= min
+}
 
 // Manifest names the committed recovery sources of one index directory.
 type Manifest struct {
-	Version    int  `json:"version"`
-	Shards     int  `json:"shards"`
-	WALSeq     int  `json:"wal_seq"`
-	SegmentSeq int  `json:"segment_seq"`
-	HasSegment bool `json:"has_segment"`
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+	WALSeq  int `json:"wal_seq"`
+	// SegmentSeq is the next unused segment sequence number: every committed
+	// segment's Seq is below it, and new segments (flush or compaction
+	// output) claim it and increment. (In v1 manifests it named the single
+	// committed segment; LoadManifest migrates.)
+	SegmentSeq int `json:"segment_seq"`
+	// Segments is the leveled segment list in ascending StartRow order.
+	// Committing a manifest with a changed list is the atomic multi-segment
+	// commit point: flushes append one entry, compactions replace a run with
+	// its merged output, retention deletes a prefix.
+	Segments []SegmentMeta `json:"segments,omitempty"`
+	// HasSegment/v1 compatibility: retained on read only (see LoadManifest).
+	HasSegment bool `json:"has_segment,omitempty"`
 	// BaseSeq is the replication sequence number of the live WAL's first
-	// record: every record folded into the committed segment has a sequence
+	// record: every record folded into committed segments has a sequence
 	// below it. The index head sequence is BaseSeq plus the live WAL's record
 	// count, which is how recovery re-derives it without a full history.
 	// Manifests written before replication existed carry 0, which is exactly
@@ -32,6 +88,50 @@ type Manifest struct {
 	// local sequence + ReplOffset. Non-zero only after a bootstrap (the
 	// follower's local journal starts mid-stream); primaries keep 0.
 	ReplOffset int64 `json:"repl_offset,omitempty"`
+	// RetentionFloor is one past the highest row id ever dropped by the
+	// retention horizon. Rows at or above it are never dropped out from under
+	// a paging cursor, which is what lets an unsorted search_after cursor
+	// below the floor fail loudly (expired) instead of silently skipping.
+	RetentionFloor int64 `json:"retention_floor,omitempty"`
+	// Rewrites is the store's pending post-flush row-rewrite overlay,
+	// serialized by the store (opaque bytes here) and re-applied during
+	// recovery after segments load and before WAL replay. It rides in the
+	// manifest rather than the WAL so persisting it never advances the
+	// replication sequence.
+	Rewrites []byte `json:"rewrites,omitempty"`
+}
+
+// SegmentRows sums the row counts of every listed segment (the Σsegments
+// term of the recovery conservation invariant).
+func (m Manifest) SegmentRows() int64 {
+	var n int64
+	for _, s := range m.Segments {
+		n += s.Rows
+	}
+	return n
+}
+
+// SegmentEnd returns one past the last row covered by any listed segment
+// (0 with no segments): the row id where the live WAL's coverage begins.
+func (m Manifest) SegmentEnd() int64 {
+	if len(m.Segments) == 0 {
+		return 0
+	}
+	return m.Segments[len(m.Segments)-1].EndRow
+}
+
+// Contiguous reports whether the listed segments densely cover rows
+// [0, SegmentEnd()) with no interior gaps — the precondition for loading
+// them back into shard memory as if they were one monolithic snapshot.
+func (m Manifest) Contiguous() bool {
+	var next int64
+	for _, s := range m.Segments {
+		if s.StartRow != next || s.Rows != s.EndRow-s.StartRow {
+			return false
+		}
+		next = s.EndRow
+	}
+	return true
 }
 
 // WALName formats the WAL filename for sequence number seq.
@@ -43,6 +143,11 @@ func SegmentName(seq int) string { return fmt.Sprintf("seg-%06d.snap", seq) }
 // LoadManifest reads the manifest in dir. A missing manifest returns
 // (zero manifest, false, nil): the directory is fresh (or a crash happened
 // before the first commit) and recovery starts empty with WAL seq 0.
+//
+// Version 1 manifests (one monolithic HasSegment/SegmentSeq snapshot) are
+// migrated to the leveled form in memory: the single segment becomes a
+// one-entry list with Rows/EndRow = -1 (unknown until the file is read) and
+// an unknown time range, and SegmentSeq advances to the next free sequence.
 func LoadManifest(dir string) (Manifest, bool, error) {
 	var m Manifest
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
@@ -55,12 +160,28 @@ func LoadManifest(dir string) (Manifest, bool, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return m, false, fmt.Errorf("durable: parse manifest: %w", err)
 	}
+	if m.Version < manifestVersion && len(m.Segments) == 0 && m.HasSegment {
+		m.Segments = []SegmentMeta{{
+			Seq:      m.SegmentSeq,
+			Level:    0,
+			Rows:     -1,
+			StartRow: 0,
+			EndRow:   -1,
+			MinTime:  math.MinInt64,
+			MaxTime:  math.MaxInt64,
+		}}
+		m.SegmentSeq++
+	}
+	m.Version = manifestVersion
+	m.HasSegment = false
 	return m, true, nil
 }
 
 // CommitManifest atomically publishes m as dir's manifest. After it returns,
 // a crash at any point recovers from exactly the state m names.
 func CommitManifest(dir string, m Manifest) error {
+	m.Version = manifestVersion
+	m.HasSegment = false
 	data, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("durable: encode manifest: %w", err)
@@ -71,23 +192,34 @@ func CommitManifest(dir string, m Manifest) error {
 	return nil
 }
 
-// CleanOrphans removes files in dir left behind by an interrupted snapshot:
-// segment temporaries, and any wal-*/seg-* whose sequence number is not the
-// committed one. Removal is best-effort — recovery correctness never depends
-// on it, only disk hygiene does.
+// CleanOrphans removes files in dir left behind by an interrupted snapshot
+// or compaction: segment temporaries, any wal-* whose sequence number is not
+// the committed one, and any seg-* the manifest's leveled list does not
+// reference (e.g. a compaction output written but never committed). Removal
+// is best-effort — recovery correctness never depends on it, only disk
+// hygiene does. CleanOrphans only ever runs against the committed manifest,
+// which lists every live segment; the store's locking protocol makes that
+// sufficient: segment-list changes commit while holding the index's snapshot
+// gate plus every shard write lock, obsolete files are deleted only after
+// those locks are released (so in-flight readers of the old list have
+// finished), and replication bootstrap streams segment files while holding
+// the gate exclusively, which excludes any concurrent commit or cleanup.
 func CleanOrphans(dir string, m Manifest) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	keepWAL := WALName(m.WALSeq)
-	keepSeg := SegmentName(m.SegmentSeq)
+	keepSegs := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		keepSegs[SegmentName(s.Seq)] = true
+	}
 	for _, e := range entries {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
 		case strings.HasPrefix(name, "wal-") && name != keepWAL:
-		case strings.HasPrefix(name, "seg-") && (name != keepSeg || !m.HasSegment):
+		case strings.HasPrefix(name, "seg-") && !keepSegs[name]:
 		default:
 			continue
 		}

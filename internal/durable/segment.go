@@ -4,21 +4,25 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 
 	"github.com/dsrhaslab/dio-go/internal/event"
 )
 
 // Segment file layout (all integers little-endian). A segment is one
-// columnar snapshot of an index's rows in global-id order, written under the
-// store's read locks and published by the manifest:
+// columnar snapshot of a contiguous (or, after compaction over retention
+// gaps, sparse) run of an index's rows in global-id order, written under the
+// store's locks and published by the manifest:
 //
 //	[4]  magic "DIOS"
-//	[1]  version (1)
+//	[1]  version (2; version-1 files lack the two time fields)
 //	[4]  u32 shard count (advisory: recovery recreates the index with it)
 //	[8]  u64 total rows
 //	[8]  u64 typed rows T
 //	[8]  u64 generic rows G
+//	[8]  i64 min time_enter_ns over timed rows   } v2 only; empty range
+//	[8]  i64 max time_enter_ns over timed rows   } (min > max) when none timed
 //	typed block (columnar — one array per field over the T typed rows):
 //	  gids        T × u64
 //	  i64 columns T × u64 each: ret_val, arg_offset, time_enter, time_exit,
@@ -38,7 +42,10 @@ import (
 const (
 	segMagicLen  = 4
 	segHeaderLen = segMagicLen + 1 + 4 + 8 + 8 + 8
-	segVersion   = 1
+	segVersion   = 2
+	// segVersionV1 files predate the header time range; readers accept them
+	// with an unknown (never-pruned) range.
+	segVersionV1 = 1
 )
 
 var segMagic = [segMagicLen]byte{'D', 'I', 'O', 'S'}
@@ -48,10 +55,17 @@ var segMagic = [segMagicLen]byte{'D', 'I', 'O', 'S'}
 const segStringCount = 11
 
 // SegmentRow is one row handed to WriteSegment: exactly one of Event (a
-// typed row) or Doc (an opaque encoded generic document) is set.
+// typed row) or Doc (an opaque encoded generic document) is set. Generic
+// documents are opaque to this package, so the caller extracts their
+// time_enter_ns (DocTimed false when the document carries no numeric time;
+// such rows are excluded from the segment's pruning range, which is sound
+// because they can never match a numeric time-range filter). Typed rows are
+// always timed via Event.TimeEnterNS.
 type SegmentRow struct {
-	Event *event.Event
-	Doc   []byte
+	Event    *event.Event
+	Doc      []byte
+	DocTime  int64
+	DocTimed bool
 }
 
 // RowSource enumerates an index's rows in global-id order. Row may be called
@@ -60,6 +74,14 @@ type SegmentRow struct {
 type RowSource interface {
 	NumRows() int
 	Row(i int) SegmentRow
+}
+
+// GidSource is an optional RowSource extension that assigns explicit
+// segment-local row ids instead of the default dense 0..N-1. Compaction uses
+// it when merging across a retention gap: ids must be strictly ascending but
+// may be sparse.
+type GidSource interface {
+	Gid(i int) int
 }
 
 // segStrings enumerates the typed row's string fields in wire order (shared
@@ -77,34 +99,55 @@ type segWriter struct {
 	buf []byte
 }
 
-func (w *segWriter) u8(v byte)     { w.buf = append(w.buf, v) }
-func (w *segWriter) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
-func (w *segWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *segWriter) u8(v byte)      { w.buf = append(w.buf, v) }
+func (w *segWriter) u32(v uint32)   { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *segWriter) u64(v uint64)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
 func (w *segWriter) bytes(b []byte) { w.buf = append(w.buf, b...) }
 
 // WriteSegment writes a columnar snapshot of src to path atomically (tmp +
-// fsync + rename) and returns the segment's size in bytes. The caller holds
-// whatever locks make src a consistent snapshot.
-func WriteSegment(path string, shards int, src RowSource) (int64, error) {
+// fsync + rename) and returns the segment's stats, including the
+// time_enter_ns range stamped into the header for query-time pruning. The
+// caller holds whatever locks make src a consistent snapshot.
+func WriteSegment(path string, shards int, src RowSource) (SegmentInfo, error) {
 	n := src.NumRows()
+	gid := func(i int) int { return i }
+	if gs, ok := src.(GidSource); ok {
+		gid = gs.Gid
+	}
 	var typed, generic []int
-	for i := 0; i < n; i++ {
-		if src.Row(i).Event != nil {
-			typed = append(typed, i)
-		} else {
-			generic = append(generic, i)
+	minT, maxT := int64(math.MaxInt64), int64(math.MinInt64)
+	stamp := func(t int64) {
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
 		}
 	}
-	w := &segWriter{buf: make([]byte, 0, segHeaderLen+64*n)}
+	for i := 0; i < n; i++ {
+		row := src.Row(i)
+		if row.Event != nil {
+			typed = append(typed, i)
+			stamp(row.Event.TimeEnterNS)
+		} else {
+			generic = append(generic, i)
+			if row.DocTimed {
+				stamp(row.DocTime)
+			}
+		}
+	}
+	w := &segWriter{buf: make([]byte, 0, segHeaderLen+16+64*n)}
 	w.bytes(segMagic[:])
 	w.u8(segVersion)
 	w.u32(uint32(shards))
 	w.u64(uint64(n))
 	w.u64(uint64(len(typed)))
 	w.u64(uint64(len(generic)))
+	w.u64(uint64(minT))
+	w.u64(uint64(maxT))
 
 	for _, i := range typed {
-		w.u64(uint64(i))
+		w.u64(uint64(gid(i)))
 	}
 	i64cols := []func(e *event.Event) int64{
 		func(e *event.Event) int64 { return e.RetVal },
@@ -157,15 +200,23 @@ func WriteSegment(path string, shards int, src RowSource) (int64, error) {
 	}
 	for _, i := range generic {
 		doc := src.Row(i).Doc
-		w.u64(uint64(i))
+		w.u64(uint64(gid(i)))
 		w.u32(uint32(len(doc)))
 		w.bytes(doc)
 	}
 	w.u32(crc32.Checksum(w.buf, crcTable))
 	if err := writeFileAtomic(path, w.buf); err != nil {
-		return 0, fmt.Errorf("durable: write segment: %w", err)
+		return SegmentInfo{}, fmt.Errorf("durable: write segment: %w", err)
 	}
-	return int64(len(w.buf)), nil
+	return SegmentInfo{
+		Shards:  shards,
+		Rows:    n,
+		Typed:   len(typed),
+		Generic: len(generic),
+		Bytes:   int64(len(w.buf)),
+		MinTime: minT,
+		MaxTime: maxT,
+	}, nil
 }
 
 // segReader walks the segment image with bounds checking.
@@ -207,13 +258,18 @@ func (r *segReader) u64() (uint64, error) {
 	return binary.LittleEndian.Uint64(b), nil
 }
 
-// SegmentInfo summarizes a loaded segment.
+// SegmentInfo summarizes a written or loaded segment. MinTime/MaxTime are
+// the header's time_enter_ns range: empty (MinTime > MaxTime) when no row is
+// timed, and the unknown sentinel (MinInt64, MaxInt64) for version-1 files
+// that predate range stamping.
 type SegmentInfo struct {
 	Shards  int
 	Rows    int
 	Typed   int
 	Generic int
 	Bytes   int64
+	MinTime int64
+	MaxTime int64
 }
 
 // segMaxRows bounds the row-count fields so a corrupt header cannot drive
@@ -242,17 +298,33 @@ func ReadSegment(path string, fn func(gid int, ev *event.Event, doc []byte) erro
 	if [segMagicLen]byte(magic) != segMagic {
 		return info, fmt.Errorf("%w: bad magic", ErrCorruptSegment)
 	}
-	if v, _ := r.u8(); v != segVersion {
-		return info, fmt.Errorf("%w: unsupported version %d", ErrCorruptSegment, v)
+	ver, _ := r.u8()
+	if ver != segVersion && ver != segVersionV1 {
+		return info, fmt.Errorf("%w: unsupported version %d", ErrCorruptSegment, ver)
 	}
 	shards, _ := r.u32()
 	total, _ := r.u64()
 	typedN, _ := r.u64()
 	genericN, _ := r.u64()
+	minT, maxT := int64(math.MinInt64), int64(math.MaxInt64)
+	if ver >= segVersion {
+		mn, err := r.u64()
+		if err != nil {
+			return info, err
+		}
+		mx, err := r.u64()
+		if err != nil {
+			return info, err
+		}
+		minT, maxT = int64(mn), int64(mx)
+	}
 	if total > segMaxRows || typedN+genericN != total {
 		return info, fmt.Errorf("%w: implausible row counts %d=%d+%d", ErrCorruptSegment, total, typedN, genericN)
 	}
-	info = SegmentInfo{Shards: int(shards), Rows: int(total), Typed: int(typedN), Generic: int(genericN), Bytes: int64(len(data))}
+	info = SegmentInfo{
+		Shards: int(shards), Rows: int(total), Typed: int(typedN), Generic: int(genericN),
+		Bytes: int64(len(data)), MinTime: minT, MaxTime: maxT,
+	}
 
 	T := int(typedN)
 	gids := make([]int, T)

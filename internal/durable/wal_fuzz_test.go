@@ -38,9 +38,9 @@ func buildWAL(t testing.TB, payloads ...[]byte) []byte {
 func FuzzWALReplay(f *testing.F) {
 	valid := buildWAL(f, []byte("alpha"), []byte("beta"), bytes.Repeat([]byte("g"), 300), nil)
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])         // torn payload
-	f.Add(valid[:walHeaderLen-2])       // torn header
-	f.Add([]byte{})                     // empty log
+	f.Add(valid[:len(valid)-3])           // torn payload
+	f.Add(valid[:walHeaderLen-2])         // torn header
+	f.Add([]byte{})                       // empty log
 	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // garbage: absurd length field
 	flip := bytes.Clone(valid)
 	flip[walHeaderLen+1] ^= 0x40 // corrupt first payload

@@ -36,8 +36,8 @@ type Transport interface {
 	// *store.ReplSeqError (or an HTTP 409 carrying the same meaning).
 	Apply(ctx context.Context, index string, from int64, frames []store.ReplFrame) (int64, error)
 	// Bootstrap replaces the follower's index state wholesale, aligned to
-	// primary sequence seq.
-	Bootstrap(ctx context.Context, index string, seq int64, frames []store.ReplFrame) error
+	// the snapshot's primary sequence.
+	Bootstrap(ctx context.Context, index string, snap store.ReplSnapshot) error
 }
 
 // Config tunes a Replicator.
@@ -405,24 +405,24 @@ func (r *Replicator) resync(ctx context.Context, name string) error {
 // bootstrap ships the index's full state and aligns the follower to the
 // snapshot's head sequence.
 func (r *Replicator) bootstrap(ctx context.Context, name string) error {
-	frames, head, err := r.src.ReplBootstrapFrames(name, r.cfg.BootstrapRows)
+	snap, err := r.src.ReplBootstrapFrames(name, r.cfg.BootstrapRows)
 	if err != nil {
 		return err
 	}
 	_, err = r.push(ctx, func(c context.Context) (int64, error) {
-		return head, r.tr.Bootstrap(c, name, head, frames)
+		return snap.Seq, r.tr.Bootstrap(c, name, snap)
 	})
 	if err != nil {
 		return err
 	}
 	r.bootstraps.Add(1)
 	r.tmBootstraps.Inc()
-	for _, f := range frames {
+	for _, f := range snap.Frames {
 		r.shippedBytes.Add(uint64(len(f.Payload)))
 	}
-	r.shippedRecs.Add(uint64(len(frames)))
-	r.tmShippedRecs.Add(uint64(len(frames)))
-	r.acked[name] = head
+	r.shippedRecs.Add(uint64(len(snap.Frames)))
+	r.tmShippedRecs.Add(uint64(len(snap.Frames)))
+	r.acked[name] = snap.Seq
 	delete(r.cursors, name)
 	return nil
 }
@@ -504,6 +504,6 @@ func (t ClientTransport) Apply(ctx context.Context, index string, from int64, fr
 }
 
 // Bootstrap implements Transport.
-func (t ClientTransport) Bootstrap(ctx context.Context, index string, seq int64, frames []store.ReplFrame) error {
-	return t.C.ReplBootstrap(ctx, index, seq, frames)
+func (t ClientTransport) Bootstrap(ctx context.Context, index string, snap store.ReplSnapshot) error {
+	return t.C.ReplBootstrap(ctx, index, snap)
 }

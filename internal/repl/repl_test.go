@@ -198,14 +198,14 @@ func (f *faultTransport) Apply(ctx context.Context, index string, from int64, fr
 	return applied, err
 }
 
-func (f *faultTransport) Bootstrap(ctx context.Context, index string, seq int64, frames []store.ReplFrame) error {
+func (f *faultTransport) Bootstrap(ctx context.Context, index string, snap store.ReplSnapshot) error {
 	f.mu.Lock()
 	f.bootstrapCalls++
 	f.mu.Unlock()
 	if err := f.fault(); err != nil {
 		return err
 	}
-	return f.st.ReplBootstrap(ctx, index, seq, frames)
+	return f.st.ReplBootstrap(ctx, index, snap)
 }
 
 // hintedErr is a retryable failure carrying a Retry-After hint, as the HTTP

@@ -45,6 +45,16 @@ func (e *HTTPError) Temporary() bool {
 // RetryAfterHint returns the server-provided backoff, if any.
 func (e *HTTPError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
+// Unwrap maps well-known statuses back to their sentinel errors so remote
+// callers can errors.Is against the same values local callers see: 410 Gone
+// is the server-side mapping of ErrCursorExpired.
+func (e *HTTPError) Unwrap() error {
+	if e.Status == http.StatusGone {
+		return ErrCursorExpired
+	}
+	return nil
+}
+
 // maxErrorBody caps how much of an error response is read: enough for any
 // real error message, bounded against a misbehaving server.
 const maxErrorBody = 8 * 1024
@@ -347,9 +357,9 @@ func (c *Client) ReplApply(ctx context.Context, index string, from int64, frames
 }
 
 // ReplBootstrap ships a full-state snapshot of one index, aligned to primary
-// sequence seq, replacing whatever the follower held.
-func (c *Client) ReplBootstrap(ctx context.Context, index string, seq int64, frames []ReplFrame) error {
-	body, err := json.Marshal(replBootstrapRequest{Index: index, Seq: seq, Frames: frames})
+// sequence snap.Seq, replacing whatever the follower held.
+func (c *Client) ReplBootstrap(ctx context.Context, index string, snap ReplSnapshot) error {
+	body, err := json.Marshal(replBootstrapRequest{Index: index, ReplSnapshot: snap})
 	if err != nil {
 		return fmt.Errorf("encode repl bootstrap: %w", err)
 	}

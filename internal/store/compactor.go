@@ -1,0 +1,325 @@
+package store
+
+import (
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/durable"
+	"github.com/dsrhaslab/dio-go/internal/event"
+)
+
+// compactFanout is the leveled merge trigger: a run of this many adjacent
+// same-level segments merges into one segment at the next level, so N
+// flushes leave O(log N) segments and recovery/search touch a bounded list.
+const compactFanout = 4
+
+// Compact runs one maintenance pass over every durable index: leveled
+// segment compaction until no mergeable run remains, then a retention sweep
+// dropping cold segments wholly older than the configured horizon. The
+// background snapshot loop runs the same pass after each periodic snapshot;
+// this export is for operational use (and tests) on stores without a
+// snapshot interval. No-op on in-memory stores.
+func (s *Store) Compact() error { return s.maintain() }
+
+// maintain serializes maintenance passes: the exported Compact and the
+// snapshot loop must not interleave, or a retention sweep could delete input
+// files a concurrent merge is still reading (merges read lock-free — their
+// inputs stay manifest-listed for the duration only if no other maintainer
+// runs).
+func (s *Store) maintain() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	var first error
+	for _, ix := range s.allIndices() {
+		if ix.dur == nil {
+			continue
+		}
+		for {
+			merged, err := ix.compactOnce()
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
+			if !merged {
+				break
+			}
+		}
+		if err := ix.retainOnce(time.Now()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// planCompaction picks the first run of compactFanout adjacent same-level
+// segments (skipping v1-era metas whose row counts are unknown), or nil.
+func planCompaction(segs []durable.SegmentMeta) []durable.SegmentMeta {
+	for i := 0; i+compactFanout <= len(segs); i++ {
+		ok := true
+		for j := 0; j < compactFanout; j++ {
+			if segs[i+j].Level != segs[i].Level || segs[i+j].Rows < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			run := make([]durable.SegmentMeta, compactFanout)
+			copy(run, segs[i:i+compactFanout])
+			return run
+		}
+	}
+	return nil
+}
+
+// findRun locates run as a contiguous slice of cur (matched by sequence and
+// row count), or -1 — the commit-time revalidation that the planned inputs
+// are still exactly what the manifest lists.
+func findRun(cur, run []durable.SegmentMeta) int {
+	for i := 0; i+len(run) <= len(cur); i++ {
+		if cur[i].Seq != run[0].Seq {
+			continue
+		}
+		for j := range run {
+			if cur[i+j].Seq != run[j].Seq || cur[i+j].Rows != run[j].Rows {
+				return -1
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// docTimeExtract recovers a stored generic document's time_enter_ns for the
+// merge writer's pruning range.
+func docTimeExtract(b []byte) (int64, bool) {
+	var d Document
+	if err := decodeGob(b, &d); err != nil {
+		return 0, false
+	}
+	if f, ok := numeric(d[FieldTimeEnter]); ok {
+		return int64(f), true
+	}
+	return 0, false
+}
+
+// compactOnce merges one planned run and commits the replacement, returning
+// whether a merge happened. The expensive read+write runs outside all locks
+// against immutable committed files; only the output-sequence claim and the
+// manifest commit take the exclusive gate. A crash after the segment write
+// but before the commit leaves an orphan file recovery's CleanOrphans
+// removes; a concurrent layout change (another flush landed mid-merge is
+// fine — the run is revalidated, and a vanished run just abandons the
+// output).
+func (ix *Index) compactOnce() (bool, error) {
+	d := ix.dur
+	d.gate.RLock()
+	run := planCompaction(*d.segs.Load())
+	d.gate.RUnlock()
+	if run == nil {
+		return false, nil
+	}
+	d.gate.Lock()
+	outSeq := d.segSeq
+	d.segSeq++
+	d.gate.Unlock()
+	// Snapshot the pending overlay: merged-in rewrites stop needing their
+	// overlay entries, but only if the map didn't grow mid-merge (pendVer
+	// detects that; the entries then survive to the next pass — harmless,
+	// re-applying a rewrite is idempotent).
+	d.pendMu.Lock()
+	ver := d.pendVer
+	var overlayMap map[int]Document
+	if len(d.pending) > 0 {
+		overlayMap = make(map[int]Document, len(d.pending))
+		for g, doc := range d.pending {
+			overlayMap[g] = doc
+		}
+	}
+	d.pendMu.Unlock()
+	var overlay durable.RewriteOverlay
+	if overlayMap != nil {
+		overlay = func(gid int64, ev *event.Event, doc []byte) (durable.SegmentRow, bool, error) {
+			d2, ok := overlayMap[int(gid)]
+			if !ok {
+				return durable.SegmentRow{}, false, nil
+			}
+			if ev != nil {
+				// Typed rows stay typed: the rewrite goes back through the
+				// schema, exactly like the live UpdateByQuery write-back.
+				e := DocToEvent(d2)
+				return durable.SegmentRow{Event: &e}, true, nil
+			}
+			b, err := encodeGob(d2)
+			if err != nil {
+				return durable.SegmentRow{}, false, err
+			}
+			r := durable.SegmentRow{Doc: b}
+			if f, ok := numeric(d2[FieldTimeEnter]); ok {
+				r.DocTime, r.DocTimed = int64(f), true
+			}
+			return r, true, nil
+		}
+	}
+	merged, err := durable.MergeSegments(d.dir, run, outSeq, len(ix.shards), overlay, docTimeExtract)
+	if err != nil {
+		durable.RemoveSegment(d.dir, outSeq)
+		return false, err
+	}
+	d.gate.Lock()
+	cur := *d.segs.Load()
+	lo := findRun(cur, run)
+	if lo < 0 {
+		d.gate.Unlock()
+		durable.RemoveSegment(d.dir, outSeq)
+		return false, nil
+	}
+	d.pendMu.Lock()
+	fold := d.pendVer == ver
+	d.pendMu.Unlock()
+	inMerged := func(gid int) bool {
+		return int64(gid) >= merged.StartRow && int64(gid) < merged.EndRow
+	}
+	blob, err := d.pendingBlob(func(gid int) bool { return fold && inMerged(gid) })
+	if err != nil {
+		d.gate.Unlock()
+		durable.RemoveSegment(d.dir, outSeq)
+		return false, err
+	}
+	newSegs := make([]durable.SegmentMeta, 0, len(cur)-len(run)+1)
+	newSegs = append(newSegs, cur[:lo]...)
+	newSegs = append(newSegs, merged)
+	newSegs = append(newSegs, cur[lo+len(run):]...)
+	m := durable.Manifest{
+		Shards:         len(ix.shards),
+		WALSeq:         d.walSeq,
+		SegmentSeq:     d.segSeq,
+		Segments:       newSegs,
+		BaseSeq:        d.baseSeq,
+		ReplOffset:     d.replOff.Load(),
+		RetentionFloor: ix.retFloor.Load(),
+		Rewrites:       blob,
+	}
+	if err := durable.CommitManifest(d.dir, m); err != nil {
+		d.gate.Unlock()
+		durable.RemoveSegment(d.dir, outSeq)
+		return false, err
+	}
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+	}
+	d.publishSegsLocked(ix, newSegs)
+	for i := len(ix.shards) - 1; i >= 0; i-- {
+		ix.shards[i].mu.Unlock()
+	}
+	if fold {
+		// Still under the exclusive gate, so no writer can add a fresh entry
+		// between the committed blob and this deletion.
+		d.pendMu.Lock()
+		for g := range d.pending {
+			if inMerged(g) {
+				delete(d.pending, g)
+			}
+		}
+		d.pendMu.Unlock()
+	}
+	d.gate.Unlock()
+	// Input files are unreferenced by the committed manifest and every reader
+	// that could hold the old list has finished (the publication held all
+	// shard write locks).
+	for _, sm := range run {
+		durable.RemoveSegment(d.dir, sm.Seq)
+	}
+	d.tm.compactions.Inc()
+	return true, nil
+}
+
+// retainOnce drops every cold segment whose entire stamped time range is
+// older than the retention horizon, advancing the retention floor (which
+// expires unsorted paging cursors below it) and garbage-collecting pending
+// rewrites no kept segment covers. Compaction never changes visible data;
+// this does — so the commit brackets an epoch bump, invalidating every
+// cached query response that predates the drop.
+func (ix *Index) retainOnce(now time.Time) error {
+	d := ix.dur
+	if d.retention <= 0 {
+		return nil
+	}
+	cutoff := now.UnixNano() - int64(d.retention)
+	d.gate.Lock()
+	cur := *d.segs.Load()
+	base := ix.base.Load()
+	var keep, dropped []durable.SegmentMeta
+	for _, sm := range cur {
+		old := sm.EndRow <= base && !sm.TimeUnknown() &&
+			sm.MinTime <= sm.MaxTime && sm.MaxTime < cutoff
+		if old {
+			dropped = append(dropped, sm)
+		} else {
+			keep = append(keep, sm)
+		}
+	}
+	if len(dropped) == 0 {
+		d.gate.Unlock()
+		return nil
+	}
+	floor := ix.retFloor.Load()
+	for _, sm := range dropped {
+		if sm.EndRow > floor {
+			floor = sm.EndRow
+		}
+	}
+	// A pending rewrite survives only if a kept segment still holds its row;
+	// coverage (not membership in this pass's drops) also collects strays
+	// from rows dropped in earlier passes.
+	covered := func(gid int) bool {
+		for _, sm := range keep {
+			if int64(gid) >= sm.StartRow && int64(gid) < sm.EndRow {
+				return true
+			}
+		}
+		return false
+	}
+	blob, err := d.pendingBlob(func(gid int) bool { return !covered(gid) })
+	if err != nil {
+		d.gate.Unlock()
+		return err
+	}
+	m := durable.Manifest{
+		Shards:         len(ix.shards),
+		WALSeq:         d.walSeq,
+		SegmentSeq:     d.segSeq,
+		Segments:       keep,
+		BaseSeq:        d.baseSeq,
+		ReplOffset:     d.replOff.Load(),
+		RetentionFloor: floor,
+		Rewrites:       blob,
+	}
+	if err := durable.CommitManifest(d.dir, m); err != nil {
+		d.gate.Unlock()
+		return err
+	}
+	ix.epoch.Add(1)
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+	}
+	ix.retFloor.Store(floor)
+	d.publishSegsLocked(ix, keep)
+	for i := len(ix.shards) - 1; i >= 0; i-- {
+		ix.shards[i].mu.Unlock()
+	}
+	d.pendMu.Lock()
+	for g := range d.pending {
+		if !covered(g) {
+			delete(d.pending, g)
+		}
+	}
+	d.pendMu.Unlock()
+	d.gate.Unlock()
+	ix.epoch.Add(1)
+	for _, sm := range dropped {
+		durable.RemoveSegment(d.dir, sm.Seq)
+	}
+	d.tm.retentionDrops.Add(uint64(len(dropped)))
+	return nil
+}

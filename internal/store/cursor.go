@@ -21,6 +21,14 @@ import (
 // errBadSearchAfter rejects malformed cursors; the HTTP layer maps it to 400.
 var errBadSearchAfter = errors.New("store: invalid search_after cursor")
 
+// ErrCursorExpired rejects an unsorted (insertion-order) cursor whose resume
+// position precedes the retention floor: rows past it may have been dropped
+// by the retention horizon, so resuming would silently skip data. The HTTP
+// layer maps it to 410 Gone; clients restart the walk from the beginning.
+// Sorted cursors resume by sort key and never expire — a concurrent drop
+// only shrinks the remaining result set.
+var ErrCursorExpired = errors.New("store: search_after cursor expired: rows beyond it were dropped by retention")
+
 // searchCursor is a parsed SearchAfter: the boundary row's sort-key values
 // and its global id.
 type searchCursor struct {

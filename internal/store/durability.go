@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,60 +46,89 @@ type walRewrite struct {
 // (the telemetry package's zero instruments discard observations), so the
 // in-memory store carries a nil pointer at zero cost.
 type durTelemetry struct {
-	appendNS   *telemetry.Histogram
-	fsyncNS    *telemetry.Histogram
-	appends    *telemetry.Counter
-	walBytes   *telemetry.Counter
-	fsyncs     *telemetry.Counter
-	snapshots  *telemetry.Counter
-	snapshotNS *telemetry.Histogram
-	recoveryNS *telemetry.Histogram
-	replayedB  *telemetry.Counter
-	replayedE  *telemetry.Counter
-	tornTails  *telemetry.Counter
+	appendNS       *telemetry.Histogram
+	fsyncNS        *telemetry.Histogram
+	appends        *telemetry.Counter
+	walBytes       *telemetry.Counter
+	fsyncs         *telemetry.Counter
+	snapshots      *telemetry.Counter
+	snapshotNS     *telemetry.Histogram
+	recoveryNS     *telemetry.Histogram
+	replayedB      *telemetry.Counter
+	replayedE      *telemetry.Counter
+	tornTails      *telemetry.Counter
+	compactions    *telemetry.Counter
+	retentionDrops *telemetry.Counter
 }
 
 func newDurTelemetry(reg *telemetry.Registry) *durTelemetry {
 	return &durTelemetry{
-		appendNS:   reg.Histogram(telemetry.MetricWALAppendNS, "one WAL record append", nil),
-		fsyncNS:    reg.Histogram(telemetry.MetricWALFsyncNS, "one WAL fsync", nil),
-		appends:    reg.Counter(telemetry.MetricWALAppends, "WAL records appended"),
-		walBytes:   reg.Counter(telemetry.MetricWALBytes, "WAL bytes appended"),
-		fsyncs:     reg.Counter(telemetry.MetricWALFsyncs, "WAL fsyncs issued"),
-		snapshots:  reg.Counter(telemetry.MetricSnapshots, "segment snapshots committed"),
-		snapshotNS: reg.Histogram(telemetry.MetricSnapshotNS, "one segment snapshot", nil),
-		recoveryNS: reg.Histogram(telemetry.MetricRecoveryNS, "one index recovery", nil),
-		replayedB:  reg.Counter(telemetry.MetricReplayedBatches, "WAL batches replayed during recovery"),
-		replayedE:  reg.Counter(telemetry.MetricReplayedEvents, "rows rebuilt from replayed WAL batches"),
-		tornTails:  reg.Counter(telemetry.MetricWALTornTails, "torn WAL tails truncated during recovery"),
+		appendNS:       reg.Histogram(telemetry.MetricWALAppendNS, "one WAL record append", nil),
+		fsyncNS:        reg.Histogram(telemetry.MetricWALFsyncNS, "one WAL fsync", nil),
+		appends:        reg.Counter(telemetry.MetricWALAppends, "WAL records appended"),
+		walBytes:       reg.Counter(telemetry.MetricWALBytes, "WAL bytes appended"),
+		fsyncs:         reg.Counter(telemetry.MetricWALFsyncs, "WAL fsyncs issued"),
+		snapshots:      reg.Counter(telemetry.MetricSnapshots, "segment snapshots committed"),
+		snapshotNS:     reg.Histogram(telemetry.MetricSnapshotNS, "one segment snapshot", nil),
+		recoveryNS:     reg.Histogram(telemetry.MetricRecoveryNS, "one index recovery", nil),
+		replayedB:      reg.Counter(telemetry.MetricReplayedBatches, "WAL batches replayed during recovery"),
+		replayedE:      reg.Counter(telemetry.MetricReplayedEvents, "rows rebuilt from replayed WAL batches"),
+		tornTails:      reg.Counter(telemetry.MetricWALTornTails, "torn WAL tails truncated during recovery"),
+		compactions:    reg.Counter(telemetry.MetricCompactions, "segment compaction merges committed"),
+		retentionDrops: reg.Counter(telemetry.MetricRetentionDrops, "segments dropped by the retention horizon"),
 	}
 }
 
 // indexDurable is one index's durability state. Lock order: ubqMu → gate →
-// shard locks → appendMu; the WAL's own mutex nests innermost.
+// shard locks → appendMu; the WAL's own mutex nests innermost. pendMu is a
+// leaf taken under gate.RLock by writers, so holding the exclusive gate
+// alone already excludes every pending-map mutator.
 //
 // The gate makes snapshots consistent: every mutating operation (bulk adds,
 // update-by-query) holds gate.RLock across both its WAL append and its
 // in-memory application, so when snapshot takes gate.Lock, memory state
 // equals exactly the state the WAL prefix reproduces — the invariant that
 // lets the snapshot atomically supersede the log.
+//
+// Tiered layout: committed rows live in the immutable leveled segment list
+// (segs); rows below the index's base are cold (segment-only, evicted from
+// shard memory when retention is on), rows at or above it are hot (shard
+// memory at memgid = gid - base). Every segment-list publication happens
+// under the exclusive gate plus every shard write lock; searches capture
+// (base, segs, pending) after taking all shard read locks, so a consistent
+// cut needs no segment refcounts — obsolete files are deleted only after
+// those locks release.
 type indexDurable struct {
-	dir   string
-	fsync FsyncPolicy
-	tm    *durTelemetry
+	dir       string
+	fsync     FsyncPolicy
+	tm        *durTelemetry
+	retention time.Duration // drop whole cold segments older than this (0 = keep forever)
 
-	gate     sync.RWMutex // writers share; snapshot excludes
+	gate     sync.RWMutex // writers share; snapshot/compaction/retention exclude
 	appendMu sync.Mutex   // serializes WAL append + gid reservation
 	ubqMu    sync.Mutex   // serializes update-by-query journaling
 
-	wal        *durable.WAL
-	walSeq     int
-	segSeq     int
-	hasSegment bool
-	segRows    int
+	wal    *durable.WAL
+	walSeq int
+	segSeq int // next unused segment sequence (== manifest SegmentSeq)
+
+	// segs is the committed leveled segment list in ascending row order,
+	// published atomically so searches read it lock-free. The pointed-to slice
+	// is immutable; every change installs a fresh slice.
+	segs atomic.Pointer[[]durable.SegmentMeta]
+
+	// pending is the post-flush rewrite overlay: update-by-query effects on
+	// rows already folded into segments. Cold reads, compaction merges, and
+	// replication bootstraps substitute these documents for the stored rows;
+	// the map persists in the manifest (Manifest.Rewrites) and is rebuilt by
+	// recovery. pendVer detects concurrent growth so compaction only clears
+	// entries it actually folded into its output.
+	pendMu  sync.Mutex
+	pending map[int]Document
+	pendVer uint64
 
 	// Replication sequence accounting. Every journaled record gets the next
-	// sequence number; the segment holds [0, baseSeq), the live WAL holds
+	// sequence number; the segments hold [0, baseSeq), the live WAL holds
 	// [baseSeq, recSeq). baseSeq is gate-guarded (it only moves under the
 	// snapshot's exclusive gate); recSeq is bumped inside appendMu so sequence
 	// order equals WAL record order.
@@ -113,9 +143,100 @@ type indexDurable struct {
 
 	dirty     atomic.Int64 // records appended since the last snapshot
 	unsynced  atomic.Bool  // bytes appended since the last fsync
-	segGauge  atomic.Bool  // hasSegment, readable without the gate
 	lastFsync atomic.Int64 // unix ns of the last completed fsync (0 = never)
 	lastSnap  atomic.Int64 // unix ns of the last committed snapshot (0 = never)
+}
+
+// segsEnd returns one past the last row any listed segment covers (0 with
+// no segments).
+func segsEnd(segs []durable.SegmentMeta) int64 {
+	if len(segs) == 0 {
+		return 0
+	}
+	return segs[len(segs)-1].EndRow
+}
+
+// coldRowCount sums the rows of segments wholly below base — the rows only
+// reachable through segment files, which Len must count on top of shard
+// memory.
+func coldRowCount(segs []durable.SegmentMeta, base int64) int64 {
+	var n int64
+	for _, sm := range segs {
+		if sm.EndRow <= base {
+			n += sm.Rows
+		}
+	}
+	return n
+}
+
+// flushStart is the first row id the next flush must write: everything the
+// segments already cover, floored at the eviction base — retention can drop
+// the last cold segment, and flushing from the raw segment end would then
+// reach below the base into rows that no longer exist in shard memory.
+func (d *indexDurable) flushStart(ix *Index) int64 {
+	fs := segsEnd(*d.segs.Load())
+	if b := ix.base.Load(); b > fs {
+		fs = b
+	}
+	return fs
+}
+
+// publishSegsLocked installs a new segment list and recomputes the cold-row
+// count. Caller holds the exclusive gate and every shard write lock (the
+// publication point of the no-refcount reader protocol).
+func (d *indexDurable) publishSegsLocked(ix *Index, segs []durable.SegmentMeta) {
+	d.segs.Store(&segs)
+	ix.coldRows.Store(coldRowCount(segs, ix.base.Load()))
+}
+
+// pendingOverlay copies the pending rewrite map for a lock-free read pass
+// (nil when empty).
+func (d *indexDurable) pendingOverlay() map[int]Document {
+	d.pendMu.Lock()
+	defer d.pendMu.Unlock()
+	if len(d.pending) == 0 {
+		return nil
+	}
+	out := make(map[int]Document, len(d.pending))
+	for g, doc := range d.pending {
+		out[g] = doc
+	}
+	return out
+}
+
+// addPending records post-flush rewrites into the overlay. Caller holds
+// gate.RLock (the pendVer bump must be ordered against compaction's
+// clear-if-unchanged check, which runs under the exclusive gate).
+func (d *indexDurable) addPending(rws []walRewrite) {
+	d.pendMu.Lock()
+	if d.pending == nil {
+		d.pending = make(map[int]Document, len(rws))
+	}
+	for _, r := range rws {
+		d.pending[r.Gid] = r.Doc
+	}
+	d.pendVer++
+	d.pendMu.Unlock()
+}
+
+// pendingBlob serializes the pending overlay (minus entries drop selects)
+// for a manifest commit, sorted by gid so identical states encode
+// identically. Returns nil bytes for an empty overlay.
+func (d *indexDurable) pendingBlob(drop func(gid int) bool) ([]byte, error) {
+	d.pendMu.Lock()
+	rws := make([]walRewrite, 0, len(d.pending))
+	for g, doc := range d.pending {
+		if drop != nil && drop(g) {
+			continue
+		}
+		rws = append(rws, walRewrite{Gid: g, Doc: doc})
+	}
+	d.pendMu.Unlock()
+	if len(rws) == 0 {
+		return nil, nil
+	}
+	sort.Slice(rws, func(i, j int) bool { return rws[i].Gid < rws[j].Gid })
+	return encodeGob(rws)
 }
 
 // encodePool recycles WAL payload scratch buffers across appends.
@@ -213,47 +334,60 @@ type sliceRows []durable.SegmentRow
 func (r sliceRows) NumRows() int                 { return len(r) }
 func (r sliceRows) Row(i int) durable.SegmentRow { return r[i] }
 
-// rowSource snapshots the index's rows in global-id order for the segment
-// writer. Typed rows are referenced in place (the snapshot gate excludes
-// every mutator for the duration of the write); generic documents are
-// gob-encoded now, under the shard read locks.
-func (ix *Index) rowSource() (durable.RowSource, int, error) {
+// flushRows snapshots rows [start, head) in global-id order for the segment
+// writer. Typed rows are referenced in place; generic documents are
+// gob-encoded now and stamped with their time_enter_ns so the segment's
+// pruning range covers them. No shard locks are taken: the caller holds the
+// exclusive snapshot gate, which excludes every row mutator (adds, replays,
+// update-by-query), and concurrent searches only read.
+func (ix *Index) flushRows(start, head int) (durable.RowSource, error) {
 	S := len(ix.shards)
-	n := ix.Len()
-	rows := make([]durable.SegmentRow, n)
-	for s, sh := range ix.shards {
-		sh.mu.RLock()
-		for local := range sh.docs {
-			g := local*S + s
-			if d := sh.docs[local]; d != nil {
-				b, err := encodeGob(d)
-				if err != nil {
-					sh.mu.RUnlock()
-					return nil, 0, err
-				}
-				rows[g] = durable.SegmentRow{Doc: b}
-			} else {
-				rows[g] = durable.SegmentRow{Event: &sh.events[local]}
+	base := int(ix.base.Load())
+	rows := make([]durable.SegmentRow, head-start)
+	for g := start; g < head; g++ {
+		mg := g - base
+		sh := ix.shards[mg%S]
+		local := mg / S
+		if d := sh.docs[local]; d != nil {
+			b, err := encodeGob(d)
+			if err != nil {
+				return nil, err
 			}
+			r := durable.SegmentRow{Doc: b}
+			if f, ok := numeric(d[FieldTimeEnter]); ok {
+				r.DocTime, r.DocTimed = int64(f), true
+			}
+			rows[g-start] = r
+		} else {
+			rows[g-start] = durable.SegmentRow{Event: &sh.events[local]}
 		}
-		sh.mu.RUnlock()
 	}
-	return sliceRows(rows), n, nil
+	return sliceRows(rows), nil
 }
 
-// snapshot writes a columnar segment of the index's current rows and
-// supersedes the WAL. The sequence is crash-atomic at every step:
+// snapshot folds the live WAL into the leveled segment layout: it writes a
+// new level-0 segment of every row past the flush start, commits a manifest
+// appending it to the segment list, and supersedes the WAL. The sequence is
+// crash-atomic at every step:
 //
 //  1. create the next WAL file (empty; an orphan from a previous crash is
 //     truncated away),
-//  2. write the segment to a temporary file, fsync, rename into place,
-//  3. commit the manifest naming (new segment, new WAL) — the atomic
-//     commit point: before this rename recovery uses the old pair, after
-//     it the new,
-//  4. swap the live WAL handle and delete the superseded files.
+//  2. write the new segment to a temporary file, fsync, rename into place,
+//  3. commit the manifest naming (segment list, new WAL, pending-rewrite
+//     overlay) — the atomic commit point: before this rename recovery uses
+//     the old state, after it the new,
+//  4. swap the live WAL handle, publish the new segment list, and delete the
+//     superseded files.
 //
-// Searches proceed concurrently (the writer takes only read locks); writers
-// wait on the gate, which also guarantees memory state == WAL state.
+// With retention enabled the flush also evicts: every shard's row storage is
+// cleared in place and the index base advances to the head, so shard memory
+// holds only rows newer than the last flush — the bounded-RSS mode. The
+// eviction changes no visible data (the rows remain readable through the
+// cold path), so the index epoch does not move.
+//
+// Searches proceed concurrently until the final publication (the writer
+// takes shard write locks only for the list/base swap); writers wait on the
+// gate, which also guarantees memory state == WAL state.
 func (d *indexDurable) snapshot(ix *Index, force bool) error {
 	if d.dirty.Load() == 0 && !force {
 		return nil
@@ -261,36 +395,60 @@ func (d *indexDurable) snapshot(ix *Index, force bool) error {
 	startT := time.Now()
 	d.gate.Lock()
 	defer d.gate.Unlock()
-	newWALSeq, newSegSeq := d.walSeq+1, d.segSeq+1
+	newWALSeq := d.walSeq + 1
 	newWALPath := filepath.Join(d.dir, durable.WALName(newWALSeq))
 	os.Remove(newWALPath)
 	newWAL, err := durable.OpenWAL(newWALPath)
 	if err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	src, rows, err := ix.rowSource()
+	segs := *d.segs.Load()
+	base := ix.base.Load()
+	fs := d.flushStart(ix)
+	head := int64(ix.rr.Load())
+	newSegs := segs
+	if head > fs {
+		src, err := ix.flushRows(int(fs), int(head))
+		if err != nil {
+			newWAL.Close()
+			return err
+		}
+		seq := d.segSeq
+		info, err := durable.WriteSegment(filepath.Join(d.dir, durable.SegmentName(seq)), len(ix.shards), src)
+		if err != nil {
+			newWAL.Close()
+			return err
+		}
+		// Claimed only after the write succeeded; a crash between here and the
+		// manifest commit leaves an orphan file recovery's CleanOrphans removes.
+		d.segSeq++
+		meta := durable.SegmentMeta{
+			Seq: seq, Level: 0,
+			Rows: head - fs, StartRow: fs, EndRow: head,
+			MinTime: info.MinTime, MaxTime: info.MaxTime,
+			Bytes: info.Bytes, Generic: int64(info.Generic),
+		}
+		newSegs = append(append([]durable.SegmentMeta(nil), segs...), meta)
+	}
+	// Under the exclusive gate no writer is mid-append, so recSeq is the exact
+	// sequence of the flushed rows' last record + 1: the new (empty) WAL's
+	// records will carry sequences from there, which BaseSeq records for
+	// recovery and the replication tail reader.
+	headSeq := d.recSeq.Load()
+	blob, err := d.pendingBlob(nil)
 	if err != nil {
 		newWAL.Close()
 		return err
 	}
-	segPath := filepath.Join(d.dir, durable.SegmentName(newSegSeq))
-	if _, err := durable.WriteSegment(segPath, len(ix.shards), src); err != nil {
-		newWAL.Close()
-		return err
-	}
-	// Under the exclusive gate no writer is mid-append, so recSeq is the exact
-	// sequence of the segment's last record + 1: the new (empty) WAL's records
-	// will carry sequences from there, which BaseSeq records for recovery and
-	// the replication tail reader.
-	headSeq := d.recSeq.Load()
 	m := durable.Manifest{
-		Version:    1,
-		Shards:     len(ix.shards),
-		WALSeq:     newWALSeq,
-		SegmentSeq: newSegSeq,
-		HasSegment: true,
-		BaseSeq:    headSeq,
-		ReplOffset: d.replOff.Load(),
+		Shards:         len(ix.shards),
+		WALSeq:         newWALSeq,
+		SegmentSeq:     d.segSeq,
+		Segments:       newSegs,
+		BaseSeq:        headSeq,
+		ReplOffset:     d.replOff.Load(),
+		RetentionFloor: ix.retFloor.Load(),
+		Rewrites:       blob,
 	}
 	if err := durable.CommitManifest(d.dir, m); err != nil {
 		newWAL.Close()
@@ -300,10 +458,34 @@ func (d *indexDurable) snapshot(ix *Index, force bool) error {
 	old := d.wal
 	d.wal = newWAL
 	d.appendMu.Unlock()
-	d.walSeq, d.segSeq, d.hasSegment, d.segRows = newWALSeq, newSegSeq, true, rows
+	d.walSeq = newWALSeq
 	d.baseSeq = headSeq
 	d.dirty.Store(0)
-	d.segGauge.Store(true)
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+	}
+	if d.retention > 0 && head > base {
+		// Evict: the rows just flushed (and any older hot rows) are now
+		// segment-backed; clear shard storage in place and advance the base.
+		for _, sh := range ix.shards {
+			sh.docs = nil
+			sh.events = nil
+			sh.cols = nil
+			p := make(map[string]map[string][]int32, len(indexedFields))
+			for _, f := range indexedFields {
+				p[f] = make(map[string][]int32)
+			}
+			sh.postings = p
+			if sh.rollup != nil {
+				*sh.rollup = *newShardRollup(sh.rollup.base)
+			}
+		}
+		ix.base.Store(head)
+	}
+	d.publishSegsLocked(ix, newSegs)
+	for i := len(ix.shards) - 1; i >= 0; i-- {
+		ix.shards[i].mu.Unlock()
+	}
 	d.lastSnap.Store(time.Now().UnixNano())
 	if err := old.Close(); err != nil {
 		return err
@@ -357,15 +539,26 @@ func (s *Store) newDurableIndex(name string) (*Index, error) {
 	ix := newIndexSized(name, s.opts.shards, s.opts.rollupBase)
 	ix.dur = &indexDurable{
 		dir: dir, fsync: s.opts.fsync, tm: s.dtm, wal: w,
-		tail: newReplTail(s.opts.replTailBytes, &s.replArmed),
+		retention: s.opts.retention,
+		tail:      newReplTail(s.opts.replTailBytes, &s.replArmed),
 	}
+	empty := []durable.SegmentMeta{}
+	ix.dur.segs.Store(&empty)
 	return ix, nil
 }
 
-// recoverIndex rebuilds one index from its directory: committed segment
-// first (when the manifest names one), then WAL replay on top, with torn
-// tails truncated. The row count afterwards satisfies the recovery
-// conservation invariant: rows == segment rows + replayed WAL rows.
+// recoverIndex rebuilds one index from its directory: manifest, then the
+// leveled segments, then the pending-rewrite overlay, then WAL replay on
+// top, with torn tails truncated. The row count afterwards satisfies the
+// generalized conservation invariant: rows == Σ segment rows + replayed WAL
+// rows.
+//
+// Two loading styles exist. Hot-style (no retention, dense segment list)
+// loads every segment row back into shard memory, reproducing the
+// all-in-memory layout. Cold-style (retention configured, a retention floor
+// recorded, or a sparse list — any sign rows were dropped) leaves segments
+// on disk, starts the memtable at the segment end, and lets the tiered read
+// path serve the cold rows.
 func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 	startT := time.Now()
 	m, committed, err := durable.LoadManifest(dir)
@@ -379,21 +572,77 @@ func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 	ix := newIndexSized(name, shards, s.opts.rollupBase)
 	d := &indexDurable{
 		dir: dir, fsync: s.opts.fsync, tm: s.dtm,
-		tail: newReplTail(s.opts.replTailBytes, &s.replArmed),
+		retention: s.opts.retention,
+		tail:      newReplTail(s.opts.replTailBytes, &s.replArmed),
 	}
+	// Attached before any row loads: the rewrite-overlay apply below reads
+	// segment state and the pending map through ix.dur. Single-threaded here,
+	// no WAL open yet.
+	ix.dur = d
+	empty := []durable.SegmentMeta{}
+	d.segs.Store(&empty)
 	if committed {
-		d.walSeq, d.segSeq, d.hasSegment = m.WALSeq, m.SegmentSeq, m.HasSegment
+		d.walSeq, d.segSeq = m.WALSeq, m.SegmentSeq
 		d.baseSeq = m.BaseSeq
 		d.replOff.Store(m.ReplOffset)
+		ix.retFloor.Store(m.RetentionFloor)
 	}
-	if d.hasSegment {
-		info, err := durable.ReadSegment(filepath.Join(dir, durable.SegmentName(d.segSeq)), ix.placeRecoveredRow)
-		if err != nil {
+	segs := append([]durable.SegmentMeta(nil), m.Segments...)
+	coldStyle := s.opts.retention > 0 || m.RetentionFloor > 0 || !m.Contiguous()
+	if coldStyle {
+		// Rows stay on disk. Fix up any v1-era meta (row count unknown) by
+		// reading its file once, seed the generic-row count from the metas,
+		// and start the memtable at the segment end. Every referenced file
+		// must exist NOW: a manifest naming a missing segment is corruption
+		// recovery reports immediately, not on the first cold query.
+		for i := range segs {
+			sm := &segs[i]
+			if _, serr := os.Stat(filepath.Join(dir, durable.SegmentName(sm.Seq))); serr != nil {
+				return nil, fmt.Errorf("store: recover %q: manifest references segment %d: %w", name, sm.Seq, serr)
+			}
+			if sm.Rows < 0 {
+				info, rerr := durable.ReadSegment(filepath.Join(dir, durable.SegmentName(sm.Seq)),
+					func(int, *event.Event, []byte) error { return nil })
+				if rerr != nil {
+					return nil, fmt.Errorf("store: recover %q: %w", name, rerr)
+				}
+				sm.Rows, sm.EndRow = int64(info.Rows), sm.StartRow+int64(info.Rows)
+				sm.MinTime, sm.MaxTime = info.MinTime, info.MaxTime
+				sm.Bytes, sm.Generic = info.Bytes, int64(info.Generic)
+			}
+			ix.generic.Add(sm.Generic)
+		}
+		base := segsEnd(segs)
+		ix.base.Store(base)
+		ix.rr.Store(uint64(base))
+	} else {
+		for i := range segs {
+			sm := &segs[i]
+			info, rerr := durable.ReadSegment(filepath.Join(dir, durable.SegmentName(sm.Seq)),
+				func(gid int, ev *event.Event, doc []byte) error {
+					return ix.placeRecoveredRow(int(sm.StartRow)+gid, ev, doc)
+				})
+			if rerr != nil {
+				return nil, fmt.Errorf("store: recover %q: %w", name, rerr)
+			}
+			if sm.Rows < 0 {
+				sm.Rows, sm.EndRow = int64(info.Rows), sm.StartRow+int64(info.Rows)
+				sm.MinTime, sm.MaxTime = info.MinTime, info.MaxTime
+				sm.Bytes, sm.Generic = info.Bytes, int64(info.Generic)
+			}
+		}
+		ix.rr.Store(uint64(segsEnd(segs)))
+	}
+	d.segs.Store(&segs)
+	ix.coldRows.Store(coldRowCount(segs, ix.base.Load()))
+	if len(m.Rewrites) > 0 {
+		var rws []walRewrite
+		if err := decodeGob(m.Rewrites, &rws); err != nil {
+			return nil, fmt.Errorf("store: recover %q: pending rewrites: %w", name, err)
+		}
+		if err := ix.applyRewrites(rws); err != nil {
 			return nil, fmt.Errorf("store: recover %q: %w", name, err)
 		}
-		d.segRows = info.Rows
-		ix.rr.Store(uint64(info.Rows))
-		d.segGauge.Store(true)
 	}
 	walPath := filepath.Join(dir, durable.WALName(d.walSeq))
 	replayedRows := 0
@@ -413,7 +662,7 @@ func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 	// snapshot right after recovery would no-op and the WAL would grow
 	// forever across restarts).
 	d.dirty.Store(int64(stats.Records))
-	// The head sequence is re-derived, not stored: the segment ends at
+	// The head sequence is re-derived, not stored: the segments end at
 	// BaseSeq and the live WAL carries exactly stats.Records records past it.
 	// On a follower, the applied primary sequence is the head plus the
 	// bootstrap offset — which is exactly the replication resume point, so a
@@ -423,21 +672,25 @@ func (s *Store) recoverIndex(name, dir string) (*Index, error) {
 	ix.replSeq.Store(d.replOff.Load() + d.recSeq.Load())
 	s.dtm.replayedB.Add(uint64(stats.Records))
 	s.dtm.replayedE.Add(uint64(replayedRows))
-	durable.CleanOrphans(dir, durable.Manifest{WALSeq: d.walSeq, SegmentSeq: d.segSeq, HasSegment: d.hasSegment})
+	// Orphan cleanup runs against the loaded manifest — the committed segment
+	// list — never a reconstruction, so a multi-segment layout can never have
+	// live files mistaken for orphans. (A compaction output claimed but not
+	// committed before a crash is exactly what this removes.)
+	durable.CleanOrphans(dir, m)
 	w, err := durable.OpenWAL(walPath)
 	if err != nil {
 		return nil, err
 	}
 	d.wal = w
-	ix.dur = d
 	s.dtm.recoveryNS.Observe(float64(time.Since(startT)))
 	return ix, nil
 }
 
-// placeRecoveredRow inserts one segment row. Segment rows arrive in
-// ascending contiguous gid order, so each lands exactly at its shard's
-// append position — verified, since placement integrity is what keeps gid
-// arithmetic (gid = local*S + shard) valid for the WAL replay that follows.
+// placeRecoveredRow inserts one segment row during hot-style recovery.
+// Segment rows arrive in ascending contiguous gid order, so each lands
+// exactly at its shard's append position — verified, since placement
+// integrity is what keeps gid arithmetic (gid = local*S + shard, base 0)
+// valid for the WAL replay that follows.
 func (ix *Index) placeRecoveredRow(gid int, ev *event.Event, docBytes []byte) error {
 	S := len(ix.shards)
 	sh := ix.shards[gid%S]
@@ -499,17 +752,37 @@ func (ix *Index) applyWALRecord(t durable.RecordType, payload []byte) (int, erro
 // invalidations mirror the live UpdateByQuery (in-place rewrites mutate rows
 // the rollups already counted and don't route through an epoch-bumping
 // mutator).
+//
+// Tiered layout: a rewrite of a row already folded into a segment (gid below
+// the flush start) lands in the pending overlay, so cold reads, compaction,
+// and the next manifest commit carry it; a rewrite of a row still in shard
+// memory (gid at or above the base) applies in place at memgid = gid - base.
+// The two ranges overlap on a non-evicting index — flushed rows stay in
+// memory there — and such rows get both, keeping memory and overlay
+// consistent.
 func (ix *Index) applyRewrites(rws []walRewrite) error {
 	ix.epoch.Add(1)
 	defer ix.epoch.Add(1)
 	S := len(ix.shards)
 	head := int(ix.rr.Load())
+	base := int(ix.base.Load())
+	fs := 0
+	if ix.dur != nil {
+		fs = int(ix.dur.flushStart(ix))
+	}
 	byShard := make(map[int][]walRewrite)
+	var cold []walRewrite
 	for _, r := range rws {
 		if r.Gid < 0 || r.Gid >= head {
 			return fmt.Errorf("store: rewrite of unknown gid %d", r.Gid)
 		}
-		byShard[r.Gid%S] = append(byShard[r.Gid%S], r)
+		if r.Gid < fs {
+			cold = append(cold, r)
+		}
+		if r.Gid >= base {
+			mg := r.Gid - base
+			byShard[mg%S] = append(byShard[mg%S], walRewrite{Gid: mg, Doc: r.Doc})
+		}
 	}
 	for s, list := range byShard {
 		sh := ix.shards[s]
@@ -529,6 +802,9 @@ func (ix *Index) applyRewrites(rws []walRewrite) error {
 		sh.invalidateColumnsLocked()
 		sh.invalidateRollupLocked()
 		sh.mu.Unlock()
+	}
+	if len(cold) > 0 {
+		ix.dur.addPending(cold)
 	}
 	return nil
 }
@@ -578,7 +854,8 @@ func (s *Store) fsyncLoop() {
 }
 
 // snapshotLoop periodically snapshots every durable index that journaled
-// anything since its last snapshot.
+// anything since its last snapshot, then runs one maintenance pass
+// (compaction + retention) over the resulting segment layout.
 func (s *Store) snapshotLoop() {
 	defer s.loopWG.Done()
 	t := time.NewTicker(s.opts.snapshotEvery)
@@ -589,6 +866,7 @@ func (s *Store) snapshotLoop() {
 			return
 		case <-t.C:
 			_ = s.Snapshot()
+			_ = s.maintain()
 		}
 	}
 }
@@ -644,13 +922,13 @@ func (s *Store) allIndices() []*Index {
 	return out
 }
 
-// segmentCount reports how many durable indices have a committed segment
+// segmentCount reports the total committed segments across durable indices
 // (the dio_store_segments gauge).
 func (s *Store) segmentCount() float64 {
 	n := 0
 	for _, ix := range s.allIndices() {
-		if ix.dur != nil && ix.dur.segGauge.Load() {
-			n++
+		if ix.dur != nil {
+			n += len(*ix.dur.segs.Load())
 		}
 	}
 	return float64(n)

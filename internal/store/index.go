@@ -40,6 +40,21 @@ type Index struct {
 	// fingerprint's integer range-bound folding.
 	generic atomic.Int64
 
+	// Tiered layout state. base is the first global id held in shard memory:
+	// rows below it are cold (readable only through committed segment files,
+	// populated when retention evicts flushed rows), rows at or above it live
+	// in shard g-base%N at local (g-base)/N. base only moves while the
+	// snapshot gate and every shard write lock are held, so any reader that
+	// holds one shard read lock sees a frozen base. coldRows counts the rows
+	// in cold segments (recomputed at every segment-list publication);
+	// retFloor is one past the highest row id retention ever dropped, the
+	// expiry bound for unsorted paging cursors. All zero on in-memory and
+	// non-evicting indices, making the hot path's arithmetic unchanged.
+	base     atomic.Int64
+	coldRows atomic.Int64
+	retFloor atomic.Int64
+	pruneOff atomic.Bool // ablation: disable time-range segment pruning
+
 	rollupBase int64         // rollup histogram base interval ns (0 = disabled)
 	cache      *queryCache   // nil = caching disabled
 	rtm        readTelemetry // rollup counters (zero value = no-op)
@@ -99,10 +114,16 @@ func (ix *Index) NumShards() int { return len(ix.shards) }
 // blocking mode).
 func (ix *Index) SetLegacyScan(v bool) { ix.legacy.Store(v) }
 
-// gid composes a global doc id from a shard index and local position.
+// gid composes a global doc id from a shard index and local position (hot
+// rows only: shard memory starts at the index base).
 func (ix *Index) gid(shardIdx int, local int32) int {
-	return int(local)*len(ix.shards) + shardIdx
+	return int(ix.base.Load()) + int(local)*len(ix.shards) + shardIdx
 }
+
+// SetSegmentPruning toggles time-range segment pruning on the cold read
+// path (on by default); the off position is the ablation baseline for
+// BenchmarkSegmentPrunedSearch.
+func (ix *Index) SetSegmentPruning(v bool) { ix.pruneOff.Store(!v) }
 
 // Add indexes one document and returns its global id. On a durable index
 // the document is journaled (as a one-document batch) before it is applied.
@@ -219,14 +240,18 @@ func (ix *Index) addEventsFrame(frame []byte, owned bool, events []event.Event) 
 
 // addBulkAt places docs at global ids start..start+len-1. Placement is pure
 // arithmetic on the global id, so WAL replay (which reserves the same id
-// ranges in record order) reproduces it exactly.
+// ranges in record order) reproduces it exactly. Shard memory starts at the
+// index base, so placement works in memory ids (gid - base); base is stable
+// here — every durable caller holds the snapshot gate shared, and eviction
+// only moves base under the exclusive gate.
 func (ix *Index) addBulkAt(start int, docs []Document) {
 	ix.epoch.Add(1)
 	defer ix.epoch.Add(1)
 	ix.generic.Add(int64(len(docs)))
 	S := len(ix.shards)
+	ms := start - int(ix.base.Load())
 	for s := 0; s < S; s++ {
-		first := ((s-start)%S + S) % S
+		first := ((s-ms)%S + S) % S
 		if first >= len(docs) {
 			continue
 		}
@@ -246,8 +271,9 @@ func (ix *Index) addEventsAt(start int, events []event.Event) {
 	ix.epoch.Add(1)
 	defer ix.epoch.Add(1)
 	S := len(ix.shards)
+	ms := start - int(ix.base.Load())
 	for s := 0; s < S; s++ {
-		first := ((s-start)%S + S) % S
+		first := ((s-ms)%S + S) % S
 		if first >= len(events) {
 			continue
 		}
@@ -260,9 +286,10 @@ func (ix *Index) addEventsAt(start int, events []event.Event) {
 	}
 }
 
-// Len returns the number of documents.
+// Len returns the number of documents: cold rows (segment-resident, below
+// the base) plus everything in shard memory. Retention drops shrink it.
 func (ix *Index) Len() int {
-	n := 0
+	n := int(ix.coldRows.Load())
 	for _, sh := range ix.shards {
 		n += sh.len()
 	}
@@ -407,6 +434,17 @@ func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(
 	if err != nil {
 		return err
 	}
+	// An unsorted cursor names a resume row by global id; if retention may
+	// have dropped any row past it, resuming would silently skip data — fail
+	// loudly instead. (Row r > cur.gid was dropped iff floor > cur.gid+1.)
+	// Sorted cursors resume by sort key, not position, so a concurrent drop
+	// just means fewer rows — the usual deletion-during-pagination semantics —
+	// and they never expire.
+	if cur != nil && len(req.Sort) == 0 {
+		if fl := ix.retFloor.Load(); int64(cur.gid)+1 < fl {
+			return ErrCursorExpired
+		}
+	}
 	S := len(ix.shards)
 	plan := ix.planRollup(req)
 	if plan != nil {
@@ -437,11 +475,27 @@ func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(
 		need = req.From + req.Size
 	}
 	exec := &searchExec{req: req, need: need, plan: plan, cur: cur, rtm: &ix.rtm}
+	// base is frozen for the duration: it only moves under every shard write
+	// lock, all of which we now hold shared.
+	base := int(ix.base.Load())
 	results := make([]shardResult, S)
 	if err := forEachShardCtx(ctx, S, func(s int) {
-		results[s] = ix.shards[s].searchLocked(exec, s, S)
+		sh := ix.shards[s]
+		gidOf := func(id int32) int { return base + int(id)*S + s }
+		firstAfter := func(gid int) int32 { return firstLocalAfter(gid-base, s, S) }
+		results[s] = sh.searchLocked(exec, gidOf, firstAfter)
 	}); err != nil {
 		return err
+	}
+	if ix.coldRows.Load() > 0 {
+		coldResults, err := ix.coldSearch(ctx, exec)
+		if err != nil {
+			return err
+		}
+		// The k-way merge below orders by sort key with a gid tie-break, and
+		// cold gids all precede hot ones, so appending the per-segment results
+		// to the shard results composes correctly.
+		results = append(results, coldResults...)
 	}
 
 	total := 0
@@ -481,8 +535,14 @@ type searchExec struct {
 	rtm  *readTelemetry
 }
 
-// searchLocked produces one shard's result; the caller holds sh.mu.RLock.
-func (sh *shard) searchLocked(exec *searchExec, shardIdx, S int) shardResult {
+// searchLocked produces one row store's result; the caller holds sh.mu.RLock
+// (or owns the shard outright, for transient cold-segment shards). Global id
+// arithmetic is abstracted behind two closures so the same pipeline serves
+// hot shards (dense round-robin ids offset by the index base) and cold
+// segments (explicit, possibly sparse, gid lists): gidOf maps a local row id
+// to its global id, firstAfter returns the first local id whose global id is
+// strictly greater than gid (len(rows) when none), both monotone.
+func (sh *shard) searchLocked(exec *searchExec, gidOf func(id int32) int, firstAfter func(gid int) int32) shardResult {
 	req := exec.req
 	need := exec.need
 	matchAll := req.Query.matchesAll()
@@ -529,7 +589,7 @@ func (sh *shard) searchLocked(exec *searchExec, shardIdx, S int) shardResult {
 		if exec.cur != nil {
 			after := make([]int32, 0, len(cand))
 			for _, id := range cand {
-				if exec.cur.afterID(sh, id, int(id)*S+shardIdx, req.Sort) {
+				if exec.cur.afterID(sh, id, gidOf(id), req.Sort) {
 					after = append(after, id)
 				}
 			}
@@ -563,7 +623,7 @@ func (sh *shard) searchLocked(exec *searchExec, shardIdx, S int) shardResult {
 		// id range starting just past the cursor, clipped to the budget.
 		first := int32(0)
 		if exec.cur != nil {
-			first = firstLocalAfter(exec.cur.gid, shardIdx, S)
+			first = firstAfter(exec.cur.gid)
 		}
 		n := len(sh.docs) - int(first)
 		if n < 0 {
@@ -581,7 +641,7 @@ func (sh *shard) searchLocked(exec *searchExec, shardIdx, S int) shardResult {
 		if exec.cur != nil {
 			// Unsorted order is gid order, so the resume point is a lower
 			// bound on the ascending local ids.
-			first := firstLocalAfter(exec.cur.gid, shardIdx, S)
+			first := firstAfter(exec.cur.gid)
 			lo := sort.Search(len(cand), func(i int) bool { return cand[i] >= first })
 			cand = cand[lo:]
 		}
@@ -592,7 +652,7 @@ func (sh *shard) searchLocked(exec *searchExec, shardIdx, S int) shardResult {
 	}
 	res.hits = make([]hitRef, len(hitIDs))
 	for i, id := range hitIDs {
-		res.hits[i] = hitRef{sh: sh, id: id, gid: int(id)*S + shardIdx}
+		res.hits[i] = hitRef{sh: sh, id: id, gid: gidOf(id)}
 	}
 	return res
 }
@@ -763,10 +823,12 @@ func (ix *Index) countCtx(ctx context.Context, q Query) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	if q.matchesAll() {
+	cold := ix.coldRows.Load() > 0
+	if q.matchesAll() && !cold {
 		return ix.Len(), nil
 	}
 	if ix.legacy.Load() {
+		// The legacy ablation predates the tiered layout and stays hot-only.
 		n := 0
 		for _, sh := range ix.shards {
 			sh.mu.RLock()
@@ -779,20 +841,57 @@ func (ix *Index) countCtx(ctx context.Context, q Query) (int, error) {
 	for _, sh := range ix.shards {
 		sh.ensureColumns(cols)
 	}
+	if !cold {
+		counts := make([]int, len(ix.shards))
+		if err := forEachShardCtx(ctx, len(ix.shards), func(s int) {
+			sh := ix.shards[s]
+			sh.mu.RLock()
+			counts[s] = len(sh.matchIDs(q, true))
+			sh.mu.RUnlock()
+		}); err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		return n, nil
+	}
+	// With cold rows in play, hold every shard read lock across the whole
+	// count: a concurrent flush-evict moves rows from shard memory into the
+	// cold tier, and counting the two sides at different moments would count
+	// those rows twice or zero times. The locks freeze (base, segs, shard
+	// contents) into one consistent cut, like searchRefs does.
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range ix.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	n := 0
+	if q.matchesAll() {
+		n = int(ix.coldRows.Load())
+		for _, sh := range ix.shards {
+			n += sh.len()
+		}
+		return n, nil
+	}
 	counts := make([]int, len(ix.shards))
 	if err := forEachShardCtx(ctx, len(ix.shards), func(s int) {
-		sh := ix.shards[s]
-		sh.mu.RLock()
-		counts[s] = len(sh.matchIDs(q, true))
-		sh.mu.RUnlock()
+		counts[s] = len(ix.shards[s].matchIDs(q, true))
 	}); err != nil {
 		return 0, err
 	}
-	n := 0
 	for _, c := range counts {
 		n += c
 	}
-	return n, nil
+	cn, err := ix.coldCount(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	return n + cn, nil
 }
 
 // UpdateByQuery applies fn to every matching document, in place, and
@@ -836,6 +935,11 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 		rewrites = make([][]walRewrite, len(ix.shards))
 	}
 	S := len(ix.shards)
+	// The gate (shared) freezes base; rewrite records name rows by global id.
+	// Note the scan walks shard memory only: on an evicting (retention) index
+	// cold rows are never visited, a documented trade of update reach for
+	// bounded memory.
+	base := int(ix.base.Load())
 	counts := make([]int, S)
 	run := func(s int) {
 		sh := ix.shards[s]
@@ -852,7 +956,7 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 					sh.repostLocked(int32(i), before, docTerms(d2))
 					updated++
 					if d != nil {
-						rewrites[s] = append(rewrites[s], walRewrite{Gid: i*S + s, Doc: d2})
+						rewrites[s] = append(rewrites[s], walRewrite{Gid: base + i*S + s, Doc: d2})
 					}
 				}
 				continue
@@ -868,7 +972,7 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 				sh.repostLocked(int32(i), before, eventTerms(&sh.events[i]))
 				updated++
 				if d != nil {
-					rewrites[s] = append(rewrites[s], walRewrite{Gid: i*S + s, Doc: d2})
+					rewrites[s] = append(rewrites[s], walRewrite{Gid: base + i*S + s, Doc: d2})
 				}
 			}
 		}
@@ -903,6 +1007,21 @@ func (ix *Index) updateByQueryCtx(ctx context.Context, q Query, fn func(Document
 		if err := ix.journalApply(durable.RecordRewrite, payload, true, 0, nil); err != nil {
 			return n, err
 		}
+		// Rewrites of rows already folded into segments must also reach the
+		// pending overlay so cold reads, compaction, and the next manifest
+		// commit carry them. (The scan above applied the in-memory effect
+		// inline; applyRewrites does this split for the replay paths.)
+		if fs := int(d.flushStart(ix)); fs > 0 {
+			var coldRws []walRewrite
+			for _, r := range flat {
+				if r.Gid < fs {
+					coldRws = append(coldRws, r)
+				}
+			}
+			if len(coldRws) > 0 {
+				d.addPending(coldRws)
+			}
+		}
 	}
 	return n, fanErr
 }
@@ -916,6 +1035,11 @@ func (ix *Index) legacySearch(req SearchRequest) (SearchResponse, error) {
 	cur, err := parseSearchAfter(req)
 	if err != nil {
 		return SearchResponse{}, err
+	}
+	if cur != nil && len(req.Sort) == 0 {
+		if fl := ix.retFloor.Load(); int64(cur.gid)+1 < fl {
+			return SearchResponse{}, ErrCursorExpired
+		}
 	}
 	matched, gids := ix.legacyMatch(req.Query)
 
@@ -973,9 +1097,11 @@ func (ix *Index) legacySearch(req SearchRequest) (SearchResponse, error) {
 }
 
 // legacyMatch evaluates q serially and returns matched documents and their
-// global ids in global insertion order.
+// global ids in global insertion order. Like the rest of the legacy
+// ablation it scans shard memory only (cold segment rows are not visited).
 func (ix *Index) legacyMatch(q Query) ([]Document, []int) {
 	S := len(ix.shards)
+	base := int(ix.base.Load())
 	parts := make([][]int32, S)
 	docs := make([][]Document, S)
 	for s, sh := range ix.shards {
@@ -1003,7 +1129,7 @@ func (ix *Index) legacyMatch(q Query) ([]Document, []int) {
 			if c >= len(parts[s]) {
 				continue
 			}
-			gid := int(parts[s][c])*S + s
+			gid := base + int(parts[s][c])*S + s
 			if best == -1 || gid < bestGID {
 				best, bestGID = s, gid
 			}

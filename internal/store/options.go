@@ -61,9 +61,10 @@ type storeOptions struct {
 	fsyncEvery    time.Duration
 	snapshotEvery time.Duration
 	reg           *telemetry.Registry
-	cacheEntries  int   // query cache capacity per index (0 disables)
-	rollupBase    int64 // continuous rollup base interval ns (0 disables)
-	replTailBytes int   // per-index replication tail buffer budget
+	cacheEntries  int           // query cache capacity per index (0 disables)
+	rollupBase    int64         // continuous rollup base interval ns (0 disables)
+	replTailBytes int           // per-index replication tail buffer budget
+	retention     time.Duration // drop cold segments older than this (0 keeps all)
 }
 
 func defaultOptions() storeOptions {
@@ -152,6 +153,25 @@ func WithReplicationBuffer(bytes int) Option {
 			bytes = 0
 		}
 		o.replTailBytes = bytes
+	}
+}
+
+// WithRetention bounds how long rows stay queryable (0, the default, keeps
+// everything forever). It has no effect without WithDataDir. With retention
+// on, every snapshot evicts flushed rows from shard memory into immutable
+// time-stamped segments (bounding resident memory under sustained ingest),
+// and the maintenance pass drops whole segments once every row in them is
+// older than d — queries, counts, and aggregations then stop seeing those
+// rows, and unsorted paging cursors positioned before a drop fail with
+// ErrCursorExpired instead of silently skipping. Note update-by-query only
+// reaches rows still in shard memory under retention: bounded memory is
+// traded for update reach over evicted history.
+func WithRetention(d time.Duration) Option {
+	return func(o *storeOptions) {
+		if d < 0 {
+			d = 0
+		}
+		o.retention = d
 	}
 }
 

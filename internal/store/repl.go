@@ -78,6 +78,24 @@ type ReplFrame struct {
 	Seq     int64              `json:"seq"`
 	Type    durable.RecordType `json:"type"`
 	Payload []byte             `json:"payload"`
+	// StartRow is the global row id of the frame's first row, stamped on
+	// bootstrap frames (whose rows are gid-contiguous within a frame). A
+	// follower rebuilding a tiered primary needs it to place cold rows at
+	// their original ids; live replication frames carry 0 and ignore it.
+	StartRow int64 `json:"start_row,omitempty"`
+}
+
+// ReplSnapshot is a full-state bootstrap package: the primary sequence the
+// snapshot corresponds to, the tiered-layout split point (Base: rows below it
+// ship from cold segments and must land in a follower segment, rows at or
+// above it are the primary's memtable), the retention floor (so cursor-expiry
+// semantics survive failover), and the row frames themselves. A snapshot of
+// an untiered primary has Base 0 and degenerates to the flat frame list.
+type ReplSnapshot struct {
+	Seq    int64       `json:"seq"`
+	Base   int64       `json:"base,omitempty"`
+	Floor  int64       `json:"floor,omitempty"`
+	Frames []ReplFrame `json:"frames"`
 }
 
 // ReplCursor remembers where in the primary's live WAL file the previous
@@ -321,87 +339,137 @@ func (s *Store) ReplRange(index string, from int64, cur *ReplCursor, maxFrames, 
 	return frames, head, false, nil
 }
 
-// ReplBootstrapFrames packages the named index's entire current state as
-// replication frames for a follower bootstrap: rows in global-id order,
-// batched batchRows at a time, typed runs as RecordEvents and generic runs
-// as RecordDocs — the exact representations ReplApply journals, so a
-// bootstrapped follower's rebuilt state matches a replayed one. head is the
-// sequence the snapshot corresponds to; subsequent frames ship from there.
-// Taken under the exclusive gate, so the state is a consistent cut.
-func (s *Store) ReplBootstrapFrames(index string, batchRows int) ([]ReplFrame, int64, error) {
+// ReplBootstrapFrames packages the named index's entire current state for a
+// follower bootstrap: cold segment rows first (streamed from the committed
+// files, pending rewrites substituted), then the memtable, all in global-id
+// order, batched batchRows at a time — typed runs as RecordEvents and
+// generic runs as RecordDocs, the exact representations ReplApply journals.
+// Every frame is stamped with its first row's global id and frames are
+// gid-contiguous internally (batches cut at retention gaps and at the
+// cold/hot boundary), so a tiered follower can place cold rows at their
+// original ids. Taken under the exclusive gate, so the state is a consistent
+// cut and no concurrent commit can delete a segment file mid-stream.
+func (s *Store) ReplBootstrapFrames(index string, batchRows int) (ReplSnapshot, error) {
 	ix, ok := s.GetIndex(index)
 	if !ok {
-		return nil, 0, fmt.Errorf("store: repl bootstrap: index %q not found", index)
+		return ReplSnapshot{}, fmt.Errorf("store: repl bootstrap: index %q not found", index)
 	}
 	d := ix.dur
 	if d == nil {
-		return nil, 0, fmt.Errorf("store: repl bootstrap: index %q is not durable", index)
+		return ReplSnapshot{}, fmt.Errorf("store: repl bootstrap: index %q is not durable", index)
 	}
 	if batchRows <= 0 {
 		batchRows = 1024
 	}
 	d.gate.Lock()
 	defer d.gate.Unlock()
-	head := d.recSeq.Load()
-	S := len(ix.shards)
-	n := ix.Len()
-	var (
-		frames   []ReplFrame
-		evBatch  []event.Event
-		docBatch []Document
-	)
-	flushEvents := func() {
-		if len(evBatch) == 0 {
-			return
-		}
-		frames = append(frames, ReplFrame{Type: durable.RecordEvents, Payload: event.EncodeBatch(nil, evBatch)})
-		evBatch = evBatch[:0]
+	snap := ReplSnapshot{
+		Seq:   d.recSeq.Load(),
+		Base:  ix.base.Load(),
+		Floor: ix.retFloor.Load(),
 	}
-	flushDocs := func() error {
-		if len(docBatch) == 0 {
-			return nil
+	overlay := d.pendingOverlay()
+	var (
+		evBatch    []event.Event
+		docBatch   []Document
+		batchStart int64
+		expect     int64 = -1
+	)
+	flushAll := func() error {
+		if len(evBatch) > 0 {
+			snap.Frames = append(snap.Frames, ReplFrame{
+				Type: durable.RecordEvents, StartRow: batchStart,
+				Payload: event.EncodeBatch(nil, evBatch),
+			})
+			evBatch = evBatch[:0]
 		}
-		payload, err := encodeGob(docBatch)
-		if err != nil {
-			return err
+		if len(docBatch) > 0 {
+			payload, err := encodeGob(docBatch)
+			if err != nil {
+				return err
+			}
+			snap.Frames = append(snap.Frames, ReplFrame{
+				Type: durable.RecordDocs, StartRow: batchStart,
+				Payload: payload,
+			})
+			docBatch = docBatch[:0]
 		}
-		frames = append(frames, ReplFrame{Type: durable.RecordDocs, Payload: payload})
-		docBatch = docBatch[:0]
 		return nil
 	}
-	for g := 0; g < n; g++ {
-		sh := ix.shards[g%S]
-		local := g / S
-		sh.mu.RLock()
-		doc := sh.docs[local]
-		var ev event.Event
-		if doc == nil {
-			ev = sh.events[local]
+	add := func(gid int64, ev *event.Event, doc Document) error {
+		typeSwitch := (doc != nil && len(evBatch) > 0) || (doc == nil && len(docBatch) > 0)
+		if typeSwitch || (expect >= 0 && gid != expect) || len(evBatch)+len(docBatch) >= batchRows {
+			if err := flushAll(); err != nil {
+				return err
+			}
 		}
-		sh.mu.RUnlock()
+		if len(evBatch) == 0 && len(docBatch) == 0 {
+			batchStart = gid
+		}
 		if doc != nil {
-			flushEvents()
 			docBatch = append(docBatch, doc)
-			if len(docBatch) >= batchRows {
-				if err := flushDocs(); err != nil {
-					return nil, 0, err
-				}
-			}
 		} else {
-			if err := flushDocs(); err != nil {
-				return nil, 0, err
-			}
-			evBatch = append(evBatch, ev)
-			if len(evBatch) >= batchRows {
-				flushEvents()
-			}
+			evBatch = append(evBatch, *ev)
+		}
+		expect = gid + 1
+		return nil
+	}
+	for _, sm := range *d.segs.Load() {
+		if sm.EndRow > snap.Base {
+			continue
+		}
+		err := func() error {
+			_, rerr := durable.ReadSegment(filepath.Join(d.dir, durable.SegmentName(sm.Seq)),
+				func(lg int, ev *event.Event, docB []byte) error {
+					gid := sm.StartRow + int64(lg)
+					if d2, ok := overlay[int(gid)]; ok {
+						if ev != nil {
+							e := DocToEvent(d2)
+							return add(gid, &e, nil)
+						}
+						return add(gid, nil, d2)
+					}
+					if ev != nil {
+						return add(gid, ev, nil)
+					}
+					var d2 Document
+					if derr := decodeGob(docB, &d2); derr != nil {
+						return derr
+					}
+					return add(gid, nil, d2)
+				})
+			return rerr
+		}()
+		if err != nil {
+			return ReplSnapshot{}, fmt.Errorf("store: repl bootstrap: %w", err)
 		}
 	}
-	flushEvents()
-	if err := flushDocs(); err != nil {
-		return nil, 0, err
+	// The cold/hot boundary must also be a frame boundary, so the follower
+	// can route each frame whole.
+	if err := flushAll(); err != nil {
+		return ReplSnapshot{}, err
 	}
-	return frames, head, nil
+	expect = -1
+	S := len(ix.shards)
+	head := int64(ix.rr.Load())
+	// Memtable reads take no shard locks: the exclusive gate excludes every
+	// row mutator, and concurrent searches only read.
+	for g := snap.Base; g < head; g++ {
+		mg := int(g - snap.Base)
+		sh := ix.shards[mg%S]
+		local := mg / S
+		if doc := sh.docs[local]; doc != nil {
+			if err := add(g, nil, doc); err != nil {
+				return ReplSnapshot{}, err
+			}
+		} else if err := add(g, &sh.events[local], nil); err != nil {
+			return ReplSnapshot{}, err
+		}
+	}
+	if err := flushAll(); err != nil {
+		return ReplSnapshot{}, err
+	}
+	return snap, nil
 }
 
 // ReplApply applies replicated frames to the named index on a follower. from
@@ -492,13 +560,27 @@ func (ix *Index) applyReplFrame(f *ReplFrame) error {
 	}
 }
 
+// bootSource adapts decoded bootstrap rows to durable.WriteSegment, keeping
+// each row's original (absolute) global id so a tiered follower's cold
+// segment maps gids identically to the primary's.
+type bootSource struct {
+	rows []durable.SegmentRow
+	gids []int
+}
+
+func (b *bootSource) NumRows() int                 { return len(b.rows) }
+func (b *bootSource) Row(i int) durable.SegmentRow { return b.rows[i] }
+func (b *bootSource) Gid(i int) int                { return b.gids[i] }
+
 // ReplBootstrap replaces the named index's state wholesale with a primary
-// state snapshot: the existing index (if any) is dropped, frames apply as
-// fresh journal records, and the follower's sequence aligns to seq — the
-// primary head the snapshot corresponds to. On a durable follower the
-// alignment offset persists via a forced segment snapshot, so a restart
-// resumes from seq rather than re-bootstrapping.
-func (s *Store) ReplBootstrap(ctx context.Context, index string, seq int64, frames []ReplFrame) error {
+// state snapshot: the existing index (if any) is dropped, cold frames (rows
+// below snap.Base, present when the primary runs tiered retention) rebuild
+// as a single level-0 segment committed before any journaling, hot frames
+// apply as fresh journal records, and the follower's sequence aligns to
+// snap.Seq — the primary head the snapshot corresponds to. On a durable
+// follower the alignment offset persists via a forced segment snapshot, so
+// a restart resumes from snap.Seq rather than re-bootstrapping.
+func (s *Store) ReplBootstrap(ctx context.Context, index string, snap ReplSnapshot) error {
 	if s.Role() != RoleFollower {
 		return ErrNotFollower
 	}
@@ -509,20 +591,122 @@ func (s *Store) ReplBootstrap(ctx context.Context, index string, seq int64, fram
 	}
 	ix.replMu.Lock()
 	defer ix.replMu.Unlock()
-	for i := range frames {
+	cold := snap.Frames
+	var hot []ReplFrame
+	if snap.Base > 0 {
+		for i := range snap.Frames {
+			if snap.Frames[i].StartRow >= snap.Base {
+				cold, hot = snap.Frames[:i], snap.Frames[i:]
+				break
+			}
+		}
+		if len(cold) == len(snap.Frames) {
+			hot = nil
+		}
+		if err := ix.bootstrapColdSegment(ctx, snap, cold); err != nil {
+			return err
+		}
+	} else {
+		hot = snap.Frames
+	}
+	for i := range hot {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := ix.applyReplFrame(&frames[i]); err != nil {
+		if err := ix.applyReplFrame(&hot[i]); err != nil {
 			return err
 		}
 	}
 	if d := ix.dur; d != nil {
-		d.replOff.Store(seq - d.recSeq.Load())
+		d.replOff.Store(snap.Seq - d.recSeq.Load())
 		if err := d.snapshot(ix, true); err != nil {
 			return err
 		}
 	}
-	ix.replSeq.Store(seq)
+	ix.replSeq.Store(snap.Seq)
+	return nil
+}
+
+// bootstrapColdSegment materializes a bootstrap's cold frames as one
+// committed level-0 segment spanning rows [0, snap.Base) and publishes the
+// tiered view (base, retention floor) before hot frames journal. Only a
+// durable follower can hold cold rows; an in-memory follower has nowhere to
+// put segment files.
+func (ix *Index) bootstrapColdSegment(ctx context.Context, snap ReplSnapshot, cold []ReplFrame) error {
+	d := ix.dur
+	if d == nil {
+		return fmt.Errorf("store: repl bootstrap: tiered snapshot (base=%d) requires a durable follower", snap.Base)
+	}
+	src := &bootSource{}
+	for i := range cold {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f := &cold[i]
+		switch f.Type {
+		case durable.RecordEvents:
+			events, err := event.DecodeBatch(f.Payload, nil)
+			if err != nil {
+				return fmt.Errorf("store: repl bootstrap cold events: %w", err)
+			}
+			for j := range events {
+				src.rows = append(src.rows, durable.SegmentRow{Event: &events[j]})
+				src.gids = append(src.gids, int(f.StartRow)+j)
+			}
+		case durable.RecordDocs:
+			var docs []Document
+			if err := decodeGob(f.Payload, &docs); err != nil {
+				return fmt.Errorf("store: repl bootstrap cold docs: %w", err)
+			}
+			for j, doc := range docs {
+				blob, err := encodeGob(doc)
+				if err != nil {
+					return err
+				}
+				row := durable.SegmentRow{Doc: blob}
+				if t, ok := numeric(doc[FieldTimeEnter]); ok {
+					row.DocTime, row.DocTimed = int64(t), true
+				}
+				src.rows = append(src.rows, row)
+				src.gids = append(src.gids, int(f.StartRow)+j)
+			}
+		default:
+			return fmt.Errorf("store: repl bootstrap: cold frame type %d", f.Type)
+		}
+	}
+	if int64(len(src.rows)) != snap.Base {
+		return fmt.Errorf("store: repl bootstrap: cold rows %d != base %d", len(src.rows), snap.Base)
+	}
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	info, err := durable.WriteSegment(filepath.Join(d.dir, durable.SegmentName(0)), len(ix.shards), src)
+	if err != nil {
+		return err
+	}
+	segs := []durable.SegmentMeta{{
+		Seq: 0, Level: 0,
+		Rows: int64(len(src.rows)), StartRow: 0, EndRow: snap.Base,
+		MinTime: info.MinTime, MaxTime: info.MaxTime,
+		Bytes: info.Bytes, Generic: int64(info.Generic),
+	}}
+	d.segSeq = 1
+	if err := durable.CommitManifest(d.dir, durable.Manifest{
+		Shards: len(ix.shards),
+		WALSeq: d.walSeq, SegmentSeq: d.segSeq, Segments: segs,
+		BaseSeq: 0, RetentionFloor: snap.Floor,
+	}); err != nil {
+		return err
+	}
+	for _, sh := range ix.shards {
+		sh.mu.Lock()
+	}
+	ix.base.Store(snap.Base)
+	ix.rr.Store(uint64(snap.Base))
+	ix.retFloor.Store(snap.Floor)
+	ix.generic.Add(int64(info.Generic))
+	d.publishSegsLocked(ix, segs)
+	for _, sh := range ix.shards {
+		sh.mu.Unlock()
+	}
 	return nil
 }

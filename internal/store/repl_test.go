@@ -29,11 +29,11 @@ func pump(t *testing.T, primary, follower *Store, index string, allowBootstrap b
 			if !allowBootstrap {
 				t.Fatalf("unexpected bootstrap demand at applied=%d head=%d", applied, head)
 			}
-			bf, seq, err := primary.ReplBootstrapFrames(index, 0)
+			snap, err := primary.ReplBootstrapFrames(index, 0)
 			if err != nil {
 				t.Fatalf("bootstrap frames: %v", err)
 			}
-			if err := follower.ReplBootstrap(ctx, index, seq, bf); err != nil {
+			if err := follower.ReplBootstrap(ctx, index, snap); err != nil {
 				t.Fatalf("bootstrap apply: %v", err)
 			}
 			continue
@@ -291,11 +291,11 @@ func TestReplHTTPEndpoints(t *testing.T) {
 	}
 
 	// Bootstrap over HTTP, then promote over HTTP.
-	bf, seq, err := primary.ReplBootstrapFrames(crashIndex, 0)
+	snap, err := primary.ReplBootstrapFrames(crashIndex, 0)
 	if err != nil {
 		t.Fatalf("bootstrap frames: %v", err)
 	}
-	if err := fc.ReplBootstrap(ctx, crashIndex, seq, bf); err != nil {
+	if err := fc.ReplBootstrap(ctx, crashIndex, snap); err != nil {
 		t.Fatalf("bootstrap over HTTP: %v", err)
 	}
 	if got, want := fingerprint(t, follower), fingerprint(t, primary); got != want {

@@ -284,6 +284,13 @@ func (ix *Index) planRollup(req SearchRequest) *rollupPlan {
 	if ix.rollupBase <= 0 || len(req.Aggs) == 0 {
 		return nil
 	}
+	// Shard rollups only cover rows in shard memory; with cold rows in play
+	// (retention eviction) a rollup-served partial would drop the cold tier's
+	// contribution, so every agg falls back to the scan path (which fans out
+	// over cold segments too).
+	if ix.coldRows.Load() > 0 {
+		return nil
+	}
 	p := &rollupPlan{}
 	q := req.Query
 	switch {

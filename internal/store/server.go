@@ -241,11 +241,12 @@ func (s *Server) handleReplApply(w http.ResponseWriter, r *http.Request) {
 }
 
 // replBootstrapRequest is the POST /_repl/bootstrap body: a full-state
-// snapshot of one index, aligned to primary sequence seq.
+// snapshot of one index, aligned to primary sequence seq. The embedded
+// ReplSnapshot flattens into the JSON object, so pre-tiered senders (no
+// base/floor keys) decode as a Base==0 snapshot and take the legacy path.
 type replBootstrapRequest struct {
-	Index  string      `json:"index"`
-	Seq    int64       `json:"seq"`
-	Frames []ReplFrame `json:"frames"`
+	Index string `json:"index"`
+	ReplSnapshot
 }
 
 func (s *Server) handleReplBootstrap(w http.ResponseWriter, r *http.Request) {
@@ -258,7 +259,7 @@ func (s *Server) handleReplBootstrap(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad repl bootstrap request: %v", err)
 		return
 	}
-	if err := s.store.ReplBootstrap(r.Context(), req.Index, req.Seq, req.Frames); err != nil {
+	if err := s.store.ReplBootstrap(r.Context(), req.Index, req.ReplSnapshot); err != nil {
 		writeReplError(w, 0, err)
 		return
 	}
@@ -419,6 +420,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index stri
 	if err != nil {
 		if errors.Is(err, errBadSearchAfter) {
 			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if errors.Is(err, ErrCursorExpired) {
+			// 410 Gone: the cursor named rows the retention horizon already
+			// dropped — a permanent condition, not worth a client retry.
+			httpError(w, http.StatusGone, "%v", err)
 			return
 		}
 		httpError(w, http.StatusNotFound, "%v", err)

@@ -30,6 +30,11 @@ type Store struct {
 	loopWG sync.WaitGroup
 	closed atomic.Bool
 
+	// maintMu serializes segment maintenance (compaction + retention) passes:
+	// the exported Compact and the background snapshot loop must not overlap,
+	// or retention could delete files a concurrent merge reads lock-free.
+	maintMu sync.Mutex
+
 	// Replication role: a follower rejects direct writes (they arrive through
 	// ReplApply instead) until Promote flips it back to primary. replArmed
 	// turns on the per-index tail buffers the shipper reads; it is shared by
@@ -111,6 +116,8 @@ func Open(opts ...Option) (*Store, error) {
 			rollupHits:     reg.Counter(telemetry.MetricRollupAggHits, "agg partials served from rollups"),
 			rollupMisses:   reg.Counter(telemetry.MetricRollupAggMisses, "planned rollup serves that fell back to scans"),
 			rollupRebuilds: reg.Counter(telemetry.MetricRollupRebuilds, "shard rollups rebuilt after invalidation"),
+			segOpened:      reg.Counter(telemetry.MetricSegmentsOpened, "cold segments opened by time-bounded queries"),
+			segPruned:      reg.Counter(telemetry.MetricSegmentsPruned, "cold segments skipped by time-range pruning"),
 		},
 	}
 	reg.GaugeFunc(telemetry.MetricQueryCacheEntries, "live query cache entries across indices",
@@ -126,7 +133,7 @@ func Open(opts ...Option) (*Store, error) {
 		return s, nil
 	}
 	s.dtm = newDurTelemetry(reg)
-	reg.GaugeFunc(telemetry.MetricSegments, "durable indices with a committed segment",
+	reg.GaugeFunc(telemetry.MetricSegments, "live committed segments across durable indices",
 		s.segmentCount)
 	if err := os.MkdirAll(o.dataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create data dir: %w", err)

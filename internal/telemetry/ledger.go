@@ -60,31 +60,35 @@ const (
 	// recovery, an index's live doc count equals the committed segment's
 	// rows plus the rows of every replayed WAL batch (rewrite records
 	// change rows in place and add none).
-	MetricWALAppendNS     = "dio_wal_append_ns"         // one WAL record append
-	MetricWALFsyncNS      = "dio_wal_fsync_ns"          // one WAL fsync
-	MetricWALAppends      = "dio_wal_appends_total"     // WAL records appended
-	MetricWALBytes        = "dio_wal_bytes_total"       // WAL bytes appended
-	MetricWALFsyncs       = "dio_wal_fsyncs_total"      // WAL fsyncs issued
-	MetricSegments        = "dio_store_segments"        // durable indices with a committed segment
-	MetricSnapshots       = "dio_store_snapshots_total" // segment snapshots committed
-	MetricSnapshotNS      = "dio_store_snapshot_ns"     // one segment snapshot
-	MetricRecoveryNS      = "dio_store_recovery_ns"     // one index recovery
+	MetricWALAppendNS     = "dio_wal_append_ns"               // one WAL record append
+	MetricWALFsyncNS      = "dio_wal_fsync_ns"                // one WAL fsync
+	MetricWALAppends      = "dio_wal_appends_total"           // WAL records appended
+	MetricWALBytes        = "dio_wal_bytes_total"             // WAL bytes appended
+	MetricWALFsyncs       = "dio_wal_fsyncs_total"            // WAL fsyncs issued
+	MetricSegments        = "dio_store_segments"              // live committed segments (gauge)
+	MetricSegmentsOpened  = "dio_store_segments_opened_total" // cold segments opened by time-bounded queries
+	MetricSegmentsPruned  = "dio_store_segments_pruned_total" // cold segments skipped by time-range pruning
+	MetricCompactions     = "dio_store_compactions_total"     // segment merges committed
+	MetricRetentionDrops  = "dio_store_retention_drops_total" // segments dropped past the retention horizon
+	MetricSnapshots       = "dio_store_snapshots_total"       // segment snapshots committed
+	MetricSnapshotNS      = "dio_store_snapshot_ns"           // one segment snapshot
+	MetricRecoveryNS      = "dio_store_recovery_ns"           // one index recovery
 	MetricReplayedBatches = "dio_store_replayed_batches_total"
 	MetricReplayedEvents  = "dio_store_replayed_events_total"
 	MetricWALTornTails    = "dio_store_wal_torn_tails_total"
 
 	// internal/store + internal/repl — primary/follower replication.
-	MetricReplRole         = "dio_repl_role"                   // 0 primary, 1 follower
-	MetricReplShippedRecs  = "dio_repl_shipped_records_total"  // WAL records pushed to followers
-	MetricReplShippedBytes = "dio_repl_shipped_bytes_total"    // payload bytes pushed to followers
-	MetricReplPushes       = "dio_repl_pushes_total"           // push calls issued (bootstraps included)
-	MetricReplPushRetries  = "dio_repl_push_retries_total"     // push attempts beyond each call's first
-	MetricReplPushNS       = "dio_repl_push_ns"                // one push call (ship + follower apply)
-	MetricReplBootstraps   = "dio_repl_bootstraps_total"       // full-state bootstraps shipped
-	MetricReplLag          = "dio_repl_lag_records"            // primary head - follower acked, summed
-	MetricReplAppliedRecs  = "dio_repl_applied_records_total"  // frames applied on this follower
-	MetricReplApplyNS      = "dio_repl_apply_ns"               // one follower frame-batch apply
-	MetricReplSeqRejects   = "dio_repl_seq_rejects_total"      // out-of-sequence pushes rejected
+	MetricReplRole         = "dio_repl_role"                  // 0 primary, 1 follower
+	MetricReplShippedRecs  = "dio_repl_shipped_records_total" // WAL records pushed to followers
+	MetricReplShippedBytes = "dio_repl_shipped_bytes_total"   // payload bytes pushed to followers
+	MetricReplPushes       = "dio_repl_pushes_total"          // push calls issued (bootstraps included)
+	MetricReplPushRetries  = "dio_repl_push_retries_total"    // push attempts beyond each call's first
+	MetricReplPushNS       = "dio_repl_push_ns"               // one push call (ship + follower apply)
+	MetricReplBootstraps   = "dio_repl_bootstraps_total"      // full-state bootstraps shipped
+	MetricReplLag          = "dio_repl_lag_records"           // primary head - follower acked, summed
+	MetricReplAppliedRecs  = "dio_repl_applied_records_total" // frames applied on this follower
+	MetricReplApplyNS      = "dio_repl_apply_ns"              // one follower frame-batch apply
+	MetricReplSeqRejects   = "dio_repl_seq_rejects_total"     // out-of-sequence pushes rejected
 
 	// internal/store/correlate.go — the correlation algorithm.
 	MetricCorrelateRuns       = "dio_correlate_runs_total"

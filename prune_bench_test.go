@@ -1,0 +1,138 @@
+// Segment-pruning benchmark: a narrow time-range query (the dashboard's
+// "last few minutes" window) against a tiered store whose history spans many
+// time-disjoint cold segments. The pruned side lets the query planner skip
+// segments whose stamped [MinTime, MaxTime] cannot overlap the window; the
+// full-scan side disables pruning through the ablation toggle, so both sides
+// run the same query against the same files through the same binary. See
+// BENCH_store.json for the committed comparison.
+package dio_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+const (
+	pruneBenchSegments   = 8
+	pruneBenchRowsPerSeg = 2000
+	pruneBenchWindowNS   = int64(60_000_000_000) // segments are one minute of trace apart
+	pruneBenchIndex      = "events"
+)
+
+func pruneBenchEvents(seg int) []event.Event {
+	base := int64(1<<60) + int64(seg)*pruneBenchWindowNS
+	evs := make([]event.Event, pruneBenchRowsPerSeg)
+	for i := range evs {
+		enter := base + int64(i)*1000
+		evs[i] = event.Event{
+			Session: "prune", Syscall: []string{"read", "write", "openat"}[i%3],
+			Class: "file", ProcName: "app", ThreadName: "w",
+			PID: 9, TID: 10 + i%4, RetVal: 4096, FD: 5, Count: 4096,
+			TimeEnterNS: enter, TimeExitNS: enter + 700,
+		}
+	}
+	return evs
+}
+
+// BenchmarkSegmentPrunedSearch measures the cold read path with and without
+// time-range segment pruning over pruneBenchSegments time-disjoint segments.
+func BenchmarkSegmentPrunedSearch(b *testing.B) {
+	dir := b.TempDir()
+	// Query cache and rollups off: this measures segment opening, not caching.
+	st, err := store.Open(
+		store.WithDataDir(dir),
+		store.WithFsyncPolicy(store.FsyncOff),
+		store.WithSnapshotInterval(0),
+		store.WithRetention(500_000*time.Hour),
+		store.WithQueryCache(0),
+		store.WithRollupInterval(0),
+	)
+	if err != nil {
+		b.Fatalf("open: %v", err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	for seg := 0; seg < pruneBenchSegments; seg++ {
+		if err := st.BulkEvents(ctx, pruneBenchIndex, pruneBenchEvents(seg)); err != nil {
+			b.Fatalf("seg %d: bulk: %v", seg, err)
+		}
+		if err := st.Snapshot(); err != nil {
+			b.Fatalf("seg %d: snapshot: %v", seg, err)
+		}
+	}
+	ix, ok := st.GetIndex(pruneBenchIndex)
+	if !ok {
+		b.Fatal("index missing")
+	}
+	// The window: one segment's worth of time, in the middle of the history.
+	lo := float64(int64(1<<60) + 5*pruneBenchWindowNS)
+	hi := lo + float64(pruneBenchWindowNS)/2
+	req := store.SearchRequest{
+		Query: store.Must(
+			store.Term(store.FieldSession, "prune"),
+			store.RangeBetween(store.FieldTimeEnter, lo, hi),
+		),
+		Size: 10,
+		Aggs: map[string]store.Agg{
+			"by_syscall": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
+		},
+	}
+	run := func(b *testing.B, pruning bool) {
+		ix.SetSegmentPruning(pruning)
+		defer ix.SetSegmentPruning(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := st.Search(ctx, pruneBenchIndex, req)
+			if err != nil {
+				b.Fatalf("search: %v", err)
+			}
+			if resp.Total == 0 {
+				b.Fatal("query matched nothing")
+			}
+		}
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, true) })
+	b.Run("full-scan", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkSegmentCompaction measures the maintenance cost the tier adds:
+// one op ingests four level-0 segments (timer stopped) and then merges them
+// with a Compact pass (timer running) — the steady-state overhead a store
+// under sustained ingest pays per compaction.
+func BenchmarkSegmentCompaction(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(
+		store.WithDataDir(dir),
+		store.WithFsyncPolicy(store.FsyncOff),
+		store.WithSnapshotInterval(0),
+		store.WithRetention(500_000*time.Hour),
+		store.WithQueryCache(0),
+		store.WithRollupInterval(0),
+	)
+	if err != nil {
+		b.Fatalf("open: %v", err)
+	}
+	defer st.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for seg := 0; seg < 4; seg++ {
+			if err := st.BulkEvents(ctx, pruneBenchIndex, pruneBenchEvents(i*4+seg)); err != nil {
+				b.Fatalf("bulk: %v", err)
+			}
+			if err := st.Snapshot(); err != nil {
+				b.Fatalf("snapshot: %v", err)
+			}
+		}
+		b.StartTimer()
+		if err := st.Compact(); err != nil {
+			b.Fatalf("compact: %v", err)
+		}
+	}
+	b.ReportMetric(float64(4*pruneBenchRowsPerSeg), "rows/op")
+}

@@ -60,13 +60,13 @@ func (d *discardTransport) Apply(_ context.Context, index string, from int64, fr
 	return d.acked[index], nil
 }
 
-func (d *discardTransport) Bootstrap(_ context.Context, index string, seq int64, _ []store.ReplFrame) error {
+func (d *discardTransport) Bootstrap(_ context.Context, index string, snap store.ReplSnapshot) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.acked == nil {
 		d.acked = map[string]int64{}
 	}
-	d.acked[index] = seq
+	d.acked[index] = snap.Seq
 	return nil
 }
 
