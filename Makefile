@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos chaos-repl crash lint examples
+.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos chaos-repl chaos-cluster crash lint examples
 
 ## tier1: the PR gate — vet, build (examples included), the dead-symbol
 ## lint, tests, the race detector over the concurrency-heavy packages (store
@@ -8,7 +8,7 @@ GO ?= go
 ## ship path), the replication chaos suite (partitions, duplicated and
 ## reordered frames, failover), the crash-recovery matrix (durability kill
 ## points), and smoke runs of the ingest and dashboard-read benchmarks.
-tier1: vet build examples lint test race chaos chaos-repl crash bench-smoke bench-read
+tier1: vet build examples lint test race chaos chaos-repl chaos-cluster crash bench-smoke bench-read
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ examples:
 ## openSyscalls dictionary in correlate.go), plus an audit of the store and
 ## durable packages for exported symbols nothing outside them uses.
 lint:
-	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable,internal/repl .
+	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable,internal/repl,internal/cluster .
 
 test:
 	$(GO) test ./...
@@ -64,6 +64,16 @@ chaos:
 ## HTTP chaos injector on the /_repl endpoints — raced and repeated.
 chaos-repl:
 	$(GO) test -race -count=2 -run 'TestRepl|TestFollower|TestFailover|TestPartition|TestDelayed|TestPrimaryKill|TestGraceful|TestRetryAfter|TestSync|TestChaosRepl|TestHealth|FuzzWALReplay' ./internal/repl/ ./internal/store/ ./internal/durable/
+
+## chaos-cluster: the partitioned-coordinator fault harness — the 1-node vs
+## 4-node differential fingerprint (byte-identical search/count/agg/cursor
+## responses), node loss mid-scatter with breaker trip and half-open
+## recovery, striped-bulk partial failure and counter reseed, cursor resume
+## across coordinator restarts and across a partition's primary failover,
+## and the HTTP transparency suite (raw response-body comparison against a
+## bare node) — raced and repeated.
+chaos-cluster:
+	$(GO) test -race -count=2 ./internal/cluster/
 
 ## crash: the durability crash matrix — torn WAL tails, mid-snapshot kills,
 ## superseded-log resurrection, frame-journal round-trips, and the tiered

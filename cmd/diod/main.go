@@ -17,6 +17,17 @@
 // A follower rejects direct writes and applies the primary's WAL frames
 // pushed to /_repl/apply; POST /_repl/promote (or -auto-promote on primary
 // loss) flips it to a writable primary.
+//
+// Cluster coordinator (DESIGN.md §16): -cluster turns diod into a stateless
+// routing tier over a static topology. Commas separate partitions; a `|`
+// within a partition lists that partition's primary first and its
+// replicated followers after, fronted by a failover client:
+//
+//	diod -addr :9200 -cluster 'http://n0:9200|http://n0b:9201,http://n1:9200,http://n2:9200,http://n3:9200'
+//
+// The coordinator serves the same /v1 API as a node — writes are striped
+// row-by-row across the partitions, searches scatter to every partition and
+// merge once — so tracers and visualizers point at it unchanged.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/dsrhaslab/dio-go/internal/cluster"
 	"github.com/dsrhaslab/dio-go/internal/repl"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
@@ -47,6 +59,7 @@ type config struct {
 	follow      string
 	autoPromote time.Duration
 	replicate   string
+	cluster     string
 }
 
 func main() {
@@ -62,6 +75,7 @@ func main() {
 	flag.StringVar(&cfg.follow, "follow", "", "run as a follower of this primary URL: reject writes, apply /_repl pushes")
 	flag.DurationVar(&cfg.autoPromote, "auto-promote", 0, "with -follow: promote to primary once the primary has been unreachable this long (0 disables)")
 	flag.StringVar(&cfg.replicate, "replicate", "", "comma-separated follower URLs to ship this node's WAL to")
+	flag.StringVar(&cfg.cluster, "cluster", "", "run as a cluster coordinator over this topology: comma-separated partitions, '|'-separated primary|follower URLs within a partition")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -69,6 +83,12 @@ func main() {
 }
 
 func run(cfg config) error {
+	if cfg.cluster != "" {
+		if cfg.data != "" || cfg.follow != "" || cfg.replicate != "" {
+			return fmt.Errorf("-cluster is a stateless routing tier: it takes no -data, -follow, or -replicate")
+		}
+		return runCluster(cfg)
+	}
 	policy, err := store.ParseFsyncPolicy(cfg.fsyncMode)
 	if err != nil {
 		return err
@@ -181,6 +201,87 @@ func run(cfg config) error {
 	case s := <-sig:
 		fmt.Printf("diod: %v, draining and shutting down\n", s)
 		return shutdown()
+	}
+}
+
+// parseTopology expands a -cluster spec into one Node per partition. The
+// spec is static and positional: partition p of the comma-separated list
+// owns every cluster-global row g with g % P == p, so the same spec (in the
+// same order) must be handed to every coordinator pointed at the topology.
+func parseTopology(spec string) ([]cluster.Node, []string, error) {
+	var nodes []cluster.Node
+	var targets []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var members []*store.Client
+		for _, u := range strings.Split(part, "|") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			members = append(members, store.NewClient(u, store.WithAPIPrefix("/v1")))
+		}
+		if len(members) == 0 {
+			return nil, nil, fmt.Errorf("cluster topology: empty partition in %q", spec)
+		}
+		fc, err := store.NewFailoverClient(members...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster topology: partition %d: %w", len(nodes), err)
+		}
+		target := members[0].Base()
+		nodes = append(nodes, cluster.NewHTTPNode(target, fc))
+		targets = append(targets, part)
+	}
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("cluster topology %q names no partitions", spec)
+	}
+	return nodes, targets, nil
+}
+
+// runCluster serves the coordinator role: no local store, just routing state
+// (row counters, per-partition breakers) rebuilt from the nodes on boot.
+func runCluster(cfg config) error {
+	nodes, targets, err := parseTopology(cfg.cluster)
+	if err != nil {
+		return err
+	}
+	co, err := cluster.New(cluster.Config{}, nodes...)
+	if err != nil {
+		return err
+	}
+	var handler http.Handler = cluster.NewServer(co)
+	if cfg.chaos {
+		handler = store.NewChaosHandler(handler, time.Now().UnixNano())
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("diod: cluster coordinator listening on %s, %d partitions\n", cfg.addr, co.Partitions())
+	for p, t := range targets {
+		fmt.Printf("partition %d: %s\n", p, t)
+	}
+	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | GET /{index}/_stats | GET /_cat/indices | GET /_health | GET /metrics")
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("diod: %v, draining and shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		return nil
 	}
 }
 

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/repl"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// The HTTP half of the harness: real store servers behind httptest, real
+// FailoverClients per partition, the coordinator's own HTTP server on top,
+// and the ordinary store.Client pointed at it. These tests pin the
+// transparency claim — a client cannot tell a coordinator from a node — down
+// to the raw response bytes.
+
+// newHTTPCluster boots n single-node partitions, each a store server behind
+// a one-member FailoverClient, under a coordinator HTTP server.
+func newHTTPCluster(t *testing.T, n int) (*Coordinator, *httptest.Server, []*store.Store) {
+	t.Helper()
+	stores := make([]*store.Store, n)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		st := store.New()
+		srv := httptest.NewServer(store.NewServer(st))
+		t.Cleanup(srv.Close)
+		fc, err := store.NewFailoverClient(store.NewClient(srv.URL, store.WithAPIPrefix("/v1")))
+		if err != nil {
+			t.Fatalf("failover client: %v", err)
+		}
+		stores[i] = st
+		nodes[i] = NewHTTPNode(srv.URL, fc)
+	}
+	co, err := New(Config{Clock: clock.NewVirtual(0)}, nodes...)
+	if err != nil {
+		t.Fatalf("new coordinator: %v", err)
+	}
+	csrv := httptest.NewServer(NewServer(co))
+	t.Cleanup(csrv.Close)
+	return co, csrv, stores
+}
+
+// postRaw POSTs a body and returns status plus the exact response bytes.
+func postRaw(t *testing.T, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestClusterHTTPTransparency is the end-to-end byte-identity check: the
+// same ingest through a 4-partition coordinator's HTTP API and through a
+// bare node, then every query compared as raw response bodies — including
+// the aggregation partials' JSON round-trip across the real wire.
+func TestClusterHTTPTransparency(t *testing.T) {
+	singleStore := store.New()
+	ssrv := httptest.NewServer(store.NewServer(singleStore))
+	defer ssrv.Close()
+
+	_, csrv, _ := newHTTPCluster(t, 4)
+
+	// Ingest through both HTTP front doors: binary frames and NDJSON bulks.
+	singleC := store.NewClient(ssrv.URL, store.WithAPIPrefix("/v1"))
+	clusterC := store.NewClient(csrv.URL, store.WithAPIPrefix("/v1"))
+	ingestBoth(t, singleC, clusterC)
+
+	var ndjson bytes.Buffer
+	for _, d := range clusterDocs(7, 9) {
+		ndjson.WriteString(`{"index":{}}` + "\n")
+		b, _ := json.Marshal(d)
+		ndjson.Write(b)
+		ndjson.WriteByte('\n')
+	}
+	for _, base := range []string{ssrv.URL, csrv.URL} {
+		code, body := postRaw(t, base+"/v1/"+testIndex+"/_bulk", "application/x-ndjson", ndjson.Bytes())
+		if code != http.StatusOK {
+			t.Fatalf("ndjson bulk via %s: %d %s", base, code, body)
+		}
+	}
+
+	for name, req := range differentialRequests() {
+		rb, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+		scode, sbody := postRaw(t, ssrv.URL+"/v1/"+testIndex+"/_search", "application/json", rb)
+		ccode, cbody := postRaw(t, csrv.URL+"/v1/"+testIndex+"/_search", "application/json", rb)
+		if scode != http.StatusOK || ccode != http.StatusOK {
+			t.Fatalf("%s: statuses single=%d cluster=%d", name, scode, ccode)
+		}
+		if !bytes.Equal(sbody, cbody) {
+			t.Fatalf("%s: HTTP bodies diverged\nsingle:  %s\ncluster: %s", name, sbody, cbody)
+		}
+	}
+
+	// The ordinary client decodes a coordinator response transparently.
+	ctx := context.Background()
+	resp, err := clusterC.Search(ctx, testIndex, store.SearchRequest{
+		Query: store.Term(store.FieldProcName, "loader"), Size: 5,
+		Sort: []store.SortField{{Field: store.FieldTimeEnter, Desc: true}},
+	})
+	if err != nil {
+		t.Fatalf("client search via coordinator: %v", err)
+	}
+	if len(resp.Hits) != 5 || resp.NextAfter == nil {
+		t.Fatalf("client search via coordinator: %d hits, next_after %v", len(resp.Hits), resp.NextAfter)
+	}
+
+	// Error statuses match a node's, too.
+	badReq, _ := json.Marshal(store.SearchRequest{
+		Query: store.MatchAll(), Size: 3, From: 1, SearchAfter: []any{float64(4)},
+	})
+	scode, _ := postRaw(t, ssrv.URL+"/v1/"+testIndex+"/_search", "application/json", badReq)
+	ccode, _ := postRaw(t, csrv.URL+"/v1/"+testIndex+"/_search", "application/json", badReq)
+	if scode != http.StatusBadRequest || ccode != http.StatusBadRequest {
+		t.Fatalf("From+cursor: single=%d cluster=%d, want 400/400", scode, ccode)
+	}
+	scode, _ = postRaw(t, ssrv.URL+"/v1/nope/_search", "application/json", []byte(`{}`))
+	ccode, _ = postRaw(t, csrv.URL+"/v1/nope/_search", "application/json", []byte(`{}`))
+	if scode != http.StatusNotFound || ccode != http.StatusNotFound {
+		t.Fatalf("missing index: single=%d cluster=%d, want 404/404", scode, ccode)
+	}
+
+	// Correlate over HTTP: typed 501 with a machine-readable reason.
+	code, body := postRaw(t, csrv.URL+"/v1/"+testIndex+"/_correlate", "application/json", []byte(`{"session":"run-0"}`))
+	if code != http.StatusNotImplemented {
+		t.Fatalf("cluster correlate: %d %s, want 501", code, body)
+	}
+	var ce struct{ Error, Reason string }
+	if err := json.Unmarshal(body, &ce); err != nil || ce.Reason != ReasonClusterCorrelate {
+		t.Fatalf("cluster correlate body %s: reason %q, want %q", body, ce.Reason, ReasonClusterCorrelate)
+	}
+	if _, err := clusterC.Correlate(ctx, testIndex, "run-0"); err == nil {
+		t.Fatal("client correlate via coordinator succeeded, want typed refusal")
+	}
+
+	// Stats through the coordinator aggregates with a partition breakdown.
+	hresp, err := http.Get(csrv.URL + "/v1/" + testIndex + "/_stats")
+	if err != nil {
+		t.Fatalf("GET _stats: %v", err)
+	}
+	defer hresp.Body.Close()
+	var cs ClusterStats
+	if err := json.NewDecoder(hresp.Body).Decode(&cs); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	want, err := singleC.Count(ctx, testIndex, store.MatchAll())
+	if err != nil {
+		t.Fatalf("single count: %v", err)
+	}
+	if cs.Docs != want || len(cs.Partitions) != 4 {
+		t.Fatalf("cluster stats %+v, want %d docs over 4 partitions", cs, want)
+	}
+}
+
+// TestClusterHealthAndMetricsHTTP: the coordinator's observability endpoints
+// report per-node routing state and fan-out counters.
+func TestClusterHealthAndMetricsHTTP(t *testing.T) {
+	_, csrv, _ := newHTTPCluster(t, 2)
+	clusterC := store.NewClient(csrv.URL, store.WithAPIPrefix("/v1"))
+	ingestBoth(t, clusterC)
+	if _, err := clusterC.Search(context.Background(), testIndex, store.SearchRequest{Query: store.MatchAll(), Size: 1}); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+
+	hresp, err := http.Get(csrv.URL + "/v1/_health")
+	if err != nil {
+		t.Fatalf("GET _health: %v", err)
+	}
+	defer hresp.Body.Close()
+	var h ClusterHealth
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	if h.Status != "ok" || h.Partitions != 2 || len(h.Nodes) != 2 {
+		t.Fatalf("cluster health = %+v", h)
+	}
+	for p, n := range h.Nodes {
+		if n.Partition != p || n.Breaker != "closed" || n.Role != "primary" {
+			t.Fatalf("node %d health = %+v", p, n)
+		}
+	}
+
+	mresp, err := http.Get(csrv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	mb, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"dio_cluster_fanouts_total",
+		"dio_cluster_routed_rows_total",
+		"dio_cluster_node0_calls_total",
+		"dio_cluster_node1_breaker_open",
+	} {
+		if !bytes.Contains(mb, []byte(want)) {
+			t.Fatalf("/metrics missing %s:\n%s", want, mb)
+		}
+	}
+}
+
+// TestClusterCursorResumeAcrossPartitionFailover is the satellite scenario:
+// a sorted search_after walk through the coordinator keeps returning
+// byte-identical pages when one partition's primary dies between pages and
+// its WAL-shipped follower is promoted — the FailoverClient under that
+// partition re-picks, and the cursor (cluster-global coordinates) is valid
+// on the follower because replication preserves row ids.
+func TestClusterCursorResumeAcrossPartitionFailover(t *testing.T) {
+	ctx := context.Background()
+
+	// Partition 0: durable primary + in-memory follower behind a
+	// WAL-shipping replicator, fronted by a two-member FailoverClient.
+	dir, err := os.MkdirTemp("", "dio-cluster-failover-")
+	if err != nil {
+		t.Fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	primary, err := store.Open(
+		store.WithDataDir(dir),
+		store.WithFsyncPolicy(store.FsyncInterval),
+		store.WithSnapshotInterval(0))
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	defer primary.Close()
+	psrv := httptest.NewServer(store.NewServer(primary))
+	follower := store.New()
+	follower.SetFollower()
+	fsrv := httptest.NewServer(store.NewServer(follower))
+	defer fsrv.Close()
+	shipper := repl.New(primary, repl.ClientTransport{C: store.NewClient(fsrv.URL)}, repl.Config{
+		Interval: 5 * time.Millisecond,
+	})
+	shipper.Start()
+	fo0, err := store.NewFailoverClient(
+		store.NewClient(psrv.URL, store.WithAPIPrefix("/v1")),
+		store.NewClient(fsrv.URL, store.WithAPIPrefix("/v1")))
+	if err != nil {
+		t.Fatalf("failover client: %v", err)
+	}
+
+	// Partition 1: a plain single-member node.
+	st1 := store.New()
+	srv1 := httptest.NewServer(store.NewServer(st1))
+	defer srv1.Close()
+	fo1, err := store.NewFailoverClient(store.NewClient(srv1.URL, store.WithAPIPrefix("/v1")))
+	if err != nil {
+		t.Fatalf("failover client: %v", err)
+	}
+
+	co, err := New(Config{Clock: clock.NewVirtual(0)}, NewHTTPNode(psrv.URL, fo0), NewHTTPNode(srv1.URL, fo1))
+	if err != nil {
+		t.Fatalf("new coordinator: %v", err)
+	}
+
+	// Control: the same rows in a single store, walked uninterrupted.
+	control := store.New()
+	ingestBoth(t, control, co)
+
+	// Drain replication so the follower holds exactly the primary's state
+	// before the kill (the repl suite's own lossless-handover precondition).
+	if err := shipper.Stop(); err != nil {
+		t.Fatalf("drain shipper: %v", err)
+	}
+
+	req := store.SearchRequest{
+		Query: store.MatchAll(), Size: 13,
+		Sort: []store.SortField{
+			{Field: store.FieldProcName},
+			{Field: store.FieldTimeEnter},
+		},
+	}
+	want, err := control.Search(ctx, testIndex, req)
+	if err != nil {
+		t.Fatalf("control page 1: %v", err)
+	}
+	got, err := co.Search(ctx, testIndex, req)
+	if err != nil {
+		t.Fatalf("cluster page 1: %v", err)
+	}
+	if fingerprintCluster(t, got) != fingerprintSingle(t, want) {
+		t.Fatal("page 1 diverged before the failover")
+	}
+
+	// Partition 0's primary dies between pages; the follower is promoted.
+	psrv.Close()
+	follower.Promote()
+
+	creq, sreq := req, req
+	page := 2
+	for {
+		sreq.SearchAfter, creq.SearchAfter = want.NextAfter, got.NextAfter
+		want, err = control.Search(ctx, testIndex, sreq)
+		if err != nil {
+			t.Fatalf("control page %d: %v", page, err)
+		}
+		got, err = co.Search(ctx, testIndex, creq)
+		if err != nil {
+			t.Fatalf("cluster page %d (after failover): %v", page, err)
+		}
+		if fingerprintCluster(t, got) != fingerprintSingle(t, want) {
+			t.Fatalf("page %d diverged after partition failover", page)
+		}
+		if want.NextAfter == nil {
+			break
+		}
+		if page++; page > 60 {
+			t.Fatal("cursor walk did not terminate")
+		}
+	}
+	if fo0.Switches() == 0 {
+		t.Fatal("partition 0 never failed over — the test did not exercise the handover")
+	}
+
+	// The promoted follower also accepts new writes routed to partition 0.
+	if err := co.BulkEvents(ctx, testIndex, clusterEvents(30, 6)); err != nil {
+		t.Fatalf("bulk after promote: %v", err)
+	}
+
+	// Count still exact across the promoted partition.
+	cn, err := co.Count(ctx, testIndex, store.MatchAll())
+	if err != nil {
+		t.Fatalf("count after failover: %v", err)
+	}
+	sn, _ := control.Count(ctx, testIndex, store.MatchAll())
+	if cn != sn+6 {
+		t.Fatalf("post-failover count %d, want %d", cn, sn+6)
+	}
+}
+
+// TestClusterHTTPNode404Sentinel pins the adapter detail the empty-partition
+// logic rides on: an HTTP 404 from a node surfaces as ErrIndexNotFound.
+func TestClusterHTTPNode404Sentinel(t *testing.T) {
+	ctx := context.Background()
+	st := store.New()
+	srv := httptest.NewServer(store.NewServer(st))
+	defer srv.Close()
+	fc, err := store.NewFailoverClient(store.NewClient(srv.URL, store.WithAPIPrefix("/v1")))
+	if err != nil {
+		t.Fatalf("failover client: %v", err)
+	}
+	n := NewHTTPNode(srv.URL, fc)
+	if _, err := n.Count(ctx, "missing", store.MatchAll()); !errors.Is(err, ErrIndexNotFound) {
+		t.Fatalf("count on missing index: %v, want ErrIndexNotFound", err)
+	}
+	if _, err := n.Scatter(ctx, "missing", store.ScatterRequest{
+		Req: store.SearchRequest{Query: store.MatchAll()}, Partitions: 1,
+	}); !errors.Is(err, ErrIndexNotFound) {
+		t.Fatalf("scatter on missing index: %v, want ErrIndexNotFound", err)
+	}
+	if _, err := n.Stats(ctx, "missing"); !errors.Is(err, ErrIndexNotFound) {
+		t.Fatalf("stats on missing index: %v, want ErrIndexNotFound", err)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// httpNode adapts a store.FailoverClient to the Node interface: each
+// partition is a FailoverClient over its primary and followers, so the
+// existing resilience ladder (probe, switch, retry once) runs per-partition
+// underneath the coordinator's per-partition circuit breaker.
+type httpNode struct {
+	fc     *store.FailoverClient
+	target string
+}
+
+// NewHTTPNode wraps a partition's failover client as a coordinator Node.
+// target names the partition in health reports (typically the primary URL).
+func NewHTTPNode(target string, fc *store.FailoverClient) Node {
+	return &httpNode{fc: fc, target: target}
+}
+
+var _ Node = (*httpNode)(nil)
+
+// notFound translates the HTTP encoding of "index not found" into the
+// coordinator's sentinel, leaving every other error (including other 404s'
+// message text) intact inside the wrap.
+func notFound(err error) error {
+	var he *store.HTTPError
+	if errors.As(err, &he) && he.Status == http.StatusNotFound {
+		return fmt.Errorf("%v: %w", err, ErrIndexNotFound)
+	}
+	return err
+}
+
+func (n *httpNode) Target() string { return n.target }
+
+func (n *httpNode) Bulk(ctx context.Context, index string, docs []store.Document) error {
+	return n.fc.Bulk(ctx, index, docs)
+}
+
+func (n *httpNode) BulkEvents(ctx context.Context, index string, events []event.Event) error {
+	return n.fc.BulkEvents(ctx, index, events)
+}
+
+func (n *httpNode) BulkFrame(ctx context.Context, index string, frame []byte) error {
+	return n.fc.BulkFrame(ctx, index, frame)
+}
+
+func (n *httpNode) Scatter(ctx context.Context, index string, sreq store.ScatterRequest) (store.ScatterResponse, error) {
+	resp, err := n.fc.Scatter(ctx, index, sreq)
+	return resp, notFound(err)
+}
+
+func (n *httpNode) Count(ctx context.Context, index string, q store.Query) (int, error) {
+	c, err := n.fc.Count(ctx, index, q)
+	return c, notFound(err)
+}
+
+func (n *httpNode) Stats(ctx context.Context, index string) (store.IndexStats, error) {
+	st, err := n.fc.Stats(ctx, index)
+	return st, notFound(err)
+}
+
+func (n *httpNode) ListIndices(ctx context.Context) ([]string, error) {
+	return n.fc.ListIndices(ctx)
+}
+
+func (n *httpNode) DeleteIndex(ctx context.Context, index string) error {
+	return n.fc.DeleteIndex(ctx, index)
+}
+
+func (n *httpNode) Health(ctx context.Context) (store.HealthStatus, error) {
+	return n.fc.HealthStatus(ctx)
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// Server exposes the coordinator over HTTP with the same surface (and the
+// same dual mounting — versioned /v1/ plus the legacy unprefixed alias) as a
+// single diod node, so clients point at a coordinator with nothing but a
+// base-URL change:
+//
+//	POST   /v1/{index}/_bulk       NDJSON pairs or a binary event frame, striped to owners
+//	POST   /v1/{index}/_search     scattered to all partitions, merged once
+//	POST   /v1/{index}/_count      scattered, summed
+//	POST   /v1/{index}/_correlate  501: not routable across partitions
+//	GET    /v1/{index}/_stats      aggregated, with per-partition breakdown
+//	GET    /v1/_cat/indices        union of partition index lists
+//	GET    /v1/_health             per-partition liveness, roles, breaker state
+//	GET    /v1/metrics             coordinator routing/fan-out counters
+//	DELETE /v1/{index}             dropped on every partition
+type Server struct {
+	co  *Coordinator
+	mux *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps a coordinator in an HTTP handler.
+func NewServer(co *Coordinator) *Server {
+	s := &Server{co: co, mux: http.NewServeMux()}
+	inner := http.NewServeMux()
+	inner.HandleFunc("/_cat/indices", s.handleCatIndices)
+	inner.HandleFunc("/_health", s.handleHealth)
+	inner.HandleFunc("/metrics", s.handleMetrics)
+	inner.HandleFunc("/", s.handleIndexOps)
+	s.mux.Handle("/", inner)
+	s.mux.Handle("/v1/", http.StripPrefix("/v1", inner))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleCatIndices(w http.ResponseWriter, r *http.Request) {
+	names, err := s.co.ListIndices(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.co.Health(r.Context()))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.co.Telemetry().WriteText(w)
+}
+
+func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	switch {
+	case len(parts) == 1 && parts[0] != "" && r.Method == http.MethodDelete:
+		if err := s.co.DeleteIndex(r.Context(), parts[0]); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"acknowledged": true})
+	case len(parts) == 2:
+		index, op := parts[0], parts[1]
+		switch op {
+		case "_bulk":
+			s.handleBulk(w, r, index)
+		case "_search":
+			s.handleSearch(w, r, index)
+		case "_count":
+			s.handleCount(w, r, index)
+		case "_correlate":
+			s.handleCorrelate(w, r)
+		case "_stats":
+			s.handleStats(w, r, index)
+		default:
+			httpError(w, http.StatusNotFound, "unknown operation %q", op)
+		}
+	default:
+		httpError(w, http.StatusNotFound, "not found")
+	}
+}
+
+// handleBulk accepts the same two encodings a node does — the binary event
+// frame or Elasticsearch-style NDJSON — and stripes the rows to their owner
+// partitions.
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, event.ContentTypeBinaryV1) {
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		items, err := s.co.BulkFrame(r.Context(), index, buf.Bytes())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"items": items})
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	var docs []store.Document
+	expectDoc := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !expectDoc {
+			expectDoc = true // action line, e.g. {"index":{}}
+			continue
+		}
+		var d store.Document
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			httpError(w, http.StatusBadRequest, "bad document: %v", err)
+			return
+		}
+		docs = append(docs, d)
+		expectDoc = false
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := s.co.Bulk(r.Context(), index, docs); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"items": len(docs)})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req store.SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad search request: %v", err)
+		return
+	}
+	resp, err := s.co.Search(r.Context(), index, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, index string) {
+	var q store.Query
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			httpError(w, http.StatusBadRequest, "bad query: %v", err)
+			return
+		}
+	}
+	n, err := s.co.Count(r.Context(), index, q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"count": n})
+}
+
+// handleCorrelate answers the typed refusal: correlation does not route
+// across partitions (see ErrCorrelateUnsupported).
+func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	writeJSON(w, http.StatusNotImplemented, map[string]string{
+		"error":  ErrCorrelateUnsupported.Error(),
+		"reason": ReasonClusterCorrelate,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	st, err := s.co.Stats(r.Context(), index)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// writeError maps coordinator errors to statuses consistent with a single
+// node's API: client errors keep their 4xx (a scattered request fails like a
+// direct one), per-node statuses forward, and a dead or breaker-rejected
+// partition is the coordinator's own failure — 503/502, temporary under the
+// client's retry classification.
+func writeError(w http.ResponseWriter, err error) {
+	var he *store.HTTPError
+	switch {
+	case errors.Is(err, ErrCorrelateUnsupported):
+		writeJSON(w, http.StatusNotImplemented, map[string]string{
+			"error": err.Error(), "reason": ReasonClusterCorrelate,
+		})
+	case errors.Is(err, store.ErrCursorExpired):
+		httpError(w, http.StatusGone, "%v", err)
+	case store.IsBadRequest(err):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrIndexNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrNodeUnavailable):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.As(err, &he):
+		httpError(w, he.Status, "%v", err)
+	default:
+		httpError(w, http.StatusBadGateway, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

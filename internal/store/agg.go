@@ -392,70 +392,6 @@ func (sh *shard) partial(a Agg, ids []int32) *partialAgg {
 	}
 }
 
-// mergePartials combines per-shard partials into the final AggResult.
-func mergePartials(a Agg, parts []*partialAgg) AggResult {
-	switch {
-	case a.Terms != nil:
-		if len(a.Aggs) == 0 {
-			counts := make(map[string]int)
-			for _, p := range parts {
-				for k, n := range p.termCounts {
-					counts[k] += n
-				}
-			}
-			return a.finalizeTermCounts(counts)
-		}
-		groups := make(map[string][]Document)
-		for _, p := range parts {
-			for k, g := range p.terms {
-				groups[k] = append(groups[k], g...)
-			}
-		}
-		return a.finalizeTerms(groups)
-	case a.DateHistogram != nil:
-		if len(a.Aggs) == 0 {
-			counts := make(map[int64]int)
-			for _, p := range parts {
-				for k, n := range p.histCounts {
-					counts[k] += n
-				}
-			}
-			return a.finalizeHistCounts(counts)
-		}
-		groups := make(map[int64][]Document)
-		for _, p := range parts {
-			for k, g := range p.hist {
-				groups[k] = append(groups[k], g...)
-			}
-		}
-		return a.finalizeHistogram(groups)
-	case a.Percentiles != nil:
-		var merged []float64
-		for _, p := range parts {
-			merged = mergeSortedFloats(merged, p.vals)
-		}
-		return percentilesFromSorted(merged, a.Percentiles)
-	case a.Stats != nil:
-		res := StatsResult{Min: math.Inf(1), Max: math.Inf(-1)}
-		for _, p := range parts {
-			if p.stats == nil {
-				continue
-			}
-			res.Count += p.stats.Count
-			res.Sum += p.stats.Sum
-			if p.stats.Min < res.Min {
-				res.Min = p.stats.Min
-			}
-			if p.stats.Max > res.Max {
-				res.Max = p.stats.Max
-			}
-		}
-		return AggResult{Stats: finalizeStats(res)}
-	default:
-		return AggResult{}
-	}
-}
-
 // mergeSortedFloats streams two ascending slices into one.
 func mergeSortedFloats(a, b []float64) []float64 {
 	if len(a) == 0 {

@@ -23,10 +23,14 @@ import (
 // responses are temporary and worth retrying, while 4xx client errors are
 // permanent. A Retry-After header is surfaced as a backoff hint.
 type HTTPError struct {
-	Method     string
-	Path       string
-	Status     int
-	Message    string
+	Method  string
+	Path    string
+	Status  int
+	Message string
+	// Reason is the server's machine-readable error code, when the response
+	// body carried one (e.g. "update_beyond_retention" alongside a 409);
+	// Unwrap maps known reasons back to their sentinel errors.
+	Reason     string
 	RetryAfter time.Duration
 }
 
@@ -45,12 +49,17 @@ func (e *HTTPError) Temporary() bool {
 // RetryAfterHint returns the server-provided backoff, if any.
 func (e *HTTPError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
-// Unwrap maps well-known statuses back to their sentinel errors so remote
-// callers can errors.Is against the same values local callers see: 410 Gone
-// is the server-side mapping of ErrCursorExpired.
+// Unwrap maps well-known statuses and reason codes back to their sentinel
+// errors so remote callers can errors.Is against the same values local
+// callers see: 410 Gone is the server-side mapping of ErrCursorExpired, and
+// reason "update_beyond_retention" is the 409 a retention-evicting index
+// returns for update-by-query and correlation.
 func (e *HTTPError) Unwrap() error {
 	if e.Status == http.StatusGone {
 		return ErrCursorExpired
+	}
+	if e.Reason == ReasonUpdateBeyondRetention {
+		return ErrUpdateBeyondRetention
 	}
 	return nil
 }
@@ -310,11 +319,54 @@ func (c *Client) Correlate(ctx context.Context, index, session string) (Correlat
 	return res, err
 }
 
-// Indices lists index names.
-func (c *Client) Indices() ([]string, error) {
+// Scatter runs one partition's share of a cluster search (POST _scatter):
+// mergeable candidates and combined aggregation partials, which the
+// coordinator reduces with the same merge functions the node used across its
+// own shards.
+func (c *Client) Scatter(ctx context.Context, index string, sreq ScatterRequest) (ScatterResponse, error) {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return ScatterResponse{}, fmt.Errorf("encode scatter: %w", err)
+	}
+	var resp ScatterResponse
+	err = c.do(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_scatter", body, &resp)
+	return resp, err
+}
+
+// BulkFrame posts an already-encoded binary event frame verbatim — the
+// coordinator's no-re-encode forward path for a single-partition topology.
+// The caller owns protocol negotiation: a server that does not speak the
+// binary frame surfaces as the usual 4xx, with no NDJSON fallback here.
+func (c *Client) BulkFrame(ctx context.Context, index string, frame []byte) error {
+	var out map[string]int
+	return c.doBody(ctx, http.MethodPost, "/"+url.PathEscape(index)+"/_bulk",
+		event.ContentTypeBinaryV1, frame, &out)
+}
+
+// Stats fetches the named index's doc/shard/row counts (GET _stats).
+func (c *Client) Stats(ctx context.Context, index string) (IndexStats, error) {
+	var st IndexStats
+	err := c.do(ctx, http.MethodGet, "/"+url.PathEscape(index)+"/_stats", nil, &st)
+	return st, err
+}
+
+// DeleteIndex drops the named index.
+func (c *Client) DeleteIndex(ctx context.Context, index string) error {
+	return c.do(ctx, http.MethodDelete, "/"+url.PathEscape(index), nil, nil)
+}
+
+// ListIndices lists index names.
+func (c *Client) ListIndices(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.do(context.Background(), http.MethodGet, "/_cat/indices", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/_cat/indices", nil, &out)
 	return out, err
+}
+
+// Indices lists index names.
+//
+// Deprecated: use ListIndices, which is context-first.
+func (c *Client) Indices() ([]string, error) {
+	return c.ListIndices(context.Background())
 }
 
 // Health probes the server's GET /_health endpoint; nil means the backend
@@ -432,7 +484,8 @@ func (c *Client) doReader(ctx context.Context, method, path, contentType string,
 	}()
 	if resp.StatusCode/100 != 2 {
 		var e struct {
-			Error string `json:"error"`
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
 		}
 		_ = json.NewDecoder(io.LimitReader(resp.Body, maxErrorBody)).Decode(&e)
 		return &HTTPError{
@@ -440,6 +493,7 @@ func (c *Client) doReader(ctx context.Context, method, path, contentType string,
 			Path:       path,
 			Status:     resp.StatusCode,
 			Message:    e.Error,
+			Reason:     e.Reason,
 			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 	}

@@ -175,5 +175,64 @@ func (f *FailoverClient) Correlate(ctx context.Context, index, session string) (
 	return res, err
 }
 
+// BulkFrame forwards an already-encoded binary event frame.
+func (f *FailoverClient) BulkFrame(ctx context.Context, index string, frame []byte) error {
+	return f.do(ctx, func(c *Client) error { return c.BulkFrame(ctx, index, frame) })
+}
+
+// Scatter runs one partition's share of a cluster search. A scatter is a
+// read, but it still rides the failover ladder: when the partition's primary
+// dies mid-query the promoted follower answers the retry, and sorted
+// search_after cursors survive the switch because they carry sort values,
+// not node state.
+func (f *FailoverClient) Scatter(ctx context.Context, index string, sreq ScatterRequest) (ScatterResponse, error) {
+	var res ScatterResponse
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		res, e = c.Scatter(ctx, index, sreq)
+		return e
+	})
+	return res, err
+}
+
+// Stats fetches index stats from the active node.
+func (f *FailoverClient) Stats(ctx context.Context, index string) (IndexStats, error) {
+	var st IndexStats
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		st, e = c.Stats(ctx, index)
+		return e
+	})
+	return st, err
+}
+
+// ListIndices lists index names on the active node.
+func (f *FailoverClient) ListIndices(ctx context.Context) ([]string, error) {
+	var names []string
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		names, e = c.ListIndices(ctx)
+		return e
+	})
+	return names, err
+}
+
+// DeleteIndex drops the named index on the active node.
+func (f *FailoverClient) DeleteIndex(ctx context.Context, index string) error {
+	return f.do(ctx, func(c *Client) error { return c.DeleteIndex(ctx, index) })
+}
+
+// HealthStatus fetches the active node's full health report, failing over to
+// a promoted node first if the active one is gone.
+func (f *FailoverClient) HealthStatus(ctx context.Context) (HealthStatus, error) {
+	var h HealthStatus
+	err := f.do(ctx, func(c *Client) error {
+		var e error
+		h, e = c.HealthStatus(ctx)
+		return e
+	})
+	return h, err
+}
+
 // Health probes the active node.
 func (f *FailoverClient) Health() error { return f.Active().Health() }

@@ -430,20 +430,69 @@ func (ix *Index) searchEventsCtx(ctx context.Context, req SearchRequest) (Events
 // snapshot. A cancelled ctx aborts between shards; finish is then never
 // called.
 func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(refs []hitRef, total int, aggs map[string]AggResult, next []any)) error {
+	return ix.searchShards(ctx, req, nil, func(refs []hitRef, total int, parts map[string]*partialAgg) {
+		var aggs map[string]AggResult
+		if len(req.Aggs) > 0 {
+			aggs = make(map[string]AggResult, len(req.Aggs))
+			for name, a := range req.Aggs {
+				aggs[name] = finalizePartial(a, parts[name])
+			}
+		}
+		var next []any
+		if req.Size > 0 && len(refs) == req.Size {
+			next = nextAfterRef(refs[len(refs)-1], req.Sort)
+		}
+		finish(refs, total, aggs, next)
+	})
+}
+
+// partitionView places this index inside a partitioned cluster for one
+// scatter: the index holds partition p of n, so its local row l carries
+// cluster-global id l*n+p and incoming cursor positions are cluster-global.
+// A nil view is the single-node case (local ids are global).
+type partitionView struct {
+	partition  int
+	partitions int
+}
+
+// searchShards is the shard fan-out half of the search pipeline: it matches,
+// pre-sorts, and pre-aggregates every stripe (cold segments included), k-way
+// merges the hit candidates, and hands finish the windowed refs plus the
+// per-aggregation COMBINED partials — not yet finalized, so a cluster
+// coordinator can combine them once more across partitions before
+// finalizing. finish runs while every shard read lock is held. A non-nil
+// view translates the request's cursor from cluster-global coordinates into
+// node-local ones after validation, so a scattered request rejects exactly
+// the cursors a single node would.
+func (ix *Index) searchShards(ctx context.Context, req SearchRequest, view *partitionView, finish func(refs []hitRef, total int, parts map[string]*partialAgg)) error {
 	cur, err := parseSearchAfter(req)
 	if err != nil {
 		return err
 	}
+	P, pt := 1, 0
+	if view != nil {
+		P, pt = view.partitions, view.partition
+	}
 	// An unsorted cursor names a resume row by global id; if retention may
 	// have dropped any row past it, resuming would silently skip data — fail
-	// loudly instead. (Row r > cur.gid was dropped iff floor > cur.gid+1.)
-	// Sorted cursors resume by sort key, not position, so a concurrent drop
-	// just means fewer rows — the usual deletion-during-pagination semantics —
-	// and they never expire.
+	// loudly instead. Under a partition view the retention floor is local, so
+	// the highest dropped cluster-global row is (floor-1)*P + p; with P=1,
+	// p=0 the condition reduces to the single-node floor > cur.gid+1. Sorted
+	// cursors resume by sort key, not position, so a concurrent drop just
+	// means fewer rows — the usual deletion-during-pagination semantics — and
+	// they never expire.
 	if cur != nil && len(req.Sort) == 0 {
-		if fl := ix.retFloor.Load(); int64(cur.gid)+1 < fl {
+		if fl := ix.retFloor.Load(); (fl-1)*int64(P)+int64(pt) > int64(cur.gid) {
 			return ErrCursorExpired
 		}
+	}
+	if cur != nil && view != nil {
+		// Validation above ran on the cluster-global cursor (the same bounds a
+		// 1-node store enforces); only now does the gid translate into this
+		// partition's local coordinates. The translated bound may be negative
+		// — "before every local row" — which the resume arithmetic handles but
+		// the wire format deliberately rejects.
+		cur = &searchCursor{vals: cur.vals, gid: partitionGidAfter(cur.gid, pt, P)}
 	}
 	S := len(ix.shards)
 	plan := ix.planRollup(req)
@@ -502,9 +551,9 @@ func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(
 	for i := range results {
 		total += results[i].total
 	}
-	var aggs map[string]AggResult
+	var combined map[string]*partialAgg
 	if len(req.Aggs) > 0 {
-		aggs = make(map[string]AggResult, len(req.Aggs))
+		combined = make(map[string]*partialAgg, len(req.Aggs))
 		for name, a := range req.Aggs {
 			parts := make([]*partialAgg, 0, S)
 			for i := range results {
@@ -512,15 +561,10 @@ func (ix *Index) searchRefs(ctx context.Context, req SearchRequest, finish func(
 					parts = append(parts, p)
 				}
 			}
-			aggs[name] = mergePartials(a, parts)
+			combined[name] = combinePartials(a, parts)
 		}
 	}
-	refs := mergeHits(results, req, need)
-	var next []any
-	if req.Size > 0 && len(refs) == req.Size {
-		next = nextAfterRef(refs[len(refs)-1], req.Sort)
-	}
-	finish(refs, total, aggs, next)
+	finish(mergeHits(results, req, need), total, combined)
 	return nil
 }
 
@@ -716,33 +760,15 @@ func hitLess(a, b hitRef, sorts []SortField) bool {
 
 // mergeHits k-way merges the per-shard candidate lists and applies the
 // From/Size window, returning refs — materialization is the caller's choice
-// (documents for Search, events for SearchEvents).
+// (documents for Search, events for SearchEvents). The merge itself is the
+// shared kwayMerge from the merge layer; the cluster coordinator runs the
+// identical merge over per-node candidates with the wire-rendered sort keys.
 func mergeHits(results []shardResult, req SearchRequest, need int) []hitRef {
-	n := 0
+	lists := make([][]hitRef, len(results))
 	for i := range results {
-		n += len(results[i].hits)
+		lists[i] = results[i].hits
 	}
-	if need > 0 && need < n {
-		n = need
-	}
-	out := make([]hitRef, 0, n)
-	cursors := make([]int, len(results))
-	for len(out) < n || need == 0 {
-		best := -1
-		for s := range results {
-			if cursors[s] >= len(results[s].hits) {
-				continue
-			}
-			if best == -1 || hitLess(results[s].hits[cursors[s]], results[best].hits[cursors[best]], req.Sort) {
-				best = s
-			}
-		}
-		if best == -1 {
-			break
-		}
-		out = append(out, results[best].hits[cursors[best]])
-		cursors[best]++
-	}
+	out := kwayMerge(lists, func(a, b hitRef) bool { return hitLess(a, b, req.Sort) }, need)
 	if req.From > 0 {
 		if req.From >= len(out) {
 			return nil

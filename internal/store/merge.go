@@ -1,0 +1,241 @@
+package store
+
+import "math"
+
+// The merge layer: node-count-agnostic reductions shared by the two fan-out
+// levels. Inside one Index the sharded search produces a shardResult per lock
+// stripe and merges them (DESIGN.md §5); in cluster mode a coordinator
+// scatters the same request across partition nodes and gathers per-node
+// ScatterResponses (DESIGN.md §16). Both levels reduce through the functions
+// in this file: a k-way ordered merge for hit candidates, combinable (not yet
+// finalized) aggregation partials, and plain integer sums for counts. The
+// split between combinePartials and finalizePartial is what makes the
+// two-level composition exact — partials combine associatively at each level
+// and finalize exactly once, at the top, so bucket ordering, terms-size
+// truncation, and percentile ranks are computed over the complete data no
+// matter how many times it was partitioned on the way up.
+
+// kwayMerge merges pre-sorted lists into one ascending sequence under less,
+// stopping after limit elements (limit <= 0 merges everything). Each input
+// list must already be sorted by the same order; ties across lists resolve to
+// the lowest list index, which both call sites make deterministic by keying
+// less with a total order (the global id tie-break).
+func kwayMerge[T any](lists [][]T, less func(a, b T) bool, limit int) []T {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]T, 0, n)
+	cursors := make([]int, len(lists))
+	for len(out) < n {
+		best := -1
+		for i := range lists {
+			if cursors[i] >= len(lists[i]) {
+				continue
+			}
+			if best == -1 || less(lists[i][cursors[i]], lists[best][cursors[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, lists[best][cursors[best]])
+		cursors[best]++
+	}
+	return out
+}
+
+// newStatsAccum returns the identity element of the stats combine: the
+// accumulator a fresh per-shard scan starts from.
+func newStatsAccum() StatsResult {
+	return StatsResult{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// combineStats folds one raw stats accumulator into another.
+func combineStats(dst *StatsResult, p *StatsResult) {
+	if p == nil {
+		return
+	}
+	dst.Count += p.Count
+	dst.Sum += p.Sum
+	if p.Min < dst.Min {
+		dst.Min = p.Min
+	}
+	if p.Max > dst.Max {
+		dst.Max = p.Max
+	}
+}
+
+// combinePartials folds per-stripe (or per-node) partials of one aggregation
+// into a single combined partial without finalizing it. The operation is
+// associative and commutative over the count maps, group maps, and stats
+// accumulators, and order-preserving over the sorted percentile values, so
+// partials can combine level by level — shards into a node partial, node
+// partials into a cluster one — and finalize once at the top.
+func combinePartials(a Agg, parts []*partialAgg) *partialAgg {
+	switch {
+	case a.Terms != nil:
+		if len(a.Aggs) == 0 {
+			counts := make(map[string]int)
+			for _, p := range parts {
+				for k, n := range p.termCounts {
+					counts[k] += n
+				}
+			}
+			return &partialAgg{termCounts: counts}
+		}
+		groups := make(map[string][]Document)
+		for _, p := range parts {
+			for k, g := range p.terms {
+				groups[k] = append(groups[k], g...)
+			}
+		}
+		return &partialAgg{terms: groups}
+	case a.DateHistogram != nil:
+		if len(a.Aggs) == 0 {
+			counts := make(map[int64]int)
+			for _, p := range parts {
+				for k, n := range p.histCounts {
+					counts[k] += n
+				}
+			}
+			return &partialAgg{histCounts: counts}
+		}
+		groups := make(map[int64][]Document)
+		for _, p := range parts {
+			for k, g := range p.hist {
+				groups[k] = append(groups[k], g...)
+			}
+		}
+		return &partialAgg{hist: groups}
+	case a.Percentiles != nil:
+		var merged []float64
+		for _, p := range parts {
+			merged = mergeSortedFloats(merged, p.vals)
+		}
+		return &partialAgg{vals: merged}
+	case a.Stats != nil:
+		res := newStatsAccum()
+		for _, p := range parts {
+			combineStats(&res, p.stats)
+		}
+		return &partialAgg{stats: &res}
+	default:
+		return &partialAgg{}
+	}
+}
+
+// finalizePartial turns a fully-combined partial into the aggregation's final
+// result: bucket ordering and truncation, sub-aggregation application over
+// the merged groups, percentile ranks over the complete sorted values, and
+// the stats average. nil finalizes as the empty partial (an aggregation no
+// stripe contributed to).
+func finalizePartial(a Agg, p *partialAgg) AggResult {
+	if p == nil {
+		p = &partialAgg{}
+	}
+	switch {
+	case a.Terms != nil:
+		if len(a.Aggs) == 0 {
+			return a.finalizeTermCounts(p.termCounts)
+		}
+		return a.finalizeTerms(p.terms)
+	case a.DateHistogram != nil:
+		if len(a.Aggs) == 0 {
+			return a.finalizeHistCounts(p.histCounts)
+		}
+		return a.finalizeHistogram(p.hist)
+	case a.Percentiles != nil:
+		return percentilesFromSorted(p.vals, a.Percentiles)
+	case a.Stats != nil:
+		res := newStatsAccum()
+		combineStats(&res, p.stats)
+		return AggResult{Stats: finalizeStats(res)}
+	default:
+		return AggResult{}
+	}
+}
+
+// AggPartial is the wire form of one mergeable aggregation partial: what a
+// partition node ships back from a scatter instead of a finalized AggResult,
+// so the coordinator can combine partials across nodes and finalize once.
+// Integer-keyed histogram maps survive JSON (Go renders int64 map keys as
+// decimal strings); an empty stats accumulator ships as a missing Stats field
+// because its ±Inf min/max sentinels have no JSON encoding.
+type AggPartial struct {
+	Terms      map[string][]Document `json:"terms,omitempty"`
+	TermCounts map[string]int        `json:"term_counts,omitempty"`
+	Hist       map[int64][]Document  `json:"hist,omitempty"`
+	HistCounts map[int64]int         `json:"hist_counts,omitempty"`
+	Vals       []float64             `json:"vals,omitempty"`
+	Stats      *StatsResult          `json:"stats,omitempty"`
+}
+
+// wirePartial renders an in-memory partial for the scatter response.
+func wirePartial(p *partialAgg) AggPartial {
+	w := AggPartial{
+		Terms:      p.terms,
+		TermCounts: p.termCounts,
+		Hist:       p.hist,
+		HistCounts: p.histCounts,
+		Vals:       p.vals,
+	}
+	if p.stats != nil && p.stats.Count > 0 {
+		w.Stats = p.stats
+	}
+	return w
+}
+
+// partial converts the wire form back for combining.
+func (w AggPartial) partial() *partialAgg {
+	p := &partialAgg{
+		terms:      w.Terms,
+		termCounts: w.TermCounts,
+		hist:       w.Hist,
+		histCounts: w.HistCounts,
+		vals:       w.Vals,
+	}
+	if w.Stats != nil {
+		p.stats = w.Stats
+	}
+	return p
+}
+
+// MergeAggPartials combines wire partials from any number of partitions and
+// finalizes the result — the cluster coordinator's half of the two-level
+// aggregation reduction. It is the same combine+finalize the intra-node shard
+// merge uses, so a 1-node and an N-node execution of one request produce
+// identical AggResults.
+func MergeAggPartials(a Agg, parts []AggPartial) AggResult {
+	ps := make([]*partialAgg, len(parts))
+	for i := range parts {
+		ps[i] = parts[i].partial()
+	}
+	return finalizePartial(a, combinePartials(a, ps))
+}
+
+// floorDiv is integer division rounding toward negative infinity, the gid
+// arithmetic for translating a cluster-global cursor position onto one
+// partition (the translated bound may be -1 when the position precedes every
+// row the partition owns).
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// partitionGidAfter translates a cluster-global resume position onto
+// partition p of n: the greatest node-local row id q such that every local
+// row l with l > q has cluster-global id l*n+p > gid. Both cursor tie-breaks
+// and unsorted resume arithmetic consume it: "strictly after the global
+// position" becomes "strictly after local q" on every partition, including
+// the ones that do not own the boundary row.
+func partitionGidAfter(gid, p, n int) int {
+	return floorDiv(gid-p, n)
+}

@@ -39,8 +39,9 @@ var maxRollupKeys = 1 << 16
 
 // rollupPartial is the pre-merged aggregation state for one group of rows:
 // per-indexed-field term counts and the base-aligned time_enter histogram.
-// Both maps are exactly the count-only partialAgg shapes mergePartials
-// consumes, so serving is a pointer handoff under the held read lock.
+// Both maps are exactly the count-only partialAgg shapes the merge layer
+// (combinePartials) consumes, so serving is a pointer handoff under the held
+// read lock.
 type rollupPartial struct {
 	terms [len(indexedFieldList)]map[string]int
 	hist  map[int64]int
@@ -342,7 +343,7 @@ func rollupServable(a Agg, base int64) bool {
 // nil to fall back to the scan (rollup dropped, re-dirtied concurrently, or
 // the session filter is unsound because stray session representations
 // exist). Caller holds the shard read lock; the returned partial aliases the
-// live rollup maps, which is safe because mergePartials only reads and the
+// live rollup maps, which is safe because combinePartials only reads and the
 // read lock is held through the merge.
 func (sh *shard) rollupServe(p *rollupPlan, a Agg) *partialAgg {
 	r := sh.rollup

@@ -51,6 +51,12 @@ func (s *Store) Correlate(ctx context.Context, index, session string) (Correlati
 	if !ok {
 		return CorrelationResult{}, fmt.Errorf("index %q not found", index)
 	}
+	// The rewrite step scans hot shard memory only; with retention-evicted
+	// cold rows present it would tag a subset and silently skip the rest, so
+	// the pass is refused up front (the typed 409 path, DESIGN.md §15).
+	if ix.coldRows.Load() > 0 {
+		return CorrelationResult{}, ErrUpdateBeyondRetention
+	}
 	var res CorrelationResult
 	var err error
 	s.tm.corrRuns.Inc()
@@ -289,6 +295,8 @@ func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
 			s.handleBulk(w, r, index)
 		case "_search":
 			s.handleSearch(w, r, index)
+		case "_scatter":
+			s.handleScatter(w, r, index)
 		case "_count":
 			s.handleCount(w, r, index)
 		case "_correlate":
@@ -434,6 +442,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, index stri
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleScatter serves one partition's share of a cluster search: mergeable
+// candidates and combined aggregation partials instead of a finished
+// response (DESIGN.md §16). Error mapping matches _search — a scattered
+// request must fail exactly like a direct one.
+func (s *Server) handleScatter(w http.ResponseWriter, r *http.Request, index string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var sreq ScatterRequest
+	if err := json.NewDecoder(r.Body).Decode(&sreq); err != nil {
+		httpError(w, http.StatusBadRequest, "bad scatter request: %v", err)
+		return
+	}
+	resp, err := s.store.Scatter(r.Context(), index, sreq)
+	if err != nil {
+		switch {
+		case errors.Is(err, errBadSearchAfter), errors.Is(err, errBadScatter):
+			httpError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, ErrCursorExpired):
+			httpError(w, http.StatusGone, "%v", err)
+		default:
+			httpError(w, http.StatusNotFound, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, index string) {
 	var q Query
 	if r.Body != nil && r.ContentLength != 0 {
@@ -457,6 +494,16 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request, index s
 	}
 	res, err := s.store.Correlate(r.Context(), index, r.URL.Query().Get("session"))
 	if err != nil {
+		if errors.Is(err, ErrUpdateBeyondRetention) {
+			// 409 with a machine-readable reason: the correlation pass would
+			// rewrite file paths on hot rows only, silently skipping the
+			// retention-evicted ones, so the API refuses instead.
+			writeJSON(w, http.StatusConflict, map[string]string{
+				"error":  err.Error(),
+				"reason": ReasonUpdateBeyondRetention,
+			})
+			return
+		}
 		if errors.Is(err, ErrReadOnlyFollower) {
 			httpError(w, http.StatusConflict, "%v", err)
 			return

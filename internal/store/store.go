@@ -396,6 +396,13 @@ type IndexStats struct {
 	Index  string `json:"index"`
 	Docs   int    `json:"docs"`
 	Shards int    `json:"shards"`
+	// Rows is the number of rows ever placed — the next local row id this
+	// node would assign, unshrunk by retention. A cluster coordinator seeds
+	// its global row counter from the sum of its partitions' Rows, which
+	// reproduces the next cluster-global id (WAL replay and follower
+	// bootstrap both restore the counter, so the figure survives restarts
+	// and failovers).
+	Rows int64 `json:"rows"`
 }
 
 // Stats reports the named index's document and shard counts.
@@ -404,7 +411,12 @@ func (s *Store) Stats(index string) (IndexStats, error) {
 	if !ok {
 		return IndexStats{}, fmt.Errorf("index %q not found", index)
 	}
-	return IndexStats{Index: ix.Name(), Docs: ix.Len(), Shards: ix.NumShards()}, nil
+	return IndexStats{
+		Index:  ix.Name(),
+		Docs:   ix.Len(),
+		Shards: ix.NumShards(),
+		Rows:   int64(ix.rr.Load()),
+	}, nil
 }
 
 // Search runs req against the named index. Cancelling ctx stops the shard
@@ -452,10 +464,27 @@ func (s *Store) Count(ctx context.Context, index string, q Query) (int, error) {
 	return n, err
 }
 
+// ReasonUpdateBeyondRetention is the machine-readable reason string the API
+// returns alongside a 409 when an update cannot reach retention-evicted
+// rows; remote clients round-trip it back to ErrUpdateBeyondRetention.
+const ReasonUpdateBeyondRetention = "update_beyond_retention"
+
+// ErrUpdateBeyondRetention rejects an update-by-query (or a correlation
+// pass, which rewrites file paths through the same machinery) on an index
+// whose retention policy has already evicted rows into cold segments: the
+// update scan walks hot shard memory only (DESIGN.md §15), so running it
+// would silently rewrite a subset of the matched rows. The HTTP layer maps
+// it to 409 Conflict with reason "update_beyond_retention" — a permanent
+// condition for this index state, not worth a retry.
+var ErrUpdateBeyondRetention = fmt.Errorf(
+	"store: update-by-query cannot reach rows beyond the retention horizon (cold rows are immutable)")
+
 // UpdateByQuery applies fn to every document matching q in the named index
 // and returns the number of updated documents; on a durable store the
 // effects are journaled. fn runs concurrently across shards (never for the
-// same document).
+// same document). On an index with retention-evicted cold rows the update is
+// refused with ErrUpdateBeyondRetention rather than silently rewriting only
+// the hot subset.
 func (s *Store) UpdateByQuery(ctx context.Context, index string, q Query, fn func(Document) bool) (int, error) {
 	if s.Role() == RoleFollower {
 		return 0, ErrReadOnlyFollower
@@ -463,6 +492,9 @@ func (s *Store) UpdateByQuery(ctx context.Context, index string, q Query, fn fun
 	ix, ok := s.GetIndex(index)
 	if !ok {
 		return 0, fmt.Errorf("index %q not found", index)
+	}
+	if ix.coldRows.Load() > 0 {
+		return 0, ErrUpdateBeyondRetention
 	}
 	var (
 		n   int

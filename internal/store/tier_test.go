@@ -871,3 +871,65 @@ func TestRetentionBoundsMemory(t *testing.T) {
 		t.Fatalf("live count = %d, %v; want %d", n, err, batch)
 	}
 }
+
+// TestUpdateBeyondRetentionTyped409 pins the hot-only-under-retention
+// contract for mutation-by-query: once a retention policy has evicted rows
+// into cold segments, UpdateByQuery and Correlate are refused with
+// ErrUpdateBeyondRetention instead of silently rewriting only the hot subset
+// (DESIGN.md §15), and the v1 API surfaces the refusal as a 409 whose body
+// carries the machine-readable reason — which the remote client unwraps back
+// to the same sentinel local callers see.
+func TestUpdateBeyondRetentionTyped409(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir, WithRetention(longRetention), WithShards(4))
+	defer st.Close()
+	ctx := context.Background()
+
+	// Before eviction the update path works as on any durable store.
+	ingestRoundNoUBQ(t, st, 0)
+	if _, err := st.UpdateByQuery(ctx, crashIndex, Term(FieldSyscall, "openat"), func(d Document) bool {
+		d[FieldFilePath] = "/still/hot"
+		return true
+	}); err != nil {
+		t.Fatalf("update-by-query before eviction: %v", err)
+	}
+
+	// Snapshot evicts the memtable into a cold segment; from here on the
+	// update scan could no longer reach every matched row.
+	if err := st.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ix, _ := st.GetIndex(crashIndex)
+	if ix.coldRows.Load() == 0 {
+		t.Fatal("expected cold rows after snapshot under retention")
+	}
+
+	if _, err := st.UpdateByQuery(ctx, crashIndex, MatchAll(), func(Document) bool { return true }); !errors.Is(err, ErrUpdateBeyondRetention) {
+		t.Fatalf("update-by-query over cold rows: %v, want ErrUpdateBeyondRetention", err)
+	}
+	if _, err := st.Correlate(ctx, crashIndex, ""); !errors.Is(err, ErrUpdateBeyondRetention) {
+		t.Fatalf("correlate over cold rows: %v, want ErrUpdateBeyondRetention", err)
+	}
+
+	// Reads are unaffected: the rows are cold, not gone.
+	if n, err := st.Count(ctx, crashIndex, MatchAll()); err != nil || n == 0 {
+		t.Fatalf("count after refusal = %d, %v; want all rows readable", n, err)
+	}
+
+	// The same refusal over the v1 wire: typed 409 + reason, unwrapping to
+	// the sentinel on the client side.
+	srv := httptest.NewServer(NewServer(st))
+	defer srv.Close()
+	c := NewClient(srv.URL, WithAPIPrefix("/v1"))
+	_, err := c.Correlate(ctx, crashIndex, "")
+	if !errors.Is(err, ErrUpdateBeyondRetention) {
+		t.Fatalf("remote correlate: %v, want ErrUpdateBeyondRetention", err)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("remote correlate error is not *HTTPError: %v", err)
+	}
+	if he.Status != http.StatusConflict || he.Reason != ReasonUpdateBeyondRetention {
+		t.Fatalf("remote correlate: status=%d reason=%q, want 409 %q", he.Status, he.Reason, ReasonUpdateBeyondRetention)
+	}
+}
