@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos chaos-repl chaos-cluster crash lint examples
+.PHONY: tier1 build test race vet bench bench-smoke bench-read scale chaos chaos-repl chaos-cluster crash lint examples diagnose
 
 ## tier1: the PR gate — vet, build (examples included), the dead-symbol
 ## lint, tests, the race detector over the concurrency-heavy packages (store
 ## sharding, tracer drain workers), the chaos suite (fault injection on the
 ## ship path), the replication chaos suite (partitions, duplicated and
 ## reordered frames, failover), the crash-recovery matrix (durability kill
-## points), and smoke runs of the ingest and dashboard-read benchmarks.
-tier1: vet build examples lint test race chaos chaos-repl chaos-cluster crash bench-smoke bench-read
+## points), the diagnosis-engine smoke run, and smoke runs of the ingest and
+## dashboard-read benchmarks.
+tier1: vet build examples lint test race chaos chaos-repl chaos-cluster crash diagnose bench-smoke bench-read
 
 build:
 	$(GO) build ./...
@@ -22,7 +23,7 @@ examples:
 ## openSyscalls dictionary in correlate.go), plus an audit of the store and
 ## durable packages for exported symbols nothing outside them uses.
 lint:
-	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable,internal/repl,internal/cluster .
+	$(GO) run ./internal/tools/deadsym -exported internal/store,internal/durable,internal/repl,internal/cluster,internal/diagnose .
 
 test:
 	$(GO) test ./...
@@ -48,6 +49,13 @@ bench-smoke:
 ## so the p50/p99 and pruning-speedup numbers cannot silently rot.
 bench-read:
 	$(GO) test -run xxx -bench 'DashboardReadPath|SegmentPrunedSearch' -benchtime=50x .
+
+## diagnose: end-to-end smoke of the diagnosis engine through the real CLI —
+## the buggy Fluent Bit session must produce a critical report, and the
+## buggy-vs-fixed diff must land on an improvement verdict.
+diagnose:
+	$(GO) run ./cmd/dio diagnose -workload fluentbit-buggy | grep critical >/dev/null
+	$(GO) run ./cmd/dio diff buggy fixed | grep improvement >/dev/null
 
 ## scale: the backend/tracer scalability experiment (legacy vs sharded).
 scale:

@@ -1,15 +1,23 @@
-// Command dio traces a bundled workload on the simulated kernel and ships
-// the events to the analysis backend — the tracer component of the paper
-// (§II-B and §II-F). Workloads: the Fluent Bit data-loss scenario (buggy
-// and fixed), a synthetic data-intensive stream, and the RocksDB-style
+// Command dio is the CLI of the syscall-observability toolchain: it traces
+// bundled workloads on the simulated kernel (§II-B and §II-F), runs the
+// automated diagnosis engine over stored sessions, and diffs two sessions'
+// diagnoses. Workloads: the Fluent Bit data-loss scenario (buggy and
+// fixed), a synthetic data-intensive stream, and the RocksDB-style
 // key-value store under YCSB-A.
 //
 // Usage:
 //
-//	dio -workload fluentbit-buggy
-//	dio -workload synthetic -syscalls openat,write,close -backend http://localhost:9200
-//	dio -workload synthetic -resilience -chaos-rate 0.3
-//	dio -config trace.json
+//	dio trace -workload fluentbit-buggy
+//	dio trace -workload synthetic -syscalls openat,write,close -backend http://localhost:9200
+//	dio trace -workload synthetic -resilience -chaos-rate 0.3
+//	dio trace -config trace.json
+//	dio diagnose -workload fluentbit-buggy -dfg
+//	dio diagnose -backend http://localhost:9200 -index dio-events -session run-1
+//	dio diff buggy fixed
+//	dio diff -backend http://localhost:9200 -index dio-events run-1 run-2
+//
+// A bare invocation (flags without a subcommand) keeps the historical
+// behavior and is an alias for "dio trace".
 package main
 
 import (
@@ -31,27 +39,70 @@ import (
 )
 
 func main() {
+	args := os.Args[1:]
+	// Subcommand dispatch; a leading flag (or nothing) selects trace so the
+	// pre-subcommand invocation style keeps working.
+	cmd := "trace"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "trace":
+		err = cmdTrace(args)
+	case "diagnose":
+		err = cmdDiagnose(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "dio: unknown command %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dio:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: dio <command> [flags]
+
+commands:
+  trace     trace a bundled workload and ship events to the backend (default)
+  diagnose  run the diagnosis engine over a session (traced here or remote)
+  diff      diagnose two sessions and classify every delta
+  help      print this help
+
+Run "dio <command> -h" for the command's flags.
+`)
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("dio trace", flag.ExitOnError)
 	var (
-		configPath = flag.String("config", "", "JSON configuration file (overrides other flags)")
-		workload   = flag.String("workload", "fluentbit-buggy", "workload: fluentbit-buggy|fluentbit-fixed|synthetic|rocksdb")
-		session    = flag.String("session", "", "session name (auto-generated when empty)")
-		index      = flag.String("index", "dio-events", "backend index")
-		backend    = flag.String("backend", "", "backend URL (empty = in-process store)")
-		syscalls   = flag.String("syscalls", "", "comma-separated syscall subset (empty = all 42)")
-		paths      = flag.String("paths", "", "comma-separated path prefixes to trace")
-		correlate  = flag.Bool("correlate", true, "run file-path correlation on stop")
-		table      = flag.Bool("table", true, "print the access-pattern table (in-process backend only)")
+		configPath = fs.String("config", "", "JSON configuration file (overrides other flags)")
+		workload   = fs.String("workload", "fluentbit-buggy", "workload: fluentbit-buggy|fluentbit-fixed|synthetic|rocksdb")
+		session    = fs.String("session", "", "session name (auto-generated when empty)")
+		index      = fs.String("index", "dio-events", "backend index")
+		backend    = fs.String("backend", "", "backend URL (empty = in-process store)")
+		syscalls   = fs.String("syscalls", "", "comma-separated syscall subset (empty = all 42)")
+		paths      = fs.String("paths", "", "comma-separated path prefixes to trace")
+		correlate  = fs.Bool("correlate", true, "run file-path correlation on stop")
+		table      = fs.Bool("table", true, "print the access-pattern table (in-process backend only)")
 
-		telemetryEvery = flag.Duration("telemetry", 0, "print a pipeline self-telemetry report at this interval, plus a final dashboard (0 = off)")
+		telemetryEvery = fs.Duration("telemetry", 0, "print a pipeline self-telemetry report at this interval, plus a final dashboard (0 = off)")
 
-		resilient        = flag.Bool("resilience", false, "wrap the backend in the fault-tolerant ship path (retry, breaker, spill)")
-		maxRetries       = flag.Int("max-retries", 0, "delivery attempts per batch before spilling (0 = default 4; implies -resilience)")
-		spillEvents      = flag.Int("spill-events", 0, "spill-queue capacity in events (0 = default 65536; implies -resilience)")
-		breakerThreshold = flag.Int("breaker-threshold", 0, "consecutive failures before the circuit breaker opens (0 = default 5; implies -resilience)")
-		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "how long the breaker stays open before a probe (0 = default 500ms; implies -resilience)")
-		chaosRate        = flag.Float64("chaos-rate", 0, "inject transient bulk failures at this rate on the in-process backend (demo; implies -resilience)")
+		resilient        = fs.Bool("resilience", false, "wrap the backend in the fault-tolerant ship path (retry, breaker, spill)")
+		maxRetries       = fs.Int("max-retries", 0, "delivery attempts per batch before spilling (0 = default 4; implies -resilience)")
+		spillEvents      = fs.Int("spill-events", 0, "spill-queue capacity in events (0 = default 65536; implies -resilience)")
+		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures before the circuit breaker opens (0 = default 5; implies -resilience)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before a probe (0 = default 500ms; implies -resilience)")
+		chaosRate        = fs.Float64("chaos-rate", 0, "inject transient bulk failures at this rate on the in-process backend (demo; implies -resilience)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	fc := FileConfig{
 		Session:       *session,
@@ -78,15 +129,11 @@ func main() {
 	if *configPath != "" {
 		loaded, err := LoadFileConfig(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dio:", err)
-			os.Exit(1)
+			return err
 		}
 		fc = loaded
 	}
-	if err := run(fc, *table, *chaosRate, *telemetryEvery); err != nil {
-		fmt.Fprintln(os.Stderr, "dio:", err)
-		os.Exit(1)
-	}
+	return run(fc, *table, *chaosRate, *telemetryEvery)
 }
 
 func run(fc FileConfig, printTable bool, chaosRate float64, telemetryEvery time.Duration) error {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -193,11 +194,13 @@ func diagnoseDemo() error {
 		if err != nil {
 			return err
 		}
-		rep, err := diagnose.Run(res.Backend, res.Index, res.Session, diagnose.Config{})
+		rep, err := diagnose.NewEngine(diagnose.DefaultRegistry()).
+			Run(context.Background(), res.Backend, res.Index, res.Session)
 		if err != nil {
 			return err
 		}
 		fmt.Print(rep)
+		fmt.Printf("health: %d/100\n\n", rep.HealthScore)
 	}
 	fmt.Println("=> the stale-offset-read rule fires only on the buggy version.")
 	return nil

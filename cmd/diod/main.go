@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/dio-go/internal/cluster"
+	"github.com/dsrhaslab/dio-go/internal/diagnose"
 	"github.com/dsrhaslab/dio-go/internal/repl"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
@@ -124,7 +125,9 @@ func run(cfg config) error {
 		}
 	}
 
-	var handler http.Handler = store.NewServer(st)
+	server := store.NewServer(st)
+	diagnose.Install(server)
+	var handler http.Handler = server
 	if cfg.chaos {
 		// Starts disarmed; POST a store.ChaosConfig to /_chaos to inject
 		// failures into the ship path.
@@ -136,7 +139,7 @@ func run(cfg config) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("diod: analysis backend listening on %s\n", cfg.addr)
-	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | GET /_cat/indices | GET /_health | GET /metrics")
+	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | /{index}/_correlate | /{index}/_diagnose | /{index}/_dfg | /{index}/_diff | GET /_cat/indices | GET /_health | GET /metrics")
 	if cfg.data != "" {
 		fmt.Printf("durability: data dir %s, fsync %s, snapshot every %s\n", cfg.data, policy, cfg.snapshot)
 		if cfg.retention > 0 {
@@ -265,7 +268,7 @@ func runCluster(cfg config) error {
 	for p, t := range targets {
 		fmt.Printf("partition %d: %s\n", p, t)
 	}
-	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | GET /{index}/_stats | GET /_cat/indices | GET /_health | GET /metrics")
+	fmt.Println("endpoints (also under /v1): POST /{index}/_bulk | /{index}/_search | /{index}/_count | GET /{index}/_stats | GET /_cat/indices | GET /_health | GET /metrics (correlate/diagnose/dfg/diff answer typed 501)")
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

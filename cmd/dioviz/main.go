@@ -11,23 +11,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"github.com/dsrhaslab/dio-go/internal/analysis"
 	"github.com/dsrhaslab/dio-go/internal/diagnose"
 	"github.com/dsrhaslab/dio-go/internal/store"
 	"github.com/dsrhaslab/dio-go/internal/viz"
 )
+
+// vizDiagnosePageSize bounds each cursor page the diagnose/dfg/diff views
+// stream over HTTP, keeping individual backend responses small.
+const vizDiagnosePageSize = 500
 
 func main() {
 	var (
 		backend  = flag.String("backend", "http://127.0.0.1:9200", "backend URL")
 		index    = flag.String("index", "dio-events", "index to query")
 		session  = flag.String("session", "", "session name")
-		view     = flag.String("view", "table", "view: table|histogram|timeline|heatmap|html|diagnose|compare")
+		view     = flag.String("view", "table", "view: table|histogram|timeline|heatmap|html|diagnose|dfg|diff|compare")
 		interval = flag.Duration("interval", 100*time.Millisecond, "timeline bucket width")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 		list     = flag.Bool("list", false, "list indices and exit")
@@ -89,21 +93,51 @@ func run(backendURL, index, session, session2, view string, interval time.Durati
 	case "html":
 		return viz.HTMLDashboard(os.Stdout, client, index, session, interval.Nanoseconds())
 	case "diagnose":
-		rep, err := diagnose.Run(client, index, session, diagnose.Config{})
+		// The engine runs client-side over the remote backend (the
+		// store.Client is a store.Backend), so any diod version serves this
+		// view; the page-size default keeps each remote cursor fetch bounded.
+		rep, err := diagnose.NewEngine(diagnose.DefaultRegistry(),
+			diagnose.WithParams(diagnose.Params{PageSize: vizDiagnosePageSize})).
+			Run(context.Background(), client, index, session)
 		if err != nil {
 			return err
 		}
-		fmt.Print(rep)
-		return nil
+		if csv {
+			return diagnose.ReportTable(rep).RenderCSV(os.Stdout)
+		}
+		return diagnose.ReportTable(rep).Render(os.Stdout)
+	case "dfg":
+		g, err := diagnose.BuildDFG(context.Background(), client, index, session, vizDiagnosePageSize)
+		if err != nil {
+			return err
+		}
+		if csv {
+			return diagnose.DFGTable(g, 0).RenderCSV(os.Stdout)
+		}
+		return diagnose.DFGTable(g, 30).Render(os.Stdout)
+	case "diff":
+		if session2 == "" {
+			return fmt.Errorf("-view diff requires -session2")
+		}
+		res, err := diagnose.NewEngine(diagnose.DefaultRegistry()).
+			DiffSessions(context.Background(), client, index, session, session2,
+				diagnose.Params{PageSize: vizDiagnosePageSize})
+		if err != nil {
+			return err
+		}
+		if csv {
+			return diagnose.DiffTable(res).RenderCSV(os.Stdout)
+		}
+		return diagnose.DiffTable(res).Render(os.Stdout)
 	case "compare":
 		if session2 == "" {
 			return fmt.Errorf("-view compare requires -session2")
 		}
-		deltas, err := analysis.CompareSessions(client, index, session, session2)
+		deltas, err := diagnose.CompareSessions(context.Background(), client, index, session, session2)
 		if err != nil {
 			return err
 		}
-		return analysis.RenderComparison(deltas, session, session2).Render(os.Stdout)
+		return diagnose.ComparisonTable(deltas, session, session2).Render(os.Stdout)
 	default:
 		return fmt.Errorf("unknown view %q", view)
 	}

@@ -43,9 +43,9 @@
 package dio
 
 import (
+	"context"
 	"io"
 
-	"github.com/dsrhaslab/dio-go/internal/analysis"
 	"github.com/dsrhaslab/dio-go/internal/clock"
 	"github.com/dsrhaslab/dio-go/internal/core"
 	"github.com/dsrhaslab/dio-go/internal/diagnose"
@@ -205,54 +205,94 @@ func HTMLDashboard(w io.Writer, b Backend, index, session string, intervalNS int
 }
 
 // Custom analyses over traced events (the paper's flexibility claim, §IV).
+// Context-first: every analysis streams events through cursor pages and
+// honors cancellation.
 type (
 	// OffsetPattern summarizes a file's offset access pattern.
-	OffsetPattern = analysis.OffsetPattern
+	OffsetPattern = diagnose.OffsetPattern
 	// FileLoad ranks a file by I/O volume.
-	FileLoad = analysis.FileLoad
+	FileLoad = diagnose.FileLoad
 	// SessionDelta is one row of a cross-session comparison.
-	SessionDelta = analysis.SessionDelta
+	SessionDelta = diagnose.SessionDelta
 )
 
 // FileOffsetPattern classifies a file's accesses as sequential, random, or
 // mixed using the tracer's f_offset enrichment. Run correlation first so
 // events carry file paths.
-func FileOffsetPattern(b Backend, index, session, filePath string) (OffsetPattern, error) {
-	return analysis.FileOffsetPattern(b, index, session, filePath)
+func FileOffsetPattern(ctx context.Context, b Backend, index, session, filePath string) (OffsetPattern, error) {
+	return diagnose.FileOffsetPattern(ctx, b, index, session, filePath)
 }
 
 // HotFiles ranks a session's files by data volume.
-func HotFiles(b Backend, index, session string, topN int) ([]FileLoad, error) {
-	return analysis.HotFiles(b, index, session, topN)
+func HotFiles(ctx context.Context, b Backend, index, session string, topN int) ([]FileLoad, error) {
+	return diagnose.HotFiles(ctx, b, index, session, topN)
 }
 
 // CompareSessions contrasts two tracing executions stored in one backend
 // (the post-mortem workflow of §II-F).
-func CompareSessions(b Backend, index, sessionA, sessionB string) ([]SessionDelta, error) {
-	return analysis.CompareSessions(b, index, sessionA, sessionB)
+func CompareSessions(ctx context.Context, b Backend, index, sessionA, sessionB string) ([]SessionDelta, error) {
+	return diagnose.CompareSessions(ctx, b, index, sessionA, sessionB)
 }
 
 // RenderComparison renders a session comparison as a table.
 func RenderComparison(deltas []SessionDelta, sessionA, sessionB string) *Table {
-	return analysis.RenderComparison(deltas, sessionA, sessionB)
+	return diagnose.ComparisonTable(deltas, sessionA, sessionB)
 }
 
 // Automated diagnosis (the paper's §V direction: rule-based detection of
-// the inefficient and erroneous behaviours the evaluation diagnoses).
+// the inefficient and erroneous behaviours the evaluation diagnoses). The
+// engine runs a registry of detectors over one session, builds its syscall
+// Directly-Follows-Graph, and scores the findings into a 0-100 health
+// score; Diff classifies the deltas between two sessions.
 type (
-	// DiagnosisReport is the outcome of running all detectors.
+	// DiagnosisReport is the outcome of one engine run.
 	DiagnosisReport = diagnose.Report
 	// DiagnosisFinding is one detected anomaly.
 	DiagnosisFinding = diagnose.Finding
-	// DiagnosisConfig tunes the detectors.
-	DiagnosisConfig = diagnose.Config
+	// DiagnosisParams tunes the engine and its detectors.
+	DiagnosisParams = diagnose.Params
+	// DiagnosisEngine runs a detector registry over sessions.
+	DiagnosisEngine = diagnose.Engine
+	// Detector is one registered diagnosis rule.
+	Detector = diagnose.Detector
+	// DetectorRegistry holds detectors in registration order.
+	DetectorRegistry = diagnose.Registry
+	// DFG is a session's syscall Directly-Follows-Graph.
+	DFG = diagnose.DFG
+	// DiffResult classifies the deltas between two sessions' diagnoses.
+	DiffResult = diagnose.DiffResult
 )
 
-// Diagnose scans a traced session for stale-offset reads (the §III-B
-// data-loss signature), costly access patterns, and failing syscalls.
-func Diagnose(b Backend, index, session string, cfg DiagnosisConfig) (DiagnosisReport, error) {
-	return diagnose.Run(b, index, session, cfg)
+// NewDetectorRegistry creates an empty detector registry for custom rules.
+func NewDetectorRegistry() *DetectorRegistry { return diagnose.NewRegistry() }
+
+// NewDiagnosisEngine creates an engine over the built-in detectors (pass
+// custom registries via diagnose.NewEngine directly).
+func NewDiagnosisEngine() *DiagnosisEngine {
+	return diagnose.NewEngine(diagnose.DefaultRegistry())
 }
+
+// Diagnose runs the built-in detectors over one session: stale-offset
+// reads (the §III-B data-loss signature), DFG anti-patterns, costly access
+// patterns, failing syscalls, and background-I/O contention (§III-C).
+func Diagnose(ctx context.Context, b Backend, index, session string) (DiagnosisReport, error) {
+	return NewDiagnosisEngine().Run(ctx, b, index, session)
+}
+
+// BuildDFG computes a session's syscall Directly-Follows-Graph.
+func BuildDFG(ctx context.Context, b Backend, index, session string) (*DFG, error) {
+	return diagnose.BuildDFG(ctx, b, index, session, 0)
+}
+
+// DiffSessions diagnoses two sessions and classifies every delta as a
+// regression, improvement, or neutral change.
+func DiffSessions(ctx context.Context, b Backend, index, sessionA, sessionB string) (DiffResult, error) {
+	return NewDiagnosisEngine().DiffSessions(ctx, b, index, sessionA, sessionB, DiagnosisParams{})
+}
+
+// InstallDiagnosis mounts the /_diagnose, /_dfg, and /_diff endpoints on a
+// backend server and returns the engine serving them.
+func InstallDiagnosis(srv *Server) *DiagnosisEngine { return diagnose.Install(srv) }
 
 // ReplayResult summarizes a trace replay.
 type ReplayResult = replay.Result

@@ -1,6 +1,7 @@
 package dio_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -100,7 +101,7 @@ func ExampleFileOffsetPattern() {
 	task.Close(fd)
 	tracer.Stop()
 
-	p, _ := dio.FileOffsetPattern(backend, tracer.Index(), tracer.Session(), "/tmp/stream")
+	p, _ := dio.FileOffsetPattern(context.Background(), backend, tracer.Index(), tracer.Session(), "/tmp/stream")
 	fmt.Printf("%s: %d writes, classification %q\n", p.FilePath, p.Writes, p.Classification())
 	// Output:
 	// /tmp/stream: 4 writes, classification "sequential"
@@ -131,7 +132,7 @@ func ExampleDiagnose() {
 	reader.Close(rfd)
 	tracer.Stop()
 
-	report, _ := dio.Diagnose(backend, tracer.Index(), tracer.Session(), dio.DiagnosisConfig{})
+	report, _ := dio.Diagnose(context.Background(), backend, tracer.Index(), tracer.Session())
 	fmt.Printf("critical finding: %v (%d findings)\n", report.Critical(), len(report.Findings))
 	// Output:
 	// critical finding: true (1 findings)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -53,8 +54,9 @@ func run() error {
 	}
 	fmt.Printf("workload done: forwarder lost %d bytes\n\n", scenario.LostBytes)
 
-	// 2. Automated diagnosis: no manual table reading required.
-	report, err := dio.Diagnose(backend, tracer.Index(), tracer.Session(), dio.DiagnosisConfig{})
+	// 2. Automated diagnosis: no manual table reading required. The engine
+	// runs every registered detector and scores the session's health.
+	report, err := dio.Diagnose(context.Background(), backend, tracer.Index(), tracer.Session())
 	if err != nil {
 		return err
 	}
@@ -62,6 +64,7 @@ func run() error {
 	if !report.Critical() {
 		return fmt.Errorf("expected a critical finding")
 	}
+	fmt.Printf("health score: %d/100\n", report.HealthScore)
 
 	// 3. Replay the trace on a brand-new kernel: the bug's filesystem
 	// state reproduces without rerunning the applications.

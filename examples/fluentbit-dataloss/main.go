@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -38,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	deltas, err := dio.CompareSessions(backend, "dio-events", sessA, sessB)
+	deltas, err := dio.CompareSessions(context.Background(), backend, "dio-events", sessA, sessB)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,6 +48,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("(note the lseek present only in the buggy session)")
+
+	// The diff engine reaches the same verdict automatically: the fixed
+	// session resolves the critical finding, so the delta is an improvement.
+	diff, err := dio.DiffSessions(context.Background(), backend, "dio-events", sessA, sessB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", diff)
 }
 
 func run(backend *dio.Store, version workloads.FluentBitVersion) (string, error) {

@@ -1,275 +1,68 @@
-// Package analysis implements customizable analyses over traced events,
-// demonstrating the paper's flexibility claim (§IV): DIO exposes the full
-// captured information (syscall types, arguments, offsets, tags), so users
-// can build their own correlation algorithms on top of the backend's query
-// interface. The analyses here cover the I/O patterns the paper's
-// introduction motivates: costly access patterns (small or random I/O),
-// per-file load skew, and cross-session comparison of tracing executions.
+// Package analysis used to implement customizable analyses over traced
+// events. The analyses now live in the diagnose package, folded into its
+// context-first engine API; this package remains as a thin compatibility
+// layer for one release.
+//
+// Deprecated: use package diagnose — FileOffsetPattern, HotFiles, and
+// CompareSessions take a context there, and viz.ComparisonTable replaces
+// RenderComparison.
 package analysis
 
 import (
 	"context"
 
-	"fmt"
-	"sort"
-
+	"github.com/dsrhaslab/dio-go/internal/diagnose"
 	"github.com/dsrhaslab/dio-go/internal/store"
 	"github.com/dsrhaslab/dio-go/internal/viz"
 )
 
 // OffsetPattern summarizes the file-offset access pattern of one file in
-// one session — the paper's f_offset enrichment makes this possible even
-// for read/write, which carry no offset argument.
-type OffsetPattern struct {
-	FilePath string
-	// Reads/Writes counts and total bytes (successful data syscalls only).
-	Reads      int
-	Writes     int
-	BytesRead  int64
-	BytesWrite int64
-	// Sequential accesses start exactly where the previous access by the
-	// same thread on the same file ended.
-	SequentialReads  int
-	SequentialWrites int
-	RandomReads      int
-	RandomWrites     int
-	// SmallIOs counts data syscalls moving fewer than SmallIOThreshold
-	// bytes (the paper's "small-sized I/O requests" inefficiency).
-	SmallIOs int
-}
+// one session.
+//
+// Deprecated: use diagnose.OffsetPattern.
+type OffsetPattern = diagnose.OffsetPattern
 
 // SmallIOThreshold classifies an I/O as small (bytes).
-const SmallIOThreshold = 4096
-
-// SequentialFraction returns the share of data accesses that were
-// sequential.
-func (p OffsetPattern) SequentialFraction() float64 {
-	total := p.SequentialReads + p.SequentialWrites + p.RandomReads + p.RandomWrites
-	if total == 0 {
-		return 0
-	}
-	return float64(p.SequentialReads+p.SequentialWrites) / float64(total)
-}
-
-// Classification labels the dominant pattern.
-func (p OffsetPattern) Classification() string {
-	switch f := p.SequentialFraction(); {
-	case p.Reads+p.Writes == 0:
-		return "no data I/O"
-	case f >= 0.9:
-		return "sequential"
-	case f <= 0.5:
-		return "random"
-	default:
-		return "mixed"
-	}
-}
-
-var dataSyscalls = []any{"read", "pread64", "readv", "write", "pwrite64", "writev"}
-
-// FileOffsetPattern analyzes the offset pattern of filePath within a
-// session. Events must have been path-correlated first (file_path set).
-func FileOffsetPattern(b store.Backend, index, session, filePath string) (OffsetPattern, error) {
-	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
-		Query: store.Must(
-			store.Term(store.FieldSession, session),
-			store.Term(store.FieldFilePath, filePath),
-			store.Terms(store.FieldSyscall, dataSyscalls...),
-		),
-		Sort: []store.SortField{{Field: store.FieldTimeEnter}},
-	})
-	if err != nil {
-		return OffsetPattern{}, fmt.Errorf("offset pattern query: %w", err)
-	}
-	p := OffsetPattern{FilePath: filePath}
-	// Track the expected next offset per thread, as concurrent streams can
-	// interleave while each remains sequential.
-	nextByTID := make(map[int]int64)
-	for i := range resp.Hits {
-		e := &resp.Hits[i]
-		if e.RetVal < 0 || !e.HasOffset {
-			continue
-		}
-		isRead := e.Syscall == "read" || e.Syscall == "pread64" || e.Syscall == "readv"
-		moved := e.RetVal
-		if !isRead {
-			moved = int64(e.Count)
-		}
-		if moved < SmallIOThreshold {
-			p.SmallIOs++
-		}
-		expected, seen := nextByTID[e.TID]
-		sequential := !seen || e.Offset == expected
-		nextByTID[e.TID] = e.Offset + moved
-		switch {
-		case isRead && sequential:
-			p.SequentialReads++
-		case isRead:
-			p.RandomReads++
-		case sequential:
-			p.SequentialWrites++
-		default:
-			p.RandomWrites++
-		}
-		if isRead {
-			p.Reads++
-			p.BytesRead += e.RetVal
-		} else {
-			p.Writes++
-			p.BytesWrite += moved
-		}
-	}
-	return p, nil
-}
+//
+// Deprecated: use diagnose.SmallIOThreshold.
+const SmallIOThreshold = diagnose.SmallIOThreshold
 
 // FileLoad summarizes the I/O volume attracted by one file.
-type FileLoad struct {
-	FilePath string
-	Events   int
-	Bytes    int64
-}
-
-// HotFiles ranks the session's files by data volume — the skew view that
-// turns "the disk is busy" into "these files are busy".
-func HotFiles(b store.Backend, index, session string, topN int) ([]FileLoad, error) {
-	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
-		Query: store.Must(
-			store.Term(store.FieldSession, session),
-			store.Exists(store.FieldFilePath),
-			store.Terms(store.FieldSyscall, dataSyscalls...),
-		),
-		Size: -1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("hot files query: %w", err)
-	}
-	agg := make(map[string]*FileLoad)
-	for i := range resp.Hits {
-		e := &resp.Hits[i]
-		if e.RetVal < 0 {
-			continue
-		}
-		fl, ok := agg[e.FilePath]
-		if !ok {
-			fl = &FileLoad{FilePath: e.FilePath}
-			agg[e.FilePath] = fl
-		}
-		fl.Events++
-		moved := e.RetVal
-		if e.Syscall == "write" || e.Syscall == "pwrite64" || e.Syscall == "writev" {
-			moved = int64(e.Count)
-		}
-		fl.Bytes += moved
-	}
-	out := make([]FileLoad, 0, len(agg))
-	for _, fl := range agg {
-		out = append(out, *fl)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
-		}
-		return out[i].FilePath < out[j].FilePath
-	})
-	if topN > 0 && len(out) > topN {
-		out = out[:topN]
-	}
-	return out, nil
-}
+//
+// Deprecated: use diagnose.FileLoad.
+type FileLoad = diagnose.FileLoad
 
 // SessionDelta is one row of a session comparison.
-type SessionDelta struct {
-	Syscall string
-	CountA  int
-	CountB  int
-	ErrsA   int
-	ErrsB   int
+//
+// Deprecated: use diagnose.SessionDelta.
+type SessionDelta = diagnose.SessionDelta
+
+// FileOffsetPattern analyzes the offset pattern of filePath within a
+// session.
+//
+// Deprecated: use diagnose.FileOffsetPattern, which takes a context.
+func FileOffsetPattern(b store.Backend, index, session, filePath string) (OffsetPattern, error) {
+	return diagnose.FileOffsetPattern(context.Background(), b, index, session, filePath)
+}
+
+// HotFiles ranks the session's files by data volume.
+//
+// Deprecated: use diagnose.HotFiles, which takes a context.
+func HotFiles(b store.Backend, index, session string, topN int) ([]FileLoad, error) {
+	return diagnose.HotFiles(context.Background(), b, index, session, topN)
 }
 
 // CompareSessions contrasts two tracing executions stored in the same
-// backend — the post-mortem analysis workflow of §II (the paper compares
-// Fluent Bit v1.4.0 against v2.0.5 this way).
+// backend.
+//
+// Deprecated: use diagnose.CompareSessions, which takes a context.
 func CompareSessions(b store.Backend, index, sessionA, sessionB string) ([]SessionDelta, error) {
-	counts := func(session string) (map[string]int, map[string]int, error) {
-		resp, err := b.Search(context.Background(), index, store.SearchRequest{
-			Query: store.Term(store.FieldSession, session),
-			Size:  1,
-			Aggs: map[string]store.Agg{
-				"all":  {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
-				"errs": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
-			},
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		all := make(map[string]int)
-		for _, bkt := range resp.Aggs["all"].Buckets {
-			all[bkt.Key] = bkt.Count
-		}
-		respErr, err := b.Search(context.Background(), index, store.SearchRequest{
-			Query: store.Must(
-				store.Term(store.FieldSession, session),
-				store.Query{Range: &store.RangeQuery{Field: store.FieldRetVal, LT: ptr(0.0)}},
-			),
-			Size: 1,
-			Aggs: map[string]store.Agg{"errs": {Terms: &store.TermsAgg{Field: store.FieldSyscall}}},
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		errs := make(map[string]int)
-		for _, bkt := range respErr.Aggs["errs"].Buckets {
-			errs[bkt.Key] = bkt.Count
-		}
-		return all, errs, nil
-	}
-	allA, errsA, err := counts(sessionA)
-	if err != nil {
-		return nil, fmt.Errorf("session %s: %w", sessionA, err)
-	}
-	allB, errsB, err := counts(sessionB)
-	if err != nil {
-		return nil, fmt.Errorf("session %s: %w", sessionB, err)
-	}
-	names := make(map[string]bool)
-	for n := range allA {
-		names[n] = true
-	}
-	for n := range allB {
-		names[n] = true
-	}
-	sorted := make([]string, 0, len(names))
-	for n := range names {
-		sorted = append(sorted, n)
-	}
-	sort.Strings(sorted)
-	out := make([]SessionDelta, 0, len(sorted))
-	for _, n := range sorted {
-		out = append(out, SessionDelta{
-			Syscall: n,
-			CountA:  allA[n], CountB: allB[n],
-			ErrsA: errsA[n], ErrsB: errsB[n],
-		})
-	}
-	return out, nil
+	return diagnose.CompareSessions(context.Background(), b, index, sessionA, sessionB)
 }
 
 // RenderComparison renders the session comparison as a table.
+//
+// Deprecated: use diagnose.ComparisonTable.
 func RenderComparison(deltas []SessionDelta, sessionA, sessionB string) *viz.Table {
-	t := &viz.Table{
-		Title: fmt.Sprintf("Session comparison: %s vs %s", sessionA, sessionB),
-		Columns: []string{
-			"syscall", sessionA, sessionB, "errors(" + sessionA + ")", "errors(" + sessionB + ")",
-		},
-	}
-	for _, d := range deltas {
-		t.Rows = append(t.Rows, []string{
-			d.Syscall,
-			fmt.Sprintf("%d", d.CountA), fmt.Sprintf("%d", d.CountB),
-			fmt.Sprintf("%d", d.ErrsA), fmt.Sprintf("%d", d.ErrsB),
-		})
-	}
-	return t
+	return diagnose.ComparisonTable(deltas, sessionA, sessionB)
 }
-
-func ptr(f float64) *float64 { return &f }

@@ -68,19 +68,67 @@ var ErrIndexNotFound = errors.New("cluster: index not found on node")
 // cooldown has not elapsed.
 var ErrNodeUnavailable = errors.New("cluster: partition node unavailable (circuit open)")
 
-// ReasonClusterCorrelate is the machine-readable reason the coordinator's
-// 501 carries for correlation requests.
-const ReasonClusterCorrelate = "cluster_correlation_unsupported"
+// Machine-readable reasons the coordinator's 501 responses carry, one per
+// operation that does not route across partitions.
+const (
+	// ReasonClusterCorrelate is the reason for correlation requests.
+	ReasonClusterCorrelate = "cluster_correlation_unsupported"
+	// ReasonClusterDiagnose is the reason for diagnosis-engine requests.
+	ReasonClusterDiagnose = "cluster_diagnose_unsupported"
+	// ReasonClusterDFG is the reason for DFG-build requests.
+	ReasonClusterDFG = "cluster_dfg_unsupported"
+	// ReasonClusterDiff is the reason for session-diff requests.
+	ReasonClusterDiff = "cluster_diff_unsupported"
+)
 
-// ErrCorrelateUnsupported rejects correlation through the coordinator: the
-// pass anchors open/openat events to later tagged events by scanning rows in
-// order, and with rows striped across partitions an anchor and its
-// dependents may live on different nodes — a per-node pass would resolve
-// paths wrongly rather than partially. The HTTP layer maps this to 501 with
-// reason "cluster_correlation_unsupported"; run correlation before ingest
-// (dio trace does) or against a single node.
-var ErrCorrelateUnsupported = errors.New(
-	"cluster: correlation is not supported across partitions: open/tag anchor pairs may span nodes")
+// ErrNotRoutable is the typed refusal for operations that need one node's
+// totally-ordered view of a session and therefore do not route across
+// partitions. The HTTP layer maps it to 501 with the machine-readable
+// Reason in the body, so clients dispatch on the reason rather than
+// parsing prose. Well-known instances below are stable sentinel values:
+// errors.Is against them keeps working as it did when they were plain
+// errors.
+type ErrNotRoutable struct {
+	// Op is the API operation refused ("_correlate", "_diagnose", …).
+	Op string
+	// Reason is the machine-readable reason code of the 501 body.
+	Reason string
+	msg    string
+}
+
+// Error implements error.
+func (e *ErrNotRoutable) Error() string { return e.msg }
+
+// Typed refusals for the non-routable operations.
+var (
+	// ErrCorrelateUnsupported rejects correlation through the coordinator:
+	// the pass anchors open/openat events to later tagged events by
+	// scanning rows in order, and with rows striped across partitions an
+	// anchor and its dependents may live on different nodes — a per-node
+	// pass would resolve paths wrongly rather than partially. Run
+	// correlation before ingest (dio trace does) or against a single node.
+	ErrCorrelateUnsupported = &ErrNotRoutable{
+		Op: "_correlate", Reason: ReasonClusterCorrelate,
+		msg: "cluster: correlation is not supported across partitions: open/tag anchor pairs may span nodes",
+	}
+	// ErrDiagnoseUnsupported, ErrDFGUnsupported, and ErrDiffUnsupported
+	// reject the diagnosis endpoints for the same structural reason: the
+	// engine streams a session in total time order with per-thread state,
+	// and striped rows would hand every partition a gapped stream. Run
+	// them against the node (or single store) holding the session.
+	ErrDiagnoseUnsupported = &ErrNotRoutable{
+		Op: "_diagnose", Reason: ReasonClusterDiagnose,
+		msg: "cluster: diagnosis is not supported across partitions: the engine needs one node's ordered session stream",
+	}
+	ErrDFGUnsupported = &ErrNotRoutable{
+		Op: "_dfg", Reason: ReasonClusterDFG,
+		msg: "cluster: DFG builds are not supported across partitions: directly-follows edges would span nodes",
+	}
+	ErrDiffUnsupported = &ErrNotRoutable{
+		Op: "_diff", Reason: ReasonClusterDiff,
+		msg: "cluster: session diffs are not supported across partitions: both sessions' streams are striped",
+	}
+)
 
 // Config tunes the coordinator's resilience ladder.
 type Config struct {

@@ -150,6 +150,31 @@ func TestClusterHTTPTransparency(t *testing.T) {
 		t.Fatal("client correlate via coordinator succeeded, want typed refusal")
 	}
 
+	// The diagnosis endpoints share the same typed-501 contract, each with
+	// its own machine-readable reason.
+	for _, tc := range []struct {
+		route  string
+		reason string
+	}{
+		{"/_diagnose?session=run-0", ReasonClusterDiagnose},
+		{"/_dfg?session=run-0", ReasonClusterDFG},
+		{"/_diff?a=run-0&b=run-1", ReasonClusterDiff},
+	} {
+		code, body := postRaw(t, csrv.URL+"/v1/"+testIndex+tc.route, "application/json", nil)
+		if code != http.StatusNotImplemented {
+			t.Fatalf("cluster %s: %d %s, want 501", tc.route, code, body)
+		}
+		var de struct{ Error, Reason string }
+		if err := json.Unmarshal(body, &de); err != nil || de.Reason != tc.reason {
+			t.Fatalf("cluster %s body %s: reason %q, want %q", tc.route, body, de.Reason, tc.reason)
+		}
+		// The legacy alias answers identically.
+		lcode, lbody := postRaw(t, csrv.URL+"/"+testIndex+tc.route, "application/json", nil)
+		if lcode != code || !bytes.Equal(lbody, body) {
+			t.Fatalf("cluster %s: legacy alias diverged (%d %s)", tc.route, lcode, lbody)
+		}
+	}
+
 	// Stats through the coordinator aggregates with a partition breakdown.
 	hresp, err := http.Get(csrv.URL + "/v1/" + testIndex + "/_stats")
 	if err != nil {

@@ -22,6 +22,9 @@ import (
 //	POST   /v1/{index}/_search     scattered to all partitions, merged once
 //	POST   /v1/{index}/_count      scattered, summed
 //	POST   /v1/{index}/_correlate  501: not routable across partitions
+//	POST   /v1/{index}/_diagnose   501: not routable across partitions
+//	POST   /v1/{index}/_dfg        501: not routable across partitions
+//	POST   /v1/{index}/_diff       501: not routable across partitions
 //	GET    /v1/{index}/_stats      aggregated, with per-partition breakdown
 //	GET    /v1/_cat/indices        union of partition index lists
 //	GET    /v1/_health             per-partition liveness, roles, breaker state
@@ -97,7 +100,13 @@ func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
 		case "_count":
 			s.handleCount(w, r, index)
 		case "_correlate":
-			s.handleCorrelate(w, r)
+			s.handleNotRoutable(w, r, ErrCorrelateUnsupported)
+		case "_diagnose":
+			s.handleNotRoutable(w, r, ErrDiagnoseUnsupported)
+		case "_dfg":
+			s.handleNotRoutable(w, r, ErrDFGUnsupported)
+		case "_diff":
+			s.handleNotRoutable(w, r, ErrDiffUnsupported)
 		case "_stats":
 			s.handleStats(w, r, index)
 		default:
@@ -196,16 +205,17 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request, index strin
 	writeJSON(w, http.StatusOK, map[string]int{"count": n})
 }
 
-// handleCorrelate answers the typed refusal: correlation does not route
-// across partitions (see ErrCorrelateUnsupported).
-func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+// handleNotRoutable answers the shared typed refusal for operations that
+// do not route across partitions (correlation and the diagnosis
+// endpoints): 501 with the operation's machine-readable reason.
+func (s *Server) handleNotRoutable(w http.ResponseWriter, r *http.Request, err *ErrNotRoutable) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	writeJSON(w, http.StatusNotImplemented, map[string]string{
-		"error":  ErrCorrelateUnsupported.Error(),
-		"reason": ReasonClusterCorrelate,
+		"error":  err.Error(),
+		"reason": err.Reason,
 	})
 }
 
@@ -229,10 +239,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, index strin
 // client's retry classification.
 func writeError(w http.ResponseWriter, err error) {
 	var he *store.HTTPError
+	var nr *ErrNotRoutable
 	switch {
-	case errors.Is(err, ErrCorrelateUnsupported):
+	case errors.As(err, &nr):
 		writeJSON(w, http.StatusNotImplemented, map[string]string{
-			"error": err.Error(), "reason": ReasonClusterCorrelate,
+			"error": err.Error(), "reason": nr.Reason,
 		})
 	case errors.Is(err, store.ErrCursorExpired):
 		httpError(w, http.StatusGone, "%v", err)

@@ -1,0 +1,290 @@
+package diagnose
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dsrhaslab/dio-go/internal/event"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// staleOffsetDetector finds the §III-B data-loss signature: on a fresh
+// file generation (a file tag never read before), the first read starts at
+// a non-zero offset and returns 0 bytes — the reader resumed beyond EOF,
+// so freshly written data can never be delivered. The Fluent Bit v1.4.0
+// bug produces exactly this pattern after inode reuse.
+type staleOffsetDetector struct{}
+
+func (staleOffsetDetector) Name() string { return "stale-offset-read" }
+
+func (staleOffsetDetector) Detect(ctx context.Context, t Target) ([]Finding, error) {
+	firstReadSeen := make(map[event.FileTag]bool)
+	var findings []Finding
+	req := store.SearchRequest{
+		Query: store.Must(
+			store.Term(store.FieldSession, t.Session),
+			store.Terms(store.FieldSyscall, "read", "pread64", "readv"),
+			store.Exists(store.FieldFileTag),
+		),
+		Sort: []store.SortField{{Field: store.FieldTimeEnter}},
+	}
+	err := store.EachEventPage(ctx, t.Backend, t.Index, req, t.Params.PageSize, func(page store.EventsResult) error {
+		for i := range page.Hits {
+			e := &page.Hits[i]
+			if firstReadSeen[e.FileTag] {
+				continue
+			}
+			firstReadSeen[e.FileTag] = true
+			if e.HasOffset && e.Offset > 0 && e.RetVal == 0 {
+				path := e.FilePath
+				if path == "" {
+					path = "(unresolved path, tag " + e.FileTag.String() + ")"
+				}
+				findings = append(findings, Finding{
+					Rule:     "stale-offset-read",
+					Severity: SeverityCritical,
+					Summary: fmt.Sprintf(
+						"first read of %s starts at offset %d and returns 0 bytes: the reader resumed past EOF (possible data loss after file recreation)",
+						path, e.Offset),
+					FilePath: path,
+					Evidence: []string{fmt.Sprintf(
+						"%s by %s at t=%d: ret=0 offset=%d tag=%s",
+						e.Syscall, e.ProcName, e.TimeEnterNS, e.Offset, e.FileTag)},
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+// costlyPatternDetector flags files dominated by small or random I/O.
+type costlyPatternDetector struct{}
+
+func (costlyPatternDetector) Name() string { return "costly-patterns" }
+
+func (costlyPatternDetector) Detect(ctx context.Context, t Target) ([]Finding, error) {
+	files, err := hotFiles(ctx, t.Backend, t.Index, t.Session, 0, t.Params.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, fl := range files {
+		p, err := fileOffsetPattern(ctx, t.Backend, t.Index, t.Session, fl.FilePath, t.Params.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		dataOps := p.Reads + p.Writes
+		if dataOps < t.Params.MinDataOps {
+			continue
+		}
+		if frac := float64(p.SmallIOs) / float64(dataOps); frac >= t.Params.SmallIOFraction {
+			findings = append(findings, Finding{
+				Rule:     "small-io",
+				Severity: SeverityWarning,
+				Summary: fmt.Sprintf("%.0f%% of %d data syscalls on %s move fewer than %d bytes",
+					frac*100, dataOps, fl.FilePath, SmallIOThreshold),
+				FilePath: fl.FilePath,
+			})
+		}
+		if p.SequentialFraction() <= 1-t.Params.RandomFraction {
+			findings = append(findings, Finding{
+				Rule:     "random-io",
+				Severity: SeverityWarning,
+				Summary: fmt.Sprintf("accesses to %s are %.0f%% non-sequential (%d of %d data syscalls)",
+					fl.FilePath, (1-p.SequentialFraction())*100,
+					p.RandomReads+p.RandomWrites, dataOps),
+				FilePath: fl.FilePath,
+			})
+		}
+	}
+	return findings, nil
+}
+
+// failingSyscallDetector summarizes error-returning syscalls per type, an
+// immediate smell for erroneous I/O usage.
+type failingSyscallDetector struct{}
+
+func (failingSyscallDetector) Name() string { return "failing-syscalls" }
+
+func (failingSyscallDetector) Detect(ctx context.Context, t Target) ([]Finding, error) {
+	lt := 0.0
+	resp, err := t.Backend.Search(ctx, t.Index, store.SearchRequest{
+		Query: store.Must(
+			store.Term(store.FieldSession, t.Session),
+			store.Query{Range: &store.RangeQuery{Field: store.FieldRetVal, LT: &lt}},
+		),
+		Size: 1,
+		Aggs: map[string]store.Agg{
+			"by_syscall": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	buckets := resp.Aggs["by_syscall"].Buckets
+	if len(buckets) == 0 {
+		return nil, nil
+	}
+	parts := make([]string, 0, len(buckets))
+	for _, bkt := range buckets {
+		parts = append(parts, fmt.Sprintf("%s×%d", bkt.Key, bkt.Count))
+	}
+	sort.Strings(parts)
+	return []Finding{{
+		Rule:     "failing-syscalls",
+		Severity: SeverityInfo,
+		Summary:  fmt.Sprintf("%d syscalls returned errors (%s)", resp.Total, strings.Join(parts, ", ")),
+	}}, nil
+}
+
+// ContentionWindow is one detected interval of background-I/O interference.
+type ContentionWindow struct {
+	StartNS           int64
+	BackgroundThreads int
+	ClientSyscalls    int
+}
+
+// contentionDetector finds the §III-C signature in a traced session: time
+// windows where many background threads issue I/O while the client
+// thread's syscall rate drops below DropFraction of its median.
+type contentionDetector struct{}
+
+func (contentionDetector) Name() string { return "background-io-contention" }
+
+func (contentionDetector) Detect(ctx context.Context, t Target) ([]Finding, error) {
+	p := t.Params.Contention
+	resp, err := t.Backend.Search(ctx, t.Index, store.SearchRequest{
+		Query: store.Term(store.FieldSession, t.Session),
+		Size:  1,
+		Aggs: map[string]store.Agg{
+			"timeline": {
+				DateHistogram: &store.DateHistogramAgg{Field: store.FieldTimeEnter, IntervalNS: p.WindowNS},
+				Aggs: map[string]store.Agg{
+					"by_thread": {Terms: &store.TermsAgg{Field: store.FieldThreadName}},
+				},
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	type window struct {
+		startNS    int64
+		client     int
+		background int
+	}
+	var windows []window
+	var clientCounts []float64
+	for _, bkt := range resp.Aggs["timeline"].Buckets {
+		w := window{startNS: int64(bkt.KeyNum)}
+		for _, sub := range bkt.Sub["by_thread"].Buckets {
+			switch {
+			case sub.Key == p.ClientThread:
+				w.client = sub.Count
+			case strings.HasPrefix(sub.Key, p.BackgroundPrefix):
+				w.background++
+			}
+		}
+		windows = append(windows, w)
+		clientCounts = append(clientCounts, float64(w.client))
+	}
+	if len(windows) < 4 {
+		return nil, nil // not enough signal
+	}
+	sorted := append([]float64(nil), clientCounts...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+
+	var hits []ContentionWindow
+	for _, w := range windows {
+		if w.background >= p.MinBackground && float64(w.client) < median*p.DropFraction {
+			hits = append(hits, ContentionWindow{
+				StartNS:           w.startNS,
+				BackgroundThreads: w.background,
+				ClientSyscalls:    w.client,
+			})
+		}
+	}
+	if len(hits) == 0 {
+		return nil, nil
+	}
+	evidence := make([]string, 0, len(hits))
+	for _, h := range hits {
+		evidence = append(evidence, fmt.Sprintf(
+			"window t=%d: %d %s* threads active, %s syscalls down to %d (median %.0f)",
+			h.StartNS, h.BackgroundThreads, p.BackgroundPrefix, p.ClientThread, h.ClientSyscalls, median))
+	}
+	return []Finding{{
+		Rule:     "background-io-contention",
+		Severity: SeverityWarning,
+		Summary: fmt.Sprintf(
+			"%d window(s) where >=%d background threads issue I/O while %s throughput drops below %.0f%% of median",
+			len(hits), p.MinBackground, p.ClientThread, p.DropFraction*100),
+		Evidence: evidence,
+	}}, nil
+}
+
+// dfgPatternDetector scores the session's Directly-Follows-Graph against
+// known syscall-sequence anti-patterns: read→lseek→read ping-pong (a
+// reader repositioning between consecutive reads instead of using
+// positional I/O) and open/close churn (files reopened for trivial work).
+type dfgPatternDetector struct{}
+
+func (dfgPatternDetector) Name() string { return "dfg-antipatterns" }
+
+func (dfgPatternDetector) Detect(ctx context.Context, t Target) ([]Finding, error) {
+	p := t.Params.DFG
+	if t.DFG == nil {
+		return nil, nil
+	}
+	var findings []Finding
+	for _, proc := range t.DFG.Procs {
+		edges := make(map[string]int64, len(proc.Edges))
+		for _, e := range proc.Edges {
+			edges[e.From+"→"+e.To] += e.Count
+		}
+		var opens, closes, dataOps int64
+		for _, n := range proc.Nodes {
+			switch n.Syscall {
+			case "open", "openat", "creat":
+				opens += n.Count
+			case "close":
+				closes += n.Count
+			case "read", "pread64", "readv", "write", "pwrite64", "writev":
+				dataOps += n.Count
+			}
+		}
+
+		readSeek := edges["read→lseek"]
+		seekRead := edges["lseek→read"]
+		if readSeek >= p.PingPongMinCount && seekRead >= p.PingPongMinCount {
+			findings = append(findings, Finding{
+				Rule:     "read-lseek-ping-pong",
+				Severity: SeverityWarning,
+				Summary: fmt.Sprintf(
+					"process %s (pid %d) alternates read and lseek (%d read→lseek, %d lseek→read follows): positional reads (pread64) would halve the syscall count",
+					proc.Proc, proc.PID, readSeek, seekRead),
+				Evidence: []string{fmt.Sprintf(
+					"DFG edges read→lseek=%d lseek→read=%d", readSeek, seekRead)},
+			})
+		}
+		if opens >= p.ChurnMinOpens && float64(dataOps) < p.ChurnMaxOpsPerOpen*float64(opens) {
+			findings = append(findings, Finding{
+				Rule:     "open-close-churn",
+				Severity: SeverityWarning,
+				Summary: fmt.Sprintf(
+					"process %s (pid %d) opens files %d times for only %d data syscalls (%.1f per open): descriptors are churned instead of reused",
+					proc.Proc, proc.PID, opens, dataOps, float64(dataOps)/float64(opens)),
+				Evidence: []string{fmt.Sprintf(
+					"DFG nodes opens=%d closes=%d data-ops=%d", opens, closes, dataOps)},
+			})
+		}
+	}
+	return findings, nil
+}

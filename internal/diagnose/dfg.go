@@ -1,0 +1,252 @@
+package diagnose
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// DFG is a session's syscall Directly-Follows-Graph (Sankaran et al.,
+// arXiv:2408.07378): per traced process, nodes are syscall kinds and a
+// directed edge A→B counts how often a thread's syscall B directly
+// followed its syscall A, with latency quantiles on both. Follows are
+// computed per thread, so two threads interleaving in wall-clock order
+// never fabricate an edge neither of them executed.
+//
+// The graph is built from the stored events through the sorted streaming
+// cursor; because sorted search has a total order independent of shard or
+// partition layout, the same session yields byte-identical marshaled
+// graphs across shard counts.
+type DFG struct {
+	Session string `json:"session"`
+	Index   string `json:"index,omitempty"`
+	// Events is the number of stored events folded into the graph.
+	Events int64 `json:"events"`
+	// Procs holds one subgraph per traced process, sorted by PID.
+	Procs []ProcessDFG `json:"processes"`
+}
+
+// ProcessDFG is one process's subgraph.
+type ProcessDFG struct {
+	PID   int    `json:"pid"`
+	Proc  string `json:"proc_name"`
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// Node is one syscall kind with duration quantiles.
+type Node struct {
+	Syscall string `json:"syscall"`
+	Count   int64  `json:"count"`
+	// Errors counts invocations that returned a negative value.
+	Errors int64 `json:"errors"`
+	// P50/P95/P99 are syscall duration quantiles in nanoseconds.
+	P50NS float64 `json:"p50_ns"`
+	P95NS float64 `json:"p95_ns"`
+	P99NS float64 `json:"p99_ns"`
+}
+
+// Edge is one observed directly-follows relation with inter-call gap
+// quantiles (exit of From to enter of To, same thread).
+type Edge struct {
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	Count int64   `json:"count"`
+	P50NS float64 `json:"p50_ns"`
+	P95NS float64 `json:"p95_ns"`
+	P99NS float64 `json:"p99_ns"`
+}
+
+// Fingerprint is the SHA-256 of the canonical JSON encoding — the value
+// the determinism tests compare across shard counts.
+func (d *DFG) Fingerprint() string {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// edgeCounts folds every process's edges into one session-level count per
+// "from→to" label (the view Diff compares, since PIDs differ across runs).
+func (d *DFG) edgeCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for _, p := range d.Procs {
+		for _, e := range p.Edges {
+			out[e.From+"→"+e.To] += e.Count
+		}
+	}
+	return out
+}
+
+// dfgHist is a fixed power-of-two-bucket histogram over non-negative
+// nanosecond samples. Quantiles interpolate linearly inside the matched
+// bucket; with fixed bounds and integer counts the result is a pure
+// function of the sample multiset, which keeps marshaled DFGs
+// deterministic across shard counts and build orders.
+type dfgHist struct {
+	counts [64]int64
+	total  int64
+}
+
+func (h *dfgHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bits.Len64(uint64(ns))]++ // bucket i covers [2^(i-1), 2^i)
+	h.total++
+}
+
+func (h *dfgHist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var seen float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo, hi := 0.0, 1.0
+			if i > 0 {
+				lo = math.Exp2(float64(i - 1))
+				hi = math.Exp2(float64(i))
+			}
+			frac := (rank - seen) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(c)
+	}
+	return math.Exp2(63)
+}
+
+// BuildDFG computes the session's DFG by streaming the stored events in
+// total time order through pageSize-bounded cursor pages (pageSize <= 0
+// selects the default). Memory is bounded by the distinct syscall kinds
+// and live threads, not the session length.
+func BuildDFG(ctx context.Context, b store.Backend, index, session string, pageSize int) (*DFG, error) {
+	type prev struct {
+		syscall string
+		exitNS  int64
+	}
+	type nodeAgg struct {
+		count, errors int64
+		dur           dfgHist
+	}
+	type edgeKey struct{ from, to string }
+	type edgeAgg struct {
+		count int64
+		gap   dfgHist
+	}
+	type procAgg struct {
+		name  string
+		nodes map[string]*nodeAgg
+		edges map[edgeKey]*edgeAgg
+		last  map[int]prev
+	}
+	procs := make(map[int]*procAgg)
+	var events int64
+
+	req := store.SearchRequest{
+		Query: store.Term(store.FieldSession, session),
+		Sort:  []store.SortField{{Field: store.FieldTimeEnter}},
+	}
+	err := store.EachEventPage(ctx, b, index, req, pageSize, func(page store.EventsResult) error {
+		for i := range page.Hits {
+			e := &page.Hits[i]
+			events++
+			p := procs[e.PID]
+			if p == nil {
+				p = &procAgg{
+					nodes: make(map[string]*nodeAgg),
+					edges: make(map[edgeKey]*edgeAgg),
+					last:  make(map[int]prev),
+				}
+				procs[e.PID] = p
+			}
+			if p.name == "" {
+				p.name = e.ProcName
+			}
+			n := p.nodes[e.Syscall]
+			if n == nil {
+				n = &nodeAgg{}
+				p.nodes[e.Syscall] = n
+			}
+			n.count++
+			if e.RetVal < 0 {
+				n.errors++
+			}
+			n.dur.observe(e.DurationNS())
+			if pr, ok := p.last[e.TID]; ok {
+				k := edgeKey{pr.syscall, e.Syscall}
+				ed := p.edges[k]
+				if ed == nil {
+					ed = &edgeAgg{}
+					p.edges[k] = ed
+				}
+				ed.count++
+				ed.gap.observe(e.TimeEnterNS - pr.exitNS)
+			}
+			p.last[e.TID] = prev{e.Syscall, e.TimeExitNS}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dfg stream: %w", err)
+	}
+
+	d := &DFG{Session: session, Index: index, Events: events}
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		p := procs[pid]
+		sub := ProcessDFG{PID: pid, Proc: p.name}
+		names := make([]string, 0, len(p.nodes))
+		for name := range p.nodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			n := p.nodes[name]
+			sub.Nodes = append(sub.Nodes, Node{
+				Syscall: name, Count: n.count, Errors: n.errors,
+				P50NS: n.dur.quantile(0.50),
+				P95NS: n.dur.quantile(0.95),
+				P99NS: n.dur.quantile(0.99),
+			})
+		}
+		keys := make([]edgeKey, 0, len(p.edges))
+		for k := range p.edges {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].from != keys[j].from {
+				return keys[i].from < keys[j].from
+			}
+			return keys[i].to < keys[j].to
+		})
+		for _, k := range keys {
+			ed := p.edges[k]
+			sub.Edges = append(sub.Edges, Edge{
+				From: k.from, To: k.to, Count: ed.count,
+				P50NS: ed.gap.quantile(0.50),
+				P95NS: ed.gap.quantile(0.95),
+				P99NS: ed.gap.quantile(0.99),
+			})
+		}
+		d.Procs = append(d.Procs, sub)
+	}
+	return d, nil
+}

@@ -1,0 +1,187 @@
+package diagnose
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/clock"
+	"github.com/dsrhaslab/dio-go/internal/core"
+	"github.com/dsrhaslab/dio-go/internal/kernel"
+	"github.com/dsrhaslab/dio-go/internal/store"
+)
+
+// pingPongWorkload issues alternating read/lseek calls — the positional-IO
+// anti-pattern — plus an open/close churn loop with no data I/O.
+func pingPongWorkload(k *kernel.Kernel) {
+	task := k.NewProcess("pingpong").NewTask("pingpong")
+	fd, _ := task.Openat(kernel.AtFDCWD, "/d/data", kernel.ORdwr|kernel.OCreat, 0o644)
+	task.Write(fd, make([]byte, 64<<10))
+	task.Lseek(fd, 0, kernel.SeekSet)
+	buf := make([]byte, 4096)
+	for i := 0; i < 12; i++ {
+		task.Read(fd, buf)
+		task.Lseek(fd, int64(i*4096), kernel.SeekSet)
+	}
+	task.Close(fd)
+
+	churn := k.NewProcess("churner").NewTask("churner")
+	for i := 0; i < 10; i++ {
+		cfd, _ := churn.Openat(kernel.AtFDCWD, "/d/meta", kernel.ORdonly|kernel.OCreat, 0o644)
+		churn.Close(cfd)
+	}
+}
+
+// traceWorkload traces fn into a backend with the given shard count.
+func traceWorkload(t *testing.T, shards int, session string, fn func(k *kernel.Kernel)) *store.Store {
+	t.Helper()
+	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
+	if err := k.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	backend := store.New(store.WithShards(shards))
+	tracer, err := core.NewTracer(core.Config{
+		SessionName: session, Index: "events", Backend: backend,
+		AutoCorrelate: true, FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Start(k); err != nil {
+		t.Fatal(err)
+	}
+	fn(k)
+	if _, err := tracer.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return backend
+}
+
+func TestDFGDeterministicAcrossShardCounts(t *testing.T) {
+	type build struct {
+		shards int
+		raw    []byte
+		fp     string
+	}
+	var builds []build
+	for _, shards := range []int{1, 4, 16} {
+		b := traceWorkload(t, shards, "det", pingPongWorkload)
+		g, err := BuildDFG(context.Background(), b, "events", "det", 7 /* force paging */)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		builds = append(builds, build{shards: shards, raw: raw, fp: g.Fingerprint()})
+	}
+	for _, b := range builds[1:] {
+		if string(b.raw) != string(builds[0].raw) {
+			t.Fatalf("DFG differs between %d and %d shards:\n%s\nvs\n%s",
+				builds[0].shards, b.shards, builds[0].raw, b.raw)
+		}
+		if b.fp != builds[0].fp {
+			t.Fatalf("fingerprint differs: %s vs %s", builds[0].fp, b.fp)
+		}
+	}
+}
+
+func TestDFGStructure(t *testing.T) {
+	b := traceWorkload(t, 4, "struct", pingPongWorkload)
+	g, err := BuildDFG(context.Background(), b, "events", "struct", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Session != "struct" || g.Events == 0 {
+		t.Fatalf("header = %+v", g)
+	}
+	if len(g.Procs) != 2 {
+		t.Fatalf("processes = %d, want 2 (pingpong + churner)", len(g.Procs))
+	}
+	// Procs sorted by PID; find the ping-pong process by name.
+	var pp *ProcessDFG
+	for i := range g.Procs {
+		if g.Procs[i].Proc == "pingpong" {
+			pp = &g.Procs[i]
+		}
+		if g.Procs[i].PID <= 0 {
+			t.Fatalf("bad pid in %+v", g.Procs[i])
+		}
+	}
+	if pp == nil {
+		t.Fatalf("no pingpong process: %+v", g.Procs)
+	}
+	edges := make(map[string]int64)
+	for _, e := range pp.Edges {
+		edges[e.From+"->"+e.To] = e.Count
+	}
+	if edges["read->lseek"] < 11 || edges["lseek->read"] < 11 {
+		t.Fatalf("ping-pong edges missing: %v", edges)
+	}
+	nodes := make(map[string]Node)
+	for _, n := range pp.Nodes {
+		nodes[n.Syscall] = n
+	}
+	if nodes["read"].Count != 12 {
+		t.Fatalf("read node = %+v", nodes["read"])
+	}
+}
+
+func TestDFGDetectorFlagsAntiPatterns(t *testing.T) {
+	b := traceWorkload(t, 4, "anti", pingPongWorkload)
+	rep := diagnoseSession(t, b, "anti")
+	rules := byRule(rep)
+	if got := rules["read-lseek-ping-pong"]; len(got) != 1 {
+		t.Fatalf("ping-pong findings = %+v (report %s)", got, rep)
+	}
+	churn := rules["open-close-churn"]
+	found := false
+	for _, f := range churn {
+		if f.Detector != "dfg-antipatterns" {
+			t.Fatalf("churn finding from wrong detector: %+v", f)
+		}
+		found = found || strings.Contains(f.Summary, "churner")
+	}
+	if !found {
+		t.Fatalf("churner process not flagged: %+v", churn)
+	}
+}
+
+// pagingBackend records the Size of every search to prove the DFG builder
+// and detectors stream pages instead of materializing whole sessions.
+type pagingBackend struct {
+	*store.Store
+	sizes []int
+}
+
+func (p *pagingBackend) Search(ctx context.Context, index string, req store.SearchRequest) (store.SearchResponse, error) {
+	p.sizes = append(p.sizes, req.Size)
+	return p.Store.Search(ctx, index, req)
+}
+
+func TestEngineStreamsThroughCursors(t *testing.T) {
+	b := traceWorkload(t, 4, "page", pingPongWorkload)
+	pb := &pagingBackend{Store: b}
+	rep, err := NewEngine(DefaultRegistry()).RunParams(
+		context.Background(), pb, "events", "page", Params{PageSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events == 0 {
+		t.Fatal("no events diagnosed")
+	}
+	if len(pb.sizes) == 0 {
+		t.Fatal("engine bypassed the backend Search path")
+	}
+	for _, size := range pb.sizes {
+		if size < 0 {
+			t.Fatalf("engine issued an unbounded (Size=-1) search: %v", pb.sizes)
+		}
+		if size > 16 {
+			t.Fatalf("engine exceeded its page size: %v", pb.sizes)
+		}
+	}
+}

@@ -1,24 +1,28 @@
-// Package diagnose implements the paper's future-work direction (§V): a
-// collection of automated correlation algorithms that scan a traced
+// Package diagnose implements the paper's future-work direction (§V) as a
+// reusable engine: a pluggable registry of detectors that scan a traced
 // session for the inefficient or erroneous I/O behaviours the paper
 // diagnoses manually — stale-offset reads after inode reuse (the Fluent
 // Bit data-loss signature of §III-B), background I/O contention (the
-// RocksDB tail-latency signature of §III-C), and costly access patterns
-// (small or random I/O, §I).
+// RocksDB tail-latency signature of §III-C), costly access patterns
+// (small or random I/O, §I), and syscall-sequence anti-patterns surfaced
+// by a Directly-Follows-Graph over the session's syscall stream
+// (Sankaran et al., arXiv:2408.07378).
 //
-// Each detector runs ordinary queries against the analysis backend, so the
-// rules work identically over an in-process store or a remote server.
+// Every detector runs ordinary queries against the analysis backend
+// through the streaming cursor, so the rules work identically over an
+// in-process store, a remote server, or a retention-tiered index, and
+// never materialize a whole session in memory. Engine.Run aggregates the
+// findings into a severity-weighted 0-100 health score; Diff compares two
+// sessions' reports and DFGs and classifies each delta as regression,
+// improvement, or neutral.
 package diagnose
 
 import (
 	"context"
-
+	"encoding/json"
 	"fmt"
-	"sort"
 	"strings"
 
-	"github.com/dsrhaslab/dio-go/internal/analysis"
-	"github.com/dsrhaslab/dio-go/internal/event"
 	"github.com/dsrhaslab/dio-go/internal/store"
 )
 
@@ -46,22 +50,91 @@ func (s Severity) String() string {
 	}
 }
 
-// Finding is one detected I/O anomaly.
-type Finding struct {
-	Rule     string
-	Severity Severity
-	// Summary is a one-line human-readable description.
-	Summary string
-	// FilePath names the affected file, when file-specific.
-	FilePath string
-	// Evidence lists the key events or windows backing the finding.
-	Evidence []string
+// MarshalJSON encodes the severity as its label, so reports read the same
+// over the wire as in logs.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
 }
 
-// Report is the outcome of running all detectors over a session.
+// UnmarshalJSON accepts both the label form and the legacy numeric form.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var label string
+	if err := json.Unmarshal(b, &label); err == nil {
+		switch label {
+		case "info":
+			*s = SeverityInfo
+		case "warning":
+			*s = SeverityWarning
+		case "critical":
+			*s = SeverityCritical
+		default:
+			return fmt.Errorf("unknown severity %q", label)
+		}
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("severity must be a label or number: %s", b)
+	}
+	*s = Severity(n)
+	return nil
+}
+
+// Weight is the health-score cost of one finding at this severity: a
+// critical finding alone drops a session into the "unhealthy" half of the
+// 0-100 scale, warnings accumulate, info findings barely register.
+func (s Severity) Weight() int {
+	switch s {
+	case SeverityCritical:
+		return 40
+	case SeverityWarning:
+		return 15
+	case SeverityInfo:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// Finding is one detected I/O anomaly.
+type Finding struct {
+	// Rule identifies the anti-pattern (e.g. "stale-offset-read").
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	// Detector names the registered detector that produced the finding.
+	Detector string `json:"detector,omitempty"`
+	// Summary is a one-line human-readable description.
+	Summary string `json:"summary"`
+	// FilePath names the affected file, when file-specific.
+	FilePath string `json:"file_path,omitempty"`
+	// Evidence lists the key events or windows backing the finding.
+	Evidence []string `json:"evidence,omitempty"`
+}
+
+// Report is the outcome of running the engine's detectors over a session.
 type Report struct {
-	Session  string
-	Findings []Finding
+	Session string `json:"session"`
+	Index   string `json:"index,omitempty"`
+	// Events is the number of stored events the DFG pass examined.
+	Events int64 `json:"events"`
+	// HealthScore grades the session 0 (unhealthy) to 100 (clean): 100
+	// minus the severity weights of every finding, floored at zero.
+	HealthScore int `json:"health_score"`
+	// Detectors lists the registered detectors that ran, in order.
+	Detectors []string  `json:"detectors,omitempty"`
+	Findings  []Finding `json:"findings"`
+}
+
+// HealthScore computes the severity-weighted 0-100 score for a finding set.
+func HealthScore(findings []Finding) int {
+	score := 100
+	for _, f := range findings {
+		score -= f.Severity.Weight()
+	}
+	if score < 0 {
+		score = 0
+	}
+	return score
 }
 
 // Critical reports whether any finding is critical.
@@ -77,7 +150,8 @@ func (r Report) Critical() bool {
 // String renders the report.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Diagnosis of session %q: %d finding(s)\n", r.Session, len(r.Findings))
+	fmt.Fprintf(&b, "Diagnosis of session %q: health %d/100, %d finding(s)\n",
+		r.Session, r.HealthScore, len(r.Findings))
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  [%s] %s: %s\n", f.Severity, f.Rule, f.Summary)
 		for _, e := range f.Evidence {
@@ -87,260 +161,15 @@ func (r Report) String() string {
 	return b.String()
 }
 
-// Config tunes the detectors.
-type Config struct {
-	// SmallIOFraction flags a file when more than this share of its data
-	// syscalls move fewer than analysis.SmallIOThreshold bytes.
-	SmallIOFraction float64
-	// RandomFraction flags a file when its sequential fraction falls below
-	// 1 - RandomFraction.
-	RandomFraction float64
-	// MinDataOps is the minimum number of data syscalls before a file's
-	// pattern is judged at all.
-	MinDataOps int
-}
+// Config is the legacy name for the engine parameters.
+//
+// Deprecated: use Params with Engine.Run.
+type Config = Params
 
-func (c Config) withDefaults() Config {
-	if c.SmallIOFraction <= 0 {
-		c.SmallIOFraction = 0.5
-	}
-	if c.RandomFraction <= 0 {
-		c.RandomFraction = 0.5
-	}
-	if c.MinDataOps <= 0 {
-		c.MinDataOps = 8
-	}
-	return c
-}
-
-// Run executes every detector over one session.
+// Run executes the default detector registry over one session.
+//
+// Deprecated: use NewEngine(DefaultRegistry()).Run, which is context-first
+// and scores the report.
 func Run(b store.Backend, index, session string, cfg Config) (Report, error) {
-	cfg = cfg.withDefaults()
-	rep := Report{Session: session}
-
-	stale, err := DetectStaleOffsetReads(b, index, session)
-	if err != nil {
-		return rep, fmt.Errorf("stale-offset detector: %w", err)
-	}
-	rep.Findings = append(rep.Findings, stale...)
-
-	patterns, err := DetectCostlyPatterns(b, index, session, cfg)
-	if err != nil {
-		return rep, fmt.Errorf("pattern detector: %w", err)
-	}
-	rep.Findings = append(rep.Findings, patterns...)
-
-	failures, err := DetectFailingSyscalls(b, index, session)
-	if err != nil {
-		return rep, fmt.Errorf("failure detector: %w", err)
-	}
-	rep.Findings = append(rep.Findings, failures...)
-	return rep, nil
-}
-
-// DetectStaleOffsetReads finds the §III-B data-loss signature: on a fresh
-// file generation (a file tag never read before), the first read starts at
-// a non-zero offset and returns 0 bytes — the reader resumed beyond EOF,
-// so freshly written data can never be delivered. The Fluent Bit v1.4.0
-// bug produces exactly this pattern after inode reuse.
-func DetectStaleOffsetReads(b store.Backend, index, session string) ([]Finding, error) {
-	resp, err := store.SearchEvents(context.Background(), b, index, store.SearchRequest{
-		Query: store.Must(
-			store.Term(store.FieldSession, session),
-			store.Terms(store.FieldSyscall, "read", "pread64", "readv"),
-			store.Exists(store.FieldFileTag),
-		),
-		Sort: []store.SortField{{Field: store.FieldTimeEnter}},
-	})
-	if err != nil {
-		return nil, err
-	}
-	firstReadSeen := make(map[event.FileTag]bool)
-	var findings []Finding
-	for i := range resp.Hits {
-		e := &resp.Hits[i]
-		if firstReadSeen[e.FileTag] {
-			continue
-		}
-		firstReadSeen[e.FileTag] = true
-		if e.HasOffset && e.Offset > 0 && e.RetVal == 0 {
-			path := e.FilePath
-			if path == "" {
-				path = "(unresolved path, tag " + e.FileTag.String() + ")"
-			}
-			findings = append(findings, Finding{
-				Rule:     "stale-offset-read",
-				Severity: SeverityCritical,
-				Summary: fmt.Sprintf(
-					"first read of %s starts at offset %d and returns 0 bytes: the reader resumed past EOF (possible data loss after file recreation)",
-					path, e.Offset),
-				FilePath: path,
-				Evidence: []string{fmt.Sprintf(
-					"%s by %s at t=%d: ret=0 offset=%d tag=%s",
-					e.Syscall, e.ProcName, e.TimeEnterNS, e.Offset, e.FileTag)},
-			})
-		}
-	}
-	return findings, nil
-}
-
-// DetectCostlyPatterns flags files dominated by small or random I/O.
-func DetectCostlyPatterns(b store.Backend, index, session string, cfg Config) ([]Finding, error) {
-	cfg = cfg.withDefaults()
-	files, err := analysis.HotFiles(b, index, session, 0)
-	if err != nil {
-		return nil, err
-	}
-	var findings []Finding
-	for _, fl := range files {
-		p, err := analysis.FileOffsetPattern(b, index, session, fl.FilePath)
-		if err != nil {
-			return nil, err
-		}
-		dataOps := p.Reads + p.Writes
-		if dataOps < cfg.MinDataOps {
-			continue
-		}
-		if frac := float64(p.SmallIOs) / float64(dataOps); frac >= cfg.SmallIOFraction {
-			findings = append(findings, Finding{
-				Rule:     "small-io",
-				Severity: SeverityWarning,
-				Summary: fmt.Sprintf("%.0f%% of %d data syscalls on %s move fewer than %d bytes",
-					frac*100, dataOps, fl.FilePath, analysis.SmallIOThreshold),
-				FilePath: fl.FilePath,
-			})
-		}
-		if p.SequentialFraction() <= 1-cfg.RandomFraction {
-			findings = append(findings, Finding{
-				Rule:     "random-io",
-				Severity: SeverityWarning,
-				Summary: fmt.Sprintf("accesses to %s are %.0f%% non-sequential (%d of %d data syscalls)",
-					fl.FilePath, (1-p.SequentialFraction())*100,
-					p.RandomReads+p.RandomWrites, dataOps),
-				FilePath: fl.FilePath,
-			})
-		}
-	}
-	return findings, nil
-}
-
-// DetectFailingSyscalls summarizes error-returning syscalls per type, an
-// immediate smell for erroneous I/O usage.
-func DetectFailingSyscalls(b store.Backend, index, session string) ([]Finding, error) {
-	lt := 0.0
-	resp, err := b.Search(context.Background(), index, store.SearchRequest{
-		Query: store.Must(
-			store.Term(store.FieldSession, session),
-			store.Query{Range: &store.RangeQuery{Field: store.FieldRetVal, LT: &lt}},
-		),
-		Size: 1,
-		Aggs: map[string]store.Agg{
-			"by_syscall": {Terms: &store.TermsAgg{Field: store.FieldSyscall}},
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	buckets := resp.Aggs["by_syscall"].Buckets
-	if len(buckets) == 0 {
-		return nil, nil
-	}
-	parts := make([]string, 0, len(buckets))
-	for _, bkt := range buckets {
-		parts = append(parts, fmt.Sprintf("%s×%d", bkt.Key, bkt.Count))
-	}
-	sort.Strings(parts)
-	return []Finding{{
-		Rule:     "failing-syscalls",
-		Severity: SeverityInfo,
-		Summary:  fmt.Sprintf("%d syscalls returned errors (%s)", resp.Total, strings.Join(parts, ", ")),
-	}}, nil
-}
-
-// ContentionWindow is one detected interval of background-I/O interference.
-type ContentionWindow struct {
-	StartNS           int64
-	BackgroundThreads int
-	ClientSyscalls    int
-}
-
-// DetectContention finds the §III-C signature in a traced session: time
-// windows where many background threads issue I/O while the client
-// thread's syscall rate drops below dropFraction of its median. Thread
-// roles are identified by name: clientThread exactly, background threads
-// by prefix.
-func DetectContention(b store.Backend, index, session, clientThread, backgroundPrefix string,
-	windowNS int64, minBackground int, dropFraction float64) ([]Finding, error) {
-	if dropFraction <= 0 {
-		dropFraction = 0.5
-	}
-	resp, err := b.Search(context.Background(), index, store.SearchRequest{
-		Query: store.Term(store.FieldSession, session),
-		Size:  1,
-		Aggs: map[string]store.Agg{
-			"timeline": {
-				DateHistogram: &store.DateHistogramAgg{Field: store.FieldTimeEnter, IntervalNS: windowNS},
-				Aggs: map[string]store.Agg{
-					"by_thread": {Terms: &store.TermsAgg{Field: store.FieldThreadName}},
-				},
-			},
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	type window struct {
-		startNS    int64
-		client     int
-		background int
-	}
-	var windows []window
-	var clientCounts []float64
-	for _, bkt := range resp.Aggs["timeline"].Buckets {
-		w := window{startNS: int64(bkt.KeyNum)}
-		for _, sub := range bkt.Sub["by_thread"].Buckets {
-			switch {
-			case sub.Key == clientThread:
-				w.client = sub.Count
-			case strings.HasPrefix(sub.Key, backgroundPrefix):
-				w.background++
-			}
-		}
-		windows = append(windows, w)
-		clientCounts = append(clientCounts, float64(w.client))
-	}
-	if len(windows) < 4 {
-		return nil, nil // not enough signal
-	}
-	sorted := append([]float64(nil), clientCounts...)
-	sort.Float64s(sorted)
-	median := sorted[len(sorted)/2]
-
-	var hits []ContentionWindow
-	for _, w := range windows {
-		if w.background >= minBackground && float64(w.client) < median*dropFraction {
-			hits = append(hits, ContentionWindow{
-				StartNS:           w.startNS,
-				BackgroundThreads: w.background,
-				ClientSyscalls:    w.client,
-			})
-		}
-	}
-	if len(hits) == 0 {
-		return nil, nil
-	}
-	evidence := make([]string, 0, len(hits))
-	for _, h := range hits {
-		evidence = append(evidence, fmt.Sprintf(
-			"window t=%d: %d %s* threads active, %s syscalls down to %d (median %.0f)",
-			h.StartNS, h.BackgroundThreads, backgroundPrefix, clientThread, h.ClientSyscalls, median))
-	}
-	return []Finding{{
-		Rule:     "background-io-contention",
-		Severity: SeverityWarning,
-		Summary: fmt.Sprintf(
-			"%d window(s) where >=%d background threads issue I/O while %s throughput drops below %.0f%% of median",
-			len(hits), minBackground, clientThread, dropFraction*100),
-		Evidence: evidence,
-	}}, nil
+	return NewEngine(DefaultRegistry()).RunParams(context.Background(), b, index, session, cfg)
 }

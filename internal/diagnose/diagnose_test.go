@@ -1,6 +1,7 @@
 package diagnose
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -41,17 +42,33 @@ func traceFluentBit(t *testing.T, version fluentbit.Version, session string) *st
 	return backend
 }
 
-func TestDetectStaleOffsetReadOnBuggyFluentBit(t *testing.T) {
-	b := traceFluentBit(t, fluentbit.VersionBuggy, "buggy")
-	findings, err := DetectStaleOffsetReads(b, "events", "buggy")
+// diagnoseSession runs the default engine over one session.
+func diagnoseSession(t *testing.T, b store.Backend, session string) Report {
+	t.Helper()
+	rep, err := NewEngine(DefaultRegistry()).Run(context.Background(), b, "events", session)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 1 {
-		t.Fatalf("findings = %+v, want exactly 1", findings)
+	return rep
+}
+
+// byRule groups a report's findings by rule name.
+func byRule(rep Report) map[string][]Finding {
+	out := make(map[string][]Finding)
+	for _, f := range rep.Findings {
+		out[f.Rule] = append(out[f.Rule], f)
 	}
-	f := findings[0]
-	if f.Severity != SeverityCritical || f.Rule != "stale-offset-read" {
+	return out
+}
+
+func TestEngineFlagsStaleOffsetReadOnBuggyFluentBit(t *testing.T) {
+	b := traceFluentBit(t, fluentbit.VersionBuggy, "buggy")
+	stale := byRule(diagnoseSession(t, b, "buggy"))["stale-offset-read"]
+	if len(stale) != 1 {
+		t.Fatalf("stale-offset findings = %+v, want exactly 1", stale)
+	}
+	f := stale[0]
+	if f.Severity != SeverityCritical || f.Detector != "stale-offset-read" {
 		t.Fatalf("finding = %+v", f)
 	}
 	if !strings.Contains(f.Summary, "offset 26") {
@@ -64,40 +81,38 @@ func TestDetectStaleOffsetReadOnBuggyFluentBit(t *testing.T) {
 
 func TestNoStaleOffsetOnFixedFluentBit(t *testing.T) {
 	b := traceFluentBit(t, fluentbit.VersionFixed, "fixed")
-	findings, err := DetectStaleOffsetReads(b, "events", "fixed")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(findings) != 0 {
-		t.Fatalf("false positive on fixed version: %+v", findings)
+	if stale := byRule(diagnoseSession(t, b, "fixed"))["stale-offset-read"]; len(stale) != 0 {
+		t.Fatalf("false positive on fixed version: %+v", stale)
 	}
 }
 
-func TestRunFullDiagnosisSeparatesVersions(t *testing.T) {
+func TestEngineRunSeparatesVersions(t *testing.T) {
 	bBuggy := traceFluentBit(t, fluentbit.VersionBuggy, "buggy")
-	repBuggy, err := Run(bBuggy, "events", "buggy", Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	repBuggy := diagnoseSession(t, bBuggy, "buggy")
 	if !repBuggy.Critical() {
 		t.Fatalf("buggy session not critical: %s", repBuggy)
 	}
 
 	bFixed := traceFluentBit(t, fluentbit.VersionFixed, "fixed")
-	repFixed, err := Run(bFixed, "events", "fixed", Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	repFixed := diagnoseSession(t, bFixed, "fixed")
 	if repFixed.Critical() {
 		t.Fatalf("fixed session flagged critical: %s", repFixed)
+	}
+	if repBuggy.HealthScore >= repFixed.HealthScore {
+		t.Fatalf("health did not flip: buggy=%d fixed=%d",
+			repBuggy.HealthScore, repFixed.HealthScore)
 	}
 	out := repBuggy.String()
 	if !strings.Contains(out, "stale-offset-read") {
 		t.Fatalf("report rendering: %q", out)
 	}
+	// Every registered detector must be attributed in the report.
+	if len(repBuggy.Detectors) != len(DefaultRegistry().Detectors()) {
+		t.Fatalf("detectors ran = %v", repBuggy.Detectors)
+	}
 }
 
-func TestDetectCostlyPatterns(t *testing.T) {
+func TestEngineFlagsCostlyPatterns(t *testing.T) {
 	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
 	k.MkdirAll("/d")
 	backend := store.New()
@@ -125,23 +140,16 @@ func TestDetectCostlyPatterns(t *testing.T) {
 	task.Close(fd2)
 	tracer.Stop()
 
-	findings, err := DetectCostlyPatterns(backend, "events", "patterns", Config{})
-	if err != nil {
-		t.Fatal(err)
+	rules := byRule(diagnoseSession(t, backend, "patterns"))
+	if got := rules["small-io"]; len(got) != 1 || got[0].FilePath != "/d/bad" {
+		t.Fatalf("small-io findings = %+v", got)
 	}
-	rules := map[string][]string{}
-	for _, f := range findings {
-		rules[f.Rule] = append(rules[f.Rule], f.FilePath)
-	}
-	if got := rules["small-io"]; len(got) != 1 || got[0] != "/d/bad" {
-		t.Fatalf("small-io findings = %v", got)
-	}
-	if got := rules["random-io"]; len(got) != 1 || got[0] != "/d/bad" {
-		t.Fatalf("random-io findings = %v", got)
+	if got := rules["random-io"]; len(got) != 1 || got[0].FilePath != "/d/bad" {
+		t.Fatalf("random-io findings = %+v", got)
 	}
 }
 
-func TestDetectFailingSyscalls(t *testing.T) {
+func TestEngineFlagsFailingSyscalls(t *testing.T) {
 	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
 	backend := store.New()
 	tracer, _ := core.NewTracer(core.Config{
@@ -155,10 +163,7 @@ func TestDetectFailingSyscalls(t *testing.T) {
 	task.Unlink("/missing3")
 	tracer.Stop()
 
-	findings, err := DetectFailingSyscalls(backend, "events", "errs")
-	if err != nil {
-		t.Fatal(err)
-	}
+	findings := byRule(diagnoseSession(t, backend, "errs"))["failing-syscalls"]
 	if len(findings) != 1 {
 		t.Fatalf("findings = %+v", findings)
 	}
@@ -167,7 +172,7 @@ func TestDetectFailingSyscalls(t *testing.T) {
 	}
 }
 
-func TestDetectContentionOnRocksDBRun(t *testing.T) {
+func TestEngineFlagsContentionOnRocksDBRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second contention run")
 	}
@@ -178,21 +183,24 @@ func TestDetectContentionOnRocksDBRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := DetectContention(res.Backend, res.Index, res.Session,
-		"db_bench", "rocksdb:low", int64(100*time.Millisecond), 3, 0.5)
+	rep, err := NewEngine(DefaultRegistry()).Run(context.Background(), res.Backend, res.Index, res.Session)
 	if err != nil {
 		t.Fatal(err)
 	}
+	findings := byRule(rep)["background-io-contention"]
 	if len(findings) == 0 {
 		t.Skip("no contention windows matched in this run (timing-dependent)")
 	}
 	f := findings[0]
-	if f.Rule != "background-io-contention" || len(f.Evidence) == 0 {
+	if f.Severity != SeverityWarning || len(f.Evidence) == 0 {
 		t.Fatalf("finding = %+v", f)
+	}
+	if rep.HealthScore == 100 {
+		t.Fatalf("contended session scored perfect health: %s", rep)
 	}
 }
 
-func TestDetectContentionNoSignal(t *testing.T) {
+func TestEngineNoContentionSignalOnQuietTrace(t *testing.T) {
 	// A single-threaded quiet trace yields no contention findings.
 	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
 	k.MkdirAll("/d")
@@ -211,12 +219,25 @@ func TestDetectContentionNoSignal(t *testing.T) {
 	task.Close(fd)
 	tracer.Stop()
 
-	findings, err := DetectContention(backend, "events", "quiet",
-		"app", "rocksdb:low", 1000, 2, 0.5)
+	p := Params{Contention: ContentionParams{
+		ClientThread: "app", WindowNS: 1000, MinBackground: 2, DropFraction: 0.5,
+	}}
+	rep, err := NewEngine(DefaultRegistry()).RunParams(context.Background(), backend, "events", "quiet", p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 0 {
-		t.Fatalf("false positive: %+v", findings)
+	if got := byRule(rep)["background-io-contention"]; len(got) != 0 {
+		t.Fatalf("false positive: %+v", got)
+	}
+}
+
+func TestDeprecatedRunWrapperStillWorks(t *testing.T) {
+	b := traceFluentBit(t, fluentbit.VersionBuggy, "buggy")
+	rep, err := Run(b, "events", "buggy", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Critical() {
+		t.Fatalf("wrapper lost the critical finding: %s", rep)
 	}
 }

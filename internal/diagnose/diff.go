@@ -1,0 +1,189 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DeltaClass classifies one change between two sessions.
+type DeltaClass string
+
+// Delta classes.
+const (
+	ClassRegression  DeltaClass = "regression"
+	ClassImprovement DeltaClass = "improvement"
+	ClassNeutral     DeltaClass = "neutral"
+)
+
+// Delta is one classified difference between session A and session B.
+type Delta struct {
+	// Kind is "finding", "health", or "dfg-edge".
+	Kind string `json:"kind"`
+	// Rule names the finding rule or DFG edge involved.
+	Rule     string     `json:"rule,omitempty"`
+	FilePath string     `json:"file_path,omitempty"`
+	Detail   string     `json:"detail"`
+	Class    DeltaClass `json:"class"`
+}
+
+// DiffResult compares two sessions' diagnosis reports and DFGs — the
+// regression-testing workflow: trace a run before and after a change,
+// diff, and read off whether I/O behavior got better or worse.
+type DiffResult struct {
+	SessionA string `json:"session_a"`
+	SessionB string `json:"session_b"`
+	HealthA  int    `json:"health_a"`
+	HealthB  int    `json:"health_b"`
+	// HealthDelta is HealthB - HealthA: positive means B is healthier.
+	HealthDelta int `json:"health_delta"`
+	// Class is the overall verdict, driven by the health delta.
+	Class  DeltaClass `json:"class"`
+	Deltas []Delta    `json:"deltas"`
+}
+
+// String renders the diff.
+func (r DiffResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Diff %s → %s: %s (health %d → %d, %+d)\n",
+		r.SessionA, r.SessionB, r.Class, r.HealthA, r.HealthB, r.HealthDelta)
+	for _, d := range r.Deltas {
+		fmt.Fprintf(&b, "  [%s] %s\n", d.Class, d.Detail)
+	}
+	return b.String()
+}
+
+// findingKey identifies a finding across two reports: same rule on the
+// same file (or, for file-less rules, the rule alone).
+func findingKey(f Finding) string { return f.Rule + "|" + f.FilePath }
+
+// Diff compares two reports (and optionally their DFGs; nil skips the
+// graph comparison) and classifies every delta. A finding present only in
+// A is an improvement — B no longer exhibits it; present only in B, a
+// regression; present in both with a different severity, classified by
+// the direction of the change. DFG edge-count shifts are reported as
+// neutral context unless a finding already covers them.
+func Diff(a, b Report, dfgA, dfgB *DFG) DiffResult {
+	res := DiffResult{
+		SessionA:    a.Session,
+		SessionB:    b.Session,
+		HealthA:     a.HealthScore,
+		HealthB:     b.HealthScore,
+		HealthDelta: b.HealthScore - a.HealthScore,
+	}
+	switch {
+	case res.HealthDelta > 0:
+		res.Class = ClassImprovement
+	case res.HealthDelta < 0:
+		res.Class = ClassRegression
+	default:
+		res.Class = ClassNeutral
+	}
+	res.Deltas = append(res.Deltas, Delta{
+		Kind:  "health",
+		Class: res.Class,
+		Detail: fmt.Sprintf("health score %d → %d (%+d)",
+			res.HealthA, res.HealthB, res.HealthDelta),
+	})
+
+	inA := make(map[string]Finding)
+	for _, f := range a.Findings {
+		inA[findingKey(f)] = f
+	}
+	inB := make(map[string]Finding)
+	for _, f := range b.Findings {
+		inB[findingKey(f)] = f
+	}
+	keys := make([]string, 0, len(inA)+len(inB))
+	for k := range inA {
+		keys = append(keys, k)
+	}
+	for k := range inB {
+		if _, dup := inA[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fa, oka := inA[k]
+		fb, okb := inB[k]
+		switch {
+		case oka && !okb:
+			res.Deltas = append(res.Deltas, Delta{
+				Kind: "finding", Rule: fa.Rule, FilePath: fa.FilePath,
+				Class:  ClassImprovement,
+				Detail: fmt.Sprintf("resolved [%s] %s: %s", fa.Severity, fa.Rule, fa.Summary),
+			})
+		case !oka && okb:
+			res.Deltas = append(res.Deltas, Delta{
+				Kind: "finding", Rule: fb.Rule, FilePath: fb.FilePath,
+				Class:  ClassRegression,
+				Detail: fmt.Sprintf("new [%s] %s: %s", fb.Severity, fb.Rule, fb.Summary),
+			})
+		case fa.Severity != fb.Severity:
+			class := ClassImprovement
+			if fb.Severity > fa.Severity {
+				class = ClassRegression
+			}
+			res.Deltas = append(res.Deltas, Delta{
+				Kind: "finding", Rule: fb.Rule, FilePath: fb.FilePath,
+				Class:  class,
+				Detail: fmt.Sprintf("%s: severity %s → %s", fb.Rule, fa.Severity, fb.Severity),
+			})
+		}
+	}
+
+	if dfgA != nil && dfgB != nil {
+		res.Deltas = append(res.Deltas, diffDFGs(dfgA, dfgB)...)
+	}
+	return res
+}
+
+// diffDFGs reports large shifts in directly-follows edge frequency,
+// normalized per 1000 events so sessions of different lengths compare.
+// The shifts are context, not verdicts — they explain what changed in the
+// syscall stream without presuming a direction is good or bad.
+func diffDFGs(a, b *DFG) []Delta {
+	const (
+		minCount = 16  // ignore edges too rare to matter
+		minRatio = 2.0 // report >=2x shifts in normalized frequency
+	)
+	ca, cb := a.edgeCounts(), b.edgeCounts()
+	norm := func(n int64, total int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(n) * 1000 / float64(total)
+	}
+	labels := make([]string, 0, len(ca)+len(cb))
+	for l := range ca {
+		labels = append(labels, l)
+	}
+	for l := range cb {
+		if _, dup := ca[l]; !dup {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+	var out []Delta
+	for _, l := range labels {
+		na, nb := ca[l], cb[l]
+		if na < minCount && nb < minCount {
+			continue
+		}
+		ra, rb := norm(na, a.Events), norm(nb, b.Events)
+		lo, hi := ra, rb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > 0 && hi/lo < minRatio {
+			continue
+		}
+		out = append(out, Delta{
+			Kind: "dfg-edge", Rule: l, Class: ClassNeutral,
+			Detail: fmt.Sprintf("follows %s: %.1f → %.1f per 1000 events (%d → %d)",
+				l, ra, rb, na, nb),
+		})
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package diagnose
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/dio-go/internal/store"
+	"github.com/dsrhaslab/dio-go/internal/telemetry"
+)
+
+// Params tunes the engine and its detectors. The zero value selects the
+// defaults below; JSON tags make it the optional request body of the
+// /_diagnose, /_dfg, and /_diff endpoints.
+type Params struct {
+	// SmallIOFraction flags a file when more than this share of its data
+	// syscalls move fewer than SmallIOThreshold bytes (default 0.5).
+	SmallIOFraction float64 `json:"small_io_fraction,omitempty"`
+	// RandomFraction flags a file when its sequential fraction falls below
+	// 1 - RandomFraction (default 0.5).
+	RandomFraction float64 `json:"random_fraction,omitempty"`
+	// MinDataOps is the minimum number of data syscalls before a file's
+	// pattern is judged at all (default 8).
+	MinDataOps int `json:"min_data_ops,omitempty"`
+	// PageSize bounds the streaming-cursor pages every detector and the
+	// DFG builder read events through (default 1000).
+	PageSize int `json:"page_size,omitempty"`
+
+	Contention ContentionParams `json:"contention,omitempty"`
+	DFG        DFGParams        `json:"dfg,omitempty"`
+}
+
+// ContentionParams tunes the background-I/O contention detector (§III-C).
+// Thread roles are identified by name: ClientThread exactly, background
+// threads by prefix. The defaults match the bundled RocksDB-style workload
+// (db_bench client, rocksdb:low* compaction threads).
+type ContentionParams struct {
+	ClientThread     string `json:"client_thread,omitempty"`
+	BackgroundPrefix string `json:"background_prefix,omitempty"`
+	// WindowNS is the timeline bucket width (default 100ms).
+	WindowNS int64 `json:"window_ns,omitempty"`
+	// MinBackground is how many background threads must be active in a
+	// window before it can count as contended (default 3).
+	MinBackground int `json:"min_background,omitempty"`
+	// DropFraction flags windows where the client's syscall rate falls
+	// below this fraction of its median (default 0.5).
+	DropFraction float64 `json:"drop_fraction,omitempty"`
+}
+
+// DFGParams tunes the DFG anti-pattern detector.
+type DFGParams struct {
+	// PingPongMinCount is the minimum read→lseek and lseek→read edge count
+	// before the ping-pong rule fires (default 8).
+	PingPongMinCount int64 `json:"ping_pong_min_count,omitempty"`
+	// ChurnMinOpens is the minimum open count before open/close churn is
+	// judged (default 8).
+	ChurnMinOpens int64 `json:"churn_min_opens,omitempty"`
+	// ChurnMaxOpsPerOpen flags a process when it performs fewer data
+	// syscalls per open than this (default 2).
+	ChurnMaxOpsPerOpen float64 `json:"churn_max_ops_per_open,omitempty"`
+}
+
+func (p Params) withDefaults() Params {
+	if p.SmallIOFraction <= 0 {
+		p.SmallIOFraction = 0.5
+	}
+	if p.RandomFraction <= 0 {
+		p.RandomFraction = 0.5
+	}
+	if p.MinDataOps <= 0 {
+		p.MinDataOps = 8
+	}
+	if p.PageSize <= 0 {
+		p.PageSize = 1000
+	}
+	if p.Contention.ClientThread == "" {
+		p.Contention.ClientThread = "db_bench"
+	}
+	if p.Contention.BackgroundPrefix == "" {
+		p.Contention.BackgroundPrefix = "rocksdb:low"
+	}
+	if p.Contention.WindowNS <= 0 {
+		p.Contention.WindowNS = int64(100 * time.Millisecond)
+	}
+	if p.Contention.MinBackground <= 0 {
+		p.Contention.MinBackground = 3
+	}
+	if p.Contention.DropFraction <= 0 {
+		p.Contention.DropFraction = 0.5
+	}
+	if p.DFG.PingPongMinCount <= 0 {
+		p.DFG.PingPongMinCount = 8
+	}
+	if p.DFG.ChurnMinOpens <= 0 {
+		p.DFG.ChurnMinOpens = 8
+	}
+	if p.DFG.ChurnMaxOpsPerOpen <= 0 {
+		p.DFG.ChurnMaxOpsPerOpen = 2
+	}
+	return p
+}
+
+// Target is what a detector examines: one session of one index, reached
+// through a Backend, with the engine's parameters and the session's DFG
+// (built once per run and shared across detectors) already resolved.
+type Target struct {
+	Backend store.Backend
+	Index   string
+	Session string
+	Params  Params
+	// DFG is the session's Directly-Follows-Graph, built by the engine
+	// before any detector runs.
+	DFG *DFG
+}
+
+// Detector is one registered diagnosis rule. Detect returns zero or more
+// findings; an error aborts the engine run.
+type Detector interface {
+	Name() string
+	Detect(ctx context.Context, t Target) ([]Finding, error)
+}
+
+// Registry holds detectors in registration order.
+type Registry struct {
+	detectors []Detector
+	byName    map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+// Register adds a detector; duplicate names are rejected so two rules can
+// never shadow each other in a report.
+func (r *Registry) Register(d Detector) error {
+	name := d.Name()
+	if name == "" {
+		return fmt.Errorf("diagnose: detector with empty name")
+	}
+	if r.byName[name] {
+		return fmt.Errorf("diagnose: detector %q already registered", name)
+	}
+	r.byName[name] = true
+	r.detectors = append(r.detectors, d)
+	return nil
+}
+
+// Detectors returns the registered detectors in registration order.
+func (r *Registry) Detectors() []Detector {
+	return append([]Detector(nil), r.detectors...)
+}
+
+// DefaultRegistry returns a registry with the built-in detectors: the
+// paper's Fluent Bit stale-offset and RocksDB contention signatures, the
+// costly-pattern and failing-syscall rules, and the DFG anti-pattern rule.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, d := range []Detector{
+		staleOffsetDetector{},
+		dfgPatternDetector{},
+		costlyPatternDetector{},
+		failingSyscallDetector{},
+		contentionDetector{},
+	} {
+		if err := r.Register(d); err != nil {
+			panic(err) // built-ins are statically unique
+		}
+	}
+	return r
+}
+
+// Engine runs a detector registry over sessions and scores the results.
+type Engine struct {
+	reg    *Registry
+	params Params
+	tm     engineTelemetry
+}
+
+type engineTelemetry struct {
+	runs, findings, dfgBuilds, diffs *telemetry.Counter
+	runNS, dfgNS                     *telemetry.Histogram
+}
+
+// EngineOption customizes an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithTelemetry counts engine activity (runs, findings, DFG builds, diffs,
+// latencies) in reg, so a diod node's /metrics covers its diagnosis load.
+func WithTelemetry(reg *telemetry.Registry) EngineOption {
+	return func(e *Engine) {
+		e.tm = engineTelemetry{
+			runs:      reg.Counter("dio_diagnose_runs_total", "Completed diagnosis engine runs."),
+			findings:  reg.Counter("dio_diagnose_findings_total", "Findings produced by diagnosis runs."),
+			dfgBuilds: reg.Counter("dio_dfg_builds_total", "Syscall DFG builds."),
+			diffs:     reg.Counter("dio_diff_runs_total", "Session diff runs."),
+			runNS:     reg.Histogram("dio_diagnose_run_ns", "Diagnosis run latency (ns).", telemetry.DefaultLatencyBuckets),
+			dfgNS:     reg.Histogram("dio_dfg_build_ns", "DFG build latency (ns).", telemetry.DefaultLatencyBuckets),
+		}
+	}
+}
+
+// WithParams sets the engine's default parameters (per-run parameters via
+// RunParams still take precedence).
+func WithParams(p Params) EngineOption {
+	return func(e *Engine) { e.params = p }
+}
+
+// NewEngine creates an engine over the given registry.
+func NewEngine(reg *Registry, opts ...EngineOption) *Engine {
+	e := &Engine{reg: reg}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Run executes every registered detector over one session and scores the
+// findings into a Report.
+func (e *Engine) Run(ctx context.Context, b store.Backend, index, session string) (Report, error) {
+	return e.RunParams(ctx, b, index, session, e.params)
+}
+
+// RunParams is Run with per-call parameter overrides.
+func (e *Engine) RunParams(ctx context.Context, b store.Backend, index, session string, p Params) (Report, error) {
+	rep, _, err := e.Analyze(ctx, b, index, session, p)
+	return rep, err
+}
+
+// Analyze is RunParams returning the session DFG alongside the report, so
+// callers that need both (diff, the /_diagnose+/_dfg handlers) build the
+// graph once.
+func (e *Engine) Analyze(ctx context.Context, b store.Backend, index, session string, p Params) (Report, *DFG, error) {
+	p = p.withDefaults()
+	start := time.Now()
+	dfgStart := start
+	dfg, err := BuildDFG(ctx, b, index, session, p.PageSize)
+	if err != nil {
+		return Report{Session: session, Index: index}, nil, fmt.Errorf("dfg build: %w", err)
+	}
+	e.tm.dfgBuilds.Inc()
+	e.tm.dfgNS.Observe(float64(time.Since(dfgStart)))
+
+	t := Target{Backend: b, Index: index, Session: session, Params: p, DFG: dfg}
+	rep := Report{Session: session, Index: index, Events: dfg.Events}
+	for _, d := range e.reg.detectors {
+		rep.Detectors = append(rep.Detectors, d.Name())
+		findings, err := d.Detect(ctx, t)
+		if err != nil {
+			return rep, dfg, fmt.Errorf("detector %s: %w", d.Name(), err)
+		}
+		for i := range findings {
+			findings[i].Detector = d.Name()
+		}
+		rep.Findings = append(rep.Findings, findings...)
+	}
+	rep.HealthScore = HealthScore(rep.Findings)
+	e.tm.runs.Inc()
+	e.tm.findings.Add(uint64(len(rep.Findings)))
+	e.tm.runNS.Observe(float64(time.Since(start)))
+	return rep, dfg, nil
+}
+
+// DiffSessions runs the engine over two sessions of one index and diffs
+// the resulting reports and DFGs.
+func (e *Engine) DiffSessions(ctx context.Context, b store.Backend, index, sessionA, sessionB string, p Params) (DiffResult, error) {
+	repA, dfgA, err := e.Analyze(ctx, b, index, sessionA, p)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("session %s: %w", sessionA, err)
+	}
+	repB, dfgB, err := e.Analyze(ctx, b, index, sessionB, p)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("session %s: %w", sessionB, err)
+	}
+	e.tm.diffs.Inc()
+	return Diff(repA, repB, dfgA, dfgB), nil
+}

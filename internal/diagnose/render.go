@@ -1,0 +1,97 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dsrhaslab/dio-go/internal/viz"
+)
+
+// This file renders the engine's outputs as viz tables. It lives here
+// rather than in viz because viz sits below experiments in the package
+// graph; diagnose is free to depend on both.
+
+// ReportTable renders a diagnosis report: one row per finding, ordered as
+// the engine emitted them (detector registration order).
+func ReportTable(rep Report) *viz.Table {
+	t := &viz.Table{
+		Title: fmt.Sprintf("Diagnosis of session %q: health %d/100 over %d events",
+			rep.Session, rep.HealthScore, rep.Events),
+		Columns: []string{"severity", "rule", "detector", "file", "summary"},
+	}
+	for _, f := range rep.Findings {
+		t.Rows = append(t.Rows, []string{
+			f.Severity.String(), f.Rule, f.Detector, f.FilePath, f.Summary,
+		})
+	}
+	return t
+}
+
+// DFGTable renders the heaviest edges of a session's Directly-Follows-Graph
+// across all processes, capped at topN rows (0 = all).
+func DFGTable(g *DFG, topN int) *viz.Table {
+	t := &viz.Table{
+		Title: fmt.Sprintf("Syscall DFG of session %q: %d events, %d process(es)",
+			g.Session, g.Events, len(g.Procs)),
+		Columns: []string{"pid", "proc", "edge", "count", "p50(ns)", "p95(ns)", "p99(ns)"},
+	}
+	type row struct {
+		pid  int
+		proc string
+		e    Edge
+	}
+	var rows []row
+	for _, p := range g.Procs {
+		for _, e := range p.Edges {
+			rows = append(rows, row{pid: p.PID, proc: p.Proc, e: e})
+		}
+	}
+	// Heaviest first; ties keep the DFG's own deterministic ordering.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].e.Count > rows[j].e.Count })
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.pid), r.proc,
+			r.e.From + " -> " + r.e.To,
+			fmt.Sprintf("%d", r.e.Count),
+			fmt.Sprintf("%.0f", r.e.P50NS), fmt.Sprintf("%.0f", r.e.P95NS), fmt.Sprintf("%.0f", r.e.P99NS),
+		})
+	}
+	return t
+}
+
+// DiffTable renders a session diff: the health delta followed by each
+// classified change.
+func DiffTable(res DiffResult) *viz.Table {
+	t := &viz.Table{
+		Title: fmt.Sprintf("Diff %s -> %s: health %d -> %d (%+d, %s)",
+			res.SessionA, res.SessionB, res.HealthA, res.HealthB, res.HealthDelta, res.Class),
+		Columns: []string{"kind", "class", "rule", "file", "detail"},
+	}
+	for _, d := range res.Deltas {
+		t.Rows = append(t.Rows, []string{
+			d.Kind, string(d.Class), d.Rule, d.FilePath, d.Detail,
+		})
+	}
+	return t
+}
+
+// ComparisonTable renders a per-syscall session comparison as a table.
+func ComparisonTable(deltas []SessionDelta, sessionA, sessionB string) *viz.Table {
+	t := &viz.Table{
+		Title: fmt.Sprintf("Session comparison: %s vs %s", sessionA, sessionB),
+		Columns: []string{
+			"syscall", sessionA, sessionB, "errors(" + sessionA + ")", "errors(" + sessionB + ")",
+		},
+	}
+	for _, d := range deltas {
+		t.Rows = append(t.Rows, []string{
+			d.Syscall,
+			fmt.Sprintf("%d", d.CountA), fmt.Sprintf("%d", d.CountB),
+			fmt.Sprintf("%d", d.ErrsA), fmt.Sprintf("%d", d.ErrsB),
+		})
+	}
+	return t
+}

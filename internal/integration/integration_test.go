@@ -12,7 +12,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/dsrhaslab/dio-go/internal/analysis"
 	"github.com/dsrhaslab/dio-go/internal/apps/fluentbit"
 	"github.com/dsrhaslab/dio-go/internal/clock"
 	"github.com/dsrhaslab/dio-go/internal/comparators"
@@ -103,7 +102,7 @@ func TestFullPipelineOverHTTP(t *testing.T) {
 	}
 
 	// Cross-session comparison through HTTP.
-	deltas, err := analysis.CompareSessions(client, "dio-events", "m1-fluentbit", "m2-synthetic")
+	deltas, err := diagnose.CompareSessions(context.Background(), client, "dio-events", "m1-fluentbit", "m2-synthetic")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +118,7 @@ func TestFullPipelineOverHTTP(t *testing.T) {
 
 	// Offset-pattern analysis over HTTP (machine 2's synthetic files were
 	// correlated server-side at tracer Stop).
-	p, err := analysis.FileOffsetPattern(client, "dio-events", "m2-synthetic", "/data/f000.dat")
+	p, err := diagnose.FileOffsetPattern(context.Background(), client, "dio-events", "m2-synthetic", "/data/f000.dat")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +177,9 @@ func TestMultipleTracersSameKernelDifferentBackends(t *testing.T) {
 
 func TestVisualizerViewsOverHTTP(t *testing.T) {
 	st := store.New()
-	srv := httptest.NewServer(store.NewServer(st))
+	server := store.NewServer(st)
+	diagnose.Install(server) // as cmd/diod wires it
+	srv := httptest.NewServer(server)
 	defer srv.Close()
 
 	k := kernel.New(kernel.Config{Clock: clock.NewVirtualTicking(0, time.Microsecond)})
@@ -216,13 +217,24 @@ func TestVisualizerViewsOverHTTP(t *testing.T) {
 		t.Fatal("empty heatmap")
 	}
 
-	// Automated diagnosis through HTTP.
-	rep, err := diagnose.Run(client, "dio-events", "views", diagnose.Config{})
+	// Automated diagnosis through HTTP: the engine runs server-side behind
+	// the /v1/{index}/_diagnose op, as cmd/dioviz's remote mode uses it.
+	diag := diagnose.NewClient(client)
+	rep, err := diag.Diagnose(context.Background(), "dio-events", "views")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Critical() {
 		t.Fatalf("remote diagnosis missed the bug: %s", rep)
+	}
+
+	// The DFG endpoint serves the same session's follows-graph.
+	g, err := diag.DFG(context.Background(), "dio-events", "views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Procs) == 0 {
+		t.Fatal("remote DFG is empty")
 	}
 
 	// Trace replay through HTTP.

@@ -427,6 +427,23 @@ func (c *Client) Promote(ctx context.Context) error {
 // Base returns the server URL this client targets (failover diagnostics).
 func (c *Client) Base() string { return c.base }
 
+// DoJSON issues one JSON-in/JSON-out request through the client's wire
+// plumbing (API prefix, per-request deadline, HTTPError mapping) against
+// an arbitrary path — the hook extension packages use to speak routes the
+// core client does not know (the diagnosis endpoints, for one) without
+// re-implementing transport concerns. A nil body sends no payload; a nil
+// out discards the response.
+func (c *Client) DoJSON(ctx context.Context, method, path string, body, out any) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("encode request: %w", err)
+		}
+	}
+	return c.do(ctx, method, path, raw, out)
+}
+
 const contentTypeJSON = "application/json"
 
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {

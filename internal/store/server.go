@@ -98,7 +98,39 @@ type Server struct {
 
 	mu    sync.Mutex
 	extra []*telemetry.Registry
+	// ops are extension routes for /{index}/_op paths the core server does
+	// not own, registered by packages layered above the store (the
+	// diagnosis engine mounts _diagnose/_dfg/_diff here) so the store
+	// stays free of upward dependencies. Registered ops ride the dual
+	// /v1+legacy mounting like every built-in route.
+	ops map[string]OpHandler
 }
+
+// OpHandler serves one registered /{index}/_op route.
+type OpHandler func(w http.ResponseWriter, r *http.Request, index string)
+
+// HandleOp registers h for POST/GET /{index}/op (and /v1/{index}/op).
+// Built-in operations cannot be overridden; registration of a duplicate
+// or built-in name panics, as route wiring is a programming error.
+func (s *Server) HandleOp(op string, h OpHandler) {
+	switch op {
+	case "_bulk", "_search", "_scatter", "_count", "_correlate", "_stats":
+		panic(fmt.Sprintf("store: HandleOp(%q) would shadow a built-in operation", op))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ops == nil {
+		s.ops = make(map[string]OpHandler)
+	}
+	if _, dup := s.ops[op]; dup {
+		panic(fmt.Sprintf("store: HandleOp(%q) registered twice", op))
+	}
+	s.ops[op] = h
+}
+
+// Store returns the wrapped store, for extension packages that serve
+// additional routes over the same state.
+func (s *Server) Store() *Store { return s.store }
 
 var _ http.Handler = (*Server)(nil)
 
@@ -304,6 +336,13 @@ func (s *Server) handleIndexOps(w http.ResponseWriter, r *http.Request) {
 		case "_stats":
 			s.handleStats(w, r, index)
 		default:
+			s.mu.Lock()
+			h := s.ops[op]
+			s.mu.Unlock()
+			if h != nil {
+				h(w, r, index)
+				return
+			}
 			httpError(w, http.StatusNotFound, "unknown operation %q", op)
 		}
 	default:
